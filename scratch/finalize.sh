@@ -1,0 +1,8 @@
+#!/bin/sh
+# Final capture steps (run after the bench completes):
+set -e
+cd /root/repo
+cp /tmp/bench_final.txt /root/repo/bench_output.txt
+rm -rf /root/repo/scratch
+dune build @all
+dune runtest --force --no-buffer 2>&1 | tee /root/repo/test_output.txt | tail -3
