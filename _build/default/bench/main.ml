@@ -1,0 +1,751 @@
+(* Experiment harness: regenerates every table of the paper's evaluation
+   and the in-text studies, plus bechamel micro-benchmarks of the
+   numerical kernels.
+
+     dune exec bench/main.exe                 # everything (takes a while)
+     dune exec bench/main.exe -- --table 1    # one table
+     dune exec bench/main.exe -- --experiment eco
+     dune exec bench/main.exe -- --scale 0.25 # shrink circuits for speed
+     dune exec bench/main.exe -- --micro      # bechamel kernels only
+
+   The experiment ids (E1..E10, A1..A3) are indexed in DESIGN.md; the
+   paper-vs-measured discussion lives in EXPERIMENTS.md. *)
+
+let scale = ref 1.0
+
+let seed = ref 42
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Shared flow pieces                                                  *)
+
+let build_profile name =
+  let prof = Circuitgen.Profiles.find name in
+  let params = Circuitgen.Profiles.params ~scale:!scale prof ~seed:!seed in
+  let circuit, pads = Circuitgen.Gen.generate params in
+  (prof, circuit, Circuitgen.Gen.initial_placement circuit pads)
+
+(* The common final placement applied to every flow's global placement:
+   Abacus legalisation, swap/slide improvement, then the Domino-like
+   network-flow detailed placement (the same role Domino plays in the
+   paper's reported results). *)
+let finalize circuit global =
+  let rep = Legalize.Abacus.legalize circuit global () in
+  let p = rep.Legalize.Abacus.placement in
+  ignore (Legalize.Improve.run circuit p);
+  ignore (Legalize.Domino.run circuit p);
+  p
+
+(* Annealer budgets shrink on the biggest circuits so the harness stays
+   laptop-scale; the CPU column reports what was actually spent. *)
+let annealer_config circuit =
+  let n = Netlist.Circuit.num_movable circuit in
+  let base = Baselines.Annealer.default_config in
+  if n > 18_000 then { base with Baselines.Annealer.moves_per_cell = 4 }
+  else if n > 9_000 then { base with Baselines.Annealer.moves_per_cell = 6 }
+  else base
+
+type flow_result = { wl : float; cpu : float }
+
+let run_kraftwerk ?(config = Kraftwerk.Config.standard) circuit p0 =
+  let (global, cpu) =
+    time (fun () ->
+        let state, _ = Kraftwerk.Placer.run config circuit p0 in
+        state.Kraftwerk.Placer.placement)
+  in
+  { wl = Metrics.Wirelength.hpwl circuit (finalize circuit global); cpu }
+
+let run_gordian circuit p0 =
+  let (global, cpu) = time (fun () -> fst (Baselines.Gordian.place circuit p0)) in
+  { wl = Metrics.Wirelength.hpwl circuit (finalize circuit global); cpu }
+
+let run_annealer circuit p0 =
+  let config = annealer_config circuit in
+  let (global, cpu) =
+    time (fun () -> fst (Baselines.Annealer.place ~config circuit p0))
+  in
+  { wl = Metrics.Wirelength.hpwl circuit (finalize circuit global); cpu }
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1 and 2: wire length and CPU across the nine circuits        *)
+
+type t1_row = {
+  name : string;
+  cells : int;
+  nets : int;
+  rows : int;
+  annealer : flow_result;
+  gordian : flow_result;
+  ours : flow_result;
+}
+
+let table1_rows = ref ([] : t1_row list)
+
+let compute_table1 () =
+  if !table1_rows = [] then
+    table1_rows :=
+      List.map
+        (fun (prof : Circuitgen.Profiles.t) ->
+          let name = prof.Circuitgen.Profiles.profile_name in
+          let _, circuit, p0 = build_profile name in
+          Printf.eprintf "[table1] %s (%d cells)...\n%!" name
+            (Netlist.Circuit.num_cells circuit);
+          {
+            name;
+            cells = Netlist.Circuit.num_cells circuit;
+            nets = Netlist.Circuit.num_nets circuit;
+            rows = Netlist.Circuit.num_rows circuit;
+            annealer = run_annealer circuit p0;
+            gordian = run_gordian circuit p0;
+            ours = run_kraftwerk circuit p0;
+          })
+        Circuitgen.Profiles.all;
+  !table1_rows
+
+let table1 () =
+  let rows = compute_table1 () in
+  print_endline "";
+  print_endline
+    "Table 1: wire length (HPWL, length units) and CPU (s) — legalised results";
+  Printf.printf "%-11s %7s %7s %5s | %12s %8s | %12s %8s | %12s %8s\n" "circuit"
+    "#cells" "#nets" "#rows" "SA wl" "SA cpu" "Gordian wl" "Go cpu" "Ours wl"
+    "Ours cpu";
+  List.iter
+    (fun r ->
+      Printf.printf "%-11s %7d %7d %5d | %12.4g %8.1f | %12.4g %8.1f | %12.4g %8.1f\n"
+        r.name r.cells r.nets r.rows r.annealer.wl r.annealer.cpu r.gordian.wl
+        r.gordian.cpu r.ours.wl r.ours.cpu)
+    rows
+
+let table2 () =
+  let rows = compute_table1 () in
+  print_endline "";
+  print_endline
+    "Table 2: wire-length improvement of our approach (positive = ours better)";
+  Printf.printf "%-11s | %12s %9s | %12s %9s\n" "circuit" "vs SA %" "rel CPU"
+    "vs Gordian %" "rel CPU";
+  let acc_sa = ref 0. and acc_go = ref 0. and n = ref 0 in
+  List.iter
+    (fun r ->
+      let imp_sa = 100. *. (r.annealer.wl -. r.ours.wl) /. r.annealer.wl in
+      let imp_go = 100. *. (r.gordian.wl -. r.ours.wl) /. r.gordian.wl in
+      acc_sa := !acc_sa +. imp_sa;
+      acc_go := !acc_go +. imp_go;
+      incr n;
+      Printf.printf "%-11s | %12.1f %9.2f | %12.1f %9.2f\n" r.name imp_sa
+        (r.ours.cpu /. Float.max r.annealer.cpu 1e-9)
+        imp_go
+        (r.ours.cpu /. Float.max r.gordian.cpu 1e-9))
+    rows;
+  Printf.printf "%-11s | %12.1f %9s | %12.1f %9s\n" "average"
+    (!acc_sa /. float_of_int !n) "" (!acc_go /. float_of_int !n) "";
+  (* Shape comparison against the paper's published ratios: the absolute
+     wire lengths are not comparable (synthetic circuits), but the
+     ours/baseline ratio is. *)
+  print_endline "";
+  print_endline
+    "Paper-vs-measured shape: wire-length ratio ours/baseline (< 1 = ours wins)";
+  Printf.printf "%-11s | %10s %10s | %10s %10s\n" "circuit" "paper o/TW"
+    "meas o/SA" "paper o/Go" "meas o/Go";
+  List.iter
+    (fun r ->
+      let prof = Circuitgen.Profiles.find r.name in
+      let paper = prof.Circuitgen.Profiles.paper in
+      let fmt_ratio num den =
+        match (num, den) with
+        | Some a, Some b when b > 0. -> Printf.sprintf "%10.2f" (a /. b)
+        | _ -> Printf.sprintf "%10s" "-"
+      in
+      Printf.printf "%-11s | %s %10.2f | %s %10.2f\n" r.name
+        (fmt_ratio paper.Circuitgen.Profiles.wl_ours
+           paper.Circuitgen.Profiles.wl_timberwolf)
+        (r.ours.wl /. r.annealer.wl)
+        (fmt_ratio paper.Circuitgen.Profiles.wl_ours
+           paper.Circuitgen.Profiles.wl_gordian)
+        (r.ours.wl /. r.gordian.wl))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Tables 3 and 4: timing                                              *)
+
+let timing_circuits = [ "fract"; "struct"; "biomed"; "avq.small"; "avq.large" ]
+
+type t3_row = {
+  tname : string;
+  lower : float;
+  sa_without : float;
+  sa_with : float;
+  sa_cpu : float;
+  ours_without : float;
+  ours_with : float;
+  ours_cpu : float;
+}
+
+let table34_rows = ref ([] : t3_row list)
+
+let compute_table34 () =
+  if !table34_rows = [] then
+    table34_rows :=
+      List.map
+        (fun name ->
+          let _, circuit, p0 = build_profile name in
+          Printf.eprintf "[table3/4] %s...\n%!" name;
+          let tp = Timing.Params.default in
+          let lower = Timing.Sta.lower_bound tp circuit in
+          let delay_of p = (Timing.Sta.analyse tp circuit p).Timing.Sta.max_delay in
+          (* Ours. *)
+          let (ours, ours_cpu) =
+            time (fun () ->
+                let state, _ =
+                  Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0
+                in
+                let plain = delay_of state.Kraftwerk.Placer.placement in
+                let opt =
+                  Timing.Driven.optimize ~params:tp Kraftwerk.Config.standard
+                    circuit p0
+                in
+                (plain, delay_of opt.Timing.Driven.placement))
+          in
+          (* Timing-driven annealing baseline. *)
+          let config = annealer_config circuit in
+          let (sa, sa_cpu) =
+            time (fun () ->
+                let r = Baselines.Timing_sa.place ~config ~params:tp circuit p0 in
+                (r.Baselines.Timing_sa.initial_delay,
+                 r.Baselines.Timing_sa.final_delay))
+          in
+          {
+            tname = name;
+            lower;
+            sa_without = fst sa;
+            sa_with = snd sa;
+            sa_cpu;
+            ours_without = fst ours;
+            ours_with = snd ours;
+            ours_cpu;
+          })
+        timing_circuits;
+  !table34_rows
+
+let table3 () =
+  let rows = compute_table34 () in
+  print_endline "";
+  print_endline "Table 3: longest path (ns) without / with timing optimisation";
+  Printf.printf "%-11s | %9s %9s %8s | %9s %9s %8s\n" "circuit" "SA w/o"
+    "SA with" "SA cpu" "Ours w/o" "Ours with" "Ours cpu";
+  List.iter
+    (fun r ->
+      Printf.printf "%-11s | %9.2f %9.2f %8.1f | %9.2f %9.2f %8.1f\n" r.tname
+        (r.sa_without *. 1e9) (r.sa_with *. 1e9) r.sa_cpu
+        (r.ours_without *. 1e9) (r.ours_with *. 1e9) r.ours_cpu)
+    rows
+
+let table4 () =
+  let rows = compute_table34 () in
+  print_endline "";
+  print_endline
+    "Table 4: exploitation of the optimisation potential (higher = better)";
+  Printf.printf "%-11s | %10s | %8s %8s | %8s %8s\n" "circuit" "lower ns"
+    "SA expl" "rel CPU" "Ours" "rel CPU";
+  let acc_sa = ref 0. and acc_ours = ref 0. and n = ref 0 in
+  List.iter
+    (fun r ->
+      let e_sa =
+        Timing.Driven.exploitation ~unoptimized:r.sa_without
+          ~optimized:r.sa_with ~lower_bound:r.lower
+      in
+      let e_ours =
+        Timing.Driven.exploitation ~unoptimized:r.ours_without
+          ~optimized:r.ours_with ~lower_bound:r.lower
+      in
+      acc_sa := !acc_sa +. e_sa;
+      acc_ours := !acc_ours +. e_ours;
+      incr n;
+      Printf.printf "%-11s | %10.2f | %7.0f%% %8.2f | %7.0f%% %8.2f\n" r.tname
+        (r.lower *. 1e9) (100. *. e_sa)
+        (r.sa_cpu /. Float.max r.ours_cpu 1e-9)
+        (100. *. e_ours) 1.0)
+    rows;
+  Printf.printf "%-11s | %10s | %7.0f%% %8s | %7.0f%% %8s\n" "average" ""
+    (100. *. !acc_sa /. float_of_int !n)
+    "" (100. *. !acc_ours /. float_of_int !n) ""
+
+(* ------------------------------------------------------------------ *)
+(* E5: fast mode vs standard mode                                      *)
+
+let fast_mode () =
+  print_endline "";
+  print_endline "E5: fast mode (K = 0.2) vs standard mode (K = 0.05), §6.1";
+  Printf.printf "%-11s | %12s %8s | %12s %8s | %8s %8s\n" "circuit" "std wl"
+    "std cpu" "fast wl" "fast cpu" "wl +%" "speedup";
+  let acc_wl = ref 0. and acc_sp = ref 0. and n = ref 0 in
+  List.iter
+    (fun name ->
+      let _, circuit, p0 = build_profile name in
+      let std = run_kraftwerk circuit p0 in
+      let fast = run_kraftwerk ~config:Kraftwerk.Config.fast circuit p0 in
+      let dwl = 100. *. (fast.wl -. std.wl) /. std.wl in
+      let sp = std.cpu /. Float.max fast.cpu 1e-9 in
+      acc_wl := !acc_wl +. dwl;
+      acc_sp := !acc_sp +. sp;
+      incr n;
+      Printf.printf "%-11s | %12.4g %8.1f | %12.4g %8.1f | %+7.1f%% %7.1fx\n"
+        name std.wl std.cpu fast.wl fast.cpu dwl sp)
+    [ "fract"; "primary1"; "struct"; "primary2"; "biomed" ];
+  Printf.printf "%-11s | %12s %8s | %12s %8s | %+7.1f%% %7.1fx\n" "average" ""
+    "" "" ""
+    (!acc_wl /. float_of_int !n)
+    (!acc_sp /. float_of_int !n)
+
+(* ------------------------------------------------------------------ *)
+(* E6: timing-requirement trade-off curve                              *)
+
+let tradeoff () =
+  print_endline "";
+  print_endline
+    "E6: timing/area trade-off — two-phase requirement mode on biomed (§5)";
+  let _, circuit, p0 = build_profile "biomed" in
+  let tp = Timing.Params.default in
+  let lower = Timing.Sta.lower_bound tp circuit in
+  (* First find the area-converged delay, then require 45 % of the
+     optimisation potential — inside what E3/E4 show is achievable. *)
+  let probe_state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in
+  let converged =
+    (Timing.Sta.analyse tp circuit probe_state.Kraftwerk.Placer.placement)
+      .Timing.Sta.max_delay
+  in
+  let target = converged -. (0.45 *. (converged -. lower)) in
+  let r =
+    Timing.Driven.meet_requirement ~params:tp ~max_extra_steps:40
+      Kraftwerk.Config.standard circuit p0 ~target
+  in
+  Printf.printf "lower bound %.2f ns; area-converged %.2f ns; target %.2f ns; met=%b\n"
+    (lower *. 1e9)
+    (r.Timing.Driven.initial_delay *. 1e9)
+    (target *. 1e9) r.Timing.Driven.met;
+  Printf.printf "%6s %14s %10s\n" "step" "hpwl" "delay ns";
+  List.iter
+    (fun (pt : Timing.Driven.trace_point) ->
+      Printf.printf "%6d %14.4g %10.2f\n" pt.Timing.Driven.at_step
+        pt.Timing.Driven.hpwl
+        (pt.Timing.Driven.delay *. 1e9))
+    r.Timing.Driven.trace
+
+(* ------------------------------------------------------------------ *)
+(* E7: ECO stability                                                   *)
+
+let eco () =
+  print_endline "";
+  print_endline "E7: ECO — netlist perturbation and incremental re-placement (§5)";
+  let _, circuit, p0 = build_profile "biomed" in
+  let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in
+  let placed = state.Kraftwerk.Placer.placement in
+  let rng = Numeric.Rng.create 123 in
+  let circuit' = Kraftwerk.Eco.rewire circuit rng ~fraction:0.02 in
+  let circuit' =
+    Kraftwerk.Eco.resize circuit' rng ~fraction:0.05 ~scale_range:(1.2, 1.6)
+  in
+  let adapted, reports =
+    Kraftwerk.Eco.replace Kraftwerk.Config.standard circuit'
+      (Netlist.Placement.copy placed) ~max_steps:12
+  in
+  let region = circuit.Netlist.Circuit.region in
+  let diag =
+    sqrt
+      (((Geometry.Rect.width region) ** 2.)
+      +. ((Geometry.Rect.height region) ** 2.))
+  in
+  let n_mov = Netlist.Circuit.num_movable circuit in
+  let mean_disp =
+    Netlist.Placement.displacement placed adapted /. float_of_int n_mov
+  in
+  Printf.printf
+    "2%% nets rewired + 5%% gates resized; %d transformations\n"
+    (List.length reports);
+  Printf.printf "mean displacement %.2f units (%.2f%% of die diagonal), max %.1f\n"
+    mean_disp
+    (100. *. mean_disp /. diag)
+    (Netlist.Placement.max_displacement placed adapted);
+  Printf.printf "hpwl before %.4g, after %.4g\n"
+    (Metrics.Wirelength.hpwl circuit placed)
+    (Metrics.Wirelength.hpwl circuit' adapted)
+
+(* ------------------------------------------------------------------ *)
+(* E8: mixed block/cell floorplanning                                  *)
+
+let floorplan () =
+  print_endline "";
+  print_endline "E8: mixed block/cell floorplanning (§5)";
+  Printf.printf "%-11s %7s %7s | %12s %12s %9s %6s\n" "circuit" "#cells"
+    "#blocks" "global wl" "final wl" "blk disp" "legal";
+  List.iter
+    (fun (name, blocks) ->
+      let prof = Circuitgen.Profiles.find name in
+      let params =
+        { (Circuitgen.Profiles.params ~scale:!scale prof ~seed:!seed) with
+          Circuitgen.Gen.num_blocks = blocks }
+      in
+      let circuit, pads = Circuitgen.Gen.generate params in
+      let p0 = Circuitgen.Gen.initial_placement circuit pads in
+      let r = Floorplan.Mixed.place Kraftwerk.Config.standard circuit p0 in
+      let rects = Floorplan.Mixed.block_rects circuit r.Floorplan.Mixed.placement in
+      let block_overlaps = ref 0 in
+      List.iteri
+        (fun i (_, a) ->
+          List.iteri
+            (fun j (_, b) ->
+              if j > i && Geometry.Rect.overlap_area a b > 1e-6 then
+                incr block_overlaps)
+            rects)
+        rects;
+      Printf.printf "%-11s %7d %7d | %12.4g %12.4g %9.1f %6b\n" name
+        (Netlist.Circuit.num_cells circuit)
+        blocks r.Floorplan.Mixed.hpwl_global r.Floorplan.Mixed.hpwl_final
+        r.Floorplan.Mixed.block_displacement
+        (!block_overlaps = 0
+        && Legalize.Check.is_legal circuit r.Floorplan.Mixed.placement))
+    [ ("primary1", 8); ("struct", 10); ("biomed", 14) ]
+
+(* ------------------------------------------------------------------ *)
+(* E9/E10: congestion- and heat-driven placement                       *)
+
+let congestion () =
+  print_endline "";
+  print_endline "E9: congestion-driven placement (§5)";
+  let _, circuit, p0 = build_profile "industry2" in
+  let nx, ny = Density.Density_map.auto_bins circuit in
+  let run hooks =
+    let state, _ = Kraftwerk.Placer.run ?hooks Kraftwerk.Config.standard circuit p0 in
+    let p = state.Kraftwerk.Placer.placement in
+    (* The estimator drives the loop; the actual coarse global router
+       validates the result. *)
+    let routed = Route.Grouter.route circuit p ~nx ~ny in
+    (Metrics.Wirelength.hpwl circuit p,
+     (Route.Congest.estimate circuit p ~nx ~ny).Route.Congest.total_overflow,
+     routed.Route.Grouter.total_overflow,
+     routed.Route.Grouter.total_wirelength)
+  in
+  let wl0, est0, rt0, rwl0 = run None in
+  let hooks =
+    { Kraftwerk.Placer.no_hooks with
+      Kraftwerk.Placer.extra_density =
+        Some (fun c p ~nx ~ny -> Route.Congest.extra_density ~strength:1.0 c p ~nx ~ny) }
+  in
+  let wl1, est1, rt1, rwl1 = run (Some hooks) in
+  Printf.printf
+    "plain:             hpwl %.4g  est overflow %.4g  routed overflow %.4g  routed wl %.4g\n"
+    wl0 est0 rt0 rwl0;
+  Printf.printf
+    "congestion-driven: hpwl %.4g  est overflow %.4g (%+.1f%%)  routed overflow %.4g (%+.1f%%)  routed wl %.4g\n"
+    wl1 est1
+    (100. *. (est1 -. est0) /. Float.max est0 1e-9)
+    rt1
+    (100. *. (rt1 -. rt0) /. Float.max rt0 1e-9)
+    rwl1
+
+let heat () =
+  print_endline "";
+  print_endline "E10: heat-driven placement (§5)";
+  let _, circuit, p0 = build_profile "biomed" in
+  let nx, ny = Density.Density_map.auto_bins circuit in
+  let run hooks =
+    let state, _ = Kraftwerk.Placer.run ?hooks Kraftwerk.Config.standard circuit p0 in
+    let p = state.Kraftwerk.Placer.placement in
+    (Metrics.Wirelength.hpwl circuit p,
+     (Route.Heat.analyse circuit p ~nx ~ny).Route.Heat.peak)
+  in
+  let wl0, pk0 = run None in
+  let hooks =
+    { Kraftwerk.Placer.no_hooks with
+      Kraftwerk.Placer.extra_density =
+        Some (fun c p ~nx ~ny -> Route.Heat.extra_density ~strength:1.0 c p ~nx ~ny) }
+  in
+  let wl1, pk1 = run (Some hooks) in
+  Printf.printf "plain:       hpwl %.4g  peak heat %.4g\n" wl0 pk0;
+  Printf.printf "heat-driven: hpwl %.4g  peak heat %.4g (%+.1f%%)\n" wl1 pk1
+    (100. *. (pk1 -. pk0) /. Float.max pk0 1e-30)
+
+(* ------------------------------------------------------------------ *)
+(* A2: linearisation ablation                                          *)
+
+let linearization () =
+  print_endline "";
+  print_endline
+    "A2: net-weight linearisation ablation — quadratic vs GORDIAN-L scaling";
+  Printf.printf "%-11s | %12s %6s | %12s %6s\n" "circuit" "quad wl" "steps"
+    "linear wl" "steps";
+  List.iter
+    (fun name ->
+      let _, circuit, p0 = build_profile name in
+      let run cfg =
+        let state, reports = Kraftwerk.Placer.run cfg circuit p0 in
+        ( Metrics.Wirelength.hpwl circuit
+            (finalize circuit state.Kraftwerk.Placer.placement),
+          List.length reports )
+      in
+      let qwl, qs = run Kraftwerk.Config.standard in
+      let lwl, ls =
+        run { Kraftwerk.Config.standard with Kraftwerk.Config.linearize = true }
+      in
+      Printf.printf "%-11s | %12.4g %6d | %12.4g %6d\n" name qwl qs lwl ls)
+    [ "fract"; "primary1"; "struct" ]
+
+(* ------------------------------------------------------------------ *)
+(* A4: final-placer ablation                                           *)
+
+let final_placer () =
+  print_endline "";
+  print_endline
+    "A4: final-placement ablation — Abacus alone, +improve, +Domino flow/reorder";
+  Printf.printf "%-11s | %12s %12s %12s %12s\n" "circuit" "abacus" "+improve"
+    "+domino" "tetris ref";
+  List.iter
+    (fun name ->
+      let _, circuit, p0 = build_profile name in
+      let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in
+      let global = state.Kraftwerk.Placer.placement in
+      let abacus = (Legalize.Abacus.legalize circuit global ()).Legalize.Abacus.placement in
+      let w_abacus = Metrics.Wirelength.hpwl circuit abacus in
+      let improved = Netlist.Placement.copy abacus in
+      ignore (Legalize.Improve.run circuit improved);
+      let w_improved = Metrics.Wirelength.hpwl circuit improved in
+      ignore (Legalize.Domino.run circuit improved);
+      let w_domino = Metrics.Wirelength.hpwl circuit improved in
+      let tetris = (Legalize.Tetris.legalize circuit global ()).Legalize.Tetris.placement in
+      let w_tetris = Metrics.Wirelength.hpwl circuit tetris in
+      Printf.printf "%-11s | %12.4g %12.4g %12.4g %12.4g\n" name w_abacus
+        w_improved w_domino w_tetris)
+    [ "fract"; "primary1"; "struct" ]
+
+(* ------------------------------------------------------------------ *)
+(* A6: net-model ablation (clique vs Bound2Bound)                      *)
+
+let net_model () =
+  print_endline "";
+  print_endline
+    "A6: net-model ablation — paper's clique vs Bound2Bound under force injection";
+  Printf.printf "%-11s | %12s %6s | %12s %6s | %8s\n" "circuit" "clique wl"
+    "steps" "b2b wl" "steps" "wl Δ%";
+  List.iter
+    (fun name ->
+      let _, circuit, p0 = build_profile name in
+      let run cfg =
+        let state, reports = Kraftwerk.Placer.run cfg circuit p0 in
+        ( Metrics.Wirelength.hpwl circuit
+            (finalize circuit state.Kraftwerk.Placer.placement),
+          List.length reports )
+      in
+      let cw, cs = run Kraftwerk.Config.standard in
+      let bw, bs =
+        run
+          { Kraftwerk.Config.standard with
+            Kraftwerk.Config.net_model = Qp.System.Bound2bound }
+      in
+      Printf.printf "%-11s | %12.4g %6d | %12.4g %6d | %+7.1f%%\n" name cw cs bw
+        bs
+        (100. *. (bw -. cw) /. cw))
+    [ "fract"; "primary1"; "struct" ]
+
+(* ------------------------------------------------------------------ *)
+(* A5: multilevel (clustered) placement extension                      *)
+
+let multilevel () =
+  print_endline "";
+  print_endline
+    "A5: multilevel extension — cluster, place coarse, expand, refine";
+  Printf.printf "%-11s | %12s %8s | %12s %8s | %8s\n" "circuit" "flat wl"
+    "cpu" "multilevel wl" "cpu" "wl Δ%";
+  List.iter
+    (fun name ->
+      let prof = Circuitgen.Profiles.find name in
+      let params = Circuitgen.Profiles.params ~scale:!scale prof ~seed:!seed in
+      let circuit, pads = Circuitgen.Gen.generate params in
+      let p0 = Circuitgen.Gen.initial_placement circuit pads in
+      let (flat, flat_cpu) =
+        time (fun () ->
+            let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in
+            finalize circuit state.Kraftwerk.Placer.placement)
+      in
+      let (ml, ml_cpu) =
+        time (fun () ->
+            finalize circuit
+              (Kraftwerk.Cluster.place_multilevel Kraftwerk.Config.standard
+                 circuit ~fixed_positions:pads p0))
+      in
+      let flat_wl = Metrics.Wirelength.hpwl circuit flat in
+      let ml_wl = Metrics.Wirelength.hpwl circuit ml in
+      Printf.printf "%-11s | %12.4g %8.1f | %12.4g %8.1f | %+7.1f%%\n" name
+        flat_wl flat_cpu ml_wl ml_cpu
+        (100. *. (ml_wl -. flat_wl) /. flat_wl))
+    [ "primary1"; "struct"; "biomed" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (A1, A3 and kernel costs)                 *)
+
+let micro () =
+  print_endline "";
+  print_endline "Micro-benchmarks (bechamel): numerical kernels";
+  let open Bechamel in
+  let density_grid n =
+    let rng = Numeric.Rng.create 5 in
+    Array.init (n * n) (fun _ -> Numeric.Rng.uniform rng (-1.) 1.)
+  in
+  let g24 = density_grid 24 in
+  let g48 = density_grid 48 in
+  let _, circuit, p0 = build_profile "primary1" in
+  let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in
+  let placed = state.Kraftwerk.Placer.placement in
+  let weights = Array.make (Netlist.Circuit.num_nets circuit) 1. in
+  let system =
+    Qp.System.build circuit ~placement:placed ~net_weights:weights
+      ~edge_scale:Qp.Weights.quadratic ()
+  in
+  let n_mov = Qp.System.num_movable system in
+  let tests =
+    [
+      Test.make ~name:"poisson-direct-24"
+        (Staged.stage (fun () ->
+             Numeric.Poisson.direct_force_field ~rows:24 ~cols:24 ~hx:1. ~hy:1. g24));
+      Test.make ~name:"poisson-fft-24"
+        (Staged.stage (fun () ->
+             Numeric.Poisson.fft_force_field ~rows:24 ~cols:24 ~hx:1. ~hy:1. g24));
+      Test.make ~name:"poisson-fft-48"
+        (Staged.stage (fun () ->
+             Numeric.Poisson.fft_force_field ~rows:48 ~cols:48 ~hx:1. ~hy:1. g48));
+      Test.make ~name:"poisson-sor-24"
+        (Staged.stage (fun () ->
+             Numeric.Poisson.sor_potential ~rows:24 ~cols:24 ~hx:1. ~hy:1.
+               ~max_iter:500 g24));
+      Test.make ~name:"qp-assemble-primary1"
+        (Staged.stage (fun () ->
+             Qp.System.build circuit ~placement:placed ~net_weights:weights
+               ~edge_scale:Qp.Weights.quadratic ()));
+      Test.make ~name:"qp-solve-primary1"
+        (Staged.stage (fun () ->
+             Qp.System.solve system
+               ~placement:(Netlist.Placement.copy placed)
+               ~ex:(Array.make n_mov 0.) ~ey:(Array.make n_mov 0.)));
+      Test.make ~name:"density-map-primary1"
+        (Staged.stage (fun () ->
+             let nx, ny = Density.Density_map.auto_bins circuit in
+             Density.Density_map.build circuit placed ~nx ~ny ()));
+      Test.make ~name:"sta-primary1"
+        (Staged.stage (fun () ->
+             Timing.Sta.analyse Timing.Params.default circuit placed));
+      Test.make ~name:"hpwl-primary1"
+        (Staged.stage (fun () -> Metrics.Wirelength.hpwl circuit placed));
+      Test.make ~name:"assignment-16x16"
+        (Staged.stage
+           (let rng = Numeric.Rng.create 9 in
+            let costs =
+              Array.init 16 (fun _ ->
+                  Array.init 16 (fun _ -> Numeric.Rng.uniform rng 0. 100.))
+            in
+            fun () -> Numeric.Mincostflow.assignment ~costs));
+      Test.make ~name:"grouter-primary1"
+        (Staged.stage (fun () ->
+             let nx, ny = Density.Density_map.auto_bins circuit in
+             Route.Grouter.route circuit placed ~nx ~ny));
+      Test.make ~name:"congest-estimate-primary1"
+        (Staged.stage (fun () ->
+             let nx, ny = Density.Density_map.auto_bins circuit in
+             Route.Congest.estimate circuit placed ~nx ~ny));
+    ]
+  in
+  let test = Test.make_grouped ~name:"kernels" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | Some _ | None -> rows := (name, Float.nan) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) ->
+      if Float.is_nan est then Printf.printf "%-34s (no estimate)\n" name
+      else Printf.printf "%-34s %14.0f ns/run\n" name est)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [--table 1|2|3|4] [--experiment \
+     fast-mode|tradeoff|eco|floorplan|congestion|heat|linearization|final-placer|multilevel] \
+     [--micro] [--scale S] [--seed N]";
+  exit 1
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let tables = ref [] and experiments = ref [] and want_micro = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | "--seed" :: v :: rest ->
+      seed := int_of_string v;
+      parse rest
+    | "--table" :: v :: rest ->
+      tables := int_of_string v :: !tables;
+      parse rest
+    | "--experiment" :: v :: rest ->
+      experiments := v :: !experiments;
+      parse rest
+    | "--micro" :: rest ->
+      want_micro := true;
+      parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  let run_experiment = function
+    | "fast-mode" -> fast_mode ()
+    | "tradeoff" -> tradeoff ()
+    | "eco" -> eco ()
+    | "floorplan" -> floorplan ()
+    | "congestion" -> congestion ()
+    | "heat" -> heat ()
+    | "linearization" -> linearization ()
+    | "final-placer" -> final_placer ()
+    | "multilevel" -> multilevel ()
+    | "net-model" -> net_model ()
+    | other ->
+      Printf.eprintf "unknown experiment: %s\n" other;
+      exit 1
+  in
+  let run_table = function
+    | 1 -> table1 ()
+    | 2 -> table2 ()
+    | 3 -> table3 ()
+    | 4 -> table4 ()
+    | other ->
+      Printf.eprintf "unknown table: %d\n" other;
+      exit 1
+  in
+  if !tables = [] && !experiments = [] && not !want_micro then begin
+    (* Default: everything. *)
+    Printf.printf "Kraftwerk reproduction — full experiment run (scale %.2f)\n" !scale;
+    List.iter run_table [ 1; 2; 3; 4 ];
+    List.iter run_experiment
+      [ "fast-mode"; "tradeoff"; "eco"; "floorplan"; "congestion"; "heat";
+        "linearization"; "final-placer"; "multilevel"; "net-model" ];
+    micro ()
+  end
+  else begin
+    List.iter run_table (List.rev !tables);
+    List.iter run_experiment (List.rev !experiments);
+    if !want_micro then micro ()
+  end

@@ -1,0 +1,189 @@
+(* Command-line front end: generate benchmark circuits, run any of the
+   placement flows, and report quality metrics.
+
+   Examples:
+     place generate --profile struct --seed 7 -o struct.ckt
+     place run --profile biomed --mode standard --timing
+     place run --circuit struct.ckt --flow annealer
+     place profiles *)
+
+let log_steps verbose (r : Kraftwerk.Placer.step_report) =
+  if verbose then
+    Printf.eprintf "step %3d  hpwl %.4g  empty %.4g  cg %d\n%!"
+      r.Kraftwerk.Placer.step r.Kraftwerk.Placer.hpwl
+      r.Kraftwerk.Placer.empty_square_area r.Kraftwerk.Placer.cg_iterations
+
+let load_or_generate ~circuit_file ~profile ~scale ~seed =
+  match (circuit_file, profile) with
+  | Some file, _ when Filename.check_suffix file ".aux" ->
+    (* Bookshelf benchmark. *)
+    Netlist.Bookshelf.load_aux file
+  | Some file, _ ->
+    let c = Netlist.Io.load_circuit file in
+    (* Fixed cells keep the coordinates stored next to the circuit file
+       if present, else the pad ring must be re-derived; the generated
+       format keeps pads at their ring positions via a sidecar file. *)
+    let side = file ^ ".pos" in
+    let p =
+      if Sys.file_exists side then
+        Netlist.Io.load_placement side ~num_cells:(Netlist.Circuit.num_cells c)
+      else Netlist.Placement.create c
+    in
+    (c, p)
+  | None, Some name ->
+    let prof = Circuitgen.Profiles.find name in
+    let params = Circuitgen.Profiles.params ~scale prof ~seed in
+    let c, fixed = Circuitgen.Gen.generate params in
+    (c, Circuitgen.Gen.initial_placement c fixed)
+  | None, None -> failwith "either --circuit or --profile is required"
+
+let report_metrics c placement ~timing =
+  Printf.printf "cells        %d\n" (Netlist.Circuit.num_cells c);
+  Printf.printf "nets         %d\n" (Netlist.Circuit.num_nets c);
+  Printf.printf "hpwl         %.6g\n" (Metrics.Wirelength.hpwl c placement);
+  Printf.printf "overlap      %.4f\n" (Metrics.Overlap.overlap_ratio c placement);
+  Printf.printf "legal        %b\n" (Legalize.Check.is_legal c placement);
+  if timing then begin
+    let sta = Timing.Sta.analyse Timing.Params.default c placement in
+    Printf.printf "longest path %.4g ns\n" (sta.Timing.Sta.max_delay *. 1e9);
+    List.iter
+      (fun path -> Format.printf "%a" (Timing.Paths.pp_path c) path)
+      (Timing.Paths.critical ~k:3 Timing.Params.default c placement)
+  end
+
+let cmd_generate profile scale seed output =
+  let prof = Circuitgen.Profiles.find profile in
+  let params = Circuitgen.Profiles.params ~scale prof ~seed in
+  let c, fixed = Circuitgen.Gen.generate params in
+  Netlist.Io.save_circuit output c;
+  let p = Circuitgen.Gen.initial_placement c fixed in
+  Netlist.Io.save_placement (output ^ ".pos") p;
+  Printf.printf "wrote %s (%d cells, %d nets) and %s.pos\n" output
+    (Netlist.Circuit.num_cells c) (Netlist.Circuit.num_nets c) output
+
+let cmd_run circuit_file profile scale seed flow mode timing verbose output svg =
+  let c, p0 = load_or_generate ~circuit_file ~profile ~scale ~seed in
+  let config =
+    match mode with
+    | "standard" -> Kraftwerk.Config.standard
+    | "fast" -> Kraftwerk.Config.fast
+    | other -> failwith ("unknown mode: " ^ other)
+  in
+  let t0 = Unix.gettimeofday () in
+  let global =
+    match flow with
+    | "kraftwerk" ->
+      if timing then
+        (Timing.Driven.optimize config c p0).Timing.Driven.placement
+      else begin
+        let hooks =
+          { Kraftwerk.Placer.no_hooks with
+            Kraftwerk.Placer.on_step = Some (log_steps verbose) }
+        in
+        let state, _ = Kraftwerk.Placer.run ~hooks config c p0 in
+        state.Kraftwerk.Placer.placement
+      end
+    | "multilevel" ->
+      (* Fixed positions are whatever the initial placement pins. *)
+      let fixed =
+        Array.to_list c.Netlist.Circuit.cells
+        |> List.filter_map (fun (cl : Netlist.Cell.t) ->
+               if cl.Netlist.Cell.fixed then
+                 Some
+                   (cl.Netlist.Cell.id,
+                    (p0.Netlist.Placement.x.(cl.Netlist.Cell.id),
+                     p0.Netlist.Placement.y.(cl.Netlist.Cell.id)))
+               else None)
+      in
+      Kraftwerk.Cluster.place_multilevel config c ~fixed_positions:fixed p0
+    | "gordian" -> fst (Baselines.Gordian.place c p0)
+    | "annealer" ->
+      if timing then (Baselines.Timing_sa.place c p0).Baselines.Timing_sa.placement
+      else fst (Baselines.Annealer.place c p0)
+    | "floorplan" -> (Floorplan.Mixed.place config c p0).Floorplan.Mixed.placement
+    | other -> failwith ("unknown flow: " ^ other)
+  in
+  let final =
+    if flow = "floorplan" then global
+    else begin
+      let rep = Legalize.Abacus.legalize c global () in
+      let lp = rep.Legalize.Abacus.placement in
+      ignore (Legalize.Improve.run c lp);
+      ignore (Legalize.Domino.run c lp);
+      lp
+    end
+  in
+  let t1 = Unix.gettimeofday () in
+  Printf.printf "flow         %s (%s mode)\n" flow mode;
+  Printf.printf "cpu          %.2f s\n" (t1 -. t0);
+  report_metrics c final ~timing;
+  (match output with
+  | Some file ->
+    Netlist.Io.save_placement file final;
+    Printf.printf "placement    written to %s\n" file
+  | None -> ());
+  match svg with
+  | Some file ->
+    Viz.Svg.save file c final;
+    Printf.printf "svg          written to %s\n" file
+  | None -> ()
+
+let cmd_profiles () =
+  Printf.printf "%-12s %8s %8s %6s\n" "profile" "cells" "nets" "rows";
+  List.iter
+    (fun (p : Circuitgen.Profiles.t) ->
+      Printf.printf "%-12s %8d %8d %6d\n" p.Circuitgen.Profiles.profile_name
+        p.Circuitgen.Profiles.cells p.Circuitgen.Profiles.nets
+        p.Circuitgen.Profiles.rows)
+    Circuitgen.Profiles.all
+
+open Cmdliner
+
+let profile_arg =
+  Arg.(value & opt (some string) None & info [ "profile" ] ~doc:"Benchmark profile name.")
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Shrink factor for quick runs (0,1].")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
+
+let generate_cmd =
+  let profile =
+    Arg.(required & opt (some string) None & info [ "profile" ] ~doc:"Profile name.")
+  in
+  let output =
+    Arg.(value & opt string "circuit.ckt" & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a benchmark circuit")
+    Term.(const cmd_generate $ profile $ scale_arg $ seed_arg $ output)
+
+let run_cmd =
+  let circuit =
+    Arg.(value & opt (some string) None & info [ "circuit" ] ~doc:"Circuit file (.ckt text format or Bookshelf .aux).")
+  in
+  let flow =
+    Arg.(value & opt string "kraftwerk"
+         & info [ "flow" ] ~doc:"kraftwerk | multilevel | gordian | annealer | floorplan")
+  in
+  let mode =
+    Arg.(value & opt string "standard" & info [ "mode" ] ~doc:"standard | fast")
+  in
+  let timing = Arg.(value & flag & info [ "timing" ] ~doc:"Timing-driven.") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log steps.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Save placement.")
+  in
+  let svg =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~doc:"Render the placement to an SVG file.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Place a circuit and report metrics")
+    Term.(const cmd_run $ circuit $ profile_arg $ scale_arg $ seed_arg $ flow
+          $ mode $ timing $ verbose $ output $ svg)
+
+let profiles_cmd =
+  Cmd.v (Cmd.info "profiles" ~doc:"List benchmark profiles")
+    Term.(const cmd_profiles $ const ())
+
+let () =
+  let doc = "force-directed global placement and floorplanning" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "place" ~doc) [ generate_cmd; run_cmd; profiles_cmd ]))

@@ -1,0 +1,1 @@
+examples/bookshelf_flow.ml: Circuitgen Filename Float Kraftwerk Legalize Metrics Netlist Printf Sys Unix

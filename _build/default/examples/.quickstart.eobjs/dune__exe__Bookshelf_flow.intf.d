@@ -1,0 +1,1 @@
+examples/bookshelf_flow.mli:

@@ -1,0 +1,1 @@
+examples/congestion_heat.ml: Circuitgen Density Float Kraftwerk Metrics Printf Route

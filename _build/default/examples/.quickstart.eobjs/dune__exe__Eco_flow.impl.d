@@ -1,0 +1,1 @@
+examples/eco_flow.ml: Array Circuitgen Geometry Kraftwerk List Metrics Netlist Numeric Printf

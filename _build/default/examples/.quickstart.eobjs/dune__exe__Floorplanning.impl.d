@@ -1,0 +1,1 @@
+examples/floorplanning.ml: Array Circuitgen Floorplan Geometry Kraftwerk Legalize List Netlist Printf

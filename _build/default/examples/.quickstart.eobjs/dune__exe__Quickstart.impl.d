@@ -1,0 +1,1 @@
+examples/quickstart.ml: Circuitgen Kraftwerk Legalize List Metrics Netlist Printf

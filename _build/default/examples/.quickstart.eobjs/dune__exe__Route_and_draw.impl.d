@@ -1,0 +1,1 @@
+examples/route_and_draw.ml: Circuitgen Density Geometry Kraftwerk Legalize Metrics Netlist Printf Route Viz

@@ -1,0 +1,1 @@
+examples/timing_driven.ml: Circuitgen Format Kraftwerk List Metrics Printf Timing

@@ -1,0 +1,58 @@
+(* ECO / logic-synthesis interaction (paper §5): perturb a placed
+   netlist — rewire some nets, resize some gates, add a few cells — and
+   re-place incrementally.  The density deviations are small, so the
+   resulting forces move only the surroundings; the placement stays
+   close to the original.
+
+     dune exec examples/eco_flow.exe *)
+
+let () =
+  let profile = Circuitgen.Profiles.find "primary1" in
+  let params = Circuitgen.Profiles.params profile ~seed:5 in
+  let circuit, pads = Circuitgen.Gen.generate params in
+  let initial = Circuitgen.Gen.initial_placement circuit pads in
+  let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit initial in
+  let placed = state.Kraftwerk.Placer.placement in
+  Printf.printf "baseline placement: hpwl %.4g\n" (Metrics.Wirelength.hpwl circuit placed);
+
+  (* The ECO: 2%% of nets rewired, 5%% of gates resized, 4 cells added. *)
+  let rng = Numeric.Rng.create 99 in
+  let circuit' = Kraftwerk.Eco.rewire circuit rng ~fraction:0.02 in
+  let circuit' = Kraftwerk.Eco.resize circuit' rng ~fraction:0.05 ~scale_range:(1.2, 1.8) in
+  let circuit', placement' =
+    Kraftwerk.Eco.add_cells circuit' placed rng
+      ~specs:[ (12., 16.); (20., 16.); (8., 16.); (16., 16.) ]
+  in
+  Printf.printf "after ECO edits: %d cells, %d nets\n"
+    (Netlist.Circuit.num_cells circuit')
+    (Netlist.Circuit.num_nets circuit');
+
+  (* Incremental re-placement from the existing coordinates. *)
+  let adapted, reports =
+    Kraftwerk.Eco.replace Kraftwerk.Config.standard circuit' placement'
+      ~max_steps:12
+  in
+  (* Compare displacement of the original cells only. *)
+  let n = Netlist.Circuit.num_cells circuit in
+  let moved = ref 0. and worst = ref 0. in
+  for i = 0 to n - 1 do
+    if Netlist.Cell.movable circuit.Netlist.Circuit.cells.(i) then begin
+      let dx = adapted.Netlist.Placement.x.(i) -. placed.Netlist.Placement.x.(i) in
+      let dy = adapted.Netlist.Placement.y.(i) -. placed.Netlist.Placement.y.(i) in
+      let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+      moved := !moved +. d;
+      if d > !worst then worst := d
+    end
+  done;
+  let region = circuit.Netlist.Circuit.region in
+  let diag =
+    sqrt
+      (((Geometry.Rect.width region) ** 2.) +. ((Geometry.Rect.height region) ** 2.))
+  in
+  Printf.printf
+    "incremental re-place: %d transformations, mean displacement %.2f (%.2f%% of the die diagonal), max %.1f\n"
+    (List.length reports)
+    (!moved /. float_of_int (Netlist.Circuit.num_movable circuit))
+    (100. *. !moved /. float_of_int (Netlist.Circuit.num_movable circuit) /. diag)
+    !worst;
+  Printf.printf "adapted hpwl %.4g\n" (Metrics.Wirelength.hpwl circuit' adapted)

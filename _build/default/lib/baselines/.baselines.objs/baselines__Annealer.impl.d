@@ -1,0 +1,1 @@
+lib/baselines/annealer.ml: Array Float Geometry List Metrics Netlist Numeric

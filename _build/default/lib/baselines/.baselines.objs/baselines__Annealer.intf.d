@@ -1,0 +1,1 @@
+lib/baselines/annealer.mli: Netlist

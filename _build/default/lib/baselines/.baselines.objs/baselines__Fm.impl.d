@@ -1,0 +1,1 @@
+lib/baselines/fm.ml: Array Float Fun List

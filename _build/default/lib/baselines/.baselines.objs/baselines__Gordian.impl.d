@@ -1,0 +1,1 @@
+lib/baselines/gordian.ml: Array Float Fm Geometry Hashtbl List Netlist Qp

@@ -1,0 +1,1 @@
+lib/baselines/timing_sa.ml: Annealer Array Netlist Timing

@@ -1,0 +1,1 @@
+lib/baselines/timing_sa.mli: Annealer Netlist Timing

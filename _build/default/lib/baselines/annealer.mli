@@ -1,0 +1,47 @@
+(** A TimberWolf-like row-based simulated-annealing placer ([2]), the
+    second baseline family the paper compares against.
+
+    Cells live on standard-cell rows with continuous x; the cost is
+    weighted half-perimeter wire length plus an overlap penalty, and the
+    move set is single-cell displacement within a shrinking range window
+    plus pairwise swaps, under geometric cooling.  The result still has
+    small overlaps and is legalised by the same final placer as every
+    other flow. *)
+
+type config = {
+  moves_per_cell : int;  (** moves attempted per cell per temperature *)
+  t_steps : int;  (** number of temperature levels *)
+  cooling : float;  (** geometric factor α ∈ (0,1) *)
+  initial_acceptance : float;  (** target acceptance used to set T₀ *)
+  overlap_weight : float;  (** penalty weight λ (per unit overlap height) *)
+  seed : int;
+}
+
+val default_config : config
+
+(** [quick_config] cuts the move budget for tests. *)
+val quick_config : config
+
+type stats = {
+  attempted : int;
+  accepted : int;
+  final_cost : float;
+  final_hpwl : float;
+  final_overlap : float;
+}
+
+(** [place ?config ?net_weights ?keep_arrangement circuit placement]
+    anneals the movable standard cells.  By default the start is a
+    deterministic row-striped arrangement (the incoming [placement] only
+    supplies the fixed-cell coordinates); with [keep_arrangement:true]
+    the incoming coordinates are adopted (rows snapped from y), which
+    lets reweighted continuation rounds refine a previous result.
+    Returns the annealed placement and statistics.  Deterministic in the
+    seed. *)
+val place :
+  ?config:config ->
+  ?net_weights:float array ->
+  ?keep_arrangement:bool ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  Netlist.Placement.t * stats

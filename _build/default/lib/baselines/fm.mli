@@ -1,0 +1,27 @@
+(** Fiduccia–Mattheyses hypergraph bipartitioning with gain buckets.
+
+    The min-cut engine behind the Gordian-like baseline placer (the class
+    of partitioning methods the paper compares against).  Operates on a
+    standalone hypergraph so sub-problems of a recursive placer can be
+    partitioned without rebuilding circuits. *)
+
+(** A hypergraph: [nets.(i)] lists the vertex indices of net i (degree ≥
+    2 after restriction); [areas.(v)] weights the balance constraint. *)
+type hypergraph = { num_vertices : int; areas : float array; nets : int array array }
+
+(** [cut_size h sides] counts nets with vertices on both sides. *)
+val cut_size : hypergraph -> bool array -> int
+
+(** [partition ?max_passes ?balance ?locked h ~sides] improves the given
+    initial 2-way partition in place and returns the final cut size.
+
+    [balance] (default 0.55) bounds either side's area share; passes run
+    until no pass improves the cut or [max_passes] (default 8) is
+    reached.  [locked] vertices never move.  Deterministic. *)
+val partition :
+  ?max_passes:int ->
+  ?balance:float ->
+  ?locked:bool array ->
+  hypergraph ->
+  sides:bool array ->
+  int

@@ -1,0 +1,30 @@
+(** A Gordian-like global placer: global quadratic optimisation combined
+    with recursive min-cut partitioning ([7], the approach the paper
+    benchmarks against).
+
+    Each level solves the full quadratic program with every cell's hold
+    spring aimed at the centre of its current region; regions with more
+    cells than [leaf_limit] are then bisected — cells are ordered by
+    their QP coordinate, split at the area-weighted median, and the cut
+    is refined with FM.  Region assignments are never revisited, which is
+    precisely the "irreversible decisions at early stages" property the
+    paper criticises. *)
+
+type config = {
+  leaf_limit : int;  (** stop splitting below this many cells *)
+  region_anchor : float;  (** hold-spring strength toward region centres *)
+  fm_passes : int;  (** 0 disables cut refinement *)
+  balance : float;  (** FM balance bound *)
+  seed : int;
+}
+
+val default_config : config
+
+(** [place ?config circuit placement] returns the global placement (to be
+    legalised by the caller) and the number of partitioning levels
+    performed. *)
+val place :
+  ?config:config ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  Netlist.Placement.t * int

@@ -1,0 +1,45 @@
+type result = {
+  placement : Netlist.Placement.t;
+  initial_delay : float;
+  final_delay : float;
+  rounds : int;
+}
+
+let place ?(config = Annealer.default_config) ?(params = Timing.Params.default)
+    ?(rounds = 3) (c : Netlist.Circuit.t) placement =
+  let p0, _ = Annealer.place ~config c placement in
+  let initial_delay = (Timing.Sta.analyse params c p0).Timing.Sta.max_delay in
+  let crit = Timing.Criticality.create (Netlist.Circuit.num_nets c) in
+  let weights = Array.make (Netlist.Circuit.num_nets c) 1. in
+  (* Continuation rounds refine the existing arrangement: they must
+     start nearly frozen (reheating to the usual 85 % acceptance would
+     scramble the placement the first round produced). *)
+  let continuation =
+    {
+      config with
+      Annealer.t_steps = max 8 (config.Annealer.t_steps / 3);
+      Annealer.moves_per_cell = max 2 (config.Annealer.moves_per_cell / 2);
+      Annealer.initial_acceptance = 0.05;
+    }
+  in
+  let p = ref p0 in
+  (* Keep the best placement by measured delay: a weighted continuation
+     round that trades too much plain wire length away is discarded. *)
+  let best_p = ref p0 and best_delay = ref initial_delay in
+  for round = 2 to rounds do
+    let sta = Timing.Sta.analyse params c !p in
+    Timing.Criticality.update crit params ~net_slack:sta.Timing.Sta.net_slack;
+    Timing.Criticality.apply_weights ~cap:params.Timing.Params.max_net_weight
+      crit weights;
+    let cfg = { continuation with Annealer.seed = config.Annealer.seed + round } in
+    let p', _ =
+      Annealer.place ~config:cfg ~net_weights:weights ~keep_arrangement:true c !p
+    in
+    p := p';
+    let delay = (Timing.Sta.analyse params c p').Timing.Sta.max_delay in
+    if delay < !best_delay then begin
+      best_delay := delay;
+      best_p := p'
+    end
+  done;
+  { placement = !best_p; initial_delay; final_delay = !best_delay; rounds }

@@ -1,0 +1,21 @@
+(** Timing-driven annealing baseline (the SPEED/TimberWolf-TD class of
+    §6.2): simulated annealing whose wire-length cost weights each net by
+    its timing criticality, refreshed between annealing rounds. *)
+
+type result = {
+  placement : Netlist.Placement.t;
+  initial_delay : float;  (** longest path of the unweighted round *)
+  final_delay : float;
+  rounds : int;
+}
+
+(** [place ?config ?params ?rounds circuit placement] runs one full
+    anneal, then [rounds − 1] (default 2 extra) reweighted continuation
+    rounds at reduced budget. *)
+val place :
+  ?config:Annealer.config ->
+  ?params:Timing.Params.t ->
+  ?rounds:int ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  result

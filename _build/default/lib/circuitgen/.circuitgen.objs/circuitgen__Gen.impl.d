@@ -1,0 +1,1 @@
+lib/circuitgen/gen.ml: Array Geometry List Netlist Numeric Printf

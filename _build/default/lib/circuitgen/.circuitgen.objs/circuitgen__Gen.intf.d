@@ -1,0 +1,1 @@
+lib/circuitgen/gen.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuitgen/profiles.ml: Float Gen List String

@@ -1,0 +1,1 @@
+lib/circuitgen/profiles.mli: Gen

@@ -1,0 +1,1 @@
+lib/circuitgen/stats.ml: Array List Netlist

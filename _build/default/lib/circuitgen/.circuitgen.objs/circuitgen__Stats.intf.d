@@ -1,0 +1,1 @@
+lib/circuitgen/stats.mli: Netlist

@@ -1,0 +1,53 @@
+(** Synthetic benchmark-circuit generator.
+
+    The MCNC circuits used by the paper are not redistributable inside
+    this container, so we generate Rentian netlists with matching size
+    parameters instead (see DESIGN.md, substitutions table).  Key
+    properties preserved:
+
+    - cell/net/row counts per circuit profile;
+    - a realistic net-degree distribution (two-pin dominated, geometric
+      tail, optional huge nets to exercise the > 60-pin STA exclusion);
+    - Rent-style locality: cell indices act as a hierarchy coordinate and
+      most nets connect index-local cells, so partitioning- and
+      force-directed placers both find exploitable structure;
+    - a pad ring of fixed I/O cells around the region boundary;
+    - an acyclic combinational graph (net drivers have the lowest index on
+      the net), so static timing analysis is well defined.
+
+    Generation is deterministic in the seed. *)
+
+type params = {
+  name : string;
+  num_cells : int;  (** movable standard cells *)
+  num_nets : int;
+  num_pads : int;
+  num_rows : int;
+  utilization : float;  (** target core-area utilisation, e.g. 0.8 *)
+  seq_fraction : float;  (** fraction of cells that are registers *)
+  num_blocks : int;  (** macro blocks (floorplanning profiles) *)
+  huge_nets : int;  (** number of > 60-pin nets to add *)
+  seed : int;
+}
+
+(** [default_params ~name ~num_cells ~num_nets ~num_rows ~seed] fills the
+    remaining fields with proportionate defaults (pads ≈ perimeter share,
+    utilisation 0.8, 12 % registers, no blocks, no huge nets). *)
+val default_params :
+  name:string ->
+  num_cells:int ->
+  num_nets:int ->
+  num_rows:int ->
+  seed:int ->
+  params
+
+(** [generate params] builds the circuit together with the pinned
+    positions of its pads (and fixed blocks, if any), ready to seed a
+    {!Netlist.Placement.centered} initial placement. *)
+val generate :
+  params -> Netlist.Circuit.t * (int * (float * float)) list
+
+(** [initial_placement circuit fixed] is
+    [Netlist.Placement.centered circuit ~fixed_positions:fixed]. *)
+val initial_placement :
+  Netlist.Circuit.t -> (int * (float * float)) list -> Netlist.Placement.t

@@ -1,0 +1,38 @@
+(** The nine benchmark profiles of the paper's Table 1.
+
+    Cell, net and row counts follow the published MCNC benchmark
+    statistics the paper placed (fract … avq.large); the netlists
+    themselves are synthetic (see {!Gen}). *)
+
+(** One Table-1 row. *)
+type t = {
+  profile_name : string;
+  cells : int;
+  nets : int;
+  rows : int;
+  paper : paper_numbers;
+}
+
+(** The values the paper reports for this circuit (wire length in metres,
+    CPU in seconds), used by EXPERIMENTS.md comparisons.  [None] where the
+    paper's table has no entry. *)
+and paper_numbers = {
+  wl_timberwolf : float option;
+  wl_gordian : float option;
+  wl_ours : float option;
+  cpu_ours : float option;
+}
+
+(** All nine profiles in Table-1 order. *)
+val all : t list
+
+(** [find name] looks a profile up by name.  Raises [Not_found]. *)
+val find : string -> t
+
+(** [params ?scale t ~seed] converts a profile into generator parameters;
+    [scale] (default 1.0) shrinks cell/net counts proportionally for quick
+    runs while keeping the shape. *)
+val params : ?scale:float -> t -> seed:int -> Gen.params
+
+(** [names] lists the profile names in order. *)
+val names : string list

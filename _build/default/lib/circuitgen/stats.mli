@@ -1,0 +1,30 @@
+(** Structural statistics of circuits — used to validate that the
+    synthetic benchmarks behave like real standard-cell netlists (see the
+    substitution rationale in DESIGN.md).
+
+    The key check is Rent's rule: for a partition of B cells, the number
+    of external nets T follows T ≈ t·Bᵖ with 0.5 ≲ p ≲ 0.75 for real
+    logic.  Because the generator uses cell indices as its locality
+    coordinate, contiguous index windows act as natural partitions. *)
+
+(** Net-degree histogram: [hist.(d)] counts nets of degree [d] (the last
+    bucket aggregates everything above). *)
+val degree_histogram : ?max_degree:int -> Netlist.Circuit.t -> int array
+
+(** [average_degree c] is mean pins per net. *)
+val average_degree : Netlist.Circuit.t -> float
+
+(** [pins_per_cell c] is mean pins per non-pad cell. *)
+val pins_per_cell : Netlist.Circuit.t -> float
+
+(** One Rent data point: partitions of [block_size] cells expose
+    [external_nets] nets on average. *)
+type rent_point = { block_size : int; external_nets : float }
+
+(** [rent_points c] measures external-net counts for index-window
+    partitions of sizes 2, 4, 8, … up to a quarter of the design. *)
+val rent_points : Netlist.Circuit.t -> rent_point list
+
+(** [rent_exponent c] least-squares fits log T = log t + p·log B over
+    {!rent_points} and returns (t, p). *)
+val rent_exponent : Netlist.Circuit.t -> float * float

@@ -1,0 +1,1 @@
+lib/density/density_map.ml: Array Float Geometry Netlist

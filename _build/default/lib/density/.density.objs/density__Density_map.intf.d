@@ -1,0 +1,1 @@
+lib/density/density_map.mli: Geometry Netlist

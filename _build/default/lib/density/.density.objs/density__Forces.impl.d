@@ -1,0 +1,1 @@
+lib/density/forces.ml: Array Density_map Geometry Netlist Numeric

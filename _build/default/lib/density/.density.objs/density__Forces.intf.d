@@ -1,0 +1,1 @@
+lib/density/forces.mli: Geometry Netlist Numeric

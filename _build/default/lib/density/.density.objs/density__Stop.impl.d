@@ -1,0 +1,1 @@
+lib/density/stop.ml: Density_map Geometry Netlist Option

@@ -1,0 +1,1 @@
+lib/density/stop.mli: Netlist

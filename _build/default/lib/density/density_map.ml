@@ -1,0 +1,46 @@
+let auto_bins (c : Netlist.Circuit.t) =
+  let avg = Float.max 1e-12 (Netlist.Circuit.average_cell_area c) in
+  let r = c.Netlist.Circuit.region in
+  (* Bin side ≈ 2 average-cell sides: fine enough to resolve clumps,
+     coarse enough that the FFT stays cheap. *)
+  let side = 2. *. sqrt avg in
+  let clamp n = max 8 (min 128 n) in
+  ( clamp (int_of_float (Float.ceil (Geometry.Rect.width r /. side))),
+    clamp (int_of_float (Float.ceil (Geometry.Rect.height r /. side))) )
+
+let demand (c : Netlist.Circuit.t) p ~nx ~ny =
+  let g = Geometry.Grid2.create c.Netlist.Circuit.region ~nx ~ny in
+  Array.iter
+    (fun (cl : Netlist.Cell.t) ->
+      if cl.Netlist.Cell.kind <> Netlist.Cell.Pad then
+        Geometry.Grid2.splat_rect g
+          (Netlist.Placement.cell_rect c p cl.Netlist.Cell.id)
+          (Netlist.Cell.area cl))
+    c.Netlist.Circuit.cells;
+  g
+
+let build c p ~nx ~ny ?extra () =
+  let g = demand c p ~nx ~ny in
+  (match extra with
+  | None -> ()
+  | Some e ->
+    if Geometry.Grid2.nx e <> nx || Geometry.Grid2.ny e <> ny then
+      invalid_arg "Density_map.build: extra grid dimension mismatch";
+    let ev = Geometry.Grid2.values e and gv = Geometry.Grid2.values g in
+    for i = 0 to Array.length gv - 1 do
+      gv.(i) <- gv.(i) +. ev.(i)
+    done);
+  (* Balance supply so the grid sums to zero (the paper's s, generalised
+     to whatever demand the extra hook injected). *)
+  let bin_area = Geometry.Grid2.dx g *. Geometry.Grid2.dy g in
+  let total_demand = Geometry.Grid2.total g in
+  let s = total_demand /. (bin_area *. float_of_int (nx * ny)) in
+  (* Convert per-bin area into per-unit-area density and subtract s. *)
+  Geometry.Grid2.map_inplace (fun _ _ v -> (v /. bin_area) -. s) g;
+  g
+
+let occupancy c p ~nx ~ny =
+  let g = demand c p ~nx ~ny in
+  let bin_area = Geometry.Grid2.dx g *. Geometry.Grid2.dy g in
+  Geometry.Grid2.map_inplace (fun _ _ v -> v /. bin_area) g;
+  g

@@ -1,0 +1,35 @@
+(** The supply-and-demand density model of the paper's eq. (4):
+
+    D(x,y) = Σᵢ aᵢ(x,y) − s·A(x,y)
+
+    where aᵢ indicates coverage by cell i, A indicates the placement area,
+    and s scales the supply so that ∬D = 0.  We discretise on a bin grid:
+    each bin holds the covered cell area minus s times the bin area,
+    normalised per unit area, so positive bins are over-full and negative
+    bins under-full. *)
+
+(** [auto_bins circuit] picks a grid dimension so a bin holds a handful of
+    average cells, clamped to [8 … 128] per axis. *)
+val auto_bins : Netlist.Circuit.t -> int * int
+
+(** [build circuit placement ~nx ~ny ?extra ()] computes the density grid.
+    Pads are excluded (they sit on the boundary and are not part of the
+    area balance); fixed non-pad cells count as demand, exactly as the
+    paper treats pre-placed blocks.  [extra], when given, is added to the
+    demand term bin-wise {e before} the supply is balanced — the hook used
+    for congestion- and heat-driven placement (§5): the supply scale s is
+    recomputed so the grid still sums to zero. *)
+val build :
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  nx:int ->
+  ny:int ->
+  ?extra:Geometry.Grid2.t ->
+  unit ->
+  Geometry.Grid2.t
+
+(** [occupancy circuit placement ~nx ~ny] is just the demand term —
+    fraction of each bin covered by cells — used by the stopping
+    criterion. *)
+val occupancy :
+  Netlist.Circuit.t -> Netlist.Placement.t -> nx:int -> ny:int -> Geometry.Grid2.t

@@ -1,0 +1,41 @@
+(** Per-cell additional forces from the density field (paper §3.3–§4.1).
+
+    The density grid is turned into a force field by the open-boundary
+    Poisson solution (eq. 9), sampled bilinearly at each movable cell's
+    centre, and scaled so that the strongest cell force equals the spring
+    force of a unit-weight net of length K·(W + H). *)
+
+(** How to evaluate the field. *)
+type solver =
+  | Fft  (** zero-padded FFT convolution (default) *)
+  | Direct  (** O(G⁴) summation — tests and tiny grids *)
+  | Sor  (** Dirichlet SOR potential + gradient (ablation) *)
+
+(** Per-movable-cell force increments, indexed by QP variable index. *)
+type t = {
+  fx : float array;
+  fy : float array;
+  scale : float;  (** the proportionality constant k actually applied *)
+  raw_max : float;  (** largest unscaled |f| over cells *)
+}
+
+(** [at_cells circuit placement ~var_of_cell ~n_movable ~k_param ?solver
+    ?extra ~nx ~ny ()] computes the scaled additional forces:
+    [k_param] is the paper's K (0.2 standard, 1.0 fast).  Returns zero
+    forces when the density is perfectly flat. *)
+val at_cells :
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  var_of_cell:int array ->
+  n_movable:int ->
+  k_param:float ->
+  ?solver:solver ->
+  ?extra:Geometry.Grid2.t ->
+  nx:int ->
+  ny:int ->
+  unit ->
+  t
+
+(** [field_of_grid ?solver grid] exposes the raw (unscaled) field for a
+    prepared density grid — used by tests and the route/heat demos. *)
+val field_of_grid : ?solver:solver -> Geometry.Grid2.t -> Numeric.Poisson.field

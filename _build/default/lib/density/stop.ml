@@ -1,0 +1,10 @@
+let largest_empty_square_area c p ?nx ?ny () =
+  let anx, any_ = Density_map.auto_bins c in
+  let nx = Option.value nx ~default:anx and ny = Option.value ny ~default:any_ in
+  let occ = Density_map.occupancy c p ~nx ~ny in
+  let side = Geometry.Grid2.largest_empty_square occ ~threshold:0.1 in
+  side *. side
+
+let should_stop c p ?(multiplier = 4.) ?nx ?ny () =
+  let avg = Netlist.Circuit.average_cell_area c in
+  largest_empty_square_area c p ?nx ?ny () <= multiplier *. avg

@@ -1,0 +1,27 @@
+(** The paper's §4.2 stopping criterion: iterate until there is no empty
+    square within the placement area larger than four times the average
+    cell area. *)
+
+(** [largest_empty_square_area circuit placement ?nx ?ny ()] measures the
+    area of the largest square of bins whose occupancy is below 10 % —
+    "empty" up to splatter noise.  Bin counts default to
+    {!Density_map.auto_bins}. *)
+val largest_empty_square_area :
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  ?nx:int ->
+  ?ny:int ->
+  unit ->
+  float
+
+(** [should_stop circuit placement ?multiplier ()] is true when the
+    largest empty square is at most [multiplier] (default 4.0, the
+    paper's value) times the average movable-cell area. *)
+val should_stop :
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  ?multiplier:float ->
+  ?nx:int ->
+  ?ny:int ->
+  unit ->
+  bool

@@ -1,0 +1,1 @@
+lib/floorplan/flexible.ml: Array Float Hashtbl Kraftwerk List Metrics Mixed Netlist

@@ -1,0 +1,1 @@
+lib/floorplan/flexible.mli: Kraftwerk Mixed Netlist

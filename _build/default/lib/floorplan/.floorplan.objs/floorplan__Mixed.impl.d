@@ -1,0 +1,1 @@
+lib/floorplan/mixed.ml: Array Float Geometry Kraftwerk Legalize List Metrics Netlist

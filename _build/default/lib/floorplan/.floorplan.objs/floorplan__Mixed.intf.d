@@ -1,0 +1,1 @@
+lib/floorplan/mixed.mli: Geometry Kraftwerk Legalize Netlist

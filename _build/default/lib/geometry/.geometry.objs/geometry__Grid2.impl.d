@@ -1,0 +1,1 @@
+lib/geometry/grid2.ml: Array Float Rect

@@ -1,0 +1,149 @@
+type t = {
+  nx : int;
+  ny : int;
+  region : Rect.t;
+  dx : float;
+  dy : float;
+  values : float array; (* row-major: iy * nx + ix *)
+}
+
+let create region ~nx ~ny =
+  if nx <= 0 || ny <= 0 then invalid_arg "Grid2.create: non-positive dims";
+  if Rect.area region <= 0. then invalid_arg "Grid2.create: empty region";
+  {
+    nx;
+    ny;
+    region;
+    dx = Rect.width region /. float_of_int nx;
+    dy = Rect.height region /. float_of_int ny;
+    values = Array.make (nx * ny) 0.;
+  }
+
+let nx g = g.nx
+
+let ny g = g.ny
+
+let dx g = g.dx
+
+let dy g = g.dy
+
+let region g = g.region
+
+let index g ix iy =
+  assert (ix >= 0 && ix < g.nx && iy >= 0 && iy < g.ny);
+  (iy * g.nx) + ix
+
+let get g ix iy = g.values.(index g ix iy)
+
+let set g ix iy v = g.values.(index g ix iy) <- v
+
+let add g ix iy v =
+  let i = index g ix iy in
+  g.values.(i) <- g.values.(i) +. v
+
+let values g = g.values
+
+let bin_rect g ix iy =
+  let x_lo = g.region.Rect.x_lo +. (float_of_int ix *. g.dx) in
+  let y_lo = g.region.Rect.y_lo +. (float_of_int iy *. g.dy) in
+  Rect.make ~x_lo ~y_lo ~x_hi:(x_lo +. g.dx) ~y_hi:(y_lo +. g.dy)
+
+let bin_center g ix iy =
+  ( g.region.Rect.x_lo +. ((float_of_int ix +. 0.5) *. g.dx),
+    g.region.Rect.y_lo +. ((float_of_int iy +. 0.5) *. g.dy) )
+
+let clamp v lo hi = if v < lo then lo else if v > hi then hi else v
+
+let locate g x y =
+  let ix = int_of_float (Float.floor ((x -. g.region.Rect.x_lo) /. g.dx)) in
+  let iy = int_of_float (Float.floor ((y -. g.region.Rect.y_lo) /. g.dy)) in
+  (clamp ix 0 (g.nx - 1), clamp iy 0 (g.ny - 1))
+
+let sample g x y =
+  (* Bilinear interpolation on the bin-centre lattice. *)
+  let fx = ((x -. g.region.Rect.x_lo) /. g.dx) -. 0.5 in
+  let fy = ((y -. g.region.Rect.y_lo) /. g.dy) -. 0.5 in
+  let ix0 = clamp (int_of_float (Float.floor fx)) 0 (g.nx - 1) in
+  let iy0 = clamp (int_of_float (Float.floor fy)) 0 (g.ny - 1) in
+  let ix1 = clamp (ix0 + 1) 0 (g.nx - 1) in
+  let iy1 = clamp (iy0 + 1) 0 (g.ny - 1) in
+  let tx = clamp (fx -. float_of_int ix0) 0. 1. in
+  let ty = clamp (fy -. float_of_int iy0) 0. 1. in
+  let v00 = get g ix0 iy0 and v10 = get g ix1 iy0 in
+  let v01 = get g ix0 iy1 and v11 = get g ix1 iy1 in
+  let top = v00 +. (tx *. (v10 -. v00)) in
+  let bot = v01 +. (tx *. (v11 -. v01)) in
+  top +. (ty *. (bot -. top))
+
+let splat_rect g rect v =
+  match Rect.intersection rect g.region with
+  | None ->
+    if Rect.area rect = 0. then begin
+      (* Degenerate rectangle: splat into its centre bin if inside. *)
+      let cx, cy = Rect.center rect in
+      if Rect.contains g.region cx cy then begin
+        let ix, iy = locate g cx cy in
+        add g ix iy v
+      end
+    end
+  | Some clipped ->
+    let total_area = Rect.area rect in
+    if total_area = 0. then begin
+      let cx, cy = Rect.center rect in
+      let ix, iy = locate g cx cy in
+      add g ix iy v
+    end
+    else begin
+      let ix_lo, iy_lo = locate g clipped.Rect.x_lo clipped.Rect.y_lo in
+      (* Upper corner is exclusive-ish: nudge inward to pick the right bin. *)
+      let eps_x = g.dx *. 1e-9 and eps_y = g.dy *. 1e-9 in
+      let ix_hi, iy_hi =
+        locate g (clipped.Rect.x_hi -. eps_x) (clipped.Rect.y_hi -. eps_y)
+      in
+      for iy = iy_lo to iy_hi do
+        for ix = ix_lo to ix_hi do
+          let ov = Rect.overlap_area clipped (bin_rect g ix iy) in
+          if ov > 0. then add g ix iy (v *. ov /. total_area)
+        done
+      done
+    end
+
+let fold f init g =
+  let acc = ref init in
+  for iy = 0 to g.ny - 1 do
+    for ix = 0 to g.nx - 1 do
+      acc := f !acc ix iy g.values.((iy * g.nx) + ix)
+    done
+  done;
+  !acc
+
+let map_inplace f g =
+  for iy = 0 to g.ny - 1 do
+    for ix = 0 to g.nx - 1 do
+      let i = (iy * g.nx) + ix in
+      g.values.(i) <- f ix iy g.values.(i)
+    done
+  done
+
+let total g = Array.fold_left ( +. ) 0. g.values
+
+let largest_empty_square g ~threshold =
+  (* Classic DP: side.(iy).(ix) = largest empty square with lower-right
+     corner at bin (ix, iy). *)
+  let best = ref 0 in
+  let prev = Array.make g.nx 0 in
+  let cur = Array.make g.nx 0 in
+  let prev_ref = ref prev and cur_ref = ref cur in
+  for iy = 0 to g.ny - 1 do
+    let prev = !prev_ref and cur = !cur_ref in
+    for ix = 0 to g.nx - 1 do
+      let empty = g.values.((iy * g.nx) + ix) <= threshold in
+      if not empty then cur.(ix) <- 0
+      else if ix = 0 || iy = 0 then cur.(ix) <- 1
+      else cur.(ix) <- 1 + min (min prev.(ix) cur.(ix - 1)) prev.(ix - 1);
+      if cur.(ix) > !best then best := cur.(ix)
+    done;
+    prev_ref := cur;
+    cur_ref := prev
+  done;
+  float_of_int !best *. Float.min g.dx g.dy

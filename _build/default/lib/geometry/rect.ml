@@ -1,0 +1,42 @@
+type t = { x_lo : float; y_lo : float; x_hi : float; y_hi : float }
+
+let make ~x_lo ~y_lo ~x_hi ~y_hi =
+  if x_hi < x_lo || y_hi < y_lo then invalid_arg "Rect.make: inverted bounds";
+  { x_lo; y_lo; x_hi; y_hi }
+
+let of_center ~cx ~cy ~w ~h =
+  if w < 0. || h < 0. then invalid_arg "Rect.of_center: negative size";
+  { x_lo = cx -. (w /. 2.); y_lo = cy -. (h /. 2.);
+    x_hi = cx +. (w /. 2.); y_hi = cy +. (h /. 2.) }
+
+let width r = r.x_hi -. r.x_lo
+
+let height r = r.y_hi -. r.y_lo
+
+let area r = width r *. height r
+
+let center r = ((r.x_lo +. r.x_hi) /. 2., (r.y_lo +. r.y_hi) /. 2.)
+
+let contains r x y = x >= r.x_lo && x <= r.x_hi && y >= r.y_lo && y <= r.y_hi
+
+let intersection a b =
+  let x_lo = Float.max a.x_lo b.x_lo and x_hi = Float.min a.x_hi b.x_hi in
+  let y_lo = Float.max a.y_lo b.y_lo and y_hi = Float.min a.y_hi b.y_hi in
+  if x_lo < x_hi && y_lo < y_hi then Some { x_lo; y_lo; x_hi; y_hi } else None
+
+let overlap_area a b =
+  match intersection a b with Some r -> area r | None -> 0.
+
+let union a b =
+  { x_lo = Float.min a.x_lo b.x_lo; y_lo = Float.min a.y_lo b.y_lo;
+    x_hi = Float.max a.x_hi b.x_hi; y_hi = Float.max a.y_hi b.y_hi }
+
+let expand r margin =
+  make ~x_lo:(r.x_lo -. margin) ~y_lo:(r.y_lo -. margin)
+    ~x_hi:(r.x_hi +. margin) ~y_hi:(r.y_hi +. margin)
+
+let clamp_point r x y =
+  (Float.min (Float.max x r.x_lo) r.x_hi, Float.min (Float.max y r.y_lo) r.y_hi)
+
+let pp ppf r =
+  Format.fprintf ppf "[%g,%g .. %g,%g]" r.x_lo r.y_lo r.x_hi r.y_hi

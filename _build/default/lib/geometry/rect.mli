@@ -1,0 +1,48 @@
+(** Axis-aligned rectangles.
+
+    Rectangles are half-open in spirit but stored as [lo/hi] float bounds;
+    degenerate (zero-area) rectangles are allowed. *)
+
+type t = { x_lo : float; y_lo : float; x_hi : float; y_hi : float }
+
+(** [make ~x_lo ~y_lo ~x_hi ~y_hi] builds a rectangle.  Raises
+    [Invalid_argument] if a high bound is below the matching low bound. *)
+val make : x_lo:float -> y_lo:float -> x_hi:float -> y_hi:float -> t
+
+(** [of_center ~cx ~cy ~w ~h] is the [w]×[h] rectangle centred at
+    ([cx], [cy]). *)
+val of_center : cx:float -> cy:float -> w:float -> h:float -> t
+
+(** [width r] and [height r] are the side lengths. *)
+val width : t -> float
+
+val height : t -> float
+
+(** [area r] is [width r *. height r]. *)
+val area : t -> float
+
+(** [center r] is the centre point. *)
+val center : t -> float * float
+
+(** [contains r x y] tests point membership (closed on all sides). *)
+val contains : t -> float -> float -> bool
+
+(** [intersection a b] is the overlap rectangle, or [None] when the
+    interiors are disjoint. *)
+val intersection : t -> t -> t option
+
+(** [overlap_area a b] is the area of the intersection ([0.] if none). *)
+val overlap_area : t -> t -> float
+
+(** [union a b] is the bounding box of both. *)
+val union : t -> t -> t
+
+(** [expand r margin] grows every side outward by [margin] (which may be
+    negative as long as the result stays well-formed). *)
+val expand : t -> float -> t
+
+(** [clamp_point r x y] is the point of [r] closest to ([x], [y]). *)
+val clamp_point : t -> float -> float -> float * float
+
+(** [pp] formats as [[x_lo,y_lo .. x_hi,y_hi]]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/kraftwerk/cluster.ml: Array Config Fun Hashtbl List Netlist Numeric Placer Printf Seq

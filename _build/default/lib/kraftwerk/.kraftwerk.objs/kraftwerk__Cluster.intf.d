@@ -1,0 +1,1 @@
+lib/kraftwerk/cluster.mli: Config Netlist

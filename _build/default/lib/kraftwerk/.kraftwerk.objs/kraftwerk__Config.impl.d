@@ -1,0 +1,1 @@
+lib/kraftwerk/config.ml: Density Format Qp

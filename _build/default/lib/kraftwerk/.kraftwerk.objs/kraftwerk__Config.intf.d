@@ -1,0 +1,1 @@
+lib/kraftwerk/config.mli: Density Format Qp

@@ -1,0 +1,1 @@
+lib/kraftwerk/eco.ml: Array Hashtbl List Netlist Numeric Placer Printf

@@ -1,0 +1,1 @@
+lib/kraftwerk/eco.mli: Config Netlist Numeric Placer

@@ -1,0 +1,1 @@
+lib/kraftwerk/placer.ml: Array Config Density Geometry List Metrics Netlist Numeric Qp

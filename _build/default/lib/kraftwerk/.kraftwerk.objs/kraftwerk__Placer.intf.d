@@ -1,0 +1,1 @@
+lib/kraftwerk/placer.mli: Config Geometry Netlist

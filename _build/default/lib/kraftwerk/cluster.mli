@@ -1,0 +1,57 @@
+(** Netlist clustering and multilevel placement.
+
+    The paper motivates a fast mode for floorplanning ("a placement
+    estimation during the floorplanning phase", §6.1).  Clustering takes
+    that further, as GORDIAN-class placers did: connectivity-driven
+    FirstChoice-style clustering merges tightly connected cells into
+    clusters, the cluster netlist is placed with the normal algorithm,
+    and the flat netlist is seeded from the cluster placement and
+    refined with a few transformations.
+
+    Clusters aggregate area (width = area / row height, height = one row
+    height per row of area) and inherit the union of their members'
+    connectivity; pads and fixed cells are never clustered. *)
+
+type clustering = {
+  coarse : Netlist.Circuit.t;  (** the cluster-level circuit *)
+  cluster_of : int array;  (** flat cell id → coarse cell id *)
+  members : int list array;  (** coarse cell id → flat member ids *)
+  coarse_fixed : (int * (float * float)) list;
+      (** pinned coordinates for the coarse circuit's fixed cells, given
+          the flat fixed positions *)
+}
+
+(** [cluster ?seed ?max_cluster_area circuit ~fixed_positions] builds one
+    level of clustering: each movable cell greedily merges with its most
+    strongly connected neighbour (clique-weight sum over shared nets)
+    while the merged area stays below [max_cluster_area] (default 6×
+    the average cell area).  Fixed cells map to singleton coarse cells. *)
+val cluster :
+  ?seed:int ->
+  ?max_cluster_area:float ->
+  Netlist.Circuit.t ->
+  fixed_positions:(int * (float * float)) list ->
+  clustering
+
+(** [expand clustering ~coarse_placement ~flat_placement] seats every
+    flat cell at its cluster's position (members of one cluster spread
+    in a small deterministic spiral so they do not sit on one exact
+    point), writing into [flat_placement] (fixed cells untouched). *)
+val expand :
+  clustering ->
+  coarse_placement:Netlist.Placement.t ->
+  flat_placement:Netlist.Placement.t ->
+  unit
+
+(** [place_multilevel ?seed config circuit ~fixed_positions placement]
+    is the two-level flow: cluster, place the coarse circuit with
+    [config], expand, then refine the flat placement with up to
+    [config.max_iterations] further transformations (they stop at the
+    usual criterion).  Returns the flat placement. *)
+val place_multilevel :
+  ?seed:int ->
+  Config.t ->
+  Netlist.Circuit.t ->
+  fixed_positions:(int * (float * float)) list ->
+  Netlist.Placement.t ->
+  Netlist.Placement.t

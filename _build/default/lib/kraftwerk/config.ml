@@ -1,0 +1,34 @@
+type t = {
+  k_param : float;
+  max_iterations : int;
+  linearize : bool;
+  clique_cap : int;
+  anchor_weight : float;
+  hold_weight : float;
+  force_decay : float;
+  stop_multiplier : float;
+  grid : (int * int) option;
+  solver : Density.Forces.solver;
+  net_model : Qp.System.net_model;
+}
+
+let standard =
+  {
+    k_param = 0.05;
+    max_iterations = 250;
+    linearize = false;
+    clique_cap = 16;
+    anchor_weight = 1e-6;
+    hold_weight = 1.0;
+    force_decay = 0.8;
+    stop_multiplier = 2.;
+    grid = None;
+    solver = Density.Forces.Fft;
+    net_model = Qp.System.Clique;
+  }
+
+let fast = { standard with k_param = 0.2; max_iterations = 80 }
+
+let pp ppf t =
+  Format.fprintf ppf "K=%g max_iter=%d linearize=%b cap=%d stop=%gx" t.k_param
+    t.max_iterations t.linearize t.clique_cap t.stop_multiplier

@@ -1,0 +1,48 @@
+(** Configuration of the Kraftwerk placer. *)
+
+type t = {
+  k_param : float;
+      (** the paper's K: force-scaling aggressiveness and hence speed of
+          convergence; 0.2 standard, 1.0 fast (§4.2) *)
+  max_iterations : int;  (** safety bound on placement transformations *)
+  linearize : bool;
+      (** apply the GORDIAN-L net-weight linearisation each
+          transformation (§4.1, [14]).  Off by default: under continuous
+          force injection the down-weighted long edges recover locality
+          too slowly and final wire length suffers — see the
+          "linearization" ablation in EXPERIMENTS.md. *)
+  clique_cap : int;  (** nets above this degree use the sampled model *)
+  anchor_weight : float;
+      (** relative weight of the positive-definiteness anchor springs *)
+  hold_weight : float;
+      (** damping springs toward the current position, relative to each
+          cell's incident stiffness; 0 disables (see {!Qp.System.build}) *)
+  force_decay : float;
+      (** leak factor β applied to the accumulated force vector before
+          each new increment (e ← β·e + f).  1.0 is the paper's pure
+          accumulation; values slightly below 1 let the overshoot noise
+          of early transformations bleed out while the converged
+          spreading force is maintained. *)
+  stop_multiplier : float;
+      (** the stopping criterion's multiple of the average cell area
+          (4.0 in §4.2) *)
+  grid : (int * int) option;
+      (** density-grid bins (nx, ny); [None] picks automatically *)
+  solver : Density.Forces.solver;  (** Poisson evaluator *)
+  net_model : Qp.System.net_model;
+      (** spring expansion: the paper's clique (default) or the
+          Bound2Bound extension (ablation A6) *)
+}
+
+(** [standard] is the configuration behind the Table-1 "Our Approach"
+    column of EXPERIMENTS.md.  The paper's K = 0.2 is calibrated to this
+    implementation's force-scaling convention as K = 0.05 with force
+    leak β = 0.8 (see DESIGN.md, "calibration"). *)
+val standard : t
+
+(** [fast] trades wire length for a several-fold reduction in
+    transformations, reproducing the paper's §6.1 fast mode
+    (its K = 1.0). *)
+val fast : t
+
+val pp : Format.formatter -> t -> unit

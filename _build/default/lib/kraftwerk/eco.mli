@@ -1,0 +1,48 @@
+(** Engineering-change-order support (paper §5, "ECO and Interaction with
+    Logic Synthesis").
+
+    Netlist edits produce small density deviations; re-running placement
+    transformations from the existing placement turns those into small
+    additional forces, so the surroundings shift only slightly and the
+    relative placement is preserved.  The helpers below build edited
+    circuits; {!replace} performs the incremental re-placement. *)
+
+(** [rewire circuit rng ~fraction] replaces [fraction] of the nets with
+    fresh random nets over the same cells (same net count and ids) —
+    modelling local resynthesis. *)
+val rewire :
+  Netlist.Circuit.t -> Numeric.Rng.t -> fraction:float -> Netlist.Circuit.t
+
+(** [resize circuit rng ~fraction ~scale_range:(lo, hi)] multiplies the
+    widths of a random [fraction] of movable standard cells by a factor
+    uniform in [lo, hi] — modelling gate resizing. *)
+val resize :
+  Netlist.Circuit.t ->
+  Numeric.Rng.t ->
+  fraction:float ->
+  scale_range:float * float ->
+  Netlist.Circuit.t
+
+(** [add_cells circuit placement rng ~specs] appends one movable standard
+    cell per [(width, height)] in [specs], wires each to a few random
+    existing cells, and returns the extended circuit plus an extended
+    placement that seats each new cell at the centroid of its neighbours
+    (old cells keep their ids and coordinates). *)
+val add_cells :
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  Numeric.Rng.t ->
+  specs:(float * float) list ->
+  Netlist.Circuit.t * Netlist.Placement.t
+
+(** [replace ?hooks config circuit placement ~max_steps] runs up to
+    [max_steps] placement transformations starting from [placement]
+    (fresh force accumulator) and returns the adapted placement with the
+    step reports. *)
+val replace :
+  ?hooks:Placer.hooks ->
+  Config.t ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  max_steps:int ->
+  Netlist.Placement.t * Placer.step_report list

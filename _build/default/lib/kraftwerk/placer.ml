@@ -1,0 +1,127 @@
+type state = {
+  circuit : Netlist.Circuit.t;
+  config : Config.t;
+  var_of_cell : int array;
+  n_movable : int;
+  placement : Netlist.Placement.t;
+  ex : float array;
+  ey : float array;
+  net_weights : float array;
+  mutable iteration : int;
+}
+
+type step_report = {
+  step : int;
+  hpwl : float;
+  empty_square_area : float;
+  force_scale : float;
+  cg_iterations : int;
+}
+
+type hooks = {
+  reweight : (state -> unit) option;
+  extra_density :
+    (Netlist.Circuit.t -> Netlist.Placement.t -> nx:int -> ny:int ->
+     Geometry.Grid2.t option)
+    option;
+  on_step : (step_report -> unit) option;
+}
+
+let no_hooks = { reweight = None; extra_density = None; on_step = None }
+
+let init config circuit placement =
+  let var_of_cell, n_movable = Qp.System.index_map circuit in
+  {
+    circuit;
+    config;
+    var_of_cell;
+    n_movable;
+    placement = Netlist.Placement.copy placement;
+    ex = Array.make n_movable 0.;
+    ey = Array.make n_movable 0.;
+    net_weights = Array.make (Netlist.Circuit.num_nets circuit) 1.;
+    iteration = 0;
+  }
+
+let grid_dims state =
+  match state.config.Config.grid with
+  | Some (nx, ny) -> (nx, ny)
+  | None -> Density.Density_map.auto_bins state.circuit
+
+let edge_scale state =
+  if state.config.Config.linearize then
+    Qp.Weights.linearize
+      ~eps:(Qp.Weights.default_eps state.circuit.Netlist.Circuit.region)
+  else Qp.Weights.quadratic
+
+let transform ?(hooks = no_hooks) state =
+  let cfg = state.config in
+  let nx, ny = grid_dims state in
+  (match hooks.reweight with Some f -> f state | None -> ());
+  (* Assemble first: linearised weights depend on the current placement,
+     and the mean edge weight defines the "unit net" the force scaling
+     of §4.1 refers to. *)
+  let system =
+    Qp.System.build state.circuit ~placement:state.placement
+      ~net_weights:state.net_weights ~edge_scale:(edge_scale state)
+      ~clique_cap:cfg.Config.clique_cap ~anchor_weight:cfg.Config.anchor_weight
+      ~hold:cfg.Config.hold_weight ~model:cfg.Config.net_model ()
+  in
+  let extra =
+    match hooks.extra_density with
+    | Some f -> f state.circuit state.placement ~nx ~ny
+    | None -> None
+  in
+  let forces =
+    Density.Forces.at_cells state.circuit state.placement
+      ~var_of_cell:state.var_of_cell ~n_movable:state.n_movable
+      ~k_param:cfg.Config.k_param ~solver:cfg.Config.solver ?extra ~nx ~ny ()
+  in
+  let ref_weight = Qp.System.mean_edge_weight system in
+  let beta = cfg.Config.force_decay in
+  for v = 0 to state.n_movable - 1 do
+    state.ex.(v) <-
+      (beta *. state.ex.(v)) +. (ref_weight *. forces.Density.Forces.fx.(v));
+    state.ey.(v) <-
+      (beta *. state.ey.(v)) +. (ref_weight *. forces.Density.Forces.fy.(v))
+  done;
+  let sx, sy =
+    Qp.System.solve system ~placement:state.placement ~ex:state.ex ~ey:state.ey
+  in
+  Netlist.Placement.clamp_to_region state.circuit state.placement;
+  state.iteration <- state.iteration + 1;
+  let report =
+    {
+      step = state.iteration;
+      hpwl = Metrics.Wirelength.hpwl state.circuit state.placement;
+      empty_square_area =
+        Density.Stop.largest_empty_square_area state.circuit state.placement
+          ~nx ~ny ();
+      force_scale = forces.Density.Forces.scale *. ref_weight;
+      cg_iterations =
+        sx.Numeric.Cg.iterations + sy.Numeric.Cg.iterations;
+    }
+  in
+  (match hooks.on_step with Some f -> f report | None -> ());
+  report
+
+let converged state =
+  let nx, ny = grid_dims state in
+  Density.Stop.should_stop state.circuit state.placement
+    ~multiplier:state.config.Config.stop_multiplier ~nx ~ny ()
+
+let continue_run ?(hooks = no_hooks) state ~max_steps =
+  let reports = ref [] in
+  let steps = ref 0 in
+  while !steps < max_steps && not (converged state) do
+    reports := transform ~hooks state :: !reports;
+    incr steps
+  done;
+  List.rev !reports
+
+let run ?(hooks = no_hooks) config circuit placement =
+  let state = init config circuit placement in
+  let reports =
+    continue_run ~hooks state ~max_steps:config.Config.max_iterations
+  in
+  (state, reports)

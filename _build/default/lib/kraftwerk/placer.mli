@@ -1,0 +1,70 @@
+(** The iterative force-directed placement algorithm (paper §4).
+
+    A {!state} carries the current placement, the {e accumulated}
+    additional-force vector ~e (§2.2 — forces found in earlier
+    transformations stay in the system, which is what holds previous
+    spreading in place), and the per-net weights that timing-driven
+    callers adapt between transformations. *)
+
+type state = {
+  circuit : Netlist.Circuit.t;
+  config : Config.t;
+  var_of_cell : int array;
+  n_movable : int;
+  placement : Netlist.Placement.t;  (** mutated by every transformation *)
+  ex : float array;  (** accumulated additional x-forces, by variable *)
+  ey : float array;
+  net_weights : float array;  (** mutable contents, indexed by net id *)
+  mutable iteration : int;
+}
+
+(** Per-transformation report. *)
+type step_report = {
+  step : int;
+  hpwl : float;  (** half-perimeter wire length after the solve *)
+  empty_square_area : float;  (** stopping-criterion measure *)
+  force_scale : float;  (** the k applied this transformation *)
+  cg_iterations : int;  (** x- and y-solve iterations combined *)
+}
+
+(** Optional per-transformation hooks. *)
+type hooks = {
+  reweight : (state -> unit) option;
+      (** adapt [state.net_weights] before the solve (timing-driven §5) *)
+  extra_density :
+    (Netlist.Circuit.t -> Netlist.Placement.t -> nx:int -> ny:int ->
+     Geometry.Grid2.t option)
+    option;
+      (** inject extra demand (congestion map, heat map — §5) *)
+  on_step : (step_report -> unit) option;  (** observer *)
+}
+
+val no_hooks : hooks
+
+(** [init config circuit placement] builds a fresh state around (a copy
+    of) [placement] with ~e = 0 and unit net weights. *)
+val init : Config.t -> Netlist.Circuit.t -> Netlist.Placement.t -> state
+
+(** [transform ?hooks state] performs one placement transformation
+    (§4.1): determine the density forces at the current placement, add
+    them to ~e, rebuild the (possibly linearised) system and solve
+    eq. (3) holding ~e constant. *)
+val transform : ?hooks:hooks -> state -> step_report
+
+(** [converged state] applies the §4.2 stopping criterion. *)
+val converged : state -> bool
+
+(** [run ?hooks config circuit placement] is the complete algorithm:
+    initialise, transform until {!converged} or the iteration bound, and
+    return the final state plus the per-step reports in order. *)
+val run :
+  ?hooks:hooks ->
+  Config.t ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  state * step_report list
+
+(** [continue_run ?hooks state ~max_steps] applies up to [max_steps]
+    further transformations to an existing state, stopping early when
+    {!converged}; used by ECO and the timing-requirement mode. *)
+val continue_run : ?hooks:hooks -> state -> max_steps:int -> step_report list

@@ -1,0 +1,1 @@
+lib/legalize/abacus.ml: Array Float List Netlist Rows

@@ -1,0 +1,1 @@
+lib/legalize/abacus.mli: Geometry Netlist

@@ -1,0 +1,1 @@
+lib/legalize/check.ml: Array Float Format Geometry List Netlist Rows

@@ -1,0 +1,1 @@
+lib/legalize/check.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/legalize/domino.ml: Array Float Geometry Hashtbl List Metrics Netlist Numeric Rows

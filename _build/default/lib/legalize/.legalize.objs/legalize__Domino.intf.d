@@ -1,0 +1,1 @@
+lib/legalize/domino.mli: Geometry Netlist

@@ -1,0 +1,1 @@
+lib/legalize/improve.ml: Array Float Geometry Hashtbl List Metrics Netlist Numeric Rows

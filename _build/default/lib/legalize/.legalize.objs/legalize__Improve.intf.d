@@ -1,0 +1,1 @@
+lib/legalize/improve.mli: Geometry Netlist

@@ -1,0 +1,1 @@
+lib/legalize/rows.ml: Array Float Geometry List Netlist

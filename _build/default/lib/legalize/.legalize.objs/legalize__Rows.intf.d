@@ -1,0 +1,1 @@
+lib/legalize/rows.mli: Geometry Netlist

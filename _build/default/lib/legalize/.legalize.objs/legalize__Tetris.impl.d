@@ -1,0 +1,1 @@
+lib/legalize/tetris.ml: Array Float List Netlist Rows

@@ -1,0 +1,1 @@
+lib/legalize/tetris.mli: Geometry Netlist

@@ -1,0 +1,182 @@
+type cluster = {
+  mutable cx : float; (* left edge of the cluster *)
+  mutable e : float; (* total member weight *)
+  mutable q : float; (* Σ eᵢ·(desiredᵢ − offsetᵢ within cluster) *)
+  mutable w : float; (* total member width *)
+  mutable members : int list; (* cell ids, rightmost first *)
+}
+
+type seg_state = {
+  x_lo : float;
+  x_hi : float;
+  row : int;
+  mutable used : float;
+  mutable clusters : cluster list; (* rightmost first *)
+}
+
+type report = {
+  placement : Netlist.Placement.t;
+  total_displacement : float;
+  max_displacement : float;
+  failed : int;
+}
+
+let clamp v lo hi = if v < lo then lo else if v > hi then hi else v
+
+let optimal_x seg ~q ~e ~w = clamp (q /. e) seg.x_lo (seg.x_hi -. w)
+
+(* Simulate appending a cell with desired left edge [x'] and width
+   [w_cell]; returns the cell's final left edge without mutating. *)
+let trial seg ~desired_left ~w_cell =
+  let x' = clamp desired_left seg.x_lo (seg.x_hi -. w_cell) in
+  let e = ref 1. and q = ref x' and w = ref w_cell in
+  let x_c = ref (optimal_x seg ~q:!q ~e:!e ~w:!w) in
+  let rec cascade = function
+    | [] -> ()
+    | (c : cluster) :: rest ->
+      if c.cx +. c.w > !x_c +. 1e-9 then begin
+        q := c.q +. (!q -. (!e *. c.w));
+        e := c.e +. !e;
+        w := c.w +. !w;
+        x_c := optimal_x seg ~q:!q ~e:!e ~w:!w;
+        cascade rest
+      end
+  in
+  cascade seg.clusters;
+  !x_c +. !w -. w_cell
+
+(* Commit the same append, mutating the segment. *)
+let commit seg ~desired_left ~w_cell ~cell_id =
+  let x' = clamp desired_left seg.x_lo (seg.x_hi -. w_cell) in
+  let cur =
+    { cx = 0.; e = 1.; q = x'; w = w_cell; members = [ cell_id ] }
+  in
+  cur.cx <- optimal_x seg ~q:cur.q ~e:cur.e ~w:cur.w;
+  let rec cascade () =
+    match seg.clusters with
+    | (c : cluster) :: rest when c.cx +. c.w > cur.cx +. 1e-9 ->
+      c.q <- c.q +. (cur.q -. (cur.e *. c.w));
+      c.e <- c.e +. cur.e;
+      c.w <- c.w +. cur.w;
+      c.members <- cur.members @ c.members;
+      c.cx <- optimal_x seg ~q:c.q ~e:c.e ~w:c.w;
+      seg.clusters <- rest;
+      cur.cx <- c.cx;
+      cur.e <- c.e;
+      cur.q <- c.q;
+      cur.w <- c.w;
+      cur.members <- c.members;
+      cascade ()
+    | _ -> ()
+  in
+  cascade ();
+  seg.clusters <- cur :: seg.clusters;
+  seg.used <- seg.used +. w_cell
+
+let legalize (c : Netlist.Circuit.t) (p : Netlist.Placement.t)
+    ?(extra_obstacles = []) () =
+  let fixed_obstacles =
+    Array.to_list c.Netlist.Circuit.cells
+    |> List.filter_map (fun (cl : Netlist.Cell.t) ->
+           if cl.Netlist.Cell.fixed && cl.Netlist.Cell.kind <> Netlist.Cell.Pad
+           then Some (Netlist.Placement.cell_rect c p cl.Netlist.Cell.id)
+           else None)
+  in
+  let row_segments =
+    Rows.build c ~obstacles:(extra_obstacles @ fixed_obstacles)
+  in
+  let segs =
+    Array.map
+      (List.map (fun (s : Rows.segment) ->
+           {
+             x_lo = s.Rows.x_lo;
+             x_hi = s.Rows.x_hi;
+             row = s.Rows.row;
+             used = 0.;
+             clusters = [];
+           }))
+      row_segments
+  in
+  let nrows = Array.length segs in
+  let targets =
+    Array.to_list c.Netlist.Circuit.cells
+    |> List.filter (fun (cl : Netlist.Cell.t) ->
+           Netlist.Cell.movable cl && cl.Netlist.Cell.kind = Netlist.Cell.Standard)
+    |> List.sort (fun (a : Netlist.Cell.t) b ->
+           Float.compare
+             p.Netlist.Placement.x.(a.Netlist.Cell.id)
+             p.Netlist.Placement.x.(b.Netlist.Cell.id))
+  in
+  let failed = ref 0 in
+  List.iter
+    (fun (cl : Netlist.Cell.t) ->
+      let id = cl.Netlist.Cell.id in
+      let w = cl.Netlist.Cell.width in
+      let desired_left = p.Netlist.Placement.x.(id) -. (w /. 2.) in
+      let desired_y = p.Netlist.Placement.y.(id) in
+      let home_row = Rows.row_of_y c desired_y in
+      let best = ref None and best_cost = ref Float.infinity in
+      let consider seg =
+        if seg.used +. w <= seg.x_hi -. seg.x_lo +. 1e-9 then begin
+          let pos = trial seg ~desired_left ~w_cell:w in
+          let dy = Rows.row_center_y c seg.row -. desired_y in
+          let cost = Float.abs (pos -. desired_left) +. Float.abs dy in
+          if cost < !best_cost then begin
+            best_cost := cost;
+            best := Some seg
+          end
+        end
+      in
+      let try_row r = if r >= 0 && r < nrows then List.iter consider segs.(r) in
+      try_row home_row;
+      let offset = ref 1 in
+      let continue = ref true in
+      while !continue do
+        let dy =
+          (float_of_int !offset -. 1.) *. c.Netlist.Circuit.row_height
+        in
+        if dy > !best_cost then continue := false
+        else begin
+          try_row (home_row - !offset);
+          try_row (home_row + !offset);
+          incr offset;
+          if !offset > nrows then continue := false
+        end
+      done;
+      match !best with
+      | Some seg -> commit seg ~desired_left ~w_cell:w ~cell_id:id
+      | None -> incr failed)
+    targets;
+  (* Read final positions off the cluster structure. *)
+  let out = Netlist.Placement.copy p in
+  Array.iter
+    (List.iter (fun seg ->
+         List.iter
+           (fun cluster ->
+             let members = List.rev cluster.members in
+             let cursor = ref cluster.cx in
+             List.iter
+               (fun id ->
+                 let cl = c.Netlist.Circuit.cells.(id) in
+                 out.Netlist.Placement.x.(id) <- !cursor +. (cl.Netlist.Cell.width /. 2.);
+                 out.Netlist.Placement.y.(id) <- Rows.row_center_y c seg.row;
+                 cursor := !cursor +. cl.Netlist.Cell.width)
+               members)
+           seg.clusters))
+    segs;
+  let total = ref 0. and maxd = ref 0. in
+  List.iter
+    (fun (cl : Netlist.Cell.t) ->
+      let id = cl.Netlist.Cell.id in
+      let dx = out.Netlist.Placement.x.(id) -. p.Netlist.Placement.x.(id) in
+      let dy = out.Netlist.Placement.y.(id) -. p.Netlist.Placement.y.(id) in
+      let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+      total := !total +. d;
+      if d > !maxd then maxd := d)
+    targets;
+  {
+    placement = out;
+    total_displacement = !total;
+    max_displacement = !maxd;
+    failed = !failed;
+  }

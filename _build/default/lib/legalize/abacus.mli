@@ -1,0 +1,27 @@
+(** Abacus legalisation (Spindler, Schlichtmann & Johannes, ISPD 2008):
+    cells are processed in order of increasing x and inserted into the
+    row minimising their displacement; within a row, cells are packed by
+    merging into clusters placed at their weighted-optimal position, so
+    earlier cells shift minimally instead of leaving dead gaps.
+
+    This is the default final placer of the repository's flows; the
+    simpler {!Tetris} greedy is kept for comparison. *)
+
+type report = {
+  placement : Netlist.Placement.t;
+  total_displacement : float;
+  max_displacement : float;
+  failed : int;
+      (** cells that fit no segment at all (region overfull); they are
+          left at their global position *)
+}
+
+(** [legalize circuit placement ?extra_obstacles ()] legalises every
+    movable standard cell; blocks passed via [extra_obstacles] (plus all
+    fixed non-pad cells) carve the rows into segments. *)
+val legalize :
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  ?extra_obstacles:Geometry.Rect.t list ->
+  unit ->
+  report

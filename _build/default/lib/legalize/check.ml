@@ -1,0 +1,81 @@
+type violation =
+  | Outside_region of int
+  | Off_row of int
+  | Overlap of int * int
+
+let pp_violation ppf = function
+  | Outside_region id -> Format.fprintf ppf "cell %d outside region" id
+  | Off_row id -> Format.fprintf ppf "cell %d not aligned to a row" id
+  | Overlap (a, b) -> Format.fprintf ppf "cells %d and %d overlap" a b
+
+let check (c : Netlist.Circuit.t) (p : Netlist.Placement.t) ?(tol = 1e-6) () =
+  let violations = ref [] in
+  let region = c.Netlist.Circuit.region in
+  let standard =
+    Array.to_list c.Netlist.Circuit.cells
+    |> List.filter (fun (cl : Netlist.Cell.t) ->
+           Netlist.Cell.movable cl && cl.Netlist.Cell.kind = Netlist.Cell.Standard)
+  in
+  List.iter
+    (fun (cl : Netlist.Cell.t) ->
+      let id = cl.Netlist.Cell.id in
+      let r = Netlist.Placement.cell_rect c p id in
+      if
+        r.Geometry.Rect.x_lo < region.Geometry.Rect.x_lo -. tol
+        || r.Geometry.Rect.x_hi > region.Geometry.Rect.x_hi +. tol
+        || r.Geometry.Rect.y_lo < region.Geometry.Rect.y_lo -. tol
+        || r.Geometry.Rect.y_hi > region.Geometry.Rect.y_hi +. tol
+      then violations := Outside_region id :: !violations;
+      let row = Rows.row_of_y c p.Netlist.Placement.y.(id) in
+      if Float.abs (p.Netlist.Placement.y.(id) -. Rows.row_center_y c row) > tol
+      then violations := Off_row id :: !violations)
+    standard;
+  (* Overlaps: per row, sort by x and compare neighbours; also against
+     fixed non-pad cells. *)
+  let nrows = Netlist.Circuit.num_rows c in
+  let rows = Array.make nrows [] in
+  List.iter
+    (fun (cl : Netlist.Cell.t) ->
+      let row = Rows.row_of_y c p.Netlist.Placement.y.(cl.Netlist.Cell.id) in
+      rows.(row) <- cl :: rows.(row))
+    standard;
+  let fixed_rects =
+    Array.to_list c.Netlist.Circuit.cells
+    |> List.filter_map (fun (cl : Netlist.Cell.t) ->
+           if cl.Netlist.Cell.fixed && cl.Netlist.Cell.kind <> Netlist.Cell.Pad
+           then Some (cl.Netlist.Cell.id, Netlist.Placement.cell_rect c p cl.Netlist.Cell.id)
+           else None)
+  in
+  Array.iter
+    (fun group ->
+      let arr = Array.of_list group in
+      Array.sort
+        (fun (a : Netlist.Cell.t) b ->
+          Float.compare
+            p.Netlist.Placement.x.(a.Netlist.Cell.id)
+            p.Netlist.Placement.x.(b.Netlist.Cell.id))
+        arr;
+      for i = 0 to Array.length arr - 2 do
+        let a = arr.(i) and b = arr.(i + 1) in
+        let a_hi =
+          p.Netlist.Placement.x.(a.Netlist.Cell.id) +. (a.Netlist.Cell.width /. 2.)
+        in
+        let b_lo =
+          p.Netlist.Placement.x.(b.Netlist.Cell.id) -. (b.Netlist.Cell.width /. 2.)
+        in
+        if a_hi > b_lo +. tol then
+          violations := Overlap (a.Netlist.Cell.id, b.Netlist.Cell.id) :: !violations
+      done;
+      Array.iter
+        (fun (cl : Netlist.Cell.t) ->
+          let r = Netlist.Placement.cell_rect c p cl.Netlist.Cell.id in
+          List.iter
+            (fun (fid, fr) ->
+              if Geometry.Rect.overlap_area r fr > tol then
+                violations := Overlap (cl.Netlist.Cell.id, fid) :: !violations)
+            fixed_rects)
+        arr)
+    rows;
+  List.rev !violations
+
+let is_legal c p = check c p () = []

@@ -1,0 +1,23 @@
+(** Legality checking for row-based placements. *)
+
+(** A violation with a human-readable description. *)
+type violation =
+  | Outside_region of int
+  | Off_row of int
+  | Overlap of int * int
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [check circuit placement ?tol ()] verifies every movable standard
+    cell is inside the region, vertically centred on a row, and
+    non-overlapping with other standard cells in its row (and with fixed
+    blocks).  Returns all violations ([] = legal). *)
+val check :
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  ?tol:float ->
+  unit ->
+  violation list
+
+(** [is_legal circuit placement] is [check … = []]. *)
+val is_legal : Netlist.Circuit.t -> Netlist.Placement.t -> bool

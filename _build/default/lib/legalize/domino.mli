@@ -1,0 +1,52 @@
+(** Domino-like detailed placement by network flow (Doll, Johannes &
+    Antreich [17] — the final placer used in the paper's reported flow).
+
+    Two legality-preserving optimisation passes over a legal placement:
+
+    - {e flow reassignment}: within a spatial neighbourhood, the cells of
+      one width class and the slots they currently occupy form an
+      assignment problem solved exactly by min-cost flow; cells permute
+      onto the slot set that minimises (separable) wire length.
+    - {e window reordering}: along each row, every window of [window]
+      consecutive cells is repacked in the best of all orderings
+      (exhaustive over ≤ window! permutations), capturing the
+      non-separable gains the flow pass cannot see.
+
+    Both passes only permute or repack cells within space they already
+    occupy, so a legal input stays legal. *)
+
+type config = {
+  neighborhood_rows : int;  (** rows per flow-reassignment tile *)
+  neighborhood_cols : int;  (** tiles per row direction *)
+  max_group : int;  (** assignment-size cap per width class per tile *)
+  window : int;  (** cells per reorder window (≤ 6 sensible) *)
+  passes : int;
+}
+
+val default_config : config
+
+(** [flow_pass ?config circuit placement] runs one flow-reassignment
+    sweep; mutates [placement], returns (cells moved, HPWL gained). *)
+val flow_pass :
+  ?config:config -> Netlist.Circuit.t -> Netlist.Placement.t -> int * float
+
+(** [reorder_pass ?config ?obstacles circuit placement] runs one
+    window-reordering sweep; mutates [placement], returns (windows
+    improved, HPWL gained).  Windows straddling an obstacle (block
+    rectangles in [obstacles], plus all fixed non-pad cells) are
+    skipped. *)
+val reorder_pass :
+  ?config:config ->
+  ?obstacles:Geometry.Rect.t list ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  int * float
+
+(** [run ?config circuit placement] alternates both passes [passes]
+    times, stopping early when neither improves. *)
+val run :
+  ?config:config ->
+  ?obstacles:Geometry.Rect.t list ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  int * float

@@ -1,0 +1,64 @@
+type segment = {
+  row : int;
+  x_lo : float;
+  x_hi : float;
+  mutable frontier : float;
+}
+
+let row_center_y (c : Netlist.Circuit.t) row =
+  c.Netlist.Circuit.region.Geometry.Rect.y_lo
+  +. ((float_of_int row +. 0.5) *. c.Netlist.Circuit.row_height)
+
+let row_of_y (c : Netlist.Circuit.t) y =
+  let nrows = Netlist.Circuit.num_rows c in
+  let idx =
+    int_of_float
+      (Float.floor
+         ((y -. c.Netlist.Circuit.region.Geometry.Rect.y_lo)
+         /. c.Netlist.Circuit.row_height))
+  in
+  max 0 (min (nrows - 1) idx)
+
+let build (c : Netlist.Circuit.t) ~obstacles =
+  let nrows = Netlist.Circuit.num_rows c in
+  let region = c.Netlist.Circuit.region in
+  let rows = Array.make nrows [] in
+  for r = 0 to nrows - 1 do
+    let y_lo = region.Geometry.Rect.y_lo +. (float_of_int r *. c.Netlist.Circuit.row_height) in
+    let y_hi = y_lo +. c.Netlist.Circuit.row_height in
+    (* Collect obstacle x-intervals crossing this row band. *)
+    let blocked =
+      List.filter_map
+        (fun (o : Geometry.Rect.t) ->
+          if o.Geometry.Rect.y_hi > y_lo +. 1e-9 && o.Geometry.Rect.y_lo < y_hi -. 1e-9
+          then Some (o.Geometry.Rect.x_lo, o.Geometry.Rect.x_hi)
+          else None)
+        obstacles
+      |> List.sort compare
+    in
+    (* Merge intervals, then emit the complement within the region. *)
+    let merged =
+      List.fold_left
+        (fun acc (lo, hi) ->
+          match acc with
+          | (plo, phi) :: rest when lo <= phi -> (plo, Float.max phi hi) :: rest
+          | _ -> (lo, hi) :: acc)
+        [] blocked
+      |> List.rev
+    in
+    let segments = ref [] in
+    let cursor = ref region.Geometry.Rect.x_lo in
+    let emit hi =
+      if hi -. !cursor >= c.Netlist.Circuit.row_height then
+        segments :=
+          { row = r; x_lo = !cursor; x_hi = hi; frontier = !cursor } :: !segments
+    in
+    List.iter
+      (fun (lo, hi) ->
+        emit (Float.min lo region.Geometry.Rect.x_hi);
+        cursor := Float.max !cursor hi)
+      merged;
+    emit region.Geometry.Rect.x_hi;
+    rows.(r) <- List.rev !segments
+  done;
+  rows

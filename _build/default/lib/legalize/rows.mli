@@ -1,0 +1,27 @@
+(** Standard-cell row structure.
+
+    The placement region is divided into horizontal rows of the circuit's
+    row height.  Fixed blocks (or pre-legalised movable blocks) become
+    obstacles that split rows into free segments. *)
+
+(** One free interval of a row. *)
+type segment = {
+  row : int;  (** row index, bottom = 0 *)
+  x_lo : float;
+  x_hi : float;
+  mutable frontier : float;  (** next free x during greedy packing *)
+}
+
+(** [row_center_y circuit row] is the y coordinate of a row's centre. *)
+val row_center_y : Netlist.Circuit.t -> int -> float
+
+(** [row_of_y circuit y] is the index of the row whose band contains
+    [y], clamped to valid rows. *)
+val row_of_y : Netlist.Circuit.t -> float -> int
+
+(** [build circuit ~obstacles] computes the free segments of every row,
+    removing the x-extents covered by each obstacle rectangle whose
+    y-range intersects the row.  Segments narrower than one row height
+    are dropped. *)
+val build :
+  Netlist.Circuit.t -> obstacles:Geometry.Rect.t list -> segment list array

@@ -1,0 +1,101 @@
+type report = {
+  placement : Netlist.Placement.t;
+  total_displacement : float;
+  max_displacement : float;
+  overflowed : int;
+}
+
+let legalize (c : Netlist.Circuit.t) (p : Netlist.Placement.t)
+    ?(extra_obstacles = []) () =
+  let fixed_obstacles =
+    Array.to_list c.Netlist.Circuit.cells
+    |> List.filter_map (fun (cl : Netlist.Cell.t) ->
+           if
+             cl.Netlist.Cell.fixed && cl.Netlist.Cell.kind <> Netlist.Cell.Pad
+           then Some (Netlist.Placement.cell_rect c p cl.Netlist.Cell.id)
+           else None)
+  in
+  let rows = Rows.build c ~obstacles:(extra_obstacles @ fixed_obstacles) in
+  let nrows = Array.length rows in
+  let out = Netlist.Placement.copy p in
+  let targets =
+    Array.to_list c.Netlist.Circuit.cells
+    |> List.filter (fun (cl : Netlist.Cell.t) ->
+           Netlist.Cell.movable cl && cl.Netlist.Cell.kind = Netlist.Cell.Standard)
+    |> List.sort (fun (a : Netlist.Cell.t) b ->
+           Float.compare
+             (p.Netlist.Placement.x.(a.Netlist.Cell.id))
+             (p.Netlist.Placement.x.(b.Netlist.Cell.id)))
+  in
+  let total = ref 0. and maxd = ref 0. and overflowed = ref 0 in
+  List.iter
+    (fun (cl : Netlist.Cell.t) ->
+      let id = cl.Netlist.Cell.id in
+      let w = cl.Netlist.Cell.width in
+      let desired_left = p.Netlist.Placement.x.(id) -. (w /. 2.) in
+      let desired_y = p.Netlist.Placement.y.(id) in
+      let home_row = Rows.row_of_y c desired_y in
+      (* Scan rows outward from the desired one; once the vertical cost
+         alone exceeds the best total cost, no further row can win. *)
+      let best = ref None and best_cost = ref Float.infinity in
+      let consider (seg : Rows.segment) =
+        let x = Float.max seg.Rows.frontier desired_left in
+        if x +. w <= seg.Rows.x_hi +. 1e-9 then begin
+          let dy = Rows.row_center_y c seg.Rows.row -. desired_y in
+          let cost = Float.abs (x -. desired_left) +. Float.abs dy in
+          if cost < !best_cost then begin
+            best_cost := cost;
+            best := Some (seg, x)
+          end
+        end
+      in
+      let try_row r = if r >= 0 && r < nrows then List.iter consider rows.(r) in
+      try_row home_row;
+      let offset = ref 1 in
+      let continue = ref true in
+      while !continue do
+        let dy =
+          float_of_int !offset *. c.Netlist.Circuit.row_height
+        in
+        if dy -. c.Netlist.Circuit.row_height > !best_cost then continue := false
+        else begin
+          try_row (home_row - !offset);
+          try_row (home_row + !offset);
+          incr offset;
+          if !offset > nrows then continue := false
+        end
+      done;
+      let seg, x =
+        match !best with
+        | Some sx -> sx
+        | None ->
+          (* Nothing fits: force into the segment with the most room. *)
+          incr overflowed;
+          let best_seg = ref None and best_room = ref Float.neg_infinity in
+          Array.iter
+            (List.iter (fun (s : Rows.segment) ->
+                 let room = s.Rows.x_hi -. s.Rows.frontier in
+                 if room > !best_room then begin
+                   best_room := room;
+                   best_seg := Some s
+                 end))
+            rows;
+          (match !best_seg with
+          | Some s -> (s, s.Rows.frontier)
+          | None -> failwith "Tetris.legalize: no row segments at all")
+      in
+      seg.Rows.frontier <- x +. w;
+      out.Netlist.Placement.x.(id) <- x +. (w /. 2.);
+      out.Netlist.Placement.y.(id) <- Rows.row_center_y c seg.Rows.row;
+      let dx = out.Netlist.Placement.x.(id) -. p.Netlist.Placement.x.(id) in
+      let dy = out.Netlist.Placement.y.(id) -. p.Netlist.Placement.y.(id) in
+      let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+      total := !total +. d;
+      if d > !maxd then maxd := d)
+    targets;
+  {
+    placement = out;
+    total_displacement = !total;
+    max_displacement = !maxd;
+    overflowed = !overflowed;
+  }

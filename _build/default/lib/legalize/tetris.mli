@@ -1,0 +1,30 @@
+(** Tetris-style greedy legalisation.
+
+    Movable standard cells are processed in order of increasing global-
+    placement x and packed left-to-right into row segments, each cell
+    choosing the row/segment that minimises its displacement.  This is
+    the final-placement role Domino plays in the paper's flow: global
+    placements with small overlaps legalise with small displacement.
+
+    Movable blocks must be legalised (or pinned) beforehand and passed as
+    obstacles; fixed non-pad cells are collected as obstacles
+    automatically. *)
+
+(** Outcome of a legalisation. *)
+type report = {
+  placement : Netlist.Placement.t;  (** the legal placement *)
+  total_displacement : float;
+  max_displacement : float;
+  overflowed : int;
+      (** cells that did not fit any segment and were force-placed at the
+          fullest segment's frontier (0 for sane utilisations) *)
+}
+
+(** [legalize circuit placement ?extra_obstacles ()] legalises every
+    movable standard cell; other cells keep their coordinates. *)
+val legalize :
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  ?extra_obstacles:Geometry.Rect.t list ->
+  unit ->
+  report

@@ -1,0 +1,1 @@
+lib/metrics/overlap.ml: Array Geometry List Netlist

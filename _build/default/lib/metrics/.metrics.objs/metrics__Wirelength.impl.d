@@ -1,0 +1,1 @@
+lib/metrics/wirelength.ml: Array Float Geometry Netlist

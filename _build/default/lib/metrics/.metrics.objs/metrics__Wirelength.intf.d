@@ -1,0 +1,1 @@
+lib/metrics/wirelength.mli: Geometry Netlist

@@ -1,0 +1,114 @@
+let relevant (cl : Netlist.Cell.t) = cl.Netlist.Cell.kind <> Netlist.Cell.Pad
+
+let total_overlap (c : Netlist.Circuit.t) (p : Netlist.Placement.t) =
+  let cells =
+    Array.to_list c.Netlist.Circuit.cells |> List.filter relevant
+  in
+  let rects =
+    List.map
+      (fun (cl : Netlist.Cell.t) ->
+        Netlist.Placement.cell_rect c p cl.Netlist.Cell.id)
+      cells
+    |> Array.of_list
+  in
+  let n = Array.length rects in
+  if n = 0 then 0.
+  else begin
+    (* Bucket cells by grid bin of their centre; compare within the
+       3x3 neighbourhood.  Bin pitch = max cell extent so neighbours
+       suffice. *)
+    let max_w = ref 1e-9 and max_h = ref 1e-9 in
+    Array.iter
+      (fun r ->
+        if Geometry.Rect.width r > !max_w then max_w := Geometry.Rect.width r;
+        if Geometry.Rect.height r > !max_h then max_h := Geometry.Rect.height r)
+      rects;
+    let region = c.Netlist.Circuit.region in
+    let nx =
+      max 1 (int_of_float (Geometry.Rect.width region /. !max_w))
+    in
+    let ny =
+      max 1 (int_of_float (Geometry.Rect.height region /. !max_h))
+    in
+    let nx = min nx 512 and ny = min ny 512 in
+    let buckets = Array.make (nx * ny) [] in
+    let bin_of r =
+      let cx, cy = Geometry.Rect.center r in
+      let bx =
+        int_of_float
+          ((cx -. region.Geometry.Rect.x_lo) /. Geometry.Rect.width region
+          *. float_of_int nx)
+      in
+      let by =
+        int_of_float
+          ((cy -. region.Geometry.Rect.y_lo) /. Geometry.Rect.height region
+          *. float_of_int ny)
+      in
+      (max 0 (min (nx - 1) bx), max 0 (min (ny - 1) by))
+    in
+    Array.iteri
+      (fun i r ->
+        let bx, by = bin_of r in
+        buckets.((by * nx) + bx) <- i :: buckets.((by * nx) + bx))
+      rects;
+    let acc = ref 0. in
+    Array.iteri
+      (fun i r ->
+        let bx, by = bin_of r in
+        for dy = -1 to 1 do
+          for dx = -1 to 1 do
+            let bx' = bx + dx and by' = by + dy in
+            if bx' >= 0 && bx' < nx && by' >= 0 && by' < ny then
+              List.iter
+                (fun j -> if j > i then acc := !acc +. Geometry.Rect.overlap_area r rects.(j))
+                buckets.((by' * nx) + bx')
+          done
+        done)
+      rects;
+    !acc
+  end
+
+let overlap_ratio c p =
+  let area = Netlist.Circuit.movable_area c in
+  if area = 0. then 0. else total_overlap c p /. area
+
+let density_stats (c : Netlist.Circuit.t) p ~nx ~ny =
+  let g = Geometry.Grid2.create c.Netlist.Circuit.region ~nx ~ny in
+  Array.iter
+    (fun (cl : Netlist.Cell.t) ->
+      if relevant cl then
+        Geometry.Grid2.splat_rect g
+          (Netlist.Placement.cell_rect c p cl.Netlist.Cell.id)
+          (Netlist.Cell.area cl))
+    c.Netlist.Circuit.cells;
+  let bin_area = Geometry.Grid2.dx g *. Geometry.Grid2.dy g in
+  let vals = Geometry.Grid2.values g in
+  let n = float_of_int (Array.length vals) in
+  let maxu = ref 0. and sum = ref 0. in
+  Array.iter
+    (fun v ->
+      let u = v /. bin_area in
+      if u > !maxu then maxu := u;
+      sum := !sum +. u)
+    vals;
+  let mean = !sum /. n in
+  let var = ref 0. in
+  Array.iter
+    (fun v ->
+      let d = (v /. bin_area) -. mean in
+      var := !var +. (d *. d))
+    vals;
+  (!maxu, mean, sqrt (!var /. n))
+
+let out_of_region_area (c : Netlist.Circuit.t) p =
+  Array.fold_left
+    (fun acc (cl : Netlist.Cell.t) ->
+      if relevant cl then begin
+        let r = Netlist.Placement.cell_rect c p cl.Netlist.Cell.id in
+        let inside =
+          Geometry.Rect.overlap_area r c.Netlist.Circuit.region
+        in
+        acc +. (Geometry.Rect.area r -. inside)
+      end
+      else acc)
+    0. c.Netlist.Circuit.cells

@@ -1,0 +1,27 @@
+(** Overlap and distribution measures for judging global-placement
+    quality and legality. *)
+
+(** [total_overlap circuit placement] is the summed pairwise overlap area
+    of movable/non-pad cells.  Uses a sweep over a bucket grid, so it is
+    near-linear for spread placements (quadratic only if everything
+    stacks). *)
+val total_overlap : Netlist.Circuit.t -> Netlist.Placement.t -> float
+
+(** [overlap_ratio circuit placement] normalises {!total_overlap} by the
+    total movable cell area; 1.0 means (on average) every cell fully
+    overlaps another. *)
+val overlap_ratio : Netlist.Circuit.t -> Netlist.Placement.t -> float
+
+(** [density_stats circuit placement ~nx ~ny] splats cell area into an
+    [nx × ny] grid and returns (max, mean, standard deviation) of bin
+    utilisation (bin cell-area / bin area). *)
+val density_stats :
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  nx:int ->
+  ny:int ->
+  float * float * float
+
+(** [out_of_region_area circuit placement] is the total cell area lying
+    outside the placement region (pads excluded). *)
+val out_of_region_area : Netlist.Circuit.t -> Netlist.Placement.t -> float

@@ -1,0 +1,48 @@
+let bbox_net c ~x ~y (net : Netlist.Net.t) =
+  let x_lo = ref Float.infinity and x_hi = ref Float.neg_infinity in
+  let y_lo = ref Float.infinity and y_hi = ref Float.neg_infinity in
+  Array.iter
+    (fun pin ->
+      let px, py = Netlist.Circuit.pin_position c ~x ~y pin in
+      if px < !x_lo then x_lo := px;
+      if px > !x_hi then x_hi := px;
+      if py < !y_lo then y_lo := py;
+      if py > !y_hi then y_hi := py)
+    net.Netlist.Net.pins;
+  Geometry.Rect.make ~x_lo:!x_lo ~y_lo:!y_lo ~x_hi:!x_hi ~y_hi:!y_hi
+
+let hpwl_net c ~x ~y net =
+  let r = bbox_net c ~x ~y net in
+  Geometry.Rect.width r +. Geometry.Rect.height r
+
+let hpwl c (p : Netlist.Placement.t) =
+  Array.fold_left
+    (fun acc net -> acc +. hpwl_net c ~x:p.Netlist.Placement.x ~y:p.Netlist.Placement.y net)
+    0. c.Netlist.Circuit.nets
+
+let weighted_hpwl c (p : Netlist.Placement.t) ~weights =
+  Array.fold_left
+    (fun acc (net : Netlist.Net.t) ->
+      acc
+      +. weights.(net.Netlist.Net.id)
+         *. hpwl_net c ~x:p.Netlist.Placement.x ~y:p.Netlist.Placement.y net)
+    0. c.Netlist.Circuit.nets
+
+let quadratic c (p : Netlist.Placement.t) =
+  let x = p.Netlist.Placement.x and y = p.Netlist.Placement.y in
+  Array.fold_left
+    (fun acc (net : Netlist.Net.t) ->
+      let pins = net.Netlist.Net.pins in
+      let k = Array.length pins in
+      let w = 1. /. float_of_int k in
+      let sum = ref 0. in
+      for i = 0 to k - 1 do
+        let xi, yi = Netlist.Circuit.pin_position c ~x ~y pins.(i) in
+        for j = i + 1 to k - 1 do
+          let xj, yj = Netlist.Circuit.pin_position c ~x ~y pins.(j) in
+          let dx = xi -. xj and dy = yi -. yj in
+          sum := !sum +. (dx *. dx) +. (dy *. dy)
+        done
+      done;
+      acc +. (w *. !sum))
+    0. c.Netlist.Circuit.nets

@@ -1,0 +1,1 @@
+lib/netlist/bookshelf.ml: Array Cell Circuit Filename Float Fun Geometry Hashtbl List Net Placement Printf String

@@ -1,0 +1,1 @@
+lib/netlist/bookshelf.mli: Circuit Placement

@@ -1,0 +1,1 @@
+lib/netlist/io.ml: Array Cell Circuit Fun Geometry List Net Placement Printf String

@@ -1,0 +1,1 @@
+lib/netlist/placement.ml: Array Cell Circuit Float Geometry List

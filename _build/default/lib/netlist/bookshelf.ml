@@ -1,0 +1,311 @@
+let fail fmt = Printf.ksprintf failwith fmt
+
+let tokens line =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+  |> List.filter (fun s -> s <> "")
+
+let is_comment line =
+  let t = String.trim line in
+  String.length t = 0 || t.[0] = '#' || (String.length t >= 4 && String.sub t 0 4 = "UCLA")
+
+let read_lines file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* --- .nodes --- *)
+
+type node = { nname : string; w : float; h : float; terminal : bool }
+
+let parse_nodes file =
+  let nodes = ref [] in
+  List.iter
+    (fun line ->
+      if not (is_comment line) then
+        match tokens line with
+        | [ "NumNodes"; ":"; _ ] | [ "NumTerminals"; ":"; _ ] -> ()
+        | [ name; w; h ] ->
+          nodes :=
+            { nname = name; w = float_of_string w; h = float_of_string h;
+              terminal = false }
+            :: !nodes
+        | [ name; w; h; "terminal" ] ->
+          nodes :=
+            { nname = name; w = float_of_string w; h = float_of_string h;
+              terminal = true }
+            :: !nodes
+        | [] -> ()
+        | tok :: _ -> fail "Bookshelf %s: bad .nodes line near %S" file tok)
+    (read_lines file);
+  List.rev !nodes
+
+(* --- .scl --- *)
+
+type row = { y : float; height : float; x_origin : float; x_end : float }
+
+let parse_scl file =
+  let rows = ref [] in
+  let cur_y = ref None and cur_h = ref None in
+  let cur_origin = ref None and cur_sites = ref None and cur_spacing = ref 1. in
+  let flush () =
+    match (!cur_y, !cur_h, !cur_origin, !cur_sites) with
+    | Some y, Some height, Some x_origin, Some sites ->
+      rows :=
+        { y; height; x_origin; x_end = x_origin +. (sites *. !cur_spacing) }
+        :: !rows;
+      cur_y := None;
+      cur_h := None;
+      cur_origin := None;
+      cur_sites := None;
+      cur_spacing := 1.
+    | _ -> ()
+  in
+  List.iter
+    (fun line ->
+      if not (is_comment line) then
+        match tokens line with
+        | "CoreRow" :: _ -> ()
+        | [ "Coordinate"; ":"; v ] -> cur_y := Some (float_of_string v)
+        | [ "Height"; ":"; v ] -> cur_h := Some (float_of_string v)
+        | [ "Sitespacing"; ":"; v ] -> cur_spacing := float_of_string v
+        | "SubrowOrigin" :: ":" :: origin :: rest ->
+          cur_origin := Some (float_of_string origin);
+          (match rest with
+          | [ "NumSites"; ":"; n ] -> cur_sites := Some (float_of_string n)
+          | _ -> ())
+        | [ "NumSites"; ":"; n ] -> cur_sites := Some (float_of_string n)
+        | [ "End" ] -> flush ()
+        | _ -> ())
+    (read_lines file);
+  List.rev !rows
+
+(* --- .pl --- *)
+
+let parse_pl file =
+  let places = Hashtbl.create 1024 in
+  List.iter
+    (fun line ->
+      if not (is_comment line) then
+        match tokens line with
+        | name :: x :: y :: _ when name <> "NumNodes" ->
+          Hashtbl.replace places name (float_of_string x, float_of_string y)
+        | _ -> ())
+    (read_lines file);
+  places
+
+(* --- .nets --- *)
+
+type raw_net = { net_name : string; raw_pins : (string * bool * float * float) list }
+(* (cell name, is_output/driver, dx, dy) *)
+
+let parse_nets file =
+  let nets = ref [] in
+  let cur_name = ref "" and cur_pins = ref [] and cur_open = ref false in
+  let flush () =
+    if !cur_open then begin
+      nets := { net_name = !cur_name; raw_pins = List.rev !cur_pins } :: !nets;
+      cur_open := false;
+      cur_pins := []
+    end
+  in
+  List.iter
+    (fun line ->
+      if not (is_comment line) then
+        match tokens line with
+        | [ "NumNets"; ":"; _ ] | [ "NumPins"; ":"; _ ] -> ()
+        | "NetDegree" :: ":" :: _ :: rest ->
+          flush ();
+          cur_open := true;
+          cur_name :=
+            (match rest with name :: _ -> name | [] -> Printf.sprintf "net%d" (List.length !nets))
+        | name :: dir :: rest when !cur_open ->
+          let dx, dy =
+            match rest with
+            | [ ":"; dx; dy ] -> (float_of_string dx, float_of_string dy)
+            | [] -> (0., 0.)
+            | _ -> fail "Bookshelf %s: bad pin line for net %s" file !cur_name
+          in
+          cur_pins := (name, dir = "O", dx, dy) :: !cur_pins
+        | [] -> ()
+        | tok :: _ -> fail "Bookshelf %s: unexpected token %S" file tok)
+    (read_lines file);
+  flush ();
+  List.rev !nets
+
+(* --- .aux --- *)
+
+let parse_aux file =
+  let dir = Filename.dirname file in
+  let line =
+    match List.filter (fun l -> String.trim l <> "") (read_lines file) with
+    | [] -> fail "Bookshelf %s: empty aux" file
+    | l :: _ -> l
+  in
+  let files = tokens line |> List.filter (fun t -> String.contains t '.') in
+  let find ext =
+    match List.find_opt (fun f -> Filename.check_suffix f ext) files with
+    | Some f -> Filename.concat dir f
+    | None -> fail "Bookshelf %s: no %s file listed" file ext
+  in
+  (find ".nodes", find ".nets", find ".pl", find ".scl")
+
+let load_aux aux_file =
+  let nodes_f, nets_f, pl_f, scl_f = parse_aux aux_file in
+  let nodes = parse_nodes nodes_f in
+  let rows = parse_scl scl_f in
+  if rows = [] then fail "Bookshelf %s: no core rows" scl_f;
+  let row_height =
+    match rows with r :: _ -> r.height | [] -> assert false
+  in
+  let x_lo = List.fold_left (fun a r -> Float.min a r.x_origin) Float.infinity rows in
+  let x_hi = List.fold_left (fun a r -> Float.max a r.x_end) Float.neg_infinity rows in
+  let y_lo = List.fold_left (fun a r -> Float.min a r.y) Float.infinity rows in
+  let y_hi =
+    List.fold_left (fun a r -> Float.max a (r.y +. r.height)) Float.neg_infinity rows
+  in
+  let region = Geometry.Rect.make ~x_lo ~y_lo ~x_hi ~y_hi in
+  let places = parse_pl pl_f in
+  let id_of = Hashtbl.create (List.length nodes) in
+  let core_row_area = row_height *. row_height in
+  let cells =
+    List.mapi
+      (fun i n ->
+        Hashtbl.replace id_of n.nname i;
+        let kind =
+          if not n.terminal then
+            if n.h > 1.5 *. row_height then Cell.Block else Cell.Standard
+          else if n.w *. n.h <= 4. *. core_row_area then Cell.Pad
+          else Cell.Block
+        in
+        Cell.make ~id:i ~name:n.nname ~width:(Float.max n.w 1e-3)
+          ~height:(Float.max n.h 1e-3) ~kind ~fixed:n.terminal ())
+      nodes
+    |> Array.of_list
+  in
+  let nets =
+    let out = ref [] and count = ref 0 in
+    List.iter
+      (fun rn ->
+        (* Driver first; dedupe exactly repeated pins. *)
+        let resolve (name, drv, dx, dy) =
+          match Hashtbl.find_opt id_of name with
+          | Some id -> (id, drv, dx, dy)
+          | None -> fail "Bookshelf: net %s references unknown node %s" rn.net_name name
+        in
+        let pins = List.map resolve rn.raw_pins in
+        let drivers, sinks = List.partition (fun (_, d, _, _) -> d) pins in
+        let ordered = drivers @ sinks in
+        let seen = Hashtbl.create 8 in
+        let uniq =
+          List.filter
+            (fun (id, _, dx, dy) ->
+              if Hashtbl.mem seen (id, dx, dy) then false
+              else begin
+                Hashtbl.add seen (id, dx, dy) ();
+                true
+              end)
+            ordered
+        in
+        if List.length uniq >= 2 then begin
+          let pins =
+            List.map (fun (id, _, dx, dy) -> { Net.cell = id; dx; dy }) uniq
+            |> Array.of_list
+          in
+          out := Net.make ~id:!count ~name:rn.net_name pins :: !out;
+          incr count
+        end)
+      (parse_nets nets_f);
+    Array.of_list (List.rev !out)
+  in
+  let circuit =
+    Circuit.make
+      ~name:(Filename.remove_extension (Filename.basename aux_file))
+      ~cells ~nets ~region ~row_height
+  in
+  let cx, cy = Geometry.Rect.center region in
+  let placement =
+    {
+      Placement.x = Array.make (Array.length cells) cx;
+      y = Array.make (Array.length cells) cy;
+    }
+  in
+  Array.iteri
+    (fun i (cl : Cell.t) ->
+      match Hashtbl.find_opt places cl.Cell.name with
+      | Some (llx, lly) ->
+        placement.Placement.x.(i) <- llx +. (cl.Cell.width /. 2.);
+        placement.Placement.y.(i) <- lly +. (cl.Cell.height /. 2.)
+      | None -> ())
+    cells;
+  (circuit, placement)
+
+let save basename (c : Circuit.t) (p : Placement.t) =
+  let write file f =
+    let oc = open_out file in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  in
+  let base = Filename.basename basename in
+  write (basename ^ ".aux") (fun oc ->
+      Printf.fprintf oc "RowBasedPlacement : %s.nodes %s.nets %s.pl %s.scl\n" base
+        base base base);
+  let terminals =
+    Array.fold_left
+      (fun acc (cl : Cell.t) -> if cl.Cell.fixed then acc + 1 else acc)
+      0 c.Circuit.cells
+  in
+  write (basename ^ ".nodes") (fun oc ->
+      Printf.fprintf oc "UCLA nodes 1.0\n\nNumNodes : %d\nNumTerminals : %d\n"
+        (Circuit.num_cells c) terminals;
+      Array.iter
+        (fun (cl : Cell.t) ->
+          Printf.fprintf oc "  %s %g %g%s\n" cl.Cell.name
+            cl.Cell.width cl.Cell.height
+            (if cl.Cell.fixed then " terminal" else ""))
+        c.Circuit.cells);
+  write (basename ^ ".nets") (fun oc ->
+      let pins =
+        Array.fold_left
+          (fun acc net -> acc + Net.degree net)
+          0 c.Circuit.nets
+      in
+      Printf.fprintf oc "UCLA nets 1.0\n\nNumNets : %d\nNumPins : %d\n"
+        (Circuit.num_nets c) pins;
+      Array.iter
+        (fun (net : Net.t) ->
+          Printf.fprintf oc "NetDegree : %d  %s\n" (Net.degree net)
+            net.Net.name;
+          Array.iteri
+            (fun k (pin : Net.pin) ->
+              Printf.fprintf oc "  %s %s : %g %g\n"
+                c.Circuit.cells.(pin.Net.cell).Cell.name
+                (if k = 0 then "O" else "I")
+                pin.Net.dx pin.Net.dy)
+            net.Net.pins)
+        c.Circuit.nets);
+  write (basename ^ ".pl") (fun oc ->
+      Printf.fprintf oc "UCLA pl 1.0\n\n";
+      Array.iteri
+        (fun i (cl : Cell.t) ->
+          Printf.fprintf oc "%s %g %g : N%s\n" cl.Cell.name
+            (p.Placement.x.(i) -. (cl.Cell.width /. 2.))
+            (p.Placement.y.(i) -. (cl.Cell.height /. 2.))
+            (if cl.Cell.fixed then " /FIXED" else ""))
+        c.Circuit.cells);
+  write (basename ^ ".scl") (fun oc ->
+      let region = c.Circuit.region in
+      let nrows = Circuit.num_rows c in
+      Printf.fprintf oc "UCLA scl 1.0\n\nNumRows : %d\n" nrows;
+      for r = 0 to nrows - 1 do
+        Printf.fprintf oc
+          "CoreRow Horizontal\n  Coordinate : %g\n  Height : %g\n  Sitewidth : 1\n  Sitespacing : 1\n  Siteorient : 1\n  Sitesymmetry : 1\n  SubrowOrigin : %g  NumSites : %d\nEnd\n"
+          (region.Geometry.Rect.y_lo +. (float_of_int r *. c.Circuit.row_height))
+          c.Circuit.row_height region.Geometry.Rect.x_lo
+          (int_of_float (Geometry.Rect.width region))
+      done)

@@ -1,0 +1,26 @@
+(** UCLA Bookshelf placement format (subset).
+
+    The de-facto exchange format of academic placement benchmarks
+    (ISPD / ICCAD contests, the GSRC bookshelf).  Supported files:
+
+    - [.nodes] — cell names, dimensions, movability ([terminal] = fixed);
+    - [.nets]  — hyperedges with pin offsets ([NetDegree] blocks);
+    - [.pl]    — cell locations (lower-left corner) and orientation;
+    - [.scl]   — core rows (uniform height; the row structure defines the
+      placement region);
+    - [.aux]   — the index file naming the others.
+
+    Orientation tokens are parsed but ignored (cells are modelled
+    unrotated); weights files are not read.  Writing emits the same
+    subset, so circuits round-trip. *)
+
+(** [load_aux file] reads a benchmark through its [.aux] index and
+    returns the circuit plus the placement from the [.pl] file (cells
+    without coordinates sit at the region centre).  Raises [Failure]
+    with a descriptive message on malformed input. *)
+val load_aux : string -> Circuit.t * Placement.t
+
+(** [save basename circuit placement] writes [basename.aux],
+    [basename.nodes], [basename.nets], [basename.pl] and
+    [basename.scl]. *)
+val save : string -> Circuit.t -> Placement.t -> unit

@@ -1,0 +1,46 @@
+type kind = Standard | Block | Pad
+
+type t = {
+  id : int;
+  name : string;
+  width : float;
+  height : float;
+  kind : kind;
+  fixed : bool;
+  sequential : bool;
+  delay : float;
+  power : float;
+}
+
+let make ~id ~name ~width ~height ?(kind = Standard) ?fixed ?sequential ?delay
+    ?power () =
+  if width <= 0. || height <= 0. then invalid_arg "Cell.make: non-positive size";
+  let is_pad = kind = Pad in
+  let fixed = Option.value fixed ~default:is_pad in
+  let sequential = Option.value sequential ~default:is_pad in
+  let delay =
+    match delay with
+    | Some d -> d
+    | None -> ( match kind with Standard -> 0.1e-9 | Block -> 0.5e-9 | Pad -> 0.)
+  in
+  let power =
+    match power with
+    | Some p -> p
+    | None -> (
+      match kind with Standard -> 1e-5 | Block -> 1e-3 | Pad -> 0.)
+  in
+  { id; name; width; height; kind; fixed; sequential; delay; power }
+
+let area c = c.width *. c.height
+
+let movable c = not c.fixed
+
+let pp_kind ppf = function
+  | Standard -> Format.pp_print_string ppf "standard"
+  | Block -> Format.pp_print_string ppf "block"
+  | Pad -> Format.pp_print_string ppf "pad"
+
+let pp ppf c =
+  Format.fprintf ppf "%s#%d(%a %gx%g%s)" c.name c.id pp_kind c.kind c.width
+    c.height
+    (if c.fixed then " fixed" else "")

@@ -1,0 +1,51 @@
+(** Circuit cells.
+
+    A cell is anything that occupies placement area: standard cells, macro
+    blocks, and I/O pads.  The Kraftwerk algorithm treats all three
+    identically (the paper stresses that blocks and cells are not treated
+    differently); the distinction only matters to legalisation and to the
+    generator. *)
+
+type kind =
+  | Standard  (** a row-height standard cell *)
+  | Block  (** a multi-row macro block *)
+  | Pad  (** an I/O pad on the region boundary *)
+
+type t = {
+  id : int;  (** index into the netlist's cell array *)
+  name : string;
+  width : float;
+  height : float;
+  kind : kind;
+  fixed : bool;  (** fixed cells keep their initial coordinates *)
+  sequential : bool;  (** register/pad: a timing path endpoint *)
+  delay : float;  (** intrinsic cell delay in seconds *)
+  power : float;  (** dissipated power in watts (heat-driven placement) *)
+}
+
+(** [make ~id ~name ~width ~height ...] builds a cell; [fixed] defaults to
+    [kind = Pad], [sequential] to [kind = Pad], [delay] and [power] to
+    small kind-dependent defaults.  Raises [Invalid_argument] for
+    non-positive dimensions. *)
+val make :
+  id:int ->
+  name:string ->
+  width:float ->
+  height:float ->
+  ?kind:kind ->
+  ?fixed:bool ->
+  ?sequential:bool ->
+  ?delay:float ->
+  ?power:float ->
+  unit ->
+  t
+
+(** [area c] is [width *. height]. *)
+val area : t -> float
+
+(** [movable c] is [not c.fixed]. *)
+val movable : t -> bool
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type t = {
+  name : string;
+  cells : Cell.t array;
+  nets : Net.t array;
+  region : Geometry.Rect.t;
+  row_height : float;
+  cell_nets : int array array;
+}
+
+let make ~name ~cells ~nets ~region ~row_height =
+  if row_height <= 0. then invalid_arg "Circuit.make: non-positive row height";
+  if Geometry.Rect.area region <= 0. then
+    invalid_arg "Circuit.make: empty region";
+  Array.iteri
+    (fun i (c : Cell.t) ->
+      if c.Cell.id <> i then invalid_arg "Circuit.make: cell id out of order")
+    cells;
+  let n = Array.length cells in
+  let counts = Array.make n 0 in
+  Array.iteri
+    (fun i (net : Net.t) ->
+      if net.Net.id <> i then invalid_arg "Circuit.make: net id out of order";
+      Array.iter
+        (fun (p : Net.pin) ->
+          if p.Net.cell < 0 || p.Net.cell >= n then
+            invalid_arg "Circuit.make: pin references unknown cell";
+          counts.(p.Net.cell) <- counts.(p.Net.cell) + 1)
+        net.Net.pins)
+    nets;
+  let cell_nets = Array.map (fun c -> Array.make c 0) counts in
+  let cursor = Array.make n 0 in
+  Array.iter
+    (fun (net : Net.t) ->
+      (* A cell may carry several pins of one net; record the net once per
+         pin — consumers dedupe if needed, and multiplicity matters for
+         the clique weights anyway. *)
+      Array.iter
+        (fun (p : Net.pin) ->
+          cell_nets.(p.Net.cell).(cursor.(p.Net.cell)) <- net.Net.id;
+          cursor.(p.Net.cell) <- cursor.(p.Net.cell) + 1)
+        net.Net.pins)
+    nets;
+  { name; cells; nets; region; row_height; cell_nets }
+
+let num_cells c = Array.length c.cells
+
+let num_nets c = Array.length c.nets
+
+let num_movable c =
+  Array.fold_left (fun acc cl -> if Cell.movable cl then acc + 1 else acc) 0 c.cells
+
+let movable_area c =
+  Array.fold_left
+    (fun acc cl -> if Cell.movable cl then acc +. Cell.area cl else acc)
+    0. c.cells
+
+let total_cell_area c =
+  Array.fold_left
+    (fun acc cl -> if cl.Cell.kind = Cell.Pad then acc else acc +. Cell.area cl)
+    0. c.cells
+
+let utilization c = total_cell_area c /. Geometry.Rect.area c.region
+
+let num_rows c =
+  int_of_float (Float.floor (Geometry.Rect.height c.region /. c.row_height))
+
+let average_cell_area c =
+  let m = num_movable c in
+  if m = 0 then 0. else movable_area c /. float_of_int m
+
+let nets_of_cell c id = c.cell_nets.(id)
+
+let pin_position _c ~x ~y (p : Net.pin) =
+  (x.(p.Net.cell) +. p.Net.dx, y.(p.Net.cell) +. p.Net.dy)

@@ -1,0 +1,56 @@
+(** A complete circuit: cells, nets, placement region and row structure.
+
+    The circuit is immutable once built; cell positions live in separate
+    {!Placement.t} values so many candidate placements can coexist. *)
+
+type t = private {
+  name : string;
+  cells : Cell.t array;
+  nets : Net.t array;
+  region : Geometry.Rect.t;  (** the placement area (paper's W × H) *)
+  row_height : float;
+  cell_nets : int array array;  (** per cell, the ids of incident nets *)
+}
+
+(** [make ~name ~cells ~nets ~region ~row_height] validates consistency
+    (cell ids equal their indices, pin references in range, positive row
+    height) and precomputes the cell→nets incidence. *)
+val make :
+  name:string ->
+  cells:Cell.t array ->
+  nets:Net.t array ->
+  region:Geometry.Rect.t ->
+  row_height:float ->
+  t
+
+val num_cells : t -> int
+
+val num_nets : t -> int
+
+(** [num_movable c] is the number of cells with [fixed = false]. *)
+val num_movable : t -> int
+
+(** [movable_area c] is the total area of movable cells, [total_cell_area]
+    includes fixed non-pad cells too (pads sit outside the core region and
+    are excluded from both). *)
+val movable_area : t -> float
+
+val total_cell_area : t -> float
+
+(** [utilization c] is the paper's [s]: total (non-pad) cell area divided
+    by the placement-region area. *)
+val utilization : t -> float
+
+(** [num_rows c] is the number of standard-cell rows that fit the
+    region. *)
+val num_rows : t -> int
+
+(** [average_cell_area c] averages over movable cells. *)
+val average_cell_area : t -> float
+
+(** [nets_of_cell c id] is the incidence list for a cell. *)
+val nets_of_cell : t -> int -> int array
+
+(** [pin_position c placement pin] is the absolute pin location given the
+    owning cell's centre coordinates. *)
+val pin_position : t -> x:float array -> y:float array -> Net.pin -> float * float

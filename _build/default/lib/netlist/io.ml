@@ -1,0 +1,139 @@
+let kind_to_string = function
+  | Cell.Standard -> "standard"
+  | Cell.Block -> "block"
+  | Cell.Pad -> "pad"
+
+let kind_of_string = function
+  | "standard" -> Cell.Standard
+  | "block" -> Cell.Block
+  | "pad" -> Cell.Pad
+  | s -> failwith ("unknown cell kind: " ^ s)
+
+let write_circuit oc (c : Circuit.t) =
+  Printf.fprintf oc "circuit %s\n" c.Circuit.name;
+  let r = c.Circuit.region in
+  Printf.fprintf oc "region %.17g %.17g %.17g %.17g\n" r.Geometry.Rect.x_lo
+    r.Geometry.Rect.y_lo r.Geometry.Rect.x_hi r.Geometry.Rect.y_hi;
+  Printf.fprintf oc "rowheight %.17g\n" c.Circuit.row_height;
+  Array.iter
+    (fun (cl : Cell.t) ->
+      Printf.fprintf oc "cell %s %.17g %.17g %s %d %d %.17g %.17g\n" cl.Cell.name
+        cl.Cell.width cl.Cell.height (kind_to_string cl.Cell.kind)
+        (if cl.Cell.fixed then 1 else 0)
+        (if cl.Cell.sequential then 1 else 0)
+        cl.Cell.delay cl.Cell.power)
+    c.Circuit.cells;
+  Array.iter
+    (fun (n : Net.t) ->
+      Printf.fprintf oc "net %s" n.Net.name;
+      Array.iter
+        (fun (p : Net.pin) ->
+          Printf.fprintf oc " %d:%.17g:%.17g" p.Net.cell p.Net.dx p.Net.dy)
+        n.Net.pins;
+      output_char oc '\n')
+    c.Circuit.nets
+
+let read_circuit ic =
+  let name = ref "" in
+  let region = ref None in
+  let row_height = ref None in
+  let cells = ref [] and num_cells = ref 0 in
+  let nets = ref [] and num_nets = ref 0 in
+  let lineno = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Io.read_circuit: line %d: %s" !lineno msg) in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       match String.split_on_char ' ' (String.trim line) with
+       | [ "" ] -> ()
+       | "circuit" :: rest -> name := String.concat " " rest
+       | [ "region"; a; b; c; d ] ->
+         region :=
+           Some
+             (Geometry.Rect.make ~x_lo:(float_of_string a)
+                ~y_lo:(float_of_string b) ~x_hi:(float_of_string c)
+                ~y_hi:(float_of_string d))
+       | [ "rowheight"; h ] -> row_height := Some (float_of_string h)
+       | [ "cell"; nm; w; h; kind; fixed; seq; delay; power ] ->
+         let cell =
+           Cell.make ~id:!num_cells ~name:nm ~width:(float_of_string w)
+             ~height:(float_of_string h) ~kind:(kind_of_string kind)
+             ~fixed:(int_of_string fixed = 1)
+             ~sequential:(int_of_string seq = 1)
+             ~delay:(float_of_string delay) ~power:(float_of_string power) ()
+         in
+         cells := cell :: !cells;
+         incr num_cells
+       | "net" :: nm :: pins ->
+         if pins = [] then fail "net with no pins";
+         let parse_pin s =
+           match String.split_on_char ':' s with
+           | [ c; dx; dy ] ->
+             { Net.cell = int_of_string c; dx = float_of_string dx;
+               dy = float_of_string dy }
+           | _ -> fail ("bad pin: " ^ s)
+         in
+         let net =
+           Net.make ~id:!num_nets ~name:nm
+             (Array.of_list (List.map parse_pin pins))
+         in
+         nets := net :: !nets;
+         incr num_nets
+       | tok :: _ -> fail ("unknown directive: " ^ tok)
+       | [] -> ()
+     done
+   with End_of_file -> ());
+  let region = match !region with Some r -> r | None -> failwith "Io.read_circuit: missing region" in
+  let row_height =
+    match !row_height with Some h -> h | None -> failwith "Io.read_circuit: missing rowheight"
+  in
+  Circuit.make ~name:!name
+    ~cells:(Array.of_list (List.rev !cells))
+    ~nets:(Array.of_list (List.rev !nets))
+    ~region ~row_height
+
+let write_placement oc (p : Placement.t) =
+  Array.iteri
+    (fun i x -> Printf.fprintf oc "pos %d %.17g %.17g\n" i x p.Placement.y.(i))
+    p.Placement.x
+
+let read_placement ic ~num_cells =
+  let x = Array.make num_cells 0. and y = Array.make num_cells 0. in
+  let seen = Array.make num_cells false in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.split_on_char ' ' (String.trim line) with
+       | [ "" ] -> ()
+       | [ "pos"; i; px; py ] ->
+         let i = int_of_string i in
+         if i < 0 || i >= num_cells then
+           failwith "Io.read_placement: cell index out of range";
+         x.(i) <- float_of_string px;
+         y.(i) <- float_of_string py;
+         seen.(i) <- true
+       | _ -> failwith "Io.read_placement: malformed line"
+     done
+   with End_of_file -> ());
+  Array.iteri
+    (fun i s -> if not s then failwith (Printf.sprintf "Io.read_placement: missing cell %d" i))
+    seen;
+  { Placement.x; y }
+
+let with_out file f =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_in file f =
+  let ic = open_in file in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let save_circuit file c = with_out file (fun oc -> write_circuit oc c)
+
+let load_circuit file = with_in file read_circuit
+
+let save_placement file p = with_out file (fun oc -> write_placement oc p)
+
+let load_placement file ~num_cells =
+  with_in file (fun ic -> read_placement ic ~num_cells)

@@ -1,0 +1,39 @@
+(** Plain-text serialisation of circuits and placements.
+
+    A minimal line-oriented format so benchmark circuits and placements
+    can be saved, diffed and reloaded:
+
+    {v
+    circuit <name>
+    region <x_lo> <y_lo> <x_hi> <y_hi>
+    rowheight <h>
+    cell <name> <w> <h> <standard|block|pad> <fixed 0/1> <seq 0/1> <delay> <power>
+    net <name> <cell>:<dx>:<dy> ...
+    v}
+
+    Cells are implicitly numbered in order of appearance; net pins refer to
+    those numbers, first pin is the driver. *)
+
+(** [write_circuit oc circuit] prints the circuit. *)
+val write_circuit : out_channel -> Circuit.t -> unit
+
+(** [read_circuit ic] parses a circuit.  Raises [Failure] with a line
+    number on malformed input. *)
+val read_circuit : in_channel -> Circuit.t
+
+(** [write_placement oc placement] prints one [pos <id> <x> <y>] line per
+    cell. *)
+val write_placement : out_channel -> Placement.t -> unit
+
+(** [read_placement ic ~num_cells] parses a placement with exactly
+    [num_cells] entries. *)
+val read_placement : in_channel -> num_cells:int -> Placement.t
+
+(** File-based conveniences. *)
+val save_circuit : string -> Circuit.t -> unit
+
+val load_circuit : string -> Circuit.t
+
+val save_placement : string -> Placement.t -> unit
+
+val load_placement : string -> num_cells:int -> Placement.t

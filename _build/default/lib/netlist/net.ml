@@ -1,0 +1,35 @@
+type pin = { cell : int; dx : float; dy : float }
+
+type t = { id : int; name : string; pins : pin array }
+
+let make ~id ~name pins =
+  if Array.length pins < 2 then invalid_arg "Net.make: needs at least two pins";
+  let seen = Hashtbl.create (Array.length pins) in
+  Array.iter
+    (fun p ->
+      let key = (p.cell, p.dx, p.dy) in
+      if Hashtbl.mem seen key then invalid_arg "Net.make: duplicate pin";
+      Hashtbl.add seen key ())
+    pins;
+  { id; name; pins }
+
+let degree n = Array.length n.pins
+
+let driver n = n.pins.(0)
+
+let sinks n = Array.sub n.pins 1 (Array.length n.pins - 1)
+
+let cells n =
+  let seen = Hashtbl.create (Array.length n.pins) in
+  Array.fold_left
+    (fun acc p ->
+      if Hashtbl.mem seen p.cell then acc
+      else begin
+        Hashtbl.add seen p.cell ();
+        p.cell :: acc
+      end)
+    [] n.pins
+  |> List.rev
+
+let pp ppf n =
+  Format.fprintf ppf "%s#%d(%d pins)" n.name n.id (Array.length n.pins)

@@ -1,0 +1,34 @@
+(** Nets: hyperedges over cells.
+
+    A pin references a cell by index plus an offset of the pin location
+    from the cell centre.  By convention [pins.(0)] is the driver, which
+    gives the timing analysis its signal direction; purely geometric code
+    ignores the convention. *)
+
+type pin = { cell : int; dx : float; dy : float }
+
+type t = {
+  id : int;  (** index into the netlist's net array *)
+  name : string;
+  pins : pin array;
+}
+
+(** [make ~id ~name pins] builds a net.  Raises [Invalid_argument] when
+    fewer than two pins are given or two pins repeat the same cell at the
+    same offset. *)
+val make : id:int -> name:string -> pin array -> t
+
+(** [degree n] is the pin count. *)
+val degree : t -> int
+
+(** [driver n] is [n.pins.(0)]. *)
+val driver : t -> pin
+
+(** [sinks n] is all pins but the driver. *)
+val sinks : t -> pin array
+
+(** [cells n] is the list of distinct cell ids on the net, in first-seen
+    order. *)
+val cells : t -> int list
+
+val pp : Format.formatter -> t -> unit

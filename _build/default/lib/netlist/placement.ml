@@ -1,0 +1,69 @@
+type t = { x : float array; y : float array }
+
+let create (c : Circuit.t) =
+  let n = Circuit.num_cells c in
+  let cx, cy = Geometry.Rect.center c.Circuit.region in
+  let x = Array.make n 0. and y = Array.make n 0. in
+  Array.iter
+    (fun (cl : Cell.t) ->
+      if Cell.movable cl then begin
+        x.(cl.Cell.id) <- cx;
+        y.(cl.Cell.id) <- cy
+      end)
+    c.Circuit.cells;
+  { x; y }
+
+let centered c ~fixed_positions =
+  let p = create c in
+  List.iter
+    (fun (id, (px, py)) ->
+      p.x.(id) <- px;
+      p.y.(id) <- py)
+    fixed_positions;
+  p
+
+let copy p = { x = Array.copy p.x; y = Array.copy p.y }
+
+let cell_rect (c : Circuit.t) p id =
+  let cl = c.Circuit.cells.(id) in
+  Geometry.Rect.of_center ~cx:p.x.(id) ~cy:p.y.(id) ~w:cl.Cell.width
+    ~h:cl.Cell.height
+
+let clamp_to_region (c : Circuit.t) p =
+  let r = c.Circuit.region in
+  Array.iter
+    (fun (cl : Cell.t) ->
+      if Cell.movable cl then begin
+        let id = cl.Cell.id in
+        let hw = cl.Cell.width /. 2. and hh = cl.Cell.height /. 2. in
+        let x_lo = r.Geometry.Rect.x_lo +. hw
+        and x_hi = r.Geometry.Rect.x_hi -. hw in
+        let y_lo = r.Geometry.Rect.y_lo +. hh
+        and y_hi = r.Geometry.Rect.y_hi -. hh in
+        if x_lo <= x_hi then
+          p.x.(id) <- Float.min (Float.max p.x.(id) x_lo) x_hi
+        else p.x.(id) <- (r.Geometry.Rect.x_lo +. r.Geometry.Rect.x_hi) /. 2.;
+        if y_lo <= y_hi then
+          p.y.(id) <- Float.min (Float.max p.y.(id) y_lo) y_hi
+        else p.y.(id) <- (r.Geometry.Rect.y_lo +. r.Geometry.Rect.y_hi) /. 2.
+      end)
+    c.Circuit.cells
+
+let displacement a b =
+  assert (Array.length a.x = Array.length b.x);
+  let acc = ref 0. in
+  for i = 0 to Array.length a.x - 1 do
+    let dx = a.x.(i) -. b.x.(i) and dy = a.y.(i) -. b.y.(i) in
+    acc := !acc +. sqrt ((dx *. dx) +. (dy *. dy))
+  done;
+  !acc
+
+let max_displacement a b =
+  assert (Array.length a.x = Array.length b.x);
+  let acc = ref 0. in
+  for i = 0 to Array.length a.x - 1 do
+    let dx = a.x.(i) -. b.x.(i) and dy = a.y.(i) -. b.y.(i) in
+    let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+    if d > !acc then acc := d
+  done;
+  !acc

@@ -1,0 +1,35 @@
+(** Cell positions for a circuit.
+
+    The paper's placement vector p = (x₁…xₙ, y₁…yₙ)ᵀ, stored as two arrays
+    of cell-centre coordinates indexed by cell id.  Fixed cells carry their
+    pinned coordinates here as well; algorithms must not move them. *)
+
+type t = { x : float array; y : float array }
+
+(** [create circuit] places every movable cell at the region centre (the
+    paper's §4.2 initialisation) and leaves fixed cells at (0,0) until
+    {!pin_fixed} assigns them.  Prefer {!centered}. *)
+val create : Circuit.t -> t
+
+(** [centered circuit ~fixed_positions] is the §4.2 initial placement:
+    movable cells at the region centre, fixed cells at their given
+    coordinates ([fixed_positions] maps cell id to centre coordinates). *)
+val centered : Circuit.t -> fixed_positions:(int * (float * float)) list -> t
+
+(** [copy p] is a deep copy. *)
+val copy : t -> t
+
+(** [cell_rect circuit p id] is the rectangle occupied by cell [id]. *)
+val cell_rect : Circuit.t -> t -> int -> Geometry.Rect.t
+
+(** [clamp_to_region circuit p] moves every movable cell centre so its
+    rectangle stays inside the placement region (cells larger than the
+    region are centred). *)
+val clamp_to_region : Circuit.t -> t -> unit
+
+(** [displacement a b] is the total Euclidean displacement between two
+    placements of the same circuit. *)
+val displacement : t -> t -> float
+
+(** [max_displacement a b] is the largest per-cell displacement. *)
+val max_displacement : t -> t -> float

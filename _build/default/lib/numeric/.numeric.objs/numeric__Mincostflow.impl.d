@@ -1,0 +1,1 @@
+lib/numeric/mincostflow.ml: Array Float List

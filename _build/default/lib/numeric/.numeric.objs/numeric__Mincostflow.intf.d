@@ -1,0 +1,1 @@
+lib/numeric/mincostflow.mli:

@@ -1,0 +1,1 @@
+lib/numeric/poisson.ml: Array Fft Float Vec

@@ -1,0 +1,1 @@
+lib/numeric/poisson.mli:

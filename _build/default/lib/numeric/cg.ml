@@ -1,0 +1,48 @@
+type stats = { iterations : int; residual : float; converged : bool }
+
+let solve ?(tol = 1e-8) ?max_iter ?x0 a b =
+  let n = Sparse.dim a in
+  assert (Array.length b = n);
+  let max_iter = match max_iter with Some m -> m | None -> (4 * n) + 50 in
+  let x = match x0 with Some v -> Vec.copy v | None -> Vec.create n in
+  let inv_diag = Sparse.diagonal a in
+  for i = 0 to n - 1 do
+    if inv_diag.(i) <= 0. then
+      invalid_arg "Cg.solve: non-positive diagonal (matrix not anchored?)";
+    inv_diag.(i) <- 1. /. inv_diag.(i)
+  done;
+  let r = Vec.create n in
+  Sparse.mul a x r;
+  Vec.sub_into b r r;
+  let z = Vec.create n in
+  Vec.mul_into inv_diag r z;
+  let p = Vec.copy z in
+  let ap = Vec.create n in
+  let threshold = tol *. Float.max 1. (Vec.norm2 b) in
+  let rz = ref (Vec.dot r z) in
+  let rnorm = ref (Vec.norm2 r) in
+  let iters = ref 0 in
+  (* Standard PCG recurrence; loop invariant: r = b - a x, z = M⁻¹ r,
+     rz = rᵀz. *)
+  while !rnorm > threshold && !iters < max_iter do
+    Sparse.mul a p ap;
+    let pap = Vec.dot p ap in
+    if pap <= 0. then (
+      (* Numerically lost positive-definiteness; stop with current x. *)
+      iters := max_iter)
+    else begin
+      let alpha = !rz /. pap in
+      Vec.axpy ~alpha p x;
+      Vec.axpy ~alpha:(-.alpha) ap r;
+      Vec.mul_into inv_diag r z;
+      let rz' = Vec.dot r z in
+      let beta = rz' /. !rz in
+      rz := rz';
+      for i = 0 to n - 1 do
+        p.(i) <- z.(i) +. (beta *. p.(i))
+      done;
+      rnorm := Vec.norm2 r;
+      incr iters
+    end
+  done;
+  (x, { iterations = !iters; residual = !rnorm; converged = !rnorm <= threshold })

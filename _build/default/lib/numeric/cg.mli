@@ -1,0 +1,29 @@
+(** Preconditioned conjugate gradient for symmetric positive-definite
+    systems, as used to solve the extended placement equation
+    C·p + d + e = 0 (paper, eq. 3 and §4.1). *)
+
+(** Result of a solve. *)
+type stats = {
+  iterations : int;  (** CG iterations actually performed *)
+  residual : float;  (** final 2-norm of the residual *)
+  converged : bool;  (** [residual <= tol * max 1 (norm b)] *)
+}
+
+(** [solve ?tol ?max_iter ?x0 a b] solves [a x = b] with Jacobi
+    (diagonal) preconditioning and returns the solution with its {!stats}.
+
+    [tol] is a relative tolerance on the residual (default [1e-8]);
+    [max_iter] defaults to [4 * dim + 50]; [x0] is the warm-start guess
+    (default zero — placement transformations warm-start from the previous
+    placement, which is what makes later iterations cheap).
+
+    Raises [Invalid_argument] if a diagonal entry is non-positive, since
+    the placement matrix is positive definite whenever every connected
+    component is anchored by a fixed connection. *)
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:float array ->
+  Sparse.t ->
+  float array ->
+  float array * stats

@@ -1,0 +1,104 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let transform ~inverse re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft.transform: length mismatch";
+  if not (is_pow2 n) then invalid_arg "Fft.transform: length not a power of two";
+  (* Bit-reversal permutation. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) and ti = im.(i) in
+      re.(i) <- re.(!j);
+      im.(i) <- im.(!j);
+      re.(!j) <- tr;
+      im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  (* Iterative Danielson-Lanczos butterflies. *)
+  let sign = if inverse then 1. else -1. in
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let theta = sign *. 2. *. Float.pi /. float_of_int !len in
+    let wr = cos theta and wi = sin theta in
+    let k = ref 0 in
+    while !k < n do
+      let cr = ref 1. and ci = ref 0. in
+      for off = 0 to half - 1 do
+        let i0 = !k + off in
+        let i1 = i0 + half in
+        let tr = (re.(i1) *. !cr) -. (im.(i1) *. !ci) in
+        let ti = (re.(i1) *. !ci) +. (im.(i1) *. !cr) in
+        re.(i1) <- re.(i0) -. tr;
+        im.(i1) <- im.(i0) -. ti;
+        re.(i0) <- re.(i0) +. tr;
+        im.(i0) <- im.(i0) +. ti;
+        let cr' = (!cr *. wr) -. (!ci *. wi) in
+        ci := (!cr *. wi) +. (!ci *. wr);
+        cr := cr'
+      done;
+      k := !k + !len
+    done;
+    len := !len * 2
+  done;
+  if inverse then begin
+    let inv_n = 1. /. float_of_int n in
+    for i = 0 to n - 1 do
+      re.(i) <- re.(i) *. inv_n;
+      im.(i) <- im.(i) *. inv_n
+    done
+  end
+
+let transform2 ~inverse ~rows ~cols re im =
+  if Array.length re <> rows * cols || Array.length im <> rows * cols then
+    invalid_arg "Fft.transform2: size mismatch";
+  (* Rows in place. *)
+  let row_re = Array.make cols 0. and row_im = Array.make cols 0. in
+  for r = 0 to rows - 1 do
+    Array.blit re (r * cols) row_re 0 cols;
+    Array.blit im (r * cols) row_im 0 cols;
+    transform ~inverse row_re row_im;
+    Array.blit row_re 0 re (r * cols) cols;
+    Array.blit row_im 0 im (r * cols) cols
+  done;
+  (* Columns via gather/scatter. *)
+  let col_re = Array.make rows 0. and col_im = Array.make rows 0. in
+  for c = 0 to cols - 1 do
+    for r = 0 to rows - 1 do
+      col_re.(r) <- re.((r * cols) + c);
+      col_im.(r) <- im.((r * cols) + c)
+    done;
+    transform ~inverse col_re col_im;
+    for r = 0 to rows - 1 do
+      re.((r * cols) + c) <- col_re.(r);
+      im.((r * cols) + c) <- col_im.(r)
+    done
+  done
+
+let convolve2 ~rows ~cols a b =
+  let n = rows * cols in
+  if Array.length a <> n || Array.length b <> n then
+    invalid_arg "Fft.convolve2: size mismatch";
+  let ar = Array.copy a and ai = Array.make n 0. in
+  let br = Array.copy b and bi = Array.make n 0. in
+  transform2 ~inverse:false ~rows ~cols ar ai;
+  transform2 ~inverse:false ~rows ~cols br bi;
+  for i = 0 to n - 1 do
+    let pr = (ar.(i) *. br.(i)) -. (ai.(i) *. bi.(i)) in
+    let pi = (ar.(i) *. bi.(i)) +. (ai.(i) *. br.(i)) in
+    ar.(i) <- pr;
+    ai.(i) <- pi
+  done;
+  transform2 ~inverse:true ~rows ~cols ar ai;
+  ar

@@ -1,0 +1,29 @@
+(** Radix-2 fast Fourier transforms.
+
+    Used to evaluate the open-boundary force-field convolution of the
+    paper's eq. (9) in O(G² log G) on a G×G density grid.  Data is held in
+    separate real/imaginary arrays; 2-D data is row-major. *)
+
+(** [is_pow2 n] is true when [n] is a positive power of two. *)
+val is_pow2 : int -> bool
+
+(** [next_pow2 n] is the smallest power of two ≥ [max 1 n]. *)
+val next_pow2 : int -> int
+
+(** [transform ~inverse re im] performs the in-place FFT of the complex
+    sequence [re + i·im].  The inverse transform includes the 1/n
+    normalisation.  Raises [Invalid_argument] unless the length is a
+    power of two and both arrays agree. *)
+val transform : inverse:bool -> float array -> float array -> unit
+
+(** [transform2 ~inverse ~rows ~cols re im] performs the in-place 2-D FFT
+    of a [rows]×[cols] row-major complex grid.  Both dimensions must be
+    powers of two. *)
+val transform2 :
+  inverse:bool -> rows:int -> cols:int -> float array -> float array -> unit
+
+(** [convolve2 ~rows ~cols a b] is the 2-D {e cyclic} convolution of two
+    real [rows]×[cols] grids.  Callers wanting linear (open-boundary)
+    convolution must zero-pad to at least twice the support first. *)
+val convolve2 :
+  rows:int -> cols:int -> float array -> float array -> float array

@@ -1,0 +1,232 @@
+type t = {
+  n : int;
+  (* Adjacency as growable parallel arrays; edge i and i lxor 1 are a
+     forward/backward pair. *)
+  mutable dst : int array;
+  mutable cap : int array;
+  mutable cost : float array;
+  mutable len : int;
+  mutable head : int list array; (* edge indices per node *)
+  mutable solved : bool;
+}
+
+type edge = int
+
+let create n =
+  {
+    n;
+    dst = Array.make 16 0;
+    cap = Array.make 16 0;
+    cost = Array.make 16 0.;
+    len = 0;
+    head = Array.make n [];
+    solved = false;
+  }
+
+let push g dst cap cost =
+  if g.len = Array.length g.dst then begin
+    let grow a fill =
+      let a' = Array.make (2 * g.len) fill in
+      Array.blit a 0 a' 0 g.len;
+      a'
+    in
+    g.dst <- grow g.dst 0;
+    g.cap <- grow g.cap 0;
+    g.cost <- grow g.cost 0.
+  end;
+  g.dst.(g.len) <- dst;
+  g.cap.(g.len) <- cap;
+  g.cost.(g.len) <- cost;
+  g.len <- g.len + 1
+
+let add_edge g ~src ~dst ~capacity ~cost =
+  if src < 0 || src >= g.n || dst < 0 || dst >= g.n then
+    invalid_arg "Mincostflow.add_edge: node out of range";
+  if capacity < 0 then invalid_arg "Mincostflow.add_edge: negative capacity";
+  let e = g.len in
+  push g dst capacity cost;
+  push g src 0 (-.cost);
+  g.head.(src) <- e :: g.head.(src);
+  g.head.(dst) <- (e + 1) :: g.head.(dst);
+  e
+
+(* A tiny binary heap of (distance, node). *)
+module Heap = struct
+  type t = { mutable data : (float * int) array; mutable size : int }
+
+  let create () = { data = Array.make 16 (0., 0); size = 0 }
+
+  let push h x =
+    if h.size = Array.length h.data then begin
+      let d = Array.make (2 * h.size) (0., 0) in
+      Array.blit h.data 0 d 0 h.size;
+      h.data <- d
+    end;
+    h.data.(h.size) <- x;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+let solve g ~source ~sink ?(max_flow = max_int) () =
+  if g.solved then invalid_arg "Mincostflow.solve: already solved";
+  g.solved <- true;
+  let potential = Array.make g.n 0. in
+  (* Bellman–Ford once to admit negative edge costs. *)
+  let changed = ref true and rounds = ref 0 in
+  while !changed && !rounds <= g.n do
+    changed := false;
+    incr rounds;
+    for e = 0 to g.len - 1 do
+      if g.cap.(e) > 0 then begin
+        let u = g.dst.(e lxor 1) and v = g.dst.(e) in
+        if potential.(u) +. g.cost.(e) < potential.(v) -. 1e-12 then begin
+          potential.(v) <- potential.(u) +. g.cost.(e);
+          changed := true
+        end
+      end
+    done
+  done;
+  if !changed then failwith "Mincostflow.solve: negative cost cycle";
+  let dist = Array.make g.n Float.infinity in
+  let prev_edge = Array.make g.n (-1) in
+  let total_flow = ref 0 and total_cost = ref 0. in
+  let continue = ref true in
+  while !continue && !total_flow < max_flow do
+    (* Dijkstra on reduced costs. *)
+    Array.fill dist 0 g.n Float.infinity;
+    Array.fill prev_edge 0 g.n (-1);
+    dist.(source) <- 0.;
+    let heap = Heap.create () in
+    Heap.push heap (0., source);
+    let rec drain () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some (d, u) ->
+        if d <= dist.(u) +. 1e-12 then
+          List.iter
+            (fun e ->
+              if g.cap.(e) > 0 then begin
+                let v = g.dst.(e) in
+                (* Clamp the reduced cost at zero: accumulated float error
+                   in the potentials can make it infinitesimally negative,
+                   which would admit "improving" cycles and stall the
+                   search.  Exact reduced costs of shortest-path-tree
+                   edges are zero, so the clamp preserves optimality up
+                   to float precision. *)
+                let rc =
+                  Float.max 0. (g.cost.(e) +. potential.(u) -. potential.(v))
+                in
+                let nd = d +. rc in
+                if nd < dist.(v) -. 1e-12 then begin
+                  dist.(v) <- nd;
+                  prev_edge.(v) <- e;
+                  Heap.push heap (nd, v)
+                end
+              end)
+            g.head.(u);
+        drain ()
+    in
+    drain ();
+    if dist.(sink) = Float.infinity then continue := false
+    else begin
+      for v = 0 to g.n - 1 do
+        if dist.(v) < Float.infinity then
+          potential.(v) <- potential.(v) +. dist.(v)
+      done;
+      (* Bottleneck along the path. *)
+      let bottleneck = ref (max_flow - !total_flow) in
+      let v = ref sink in
+      while !v <> source do
+        let e = prev_edge.(!v) in
+        if g.cap.(e) < !bottleneck then bottleneck := g.cap.(e);
+        v := g.dst.(e lxor 1)
+      done;
+      let v = ref sink in
+      while !v <> source do
+        let e = prev_edge.(!v) in
+        g.cap.(e) <- g.cap.(e) - !bottleneck;
+        g.cap.(e lxor 1) <- g.cap.(e lxor 1) + !bottleneck;
+        total_cost := !total_cost +. (float_of_int !bottleneck *. g.cost.(e));
+        v := g.dst.(e lxor 1)
+      done;
+      total_flow := !total_flow + !bottleneck
+    end
+  done;
+  (!total_flow, !total_cost)
+
+let flow g e =
+  (* Flow pushed forward equals the residual capacity of the reverse
+     edge. *)
+  g.cap.(e lxor 1)
+
+let assignment ~costs =
+  let n_agents = Array.length costs in
+  if n_agents = 0 then [||]
+  else begin
+    let n_objects = Array.length costs.(0) in
+    if n_agents > n_objects then
+      invalid_arg "Mincostflow.assignment: more agents than objects";
+    Array.iter
+      (fun row ->
+        if Array.length row <> n_objects then
+          invalid_arg "Mincostflow.assignment: ragged cost matrix")
+      costs;
+    (* Nodes: 0 = source, 1 … n_agents = agents,
+       n_agents+1 … n_agents+n_objects = objects, last = sink. *)
+    let g = create (n_agents + n_objects + 2) in
+    let source = 0 and sink = n_agents + n_objects + 1 in
+    for i = 0 to n_agents - 1 do
+      ignore (add_edge g ~src:source ~dst:(1 + i) ~capacity:1 ~cost:0.)
+    done;
+    let handles = Array.make_matrix n_agents n_objects 0 in
+    for i = 0 to n_agents - 1 do
+      for j = 0 to n_objects - 1 do
+        handles.(i).(j) <-
+          add_edge g ~src:(1 + i) ~dst:(1 + n_agents + j) ~capacity:1
+            ~cost:costs.(i).(j)
+      done
+    done;
+    for j = 0 to n_objects - 1 do
+      ignore (add_edge g ~src:(1 + n_agents + j) ~dst:sink ~capacity:1 ~cost:0.)
+    done;
+    let pushed, _ = solve g ~source ~sink () in
+    if pushed < n_agents then failwith "Mincostflow.assignment: infeasible";
+    let result = Array.make n_agents (-1) in
+    for i = 0 to n_agents - 1 do
+      for j = 0 to n_objects - 1 do
+        if flow g handles.(i).(j) > 0 then result.(i) <- j
+      done
+    done;
+    result
+  end

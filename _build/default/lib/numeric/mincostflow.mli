@@ -1,0 +1,34 @@
+(** Minimum-cost maximum-flow on sparse directed graphs.
+
+    Successive-shortest-paths with Johnson potentials (Dijkstra on the
+    reduced costs), sufficient for the assignment-sized problems of the
+    Domino-like detailed placer — the paper's final placement step is
+    built on exactly this primitive ("iterative placement improvement by
+    network flow methods", [17]). *)
+
+type t
+
+(** An edge handle for querying flow after {!solve}. *)
+type edge
+
+(** [create n] is an empty graph on nodes [0 … n−1]. *)
+val create : int -> t
+
+(** [add_edge g ~src ~dst ~capacity ~cost] adds a directed edge (and its
+    zero-capacity reverse).  Negative costs are allowed; capacities must
+    be non-negative. *)
+val add_edge : t -> src:int -> dst:int -> capacity:int -> cost:float -> edge
+
+(** [solve g ~source ~sink ?max_flow ()] pushes flow along successive
+    cheapest paths until [max_flow] (default unlimited) or saturation;
+    returns (total flow, total cost).  May be called once per graph. *)
+val solve : t -> source:int -> sink:int -> ?max_flow:int -> unit -> int * float
+
+(** [flow g e] is the flow routed through edge [e] after {!solve}. *)
+val flow : t -> edge -> int
+
+(** [assignment ~costs] solves the rectangular assignment problem: agent
+    [i] gets object [j] minimising the total of [costs.(i).(j)], with at
+    most one agent per object; requires #agents ≤ #objects.  Returns the
+    chosen object per agent.  Convenience wrapper over the flow solver. *)
+val assignment : costs:float array array -> int array

@@ -1,0 +1,145 @@
+type field = { rows : int; cols : int; fx : float array; fy : float array }
+
+let check_size ~rows ~cols density name =
+  if rows <= 0 || cols <= 0 then invalid_arg (name ^ ": empty grid");
+  if Array.length density <> rows * cols then invalid_arg (name ^ ": size mismatch")
+
+let two_pi = 2. *. Float.pi
+
+let direct_force_field ~rows ~cols ~hx ~hy density =
+  check_size ~rows ~cols density "Poisson.direct_force_field";
+  let fx = Array.make (rows * cols) 0. in
+  let fy = Array.make (rows * cols) 0. in
+  let cell_area = hx *. hy in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let ax = ref 0. and ay = ref 0. in
+      for r' = 0 to rows - 1 do
+        for c' = 0 to cols - 1 do
+          if r <> r' || c <> c' then begin
+            let d = density.((r' * cols) + c') in
+            if d <> 0. then begin
+              let dx = float_of_int (c - c') *. hx in
+              let dy = float_of_int (r - r') *. hy in
+              let r2 = (dx *. dx) +. (dy *. dy) in
+              ax := !ax +. (d *. dx /. r2);
+              ay := !ay +. (d *. dy /. r2)
+            end
+          end
+        done
+      done;
+      fx.((r * cols) + c) <- !ax *. cell_area /. two_pi;
+      fy.((r * cols) + c) <- !ay *. cell_area /. two_pi
+    done
+  done;
+  { rows; cols; fx; fy }
+
+let fft_force_field ~rows ~cols ~hx ~hy density =
+  check_size ~rows ~cols density "Poisson.fft_force_field";
+  let prows = Fft.next_pow2 (2 * rows) in
+  let pcols = Fft.next_pow2 (2 * cols) in
+  let n = prows * pcols in
+  let src = Array.make n 0. in
+  for r = 0 to rows - 1 do
+    Array.blit density (r * cols) src (r * pcols) cols
+  done;
+  (* Force kernels indexed by offset (dr, dc) with wraparound for negative
+     offsets, so the cyclic convolution on the padded grid equals the
+     linear convolution on the original one. *)
+  let kx = Array.make n 0. and ky = Array.make n 0. in
+  let cell_area = hx *. hy in
+  for dr = -(rows - 1) to rows - 1 do
+    for dc = -(cols - 1) to cols - 1 do
+      if dr <> 0 || dc <> 0 then begin
+        let dx = float_of_int dc *. hx in
+        let dy = float_of_int dr *. hy in
+        let r2 = (dx *. dx) +. (dy *. dy) in
+        let idx_r = if dr >= 0 then dr else prows + dr in
+        let idx_c = if dc >= 0 then dc else pcols + dc in
+        let i = (idx_r * pcols) + idx_c in
+        kx.(i) <- dx /. r2 *. cell_area /. two_pi;
+        ky.(i) <- dy /. r2 *. cell_area /. two_pi
+      end
+    done
+  done;
+  let conv_x = Fft.convolve2 ~rows:prows ~cols:pcols src kx in
+  let conv_y = Fft.convolve2 ~rows:prows ~cols:pcols src ky in
+  let fx = Array.make (rows * cols) 0. in
+  let fy = Array.make (rows * cols) 0. in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      fx.((r * cols) + c) <- conv_x.((r * pcols) + c);
+      fy.((r * cols) + c) <- conv_y.((r * pcols) + c)
+    done
+  done;
+  { rows; cols; fx; fy }
+
+let sor_potential ~rows ~cols ~hx ~hy ?(omega = 1.8) ?(tol = 1e-7) ?(max_iter = 10_000)
+    density =
+  check_size ~rows ~cols density "Poisson.sor_potential";
+  let phi = Array.make (rows * cols) 0. in
+  let hx2 = hx *. hx and hy2 = hy *. hy in
+  (* 5-point stencil of ∇²Φ = D with Φ = 0 outside the grid. *)
+  let denom = 2. *. ((1. /. hx2) +. (1. /. hy2)) in
+  let iter = ref 0 in
+  let delta = ref Float.infinity in
+  while !delta > tol && !iter < max_iter do
+    delta := 0.;
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        let get rr cc =
+          if rr < 0 || rr >= rows || cc < 0 || cc >= cols then 0.
+          else phi.((rr * cols) + cc)
+        in
+        let i = (r * cols) + c in
+        let sum =
+          ((get r (c - 1) +. get r (c + 1)) /. hx2)
+          +. ((get (r - 1) c +. get (r + 1) c) /. hy2)
+        in
+        let gs = (sum -. density.(i)) /. denom in
+        let updated = phi.(i) +. (omega *. (gs -. phi.(i))) in
+        let d = Float.abs (updated -. phi.(i)) in
+        if d > !delta then delta := d;
+        phi.(i) <- updated
+      done
+    done;
+    incr iter
+  done;
+  phi
+
+let gradient_force ~rows ~cols ~hx ~hy phi =
+  check_size ~rows ~cols phi "Poisson.gradient_force";
+  let fx = Array.make (rows * cols) 0. in
+  let fy = Array.make (rows * cols) 0. in
+  let get r c = phi.((r * cols) + c) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let dpx =
+        if cols = 1 then 0.
+        else if c = 0 then (get r 1 -. get r 0) /. hx
+        else if c = cols - 1 then (get r (cols - 1) -. get r (cols - 2)) /. hx
+        else (get r (c + 1) -. get r (c - 1)) /. (2. *. hx)
+      in
+      let dpy =
+        if rows = 1 then 0.
+        else if r = 0 then (get 1 c -. get 0 c) /. hy
+        else if r = rows - 1 then (get (rows - 1) c -. get (rows - 2) c) /. hy
+        else (get (r + 1) c -. get (r - 1) c) /. (2. *. hy)
+      in
+      fx.((r * cols) + c) <- -.dpx;
+      fy.((r * cols) + c) <- -.dpy
+    done
+  done;
+  { rows; cols; fx; fy }
+
+let max_magnitude f =
+  let acc = ref 0. in
+  for i = 0 to Array.length f.fx - 1 do
+    let m = sqrt ((f.fx.(i) *. f.fx.(i)) +. (f.fy.(i) *. f.fy.(i))) in
+    if m > !acc then acc := m
+  done;
+  !acc
+
+let scale_field s f =
+  Vec.scale s f.fx;
+  Vec.scale s f.fy

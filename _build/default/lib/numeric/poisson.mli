@@ -1,0 +1,61 @@
+(** Force fields from density, per the paper's §3.3.
+
+    Given the supply/demand density D(x,y) of eq. (4), the additional force
+    field is the open-boundary solution of Poisson's equation, evaluated
+    directly as the convolution of eq. (9):
+
+    f(r) = k/(2π) ∬ D(r') · (r − r') / |r − r'|² dA'
+
+    Positive density repels (cells push each other apart); negative density
+    (free placement area) attracts.  Three evaluators are provided:
+
+    - {!direct_force_field}: O(G⁴) summation — the test oracle;
+    - {!fft_force_field}: zero-padded FFT convolution, O(G² log G) — used
+      by the placer;
+    - {!sor_potential} + {!gradient_force}: a Dirichlet-boundary SOR
+      solve of ∇²Φ = D followed by f = −∇Φ — an ablation with closed
+      instead of open boundary conditions.
+
+    All grids are row-major [rows × cols] with grid pitch [hx × hy];
+    density values are per unit area. *)
+
+(** A vector field sampled at grid-bin centres. *)
+type field = { rows : int; cols : int; fx : float array; fy : float array }
+
+(** [direct_force_field ~rows ~cols ~hx ~hy density] evaluates eq. (9) by
+    direct summation with k = 1.  The self-term (r = r') is skipped, which
+    corresponds to the principal value of the singular integral. *)
+val direct_force_field :
+  rows:int -> cols:int -> hx:float -> hy:float -> float array -> field
+
+(** [fft_force_field ~rows ~cols ~hx ~hy density] evaluates the same
+    convolution with zero padding to the next power of two ≥ 2·G, so the
+    result is the open-boundary (linear, non-cyclic) convolution.  Agrees
+    with {!direct_force_field} to machine precision. *)
+val fft_force_field :
+  rows:int -> cols:int -> hx:float -> hy:float -> float array -> field
+
+(** [sor_potential ~rows ~cols ~hx ~hy ?omega ?tol ?max_iter density]
+    solves ∇²Φ = density with Φ = 0 on the boundary by successive
+    over-relaxation and returns Φ. *)
+val sor_potential :
+  rows:int ->
+  cols:int ->
+  hx:float ->
+  hy:float ->
+  ?omega:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  float array ->
+  float array
+
+(** [gradient_force ~rows ~cols ~hx ~hy phi] is f = −∇Φ by central
+    differences (one-sided at the boundary). *)
+val gradient_force :
+  rows:int -> cols:int -> hx:float -> hy:float -> float array -> field
+
+(** [max_magnitude f] is the largest |f| over the field. *)
+val max_magnitude : field -> float
+
+(** [scale_field s f] multiplies both components in place. *)
+val scale_field : float -> field -> unit

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic component of the repository (benchmark generator,
+    annealer, FM tie-breaking, clique sampling) draws from an explicit
+    [Rng.t] so experiments are reproducible across runs and OCaml
+    versions — the stdlib [Random] state is never touched. *)
+
+type t
+
+(** [create seed] is a generator seeded deterministically from [seed]. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same state. *)
+val copy : t -> t
+
+(** [split t] derives a new independent generator from [t]'s stream. *)
+val split : t -> t
+
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+(** [uniform t lo hi] is uniform in [lo, hi). *)
+val uniform : t -> float -> float -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [geometric t p] counts Bernoulli([p]) failures before the first
+    success (support 0, 1, 2, …); [p] must be in (0, 1]. *)
+val geometric : t -> float -> int
+
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t a] picks a uniform element of the non-empty array [a]. *)
+val choose : t -> 'a array -> 'a

@@ -1,0 +1,173 @@
+type t = {
+  n : int;
+  row_start : int array; (* length n + 1 *)
+  col : int array;
+  value : float array;
+}
+
+type builder = {
+  bn : int;
+  mutable bi : int array;
+  mutable bj : int array;
+  mutable bv : float array;
+  mutable len : int;
+}
+
+let builder n =
+  if n < 0 then invalid_arg "Sparse.builder: negative dimension";
+  { bn = n; bi = Array.make 16 0; bj = Array.make 16 0; bv = Array.make 16 0.; len = 0 }
+
+let ensure_capacity b =
+  if b.len = Array.length b.bi then begin
+    let cap = 2 * Array.length b.bi in
+    let grow a fill =
+      let a' = Array.make cap fill in
+      Array.blit a 0 a' 0 b.len;
+      a'
+    in
+    b.bi <- grow b.bi 0;
+    b.bj <- grow b.bj 0;
+    b.bv <- grow b.bv 0.
+  end
+
+let add b i j v =
+  if i < 0 || i >= b.bn || j < 0 || j >= b.bn then
+    invalid_arg "Sparse.add: index out of range";
+  ensure_capacity b;
+  b.bi.(b.len) <- i;
+  b.bj.(b.len) <- j;
+  b.bv.(b.len) <- v;
+  b.len <- b.len + 1
+
+let add_sym b i j v =
+  add b i j v;
+  if i <> j then add b j i v
+
+let add_diag b i v = add b i i v
+
+let finalize b =
+  let n = b.bn in
+  (* Count entries per row, prefix-sum into row_start, then scatter.
+     Duplicates are merged afterwards by compacting sorted rows. *)
+  let count = Array.make (n + 1) 0 in
+  for k = 0 to b.len - 1 do
+    count.(b.bi.(k) + 1) <- count.(b.bi.(k) + 1) + 1
+  done;
+  for i = 1 to n do
+    count.(i) <- count.(i) + count.(i - 1)
+  done;
+  let row_start = Array.copy count in
+  let col = Array.make b.len 0 in
+  let value = Array.make b.len 0. in
+  let cursor = Array.copy row_start in
+  for k = 0 to b.len - 1 do
+    let i = b.bi.(k) in
+    let p = cursor.(i) in
+    col.(p) <- b.bj.(k);
+    value.(p) <- b.bv.(k);
+    cursor.(i) <- p + 1
+  done;
+  (* Sort each row by column (insertion sort: rows are short) and merge
+     duplicates in place. *)
+  let out_col = Array.make b.len 0 in
+  let out_val = Array.make b.len 0. in
+  let out_start = Array.make (n + 1) 0 in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    out_start.(i) <- !w;
+    let lo = row_start.(i) and hi = cursor.(i) in
+    for p = lo + 1 to hi - 1 do
+      let c = col.(p) and v = value.(p) in
+      let q = ref p in
+      while !q > lo && col.(!q - 1) > c do
+        col.(!q) <- col.(!q - 1);
+        value.(!q) <- value.(!q - 1);
+        decr q
+      done;
+      col.(!q) <- c;
+      value.(!q) <- v
+    done;
+    let p = ref lo in
+    while !p < hi do
+      let c = col.(!p) in
+      let acc = ref 0. in
+      while !p < hi && col.(!p) = c do
+        acc := !acc +. value.(!p);
+        incr p
+      done;
+      if !acc <> 0. then begin
+        out_col.(!w) <- c;
+        out_val.(!w) <- !acc;
+        incr w
+      end
+    done
+  done;
+  out_start.(n) <- !w;
+  {
+    n;
+    row_start = out_start;
+    col = Array.sub out_col 0 !w;
+    value = Array.sub out_val 0 !w;
+  }
+
+let dim m = m.n
+
+let nnz m = Array.length m.col
+
+let mul m x y =
+  assert (Array.length x = m.n && Array.length y = m.n);
+  for i = 0 to m.n - 1 do
+    let acc = ref 0. in
+    for p = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+      acc := !acc +. (m.value.(p) *. x.(m.col.(p)))
+    done;
+    y.(i) <- !acc
+  done
+
+let diagonal m =
+  let d = Array.make m.n 0. in
+  for i = 0 to m.n - 1 do
+    for p = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+      if m.col.(p) = i then d.(i) <- m.value.(p)
+    done
+  done;
+  d
+
+let entry m i j =
+  if i < 0 || i >= m.n || j < 0 || j >= m.n then
+    invalid_arg "Sparse.entry: index out of range";
+  let acc = ref 0. in
+  for p = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+    if m.col.(p) = j then acc := m.value.(p)
+  done;
+  !acc
+
+let is_symmetric ?(tol = 1e-9) m =
+  let ok = ref true in
+  for i = 0 to m.n - 1 do
+    for p = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+      let j = m.col.(p) in
+      if Float.abs (m.value.(p) -. entry m j i) > tol then ok := false
+    done
+  done;
+  !ok
+
+let of_dense a =
+  let n = Array.length a in
+  let b = builder n in
+  for i = 0 to n - 1 do
+    if Array.length a.(i) <> n then invalid_arg "Sparse.of_dense: not square";
+    for j = 0 to n - 1 do
+      if a.(i).(j) <> 0. then add b i j a.(i).(j)
+    done
+  done;
+  finalize b
+
+let to_dense m =
+  let a = Array.make_matrix m.n m.n 0. in
+  for i = 0 to m.n - 1 do
+    for p = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+      a.(i).(m.col.(p)) <- m.value.(p)
+    done
+  done;
+  a

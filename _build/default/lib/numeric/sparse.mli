@@ -1,0 +1,62 @@
+(** Sparse symmetric matrices in compressed-sparse-row form.
+
+    The quadratic placement objective (paper, eq. 1) yields a symmetric
+    positive-definite matrix C whose off-diagonal entries are the negated
+    clique edge weights and whose diagonal accumulates all incident weights.
+    Matrices are assembled through a mutable {!builder} that accepts
+    duplicate coordinate entries (they are summed) and then frozen into an
+    immutable CSR {!t} for fast matrix-vector products. *)
+
+(** Frozen CSR matrix. *)
+type t
+
+(** Mutable assembly buffer. *)
+type builder
+
+(** [builder n] is an empty builder for an [n]×[n] matrix. *)
+val builder : int -> builder
+
+(** [add b i j v] adds [v] to entry (i, j).  Symmetry is the caller's
+    responsibility: call it for both (i, j) and (j, i), or use
+    {!add_sym}. *)
+val add : builder -> int -> int -> float -> unit
+
+(** [add_sym b i j v] adds [v] at (i, j) and (j, i); if [i = j] the value
+    is added once. *)
+val add_sym : builder -> int -> int -> float -> unit
+
+(** [add_diag b i v] adds [v] to the diagonal entry (i, i). *)
+val add_diag : builder -> int -> float -> unit
+
+(** [finalize b] sums duplicates, drops explicit zeros and freezes the
+    builder into CSR form.  The builder may be reused afterwards. *)
+val finalize : builder -> t
+
+(** [dim m] is the row (= column) count. *)
+val dim : t -> int
+
+(** [nnz m] is the number of stored entries. *)
+val nnz : t -> int
+
+(** [mul m x y] writes [m * x] into [y]. *)
+val mul : t -> float array -> float array -> unit
+
+(** [diagonal m] is a fresh array of the diagonal entries (zero where the
+    diagonal is not stored). *)
+val diagonal : t -> float array
+
+(** [entry m i j] is the stored value at (i, j), or [0.] if absent.
+    Linear in the number of entries of row [i]; intended for tests. *)
+val entry : t -> int -> int -> float
+
+(** [is_symmetric ?tol m] checks stored symmetry up to [tol]
+    (default [1e-9]); intended for tests. *)
+val is_symmetric : ?tol:float -> t -> bool
+
+(** [of_dense a] builds a CSR matrix from a square dense array;
+    intended for tests. *)
+val of_dense : float array array -> t
+
+(** [to_dense m] expands to a dense array; intended for tests on small
+    matrices. *)
+val to_dense : t -> float array array

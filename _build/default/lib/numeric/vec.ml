@@ -1,0 +1,65 @@
+let create n = Array.make n 0.
+
+let copy = Array.copy
+
+let fill_zero v = Array.fill v 0 (Array.length v) 0.
+
+let dot a b =
+  assert (Array.length a = Array.length b);
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 v = sqrt (dot v v)
+
+let norm_inf v =
+  let acc = ref 0. in
+  for i = 0 to Array.length v - 1 do
+    let m = Float.abs v.(i) in
+    if m > !acc then acc := m
+  done;
+  !acc
+
+let axpy ~alpha x y =
+  assert (Array.length x = Array.length y);
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let scale alpha v =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- alpha *. v.(i)
+  done
+
+let add_into a b dst =
+  assert (Array.length a = Array.length b && Array.length a = Array.length dst);
+  for i = 0 to Array.length a - 1 do
+    dst.(i) <- a.(i) +. b.(i)
+  done
+
+let sub_into a b dst =
+  assert (Array.length a = Array.length b && Array.length a = Array.length dst);
+  for i = 0 to Array.length a - 1 do
+    dst.(i) <- a.(i) -. b.(i)
+  done
+
+let mul_into a b dst =
+  assert (Array.length a = Array.length b && Array.length a = Array.length dst);
+  for i = 0 to Array.length a - 1 do
+    dst.(i) <- a.(i) *. b.(i)
+  done
+
+let max_abs_diff a b =
+  assert (Array.length a = Array.length b);
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let m = Float.abs (a.(i) -. b.(i)) in
+    if m > !acc then acc := m
+  done;
+  !acc
+
+let mean v =
+  if Array.length v = 0 then invalid_arg "Vec.mean: empty vector";
+  Array.fold_left ( +. ) 0. v /. float_of_int (Array.length v)

@@ -1,0 +1,46 @@
+(** Dense float-vector operations.
+
+    Thin helpers over [float array] used by the sparse solvers.  All
+    operations are length-checked with assertions; destructive variants are
+    suffixed [_into]. *)
+
+(** [create n] is a zero vector of length [n]. *)
+val create : int -> float array
+
+(** [copy v] is a fresh copy of [v]. *)
+val copy : float array -> float array
+
+(** [fill_zero v] sets every component of [v] to [0.]. *)
+val fill_zero : float array -> unit
+
+(** [dot a b] is the inner product of [a] and [b]. *)
+val dot : float array -> float array -> float
+
+(** [norm2 v] is the Euclidean norm of [v]. *)
+val norm2 : float array -> float
+
+(** [norm_inf v] is the maximum absolute component of [v]. *)
+val norm_inf : float array -> float
+
+(** [axpy ~alpha x y] updates [y <- alpha * x + y] in place. *)
+val axpy : alpha:float -> float array -> float array -> unit
+
+(** [scale alpha v] updates [v <- alpha * v] in place. *)
+val scale : float -> float array -> unit
+
+(** [add_into a b dst] writes the component-wise sum of [a] and [b]
+    into [dst]. *)
+val add_into : float array -> float array -> float array -> unit
+
+(** [sub_into a b dst] writes [a - b] component-wise into [dst]. *)
+val sub_into : float array -> float array -> float array -> unit
+
+(** [mul_into a b dst] writes the component-wise product into [dst]. *)
+val mul_into : float array -> float array -> float array -> unit
+
+(** [max_abs_diff a b] is the infinity norm of [a - b]. *)
+val max_abs_diff : float array -> float array -> float
+
+(** [mean v] is the arithmetic mean; raises [Invalid_argument] on an
+    empty vector. *)
+val mean : float array -> float

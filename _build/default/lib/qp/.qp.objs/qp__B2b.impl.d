@@ -1,0 +1,1 @@
+lib/qp/b2b.ml: Array Float List Model Netlist

@@ -1,0 +1,1 @@
+lib/qp/b2b.mli: Netlist

@@ -1,0 +1,1 @@
+lib/qp/model.ml: Array Fun List Netlist Numeric

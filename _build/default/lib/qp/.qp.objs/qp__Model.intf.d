@@ -1,0 +1,1 @@
+lib/qp/model.mli: Netlist Numeric

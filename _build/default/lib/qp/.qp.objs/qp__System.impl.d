@@ -1,0 +1,1 @@
+lib/qp/system.ml: Array B2b Float Geometry List Model Netlist Numeric

@@ -1,0 +1,1 @@
+lib/qp/system.mli: Netlist Numeric

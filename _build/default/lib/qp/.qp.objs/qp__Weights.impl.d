@@ -1,0 +1,1 @@
+lib/qp/weights.ml: Float Geometry

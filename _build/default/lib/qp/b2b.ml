@@ -1,0 +1,50 @@
+type edge = {
+  pin_a : Netlist.Net.pin;
+  pin_b : Netlist.Net.pin;
+  weight : float;
+}
+
+let edges ~coord (net : Netlist.Net.t) =
+  let pins = net.Netlist.Net.pins in
+  let k = Array.length pins in
+  if k = 2 then
+    (* Two pins: the general weight 2/((k−1)·span) = 2/span, making the
+       objective 2·span like every other degree (the model is uniformly
+       twice the half perimeter at the linearisation point). *)
+    [ { pin_a = pins.(0); pin_b = pins.(1);
+        weight = 2. /. Float.max 1e-6 (Float.abs (coord pins.(0) -. coord pins.(1))) } ]
+  else begin
+    (* Find the boundary pins on this axis. *)
+    let min_i = ref 0 and max_i = ref 0 in
+    Array.iteri
+      (fun i p ->
+        if coord p < coord pins.(!min_i) then min_i := i;
+        if coord p > coord pins.(!max_i) then max_i := i)
+      pins;
+    let span = coord pins.(!max_i) -. coord pins.(!min_i) in
+    if span < 1e-6 then
+      (* Degenerate: all pins coincide on this axis — clique fallback. *)
+      Model.edges net
+      |> List.map (fun (e : Model.edge) ->
+             { pin_a = e.Model.pin_a; pin_b = e.Model.pin_b; weight = e.Model.weight })
+    else begin
+      let w_of a b =
+        2. /. (float_of_int (k - 1) *. Float.max 1e-6 (Float.abs (coord a -. coord b)))
+      in
+      let acc = ref [] in
+      (* Boundary-to-boundary edge once, plus every interior pin to both
+         boundaries. *)
+      acc :=
+        { pin_a = pins.(!min_i); pin_b = pins.(!max_i);
+          weight = w_of pins.(!min_i) pins.(!max_i) }
+        :: !acc;
+      Array.iteri
+        (fun i p ->
+          if i <> !min_i && i <> !max_i then begin
+            acc := { pin_a = p; pin_b = pins.(!min_i); weight = w_of p pins.(!min_i) } :: !acc;
+            acc := { pin_a = p; pin_b = pins.(!max_i); weight = w_of p pins.(!max_i) } :: !acc
+          end)
+        pins;
+      !acc
+    end
+  end

@@ -1,0 +1,22 @@
+(** The Bound2Bound net model (Spindler, Schlichtmann & Johannes, 2008)
+    as a forward-looking extension of the paper's clique model.
+
+    Per axis, each net connects every pin to the two boundary pins of the
+    net's current bounding box with weight 2 / ((k−1)·|span|), which makes
+    the quadratic objective equal the half-perimeter wire length at the
+    linearisation point.  Unlike the clique model, the expansion differs
+    between the x and y axes, so callers assemble one system per axis
+    with {!System_xy}. *)
+
+(** One axis-specific spring between two pins. *)
+type edge = {
+  pin_a : Netlist.Net.pin;
+  pin_b : Netlist.Net.pin;
+  weight : float;
+}
+
+(** [edges ~coord net] expands one net along the axis whose pin
+    coordinate is given by [coord] (absolute pin position).  Degenerate
+    nets (zero span) fall back to clique weights so connectivity is never
+    lost. *)
+val edges : coord:(Netlist.Net.pin -> float) -> Netlist.Net.t -> edge list

@@ -1,0 +1,51 @@
+type edge = {
+  pin_a : Netlist.Net.pin;
+  pin_b : Netlist.Net.pin;
+  weight : float;
+}
+
+let total_weight k = float_of_int (k - 1) /. 2.
+
+let clique_edges pins =
+  let k = Array.length pins in
+  let w = 1. /. float_of_int k in
+  let acc = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      acc := { pin_a = pins.(i); pin_b = pins.(j); weight = w } :: !acc
+    done
+  done;
+  !acc
+
+let sampled_edges rng pins =
+  let k = Array.length pins in
+  (* Cycle through all pins guarantees connectivity; add k random chords
+     for stiffness diversity.  Duplicate chords are harmless (weights
+     sum). *)
+  let order = Array.init k Fun.id in
+  Numeric.Rng.shuffle rng order;
+  let edges = ref [] in
+  let add i j = edges := (i, j) :: !edges in
+  for i = 0 to k - 1 do
+    add order.(i) order.((i + 1) mod k)
+  done;
+  for _ = 1 to k do
+    let i = Numeric.Rng.int rng k in
+    let j = Numeric.Rng.int rng k in
+    if i <> j then add i j
+  done;
+  let m = List.length !edges in
+  let w = total_weight k /. float_of_int m in
+  List.map (fun (i, j) -> { pin_a = pins.(i); pin_b = pins.(j); weight = w }) !edges
+
+let edges ?(cap = 16) ?rng (net : Netlist.Net.t) =
+  let pins = net.Netlist.Net.pins in
+  if Array.length pins <= cap then clique_edges pins
+  else begin
+    let rng =
+      match rng with
+      | Some r -> r
+      | None -> Numeric.Rng.create (net.Netlist.Net.id + 7919)
+    in
+    sampled_edges rng pins
+  end

@@ -1,0 +1,25 @@
+(** Net models: hyperedges to weighted two-point edges.
+
+    The paper models a k-pin net as a clique of k(k−1)/2 edges of weight
+    1/k (§2.1).  Large nets make that quadratic in k, so above a
+    configurable cap we sample a connected bounded-degree subgraph (a
+    Hamiltonian cycle through the pins plus random chords) whose total
+    weight is rescaled to the full clique's total (k−1)/2 — the spring
+    stiffness seen by the net as a whole is preserved. *)
+
+(** One spring between two pins of a net. *)
+type edge = {
+  pin_a : Netlist.Net.pin;
+  pin_b : Netlist.Net.pin;
+  weight : float;
+}
+
+(** [edges ?cap ?rng net] expands a net.  [cap] (default 16) is the
+    maximum degree fully expanded as a clique; beyond it, the sampled
+    subgraph is used and [rng] (default a fixed seed) drives the chord
+    sampling. *)
+val edges : ?cap:int -> ?rng:Numeric.Rng.t -> Netlist.Net.t -> edge list
+
+(** [total_weight k] is the clique total (k−1)/2 that both expansions
+    preserve. *)
+val total_weight : int -> float

@@ -1,0 +1,211 @@
+type t = {
+  circuit : Netlist.Circuit.t;
+  var_of_cell : int array; (* -1 for fixed cells *)
+  cell_of_var : int array;
+  n_movable : int;
+  mx : Numeric.Sparse.t; (* x-axis matrix *)
+  my : Numeric.Sparse.t; (* y-axis matrix (== mx for the clique model) *)
+  dx : float array; (* constant term of the x system *)
+  dy : float array;
+  mean_edge_weight : float;
+}
+
+type net_model = Clique | Bound2bound
+
+let index_map (c : Netlist.Circuit.t) =
+  let n = Netlist.Circuit.num_cells c in
+  let var_of_cell = Array.make n (-1) in
+  let count = ref 0 in
+  Array.iter
+    (fun (cl : Netlist.Cell.t) ->
+      if Netlist.Cell.movable cl then begin
+        var_of_cell.(cl.Netlist.Cell.id) <- !count;
+        incr count
+      end)
+    c.Netlist.Circuit.cells;
+  (var_of_cell, !count)
+
+(* Assembly state for one axis. *)
+type axis_builder = {
+  b : Numeric.Sparse.builder;
+  d : float array;
+  incident : float array;
+  mutable total_w : float;
+  mutable n_edges : int;
+}
+
+let axis_builder n =
+  {
+    b = Numeric.Sparse.builder n;
+    d = Array.make n 0.;
+    incident = Array.make n 0.;
+    total_w = 0.;
+    n_edges = 0;
+  }
+
+(* One spring term w · (pa_pos − pb_pos)² along one axis, where pos =
+   cell coordinate + pin offset (or an absolute position for fixed
+   cells).  Contributions follow the half-gradient convention (the common
+   factor 2 is dropped throughout). *)
+let add_axis_edge ab ~var_of_cell ~off_a ~off_b ~abs_a ~abs_b ~cell_a ~cell_b w =
+  if w > 0. && cell_a <> cell_b then begin
+    ab.total_w <- ab.total_w +. w;
+    ab.n_edges <- ab.n_edges + 1;
+    let va = var_of_cell.(cell_a) and vb = var_of_cell.(cell_b) in
+    match (va >= 0, vb >= 0) with
+    | true, true ->
+      ab.incident.(va) <- ab.incident.(va) +. w;
+      ab.incident.(vb) <- ab.incident.(vb) +. w;
+      Numeric.Sparse.add_diag ab.b va w;
+      Numeric.Sparse.add_diag ab.b vb w;
+      Numeric.Sparse.add_sym ab.b va vb (-.w);
+      ab.d.(va) <- ab.d.(va) +. (w *. (off_a -. off_b));
+      ab.d.(vb) <- ab.d.(vb) +. (w *. (off_b -. off_a))
+    | true, false ->
+      ab.incident.(va) <- ab.incident.(va) +. w;
+      Numeric.Sparse.add_diag ab.b va w;
+      ab.d.(va) <- ab.d.(va) +. (w *. (off_a -. abs_b))
+    | false, true ->
+      ab.incident.(vb) <- ab.incident.(vb) +. w;
+      Numeric.Sparse.add_diag ab.b vb w;
+      ab.d.(vb) <- ab.d.(vb) +. (w *. (off_b -. abs_a))
+    | false, false -> ()
+  end
+
+let build (c : Netlist.Circuit.t) ~(placement : Netlist.Placement.t)
+    ~net_weights ~edge_scale ?(clique_cap = 16) ?(anchor_weight = 1e-6)
+    ?(hold = 0.) ?hold_at ?(model = Clique) () =
+  if Array.length net_weights <> Netlist.Circuit.num_nets c then
+    invalid_arg "System.build: net_weights length mismatch";
+  let var_of_cell, n_movable = index_map c in
+  let cell_of_var = Array.make (max 1 n_movable) 0 in
+  Array.iteri (fun id v -> if v >= 0 then cell_of_var.(v) <- id) var_of_cell;
+  let px = placement.Netlist.Placement.x and py = placement.Netlist.Placement.y in
+  let abx = axis_builder n_movable and aby = axis_builder n_movable in
+  let pin_x (p : Netlist.Net.pin) = px.(p.Netlist.Net.cell) +. p.Netlist.Net.dx in
+  let pin_y (p : Netlist.Net.pin) = py.(p.Netlist.Net.cell) +. p.Netlist.Net.dy in
+  let emit_both net_w (pa : Netlist.Net.pin) (pb : Netlist.Net.pin) w_raw =
+    let dist =
+      sqrt (((pin_x pa -. pin_x pb) ** 2.) +. ((pin_y pa -. pin_y pb) ** 2.))
+    in
+    let w = w_raw *. net_w *. edge_scale ~dist in
+    add_axis_edge abx ~var_of_cell ~off_a:pa.Netlist.Net.dx ~off_b:pb.Netlist.Net.dx
+      ~abs_a:(pin_x pa) ~abs_b:(pin_x pb) ~cell_a:pa.Netlist.Net.cell
+      ~cell_b:pb.Netlist.Net.cell w;
+    add_axis_edge aby ~var_of_cell ~off_a:pa.Netlist.Net.dy ~off_b:pb.Netlist.Net.dy
+      ~abs_a:(pin_y pa) ~abs_b:(pin_y pb) ~cell_a:pa.Netlist.Net.cell
+      ~cell_b:pb.Netlist.Net.cell w
+  in
+  let emit_axis ab ~coord ~off ~abs_pos net_w (e : B2b.edge) =
+    ignore coord;
+    let w = e.B2b.weight *. net_w in
+    add_axis_edge ab ~var_of_cell ~off_a:(off e.B2b.pin_a) ~off_b:(off e.B2b.pin_b)
+      ~abs_a:(abs_pos e.B2b.pin_a) ~abs_b:(abs_pos e.B2b.pin_b)
+      ~cell_a:e.B2b.pin_a.Netlist.Net.cell ~cell_b:e.B2b.pin_b.Netlist.Net.cell w
+  in
+  Array.iter
+    (fun (net : Netlist.Net.t) ->
+      let w = net_weights.(net.Netlist.Net.id) in
+      if w > 0. then
+        match model with
+        | Clique ->
+          List.iter
+            (fun (e : Model.edge) -> emit_both w e.Model.pin_a e.Model.pin_b e.Model.weight)
+            (Model.edges ~cap:clique_cap net)
+        | Bound2bound ->
+          List.iter
+            (emit_axis abx ~coord:pin_x ~off:(fun p -> p.Netlist.Net.dx) ~abs_pos:pin_x w)
+            (B2b.edges ~coord:pin_x net);
+          List.iter
+            (emit_axis aby ~coord:pin_y ~off:(fun p -> p.Netlist.Net.dy) ~abs_pos:pin_y w)
+            (B2b.edges ~coord:pin_y net))
+    c.Netlist.Circuit.nets;
+  (* Anchor springs to the region centre, scaled off the mean edge
+     weight so the relative strength is size-independent. *)
+  let total_edges = abx.n_edges + aby.n_edges in
+  let mean_w =
+    if total_edges = 0 then 1.
+    else (abx.total_w +. aby.total_w) /. float_of_int total_edges
+  in
+  let aw = anchor_weight *. mean_w in
+  let cx, cy = Geometry.Rect.center c.Netlist.Circuit.region in
+  for v = 0 to n_movable - 1 do
+    Numeric.Sparse.add_diag abx.b v aw;
+    abx.d.(v) <- abx.d.(v) -. (aw *. cx);
+    Numeric.Sparse.add_diag aby.b v aw;
+    aby.d.(v) <- aby.d.(v) -. (aw *. cy)
+  done;
+  (* Hold springs: damp the step by pulling each cell toward where it is
+     now, in proportion to its own connectivity stiffness. *)
+  if hold > 0. then begin
+    let hx, hy =
+      match hold_at with
+      | Some (hp : Netlist.Placement.t) ->
+        (hp.Netlist.Placement.x, hp.Netlist.Placement.y)
+      | None -> (px, py)
+    in
+    for v = 0 to n_movable - 1 do
+      let hwx = hold *. Float.max abx.incident.(v) mean_w in
+      Numeric.Sparse.add_diag abx.b v hwx;
+      abx.d.(v) <- abx.d.(v) -. (hwx *. hx.(cell_of_var.(v)));
+      let hwy = hold *. Float.max aby.incident.(v) mean_w in
+      Numeric.Sparse.add_diag aby.b v hwy;
+      aby.d.(v) <- aby.d.(v) -. (hwy *. hy.(cell_of_var.(v)))
+    done
+  end;
+  {
+    circuit = c;
+    var_of_cell;
+    cell_of_var;
+    n_movable;
+    mx = Numeric.Sparse.finalize abx.b;
+    my = Numeric.Sparse.finalize aby.b;
+    dx = abx.d;
+    dy = aby.d;
+    mean_edge_weight = mean_w;
+  }
+
+let mean_edge_weight t = t.mean_edge_weight
+
+let num_movable t = t.n_movable
+
+let variable_of_cell t id =
+  let v = t.var_of_cell.(id) in
+  if v >= 0 then Some v else None
+
+let matrix t = t.mx
+
+let gather t (p : Netlist.Placement.t) =
+  let x0 = Array.make t.n_movable 0. and y0 = Array.make t.n_movable 0. in
+  for v = 0 to t.n_movable - 1 do
+    x0.(v) <- p.Netlist.Placement.x.(t.cell_of_var.(v));
+    y0.(v) <- p.Netlist.Placement.y.(t.cell_of_var.(v))
+  done;
+  (x0, y0)
+
+let solve t ~(placement : Netlist.Placement.t) ~ex ~ey =
+  if Array.length ex <> t.n_movable || Array.length ey <> t.n_movable then
+    invalid_arg "System.solve: force vector length mismatch";
+  let x0, y0 = gather t placement in
+  (* C·p + d + e = 0  ⇔  C·p = −(d + e). *)
+  let rhs d e = Array.init t.n_movable (fun i -> -.(d.(i) +. e.(i))) in
+  let x, sx = Numeric.Cg.solve ~x0 t.mx (rhs t.dx ex) in
+  let y, sy = Numeric.Cg.solve ~x0:y0 t.my (rhs t.dy ey) in
+  for v = 0 to t.n_movable - 1 do
+    placement.Netlist.Placement.x.(t.cell_of_var.(v)) <- x.(v);
+    placement.Netlist.Placement.y.(t.cell_of_var.(v)) <- y.(v)
+  done;
+  (sx, sy)
+
+let residual_force t ~placement ~ex ~ey =
+  let x0, y0 = gather t placement in
+  let rx = Array.make t.n_movable 0. and ry = Array.make t.n_movable 0. in
+  Numeric.Sparse.mul t.mx x0 rx;
+  Numeric.Sparse.mul t.my y0 ry;
+  let acc = ref 0. in
+  for v = 0 to t.n_movable - 1 do
+    let fx = rx.(v) +. t.dx.(v) +. ex.(v) in
+    let fy = ry.(v) +. t.dy.(v) +. ey.(v) in
+    acc := Float.max !acc (Float.max (Float.abs fx) (Float.abs fy))
+  done;
+  !acc

@@ -1,0 +1,100 @@
+(** Assembly and solution of the extended placement equation
+    C·p + d + e = 0 (paper, eq. 3).
+
+    Variables exist only for movable cells; fixed cells and pin offsets
+    contribute to the constant vector d.  The x and y systems share the
+    matrix C (weights do not depend on axis), so one assembly serves two
+    CG solves.
+
+    A tiny anchor spring from every movable cell to the region centre
+    (weight [anchor_weight] relative to the mean net weight) keeps C
+    positive definite even when a connected component has no path to a
+    fixed cell. *)
+
+type t
+
+(** Which spring expansion nets use.  [Clique] is the paper's model
+    (§2.1); [Bound2bound] is the 2008 Bound2Bound refinement whose
+    quadratic objective matches the half perimeter at the linearisation
+    point — an extension benched as ablation A6.  B2B weights depend on
+    the axis, so the x and y systems then differ. *)
+type net_model = Clique | Bound2bound
+
+(** [index_map circuit] maps cell id → variable index for movable cells
+    ([-1] for fixed), with the movable count. *)
+val index_map : Netlist.Circuit.t -> int array * int
+
+(** [build circuit ~placement ~net_weights ~edge_scale ?clique_cap
+    ?anchor_weight ()] assembles the system at the given placement
+    (needed for fixed-pin positions and for [edge_scale]).
+
+    [net_weights.(net.id)] multiplies every edge of the net (timing-driven
+    weighting); [edge_scale] further multiplies each edge by a function of
+    its current pin-to-pin distance — pass [Weights.linearize] to
+    approximate the linear objective of [14], or [Weights.quadratic] for
+    the plain quadratic objective.  [anchor_weight] defaults to [1e-6].
+
+    [hold], when positive, adds to every movable cell a spring of weight
+    [hold × (that cell's summed incident edge weight)] pulling toward its
+    coordinates in [placement].  This damps the placement transformation:
+    a whole clump of cells can no longer translate freely across the
+    region in one solve (the region's boundary supply would otherwise
+    yo-yo it), at the cost of more transformations to convergence.  It is
+    the counterpart of the hold forces of later force-directed placers
+    and does not constrain the converged solution — at a fixed point the
+    hold springs exert zero force.
+
+    [hold_at] redirects the hold springs toward the coordinates of a
+    different placement (indexed by cell id) instead of [placement] —
+    e.g. region-centre targets in partitioning-based placers. *)
+val build :
+  Netlist.Circuit.t ->
+  placement:Netlist.Placement.t ->
+  net_weights:float array ->
+  edge_scale:(dist:float -> float) ->
+  ?clique_cap:int ->
+  ?anchor_weight:float ->
+  ?hold:float ->
+  ?hold_at:Netlist.Placement.t ->
+  ?model:net_model ->
+  unit ->
+  t
+
+(** [solve t ~placement ~ex ~ey] solves for the movable-cell coordinates
+    with additional constant forces [ex], [ey] (indexed by {e variable}
+    index, length [num_movable t]) and writes them into [placement]
+    (fixed cells untouched).  Warm-starts from the incoming coordinates.
+    Returns CG statistics for the x and y solves. *)
+val solve :
+  t ->
+  placement:Netlist.Placement.t ->
+  ex:float array ->
+  ey:float array ->
+  Numeric.Cg.stats * Numeric.Cg.stats
+
+(** [num_movable t] is the variable count per axis. *)
+val num_movable : t -> int
+
+(** [mean_edge_weight t] is the average assembled spring weight — the
+    reference "unit net" for the paper's force scaling, so the additional
+    forces stay commensurate with the wire-length forces whether or not
+    linearisation rescaled them. *)
+val mean_edge_weight : t -> float
+
+(** [variable_of_cell t id] is the variable index of a movable cell, or
+    [None] for fixed cells. *)
+val variable_of_cell : t -> int -> int option
+
+(** [matrix t] exposes the assembled x-axis C for tests (identical to
+    the y-axis matrix under the clique model). *)
+val matrix : t -> Numeric.Sparse.t
+
+(** [residual_force t ~placement ~ex ~ey] evaluates |C·p + d + e|∞ over
+    both axes at the given placement — zero at the equilibrium eq. (3)
+    defines.  Intended for tests. *)
+val residual_force :
+  t ->
+  placement:Netlist.Placement.t ->
+  ex:float array ->
+  ey:float array ->
+  float

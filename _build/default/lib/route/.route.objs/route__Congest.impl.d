@@ -1,0 +1,1 @@
+lib/route/congest.ml: Array Float Geometry Metrics Netlist

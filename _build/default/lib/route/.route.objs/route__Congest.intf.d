@@ -1,0 +1,1 @@
+lib/route/congest.mli: Geometry Netlist

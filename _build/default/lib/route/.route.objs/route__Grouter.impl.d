@@ -1,0 +1,1 @@
+lib/route/grouter.ml: Array Float Geometry List Netlist

@@ -1,0 +1,1 @@
+lib/route/grouter.mli: Geometry Netlist

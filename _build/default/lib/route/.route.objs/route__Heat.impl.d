@@ -1,0 +1,1 @@
+lib/route/heat.ml: Array Float Geometry Netlist Numeric

@@ -1,0 +1,1 @@
+lib/route/heat.mli: Geometry Netlist

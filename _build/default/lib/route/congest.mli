@@ -1,0 +1,48 @@
+(** Probabilistic routing-congestion estimation (paper §5, "Congestion
+    and Heat Driven Placement").
+
+    Each net's expected horizontal and vertical wiring is spread uniformly
+    over its bounding box; comparing demand against per-bin track capacity
+    yields an overflow map.  Fed back through the placer's extra-density
+    hook, over-congested bins read as extra demand, so the same
+    supply/demand machinery that spreads cells also spreads wiring. *)
+
+type params = {
+  wire_pitch : float;
+      (** routing pitch in length units per track; the 0.7 default models
+          the paper's late-90s half-micron metal stack (1 unit = 1 µm) *)
+  via_factor : float;
+      (** multiplier on demand accounting for bends/vias (≥ 1) *)
+}
+
+val default_params : params
+
+(** Result of an estimation. *)
+type t = {
+  demand_h : Geometry.Grid2.t;  (** horizontal track demand per bin *)
+  demand_v : Geometry.Grid2.t;
+  overflow : Geometry.Grid2.t;  (** Σ max(0, demand − capacity) per bin *)
+  total_overflow : float;
+  max_overflow : float;
+}
+
+(** [estimate ?params circuit placement ~nx ~ny] runs the estimator. *)
+val estimate :
+  ?params:params ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  nx:int ->
+  ny:int ->
+  t
+
+(** [extra_density ?params ~strength] is a placer hook: over-congested
+    bins contribute [strength × overflow_area_equivalent] extra demand.
+    [strength] around 0.5–2 works well. *)
+val extra_density :
+  ?params:params ->
+  strength:float ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  nx:int ->
+  ny:int ->
+  Geometry.Grid2.t option

@@ -1,0 +1,248 @@
+type config = {
+  wire_pitch : float;
+  overflow_penalty : float;
+  rip_up_passes : int;
+}
+
+let default_config =
+  { wire_pitch = 0.7; overflow_penalty = 8.; rip_up_passes = 2 }
+
+type result = {
+  usage_h : Geometry.Grid2.t;
+  usage_v : Geometry.Grid2.t;
+  total_wirelength : float;
+  total_overflow : float;
+  max_overflow : float;
+  failed_nets : int;
+}
+
+(* Edge-indexed routing state.  Horizontal edge (ix, iy) joins bins
+   (ix, iy) and (ix+1, iy); vertical edge (ix, iy) joins (ix, iy) and
+   (ix, iy+1). *)
+type state = {
+  nx : int;
+  ny : int;
+  cap_h : float; (* tracks per horizontal edge *)
+  cap_v : float;
+  use_h : float array; (* (nx-1) * ny *)
+  use_v : float array; (* nx * (ny-1) *)
+  cfg : config;
+}
+
+let h_index st ix iy = (iy * (st.nx - 1)) + ix
+
+let v_index st ix iy = (iy * st.nx) + ix
+
+(* A route is a list of (is_horizontal, edge_index). *)
+let edge_cost st horizontal idx =
+  let use, cap = if horizontal then (st.use_h.(idx), st.cap_h) else (st.use_v.(idx), st.cap_v) in
+  1. +. (if use >= cap then st.cfg.overflow_penalty *. (1. +. use -. cap) else 0.)
+
+let apply st delta route =
+  List.iter
+    (fun (horizontal, idx) ->
+      if horizontal then st.use_h.(idx) <- st.use_h.(idx) +. delta
+      else st.use_v.(idx) <- st.use_v.(idx) +. delta)
+    route
+
+(* Straight segment helpers building edge lists. *)
+let h_segment st ~iy ~ix0 ~ix1 =
+  let lo = min ix0 ix1 and hi = max ix0 ix1 in
+  List.init (hi - lo) (fun k -> (true, h_index st (lo + k) iy))
+
+let v_segment st ~ix ~iy0 ~iy1 =
+  let lo = min iy0 iy1 and hi = max iy0 iy1 in
+  List.init (hi - lo) (fun k -> (false, v_index st ix (lo + k)))
+
+let route_cost st route =
+  List.fold_left (fun acc (h, i) -> acc +. edge_cost st h i) 0. route
+
+let overflowed st route =
+  List.exists
+    (fun (h, i) ->
+      if h then st.use_h.(i) >= st.cap_h else st.use_v.(i) >= st.cap_v)
+    route
+
+(* L-shaped candidates between two bins. *)
+let l_shapes st (ax, ay) (bx, by) =
+  let l1 = h_segment st ~iy:ay ~ix0:ax ~ix1:bx @ v_segment st ~ix:bx ~iy0:ay ~iy1:by in
+  let l2 = v_segment st ~ix:ax ~iy0:ay ~iy1:by @ h_segment st ~iy:by ~ix0:ax ~ix1:bx in
+  if ax = bx || ay = by then [ l1 ] else [ l1; l2 ]
+
+(* Congestion-aware maze route (Dijkstra over bins). *)
+let maze st (ax, ay) (bx, by) =
+  let n = st.nx * st.ny in
+  let dist = Array.make n Float.infinity in
+  let prev = Array.make n (-1, false, -1) in
+  (* (from node, was_horizontal, edge index) *)
+  let node ix iy = (iy * st.nx) + ix in
+  let heap = ref [] in
+  let push d v = heap := (d, v) :: !heap in
+  let pop () =
+    match !heap with
+    | [] -> None
+    | _ ->
+      let best =
+        List.fold_left (fun acc x -> if fst x < fst acc then x else acc)
+          (List.hd !heap) (List.tl !heap)
+      in
+      heap := List.filter (fun x -> x != best) !heap;
+      Some best
+  in
+  dist.(node ax ay) <- 0.;
+  push 0. (node ax ay);
+  let target = node bx by in
+  let finished = ref false in
+  while not !finished do
+    match pop () with
+    | None -> finished := true
+    | Some (d, u) ->
+      if u = target then finished := true
+      else if d <= dist.(u) then begin
+        let ux = u mod st.nx and uy = u / st.nx in
+        let consider h idx v =
+          let nd = d +. edge_cost st h idx in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            prev.(v) <- (u, h, idx);
+            push nd v
+          end
+        in
+        if ux > 0 then consider true (h_index st (ux - 1) uy) (node (ux - 1) uy);
+        if ux < st.nx - 1 then consider true (h_index st ux uy) (node (ux + 1) uy);
+        if uy > 0 then consider false (v_index st ux (uy - 1)) (node ux (uy - 1));
+        if uy < st.ny - 1 then consider false (v_index st ux uy) (node ux (uy + 1))
+      end
+  done;
+  if dist.(target) = Float.infinity then None
+  else begin
+    let route = ref [] in
+    let v = ref target in
+    while !v <> node ax ay do
+      let u, h, idx = prev.(!v) in
+      route := (h, idx) :: !route;
+      v := u
+    done;
+    Some !route
+  end
+
+let connect st a b =
+  if a = b then Some []
+  else begin
+    let candidates = l_shapes st a b in
+    let viable = List.filter (fun r -> not (overflowed st r)) candidates in
+    match viable with
+    | _ :: _ ->
+      (* Cheapest clean pattern route. *)
+      Some
+        (List.fold_left
+           (fun best r -> if route_cost st r < route_cost st best then r else best)
+           (List.hd viable) (List.tl viable))
+    | [] -> maze st a b
+  end
+
+let route ?(config = default_config) (c : Netlist.Circuit.t)
+    (p : Netlist.Placement.t) ~nx ~ny =
+  let region = c.Netlist.Circuit.region in
+  let ref_grid = Geometry.Grid2.create region ~nx ~ny in
+  let dx = Geometry.Grid2.dx ref_grid and dy = Geometry.Grid2.dy ref_grid in
+  let st =
+    {
+      nx;
+      ny;
+      cap_h = dy /. config.wire_pitch;
+      cap_v = dx /. config.wire_pitch;
+      use_h = Array.make (max 1 ((nx - 1) * ny)) 0.;
+      use_v = Array.make (max 1 (nx * (ny - 1))) 0.;
+      cfg = config;
+    }
+  in
+  let bin_of cell_pin =
+    let x, y =
+      Netlist.Circuit.pin_position c ~x:p.Netlist.Placement.x
+        ~y:p.Netlist.Placement.y cell_pin
+    in
+    Geometry.Grid2.locate ref_grid x y
+  in
+  (* Star decomposition per net: driver bin to each distinct sink bin. *)
+  let net_connections (net : Netlist.Net.t) =
+    let drv = bin_of (Netlist.Net.driver net) in
+    let sinks =
+      Array.to_list (Netlist.Net.sinks net)
+      |> List.map bin_of
+      |> List.sort_uniq compare
+      |> List.filter (fun b -> b <> drv)
+    in
+    (drv, sinks)
+  in
+  let routes = Array.make (Netlist.Circuit.num_nets c) [] in
+  let failed = ref 0 in
+  let route_net (net : Netlist.Net.t) =
+    let drv, sinks = net_connections net in
+    let segs = ref [] in
+    List.iter
+      (fun sink ->
+        match connect st drv sink with
+        | Some r ->
+          apply st 1. r;
+          segs := r :: !segs
+        | None -> incr failed)
+      sinks;
+    routes.(net.Netlist.Net.id) <- !segs
+  in
+  Array.iter route_net c.Netlist.Circuit.nets;
+  (* Rip-up and reroute nets that sit on overflowing edges. *)
+  for _ = 1 to config.rip_up_passes do
+    Array.iter
+      (fun (net : Netlist.Net.t) ->
+        let id = net.Netlist.Net.id in
+        if List.exists (overflowed st) routes.(id) then begin
+          List.iter (apply st (-1.)) routes.(id);
+          let drv, sinks = net_connections net in
+          let segs = ref [] in
+          List.iter
+            (fun sink ->
+              match connect st drv sink with
+              | Some r ->
+                apply st 1. r;
+                segs := r :: !segs
+              | None -> incr failed)
+            sinks;
+          routes.(id) <- !segs
+        end)
+      c.Netlist.Circuit.nets
+  done;
+  (* Summaries. *)
+  let usage_h = Geometry.Grid2.create region ~nx ~ny in
+  let usage_v = Geometry.Grid2.create region ~nx ~ny in
+  let total_wl = ref 0. and total_ov = ref 0. and max_ov = ref 0. in
+  for iy = 0 to ny - 1 do
+    for ix = 0 to nx - 2 do
+      let u = st.use_h.(h_index st ix iy) in
+      total_wl := !total_wl +. (u *. dx);
+      Geometry.Grid2.add usage_h ix iy (u /. 2.);
+      Geometry.Grid2.add usage_h (ix + 1) iy (u /. 2.);
+      let ov = Float.max 0. (u -. st.cap_h) in
+      total_ov := !total_ov +. ov;
+      if ov > !max_ov then max_ov := ov
+    done
+  done;
+  for iy = 0 to ny - 2 do
+    for ix = 0 to nx - 1 do
+      let u = st.use_v.(v_index st ix iy) in
+      total_wl := !total_wl +. (u *. dy);
+      Geometry.Grid2.add usage_v ix iy (u /. 2.);
+      Geometry.Grid2.add usage_v ix (iy + 1) (u /. 2.);
+      let ov = Float.max 0. (u -. st.cap_v) in
+      total_ov := !total_ov +. ov;
+      if ov > !max_ov then max_ov := ov
+    done
+  done;
+  {
+    usage_h;
+    usage_v;
+    total_wirelength = !total_wl;
+    total_overflow = !total_ov;
+    max_overflow = !max_ov;
+    failed_nets = !failed;
+  }

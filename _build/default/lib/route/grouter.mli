@@ -1,0 +1,40 @@
+(** A coarse global router.
+
+    The paper's congestion-driven mode runs "a routing estimation …
+    before each placement transformation"; {!Congest} provides the cheap
+    probabilistic estimate used inside the loop, and this module provides
+    an actual router for validating placements after the fact: every net
+    is routed on a coarse capacitated grid with L-shaped / Z-shaped
+    pattern routes falling back to a maze (BFS with congestion-aware
+    costs), followed by rip-up-and-reroute passes on overflowing nets.
+
+    Multi-pin nets are decomposed into a star of two-pin connections from
+    the driver. *)
+
+type config = {
+  wire_pitch : float;  (** tracks per length unit, as in {!Congest} *)
+  overflow_penalty : float;
+      (** cost multiplier for entering a bin already at capacity *)
+  rip_up_passes : int;
+}
+
+val default_config : config
+
+type result = {
+  usage_h : Geometry.Grid2.t;  (** horizontal track usage per bin *)
+  usage_v : Geometry.Grid2.t;
+  total_wirelength : float;  (** routed length in length units *)
+  total_overflow : float;  (** Σ max(0, usage − capacity) over bins *)
+  max_overflow : float;
+  failed_nets : int;  (** nets the maze could not connect (0 expected) *)
+}
+
+(** [route ?config circuit placement ~nx ~ny] routes every net and
+    returns the usage and overflow summary. *)
+val route :
+  ?config:config ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  nx:int ->
+  ny:int ->
+  result

@@ -1,0 +1,58 @@
+type params = { conductivity : float }
+
+let default_params = { conductivity = 1e-4 }
+
+type t = {
+  power : Geometry.Grid2.t;
+  temperature : Geometry.Grid2.t;
+  peak : float;
+  mean : float;
+}
+
+let analyse ?(params = default_params) (c : Netlist.Circuit.t)
+    (p : Netlist.Placement.t) ~nx ~ny =
+  let region = c.Netlist.Circuit.region in
+  let power = Geometry.Grid2.create region ~nx ~ny in
+  Array.iter
+    (fun (cl : Netlist.Cell.t) ->
+      if cl.Netlist.Cell.kind <> Netlist.Cell.Pad && cl.Netlist.Cell.power > 0.
+      then
+        Geometry.Grid2.splat_rect power
+          (Netlist.Placement.cell_rect c p cl.Netlist.Cell.id)
+          cl.Netlist.Cell.power)
+    c.Netlist.Circuit.cells;
+  let bin_area = Geometry.Grid2.dx power *. Geometry.Grid2.dy power in
+  (* ∇²T = −P/(κ·area): source term per unit area. *)
+  let source =
+    Array.map
+      (fun w -> -.(w /. bin_area /. params.conductivity))
+      (Geometry.Grid2.values power)
+  in
+  let phi =
+    Numeric.Poisson.sor_potential ~rows:ny ~cols:nx
+      ~hx:(Geometry.Grid2.dx power) ~hy:(Geometry.Grid2.dy power) source
+  in
+  let temperature = Geometry.Grid2.create region ~nx ~ny in
+  Array.blit phi 0 (Geometry.Grid2.values temperature) 0 (nx * ny);
+  let vals = Geometry.Grid2.values temperature in
+  let peak = Array.fold_left Float.max Float.neg_infinity vals in
+  let mean = Array.fold_left ( +. ) 0. vals /. float_of_int (nx * ny) in
+  { power; temperature; peak; mean }
+
+let extra_density ?params ~strength c p ~nx ~ny =
+  let t = analyse ?params c p ~nx ~ny in
+  if t.peak <= 0. then None
+  else begin
+    let g = Geometry.Grid2.create c.Netlist.Circuit.region ~nx ~ny in
+    let bin_area = Geometry.Grid2.dx g *. Geometry.Grid2.dy g in
+    Geometry.Grid2.map_inplace
+      (fun ix iy _ ->
+        let excess =
+          Float.max 0. (Geometry.Grid2.get t.temperature ix iy -. t.mean)
+        in
+        (* Normalise by the peak so strength = 1 makes the hottest bin
+           read as completely full. *)
+        strength *. (excess /. Float.max t.peak 1e-30) *. bin_area)
+      g;
+    Some g
+  end

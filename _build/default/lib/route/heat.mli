@@ -1,0 +1,41 @@
+(** Cell power and steady-state heat maps (paper §5: replacing the
+    congestion map with a heat map avoids hot spots).
+
+    Temperature is the Dirichlet solution of the steady-state heat
+    equation ∇²T = −P/κ on the placement region (boundary held at
+    ambient 0), computed with the SOR Poisson solver. *)
+
+type params = {
+  conductivity : float;  (** effective thermal conductivity κ *)
+}
+
+val default_params : params
+
+type t = {
+  power : Geometry.Grid2.t;  (** dissipated power density per bin *)
+  temperature : Geometry.Grid2.t;  (** °C above ambient *)
+  peak : float;
+  mean : float;
+}
+
+(** [analyse ?params circuit placement ~nx ~ny] builds power and
+    temperature maps from the cells' power attributes. *)
+val analyse :
+  ?params:params ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  nx:int ->
+  ny:int ->
+  t
+
+(** [extra_density ?params ~strength] is a placer hook: bins hotter than
+    the mean read as extra demand proportional to their excess
+    temperature, pushing cells (and so power) out of hot spots. *)
+val extra_density :
+  ?params:params ->
+  strength:float ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  nx:int ->
+  ny:int ->
+  Geometry.Grid2.t option

@@ -1,0 +1,1 @@
+lib/timing/criticality.ml: Array Float Params Seq

@@ -1,0 +1,1 @@
+lib/timing/criticality.mli: Params

@@ -1,0 +1,1 @@
+lib/timing/driven.ml: Criticality Kraftwerk List Metrics Netlist Params Sta

@@ -1,0 +1,1 @@
+lib/timing/driven.mli: Kraftwerk Netlist Params

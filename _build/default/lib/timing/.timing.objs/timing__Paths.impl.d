@@ -1,0 +1,1 @@
+lib/timing/paths.ml: Array Float Format Hashtbl List Metrics Netlist Params Queue Sta

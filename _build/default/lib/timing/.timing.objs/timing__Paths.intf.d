@@ -1,0 +1,1 @@
+lib/timing/paths.mli: Format Netlist Params

@@ -1,0 +1,35 @@
+type t = { crit : float array }
+
+let create num_nets = { crit = Array.make num_nets 0. }
+
+let update t (p : Params.t) ~net_slack =
+  if Array.length net_slack <> Array.length t.crit then
+    invalid_arg "Criticality.update: slack length mismatch";
+  (* Rank analysed nets by slack, most critical first. *)
+  let analysed =
+    Array.to_seqi net_slack
+    |> Seq.filter (fun (_, s) -> s < Float.infinity)
+    |> Array.of_seq
+  in
+  Array.sort (fun (_, a) (_, b) -> Float.compare a b) analysed;
+  let n_critical =
+    int_of_float
+      (Float.ceil (p.Params.critical_fraction *. float_of_int (Array.length analysed)))
+  in
+  let is_critical = Array.make (Array.length t.crit) false in
+  Array.iteri
+    (fun rank (net_id, _) -> if rank < n_critical then is_critical.(net_id) <- true)
+    analysed;
+  Array.iteri
+    (fun i c ->
+      t.crit.(i) <- (if is_critical.(i) then (c +. 1.) /. 2. else c /. 2.))
+    t.crit
+
+let criticality t net_id = t.crit.(net_id)
+
+let apply_weights ?(cap = Float.infinity) t weights =
+  if Array.length weights <> Array.length t.crit then
+    invalid_arg "Criticality.apply_weights: length mismatch";
+  Array.iteri
+    (fun i c -> weights.(i) <- Float.min cap (weights.(i) *. (1. +. c)))
+    t.crit

@@ -1,0 +1,27 @@
+(** The paper's §5 net-criticality recurrence and weight update.
+
+    At step m each net has a criticality c⁽ᵐ⁾, initialised to zero:
+
+    c⁽ᵐ⁾ = (c⁽ᵐ⁻¹⁾ + 1)/2 if the net is among the [critical_fraction]
+    most critical nets at step m, else c⁽ᵐ⁻¹⁾/2.
+
+    The weight update multiplies w⁽ᵐ⁻¹⁾ by (1 + c⁽ᵐ⁾): a never-critical
+    net keeps its weight, an always-critical net doubles per step.  The
+    exponential decay suppresses net-weight oscillation. *)
+
+type t
+
+(** [create num_nets] starts all criticalities at zero. *)
+val create : int -> t
+
+(** [update t params ~net_slack] ranks analysed nets by slack, marks the
+    most-critical fraction and applies the recurrence.  Excluded nets
+    (infinite slack) can never be critical. *)
+val update : t -> Params.t -> net_slack:float array -> unit
+
+(** [criticality t net_id] reads a net's current criticality ∈ [0, 1). *)
+val criticality : t -> int -> float
+
+(** [apply_weights ?cap t weights] multiplies [weights.(i)] by
+    (1 + criticality i) in place, saturating at [cap] (default none). *)
+val apply_weights : ?cap:float -> t -> float array -> unit

@@ -1,0 +1,52 @@
+(** Timing-driven placement flows (paper §5).
+
+    {b Optimisation mode} runs the placer with a reweight hook: before
+    every placement transformation a longest-path analysis updates net
+    criticalities and multiplies net weights, steering critical nets
+    short.
+
+    {b Requirement mode} first converges the plain area-driven placement,
+    then applies weight-adapting transformations until the longest path
+    meets a given requirement, recording the wire-length/delay trade-off
+    curve — because the placement itself is what timing is measured on,
+    the requirement is met exactly when the loop stops. *)
+
+(** One point of the trade-off curve. *)
+type trace_point = { at_step : int; hpwl : float; delay : float }
+
+(** Result of either flow. *)
+type result = {
+  placement : Netlist.Placement.t;
+  initial_delay : float;  (** longest path before timing optimisation *)
+  final_delay : float;
+  trace : trace_point list;  (** chronological *)
+  met : bool;  (** requirement mode: did we reach the target? *)
+}
+
+(** [optimize ?params config circuit placement] places with continuous
+    timing-driven net weighting from the start. *)
+val optimize :
+  ?params:Params.t ->
+  Kraftwerk.Config.t ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  result
+
+(** [meet_requirement ?params ?max_extra_steps config circuit placement
+    ~target] is the two-phase flow: converge area-driven, then adapt
+    weights until [target] seconds is met or [max_extra_steps] (default
+    60) transformations pass. *)
+val meet_requirement :
+  ?params:Params.t ->
+  ?max_extra_steps:int ->
+  Kraftwerk.Config.t ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  target:float ->
+  result
+
+(** [exploitation ~unoptimized ~optimized ~lower_bound] is the paper's
+    §6.2 quality measure: the achieved reduction of the longest path
+    divided by the optimisation potential (unoptimised − lower bound). *)
+val exploitation :
+  unoptimized:float -> optimized:float -> lower_bound:float -> float

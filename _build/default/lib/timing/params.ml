@@ -1,0 +1,20 @@
+type t = {
+  resistance_per_length : float;
+  capacitance_per_length : float;
+  driver_resistance : float;
+  pin_load : float;
+  max_net_degree : int;
+  critical_fraction : float;
+  max_net_weight : float;
+}
+
+let default =
+  {
+    resistance_per_length = 25.5e3 *. 1e-6;
+    capacitance_per_length = 242e-12 *. 1e-6;
+    driver_resistance = 2e3;
+    pin_load = 10e-15;
+    max_net_degree = 60;
+    critical_fraction = 0.03;
+    max_net_weight = 32.;
+  }

@@ -1,0 +1,27 @@
+(** Timing-model parameters (paper §6.2). *)
+
+type t = {
+  resistance_per_length : float;  (** Ω per length unit *)
+  capacitance_per_length : float;  (** F per length unit *)
+  driver_resistance : float;
+      (** output resistance of the driving cell, Ω — the term that makes
+          the net delay scale with placement-dependent capacitance *)
+  pin_load : float;  (** input capacitance per sink pin, F *)
+  max_net_degree : int;
+      (** nets with more pins are excluded from timing analysis — the
+          paper uses 60, noting bigger nets in the longest path are not
+          realistic *)
+  critical_fraction : float;
+      (** share of nets treated as critical per §5's recurrence (0.03) *)
+  max_net_weight : float;
+      (** saturation cap on the multiplicative weight update; this
+          implementation applies the §5 update before each of its many
+          small transformations, so unbounded growth would overwhelm the
+          wire-length objective *)
+}
+
+(** [default] uses the paper's 25.5 kΩ/m and 242 pF/m converted to the
+    micron-like length unit of the generated circuits (1 unit = 1 µm):
+    0.0255 Ω/unit and 0.242 fF/unit, with a 2 kΩ driver and a 10 fF pin
+    load. *)
+val default : t

@@ -1,0 +1,24 @@
+(** Critical-path extraction and reporting on top of the STA.
+
+    Traces the worst paths through the combinational graph so users can
+    see {e which} cells and nets limit the clock period — the report a
+    timing-driven placement flow is judged by. *)
+
+(** One traversal step: the signal leaves [cell]'s output having
+    accumulated [arrival] seconds; [via_net] is the net that carried it
+    from the previous element ([None] for the path's start point). *)
+type element = { cell : int; via_net : int option; arrival : float }
+
+(** A start-to-endpoint critical path, elements in signal order. *)
+type path = { delay : float; elements : element list }
+
+(** [critical ?k params circuit placement] returns up to [k] (default 5)
+    worst paths, sorted by decreasing delay, at most one per endpoint
+    cell.  Empty when the circuit has no analysed connections. *)
+val critical :
+  ?k:int -> Params.t -> Netlist.Circuit.t -> Netlist.Placement.t -> path list
+
+(** [pp_path circuit ppf path] prints a human-readable path report:
+    one line per element with cell name, carrying net, and cumulative
+    arrival in nanoseconds. *)
+val pp_path : Netlist.Circuit.t -> Format.formatter -> path -> unit

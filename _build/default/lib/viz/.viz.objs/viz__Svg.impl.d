@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Array Buffer Float Fun Geometry Netlist Printf

@@ -1,0 +1,25 @@
+(** SVG rendering of placements and per-bin maps.
+
+    Produces self-contained SVG documents for inspecting placements:
+    cells coloured by kind, row grid, optional net fly-lines, and an
+    optional per-bin scalar overlay (density, congestion, temperature)
+    rendered as a translucent heat map. *)
+
+type options = {
+  width_px : float;  (** output width; height follows the aspect ratio *)
+  show_rows : bool;
+  show_nets : bool;  (** fly-lines pin-to-pin; heavy for big circuits *)
+  max_nets_drawn : int;  (** cap on fly-lines when [show_nets] *)
+  heat : Geometry.Grid2.t option;  (** translucent scalar overlay *)
+}
+
+val default_options : options
+
+(** [render ?options circuit placement] is the SVG document as a
+    string. *)
+val render :
+  ?options:options -> Netlist.Circuit.t -> Netlist.Placement.t -> string
+
+(** [save file ?options circuit placement] writes the document. *)
+val save :
+  string -> ?options:options -> Netlist.Circuit.t -> Netlist.Placement.t -> unit

@@ -1,0 +1,19 @@
+let () =
+  let prof = Circuitgen.Profiles.find "fract" in
+  let circuit, pads = Circuitgen.Gen.generate (Circuitgen.Profiles.params prof ~seed:42) in
+  let p0 = Circuitgen.Gen.initial_placement circuit pads in
+  let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in
+  let p = state.Kraftwerk.Placer.placement in
+  let tp = Timing.Params.default in
+  let sta = Timing.Sta.analyse tp circuit p in
+  let paths = Timing.Paths.critical ~k:3 tp circuit p in
+  Printf.printf "sta max=%.3fns, %d paths found\n" (sta.Timing.Sta.max_delay *. 1e9) (List.length paths);
+  List.iteri (fun i (path : Timing.Paths.path) ->
+    Printf.printf "-- path %d: delay %.3fns, %d elements\n" i (path.Timing.Paths.delay *. 1e9)
+      (List.length path.Timing.Paths.elements)) paths;
+  (match paths with
+   | first :: _ ->
+     Printf.printf "worst path delay matches STA: %b\n"
+       (Float.abs (first.Timing.Paths.delay -. sta.Timing.Sta.max_delay) < 1e-15);
+     Format.printf "%a" (Timing.Paths.pp_path circuit) { first with Timing.Paths.elements = first.Timing.Paths.elements }
+   | [] -> ())

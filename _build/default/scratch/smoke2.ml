@@ -1,0 +1,29 @@
+let legalized_hpwl c gp =
+  let rep = Legalize.Abacus.legalize c gp () in
+  let lp = rep.Legalize.Abacus.placement in
+  ignore (Legalize.Improve.run c lp);
+  Metrics.Wirelength.hpwl c lp
+
+let run_cfg name cfg circuit p0 =
+  let state = Kraftwerk.Placer.init cfg circuit p0 in
+  let steps = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  while !steps < cfg.Kraftwerk.Config.max_iterations && not (Kraftwerk.Placer.converged state) do
+    ignore (Kraftwerk.Placer.transform state); incr steps
+  done;
+  let t1 = Unix.gettimeofday () in
+  Printf.printf "%-24s steps=%3d legal_hpwl=%10.0f t=%5.2fs\n%!" name !steps
+    (legalized_hpwl circuit state.Kraftwerk.Placer.placement) (t1 -. t0)
+
+let () =
+  List.iter (fun pname ->
+    let prof = Circuitgen.Profiles.find pname in
+    let params = Circuitgen.Profiles.params prof ~seed:42 in
+    let circuit, fixed = Circuitgen.Gen.generate params in
+    let p0 = Circuitgen.Gen.initial_placement circuit fixed in
+    Printf.printf "--- %s ---\n" pname;
+    let q = Kraftwerk.Config.standard in
+    run_cfg "stop=4" q circuit p0;
+    run_cfg "stop=2" { q with stop_multiplier = 2. } circuit p0;
+    run_cfg "K=0.03 stop=2" { q with k_param = 0.03; stop_multiplier = 2. } circuit p0)
+    [ "fract"; "primary1"; "struct"; "industry2" ]

@@ -1,0 +1,1 @@
+test/test_b2b.ml: Alcotest Array Circuitgen Geometry Kraftwerk List Metrics Netlist Numeric Printf Qp

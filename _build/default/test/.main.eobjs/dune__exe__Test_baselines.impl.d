@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Circuitgen Float Legalize Metrics Netlist Numeric QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bookshelf.ml: Alcotest Array Circuitgen Filename Fun Geometry Kraftwerk Legalize Metrics Netlist Numeric Printf Sys Unix

@@ -1,0 +1,1 @@
+test/test_cg.ml: Alcotest Array Float Gen Numeric Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Circuitgen Kraftwerk List Metrics Netlist

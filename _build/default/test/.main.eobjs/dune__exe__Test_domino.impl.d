@@ -1,0 +1,1 @@
+test/test_domino.ml: Alcotest Array Circuitgen Float Fun Geometry Kraftwerk Legalize List Metrics Netlist Numeric

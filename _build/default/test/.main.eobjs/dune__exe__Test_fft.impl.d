@@ -1,0 +1,1 @@
+test/test_fft.ml: Alcotest Array Float Numeric QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_flexible.ml: Alcotest Array Circuitgen Float Floorplan Geometry Kraftwerk Legalize List Netlist

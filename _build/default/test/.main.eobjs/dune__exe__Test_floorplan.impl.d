@@ -1,0 +1,1 @@
+test/test_floorplan.ml: Alcotest Array Circuitgen Float Floorplan Geometry Kraftwerk Legalize List Metrics Netlist

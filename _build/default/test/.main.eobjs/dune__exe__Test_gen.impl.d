@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Circuitgen Float Geometry List Netlist Printf QCheck QCheck_alcotest Timing

@@ -1,0 +1,1 @@
+test/test_grid2.ml: Alcotest Float Geometry QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_grouter.ml: Alcotest Array Circuitgen Density Float Geometry Kraftwerk List Netlist Printf Route String Viz

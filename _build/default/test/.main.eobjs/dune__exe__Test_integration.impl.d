@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Baselines Circuitgen Filename Float Fun Hashtbl Kraftwerk Legalize List Metrics Netlist Numeric Route Sys Timing

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Circuitgen Filename Fun Geometry Metrics Netlist Numeric Sys

@@ -1,0 +1,1 @@
+test/test_legalize.ml: Alcotest Array Circuitgen Float Geometry Kraftwerk Legalize List Metrics Netlist Numeric Printf QCheck QCheck_alcotest

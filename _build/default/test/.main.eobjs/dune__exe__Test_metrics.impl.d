@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Float Geometry List Metrics Netlist Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Circuitgen Float Format Fun Geometry List Netlist Printf String Timing

@@ -1,0 +1,1 @@
+test/test_placer.ml: Alcotest Array Circuitgen Float Geometry Kraftwerk List Metrics Netlist Numeric

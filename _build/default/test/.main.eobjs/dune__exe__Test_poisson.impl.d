@@ -1,0 +1,1 @@
+test/test_poisson.ml: Alcotest Array Float Numeric Printf QCheck QCheck_alcotest

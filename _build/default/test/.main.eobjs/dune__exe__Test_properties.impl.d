@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Baselines Circuitgen Density Filename Float Fun Geometry Kraftwerk Legalize List Metrics Netlist Numeric QCheck QCheck_alcotest Route Sys Timing

@@ -1,0 +1,1 @@
+test/test_qp.ml: Alcotest Array Circuitgen Float Fun Geometry List Metrics Netlist Numeric Printf QCheck QCheck_alcotest Qp

@@ -1,0 +1,1 @@
+test/test_rect.ml: Alcotest Float Geometry QCheck QCheck_alcotest

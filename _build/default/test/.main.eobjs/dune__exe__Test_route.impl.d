@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Geometry Netlist Printf Route

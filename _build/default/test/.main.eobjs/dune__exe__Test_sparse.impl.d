@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Gen List Numeric Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Circuitgen Float Geometry Kraftwerk Netlist Printf Timing

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Array Circuitgen Filename Floorplan Fun Geometry Kraftwerk List Netlist Numeric Qp Sys

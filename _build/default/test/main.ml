@@ -1,0 +1,36 @@
+(* Aggregated test runner: one Alcotest suite per library module. *)
+
+let () =
+  Alcotest.run "kraftwerk-repro"
+    [
+      ("numeric.vec", Test_vec.suite);
+      ("numeric.sparse", Test_sparse.suite);
+      ("numeric.cg", Test_cg.suite);
+      ("numeric.fft", Test_fft.suite);
+      ("numeric.poisson", Test_poisson.suite);
+      ("numeric.rng", Test_rng.suite);
+      ("geometry.rect", Test_rect.suite);
+      ("geometry.grid2", Test_grid2.suite);
+      ("netlist", Test_netlist.suite);
+      ("netlist.io", Test_io.suite);
+      ("netlist.bookshelf", Test_bookshelf.suite);
+      ("circuitgen", Test_gen.suite);
+      ("metrics", Test_metrics.suite);
+      ("qp", Test_qp.suite);
+      ("qp.b2b", Test_b2b.suite);
+      ("density", Test_density.suite);
+      ("kraftwerk", Test_placer.suite);
+      ("kraftwerk.cluster", Test_cluster.suite);
+      ("timing", Test_timing.suite);
+      ("timing.paths", Test_paths.suite);
+      ("legalize", Test_legalize.suite);
+      ("legalize.domino", Test_domino.suite);
+      ("baselines", Test_baselines.suite);
+      ("route", Test_route.suite);
+      ("route.grouter", Test_grouter.suite);
+      ("floorplan", Test_floorplan.suite);
+      ("floorplan.flexible", Test_flexible.suite);
+      ("integration", Test_integration.suite);
+      ("properties", Test_properties.suite);
+      ("validation", Test_validation.suite);
+    ]

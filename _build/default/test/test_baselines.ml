@@ -1,0 +1,225 @@
+(* Tests for the comparison placers: FM partitioning, the Gordian-like
+   recursive placer, and the annealer. *)
+
+module Fm = Baselines.Fm
+
+let build ?(name = "fract") ?(scale = 1.0) ?(seed = 31) () =
+  let prof = Circuitgen.Profiles.find name in
+  let circuit, pads =
+    Circuitgen.Gen.generate (Circuitgen.Profiles.params ~scale prof ~seed)
+  in
+  (circuit, Circuitgen.Gen.initial_placement circuit pads)
+
+(* --- FM --- *)
+
+let test_cut_size () =
+  let h =
+    {
+      Fm.num_vertices = 4;
+      Fm.areas = [| 1.; 1.; 1.; 1. |];
+      Fm.nets = [| [| 0; 1 |]; [| 2; 3 |]; [| 1; 2 |] |];
+    }
+  in
+  Alcotest.(check int) "one cut" 1 (Fm.cut_size h [| false; false; true; true |]);
+  Alcotest.(check int) "all same side" 0 (Fm.cut_size h [| false; false; false; false |]);
+  Alcotest.(check int) "worst split" 3 (Fm.cut_size h [| false; true; false; true |])
+
+let test_fm_improves_bad_partition () =
+  (* Two 4-cliques joined by a single bridge net: the optimal bisection
+     cuts only the bridge. *)
+  let clique base =
+    let edges = ref [] in
+    for i = 0 to 3 do
+      for j = i + 1 to 3 do
+        edges := [| base + i; base + j |] :: !edges
+      done
+    done;
+    !edges
+  in
+  let nets = Array.of_list ((clique 0 @ clique 4) @ [ [| 3; 4 |] ]) in
+  let h = { Fm.num_vertices = 8; Fm.areas = Array.make 8 1.; Fm.nets = nets } in
+  (* Deliberately interleaved initial partition. *)
+  let sides = Array.init 8 (fun i -> i mod 2 = 1) in
+  let cut = Fm.partition h ~sides in
+  Alcotest.(check int) "optimal cut" 1 cut;
+  (* The two cliques end up on opposite sides. *)
+  Alcotest.(check bool) "clique 1 together" true
+    (sides.(0) = sides.(1) && sides.(1) = sides.(2) && sides.(2) = sides.(3));
+  Alcotest.(check bool) "clique 2 together" true
+    (sides.(4) = sides.(5) && sides.(5) = sides.(6) && sides.(6) = sides.(7));
+  Alcotest.(check bool) "opposite" true (sides.(0) <> sides.(4))
+
+let test_fm_respects_balance () =
+  let h =
+    {
+      Fm.num_vertices = 10;
+      Fm.areas = Array.make 10 1.;
+      Fm.nets = Array.init 9 (fun i -> [| i; i + 1 |]);
+    }
+  in
+  let sides = Array.init 10 (fun i -> i >= 5) in
+  ignore (Fm.partition ~balance:0.6 h ~sides);
+  let count = Array.fold_left (fun a s -> if s then a + 1 else a) 0 sides in
+  Alcotest.(check bool) "both sides populated" true (count >= 4 && count <= 6)
+
+let test_fm_locked_vertices_stay () =
+  let h =
+    {
+      Fm.num_vertices = 4;
+      Fm.areas = Array.make 4 1.;
+      Fm.nets = [| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |] |];
+    }
+  in
+  let sides = [| false; true; false; true |] in
+  let locked = [| true; false; false; true |] in
+  ignore (Fm.partition ~locked h ~sides);
+  Alcotest.(check bool) "v0 stays" false sides.(0);
+  Alcotest.(check bool) "v3 stays" true sides.(3)
+
+let test_fm_deterministic () =
+  let h =
+    {
+      Fm.num_vertices = 12;
+      Fm.areas = Array.make 12 1.;
+      Fm.nets = Array.init 18 (fun i -> [| i mod 12; (i * 5 + 1) mod 12 |]);
+    }
+  in
+  let s1 = Array.init 12 (fun i -> i mod 2 = 0) in
+  let s2 = Array.copy s1 in
+  let c1 = Fm.partition h ~sides:s1 in
+  let c2 = Fm.partition h ~sides:s2 in
+  Alcotest.(check int) "same cut" c1 c2;
+  Alcotest.(check bool) "same sides" true (s1 = s2)
+
+let prop_fm_never_worsens =
+  QCheck.Test.make ~name:"FM never increases the cut" QCheck.small_int
+    (fun seed ->
+      let rng = Numeric.Rng.create seed in
+      let n = 16 in
+      let nets =
+        Array.init 24 (fun _ ->
+            let a = Numeric.Rng.int rng n in
+            let b = (a + 1 + Numeric.Rng.int rng (n - 1)) mod n in
+            [| a; b |])
+      in
+      let h = { Fm.num_vertices = n; Fm.areas = Array.make n 1.; Fm.nets = nets } in
+      let sides = Array.init n (fun _ -> Numeric.Rng.bool rng) in
+      let before = Fm.cut_size h sides in
+      let after = Fm.partition h ~sides in
+      after <= before)
+
+(* --- Gordian-like --- *)
+
+let test_gordian_places_in_region () =
+  let circuit, p0 = build () in
+  let p, levels = Baselines.Gordian.place circuit p0 in
+  Alcotest.(check bool) "did partition" true (levels > 0);
+  Alcotest.(check (float 1e-6)) "inside region" 0.
+    (Metrics.Overlap.out_of_region_area circuit p)
+
+let test_gordian_spreads () =
+  let circuit, p0 = build () in
+  let p, _ = Baselines.Gordian.place circuit p0 in
+  Alcotest.(check bool) "less overlap than centred" true
+    (Metrics.Overlap.overlap_ratio circuit p
+    < Metrics.Overlap.overlap_ratio circuit p0 /. 4.)
+
+let test_gordian_deterministic () =
+  let circuit, p0 = build () in
+  let p1, _ = Baselines.Gordian.place circuit p0 in
+  let p2, _ = Baselines.Gordian.place circuit p0 in
+  Alcotest.check (Alcotest.float 0.) "identical" 0. (Netlist.Placement.displacement p1 p2)
+
+(* --- Annealer --- *)
+
+let test_annealer_improves_over_striped_start () =
+  let circuit, p0 = build () in
+  let config = Baselines.Annealer.quick_config in
+  let _, stats = Baselines.Annealer.place ~config circuit p0 in
+  Alcotest.(check bool) "some moves accepted" true (stats.Baselines.Annealer.accepted > 0);
+  Alcotest.(check bool) "cost finite" true (Float.is_finite stats.Baselines.Annealer.final_cost)
+
+let test_annealer_beats_random_by_far () =
+  let circuit, p0 = build () in
+  (* Reference: the HPWL of the deterministic striped start is obtained
+     with a zero-move config. *)
+  let no_moves =
+    { Baselines.Annealer.quick_config with
+      Baselines.Annealer.moves_per_cell = 0;
+      Baselines.Annealer.t_steps = 1 }
+  in
+  let _, start = Baselines.Annealer.place ~config:no_moves circuit p0 in
+  let _, annealed =
+    Baselines.Annealer.place ~config:Baselines.Annealer.quick_config circuit p0
+  in
+  Alcotest.(check bool) "improved ≥ 30%" true
+    (annealed.Baselines.Annealer.final_hpwl
+    < 0.7 *. start.Baselines.Annealer.final_hpwl)
+
+let test_annealer_deterministic () =
+  let circuit, p0 = build () in
+  let config = Baselines.Annealer.quick_config in
+  let p1, _ = Baselines.Annealer.place ~config circuit p0 in
+  let p2, _ = Baselines.Annealer.place ~config circuit p0 in
+  Alcotest.check (Alcotest.float 0.) "identical" 0. (Netlist.Placement.displacement p1 p2)
+
+let test_annealer_rows_snapped () =
+  let circuit, p0 = build () in
+  let p, _ =
+    Baselines.Annealer.place ~config:Baselines.Annealer.quick_config circuit p0
+  in
+  Array.iter
+    (fun (cl : Netlist.Cell.t) ->
+      if Netlist.Cell.movable cl && cl.Netlist.Cell.kind = Netlist.Cell.Standard
+      then begin
+        let y = p.Netlist.Placement.y.(cl.Netlist.Cell.id) in
+        let row = Legalize.Rows.row_of_y circuit y in
+        Alcotest.(check (float 1e-6)) "on a row centre"
+          (Legalize.Rows.row_center_y circuit row)
+          y
+      end)
+    circuit.Netlist.Circuit.cells
+
+let test_annealer_keep_arrangement () =
+  let circuit, p0 = build () in
+  let config = Baselines.Annealer.quick_config in
+  let p1, _ = Baselines.Annealer.place ~config circuit p0 in
+  (* Continuation from p1 with zero moves returns p1 itself (rows
+     already snapped). *)
+  let no_moves =
+    { config with Baselines.Annealer.moves_per_cell = 0; Baselines.Annealer.t_steps = 1 }
+  in
+  let p2, _ =
+    Baselines.Annealer.place ~config:no_moves ~keep_arrangement:true circuit p1
+  in
+  Alcotest.check (Alcotest.float 1e-9) "arrangement kept" 0.
+    (Netlist.Placement.displacement p1 p2)
+
+let test_timing_sa_runs_and_reports () =
+  let circuit, p0 = build () in
+  let r =
+    Baselines.Timing_sa.place ~config:Baselines.Annealer.quick_config ~rounds:2
+      circuit p0
+  in
+  Alcotest.(check int) "rounds" 2 r.Baselines.Timing_sa.rounds;
+  Alcotest.(check bool) "delays positive" true
+    (r.Baselines.Timing_sa.initial_delay > 0. && r.Baselines.Timing_sa.final_delay > 0.)
+
+let suite =
+  [
+    Alcotest.test_case "cut size" `Quick test_cut_size;
+    Alcotest.test_case "fm improves" `Quick test_fm_improves_bad_partition;
+    Alcotest.test_case "fm balance" `Quick test_fm_respects_balance;
+    Alcotest.test_case "fm locked" `Quick test_fm_locked_vertices_stay;
+    Alcotest.test_case "fm deterministic" `Quick test_fm_deterministic;
+    QCheck_alcotest.to_alcotest prop_fm_never_worsens;
+    Alcotest.test_case "gordian in region" `Quick test_gordian_places_in_region;
+    Alcotest.test_case "gordian spreads" `Quick test_gordian_spreads;
+    Alcotest.test_case "gordian deterministic" `Quick test_gordian_deterministic;
+    Alcotest.test_case "annealer accepts moves" `Quick test_annealer_improves_over_striped_start;
+    Alcotest.test_case "annealer improves" `Slow test_annealer_beats_random_by_far;
+    Alcotest.test_case "annealer deterministic" `Slow test_annealer_deterministic;
+    Alcotest.test_case "annealer rows snapped" `Quick test_annealer_rows_snapped;
+    Alcotest.test_case "annealer keep arrangement" `Quick test_annealer_keep_arrangement;
+    Alcotest.test_case "timing sa" `Slow test_timing_sa_runs_and_reports;
+  ]

@@ -1,0 +1,152 @@
+(* Round-trip and parsing tests for the Bookshelf format subset. *)
+
+let with_tempdir f =
+  let dir = Filename.temp_file "bookshelf" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let sample () =
+  let prof = Circuitgen.Profiles.find "fract" in
+  let circuit, pads =
+    Circuitgen.Gen.generate (Circuitgen.Profiles.params ~scale:0.5 prof ~seed:77)
+  in
+  let p = Circuitgen.Gen.initial_placement circuit pads in
+  (circuit, p)
+
+let test_roundtrip_counts_and_hpwl () =
+  let circuit, p = sample () in
+  with_tempdir (fun dir ->
+      let base = Filename.concat dir "ckt" in
+      Netlist.Bookshelf.save base circuit p;
+      let circuit', p' = Netlist.Bookshelf.load_aux (base ^ ".aux") in
+      Alcotest.(check int) "cells" (Netlist.Circuit.num_cells circuit)
+        (Netlist.Circuit.num_cells circuit');
+      Alcotest.(check int) "nets" (Netlist.Circuit.num_nets circuit)
+        (Netlist.Circuit.num_nets circuit');
+      Alcotest.(check (float 1e-3)) "row height" circuit.Netlist.Circuit.row_height
+        circuit'.Netlist.Circuit.row_height;
+      (* HPWL of the loaded placement matches the saved one. *)
+      Alcotest.(check (float 1.0)) "hpwl"
+        (Metrics.Wirelength.hpwl circuit p)
+        (Metrics.Wirelength.hpwl circuit' p'))
+
+let test_roundtrip_positions () =
+  let circuit, p = sample () in
+  with_tempdir (fun dir ->
+      let base = Filename.concat dir "ckt" in
+      Netlist.Bookshelf.save base circuit p;
+      let _, p' = Netlist.Bookshelf.load_aux (base ^ ".aux") in
+      Alcotest.(check bool) "x preserved" true
+        (Numeric.Vec.max_abs_diff p.Netlist.Placement.x p'.Netlist.Placement.x < 1e-3);
+      Alcotest.(check bool) "y preserved" true
+        (Numeric.Vec.max_abs_diff p.Netlist.Placement.y p'.Netlist.Placement.y < 1e-3))
+
+let test_terminals_roundtrip_fixed () =
+  let circuit, p = sample () in
+  with_tempdir (fun dir ->
+      let base = Filename.concat dir "ckt" in
+      Netlist.Bookshelf.save base circuit p;
+      let circuit', _ = Netlist.Bookshelf.load_aux (base ^ ".aux") in
+      Array.iteri
+        (fun i (cl : Netlist.Cell.t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "fixedness of %d" i)
+            cl.Netlist.Cell.fixed
+            circuit'.Netlist.Circuit.cells.(i).Netlist.Cell.fixed)
+        circuit.Netlist.Circuit.cells)
+
+let test_driver_preserved () =
+  let circuit, p = sample () in
+  with_tempdir (fun dir ->
+      let base = Filename.concat dir "ckt" in
+      Netlist.Bookshelf.save base circuit p;
+      let circuit', _ = Netlist.Bookshelf.load_aux (base ^ ".aux") in
+      Array.iteri
+        (fun i (net : Netlist.Net.t) ->
+          Alcotest.(check int)
+            (Printf.sprintf "driver of net %d" i)
+            (Netlist.Net.driver net).Netlist.Net.cell
+            (Netlist.Net.driver circuit'.Netlist.Circuit.nets.(i)).Netlist.Net.cell)
+        circuit.Netlist.Circuit.nets)
+
+let test_hand_written_benchmark () =
+  with_tempdir (fun dir ->
+      let file name content =
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc content;
+        close_out oc
+      in
+      file "t.aux" "RowBasedPlacement : t.nodes t.nets t.pl t.scl\n";
+      file "t.nodes"
+        "UCLA nodes 1.0\n# comment\nNumNodes : 3\nNumTerminals : 1\n\
+         a 8 16\nb 8 16\npad1 4 4 terminal\n";
+      file "t.nets"
+        "UCLA nets 1.0\nNumNets : 2\nNumPins : 4\n\
+         NetDegree : 2 n1\n  a O : 0 0\n  b I : 1 2\n\
+         NetDegree : 2 n2\n  pad1 O : 0 0\n  a I : 0 0\n";
+      file "t.pl" "UCLA pl 1.0\n\na 10 16 : N\nb 30 16 : N\npad1 0 0 : N /FIXED\n";
+      file "t.scl"
+        "UCLA scl 1.0\nNumRows : 2\n\
+         CoreRow Horizontal\n  Coordinate : 0\n  Height : 16\n  Sitewidth : 1\n  \
+         Sitespacing : 1\n  Siteorient : 1\n  Sitesymmetry : 1\n  \
+         SubrowOrigin : 0  NumSites : 100\nEnd\n\
+         CoreRow Horizontal\n  Coordinate : 16\n  Height : 16\n  Sitewidth : 1\n  \
+         Sitespacing : 1\n  Siteorient : 1\n  Sitesymmetry : 1\n  \
+         SubrowOrigin : 0  NumSites : 100\nEnd\n";
+      let c, p = Netlist.Bookshelf.load_aux (Filename.concat dir "t.aux") in
+      Alcotest.(check int) "cells" 3 (Netlist.Circuit.num_cells c);
+      Alcotest.(check int) "nets" 2 (Netlist.Circuit.num_nets c);
+      Alcotest.(check int) "rows" 2 (Netlist.Circuit.num_rows c);
+      Alcotest.(check (float 1e-9)) "region width" 100.
+        (Geometry.Rect.width c.Netlist.Circuit.region);
+      (* a at lower-left (10,16) with 8×16 → centre (14, 24). *)
+      Alcotest.(check (float 1e-9)) "a centre x" 14. p.Netlist.Placement.x.(0);
+      Alcotest.(check (float 1e-9)) "a centre y" 24. p.Netlist.Placement.y.(0);
+      Alcotest.(check bool) "pad fixed" true
+        c.Netlist.Circuit.cells.(2).Netlist.Cell.fixed;
+      (* Driver of n1 is a (the O pin). *)
+      Alcotest.(check int) "driver" 0
+        (Netlist.Net.driver c.Netlist.Circuit.nets.(0)).Netlist.Net.cell;
+      (* Pin offset parsed. *)
+      Alcotest.(check (float 1e-9)) "pin dx" 1.
+        c.Netlist.Circuit.nets.(0).Netlist.Net.pins.(1).Netlist.Net.dx)
+
+let test_missing_file_rejected () =
+  with_tempdir (fun dir ->
+      let file = Filename.concat dir "bad.aux" in
+      let oc = open_out file in
+      output_string oc "RowBasedPlacement : bad.nodes bad.pl bad.scl\n";
+      close_out oc;
+      Alcotest.(check bool) "raises" true
+        (try
+           ignore (Netlist.Bookshelf.load_aux file);
+           false
+         with Failure _ -> true))
+
+let test_placeable_after_load () =
+  (* End-to-end: save → load → place the loaded circuit. *)
+  let circuit, p = sample () in
+  with_tempdir (fun dir ->
+      let base = Filename.concat dir "ckt" in
+      Netlist.Bookshelf.save base circuit p;
+      let circuit', p0 = Netlist.Bookshelf.load_aux (base ^ ".aux") in
+      let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit' p0 in
+      let rep = Legalize.Abacus.legalize circuit' state.Kraftwerk.Placer.placement () in
+      Alcotest.(check bool) "legal" true
+        (Legalize.Check.is_legal circuit' rep.Legalize.Abacus.placement))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip counts/hpwl" `Quick test_roundtrip_counts_and_hpwl;
+    Alcotest.test_case "roundtrip positions" `Quick test_roundtrip_positions;
+    Alcotest.test_case "terminals fixed" `Quick test_terminals_roundtrip_fixed;
+    Alcotest.test_case "driver preserved" `Quick test_driver_preserved;
+    Alcotest.test_case "hand-written benchmark" `Quick test_hand_written_benchmark;
+    Alcotest.test_case "missing file" `Quick test_missing_file_rejected;
+    Alcotest.test_case "placeable after load" `Quick test_placeable_after_load;
+  ]

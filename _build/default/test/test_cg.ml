@@ -1,0 +1,126 @@
+(* Tests for the preconditioned conjugate-gradient solver. *)
+
+let approx = Alcotest.float 1e-5
+
+let solve_exact a b =
+  (* Gaussian elimination reference for small dense systems. *)
+  let n = Array.length b in
+  let m = Array.map Array.copy a in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs m.(r).(col) > Float.abs m.(!pivot).(col) then pivot := r
+    done;
+    let tmp = m.(col) in
+    m.(col) <- m.(!pivot);
+    m.(!pivot) <- tmp;
+    let t = x.(col) in
+    x.(col) <- x.(!pivot);
+    x.(!pivot) <- t;
+    for r = col + 1 to n - 1 do
+      let f = m.(r).(col) /. m.(col).(col) in
+      for c = col to n - 1 do
+        m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
+      done;
+      x.(r) <- x.(r) -. (f *. x.(col))
+    done
+  done;
+  for col = n - 1 downto 0 do
+    for r = 0 to col - 1 do
+      let f = m.(r).(col) /. m.(col).(col) in
+      x.(r) <- x.(r) -. (f *. x.(col))
+    done;
+    x.(col) <- x.(col) /. m.(col).(col)
+  done;
+  x
+
+let test_identity () =
+  let a = Numeric.Sparse.of_dense [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  let x, stats = Numeric.Cg.solve a [| 3.; -4. |] in
+  Alcotest.check approx "x0" 3. x.(0);
+  Alcotest.check approx "x1" (-4.) x.(1);
+  Alcotest.(check bool) "converged" true stats.Numeric.Cg.converged
+
+let test_diagonal () =
+  let a = Numeric.Sparse.of_dense [| [| 2.; 0. |]; [| 0.; 4. |] |] in
+  let x, _ = Numeric.Cg.solve a [| 2.; 2. |] in
+  Alcotest.check approx "x0" 1. x.(0);
+  Alcotest.check approx "x1" 0.5 x.(1)
+
+let test_spd_small () =
+  let dense = [| [| 4.; 1.; 0. |]; [| 1.; 3.; 1. |]; [| 0.; 1.; 5. |] |] in
+  let b = [| 1.; 2.; 3. |] in
+  let x, stats = Numeric.Cg.solve (Numeric.Sparse.of_dense dense) b in
+  let expected = solve_exact dense b in
+  Alcotest.(check bool) "converged" true stats.Numeric.Cg.converged;
+  Array.iteri (fun i e -> Alcotest.check approx (Printf.sprintf "x%d" i) e x.(i)) expected
+
+let test_warm_start_fewer_iterations () =
+  let dense =
+    Array.init 20 (fun i ->
+        Array.init 20 (fun j ->
+            if i = j then 4. else if abs (i - j) = 1 then -1. else 0.))
+  in
+  let a = Numeric.Sparse.of_dense dense in
+  let b = Array.init 20 (fun i -> float_of_int (i mod 3)) in
+  let x_cold, s_cold = Numeric.Cg.solve a b in
+  let _, s_warm = Numeric.Cg.solve ~x0:x_cold a b in
+  Alcotest.(check bool) "warm start converges immediately" true
+    (s_warm.Numeric.Cg.iterations <= 1);
+  Alcotest.(check bool) "cold start took iterations" true
+    (s_cold.Numeric.Cg.iterations > 1)
+
+let test_nonpositive_diagonal_rejected () =
+  let a = Numeric.Sparse.of_dense [| [| 0.; 1. |]; [| 1.; 2. |] |] in
+  Alcotest.check_raises "zero diagonal"
+    (Invalid_argument "Cg.solve: non-positive diagonal (matrix not anchored?)")
+    (fun () -> ignore (Numeric.Cg.solve a [| 1.; 1. |]))
+
+let test_max_iter_respected () =
+  let dense =
+    Array.init 30 (fun i ->
+        Array.init 30 (fun j ->
+            if i = j then 2. else if abs (i - j) = 1 then -1. else 0.))
+  in
+  let a = Numeric.Sparse.of_dense dense in
+  let b = Array.make 30 1. in
+  let _, stats = Numeric.Cg.solve ~max_iter:2 a b in
+  Alcotest.(check bool) "capped" true (stats.Numeric.Cg.iterations <= 2)
+
+let laplacian_gen =
+  (* Random SPD matrices: Laplacian of a path + random positive diagonal. *)
+  QCheck.(
+    pair
+      (list_of_size Gen.(return 6) (float_range 0.1 5.))
+      (array_of_size Gen.(return 6) (float_range (-3.) 3.)))
+
+let prop_residual_small =
+  QCheck.Test.make ~name:"CG residual below tolerance on SPD systems"
+    laplacian_gen (fun (diag_boost, b) ->
+      let n = 6 in
+      let boosts = Array.of_list diag_boost in
+      let dense =
+        Array.init n (fun i ->
+            Array.init n (fun j ->
+                if i = j then 2. +. boosts.(i)
+                else if abs (i - j) = 1 then -1.
+                else 0.))
+      in
+      let a = Numeric.Sparse.of_dense dense in
+      let x, _ = Numeric.Cg.solve a b in
+      let r = Numeric.Vec.create n in
+      Numeric.Sparse.mul a x r;
+      Numeric.Vec.sub_into b r r;
+      Numeric.Vec.norm2 r < 1e-5)
+
+let suite =
+  [
+    Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "diagonal" `Quick test_diagonal;
+    Alcotest.test_case "SPD vs gaussian elimination" `Quick test_spd_small;
+    Alcotest.test_case "warm start" `Quick test_warm_start_fewer_iterations;
+    Alcotest.test_case "non-positive diagonal" `Quick test_nonpositive_diagonal_rejected;
+    Alcotest.test_case "max_iter" `Quick test_max_iter_respected;
+    QCheck_alcotest.to_alcotest prop_residual_small;
+  ]

@@ -1,0 +1,128 @@
+(* Tests for clustering and the multilevel placement flow. *)
+
+let build ?(name = "primary1") ?(scale = 0.5) ?(seed = 81) () =
+  let prof = Circuitgen.Profiles.find name in
+  let circuit, pads =
+    Circuitgen.Gen.generate (Circuitgen.Profiles.params ~scale prof ~seed)
+  in
+  (circuit, pads, Circuitgen.Gen.initial_placement circuit pads)
+
+let test_cluster_partitions_cells () =
+  let circuit, pads, _ = build () in
+  let t = Kraftwerk.Cluster.cluster circuit ~fixed_positions:pads in
+  let n = Netlist.Circuit.num_cells circuit in
+  (* Every flat cell maps to a coarse cell, and members invert the map. *)
+  let covered = Array.make n false in
+  Array.iteri
+    (fun cid group ->
+      List.iter
+        (fun id ->
+          Alcotest.(check int) "cluster_of inverts members" cid
+            t.Kraftwerk.Cluster.cluster_of.(id);
+          Alcotest.(check bool) "not seen before" false covered.(id);
+          covered.(id) <- true)
+        group)
+    t.Kraftwerk.Cluster.members;
+  Array.iter (fun c -> Alcotest.(check bool) "covered" true c) covered
+
+let test_cluster_reduces_size () =
+  let circuit, pads, _ = build () in
+  let t = Kraftwerk.Cluster.cluster circuit ~fixed_positions:pads in
+  let coarse_n = Netlist.Circuit.num_cells t.Kraftwerk.Cluster.coarse in
+  Alcotest.(check bool) "meaningfully smaller" true
+    (coarse_n < (2 * Netlist.Circuit.num_cells circuit) / 3)
+
+let test_cluster_preserves_area () =
+  let circuit, pads, _ = build () in
+  let t = Kraftwerk.Cluster.cluster circuit ~fixed_positions:pads in
+  Alcotest.(check (float 1.)) "movable area preserved"
+    (Netlist.Circuit.movable_area circuit)
+    (Netlist.Circuit.movable_area t.Kraftwerk.Cluster.coarse)
+
+let test_cluster_area_cap_respected () =
+  let circuit, pads, _ = build () in
+  let cap = 4. *. Netlist.Circuit.average_cell_area circuit in
+  let t =
+    Kraftwerk.Cluster.cluster ~max_cluster_area:cap circuit ~fixed_positions:pads
+  in
+  Array.iter
+    (fun (cl : Netlist.Cell.t) ->
+      if Netlist.Cell.movable cl then
+        (* Merges check the cap before joining, so a cluster can exceed
+           it by at most one member's area. *)
+        Alcotest.(check bool) "bounded" true
+          (Netlist.Cell.area cl <= 2. *. cap))
+    t.Kraftwerk.Cluster.coarse.Netlist.Circuit.cells
+
+let test_cluster_fixed_cells_singleton () =
+  let circuit, pads, _ = build () in
+  let t = Kraftwerk.Cluster.cluster circuit ~fixed_positions:pads in
+  Array.iter
+    (fun (cl : Netlist.Cell.t) ->
+      if cl.Netlist.Cell.fixed then begin
+        let cid = t.Kraftwerk.Cluster.cluster_of.(cl.Netlist.Cell.id) in
+        Alcotest.(check int) "singleton" 1
+          (List.length t.Kraftwerk.Cluster.members.(cid));
+        Alcotest.(check bool) "coarse cell fixed" true
+          t.Kraftwerk.Cluster.coarse.Netlist.Circuit.cells.(cid).Netlist.Cell.fixed
+      end)
+    circuit.Netlist.Circuit.cells
+
+let test_expand_places_members_near_cluster () =
+  let circuit, pads, p0 = build () in
+  let t = Kraftwerk.Cluster.cluster circuit ~fixed_positions:pads in
+  let coarse_p =
+    Netlist.Placement.centered t.Kraftwerk.Cluster.coarse
+      ~fixed_positions:t.Kraftwerk.Cluster.coarse_fixed
+  in
+  let flat = Netlist.Placement.copy p0 in
+  Kraftwerk.Cluster.expand t ~coarse_placement:coarse_p ~flat_placement:flat;
+  Array.iteri
+    (fun cid group ->
+      let cx = coarse_p.Netlist.Placement.x.(cid) in
+      let cy = coarse_p.Netlist.Placement.y.(cid) in
+      List.iter
+        (fun id ->
+          let d =
+            sqrt
+              (((flat.Netlist.Placement.x.(id) -. cx) ** 2.)
+              +. ((flat.Netlist.Placement.y.(id) -. cy) ** 2.))
+          in
+          Alcotest.(check bool) "near cluster centre" true (d < 10.))
+        group)
+    t.Kraftwerk.Cluster.members
+
+let test_multilevel_end_to_end () =
+  let circuit, pads, p0 = build () in
+  let flat_state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in
+  let flat_wl =
+    Metrics.Wirelength.hpwl circuit flat_state.Kraftwerk.Placer.placement
+  in
+  let ml =
+    Kraftwerk.Cluster.place_multilevel Kraftwerk.Config.standard circuit
+      ~fixed_positions:pads p0
+  in
+  let ml_wl = Metrics.Wirelength.hpwl circuit ml in
+  Alcotest.(check (float 1e-6)) "in region" 0.
+    (Metrics.Overlap.out_of_region_area circuit ml);
+  (* Multilevel lands in the same quality regime as flat. *)
+  Alcotest.(check bool) "comparable quality" true (ml_wl < 1.5 *. flat_wl)
+
+let test_cluster_deterministic () =
+  let circuit, pads, _ = build () in
+  let t1 = Kraftwerk.Cluster.cluster ~seed:5 circuit ~fixed_positions:pads in
+  let t2 = Kraftwerk.Cluster.cluster ~seed:5 circuit ~fixed_positions:pads in
+  Alcotest.(check bool) "same clustering" true
+    (t1.Kraftwerk.Cluster.cluster_of = t2.Kraftwerk.Cluster.cluster_of)
+
+let suite =
+  [
+    Alcotest.test_case "partitions cells" `Quick test_cluster_partitions_cells;
+    Alcotest.test_case "reduces size" `Quick test_cluster_reduces_size;
+    Alcotest.test_case "preserves area" `Quick test_cluster_preserves_area;
+    Alcotest.test_case "area cap" `Quick test_cluster_area_cap_respected;
+    Alcotest.test_case "fixed singleton" `Quick test_cluster_fixed_cells_singleton;
+    Alcotest.test_case "expand near centre" `Quick test_expand_places_members_near_cluster;
+    Alcotest.test_case "multilevel e2e" `Slow test_multilevel_end_to_end;
+    Alcotest.test_case "deterministic" `Quick test_cluster_deterministic;
+  ]

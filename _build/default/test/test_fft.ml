@@ -1,0 +1,145 @@
+(* Tests for the FFT and convolution kernels. *)
+
+let approx = Alcotest.float 1e-6
+
+let test_pow2_helpers () =
+  Alcotest.(check bool) "1" true (Numeric.Fft.is_pow2 1);
+  Alcotest.(check bool) "8" true (Numeric.Fft.is_pow2 8);
+  Alcotest.(check bool) "12" false (Numeric.Fft.is_pow2 12);
+  Alcotest.(check bool) "0" false (Numeric.Fft.is_pow2 0);
+  Alcotest.(check int) "next 5" 8 (Numeric.Fft.next_pow2 5);
+  Alcotest.(check int) "next 8" 8 (Numeric.Fft.next_pow2 8);
+  Alcotest.(check int) "next 0" 1 (Numeric.Fft.next_pow2 0)
+
+let test_impulse_spectrum_flat () =
+  let re = [| 1.; 0.; 0.; 0. |] and im = [| 0.; 0.; 0.; 0. |] in
+  Numeric.Fft.transform ~inverse:false re im;
+  Array.iter (fun v -> Alcotest.check approx "flat re" 1. v) re;
+  Array.iter (fun v -> Alcotest.check approx "flat im" 0. v) im
+
+let test_constant_spectrum_impulse () =
+  let re = [| 1.; 1.; 1.; 1. |] and im = Array.make 4 0. in
+  Numeric.Fft.transform ~inverse:false re im;
+  Alcotest.check approx "dc" 4. re.(0);
+  for i = 1 to 3 do
+    Alcotest.check approx "ac" 0. re.(i)
+  done
+
+let test_roundtrip () =
+  let n = 16 in
+  let rng = Numeric.Rng.create 3 in
+  let re = Array.init n (fun _ -> Numeric.Rng.uniform rng (-1.) 1.) in
+  let im = Array.init n (fun _ -> Numeric.Rng.uniform rng (-1.) 1.) in
+  let re0 = Array.copy re and im0 = Array.copy im in
+  Numeric.Fft.transform ~inverse:false re im;
+  Numeric.Fft.transform ~inverse:true re im;
+  Alcotest.(check bool) "re restored" true (Numeric.Vec.max_abs_diff re0 re < 1e-9);
+  Alcotest.(check bool) "im restored" true (Numeric.Vec.max_abs_diff im0 im < 1e-9)
+
+let naive_dft re im =
+  let n = Array.length re in
+  let out_re = Array.make n 0. and out_im = Array.make n 0. in
+  for k = 0 to n - 1 do
+    for t = 0 to n - 1 do
+      let ang = -2. *. Float.pi *. float_of_int (k * t) /. float_of_int n in
+      out_re.(k) <- out_re.(k) +. (re.(t) *. cos ang) -. (im.(t) *. sin ang);
+      out_im.(k) <- out_im.(k) +. (re.(t) *. sin ang) +. (im.(t) *. cos ang)
+    done
+  done;
+  (out_re, out_im)
+
+let test_matches_naive_dft () =
+  let n = 8 in
+  let rng = Numeric.Rng.create 4 in
+  let re = Array.init n (fun _ -> Numeric.Rng.uniform rng (-1.) 1.) in
+  let im = Array.init n (fun _ -> Numeric.Rng.uniform rng (-1.) 1.) in
+  let exp_re, exp_im = naive_dft re im in
+  Numeric.Fft.transform ~inverse:false re im;
+  Alcotest.(check bool) "re" true (Numeric.Vec.max_abs_diff exp_re re < 1e-9);
+  Alcotest.(check bool) "im" true (Numeric.Vec.max_abs_diff exp_im im < 1e-9)
+
+let test_bad_length_rejected () =
+  Alcotest.check_raises "length 3"
+    (Invalid_argument "Fft.transform: length not a power of two") (fun () ->
+      Numeric.Fft.transform ~inverse:false (Array.make 3 0.) (Array.make 3 0.))
+
+let test_2d_roundtrip () =
+  let rows = 4 and cols = 8 in
+  let rng = Numeric.Rng.create 5 in
+  let re = Array.init (rows * cols) (fun _ -> Numeric.Rng.uniform rng (-1.) 1.) in
+  let im = Array.make (rows * cols) 0. in
+  let re0 = Array.copy re in
+  Numeric.Fft.transform2 ~inverse:false ~rows ~cols re im;
+  Numeric.Fft.transform2 ~inverse:true ~rows ~cols re im;
+  Alcotest.(check bool) "2d roundtrip" true (Numeric.Vec.max_abs_diff re0 re < 1e-9)
+
+let naive_cyclic_convolve ~rows ~cols a b =
+  let out = Array.make (rows * cols) 0. in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let acc = ref 0. in
+      for r' = 0 to rows - 1 do
+        for c' = 0 to cols - 1 do
+          let rr = (r - r' + rows) mod rows and cc = (c - c' + cols) mod cols in
+          acc := !acc +. (a.((r' * cols) + c') *. b.((rr * cols) + cc))
+        done
+      done;
+      out.((r * cols) + c) <- !acc
+    done
+  done;
+  out
+
+let test_convolve_matches_naive () =
+  let rows = 4 and cols = 4 in
+  let rng = Numeric.Rng.create 6 in
+  let a = Array.init (rows * cols) (fun _ -> Numeric.Rng.uniform rng (-1.) 1.) in
+  let b = Array.init (rows * cols) (fun _ -> Numeric.Rng.uniform rng (-1.) 1.) in
+  let fast = Numeric.Fft.convolve2 ~rows ~cols a b in
+  let slow = naive_cyclic_convolve ~rows ~cols a b in
+  Alcotest.(check bool) "convolution" true (Numeric.Vec.max_abs_diff slow fast < 1e-8)
+
+let signal_gen =
+  QCheck.(array_of_size (QCheck.Gen.return 16) (float_range (-10.) 10.))
+
+let prop_parseval =
+  QCheck.Test.make ~name:"Parseval: energy preserved up to 1/n" signal_gen
+    (fun re ->
+      let im = Array.make (Array.length re) 0. in
+      let time_energy = Numeric.Vec.dot re re in
+      let re' = Array.copy re and im' = Array.copy im in
+      Numeric.Fft.transform ~inverse:false re' im';
+      let freq_energy =
+        (Numeric.Vec.dot re' re' +. Numeric.Vec.dot im' im')
+        /. float_of_int (Array.length re)
+      in
+      Float.abs (time_energy -. freq_energy) < 1e-6 *. (1. +. time_energy))
+
+let prop_linearity =
+  QCheck.Test.make ~name:"FFT is linear" (QCheck.pair signal_gen signal_gen)
+    (fun (a, b) ->
+      let n = Array.length a in
+      let fft x =
+        let re = Array.copy x and im = Array.make n 0. in
+        Numeric.Fft.transform ~inverse:false re im;
+        (re, im)
+      in
+      let sum = Array.init n (fun i -> a.(i) +. b.(i)) in
+      let sre, _ = fft sum in
+      let are, _ = fft a in
+      let bre, _ = fft b in
+      let combined = Array.init n (fun i -> are.(i) +. bre.(i)) in
+      Numeric.Vec.max_abs_diff sre combined < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "pow2 helpers" `Quick test_pow2_helpers;
+    Alcotest.test_case "impulse spectrum" `Quick test_impulse_spectrum_flat;
+    Alcotest.test_case "constant spectrum" `Quick test_constant_spectrum_impulse;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "matches naive DFT" `Quick test_matches_naive_dft;
+    Alcotest.test_case "bad length" `Quick test_bad_length_rejected;
+    Alcotest.test_case "2d roundtrip" `Quick test_2d_roundtrip;
+    Alcotest.test_case "convolution vs naive" `Quick test_convolve_matches_naive;
+    QCheck_alcotest.to_alcotest prop_parseval;
+    QCheck_alcotest.to_alcotest prop_linearity;
+  ]

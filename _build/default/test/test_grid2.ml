@@ -1,0 +1,148 @@
+(* Tests for Geometry.Grid2: bins, interpolation, splatting, and the
+   largest-empty-square search that drives the stopping criterion. *)
+
+let approx = Alcotest.float 1e-9
+
+let region = Geometry.Rect.make ~x_lo:0. ~y_lo:0. ~x_hi:8. ~y_hi:4.
+
+let test_create_dims () =
+  let g = Geometry.Grid2.create region ~nx:4 ~ny:2 in
+  Alcotest.(check int) "nx" 4 (Geometry.Grid2.nx g);
+  Alcotest.(check int) "ny" 2 (Geometry.Grid2.ny g);
+  Alcotest.check approx "dx" 2. (Geometry.Grid2.dx g);
+  Alcotest.check approx "dy" 2. (Geometry.Grid2.dy g)
+
+let test_get_set_add () =
+  let g = Geometry.Grid2.create region ~nx:4 ~ny:2 in
+  Geometry.Grid2.set g 1 1 5.;
+  Geometry.Grid2.add g 1 1 2.;
+  Alcotest.check approx "value" 7. (Geometry.Grid2.get g 1 1);
+  Alcotest.check approx "untouched" 0. (Geometry.Grid2.get g 0 0)
+
+let test_bin_geometry () =
+  let g = Geometry.Grid2.create region ~nx:4 ~ny:2 in
+  let r = Geometry.Grid2.bin_rect g 1 0 in
+  Alcotest.check approx "x_lo" 2. r.Geometry.Rect.x_lo;
+  Alcotest.check approx "y_hi" 2. r.Geometry.Rect.y_hi;
+  let cx, cy = Geometry.Grid2.bin_center g 3 1 in
+  Alcotest.check approx "cx" 7. cx;
+  Alcotest.check approx "cy" 3. cy
+
+let test_locate () =
+  let g = Geometry.Grid2.create region ~nx:4 ~ny:2 in
+  Alcotest.(check (pair int int)) "interior" (1, 0) (Geometry.Grid2.locate g 2.5 1.);
+  Alcotest.(check (pair int int)) "clamped" (3, 1) (Geometry.Grid2.locate g 100. 100.);
+  Alcotest.(check (pair int int)) "clamped low" (0, 0) (Geometry.Grid2.locate g (-5.) (-5.))
+
+let test_sample_exact_at_centres () =
+  let g = Geometry.Grid2.create region ~nx:4 ~ny:2 in
+  Geometry.Grid2.set g 2 1 9. ;
+  let cx, cy = Geometry.Grid2.bin_center g 2 1 in
+  Alcotest.check approx "exact" 9. (Geometry.Grid2.sample g cx cy)
+
+let test_sample_linear_field () =
+  (* Fill bins with f(x) = x at bin centres; bilinear sampling must
+     reproduce the linear field between centres. *)
+  let g = Geometry.Grid2.create region ~nx:8 ~ny:4 in
+  Geometry.Grid2.map_inplace (fun ix iy _ -> fst (Geometry.Grid2.bin_center g ix iy)) g;
+  Alcotest.check approx "midpoint" 2. (Geometry.Grid2.sample g 2. 2.);
+  Alcotest.check approx "quarter" 3.25 (Geometry.Grid2.sample g 3.25 1.)
+
+let test_splat_conserves_total () =
+  let g = Geometry.Grid2.create region ~nx:8 ~ny:4 in
+  Geometry.Grid2.splat_rect g
+    (Geometry.Rect.make ~x_lo:1.3 ~y_lo:0.7 ~x_hi:4.9 ~y_hi:2.2)
+    10.;
+  Alcotest.check (Alcotest.float 1e-6) "total" 10. (Geometry.Grid2.total g)
+
+let test_splat_clipped_rect_keeps_inside_share () =
+  let g = Geometry.Grid2.create region ~nx:8 ~ny:4 in
+  (* Half of the rect hangs off the left edge: only the inside half is
+     deposited. *)
+  Geometry.Grid2.splat_rect g
+    (Geometry.Rect.make ~x_lo:(-2.) ~y_lo:0. ~x_hi:2. ~y_hi:4.)
+    8.;
+  Alcotest.check (Alcotest.float 1e-6) "inside half" 4. (Geometry.Grid2.total g)
+
+let test_splat_fully_outside () =
+  let g = Geometry.Grid2.create region ~nx:8 ~ny:4 in
+  Geometry.Grid2.splat_rect g
+    (Geometry.Rect.make ~x_lo:100. ~y_lo:0. ~x_hi:104. ~y_hi:4.)
+    8.;
+  Alcotest.check approx "nothing" 0. (Geometry.Grid2.total g)
+
+let test_splat_degenerate_rect () =
+  let g = Geometry.Grid2.create region ~nx:8 ~ny:4 in
+  Geometry.Grid2.splat_rect g
+    (Geometry.Rect.make ~x_lo:3. ~y_lo:2. ~x_hi:3. ~y_hi:2.)
+    5.;
+  Alcotest.check approx "point mass" 5. (Geometry.Grid2.total g)
+
+let test_splat_single_bin () =
+  let g = Geometry.Grid2.create region ~nx:4 ~ny:2 in
+  Geometry.Grid2.splat_rect g
+    (Geometry.Rect.make ~x_lo:0.5 ~y_lo:0.5 ~x_hi:1.5 ~y_hi:1.5)
+    3.;
+  Alcotest.check approx "all in bin (0,0)" 3. (Geometry.Grid2.get g 0 0)
+
+let test_fold_and_map () =
+  let g = Geometry.Grid2.create region ~nx:2 ~ny:2 in
+  Geometry.Grid2.map_inplace (fun ix iy _ -> float_of_int ((iy * 2) + ix)) g;
+  let sum = Geometry.Grid2.fold (fun acc _ _ v -> acc +. v) 0. g in
+  Alcotest.check approx "fold sum" 6. sum
+
+let test_largest_empty_square_all_empty () =
+  let g = Geometry.Grid2.create region ~nx:8 ~ny:4 in
+  Alcotest.check approx "whole height" 4.
+    (Geometry.Grid2.largest_empty_square g ~threshold:0.)
+
+let test_largest_empty_square_blocked () =
+  let g = Geometry.Grid2.create region ~nx:8 ~ny:4 in
+  (* Occupy a full column, splitting the region into a 3-wide and a
+     4-wide area of 4-high bins: best square is 4 bins = 4 units... the
+     left part is 3 wide so 3, the right part is 4 wide and 4 high. *)
+  for iy = 0 to 3 do
+    Geometry.Grid2.set g 3 iy 1.
+  done;
+  Alcotest.check approx "right block" 4.
+    (Geometry.Grid2.largest_empty_square g ~threshold:0.5)
+
+let test_largest_empty_square_full () =
+  let g = Geometry.Grid2.create region ~nx:4 ~ny:4 in
+  Geometry.Grid2.map_inplace (fun _ _ _ -> 1.) g;
+  Alcotest.check approx "none" 0.
+    (Geometry.Grid2.largest_empty_square g ~threshold:0.5)
+
+let prop_splat_total_conserved =
+  QCheck.Test.make ~name:"splat conserves mass for rects intersecting region"
+    QCheck.(
+      quad (float_range 0.5 7.) (float_range 0.5 3.) (float_range 0.3 3.)
+        (float_range 0.3 2.))
+    (fun (cx, cy, w, h) ->
+      let g = Geometry.Grid2.create region ~nx:8 ~ny:4 in
+      let rect = Geometry.Rect.of_center ~cx ~cy ~w ~h in
+      Geometry.Grid2.splat_rect g rect 1.;
+      let inside =
+        Geometry.Rect.overlap_area rect region /. Geometry.Rect.area rect
+      in
+      Float.abs (Geometry.Grid2.total g -. inside) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "create dims" `Quick test_create_dims;
+    Alcotest.test_case "get/set/add" `Quick test_get_set_add;
+    Alcotest.test_case "bin geometry" `Quick test_bin_geometry;
+    Alcotest.test_case "locate" `Quick test_locate;
+    Alcotest.test_case "sample exact at centres" `Quick test_sample_exact_at_centres;
+    Alcotest.test_case "sample linear field" `Quick test_sample_linear_field;
+    Alcotest.test_case "splat conserves total" `Quick test_splat_conserves_total;
+    Alcotest.test_case "splat clipped" `Quick test_splat_clipped_rect_keeps_inside_share;
+    Alcotest.test_case "splat outside" `Quick test_splat_fully_outside;
+    Alcotest.test_case "splat degenerate" `Quick test_splat_degenerate_rect;
+    Alcotest.test_case "splat single bin" `Quick test_splat_single_bin;
+    Alcotest.test_case "fold and map" `Quick test_fold_and_map;
+    Alcotest.test_case "empty square: all empty" `Quick test_largest_empty_square_all_empty;
+    Alcotest.test_case "empty square: blocked" `Quick test_largest_empty_square_blocked;
+    Alcotest.test_case "empty square: full" `Quick test_largest_empty_square_full;
+    QCheck_alcotest.to_alcotest prop_splat_total_conserved;
+  ]

@@ -1,0 +1,117 @@
+(* Round-trip tests for the circuit/placement text format. *)
+
+let with_temp f =
+  let file = Filename.temp_file "kraftwerk_test" ".ckt" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) (fun () -> f file)
+
+let sample_circuit () =
+  let prof = Circuitgen.Profiles.find "fract" in
+  let params = Circuitgen.Profiles.params ~scale:0.5 prof ~seed:9 in
+  fst (Circuitgen.Gen.generate params)
+
+let test_circuit_roundtrip () =
+  let c = sample_circuit () in
+  with_temp (fun file ->
+      Netlist.Io.save_circuit file c;
+      let c' = Netlist.Io.load_circuit file in
+      Alcotest.(check string) "name" c.Netlist.Circuit.name c'.Netlist.Circuit.name;
+      Alcotest.(check int) "cells" (Netlist.Circuit.num_cells c)
+        (Netlist.Circuit.num_cells c');
+      Alcotest.(check int) "nets" (Netlist.Circuit.num_nets c)
+        (Netlist.Circuit.num_nets c');
+      Alcotest.(check (float 1e-12)) "row height" c.Netlist.Circuit.row_height
+        c'.Netlist.Circuit.row_height;
+      Alcotest.(check (float 1e-9)) "region width"
+        (Geometry.Rect.width c.Netlist.Circuit.region)
+        (Geometry.Rect.width c'.Netlist.Circuit.region);
+      Array.iteri
+        (fun i (cl : Netlist.Cell.t) ->
+          let cl' = c'.Netlist.Circuit.cells.(i) in
+          Alcotest.(check string) "cell name" cl.Netlist.Cell.name cl'.Netlist.Cell.name;
+          Alcotest.(check (float 1e-12)) "cell width" cl.Netlist.Cell.width
+            cl'.Netlist.Cell.width;
+          Alcotest.(check bool) "cell fixed" cl.Netlist.Cell.fixed cl'.Netlist.Cell.fixed;
+          Alcotest.(check bool) "cell seq" cl.Netlist.Cell.sequential
+            cl'.Netlist.Cell.sequential)
+        c.Netlist.Circuit.cells;
+      Array.iteri
+        (fun i (n : Netlist.Net.t) ->
+          let n' = c'.Netlist.Circuit.nets.(i) in
+          Alcotest.(check int) "net degree" (Netlist.Net.degree n) (Netlist.Net.degree n');
+          Array.iteri
+            (fun j (p : Netlist.Net.pin) ->
+              Alcotest.(check int) "pin cell" p.Netlist.Net.cell
+                n'.Netlist.Net.pins.(j).Netlist.Net.cell)
+            n.Netlist.Net.pins)
+        c.Netlist.Circuit.nets)
+
+let test_placement_roundtrip () =
+  let c = sample_circuit () in
+  let rng = Numeric.Rng.create 4 in
+  let n = Netlist.Circuit.num_cells c in
+  let p =
+    {
+      Netlist.Placement.x = Array.init n (fun _ -> Numeric.Rng.uniform rng 0. 100.);
+      y = Array.init n (fun _ -> Numeric.Rng.uniform rng 0. 100.);
+    }
+  in
+  with_temp (fun file ->
+      Netlist.Io.save_placement file p;
+      let p' = Netlist.Io.load_placement file ~num_cells:n in
+      Alcotest.(check bool) "x restored" true
+        (Numeric.Vec.max_abs_diff p.Netlist.Placement.x p'.Netlist.Placement.x = 0.);
+      Alcotest.(check bool) "y restored" true
+        (Numeric.Vec.max_abs_diff p.Netlist.Placement.y p'.Netlist.Placement.y = 0.))
+
+let test_placement_missing_cell_rejected () =
+  with_temp (fun file ->
+      let oc = open_out file in
+      output_string oc "pos 0 1.0 2.0\n";
+      close_out oc;
+      Alcotest.(check bool) "raises" true
+        (try
+           ignore (Netlist.Io.load_placement file ~num_cells:2);
+           false
+         with Failure _ -> true))
+
+let test_malformed_circuit_rejected () =
+  with_temp (fun file ->
+      let oc = open_out file in
+      output_string oc "circuit x\nbogus line here\n";
+      close_out oc;
+      Alcotest.(check bool) "raises" true
+        (try
+           ignore (Netlist.Io.load_circuit file);
+           false
+         with Failure _ -> true))
+
+let test_missing_region_rejected () =
+  with_temp (fun file ->
+      let oc = open_out file in
+      output_string oc "circuit x\nrowheight 16\n";
+      close_out oc;
+      Alcotest.(check bool) "raises" true
+        (try
+           ignore (Netlist.Io.load_circuit file);
+           false
+         with Failure _ -> true))
+
+let test_hpwl_preserved_by_roundtrip () =
+  let c = sample_circuit () in
+  let p = Netlist.Placement.centered c ~fixed_positions:[] in
+  with_temp (fun file ->
+      Netlist.Io.save_circuit file c;
+      let c' = Netlist.Io.load_circuit file in
+      Alcotest.(check (float 1e-6)) "same hpwl"
+        (Metrics.Wirelength.hpwl c p)
+        (Metrics.Wirelength.hpwl c' p))
+
+let suite =
+  [
+    Alcotest.test_case "circuit roundtrip" `Quick test_circuit_roundtrip;
+    Alcotest.test_case "placement roundtrip" `Quick test_placement_roundtrip;
+    Alcotest.test_case "placement missing cell" `Quick test_placement_missing_cell_rejected;
+    Alcotest.test_case "malformed circuit" `Quick test_malformed_circuit_rejected;
+    Alcotest.test_case "missing region" `Quick test_missing_region_rejected;
+    Alcotest.test_case "hpwl preserved" `Quick test_hpwl_preserved_by_roundtrip;
+  ]

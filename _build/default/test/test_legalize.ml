@@ -1,0 +1,263 @@
+(* Tests for rows, the two legalizers, local improvement, and the
+   legality checker. *)
+
+let approx = Alcotest.float 1e-9
+
+let pin c = { Netlist.Net.cell = c; dx = 0.; dy = 0. }
+
+let region = Geometry.Rect.make ~x_lo:0. ~y_lo:0. ~x_hi:128. ~y_hi:64.
+
+(* Four rows of height 16 over a 128-wide region. *)
+let circuit_of ?(cells = [||]) ?(nets = [||]) () =
+  let nets =
+    if Array.length nets > 0 then nets
+    else if Array.length cells >= 2 then
+      [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 1 |] |]
+    else [||]
+  in
+  Netlist.Circuit.make ~name:"lg" ~cells ~nets ~region ~row_height:16.
+
+let std_cell id w =
+  Netlist.Cell.make ~id ~name:(Printf.sprintf "c%d" id) ~width:w ~height:16. ()
+
+(* --- rows --- *)
+
+let test_row_geometry () =
+  let c = circuit_of ~cells:[| std_cell 0 8.; std_cell 1 8. |] () in
+  Alcotest.check approx "row 0 centre" 8. (Legalize.Rows.row_center_y c 0);
+  Alcotest.check approx "row 3 centre" 56. (Legalize.Rows.row_center_y c 3);
+  Alcotest.(check int) "row of y" 2 (Legalize.Rows.row_of_y c 36.);
+  Alcotest.(check int) "clamped low" 0 (Legalize.Rows.row_of_y c (-5.));
+  Alcotest.(check int) "clamped high" 3 (Legalize.Rows.row_of_y c 1000.)
+
+let test_rows_without_obstacles () =
+  let c = circuit_of ~cells:[| std_cell 0 8.; std_cell 1 8. |] () in
+  let rows = Legalize.Rows.build c ~obstacles:[] in
+  Alcotest.(check int) "four rows" 4 (Array.length rows);
+  Array.iter
+    (fun segs ->
+      Alcotest.(check int) "one segment" 1 (List.length segs);
+      let s = List.hd segs in
+      Alcotest.check approx "full width" 128. (s.Legalize.Rows.x_hi -. s.Legalize.Rows.x_lo))
+    rows
+
+let test_rows_split_by_obstacle () =
+  let c = circuit_of ~cells:[| std_cell 0 8.; std_cell 1 8. |] () in
+  let obstacle = Geometry.Rect.make ~x_lo:40. ~y_lo:0. ~x_hi:80. ~y_hi:32. in
+  let rows = Legalize.Rows.build c ~obstacles:[ obstacle ] in
+  (* Rows 0 and 1 are split in two; rows 2 and 3 untouched. *)
+  Alcotest.(check int) "row0 segments" 2 (List.length rows.(0));
+  Alcotest.(check int) "row1 segments" 2 (List.length rows.(1));
+  Alcotest.(check int) "row2 segments" 1 (List.length rows.(2));
+  match rows.(0) with
+  | [ a; b ] ->
+    Alcotest.check approx "left ends at 40" 40. a.Legalize.Rows.x_hi;
+    Alcotest.check approx "right starts at 80" 80. b.Legalize.Rows.x_lo
+  | _ -> Alcotest.fail "expected two segments"
+
+let test_rows_narrow_gap_dropped () =
+  let c = circuit_of ~cells:[| std_cell 0 8.; std_cell 1 8. |] () in
+  (* Two obstacles leaving a gap narrower than a row height (16). *)
+  let o1 = Geometry.Rect.make ~x_lo:0. ~y_lo:0. ~x_hi:60. ~y_hi:16. in
+  let o2 = Geometry.Rect.make ~x_lo:70. ~y_lo:0. ~x_hi:128. ~y_hi:16. in
+  let rows = Legalize.Rows.build c ~obstacles:[ o1; o2 ] in
+  Alcotest.(check int) "gap too narrow" 0 (List.length rows.(0))
+
+(* --- legalizers --- *)
+
+let overlapping_placement cells =
+  let c = circuit_of ~cells () in
+  let p = Netlist.Placement.create c in
+  (* Everything stacked near (30, 30). *)
+  Array.iteri
+    (fun i _ ->
+      p.Netlist.Placement.x.(i) <- 30. +. float_of_int (i mod 3);
+      p.Netlist.Placement.y.(i) <- 30.)
+    cells;
+  (c, p)
+
+let test_abacus_produces_legal () =
+  let cells = Array.init 10 (fun i -> std_cell i (8. +. float_of_int (4 * (i mod 3)))) in
+  let c, p = overlapping_placement cells in
+  let rep = Legalize.Abacus.legalize c p () in
+  Alcotest.(check int) "no failures" 0 rep.Legalize.Abacus.failed;
+  Alcotest.(check bool) "legal" true (Legalize.Check.is_legal c rep.Legalize.Abacus.placement)
+
+let test_tetris_produces_legal () =
+  let cells = Array.init 10 (fun i -> std_cell i 8.) in
+  let c, p = overlapping_placement cells in
+  let rep = Legalize.Tetris.legalize c p () in
+  Alcotest.(check int) "no overflow" 0 rep.Legalize.Tetris.overflowed;
+  Alcotest.(check bool) "legal" true (Legalize.Check.is_legal c rep.Legalize.Tetris.placement)
+
+let test_abacus_no_move_when_already_legal () =
+  let cells = [| std_cell 0 8.; std_cell 1 8. |] in
+  let c = circuit_of ~cells () in
+  let p = Netlist.Placement.create c in
+  p.Netlist.Placement.x.(0) <- 20.;
+  p.Netlist.Placement.y.(0) <- 8.;
+  p.Netlist.Placement.x.(1) <- 60.;
+  p.Netlist.Placement.y.(1) <- 24.;
+  let rep = Legalize.Abacus.legalize c p () in
+  Alcotest.check (Alcotest.float 1e-6) "zero displacement" 0.
+    rep.Legalize.Abacus.total_displacement
+
+let test_abacus_respects_obstacles () =
+  let cells = Array.init 6 (fun i -> std_cell i 8.) in
+  let c, p = overlapping_placement cells in
+  let obstacle = Geometry.Rect.make ~x_lo:16. ~y_lo:16. ~x_hi:48. ~y_hi:48. in
+  let rep = Legalize.Abacus.legalize c p ~extra_obstacles:[ obstacle ] () in
+  let lp = rep.Legalize.Abacus.placement in
+  Array.iter
+    (fun (cl : Netlist.Cell.t) ->
+      let r = Netlist.Placement.cell_rect c lp cl.Netlist.Cell.id in
+      Alcotest.(check (float 1e-9)) "clear of obstacle" 0.
+        (Geometry.Rect.overlap_area r obstacle))
+    cells
+
+let test_abacus_fixed_block_auto_obstacle () =
+  let block =
+    Netlist.Cell.make ~id:6 ~name:"blk" ~width:32. ~height:32.
+      ~kind:Netlist.Cell.Block ~fixed:true ()
+  in
+  let cells = Array.append (Array.init 6 (fun i -> std_cell i 8.)) [| block |] in
+  let nets = [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 6 |] |] in
+  let c = circuit_of ~cells ~nets () in
+  let p = Netlist.Placement.create c in
+  Array.iteri
+    (fun i _ ->
+      p.Netlist.Placement.x.(i) <- 32.;
+      p.Netlist.Placement.y.(i) <- 32.)
+    cells;
+  (* Block sits at (32, 32) spanning rows 1-2. *)
+  let rep = Legalize.Abacus.legalize c p () in
+  let lp = rep.Legalize.Abacus.placement in
+  let block_rect = Netlist.Placement.cell_rect c lp 6 in
+  for i = 0 to 5 do
+    let r = Netlist.Placement.cell_rect c lp i in
+    Alcotest.(check (float 1e-9)) "clear of fixed block" 0.
+      (Geometry.Rect.overlap_area r block_rect)
+  done
+
+let test_abacus_displacement_small_for_spread_input () =
+  let prof = Circuitgen.Profiles.find "fract" in
+  let circuit, pads =
+    Circuitgen.Gen.generate (Circuitgen.Profiles.params prof ~seed:12)
+  in
+  let p0 = Circuitgen.Gen.initial_placement circuit pads in
+  let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in
+  let rep = Legalize.Abacus.legalize circuit state.Kraftwerk.Placer.placement () in
+  (* Global placement is nearly overlap-free: average displacement should
+     be a few cell widths, not region-scale. *)
+  let avg =
+    rep.Legalize.Abacus.total_displacement
+    /. float_of_int (Netlist.Circuit.num_movable circuit)
+  in
+  Alcotest.(check bool) "small displacement" true
+    (avg < 4. *. circuit.Netlist.Circuit.row_height)
+
+(* --- improvement --- *)
+
+let test_improve_preserves_legality_and_hpwl () =
+  let prof = Circuitgen.Profiles.find "fract" in
+  let circuit, pads =
+    Circuitgen.Gen.generate (Circuitgen.Profiles.params prof ~seed:13)
+  in
+  let p0 = Circuitgen.Gen.initial_placement circuit pads in
+  let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in
+  let rep = Legalize.Abacus.legalize circuit state.Kraftwerk.Placer.placement () in
+  let p = rep.Legalize.Abacus.placement in
+  let before = Metrics.Wirelength.hpwl circuit p in
+  let moves, gain = Legalize.Improve.run circuit p in
+  let after = Metrics.Wirelength.hpwl circuit p in
+  Alcotest.(check bool) "legal after improvement" true (Legalize.Check.is_legal circuit p);
+  Alcotest.(check bool) "hpwl not worse" true (after <= before +. 1e-6);
+  Alcotest.(check bool) "gain consistent" true
+    (Float.abs (before -. after -. gain) < 1e-6);
+  Alcotest.(check bool) "made moves" true (moves > 0)
+
+let test_improve_deterministic () =
+  let prof = Circuitgen.Profiles.find "fract" in
+  let circuit, pads =
+    Circuitgen.Gen.generate (Circuitgen.Profiles.params prof ~seed:14)
+  in
+  let p0 = Circuitgen.Gen.initial_placement circuit pads in
+  let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in
+  let base = Legalize.Abacus.legalize circuit state.Kraftwerk.Placer.placement () in
+  let p1 = Netlist.Placement.copy base.Legalize.Abacus.placement in
+  let p2 = Netlist.Placement.copy base.Legalize.Abacus.placement in
+  ignore (Legalize.Improve.run ~seed:7 circuit p1);
+  ignore (Legalize.Improve.run ~seed:7 circuit p2);
+  Alcotest.check (Alcotest.float 0.) "same result" 0.
+    (Netlist.Placement.displacement p1 p2)
+
+(* --- checker --- *)
+
+let test_check_detects_each_violation () =
+  let cells = [| std_cell 0 8.; std_cell 1 8. |] in
+  let c = circuit_of ~cells () in
+  (* Legal baseline. *)
+  let p = Netlist.Placement.create c in
+  p.Netlist.Placement.x.(0) <- 20.;
+  p.Netlist.Placement.y.(0) <- 8.;
+  p.Netlist.Placement.x.(1) <- 60.;
+  p.Netlist.Placement.y.(1) <- 8.;
+  Alcotest.(check bool) "baseline legal" true (Legalize.Check.is_legal c p);
+  (* Outside region. *)
+  let q = Netlist.Placement.copy p in
+  q.Netlist.Placement.x.(0) <- -10.;
+  Alcotest.(check bool) "outside detected" true
+    (List.exists
+       (function Legalize.Check.Outside_region 0 -> true | _ -> false)
+       (Legalize.Check.check c q ()));
+  (* Off row. *)
+  let q = Netlist.Placement.copy p in
+  q.Netlist.Placement.y.(0) <- 12.;
+  Alcotest.(check bool) "off row detected" true
+    (List.exists
+       (function Legalize.Check.Off_row 0 -> true | _ -> false)
+       (Legalize.Check.check c q ()));
+  (* Overlap. *)
+  let q = Netlist.Placement.copy p in
+  q.Netlist.Placement.x.(1) <- 24.;
+  Alcotest.(check bool) "overlap detected" true
+    (List.exists
+       (function Legalize.Check.Overlap (_, _) -> true | _ -> false)
+       (Legalize.Check.check c q ()))
+
+let prop_abacus_legal_on_random_spreads =
+  QCheck.Test.make ~name:"abacus always yields legal placements"
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Numeric.Rng.create seed in
+      let n = 12 in
+      let cells =
+        Array.init n (fun i -> std_cell i (4. +. (4. *. float_of_int (Numeric.Rng.int rng 4))))
+      in
+      let c = circuit_of ~cells () in
+      let p = Netlist.Placement.create c in
+      for i = 0 to n - 1 do
+        p.Netlist.Placement.x.(i) <- Numeric.Rng.uniform rng 0. 128.;
+        p.Netlist.Placement.y.(i) <- Numeric.Rng.uniform rng 0. 64.
+      done;
+      let rep = Legalize.Abacus.legalize c p () in
+      rep.Legalize.Abacus.failed = 0
+      && Legalize.Check.is_legal c rep.Legalize.Abacus.placement)
+
+let suite =
+  [
+    Alcotest.test_case "row geometry" `Quick test_row_geometry;
+    Alcotest.test_case "rows no obstacles" `Quick test_rows_without_obstacles;
+    Alcotest.test_case "rows split by obstacle" `Quick test_rows_split_by_obstacle;
+    Alcotest.test_case "narrow gap dropped" `Quick test_rows_narrow_gap_dropped;
+    Alcotest.test_case "abacus legal" `Quick test_abacus_produces_legal;
+    Alcotest.test_case "tetris legal" `Quick test_tetris_produces_legal;
+    Alcotest.test_case "abacus zero move when legal" `Quick test_abacus_no_move_when_already_legal;
+    Alcotest.test_case "abacus obstacles" `Quick test_abacus_respects_obstacles;
+    Alcotest.test_case "abacus fixed block" `Quick test_abacus_fixed_block_auto_obstacle;
+    Alcotest.test_case "abacus small displacement" `Quick test_abacus_displacement_small_for_spread_input;
+    Alcotest.test_case "improve legality + hpwl" `Quick test_improve_preserves_legality_and_hpwl;
+    Alcotest.test_case "improve deterministic" `Quick test_improve_deterministic;
+    Alcotest.test_case "checker violations" `Quick test_check_detects_each_violation;
+    QCheck_alcotest.to_alcotest prop_abacus_legal_on_random_spreads;
+  ]

@@ -1,0 +1,190 @@
+(* Tests for wire-length and overlap metrics. *)
+
+let approx = Alcotest.float 1e-9
+
+let cell id w h =
+  Netlist.Cell.make ~id ~name:(Printf.sprintf "c%d" id) ~width:w ~height:h ()
+
+let pin ?(dx = 0.) ?(dy = 0.) c = { Netlist.Net.cell = c; dx; dy }
+
+let region = Geometry.Rect.make ~x_lo:0. ~y_lo:0. ~x_hi:100. ~y_hi:100.
+
+let circuit_of nets cells =
+  Netlist.Circuit.make ~name:"m" ~cells ~nets ~region ~row_height:10.
+
+let test_hpwl_two_pin () =
+  let c =
+    circuit_of
+      [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 1 |] |]
+      [| cell 0 2. 2.; cell 1 2. 2. |]
+  in
+  let p = { Netlist.Placement.x = [| 0.; 3. |]; y = [| 0.; 4. |] } in
+  Alcotest.check approx "hpwl" 7. (Metrics.Wirelength.hpwl c p)
+
+let test_hpwl_three_pin_bbox () =
+  let c =
+    circuit_of
+      [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 1; pin 2 |] |]
+      [| cell 0 2. 2.; cell 1 2. 2.; cell 2 2. 2. |]
+  in
+  let p = { Netlist.Placement.x = [| 0.; 10.; 5. |]; y = [| 0.; 2.; 8. |] } in
+  (* Bounding box: 10 wide, 8 tall. *)
+  Alcotest.check approx "hpwl" 18. (Metrics.Wirelength.hpwl c p)
+
+let test_hpwl_with_pin_offsets () =
+  let c =
+    circuit_of
+      [| Netlist.Net.make ~id:0 ~name:"n" [| pin ~dx:1. 0; pin ~dx:(-1.) 1 |] |]
+      [| cell 0 4. 2.; cell 1 4. 2. |]
+  in
+  let p = { Netlist.Placement.x = [| 0.; 10. |]; y = [| 0.; 0. |] } in
+  (* Pin span: (0+1) to (10−1) = 8. *)
+  Alcotest.check approx "hpwl" 8. (Metrics.Wirelength.hpwl c p)
+
+let test_weighted_hpwl () =
+  let c =
+    circuit_of
+      [|
+        Netlist.Net.make ~id:0 ~name:"a" [| pin 0; pin 1 |];
+        Netlist.Net.make ~id:1 ~name:"b" [| pin 0; pin 1 |];
+      |]
+      [| cell 0 2. 2.; cell 1 2. 2. |]
+  in
+  let p = { Netlist.Placement.x = [| 0.; 5. |]; y = [| 0.; 0. |] } in
+  Alcotest.check approx "weighted" 15.
+    (Metrics.Wirelength.weighted_hpwl c p ~weights:[| 1.; 2. |])
+
+let test_quadratic_two_pin () =
+  let c =
+    circuit_of
+      [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 1 |] |]
+      [| cell 0 2. 2.; cell 1 2. 2. |]
+  in
+  let p = { Netlist.Placement.x = [| 0.; 3. |]; y = [| 0.; 4. |] } in
+  (* One pair, weight 1/2: (9 + 16) / 2. *)
+  Alcotest.check approx "quadratic" 12.5 (Metrics.Wirelength.quadratic c p)
+
+let test_quadratic_clique_weighting () =
+  let c =
+    circuit_of
+      [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 1; pin 2 |] |]
+      [| cell 0 2. 2.; cell 1 2. 2.; cell 2 2. 2. |]
+  in
+  let p = { Netlist.Placement.x = [| 0.; 1.; 2. |]; y = [| 0.; 0.; 0. |] } in
+  (* Pairs: (0,1)=1, (0,2)=4, (1,2)=1; weight 1/3 → 2. *)
+  Alcotest.check approx "quadratic" 2. (Metrics.Wirelength.quadratic c p)
+
+let test_overlap_none_when_spread () =
+  let c =
+    circuit_of
+      [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 1 |] |]
+      [| cell 0 4. 4.; cell 1 4. 4. |]
+  in
+  let p = { Netlist.Placement.x = [| 10.; 50. |]; y = [| 10.; 50. |] } in
+  Alcotest.check approx "no overlap" 0. (Metrics.Overlap.total_overlap c p)
+
+let test_overlap_known () =
+  let c =
+    circuit_of
+      [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 1 |] |]
+      [| cell 0 4. 4.; cell 1 4. 4. |]
+  in
+  (* Shift by (2, 2): overlap 2×2 = 4. *)
+  let p = { Netlist.Placement.x = [| 10.; 12. |]; y = [| 10.; 12. |] } in
+  Alcotest.check approx "overlap 4" 4. (Metrics.Overlap.total_overlap c p);
+  Alcotest.check approx "ratio" (4. /. 32.) (Metrics.Overlap.overlap_ratio c p)
+
+let test_overlap_stacked_triple () =
+  let c =
+    circuit_of
+      [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 1; pin 2 |] |]
+      [| cell 0 4. 4.; cell 1 4. 4.; cell 2 4. 4. |]
+  in
+  (* All three on top of each other: three pairs of full 16 overlap. *)
+  let p = { Netlist.Placement.x = [| 10.; 10.; 10. |]; y = [| 10.; 10.; 10. |] } in
+  Alcotest.check approx "3 pairs" 48. (Metrics.Overlap.total_overlap c p)
+
+let test_density_stats_uniform () =
+  let c =
+    circuit_of
+      [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 1 |] |]
+      [| cell 0 100. 50.; cell 1 100. 50. |]
+  in
+  (* Two half-region cells tiling the region exactly: every bin is at
+     utilisation 1. *)
+  let p = { Netlist.Placement.x = [| 50.; 50. |]; y = [| 25.; 75. |] } in
+  let maxu, mean, std = Metrics.Overlap.density_stats c p ~nx:4 ~ny:4 in
+  Alcotest.check (Alcotest.float 1e-6) "max" 1. maxu;
+  Alcotest.check (Alcotest.float 1e-6) "mean" 1. mean;
+  Alcotest.check (Alcotest.float 1e-6) "std" 0. std
+
+let test_out_of_region () =
+  let c =
+    circuit_of
+      [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 1 |] |]
+      [| cell 0 4. 4.; cell 1 4. 4. |]
+  in
+  (* Cell 0 straddles the left edge: half its area outside. *)
+  let p = { Netlist.Placement.x = [| 0.; 50. |]; y = [| 50.; 50. |] } in
+  Alcotest.check approx "half out" 8. (Metrics.Overlap.out_of_region_area c p)
+
+let prop_hpwl_translation_invariant =
+  QCheck.Test.make ~name:"hpwl invariant under translation"
+    QCheck.(pair (float_range (-20.) 20.) (float_range (-20.) 20.))
+    (fun (tx, ty) ->
+      let c =
+        circuit_of
+          [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 1; pin 2 |] |]
+          [| cell 0 2. 2.; cell 1 2. 2.; cell 2 2. 2. |]
+      in
+      let p = { Netlist.Placement.x = [| 1.; 7.; 3. |]; y = [| 2.; 5.; 9. |] } in
+      let q =
+        {
+          Netlist.Placement.x = Array.map (fun v -> v +. tx) p.Netlist.Placement.x;
+          y = Array.map (fun v -> v +. ty) p.Netlist.Placement.y;
+        }
+      in
+      Float.abs (Metrics.Wirelength.hpwl c p -. Metrics.Wirelength.hpwl c q) < 1e-9)
+
+let prop_overlap_bucket_matches_naive =
+  QCheck.Test.make ~name:"bucketed overlap equals naive pairwise sum"
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 12)
+              (pair (float_range 5. 95.) (float_range 5. 95.)))
+    (fun coords ->
+      let n = List.length coords in
+      let cells = Array.init n (fun i -> cell i 6. 6.) in
+      let nets =
+        [| Netlist.Net.make ~id:0 ~name:"n" (Array.init n (fun i -> pin i)) |]
+      in
+      let c = circuit_of nets cells in
+      let xs = Array.of_list (List.map fst coords) in
+      let ys = Array.of_list (List.map snd coords) in
+      let p = { Netlist.Placement.x = xs; y = ys } in
+      let naive = ref 0. in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          naive :=
+            !naive
+            +. Geometry.Rect.overlap_area
+                 (Netlist.Placement.cell_rect c p i)
+                 (Netlist.Placement.cell_rect c p j)
+        done
+      done;
+      Float.abs (!naive -. Metrics.Overlap.total_overlap c p) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "hpwl two pin" `Quick test_hpwl_two_pin;
+    Alcotest.test_case "hpwl three pin bbox" `Quick test_hpwl_three_pin_bbox;
+    Alcotest.test_case "hpwl pin offsets" `Quick test_hpwl_with_pin_offsets;
+    Alcotest.test_case "weighted hpwl" `Quick test_weighted_hpwl;
+    Alcotest.test_case "quadratic two pin" `Quick test_quadratic_two_pin;
+    Alcotest.test_case "quadratic clique" `Quick test_quadratic_clique_weighting;
+    Alcotest.test_case "overlap none" `Quick test_overlap_none_when_spread;
+    Alcotest.test_case "overlap known" `Quick test_overlap_known;
+    Alcotest.test_case "overlap triple" `Quick test_overlap_stacked_triple;
+    Alcotest.test_case "density stats uniform" `Quick test_density_stats_uniform;
+    Alcotest.test_case "out of region" `Quick test_out_of_region;
+    QCheck_alcotest.to_alcotest prop_hpwl_translation_invariant;
+    QCheck_alcotest.to_alcotest prop_overlap_bucket_matches_naive;
+  ]

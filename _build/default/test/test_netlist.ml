@@ -1,0 +1,175 @@
+(* Tests for the netlist model: cells, nets, circuits, placements. *)
+
+let approx = Alcotest.float 1e-9
+
+let cell ?(kind = Netlist.Cell.Standard) ?fixed id w h =
+  Netlist.Cell.make ~id ~name:(Printf.sprintf "c%d" id) ~width:w ~height:h
+    ~kind ?fixed ()
+
+let pin c = { Netlist.Net.cell = c; dx = 0.; dy = 0. }
+
+let region = Geometry.Rect.make ~x_lo:0. ~y_lo:0. ~x_hi:100. ~y_hi:64.
+
+let tiny_circuit () =
+  let cells =
+    [|
+      cell 0 8. 16.;
+      cell 1 12. 16.;
+      cell ~kind:Netlist.Cell.Pad 2 4. 4.;
+      cell ~kind:Netlist.Cell.Block 3 30. 32.;
+    |]
+  in
+  let nets =
+    [|
+      Netlist.Net.make ~id:0 ~name:"n0" [| pin 0; pin 1 |];
+      Netlist.Net.make ~id:1 ~name:"n1" [| pin 2; pin 0; pin 3 |];
+    |]
+  in
+  Netlist.Circuit.make ~name:"tiny" ~cells ~nets ~region ~row_height:16.
+
+(* --- cells --- *)
+
+let test_cell_defaults () =
+  let c = cell 0 8. 16. in
+  Alcotest.(check bool) "standard not fixed" false c.Netlist.Cell.fixed;
+  Alcotest.(check bool) "standard not seq" false c.Netlist.Cell.sequential;
+  let p = cell ~kind:Netlist.Cell.Pad 1 4. 4. in
+  Alcotest.(check bool) "pad fixed" true p.Netlist.Cell.fixed;
+  Alcotest.(check bool) "pad sequential" true p.Netlist.Cell.sequential
+
+let test_cell_area_movable () =
+  let c = cell 0 8. 16. in
+  Alcotest.check approx "area" 128. (Netlist.Cell.area c);
+  Alcotest.(check bool) "movable" true (Netlist.Cell.movable c);
+  let f = cell ~fixed:true 1 8. 16. in
+  Alcotest.(check bool) "fixed not movable" false (Netlist.Cell.movable f)
+
+let test_cell_validation () =
+  Alcotest.check_raises "zero width"
+    (Invalid_argument "Cell.make: non-positive size") (fun () ->
+      ignore (cell 0 0. 16.))
+
+(* --- nets --- *)
+
+let test_net_accessors () =
+  let n = Netlist.Net.make ~id:0 ~name:"n" [| pin 3; pin 1; pin 2 |] in
+  Alcotest.(check int) "degree" 3 (Netlist.Net.degree n);
+  Alcotest.(check int) "driver" 3 (Netlist.Net.driver n).Netlist.Net.cell;
+  Alcotest.(check int) "sinks" 2 (Array.length (Netlist.Net.sinks n));
+  Alcotest.(check (list int)) "cells in order" [ 3; 1; 2 ] (Netlist.Net.cells n)
+
+let test_net_validation () =
+  Alcotest.check_raises "one pin"
+    (Invalid_argument "Net.make: needs at least two pins") (fun () ->
+      ignore (Netlist.Net.make ~id:0 ~name:"n" [| pin 0 |]));
+  Alcotest.check_raises "duplicate pin"
+    (Invalid_argument "Net.make: duplicate pin") (fun () ->
+      ignore (Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 0 |]))
+
+let test_net_same_cell_distinct_offsets () =
+  (* Two pins on the same cell at different offsets are legitimate. *)
+  let n =
+    Netlist.Net.make ~id:0 ~name:"n"
+      [| { Netlist.Net.cell = 0; dx = -1.; dy = 0. };
+         { Netlist.Net.cell = 0; dx = 1.; dy = 0. } |]
+  in
+  Alcotest.(check (list int)) "one distinct cell" [ 0 ] (Netlist.Net.cells n)
+
+(* --- circuit --- *)
+
+let test_circuit_counts () =
+  let c = tiny_circuit () in
+  Alcotest.(check int) "cells" 4 (Netlist.Circuit.num_cells c);
+  Alcotest.(check int) "nets" 2 (Netlist.Circuit.num_nets c);
+  Alcotest.(check int) "movable (pad excluded)" 3 (Netlist.Circuit.num_movable c);
+  Alcotest.(check int) "rows" 4 (Netlist.Circuit.num_rows c)
+
+let test_circuit_areas () =
+  let c = tiny_circuit () in
+  Alcotest.check approx "movable area" (128. +. 192. +. 960.)
+    (Netlist.Circuit.movable_area c);
+  (* Pads excluded from total cell area. *)
+  Alcotest.check approx "total area" (128. +. 192. +. 960.)
+    (Netlist.Circuit.total_cell_area c);
+  Alcotest.check approx "utilization" ((128. +. 192. +. 960.) /. 6400.)
+    (Netlist.Circuit.utilization c)
+
+let test_circuit_incidence () =
+  let c = tiny_circuit () in
+  Alcotest.(check (array int)) "cell 0 nets" [| 0; 1 |]
+    (Netlist.Circuit.nets_of_cell c 0);
+  Alcotest.(check (array int)) "cell 1 nets" [| 0 |]
+    (Netlist.Circuit.nets_of_cell c 1)
+
+let test_circuit_validation () =
+  let cells = [| cell 0 8. 16. |] in
+  let bad_net = [| Netlist.Net.make ~id:0 ~name:"n" [| pin 0; pin 7 |] |] in
+  Alcotest.check_raises "dangling pin"
+    (Invalid_argument "Circuit.make: pin references unknown cell") (fun () ->
+      ignore
+        (Netlist.Circuit.make ~name:"bad" ~cells ~nets:bad_net ~region
+           ~row_height:16.))
+
+let test_pin_position () =
+  let c = tiny_circuit () in
+  let x = [| 10.; 0.; 0.; 0. |] and y = [| 20.; 0.; 0.; 0. |] in
+  let px, py =
+    Netlist.Circuit.pin_position c ~x ~y { Netlist.Net.cell = 0; dx = 2.; dy = -3. }
+  in
+  Alcotest.check approx "px" 12. px;
+  Alcotest.check approx "py" 17. py
+
+(* --- placement --- *)
+
+let test_placement_centered () =
+  let c = tiny_circuit () in
+  let p = Netlist.Placement.centered c ~fixed_positions:[ (2, (0., 32.)) ] in
+  Alcotest.check approx "movable at centre x" 50. p.Netlist.Placement.x.(0);
+  Alcotest.check approx "movable at centre y" 32. p.Netlist.Placement.y.(1);
+  Alcotest.check approx "pad pinned" 0. p.Netlist.Placement.x.(2);
+  Alcotest.check approx "pad pinned y" 32. p.Netlist.Placement.y.(2)
+
+let test_cell_rect () =
+  let c = tiny_circuit () in
+  let p = Netlist.Placement.centered c ~fixed_positions:[] in
+  let r = Netlist.Placement.cell_rect c p 0 in
+  Alcotest.check approx "width" 8. (Geometry.Rect.width r);
+  let cx, _ = Geometry.Rect.center r in
+  Alcotest.check approx "centred" 50. cx
+
+let test_clamp_to_region () =
+  let c = tiny_circuit () in
+  let p = Netlist.Placement.centered c ~fixed_positions:[] in
+  p.Netlist.Placement.x.(0) <- 1000.;
+  p.Netlist.Placement.y.(0) <- -1000.;
+  p.Netlist.Placement.x.(2) <- 1000.;
+  (* pad: fixed, must not move *)
+  Netlist.Placement.clamp_to_region c p;
+  Alcotest.check approx "x clamped" 96. p.Netlist.Placement.x.(0);
+  Alcotest.check approx "y clamped" 8. p.Netlist.Placement.y.(0);
+  Alcotest.check approx "fixed untouched" 1000. p.Netlist.Placement.x.(2)
+
+let test_displacement () =
+  let a = { Netlist.Placement.x = [| 0.; 0. |]; y = [| 0.; 0. |] } in
+  let b = { Netlist.Placement.x = [| 3.; 0. |]; y = [| 4.; 1. |] } in
+  Alcotest.check approx "total" 6. (Netlist.Placement.displacement a b);
+  Alcotest.check approx "max" 5. (Netlist.Placement.max_displacement a b)
+
+let suite =
+  [
+    Alcotest.test_case "cell defaults" `Quick test_cell_defaults;
+    Alcotest.test_case "cell area/movable" `Quick test_cell_area_movable;
+    Alcotest.test_case "cell validation" `Quick test_cell_validation;
+    Alcotest.test_case "net accessors" `Quick test_net_accessors;
+    Alcotest.test_case "net validation" `Quick test_net_validation;
+    Alcotest.test_case "net same-cell pins" `Quick test_net_same_cell_distinct_offsets;
+    Alcotest.test_case "circuit counts" `Quick test_circuit_counts;
+    Alcotest.test_case "circuit areas" `Quick test_circuit_areas;
+    Alcotest.test_case "circuit incidence" `Quick test_circuit_incidence;
+    Alcotest.test_case "circuit validation" `Quick test_circuit_validation;
+    Alcotest.test_case "pin position" `Quick test_pin_position;
+    Alcotest.test_case "placement centered" `Quick test_placement_centered;
+    Alcotest.test_case "cell rect" `Quick test_cell_rect;
+    Alcotest.test_case "clamp to region" `Quick test_clamp_to_region;
+    Alcotest.test_case "displacement" `Quick test_displacement;
+  ]

@@ -1,0 +1,114 @@
+(* Tests for critical-path extraction. *)
+
+let pin c = { Netlist.Net.cell = c; dx = 0.; dy = 0. }
+
+let region = Geometry.Rect.make ~x_lo:0. ~y_lo:0. ~x_hi:1000. ~y_hi:1000.
+
+let params = Timing.Params.default
+
+let chain_circuit () =
+  let mk id name ~seq ~delay =
+    Netlist.Cell.make ~id ~name ~width:4. ~height:4. ~sequential:seq ~delay ()
+  in
+  let cells =
+    [|
+      mk 0 "ff_in" ~seq:true ~delay:0.1e-9;
+      mk 1 "a" ~seq:false ~delay:0.2e-9;
+      mk 2 "b" ~seq:false ~delay:0.3e-9;
+      mk 3 "ff_out" ~seq:true ~delay:0.1e-9;
+    |]
+  in
+  let nets =
+    [|
+      Netlist.Net.make ~id:0 ~name:"n0" [| pin 0; pin 1 |];
+      Netlist.Net.make ~id:1 ~name:"n1" [| pin 1; pin 2 |];
+      Netlist.Net.make ~id:2 ~name:"n2" [| pin 2; pin 3 |];
+    |]
+  in
+  Netlist.Circuit.make ~name:"chain" ~cells ~nets ~region ~row_height:4.
+
+let test_chain_path_exact () =
+  let c = chain_circuit () in
+  let p = Netlist.Placement.create c in
+  let sta = Timing.Sta.analyse params c p in
+  match Timing.Paths.critical ~k:1 params c p with
+  | [ path ] ->
+    Alcotest.(check (float 1e-18)) "delay = STA max" sta.Timing.Sta.max_delay
+      path.Timing.Paths.delay;
+    let cells = List.map (fun (e : Timing.Paths.element) -> e.Timing.Paths.cell)
+        path.Timing.Paths.elements
+    in
+    Alcotest.(check (list int)) "route ff_in→a→b→ff_out" [ 0; 1; 2; 3 ] cells;
+    (* Arrivals strictly increase along the path. *)
+    let arrivals =
+      List.map (fun (e : Timing.Paths.element) -> e.Timing.Paths.arrival)
+        path.Timing.Paths.elements
+    in
+    ignore
+      (List.fold_left
+         (fun prev a ->
+           Alcotest.(check bool) "monotone" true (a > prev);
+           a)
+         (-1.) arrivals)
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 path, got %d" (List.length other))
+
+let test_via_nets_correct () =
+  let c = chain_circuit () in
+  let p = Netlist.Placement.create c in
+  match Timing.Paths.critical ~k:1 params c p with
+  | [ path ] ->
+    let vias =
+      List.map (fun (e : Timing.Paths.element) -> e.Timing.Paths.via_net)
+        path.Timing.Paths.elements
+    in
+    Alcotest.(check bool) "start has no via" true (List.hd vias = None);
+    Alcotest.(check (list int)) "hops via n0 n1 n2" [ 0; 1; 2 ]
+      (List.filter_map Fun.id vias)
+  | _ -> Alcotest.fail "expected one path"
+
+let test_k_limits_and_sorting () =
+  let prof = Circuitgen.Profiles.find "fract" in
+  let circuit, pads =
+    Circuitgen.Gen.generate (Circuitgen.Profiles.params prof ~seed:42)
+  in
+  let p = Circuitgen.Gen.initial_placement circuit pads in
+  let paths = Timing.Paths.critical ~k:4 params circuit p in
+  Alcotest.(check bool) "at most 4" true (List.length paths <= 4);
+  ignore
+    (List.fold_left
+       (fun prev (path : Timing.Paths.path) ->
+         Alcotest.(check bool) "sorted descending" true
+           (path.Timing.Paths.delay <= prev +. 1e-18);
+         path.Timing.Paths.delay)
+       Float.infinity paths);
+  (* Worst equals STA. *)
+  match paths with
+  | first :: _ ->
+    Alcotest.(check (float 1e-15)) "worst = STA"
+      (Timing.Sta.analyse params circuit p).Timing.Sta.max_delay
+      first.Timing.Paths.delay
+  | [] -> Alcotest.fail "no paths"
+
+let test_pp_path_prints () =
+  let c = chain_circuit () in
+  let p = Netlist.Placement.create c in
+  match Timing.Paths.critical ~k:1 params c p with
+  | [ path ] ->
+    let s = Format.asprintf "%a" (Timing.Paths.pp_path c) path in
+    Alcotest.(check bool) "mentions endpoint" true
+      (let found = ref false in
+       String.iteri
+         (fun i _ ->
+           if i + 6 <= String.length s && String.sub s i 6 = "ff_out" then
+             found := true)
+         s;
+       !found)
+  | _ -> Alcotest.fail "expected one path"
+
+let suite =
+  [
+    Alcotest.test_case "chain path exact" `Quick test_chain_path_exact;
+    Alcotest.test_case "via nets" `Quick test_via_nets_correct;
+    Alcotest.test_case "k and sorting" `Quick test_k_limits_and_sorting;
+    Alcotest.test_case "pp prints" `Quick test_pp_path_prints;
+  ]

@@ -1,0 +1,252 @@
+(* Tests for the quadratic-placement formulation: net models, system
+   assembly, solving, and the force-equilibrium semantics of eq. (3). *)
+
+let approx = Alcotest.float 1e-6
+
+let pin ?(dx = 0.) ?(dy = 0.) c = { Netlist.Net.cell = c; dx; dy }
+
+let region = Geometry.Rect.make ~x_lo:0. ~y_lo:0. ~x_hi:100. ~y_hi:100.
+
+(* --- Model: clique expansion --- *)
+
+let test_clique_edge_count_and_weight () =
+  let net = Netlist.Net.make ~id:0 ~name:"n" (Array.init 5 (fun i -> pin i)) in
+  let edges = Qp.Model.edges net in
+  Alcotest.(check int) "k(k-1)/2 edges" 10 (List.length edges);
+  List.iter
+    (fun (e : Qp.Model.edge) ->
+      Alcotest.check approx "weight 1/k" 0.2 e.Qp.Model.weight)
+    edges
+
+let test_clique_total_weight () =
+  let net = Netlist.Net.make ~id:0 ~name:"n" (Array.init 7 (fun i -> pin i)) in
+  let total =
+    List.fold_left (fun acc (e : Qp.Model.edge) -> acc +. e.Qp.Model.weight) 0.
+      (Qp.Model.edges net)
+  in
+  Alcotest.check approx "(k-1)/2" (Qp.Model.total_weight 7) total
+
+let test_capped_net_preserves_total_weight () =
+  let net = Netlist.Net.make ~id:0 ~name:"big" (Array.init 40 (fun i -> pin i)) in
+  let edges = Qp.Model.edges ~cap:16 net in
+  let total =
+    List.fold_left (fun acc (e : Qp.Model.edge) -> acc +. e.Qp.Model.weight) 0. edges
+  in
+  Alcotest.check approx "total preserved" (Qp.Model.total_weight 40) total;
+  Alcotest.(check bool) "far fewer than clique" true
+    (List.length edges < 40 * 39 / 2)
+
+let test_capped_net_connected () =
+  let net = Netlist.Net.make ~id:0 ~name:"big" (Array.init 50 (fun i -> pin i)) in
+  let edges = Qp.Model.edges ~cap:16 net in
+  (* Union-find connectivity over the 50 pins. *)
+  let parent = Array.init 50 Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  List.iter
+    (fun (e : Qp.Model.edge) ->
+      let a = find e.Qp.Model.pin_a.Netlist.Net.cell in
+      let b = find e.Qp.Model.pin_b.Netlist.Net.cell in
+      if a <> b then parent.(a) <- b)
+    edges;
+  let root = find 0 in
+  for i = 1 to 49 do
+    Alcotest.(check int) (Printf.sprintf "pin %d connected" i) root (find i)
+  done
+
+(* --- System assembly and solve --- *)
+
+let two_cell_circuit () =
+  (* One movable cell between two fixed cells at x = 0 and x = 100. *)
+  let cells =
+    [|
+      Netlist.Cell.make ~id:0 ~name:"m" ~width:4. ~height:4. ();
+      Netlist.Cell.make ~id:1 ~name:"f0" ~width:4. ~height:4. ~fixed:true ();
+      Netlist.Cell.make ~id:2 ~name:"f1" ~width:4. ~height:4. ~fixed:true ();
+    |]
+  in
+  let nets =
+    [|
+      Netlist.Net.make ~id:0 ~name:"a" [| pin 1; pin 0 |];
+      Netlist.Net.make ~id:1 ~name:"b" [| pin 0; pin 2 |];
+    |]
+  in
+  Netlist.Circuit.make ~name:"spring" ~cells ~nets ~region ~row_height:4.
+
+let solve_system ?hold ?net_weights circuit placement =
+  let net_weights =
+    match net_weights with
+    | Some w -> w
+    | None -> Array.make (Netlist.Circuit.num_nets circuit) 1.
+  in
+  let system =
+    Qp.System.build circuit ~placement ~net_weights
+      ~edge_scale:Qp.Weights.quadratic ?hold ()
+  in
+  let n = Qp.System.num_movable system in
+  let stats =
+    Qp.System.solve system ~placement ~ex:(Array.make n 0.) ~ey:(Array.make n 0.)
+  in
+  (system, stats)
+
+let test_equal_springs_settle_midway () =
+  let c = two_cell_circuit () in
+  let p =
+    { Netlist.Placement.x = [| 50.; 0.; 100. |]; y = [| 50.; 40.; 60. |] }
+  in
+  ignore (solve_system c p);
+  Alcotest.check approx "x midway" 50. p.Netlist.Placement.x.(0);
+  Alcotest.check approx "y midway" 50. p.Netlist.Placement.y.(0)
+
+let test_weighted_spring_pulls_harder () =
+  let c = two_cell_circuit () in
+  let p =
+    { Netlist.Placement.x = [| 50.; 0.; 100. |]; y = [| 50.; 50.; 50. |] }
+  in
+  (* Net b (to the right fixed cell) three times heavier: equilibrium at
+     w0·x = w1·(100−x) → x = 75. *)
+  ignore (solve_system ~net_weights:[| 1.; 3. |] c p);
+  (* The tiny positive-definiteness anchor shifts the equilibrium by
+     O(anchor_weight): allow that slack. *)
+  Alcotest.check (Alcotest.float 1e-3) "x weighted" 75. p.Netlist.Placement.x.(0)
+
+let test_pin_offsets_shift_equilibrium () =
+  let cells =
+    [|
+      Netlist.Cell.make ~id:0 ~name:"m" ~width:4. ~height:4. ();
+      Netlist.Cell.make ~id:1 ~name:"f" ~width:4. ~height:4. ~fixed:true ();
+    |]
+  in
+  (* The movable cell's pin sits at +2 from its centre; connecting it to
+     a fixed pin at x = 50 must place the cell centre at 48. *)
+  let nets =
+    [| Netlist.Net.make ~id:0 ~name:"n" [| pin ~dx:2. 0; pin 1 |] |]
+  in
+  let c = Netlist.Circuit.make ~name:"off" ~cells ~nets ~region ~row_height:4. in
+  let p = { Netlist.Placement.x = [| 0.; 50. |]; y = [| 0.; 50. |] } in
+  ignore (solve_system c p);
+  Alcotest.check (Alcotest.float 1e-3) "offset corrected" 48. p.Netlist.Placement.x.(0)
+
+let test_matrix_symmetric_positive_diagonal () =
+  let prof = Circuitgen.Profiles.find "fract" in
+  let circuit, pads =
+    Circuitgen.Gen.generate (Circuitgen.Profiles.params prof ~seed:2)
+  in
+  let p = Circuitgen.Gen.initial_placement circuit pads in
+  let weights = Array.make (Netlist.Circuit.num_nets circuit) 1. in
+  let system =
+    Qp.System.build circuit ~placement:p ~net_weights:weights
+      ~edge_scale:Qp.Weights.quadratic ()
+  in
+  let m = Qp.System.matrix system in
+  Alcotest.(check bool) "symmetric" true (Numeric.Sparse.is_symmetric ~tol:1e-9 m);
+  let d = Numeric.Sparse.diagonal m in
+  Array.iteri
+    (fun i v -> Alcotest.(check bool) (Printf.sprintf "diag %d > 0" i) true (v > 0.))
+    d
+
+let test_residual_zero_at_equilibrium () =
+  let c = two_cell_circuit () in
+  let p =
+    { Netlist.Placement.x = [| 10.; 0.; 100. |]; y = [| 10.; 40.; 60. |] }
+  in
+  let system, _ = solve_system c p in
+  let res =
+    Qp.System.residual_force system ~placement:p ~ex:[| 0. |] ~ey:[| 0. |]
+  in
+  Alcotest.(check bool) "residual ~ 0" true (res < 1e-6)
+
+let test_additional_force_shifts_solution () =
+  let c = two_cell_circuit () in
+  let p =
+    { Netlist.Placement.x = [| 50.; 0.; 100. |]; y = [| 50.; 50.; 50. |] }
+  in
+  let weights = Array.make 2 1. in
+  let system =
+    Qp.System.build c ~placement:p ~net_weights:weights
+      ~edge_scale:Qp.Weights.quadratic ()
+  in
+  (* Both springs have weight 1/2; total stiffness 1.  A constant force
+     e = +1 shifts the equilibrium to x = 50 − e/k_total ≈ 49 (modulo the
+     tiny anchor spring). *)
+  ignore (Qp.System.solve system ~placement:p ~ex:[| 1. |] ~ey:[| 0. |]);
+  Alcotest.(check bool) "moved left" true (p.Netlist.Placement.x.(0) < 49.5);
+  Alcotest.(check bool) "by about e/k" true
+    (Float.abs (p.Netlist.Placement.x.(0) -. 49.) < 0.1)
+
+let test_hold_springs_damp_movement () =
+  let c = two_cell_circuit () in
+  (* Start off-equilibrium at x = 10; without hold the solve jumps to 50,
+     with hold = 1 it only goes part way. *)
+  let p_free =
+    { Netlist.Placement.x = [| 10.; 0.; 100. |]; y = [| 50.; 50.; 50. |] }
+  in
+  ignore (solve_system c p_free);
+  let p_held =
+    { Netlist.Placement.x = [| 10.; 0.; 100. |]; y = [| 50.; 50.; 50. |] }
+  in
+  ignore (solve_system ~hold:1.0 c p_held);
+  Alcotest.check approx "free jumps to optimum" 50. p_free.Netlist.Placement.x.(0);
+  Alcotest.(check bool) "held lands between" true
+    (p_held.Netlist.Placement.x.(0) > 11. && p_held.Netlist.Placement.x.(0) < 49.)
+
+let test_hold_at_targets () =
+  let c = two_cell_circuit () in
+  let p = { Netlist.Placement.x = [| 50.; 0.; 100. |]; y = [| 50.; 50.; 50. |] } in
+  let targets =
+    { Netlist.Placement.x = [| 90.; 0.; 100. |]; y = [| 50.; 50.; 50. |] }
+  in
+  let weights = Array.make 2 1. in
+  let system =
+    Qp.System.build c ~placement:p ~net_weights:weights
+      ~edge_scale:Qp.Weights.quadratic ~hold:5. ~hold_at:targets ()
+  in
+  ignore (Qp.System.solve system ~placement:p ~ex:[| 0. |] ~ey:[| 0. |]);
+  Alcotest.(check bool) "pulled toward target" true (p.Netlist.Placement.x.(0) > 70.)
+
+let test_index_map () =
+  let c = two_cell_circuit () in
+  let var_of_cell, n = Qp.System.index_map c in
+  Alcotest.(check int) "one movable" 1 n;
+  Alcotest.(check int) "cell 0 is var 0" 0 var_of_cell.(0);
+  Alcotest.(check int) "fixed has no var" (-1) var_of_cell.(1)
+
+let test_weights_module () =
+  Alcotest.check approx "quadratic" 1. (Qp.Weights.quadratic ~dist:123.);
+  Alcotest.check approx "linearize" 0.1 (Qp.Weights.linearize ~eps:1. ~dist:10.);
+  Alcotest.check approx "linearize clamped" 1. (Qp.Weights.linearize ~eps:1. ~dist:0.);
+  Alcotest.check approx "default eps" 0.2 (Qp.Weights.default_eps region)
+
+let prop_solution_is_minimum =
+  (* Perturbing the solved placement can only increase the quadratic
+     objective (the solution of eq. (2) is the global optimum). *)
+  QCheck.Test.make ~name:"QP solution minimises quadratic wirelength"
+    QCheck.(pair (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (ddx, ddy) ->
+      QCheck.assume (Float.abs ddx > 0.01 || Float.abs ddy > 0.01);
+      let c = two_cell_circuit () in
+      let p = { Netlist.Placement.x = [| 7.; 0.; 100. |]; y = [| 3.; 40.; 60. |] } in
+      ignore (solve_system c p);
+      let base = Metrics.Wirelength.quadratic c p in
+      let q = Netlist.Placement.copy p in
+      q.Netlist.Placement.x.(0) <- q.Netlist.Placement.x.(0) +. ddx;
+      q.Netlist.Placement.y.(0) <- q.Netlist.Placement.y.(0) +. ddy;
+      Metrics.Wirelength.quadratic c q >= base -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "clique edges and weights" `Quick test_clique_edge_count_and_weight;
+    Alcotest.test_case "clique total weight" `Quick test_clique_total_weight;
+    Alcotest.test_case "capped weight preserved" `Quick test_capped_net_preserves_total_weight;
+    Alcotest.test_case "capped net connected" `Quick test_capped_net_connected;
+    Alcotest.test_case "equal springs midway" `Quick test_equal_springs_settle_midway;
+    Alcotest.test_case "weighted spring" `Quick test_weighted_spring_pulls_harder;
+    Alcotest.test_case "pin offsets" `Quick test_pin_offsets_shift_equilibrium;
+    Alcotest.test_case "matrix SPD shape" `Quick test_matrix_symmetric_positive_diagonal;
+    Alcotest.test_case "residual at equilibrium" `Quick test_residual_zero_at_equilibrium;
+    Alcotest.test_case "additional force shifts" `Quick test_additional_force_shifts_solution;
+    Alcotest.test_case "hold damps" `Quick test_hold_springs_damp_movement;
+    Alcotest.test_case "hold_at targets" `Quick test_hold_at_targets;
+    Alcotest.test_case "index map" `Quick test_index_map;
+    Alcotest.test_case "weights module" `Quick test_weights_module;
+    QCheck_alcotest.to_alcotest prop_solution_is_minimum;
+  ]

@@ -1,0 +1,117 @@
+(* Tests for Geometry.Rect. *)
+
+let approx = Alcotest.float 1e-9
+
+let r ?(x = 0.) ?(y = 0.) w h =
+  Geometry.Rect.make ~x_lo:x ~y_lo:y ~x_hi:(x +. w) ~y_hi:(y +. h)
+
+let test_make_validation () =
+  Alcotest.check_raises "inverted" (Invalid_argument "Rect.make: inverted bounds")
+    (fun () -> ignore (Geometry.Rect.make ~x_lo:1. ~y_lo:0. ~x_hi:0. ~y_hi:1.))
+
+let test_dims () =
+  let a = r 3. 4. in
+  Alcotest.check approx "width" 3. (Geometry.Rect.width a);
+  Alcotest.check approx "height" 4. (Geometry.Rect.height a);
+  Alcotest.check approx "area" 12. (Geometry.Rect.area a)
+
+let test_of_center () =
+  let a = Geometry.Rect.of_center ~cx:5. ~cy:6. ~w:2. ~h:4. in
+  Alcotest.check approx "x_lo" 4. a.Geometry.Rect.x_lo;
+  Alcotest.check approx "y_hi" 8. a.Geometry.Rect.y_hi;
+  let cx, cy = Geometry.Rect.center a in
+  Alcotest.check approx "cx" 5. cx;
+  Alcotest.check approx "cy" 6. cy
+
+let test_contains () =
+  let a = r 2. 2. in
+  Alcotest.(check bool) "inside" true (Geometry.Rect.contains a 1. 1.);
+  Alcotest.(check bool) "boundary" true (Geometry.Rect.contains a 2. 2.);
+  Alcotest.(check bool) "outside" false (Geometry.Rect.contains a 2.1 1.)
+
+let test_intersection_overlapping () =
+  match Geometry.Rect.intersection (r 4. 4.) (r ~x:2. ~y:2. 4. 4.) with
+  | Some i ->
+    Alcotest.check approx "area" 4. (Geometry.Rect.area i);
+    Alcotest.check approx "x_lo" 2. i.Geometry.Rect.x_lo
+  | None -> Alcotest.fail "expected overlap"
+
+let test_intersection_disjoint () =
+  Alcotest.(check bool) "disjoint" true
+    (Geometry.Rect.intersection (r 1. 1.) (r ~x:5. 1. 1.) = None);
+  (* Touching edges only: no interior overlap. *)
+  Alcotest.(check bool) "touching" true
+    (Geometry.Rect.intersection (r 1. 1.) (r ~x:1. 1. 1.) = None)
+
+let test_overlap_area () =
+  Alcotest.check approx "overlap" 4.
+    (Geometry.Rect.overlap_area (r 4. 4.) (r ~x:2. ~y:2. 4. 4.));
+  Alcotest.check approx "none" 0.
+    (Geometry.Rect.overlap_area (r 1. 1.) (r ~x:3. 1. 1.))
+
+let test_union () =
+  let u = Geometry.Rect.union (r 1. 1.) (r ~x:3. ~y:4. 1. 1.) in
+  Alcotest.check approx "x_hi" 4. u.Geometry.Rect.x_hi;
+  Alcotest.check approx "y_hi" 5. u.Geometry.Rect.y_hi
+
+let test_expand () =
+  let e = Geometry.Rect.expand (r ~x:1. ~y:1. 2. 2.) 0.5 in
+  Alcotest.check approx "x_lo" 0.5 e.Geometry.Rect.x_lo;
+  Alcotest.check approx "area" 9. (Geometry.Rect.area e)
+
+let test_clamp_point () =
+  let a = r 2. 2. in
+  let x, y = Geometry.Rect.clamp_point a 5. (-1.) in
+  Alcotest.check approx "x" 2. x;
+  Alcotest.check approx "y" 0. y;
+  let x, y = Geometry.Rect.clamp_point a 1. 1. in
+  Alcotest.check approx "inside x" 1. x;
+  Alcotest.check approx "inside y" 1. y
+
+let rect_gen =
+  QCheck.(
+    map
+      (fun (x, y, w, h) ->
+        Geometry.Rect.make ~x_lo:x ~y_lo:y ~x_hi:(x +. w) ~y_hi:(y +. h))
+      (quad (float_range (-50.) 50.) (float_range (-50.) 50.)
+         (float_range 0. 20.) (float_range 0. 20.)))
+
+let prop_intersection_within_both =
+  QCheck.Test.make ~name:"intersection contained in both rects"
+    (QCheck.pair rect_gen rect_gen) (fun (a, b) ->
+      match Geometry.Rect.intersection a b with
+      | None -> true
+      | Some i ->
+        i.Geometry.Rect.x_lo >= Float.max a.Geometry.Rect.x_lo b.Geometry.Rect.x_lo -. 1e-9
+        && i.Geometry.Rect.x_hi
+           <= Float.min a.Geometry.Rect.x_hi b.Geometry.Rect.x_hi +. 1e-9
+        && Geometry.Rect.area i <= Float.min (Geometry.Rect.area a) (Geometry.Rect.area b) +. 1e-9)
+
+let prop_overlap_symmetric =
+  QCheck.Test.make ~name:"overlap area is symmetric" (QCheck.pair rect_gen rect_gen)
+    (fun (a, b) ->
+      Float.abs (Geometry.Rect.overlap_area a b -. Geometry.Rect.overlap_area b a) < 1e-9)
+
+let prop_union_contains_both =
+  QCheck.Test.make ~name:"union contains both rects" (QCheck.pair rect_gen rect_gen)
+    (fun (a, b) ->
+      let u = Geometry.Rect.union a b in
+      Geometry.Rect.overlap_area u a >= Geometry.Rect.area a -. 1e-6
+      && Geometry.Rect.overlap_area u b >= Geometry.Rect.area b -. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "dims" `Quick test_dims;
+    Alcotest.test_case "of_center" `Quick test_of_center;
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "intersection overlapping" `Quick test_intersection_overlapping;
+    Alcotest.test_case "intersection disjoint" `Quick test_intersection_disjoint;
+    Alcotest.test_case "overlap area" `Quick test_overlap_area;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "expand" `Quick test_expand;
+    Alcotest.test_case "clamp point" `Quick test_clamp_point;
+    QCheck_alcotest.to_alcotest prop_intersection_within_both;
+    QCheck_alcotest.to_alcotest prop_overlap_symmetric;
+    QCheck_alcotest.to_alcotest prop_union_contains_both;
+  ]

@@ -1,0 +1,117 @@
+(* Tests for the deterministic splitmix64 generator. *)
+
+let test_deterministic () =
+  let a = Numeric.Rng.create 42 and b = Numeric.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Numeric.Rng.int a 1000) (Numeric.Rng.int b 1000)
+  done
+
+let test_seeds_differ () =
+  let a = Numeric.Rng.create 1 and b = Numeric.Rng.create 2 in
+  let va = Array.init 10 (fun _ -> Numeric.Rng.int a 1_000_000) in
+  let vb = Array.init 10 (fun _ -> Numeric.Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" true (va <> vb)
+
+let test_int_bounds () =
+  let rng = Numeric.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Numeric.Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_int_bad_bound () =
+  let rng = Numeric.Rng.create 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: non-positive bound")
+    (fun () -> ignore (Numeric.Rng.int rng 0))
+
+let test_float_bounds () =
+  let rng = Numeric.Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Numeric.Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_uniform_bounds () =
+  let rng = Numeric.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Numeric.Rng.uniform rng (-3.) (-1.) in
+    Alcotest.(check bool) "in range" true (v >= -3. && v < -1.)
+  done
+
+let test_copy_independent () =
+  let a = Numeric.Rng.create 6 in
+  ignore (Numeric.Rng.int a 10);
+  let b = Numeric.Rng.copy a in
+  Alcotest.(check int) "copies agree" (Numeric.Rng.int a 1000) (Numeric.Rng.int b 1000)
+
+let test_split_differs () =
+  let a = Numeric.Rng.create 7 in
+  let b = Numeric.Rng.split a in
+  let va = Array.init 5 (fun _ -> Numeric.Rng.int a 1_000_000) in
+  let vb = Array.init 5 (fun _ -> Numeric.Rng.int b 1_000_000) in
+  Alcotest.(check bool) "split independent" true (va <> vb)
+
+let test_shuffle_is_permutation () =
+  let rng = Numeric.Rng.create 8 in
+  let a = Array.init 50 Fun.id in
+  Numeric.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_geometric () =
+  let rng = Numeric.Rng.create 9 in
+  let sum = ref 0 in
+  for _ = 1 to 2000 do
+    let v = Numeric.Rng.geometric rng 0.5 in
+    Alcotest.(check bool) "non-negative" true (v >= 0);
+    sum := !sum + v
+  done;
+  (* Mean of geometric(0.5) counting failures is 1. *)
+  let mean = float_of_int !sum /. 2000. in
+  Alcotest.(check bool) "mean near 1" true (mean > 0.8 && mean < 1.2)
+
+let test_choose () =
+  let rng = Numeric.Rng.create 10 in
+  for _ = 1 to 100 do
+    let v = Numeric.Rng.choose rng [| 1; 2; 3 |] in
+    Alcotest.(check bool) "member" true (v >= 1 && v <= 3)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Numeric.Rng.choose rng [||]))
+
+let test_bool_balanced () =
+  let rng = Numeric.Rng.create 11 in
+  let trues = ref 0 in
+  for _ = 1 to 2000 do
+    if Numeric.Rng.bool rng then incr trues
+  done;
+  Alcotest.(check bool) "roughly fair" true (!trues > 800 && !trues < 1200)
+
+let prop_int_uniformish =
+  QCheck.Test.make ~name:"int bound respected for any seed" QCheck.small_int
+    (fun seed ->
+      let rng = Numeric.Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Numeric.Rng.int rng 13 in
+        if v < 0 || v >= 13 then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int bad bound" `Quick test_int_bad_bound;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "split differs" `Quick test_split_differs;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "geometric" `Quick test_geometric;
+    Alcotest.test_case "choose" `Quick test_choose;
+    Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+    QCheck_alcotest.to_alcotest prop_int_uniformish;
+  ]

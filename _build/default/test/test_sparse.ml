@@ -1,0 +1,120 @@
+(* Unit and property tests for Numeric.Sparse. *)
+
+let approx = Alcotest.float 1e-9
+
+let test_empty () =
+  let m = Numeric.Sparse.finalize (Numeric.Sparse.builder 3) in
+  Alcotest.(check int) "dim" 3 (Numeric.Sparse.dim m);
+  Alcotest.(check int) "nnz" 0 (Numeric.Sparse.nnz m)
+
+let test_duplicates_summed () =
+  let b = Numeric.Sparse.builder 2 in
+  Numeric.Sparse.add b 0 1 2.;
+  Numeric.Sparse.add b 0 1 3.;
+  let m = Numeric.Sparse.finalize b in
+  Alcotest.check approx "summed" 5. (Numeric.Sparse.entry m 0 1);
+  Alcotest.(check int) "one entry" 1 (Numeric.Sparse.nnz m)
+
+let test_zeros_dropped () =
+  let b = Numeric.Sparse.builder 2 in
+  Numeric.Sparse.add b 0 1 2.;
+  Numeric.Sparse.add b 0 1 (-2.);
+  let m = Numeric.Sparse.finalize b in
+  Alcotest.(check int) "cancelled" 0 (Numeric.Sparse.nnz m)
+
+let test_add_sym () =
+  let b = Numeric.Sparse.builder 3 in
+  Numeric.Sparse.add_sym b 0 2 4.;
+  Numeric.Sparse.add_sym b 1 1 7.;
+  let m = Numeric.Sparse.finalize b in
+  Alcotest.check approx "(0,2)" 4. (Numeric.Sparse.entry m 0 2);
+  Alcotest.check approx "(2,0)" 4. (Numeric.Sparse.entry m 2 0);
+  Alcotest.check approx "diag once" 7. (Numeric.Sparse.entry m 1 1);
+  Alcotest.(check bool) "symmetric" true (Numeric.Sparse.is_symmetric m)
+
+let test_mul_known () =
+  let m = Numeric.Sparse.of_dense [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let y = Numeric.Vec.create 2 in
+  Numeric.Sparse.mul m [| 1.; 2. |] y;
+  Alcotest.check approx "y0" 4. y.(0);
+  Alcotest.check approx "y1" 7. y.(1)
+
+let test_diagonal () =
+  let m = Numeric.Sparse.of_dense [| [| 5.; 1. |]; [| 0.; 0. |] |] in
+  let d = Numeric.Sparse.diagonal m in
+  Alcotest.check approx "d0" 5. d.(0);
+  Alcotest.check approx "d1 missing = 0" 0. d.(1)
+
+let test_dense_roundtrip () =
+  let a = [| [| 1.; 0.; 2. |]; [| 0.; 3.; 0. |]; [| 2.; 0.; 4. |] |] in
+  let back = Numeric.Sparse.to_dense (Numeric.Sparse.of_dense a) in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v -> Alcotest.check approx (Printf.sprintf "(%d,%d)" i j) v back.(i).(j))
+        row)
+    a
+
+let test_out_of_range () =
+  let b = Numeric.Sparse.builder 2 in
+  Alcotest.check_raises "bad index" (Invalid_argument "Sparse.add: index out of range")
+    (fun () -> Numeric.Sparse.add b 0 2 1.)
+
+let test_builder_reuse_growth () =
+  let b = Numeric.Sparse.builder 10 in
+  for i = 0 to 9 do
+    for j = 0 to 9 do
+      Numeric.Sparse.add b i j (float_of_int ((i * 10) + j + 1))
+    done
+  done;
+  let m = Numeric.Sparse.finalize b in
+  Alcotest.(check int) "dense nnz" 100 (Numeric.Sparse.nnz m);
+  Alcotest.check approx "corner" 100. (Numeric.Sparse.entry m 9 9)
+
+(* Random sparse symmetric matrix as triplets. *)
+let triplets_gen =
+  QCheck.(
+    list_of_size Gen.(int_range 1 60)
+      (triple (int_bound 7) (int_bound 7) (float_range (-5.) 5.)))
+
+let prop_mul_matches_dense =
+  QCheck.Test.make ~name:"CSR mul matches dense mul" triplets_gen (fun ts ->
+      let n = 8 in
+      let b = Numeric.Sparse.builder n in
+      let dense = Array.make_matrix n n 0. in
+      List.iter
+        (fun (i, j, v) ->
+          Numeric.Sparse.add b i j v;
+          dense.(i).(j) <- dense.(i).(j) +. v)
+        ts;
+      let m = Numeric.Sparse.finalize b in
+      let x = Array.init n (fun i -> float_of_int (i + 1)) in
+      let y = Numeric.Vec.create n in
+      Numeric.Sparse.mul m x y;
+      let expected =
+        Array.init n (fun i ->
+            Array.fold_left ( +. ) 0. (Array.mapi (fun j v -> v *. x.(j)) dense.(i)))
+      in
+      Numeric.Vec.max_abs_diff expected y < 1e-6)
+
+let prop_sym_builder_symmetric =
+  QCheck.Test.make ~name:"add_sym yields symmetric matrix" triplets_gen
+    (fun ts ->
+      let b = Numeric.Sparse.builder 8 in
+      List.iter (fun (i, j, v) -> Numeric.Sparse.add_sym b i j v) ts;
+      Numeric.Sparse.is_symmetric (Numeric.Sparse.finalize b))
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "duplicates summed" `Quick test_duplicates_summed;
+    Alcotest.test_case "zeros dropped" `Quick test_zeros_dropped;
+    Alcotest.test_case "add_sym" `Quick test_add_sym;
+    Alcotest.test_case "mul known" `Quick test_mul_known;
+    Alcotest.test_case "diagonal" `Quick test_diagonal;
+    Alcotest.test_case "dense roundtrip" `Quick test_dense_roundtrip;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+    Alcotest.test_case "builder growth" `Quick test_builder_reuse_growth;
+    QCheck_alcotest.to_alcotest prop_mul_matches_dense;
+    QCheck_alcotest.to_alcotest prop_sym_builder_symmetric;
+  ]

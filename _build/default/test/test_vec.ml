@@ -1,0 +1,102 @@
+(* Unit and property tests for Numeric.Vec. *)
+
+let approx = Alcotest.float 1e-9
+
+let test_create () =
+  let v = Numeric.Vec.create 4 in
+  Alcotest.(check int) "length" 4 (Array.length v);
+  Array.iter (fun x -> Alcotest.check approx "zero" 0. x) v
+
+let test_dot () =
+  Alcotest.check approx "dot" 32. (Numeric.Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |])
+
+let test_dot_empty () =
+  Alcotest.check approx "empty dot" 0. (Numeric.Vec.dot [||] [||])
+
+let test_norm2 () =
+  Alcotest.check approx "3-4-5" 5. (Numeric.Vec.norm2 [| 3.; 4. |])
+
+let test_norm_inf () =
+  Alcotest.check approx "inf norm" 7. (Numeric.Vec.norm_inf [| -7.; 2.; 3. |])
+
+let test_axpy () =
+  let y = [| 1.; 1. |] in
+  Numeric.Vec.axpy ~alpha:2. [| 3.; 4. |] y;
+  Alcotest.check approx "axpy 0" 7. y.(0);
+  Alcotest.check approx "axpy 1" 9. y.(1)
+
+let test_scale () =
+  let v = [| 1.; -2. |] in
+  Numeric.Vec.scale (-3.) v;
+  Alcotest.check approx "scale 0" (-3.) v.(0);
+  Alcotest.check approx "scale 1" 6. v.(1)
+
+let test_add_sub_mul () =
+  let dst = Numeric.Vec.create 2 in
+  Numeric.Vec.add_into [| 1.; 2. |] [| 3.; 4. |] dst;
+  Alcotest.check approx "add" 4. dst.(0);
+  Numeric.Vec.sub_into [| 1.; 2. |] [| 3.; 5. |] dst;
+  Alcotest.check approx "sub" (-3.) dst.(1);
+  Numeric.Vec.mul_into [| 2.; 3. |] [| 4.; 5. |] dst;
+  Alcotest.check approx "mul" 15. dst.(1)
+
+let test_max_abs_diff () =
+  Alcotest.check approx "diff" 3.
+    (Numeric.Vec.max_abs_diff [| 1.; 5. |] [| 2.; 2. |])
+
+let test_mean () =
+  Alcotest.check approx "mean" 2. (Numeric.Vec.mean [| 1.; 2.; 3. |]);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Vec.mean: empty vector")
+    (fun () -> ignore (Numeric.Vec.mean [||]))
+
+let test_copy_independent () =
+  let v = [| 1.; 2. |] in
+  let w = Numeric.Vec.copy v in
+  w.(0) <- 9.;
+  Alcotest.check approx "original intact" 1. v.(0)
+
+let test_fill_zero () =
+  let v = [| 1.; 2. |] in
+  Numeric.Vec.fill_zero v;
+  Alcotest.check approx "zeroed" 0. v.(1)
+
+let arr_gen = QCheck.(array_of_size Gen.(int_range 1 40) (float_range (-100.) 100.))
+
+let prop_cauchy_schwarz =
+  QCheck.Test.make ~name:"dot bounded by norms (Cauchy-Schwarz)"
+    (QCheck.pair arr_gen arr_gen) (fun (a, b) ->
+      let n = min (Array.length a) (Array.length b) in
+      let a = Array.sub a 0 n and b = Array.sub b 0 n in
+      Float.abs (Numeric.Vec.dot a b)
+      <= (Numeric.Vec.norm2 a *. Numeric.Vec.norm2 b) +. 1e-6)
+
+let prop_norm_inf_le_norm2 =
+  QCheck.Test.make ~name:"inf norm ≤ 2-norm" arr_gen (fun a ->
+      Numeric.Vec.norm_inf a <= Numeric.Vec.norm2 a +. 1e-9)
+
+let prop_axpy_linear =
+  QCheck.Test.make ~name:"axpy matches scalar formula"
+    (QCheck.pair (QCheck.float_range (-10.) 10.) arr_gen) (fun (alpha, a) ->
+      let y = Array.map (fun x -> x /. 2.) a in
+      let expected = Array.mapi (fun i x -> (alpha *. x) +. y.(i)) a in
+      Numeric.Vec.axpy ~alpha a y;
+      Numeric.Vec.max_abs_diff expected y < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "dot" `Quick test_dot;
+    Alcotest.test_case "dot empty" `Quick test_dot_empty;
+    Alcotest.test_case "norm2" `Quick test_norm2;
+    Alcotest.test_case "norm_inf" `Quick test_norm_inf;
+    Alcotest.test_case "axpy" `Quick test_axpy;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "add/sub/mul into" `Quick test_add_sub_mul;
+    Alcotest.test_case "max_abs_diff" `Quick test_max_abs_diff;
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "fill_zero" `Quick test_fill_zero;
+    QCheck_alcotest.to_alcotest prop_cauchy_schwarz;
+    QCheck_alcotest.to_alcotest prop_norm_inf_le_norm2;
+    QCheck_alcotest.to_alcotest prop_axpy_linear;
+  ]
