@@ -586,9 +586,46 @@ let multilevel () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (A1, A3 and kernel costs)                 *)
 
+(* Machine-readable kernel timings, so later PRs inherit a perf
+   trajectory.  Written next to wherever the bench runs. *)
+let write_kernels_json path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"scale\": %g,\n  \"kernels_ns\": {\n"
+    (Numeric.Parallel.num_domains ())
+    !scale;
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "    %S: %.1f%s\n" name est
+        (if i < n - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc "  },\n  \"speedups\": {\n";
+  let ratio num den =
+    match (List.assoc_opt num rows, List.assoc_opt den rows) with
+    | Some a, Some b when b > 0. && Float.is_finite a -> a /. b
+    | _ -> Float.nan
+  in
+  let speedups =
+    [
+      ("spmv_pool", ratio "kernels/spmv-seq-primary1" "kernels/spmv-pool-primary1");
+      ( "fft_kernel_cache",
+        ratio "kernels/poisson-fft-48-cold" "kernels/poisson-fft-48-warm" );
+    ]
+  in
+  let ns = List.length speedups in
+  List.iteri
+    (fun i (name, v) ->
+      let s = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+      Printf.fprintf oc "    %S: %s%s\n" name s (if i < ns - 1 then "," else ""))
+    speedups;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let micro () =
   print_endline "";
   print_endline "Micro-benchmarks (bechamel): numerical kernels";
+  Printf.printf "domain pool: %d domain(s)\n" (Numeric.Parallel.num_domains ());
   let open Bechamel in
   let density_grid n =
     let rng = Numeric.Rng.create 5 in
@@ -605,8 +642,29 @@ let micro () =
       ~edge_scale:Qp.Weights.quadratic ()
   in
   let n_mov = Qp.System.num_movable system in
+  (* Pooled vs sequential SpMV on the real placement matrix, and cold
+     vs warm FFT force field (kernel-spectrum cache): the before/after
+     pairs behind BENCH_kernels.json's speedup entries. *)
+  let spmv_m = Qp.System.matrix system in
+  let spmv_x =
+    Array.init (Numeric.Sparse.dim spmv_m) (fun i ->
+        Float.of_int ((i mod 97) - 48) /. 97.)
+  in
+  let spmv_y = Array.make (Numeric.Sparse.dim spmv_m) 0. in
   let tests =
     [
+      Test.make ~name:"spmv-seq-primary1"
+        (Staged.stage (fun () -> Numeric.Sparse.mul_seq spmv_m spmv_x spmv_y));
+      Test.make ~name:"spmv-pool-primary1"
+        (Staged.stage (fun () -> Numeric.Sparse.mul spmv_m spmv_x spmv_y));
+      Test.make ~name:"poisson-fft-48-cold"
+        (Staged.stage (fun () ->
+             Numeric.Poisson.clear_kernel_cache ();
+             Numeric.Poisson.fft_force_field ~rows:48 ~cols:48 ~hx:1. ~hy:1. g48));
+      Test.make ~name:"poisson-fft-48-warm"
+        (Staged.stage (fun () ->
+             (* First call of the run warms the cache; steady state hits it. *)
+             Numeric.Poisson.fft_force_field ~rows:48 ~cols:48 ~hx:1. ~hy:1. g48));
       Test.make ~name:"poisson-direct-24"
         (Staged.stage (fun () ->
              Numeric.Poisson.direct_force_field ~rows:24 ~cols:24 ~hx:1. ~hy:1. g24));
@@ -677,7 +735,8 @@ let micro () =
     (fun (name, est) ->
       if Float.is_nan est then Printf.printf "%-34s (no estimate)\n" name
       else Printf.printf "%-34s %14.0f ns/run\n" name est)
-    (List.sort compare !rows)
+    (List.sort compare !rows);
+  write_kernels_json "BENCH_kernels.json" (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
 

@@ -61,7 +61,8 @@ let cmd_generate profile scale seed output =
   Printf.printf "wrote %s (%d cells, %d nets) and %s.pos\n" output
     (Netlist.Circuit.num_cells c) (Netlist.Circuit.num_nets c) output
 
-let cmd_run circuit_file profile scale seed flow mode timing verbose output svg =
+let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
+    domains =
   let c, p0 = load_or_generate ~circuit_file ~profile ~scale ~seed in
   let config =
     match mode with
@@ -69,6 +70,12 @@ let cmd_run circuit_file profile scale seed flow mode timing verbose output svg 
     | "fast" -> Kraftwerk.Config.fast
     | other -> failwith ("unknown mode: " ^ other)
   in
+  let config = { config with Kraftwerk.Config.domains } in
+  (* Non-Kraftwerk flows never reach Placer.init; apply the pool size
+     here so their kernels (Gordian's QP solves, density maps) see it. *)
+  (match domains with
+  | Some d -> Numeric.Parallel.set_num_domains d
+  | None -> ());
   let t0 = Unix.gettimeofday () in
   let global =
     match flow with
@@ -176,9 +183,16 @@ let run_cmd =
   let svg =
     Arg.(value & opt (some string) None & info [ "svg" ] ~doc:"Render the placement to an SVG file.")
   in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ]
+             ~doc:"Domain-pool size for parallel kernels (1 = exact \
+                   sequential reproducibility; default: KRAFTWERK_DOMAINS \
+                   or the hardware core count).")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Place a circuit and report metrics")
     Term.(const cmd_run $ circuit $ profile_arg $ scale_arg $ seed_arg $ flow
-          $ mode $ timing $ verbose $ output $ svg)
+          $ mode $ timing $ verbose $ output $ svg $ domains)
 
 let profiles_cmd =
   Cmd.v (Cmd.info "profiles" ~doc:"List benchmark profiles")

@@ -8,15 +8,43 @@ let auto_bins (c : Netlist.Circuit.t) =
   ( clamp (int_of_float (Float.ceil (Geometry.Rect.width r /. side))),
     clamp (int_of_float (Float.ceil (Geometry.Rect.height r /. side))) )
 
+(* Below this cell count the parallel two-pass splat costs more in task
+   dispatch and contribution buffers than it saves. *)
+let demand_par_threshold = 4096
+
 let demand (c : Netlist.Circuit.t) p ~nx ~ny =
   let g = Geometry.Grid2.create c.Netlist.Circuit.region ~nx ~ny in
-  Array.iter
-    (fun (cl : Netlist.Cell.t) ->
-      if cl.Netlist.Cell.kind <> Netlist.Cell.Pad then
-        Geometry.Grid2.splat_rect g
-          (Netlist.Placement.cell_rect c p cl.Netlist.Cell.id)
-          (Netlist.Cell.area cl))
-    c.Netlist.Circuit.cells;
+  let cells = c.Netlist.Circuit.cells in
+  let ncells = Array.length cells in
+  if ncells >= demand_par_threshold && Numeric.Parallel.num_domains () > 1
+  then begin
+    (* Two-pass splat: the geometry (clipping, bin overlaps) of every
+       cell is computed in parallel; the float accumulation then runs
+       sequentially in cell order, performing exactly the additions the
+       sequential path performs in the same order — bitwise-identical
+       for any domain count. *)
+    let contribs = Array.make ncells [||] in
+    Numeric.Parallel.parallel_for ~lo:0 ~hi:ncells (fun i ->
+        let cl = cells.(i) in
+        if cl.Netlist.Cell.kind <> Netlist.Cell.Pad then
+          contribs.(i) <-
+            Geometry.Grid2.rect_contributions g
+              (Netlist.Placement.cell_rect c p cl.Netlist.Cell.id)
+              (Netlist.Cell.area cl));
+    let gv = Geometry.Grid2.values g in
+    Array.iter
+      (fun cell_contribs ->
+        Array.iter (fun (i, dv) -> gv.(i) <- gv.(i) +. dv) cell_contribs)
+      contribs
+  end
+  else
+    Array.iter
+      (fun (cl : Netlist.Cell.t) ->
+        if cl.Netlist.Cell.kind <> Netlist.Cell.Pad then
+          Geometry.Grid2.splat_rect g
+            (Netlist.Placement.cell_rect c p cl.Netlist.Cell.id)
+            (Netlist.Cell.area cl))
+      cells;
   g
 
 let build c p ~nx ~ny ?extra () =

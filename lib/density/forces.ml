@@ -29,16 +29,25 @@ let at_cells (c : Netlist.Circuit.t) (p : Netlist.Placement.t) ~var_of_cell
   Array.blit field.Numeric.Poisson.fx 0 (Geometry.Grid2.values gx) 0 (nx * ny);
   Array.blit field.Numeric.Poisson.fy 0 (Geometry.Grid2.values gy) 0 (nx * ny);
   let fx = Array.make n_movable 0. and fy = Array.make n_movable 0. in
-  Array.iter
-    (fun (cl : Netlist.Cell.t) ->
+  (* Each movable cell owns its force slot, so bilinear sampling chunks
+     across the domain pool with bitwise-identical results. *)
+  let cells = c.Netlist.Circuit.cells in
+  let sample_range i0 i1 =
+    for i = i0 to i1 - 1 do
+      let cl = cells.(i) in
       let v = var_of_cell.(cl.Netlist.Cell.id) in
       if v >= 0 then begin
         let x = p.Netlist.Placement.x.(cl.Netlist.Cell.id) in
         let y = p.Netlist.Placement.y.(cl.Netlist.Cell.id) in
         fx.(v) <- Geometry.Grid2.sample gx x y;
         fy.(v) <- Geometry.Grid2.sample gy x y
-      end)
-    c.Netlist.Circuit.cells;
+      end
+    done
+  in
+  let ncells = Array.length cells in
+  if ncells >= 2048 && Numeric.Parallel.num_domains () > 1 then
+    Numeric.Parallel.parallel_range ~lo:0 ~hi:ncells sample_range
+  else sample_range 0 ncells;
   (* Normalise by the field maximum over the whole grid, not over cell
      centres: at the §4.2 initial placement every cell sits at the region
      centre where the field vanishes by symmetry, and dividing by that

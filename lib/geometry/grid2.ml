@@ -75,7 +75,10 @@ let sample g x y =
   let bot = v01 +. (tx *. (v11 -. v01)) in
   top +. (ty *. (bot -. top))
 
-let splat_rect g rect v =
+(* Shared core of {!splat_rect} and {!rect_contributions}: calls
+   [f bin_index amount] for every bin the rectangle touches, in
+   row-major bin order. *)
+let iter_rect_contributions g rect v f =
   match Rect.intersection rect g.region with
   | None ->
     if Rect.area rect = 0. then begin
@@ -83,7 +86,7 @@ let splat_rect g rect v =
       let cx, cy = Rect.center rect in
       if Rect.contains g.region cx cy then begin
         let ix, iy = locate g cx cy in
-        add g ix iy v
+        f (index g ix iy) v
       end
     end
   | Some clipped ->
@@ -91,7 +94,7 @@ let splat_rect g rect v =
     if total_area = 0. then begin
       let cx, cy = Rect.center rect in
       let ix, iy = locate g cx cy in
-      add g ix iy v
+      f (index g ix iy) v
     end
     else begin
       let ix_lo, iy_lo = locate g clipped.Rect.x_lo clipped.Rect.y_lo in
@@ -103,10 +106,19 @@ let splat_rect g rect v =
       for iy = iy_lo to iy_hi do
         for ix = ix_lo to ix_hi do
           let ov = Rect.overlap_area clipped (bin_rect g ix iy) in
-          if ov > 0. then add g ix iy (v *. ov /. total_area)
+          if ov > 0. then f (index g ix iy) (v *. ov /. total_area)
         done
       done
     end
+
+let splat_rect g rect v =
+  iter_rect_contributions g rect v (fun i dv ->
+      g.values.(i) <- g.values.(i) +. dv)
+
+let rect_contributions g rect v =
+  let acc = ref [] in
+  iter_rect_contributions g rect v (fun i dv -> acc := (i, dv) :: !acc);
+  Array.of_list (List.rev !acc)
 
 let fold f init g =
   let acc = ref init in

@@ -10,6 +10,7 @@ type t = {
   grid : (int * int) option;
   solver : Density.Forces.solver;
   net_model : Qp.System.net_model;
+  domains : int option;
 }
 
 let standard =
@@ -25,6 +26,7 @@ let standard =
     grid = None;
     solver = Density.Forces.Fft;
     net_model = Qp.System.Clique;
+    domains = None;
   }
 
 let fast = { standard with k_param = 0.2; max_iterations = 80 }

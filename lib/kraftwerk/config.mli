@@ -32,6 +32,13 @@ type t = {
   net_model : Qp.System.net_model;
       (** spring expansion: the paper's clique (default) or the
           Bound2Bound extension (ablation A6) *)
+  domains : int option;
+      (** domain-pool size for the parallel kernels.  [None] defers to
+          the [KRAFTWERK_DOMAINS] environment variable / hardware
+          default; [Some 1] forces exact sequential execution (results
+          are bitwise-reproducible at any setting, but [1] also takes
+          the historical single-core code paths).  Applied by
+          {!Placer.init} via {!Numeric.Parallel.set_num_domains}. *)
 }
 
 (** [standard] is the configuration behind the Table-1 "Our Approach"

@@ -30,6 +30,11 @@ type hooks = {
 let no_hooks = { reweight = None; extra_density = None; on_step = None }
 
 let init config circuit placement =
+  (* Pin the pool size before any kernel runs so the whole run uses one
+     setting; None leaves the KRAFTWERK_DOMAINS / hardware default. *)
+  (match config.Config.domains with
+  | Some d -> Numeric.Parallel.set_num_domains d
+  | None -> ());
   let var_of_cell, n_movable = Qp.System.index_map circuit in
   {
     circuit;

@@ -1,16 +1,30 @@
 type stats = { iterations : int; residual : float; converged : bool }
 
-let solve ?(tol = 1e-8) ?max_iter ?x0 a b =
+(* Jacobi preconditioner: the inverted diagonal of [a].  Hoisted out of
+   [solve] so repeated solves against the same matrix (the x/y axes of a
+   QP system share assembly, hooks re-solve) compute it once and pass it
+   back via [?inv_diag]. *)
+let inv_diagonal a =
+  let d = Sparse.diagonal a in
+  for i = 0 to Sparse.dim a - 1 do
+    if d.(i) <= 0. then
+      invalid_arg "Cg.solve: non-positive diagonal (matrix not anchored?)";
+    d.(i) <- 1. /. d.(i)
+  done;
+  d
+
+let solve ?(tol = 1e-8) ?max_iter ?x0 ?inv_diag a b =
   let n = Sparse.dim a in
   assert (Array.length b = n);
   let max_iter = match max_iter with Some m -> m | None -> (4 * n) + 50 in
   let x = match x0 with Some v -> Vec.copy v | None -> Vec.create n in
-  let inv_diag = Sparse.diagonal a in
-  for i = 0 to n - 1 do
-    if inv_diag.(i) <= 0. then
-      invalid_arg "Cg.solve: non-positive diagonal (matrix not anchored?)";
-    inv_diag.(i) <- 1. /. inv_diag.(i)
-  done;
+  let inv_diag =
+    match inv_diag with
+    | Some d ->
+      if Array.length d <> n then invalid_arg "Cg.solve: inv_diag length mismatch";
+      d
+    | None -> inv_diagonal a
+  in
   let r = Vec.create n in
   Sparse.mul a x r;
   Vec.sub_into b r r;

@@ -9,13 +9,22 @@ type stats = {
   converged : bool;  (** [residual <= tol * max 1 (norm b)] *)
 }
 
-(** [solve ?tol ?max_iter ?x0 a b] solves [a x = b] with Jacobi
+(** [inv_diagonal a] is the inverted diagonal of [a] — the Jacobi
+    preconditioner {!solve} uses.  Hoisted out so repeated solves against
+    the same matrix can compute it once and pass it back via
+    [?inv_diag].  Raises [Invalid_argument] if a diagonal entry is
+    non-positive. *)
+val inv_diagonal : Sparse.t -> float array
+
+(** [solve ?tol ?max_iter ?x0 ?inv_diag a b] solves [a x = b] with Jacobi
     (diagonal) preconditioning and returns the solution with its {!stats}.
 
     [tol] is a relative tolerance on the residual (default [1e-8]);
     [max_iter] defaults to [4 * dim + 50]; [x0] is the warm-start guess
     (default zero — placement transformations warm-start from the previous
-    placement, which is what makes later iterations cheap).
+    placement, which is what makes later iterations cheap); [inv_diag]
+    is a precomputed {!inv_diagonal} (callers are trusted that it matches
+    [a]; its length is checked).
 
     Raises [Invalid_argument] if a diagonal entry is non-positive, since
     the placement matrix is positive definite whenever every connected
@@ -24,6 +33,7 @@ val solve :
   ?tol:float ->
   ?max_iter:int ->
   ?x0:float array ->
+  ?inv_diag:float array ->
   Sparse.t ->
   float array ->
   float array * stats

@@ -60,31 +60,50 @@ let transform ~inverse re im =
     done
   end
 
+(* Row and column 1-D transforms are independent of each other within a
+   pass, so each pass chunks across the domain pool with per-task
+   scratch buffers; results are bitwise-identical to the sequential
+   sweep for any domain count.  Small grids stay sequential: below the
+   threshold the per-batch synchronisation costs more than the FFTs. *)
+let par_threshold = 4096
+
 let transform2 ~inverse ~rows ~cols re im =
   if Array.length re <> rows * cols || Array.length im <> rows * cols then
     invalid_arg "Fft.transform2: size mismatch";
   (* Rows in place. *)
-  let row_re = Array.make cols 0. and row_im = Array.make cols 0. in
-  for r = 0 to rows - 1 do
-    Array.blit re (r * cols) row_re 0 cols;
-    Array.blit im (r * cols) row_im 0 cols;
-    transform ~inverse row_re row_im;
-    Array.blit row_re 0 re (r * cols) cols;
-    Array.blit row_im 0 im (r * cols) cols
-  done;
-  (* Columns via gather/scatter. *)
-  let col_re = Array.make rows 0. and col_im = Array.make rows 0. in
-  for c = 0 to cols - 1 do
-    for r = 0 to rows - 1 do
-      col_re.(r) <- re.((r * cols) + c);
-      col_im.(r) <- im.((r * cols) + c)
-    done;
-    transform ~inverse col_re col_im;
-    for r = 0 to rows - 1 do
-      re.((r * cols) + c) <- col_re.(r);
-      im.((r * cols) + c) <- col_im.(r)
+  let rows_pass r0 r1 =
+    let row_re = Array.make cols 0. and row_im = Array.make cols 0. in
+    for r = r0 to r1 - 1 do
+      Array.blit re (r * cols) row_re 0 cols;
+      Array.blit im (r * cols) row_im 0 cols;
+      transform ~inverse row_re row_im;
+      Array.blit row_re 0 re (r * cols) cols;
+      Array.blit row_im 0 im (r * cols) cols
     done
-  done
+  in
+  (* Columns via gather/scatter. *)
+  let cols_pass c0 c1 =
+    let col_re = Array.make rows 0. and col_im = Array.make rows 0. in
+    for c = c0 to c1 - 1 do
+      for r = 0 to rows - 1 do
+        col_re.(r) <- re.((r * cols) + c);
+        col_im.(r) <- im.((r * cols) + c)
+      done;
+      transform ~inverse col_re col_im;
+      for r = 0 to rows - 1 do
+        re.((r * cols) + c) <- col_re.(r);
+        im.((r * cols) + c) <- col_im.(r)
+      done
+    done
+  in
+  if rows * cols >= par_threshold && Parallel.num_domains () > 1 then begin
+    Parallel.parallel_range ~lo:0 ~hi:rows rows_pass;
+    Parallel.parallel_range ~lo:0 ~hi:cols cols_pass
+  end
+  else begin
+    rows_pass 0 rows;
+    cols_pass 0 cols
+  end
 
 let convolve2 ~rows ~cols a b =
   let n = rows * cols in

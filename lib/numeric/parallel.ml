@@ -1,0 +1,242 @@
+(* Reusable domain pool for data-parallel numeric kernels.
+
+   The pool is lazily initialised on first use.  Its size comes from, in
+   priority order: `set_num_domains`, the KRAFTWERK_DOMAINS environment
+   variable, then `Domain.recommended_domain_count`.  Size 1 means "no
+   pool": every combinator degrades to plain sequential execution on the
+   calling domain, which keeps results bitwise-identical to the
+   historical single-core code paths.
+
+   Determinism: the combinators only hand *disjoint* index ranges to
+   tasks, and every in-tree task body writes disjoint locations, so
+   results are bitwise-identical for any domain count.  Reductions that
+   would reassociate floating-point sums are deliberately not offered;
+   order-sensitive accumulation stays on the caller (see
+   Density_map.demand for the two-pass pattern).
+
+   Scheduling: tasks go through one shared queue.  A caller submitting a
+   batch helps drain the queue until its own batch completes, so nested
+   parallelism (e.g. a parallel SpMV inside one of the two concurrent CG
+   solves of `both`) cannot deadlock — a blocked submitter always runs
+   queued work before sleeping. *)
+
+type pool = {
+  size : int; (* total lanes, including the submitting domain *)
+  lock : Mutex.t;
+  cond : Condition.t; (* signalled on enqueue and batch completion *)
+  tasks : (unit -> unit) Queue.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let override : int option Atomic.t = Atomic.make None
+
+let pool : pool option Atomic.t = Atomic.make None
+
+let pool_guard = Mutex.create ()
+
+(* The OCaml runtime supports at most ~128 domains; clamp rather than
+   crash on absurd KRAFTWERK_DOMAINS values. *)
+let clamp_domains n = if n < 1 then 1 else if n > 128 then 128 else n
+
+let env_domains () =
+  match Sys.getenv_opt "KRAFTWERK_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let target_size () =
+  clamp_domains
+    (match Atomic.get override with
+    | Some n -> n
+    | None -> (
+      match env_domains () with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ()))
+
+let num_domains () =
+  match Atomic.get pool with Some p -> p.size | None -> target_size ()
+
+let worker p () =
+  Mutex.lock p.lock;
+  let rec loop () =
+    if p.live then
+      match Queue.take_opt p.tasks with
+      | Some t ->
+        Mutex.unlock p.lock;
+        t ();
+        Mutex.lock p.lock;
+        loop ()
+      | None ->
+        Condition.wait p.cond p.lock;
+        loop ()
+  in
+  loop ();
+  Mutex.unlock p.lock
+
+let get_pool () =
+  match Atomic.get pool with
+  | Some p -> p
+  | None ->
+    Mutex.lock pool_guard;
+    let p =
+      match Atomic.get pool with
+      | Some p -> p
+      | None ->
+        let size = target_size () in
+        let p =
+          {
+            size;
+            lock = Mutex.create ();
+            cond = Condition.create ();
+            tasks = Queue.create ();
+            live = true;
+            workers = [||];
+          }
+        in
+        p.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker p));
+        Atomic.set pool (Some p);
+        p
+    in
+    Mutex.unlock pool_guard;
+    p
+
+let shutdown () =
+  Mutex.lock pool_guard;
+  (match Atomic.get pool with
+  | None -> ()
+  | Some p ->
+    Mutex.lock p.lock;
+    p.live <- false;
+    Condition.broadcast p.cond;
+    Mutex.unlock p.lock;
+    Array.iter Domain.join p.workers;
+    Atomic.set pool None);
+  Mutex.unlock pool_guard
+
+(* Must not be called while parallel work is in flight (the placer sets
+   it once at init; tests switch between cases). *)
+let set_num_domains n =
+  if n < 1 then invalid_arg "Parallel.set_num_domains: need at least one domain";
+  let n = clamp_domains n in
+  Atomic.set override (Some n);
+  match Atomic.get pool with
+  | Some p when p.size = n -> ()
+  | Some _ -> shutdown ()
+  | None -> ()
+
+(* Drop any programmatic override and tear the pool down, so the next
+   use re-reads KRAFTWERK_DOMAINS (or the hardware default). *)
+let reset () =
+  Atomic.set override None;
+  shutdown ()
+
+(* Run every closure in [fns], using pool workers plus the calling
+   domain, and return once all have finished.  The first task exception
+   (if any) is re-raised on the caller. *)
+let run_tasks p fns =
+  let n = Array.length fns in
+  if n > 0 then begin
+    let remaining = Atomic.make n in
+    let first_exn = Atomic.make None in
+    let wrap f () =
+      (try f ()
+       with e -> ignore (Atomic.compare_and_set first_exn None (Some e)));
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock p.lock;
+        Condition.broadcast p.cond;
+        Mutex.unlock p.lock
+      end
+    in
+    Mutex.lock p.lock;
+    Array.iter (fun f -> Queue.add (wrap f) p.tasks) fns;
+    Condition.broadcast p.cond;
+    (* Help: run queued tasks (ours or a nested batch's) until this batch
+       completes; sleep only when the queue is empty. *)
+    let rec drain () =
+      if Atomic.get remaining > 0 then
+        match Queue.take_opt p.tasks with
+        | Some t ->
+          Mutex.unlock p.lock;
+          t ();
+          Mutex.lock p.lock;
+          drain ()
+        | None ->
+          if Atomic.get remaining > 0 then begin
+            Condition.wait p.cond p.lock;
+            drain ()
+          end
+    in
+    drain ();
+    Mutex.unlock p.lock;
+    match Atomic.get first_exn with Some e -> raise e | None -> ()
+  end
+
+(* Apply [body a b] over disjoint sub-ranges covering [lo, hi).  The
+   chunk grid depends only on the range and chunk size, never on which
+   domain runs what. *)
+let parallel_range ?chunk ~lo ~hi body =
+  let n = hi - lo in
+  if n > 0 then begin
+    let d = num_domains () in
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ | None -> max 1 ((n + (4 * d) - 1) / (4 * d))
+    in
+    let n_chunks = (n + chunk - 1) / chunk in
+    if d <= 1 || n_chunks <= 1 then body lo hi
+    else
+      run_tasks (get_pool ())
+        (Array.init n_chunks (fun k ->
+             let a = lo + (k * chunk) in
+             let b = min hi (a + chunk) in
+             fun () -> body a b))
+  end
+
+let parallel_for ?chunk ~lo ~hi f =
+  parallel_range ?chunk ~lo ~hi (fun a b ->
+      for i = a to b - 1 do
+        f i
+      done)
+
+(* Element-wise combination of two float arrays.  The default chunk
+   keeps small arrays on the calling domain where task overhead would
+   dominate. *)
+let parallel_map2 ?chunk f a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Parallel.parallel_map2: length mismatch";
+  if n = 0 then [||]
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> c
+      | None -> max 1024 ((n + (4 * num_domains ()) - 1) / (4 * num_domains ()))
+    in
+    let out = Array.make n 0. in
+    parallel_range ~chunk ~lo:0 ~hi:n (fun i0 i1 ->
+        for i = i0 to i1 - 1 do
+          out.(i) <- f a.(i) b.(i)
+        done);
+    out
+  end
+
+(* Run two independent computations concurrently; [f] runs on the
+   caller or a worker, [g] likewise.  With one domain this is exactly
+   [let a = f () in let b = g () in (a, b)]. *)
+let both f g =
+  if num_domains () <= 1 then begin
+    let a = f () in
+    let b = g () in
+    (a, b)
+  end
+  else begin
+    let ra = ref None and rb = ref None in
+    run_tasks (get_pool ())
+      [| (fun () -> ra := Some (f ())); (fun () -> rb := Some (g ())) |];
+    match (!ra, !rb) with
+    | Some a, Some b -> (a, b)
+    | _ -> assert false (* run_tasks re-raised the task's exception *)
+  end

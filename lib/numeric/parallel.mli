@@ -1,0 +1,67 @@
+(** Reusable domain pool for data-parallel numeric kernels.
+
+    The pool is created lazily on first parallel call and reused across
+    the whole Kraftwerk hot loop.  Its size is, in priority order: the
+    last {!set_num_domains} value, the [KRAFTWERK_DOMAINS] environment
+    variable, then [Domain.recommended_domain_count ()].  With size 1 no
+    domain is ever spawned and every combinator runs sequentially on the
+    caller, bitwise-identical to the historical single-core code.
+
+    Determinism: combinators hand tasks {e disjoint} index ranges whose
+    boundaries do not depend on which domain runs what, and no
+    floating-point reduction is reassociated, so for task bodies that
+    write disjoint locations (all in-tree users) results are
+    bitwise-identical for {e any} domain count.
+
+    Nesting is supported: a task may itself call any combinator here.  A
+    caller waiting for its batch helps drain the shared task queue, so
+    nested batches cannot deadlock. *)
+
+(** Current pool size (total lanes, including the calling domain).  Does
+    not spawn domains: before first use this reports the size the pool
+    {e would} have. *)
+val num_domains : unit -> int
+
+(** [set_num_domains n] fixes the pool size to [n] (clamped to
+    [1..128]), overriding [KRAFTWERK_DOMAINS].  Tears down a live pool
+    of a different size; the next parallel call respawns lazily.  Must
+    not be called while parallel work is in flight.  Raises
+    [Invalid_argument] when [n < 1]. *)
+val set_num_domains : int -> unit
+
+(** Drop any {!set_num_domains} override and tear the pool down; the
+    next use re-reads [KRAFTWERK_DOMAINS] / the hardware default. *)
+val reset : unit -> unit
+
+(** Join all worker domains and drop the pool.  Safe to call when no
+    pool exists.  Subsequent parallel calls respawn lazily. *)
+val shutdown : unit -> unit
+
+(** [parallel_range ?chunk ~lo ~hi body] covers [\[lo, hi)] with
+    disjoint sub-ranges of at most [chunk] indices (default: range split
+    four ways per domain) and calls [body a b] for each sub-range
+    [\[a, b)], in parallel across the pool.  Falls back to a single
+    sequential [body lo hi] when the pool has one domain or only one
+    chunk results. *)
+val parallel_range :
+  ?chunk:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+
+(** [parallel_for ?chunk ~lo ~hi f] calls [f i] for every
+    [lo <= i < hi], chunked as {!parallel_range}. *)
+val parallel_for : ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+
+(** [parallel_map2 ?chunk f a b] is [Array.map2 f a b] for float arrays,
+    chunked across the pool.  The default chunk (≥ 1024) keeps small
+    arrays sequential where task overhead would dominate.  Raises
+    [Invalid_argument] on length mismatch. *)
+val parallel_map2 :
+  ?chunk:int ->
+  (float -> float -> float) ->
+  float array ->
+  float array ->
+  float array
+
+(** [both f g] runs the two thunks concurrently (sequentially, [f]
+    first, on a one-domain pool) and returns both results.  The first
+    exception raised by either thunk is re-raised on the caller. *)
+val both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b

@@ -34,15 +34,44 @@ let direct_force_field ~rows ~cols ~hx ~hy density =
   done;
   { rows; cols; fx; fy }
 
-let fft_force_field ~rows ~cols ~hx ~hy density =
-  check_size ~rows ~cols density "Poisson.fft_force_field";
+(* Frequency-domain force kernels.  They depend only on the grid
+   geometry (rows, cols, hx, hy), not on the density, so the Kraftwerk
+   loop — which calls [fft_force_field] every iteration on the same
+   grid — pays kernel construction and the two forward kernel FFTs only
+   once; iterations 2..N hit the cache. *)
+type kernel_spectrum = {
+  prows : int;
+  pcols : int;
+  kxr : float array;
+  kxi : float array;
+  kyr : float array;
+  kyi : float array;
+}
+
+let kernel_cache : (int * int * float * float, kernel_spectrum) Hashtbl.t =
+  Hashtbl.create 4
+
+let kernel_cache_lock = Mutex.create ()
+
+let kernel_cache_limit = 8
+
+let kernel_cache_hits = ref 0
+
+let kernel_cache_misses = ref 0
+
+let clear_kernel_cache () =
+  Mutex.lock kernel_cache_lock;
+  Hashtbl.reset kernel_cache;
+  kernel_cache_hits := 0;
+  kernel_cache_misses := 0;
+  Mutex.unlock kernel_cache_lock
+
+let kernel_cache_stats () = (!kernel_cache_hits, !kernel_cache_misses)
+
+let build_kernel_spectrum ~rows ~cols ~hx ~hy =
   let prows = Fft.next_pow2 (2 * rows) in
   let pcols = Fft.next_pow2 (2 * cols) in
   let n = prows * pcols in
-  let src = Array.make n 0. in
-  for r = 0 to rows - 1 do
-    Array.blit density (r * cols) src (r * pcols) cols
-  done;
   (* Force kernels indexed by offset (dr, dc) with wraparound for negative
      offsets, so the cyclic convolution on the padded grid equals the
      linear convolution on the original one. *)
@@ -62,8 +91,59 @@ let fft_force_field ~rows ~cols ~hx ~hy density =
       end
     done
   done;
-  let conv_x = Fft.convolve2 ~rows:prows ~cols:pcols src kx in
-  let conv_y = Fft.convolve2 ~rows:prows ~cols:pcols src ky in
+  let kxi = Array.make n 0. and kyi = Array.make n 0. in
+  let (), () =
+    Parallel.both
+      (fun () -> Fft.transform2 ~inverse:false ~rows:prows ~cols:pcols kx kxi)
+      (fun () -> Fft.transform2 ~inverse:false ~rows:prows ~cols:pcols ky kyi)
+  in
+  { prows; pcols; kxr = kx; kxi; kyr = ky; kyi }
+
+let kernel_spectrum ~rows ~cols ~hx ~hy =
+  let key = (rows, cols, hx, hy) in
+  Mutex.lock kernel_cache_lock;
+  match Hashtbl.find_opt kernel_cache key with
+  | Some sp ->
+    incr kernel_cache_hits;
+    Mutex.unlock kernel_cache_lock;
+    sp
+  | None ->
+    incr kernel_cache_misses;
+    Mutex.unlock kernel_cache_lock;
+    let sp = build_kernel_spectrum ~rows ~cols ~hx ~hy in
+    Mutex.lock kernel_cache_lock;
+    if Hashtbl.length kernel_cache >= kernel_cache_limit then
+      Hashtbl.reset kernel_cache;
+    Hashtbl.replace kernel_cache key sp;
+    Mutex.unlock kernel_cache_lock;
+    sp
+
+let fft_force_field ~rows ~cols ~hx ~hy density =
+  check_size ~rows ~cols density "Poisson.fft_force_field";
+  let sp = kernel_spectrum ~rows ~cols ~hx ~hy in
+  let prows = sp.prows and pcols = sp.pcols in
+  let n = prows * pcols in
+  let sr = Array.make n 0. and si = Array.make n 0. in
+  for r = 0 to rows - 1 do
+    Array.blit density (r * cols) sr (r * pcols) cols
+  done;
+  (* One forward transform of the padded density, shared read-only by
+     both axis convolutions (the old path forward-transformed it twice). *)
+  Fft.transform2 ~inverse:false ~rows:prows ~cols:pcols sr si;
+  let convolve kr ki =
+    let cr = Array.make n 0. and ci = Array.make n 0. in
+    for i = 0 to n - 1 do
+      cr.(i) <- (sr.(i) *. kr.(i)) -. (si.(i) *. ki.(i));
+      ci.(i) <- (sr.(i) *. ki.(i)) +. (si.(i) *. kr.(i))
+    done;
+    Fft.transform2 ~inverse:true ~rows:prows ~cols:pcols cr ci;
+    cr
+  in
+  let conv_x, conv_y =
+    Parallel.both
+      (fun () -> convolve sp.kxr sp.kxi)
+      (fun () -> convolve sp.kyr sp.kyi)
+  in
   let fx = Array.make (rows * cols) 0. in
   let fy = Array.make (rows * cols) 0. in
   for r = 0 to rows - 1 do
@@ -133,12 +213,15 @@ let gradient_force ~rows ~cols ~hx ~hy phi =
   { rows; cols; fx; fy }
 
 let max_magnitude f =
+  (* Track the maximum *squared* magnitude and take one sqrt at the end;
+     sqrt is monotone, so this is exact (and bitwise-identical for the
+     maximising bin). *)
   let acc = ref 0. in
   for i = 0 to Array.length f.fx - 1 do
-    let m = sqrt ((f.fx.(i) *. f.fx.(i)) +. (f.fy.(i) *. f.fy.(i))) in
-    if m > !acc then acc := m
+    let m2 = (f.fx.(i) *. f.fx.(i)) +. (f.fy.(i) *. f.fy.(i)) in
+    if m2 > !acc then acc := m2
   done;
-  !acc
+  sqrt !acc
 
 let scale_field s f =
   Vec.scale s f.fx;

@@ -31,9 +31,24 @@ val direct_force_field :
 (** [fft_force_field ~rows ~cols ~hx ~hy density] evaluates the same
     convolution with zero padding to the next power of two ≥ 2·G, so the
     result is the open-boundary (linear, non-cyclic) convolution.  Agrees
-    with {!direct_force_field} to machine precision. *)
+    with {!direct_force_field} to machine precision.
+
+    The frequency-domain transforms of the two force kernels depend only
+    on [(rows, cols, hx, hy)] and are memoised across calls, so loops
+    that re-evaluate the field on a fixed grid (every Kraftwerk
+    transformation) skip kernel construction and both forward kernel
+    FFTs after the first call.  Cached and uncached calls return
+    bitwise-identical fields. *)
 val fft_force_field :
   rows:int -> cols:int -> hx:float -> hy:float -> float array -> field
+
+(** Empty the kernel-spectrum cache and reset its hit/miss counters
+    (benchmarks measure the cold path this way). *)
+val clear_kernel_cache : unit -> unit
+
+(** [(hits, misses)] of the kernel-spectrum cache since the last
+    {!clear_kernel_cache}. *)
+val kernel_cache_stats : unit -> int * int
 
 (** [sor_potential ~rows ~cols ~hx ~hy ?omega ?tol ?max_iter density]
     solves ∇²Φ = density with Φ = 0 on the boundary by successive

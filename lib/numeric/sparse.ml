@@ -114,15 +114,33 @@ let dim m = m.n
 
 let nnz m = Array.length m.col
 
-let mul m x y =
-  assert (Array.length x = m.n && Array.length y = m.n);
-  for i = 0 to m.n - 1 do
+let mul_rows m x y r0 r1 =
+  for i = r0 to r1 - 1 do
     let acc = ref 0. in
     for p = m.row_start.(i) to m.row_start.(i + 1) - 1 do
       acc := !acc +. (m.value.(p) *. x.(m.col.(p)))
     done;
     y.(i) <- !acc
   done
+
+let mul_seq m x y =
+  assert (Array.length x = m.n && Array.length y = m.n);
+  mul_rows m x y 0 m.n
+
+(* Rows are independent and each keeps its sequential accumulation
+   order, so the row-chunked parallel product is bitwise-identical to
+   [mul_seq] for any domain count.  Small systems stay on the caller:
+   below the threshold task overhead swamps the work. *)
+let mul_par_threshold = 512
+
+let mul m x y =
+  assert (Array.length x = m.n && Array.length y = m.n);
+  if m.n >= mul_par_threshold && Parallel.num_domains () > 1 then
+    Parallel.parallel_range
+      ~chunk:(max 128 (m.n / (4 * Parallel.num_domains ())))
+      ~lo:0 ~hi:m.n
+      (fun r0 r1 -> mul_rows m x y r0 r1)
+  else mul_rows m x y 0 m.n
 
 let diagonal m =
   let d = Array.make m.n 0. in

@@ -38,8 +38,16 @@ val dim : t -> int
 (** [nnz m] is the number of stored entries. *)
 val nnz : t -> int
 
-(** [mul m x y] writes [m * x] into [y]. *)
+(** [mul m x y] writes [m * x] into [y].  Large products are row-chunked
+    across the {!Parallel} domain pool; each row keeps its sequential
+    accumulation order, so the result is bitwise-identical to
+    {!mul_seq} for any domain count. *)
 val mul : t -> float array -> float array -> unit
+
+(** [mul_seq m x y] is {!mul} pinned to the calling domain — the
+    reference sequential product (used by benchmarks and determinism
+    tests). *)
+val mul_seq : t -> float array -> float array -> unit
 
 (** [diagonal m] is a fresh array of the diagonal entries (zero where the
     diagonal is not stored). *)

@@ -8,6 +8,11 @@ type t = {
   dx : float array; (* constant term of the x system *)
   dy : float array;
   mean_edge_weight : float;
+  (* Jacobi preconditioners, computed once per assembly and shared by
+     every solve against this system (hooks re-solve; lazy so building a
+     system that is never solved stays cheap and error-free). *)
+  inv_dx : float array Lazy.t;
+  inv_dy : float array Lazy.t;
 }
 
 type net_model = Clique | Bound2bound
@@ -153,16 +158,20 @@ let build (c : Netlist.Circuit.t) ~(placement : Netlist.Placement.t)
       aby.d.(v) <- aby.d.(v) -. (hwy *. hy.(cell_of_var.(v)))
     done
   end;
+  let mx = Numeric.Sparse.finalize abx.b in
+  let my = Numeric.Sparse.finalize aby.b in
   {
     circuit = c;
     var_of_cell;
     cell_of_var;
     n_movable;
-    mx = Numeric.Sparse.finalize abx.b;
-    my = Numeric.Sparse.finalize aby.b;
+    mx;
+    my;
     dx = abx.d;
     dy = aby.d;
     mean_edge_weight = mean_w;
+    inv_dx = lazy (Numeric.Cg.inv_diagonal mx);
+    inv_dy = lazy (Numeric.Cg.inv_diagonal my);
   }
 
 let mean_edge_weight t = t.mean_edge_weight
@@ -188,9 +197,17 @@ let solve t ~(placement : Netlist.Placement.t) ~ex ~ey =
     invalid_arg "System.solve: force vector length mismatch";
   let x0, y0 = gather t placement in
   (* C·p + d + e = 0  ⇔  C·p = −(d + e). *)
-  let rhs d e = Array.init t.n_movable (fun i -> -.(d.(i) +. e.(i))) in
-  let x, sx = Numeric.Cg.solve ~x0 t.mx (rhs t.dx ex) in
-  let y, sy = Numeric.Cg.solve ~x0:y0 t.my (rhs t.dy ey) in
+  let rhs d e = Numeric.Parallel.parallel_map2 (fun dv ev -> -.(dv +. ev)) d e in
+  let bx = rhs t.dx ex and by = rhs t.dy ey in
+  (* The axes are independent SPD systems; solve them concurrently.
+     Preconditioners are forced on the caller first — Lazy is not
+     domain-safe. *)
+  let inv_dx = Lazy.force t.inv_dx and inv_dy = Lazy.force t.inv_dy in
+  let (x, sx), (y, sy) =
+    Numeric.Parallel.both
+      (fun () -> Numeric.Cg.solve ~x0 ~inv_diag:inv_dx t.mx bx)
+      (fun () -> Numeric.Cg.solve ~x0:y0 ~inv_diag:inv_dy t.my by)
+  in
   for v = 0 to t.n_movable - 1 do
     placement.Netlist.Placement.x.(t.cell_of_var.(v)) <- x.(v);
     placement.Netlist.Placement.y.(t.cell_of_var.(v)) <- y.(v)

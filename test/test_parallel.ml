@@ -1,0 +1,290 @@
+(* Tests for the Numeric.Parallel domain pool and for the bitwise
+   determinism of every kernel routed through it: the same inputs must
+   produce bit-for-bit identical outputs whether the pool has 1, 2 or 4
+   domains, and the pooled paths must match the historical sequential
+   code exactly. *)
+
+let check_bitwise name a b =
+  Alcotest.(check int) (name ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
+        Alcotest.failf "%s: element %d differs: %h vs %h" name i x b.(i))
+    a
+
+(* Every test leaves the pool at size 1 so the rest of the suite keeps
+   the historical sequential behaviour. *)
+let with_domains n f =
+  Numeric.Parallel.set_num_domains n;
+  Fun.protect ~finally:(fun () -> Numeric.Parallel.set_num_domains 1) f
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool combinators                                                    *)
+
+let test_parallel_for_covers_range () =
+  List.iter
+    (fun d ->
+      with_domains d (fun () ->
+          List.iter
+            (fun n ->
+              let hits = Array.make n 0 in
+              Numeric.Parallel.parallel_for ~chunk:7 ~lo:0 ~hi:n (fun i ->
+                  hits.(i) <- hits.(i) + 1);
+              Array.iteri
+                (fun i h ->
+                  if h <> 1 then
+                    Alcotest.failf "d=%d n=%d: index %d visited %d times" d n
+                      i h)
+                hits)
+            [ 0; 1; 6; 7; 8; 100; 1023 ]))
+    domain_counts
+
+let test_parallel_map2 () =
+  let a = Array.init 5000 (fun i -> float_of_int i) in
+  let b = Array.init 5000 (fun i -> float_of_int (i * i) /. 3.) in
+  let expected = Array.map2 (fun x y -> (2. *. x) -. y) a b in
+  List.iter
+    (fun d ->
+      with_domains d (fun () ->
+          let got =
+            Numeric.Parallel.parallel_map2 ~chunk:256
+              (fun x y -> (2. *. x) -. y)
+              a b
+          in
+          check_bitwise (Printf.sprintf "map2 d=%d" d) expected got))
+    domain_counts;
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Parallel.parallel_map2: length mismatch") (fun () ->
+      ignore (Numeric.Parallel.parallel_map2 (fun x _ -> x) a (Array.make 3 0.)))
+
+let test_both () =
+  List.iter
+    (fun d ->
+      with_domains d (fun () ->
+          let x, y =
+            Numeric.Parallel.both (fun () -> 6 * 7) (fun () -> "forty-two")
+          in
+          Alcotest.(check int) "left" 42 x;
+          Alcotest.(check string) "right" "forty-two" y))
+    domain_counts
+
+let test_both_propagates_exceptions () =
+  List.iter
+    (fun d ->
+      with_domains d (fun () ->
+          Alcotest.check_raises "left raises" (Failure "boom") (fun () ->
+              ignore
+                (Numeric.Parallel.both
+                   (fun () -> failwith "boom")
+                   (fun () -> 1)));
+          (* The pool must survive an exception and keep working. *)
+          let x, y = Numeric.Parallel.both (fun () -> 1) (fun () -> 2) in
+          Alcotest.(check (pair int int)) "alive after exn" (1, 2) (x, y)))
+    domain_counts
+
+let test_set_num_domains_validates () =
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Parallel.set_num_domains: need at least one domain")
+    (fun () -> Numeric.Parallel.set_num_domains 0)
+
+let test_env_variable () =
+  let saved = Sys.getenv_opt "KRAFTWERK_DOMAINS" in
+  Fun.protect
+    ~finally:(fun () ->
+      (match saved with
+      | Some v -> Unix.putenv "KRAFTWERK_DOMAINS" v
+      | None -> Unix.putenv "KRAFTWERK_DOMAINS" "");
+      Numeric.Parallel.set_num_domains 1)
+    (fun () ->
+      Unix.putenv "KRAFTWERK_DOMAINS" "3";
+      Numeric.Parallel.reset ();
+      Alcotest.(check int) "env respected" 3 (Numeric.Parallel.num_domains ());
+      Unix.putenv "KRAFTWERK_DOMAINS" "1";
+      Numeric.Parallel.reset ();
+      Alcotest.(check int) "env=1 sequential" 1
+        (Numeric.Parallel.num_domains ()))
+
+(* ------------------------------------------------------------------ *)
+(* SpMV determinism                                                    *)
+
+let random_spd_matrix rng n =
+  let b = Numeric.Sparse.builder n in
+  for i = 0 to n - 1 do
+    Numeric.Sparse.add_diag b i (10. +. Numeric.Rng.uniform rng 0. 1.);
+    for _ = 0 to 3 do
+      let j = Numeric.Rng.int rng n in
+      if j <> i then
+        Numeric.Sparse.add_sym b i j (Numeric.Rng.uniform rng (-1.) 1.)
+    done
+  done;
+  Numeric.Sparse.finalize b
+
+let test_spmv_bitwise () =
+  let rng = Numeric.Rng.create 77 in
+  (* 777 rows clears the SpMV parallel threshold (512). *)
+  let m = random_spd_matrix rng 777 in
+  let x = Array.init 777 (fun i -> Numeric.Rng.uniform rng (-1.) 1. +. float_of_int i) in
+  let y_ref = Array.make 777 0. in
+  Numeric.Sparse.mul_seq m x y_ref;
+  List.iter
+    (fun d ->
+      with_domains d (fun () ->
+          let y = Array.make 777 nan in
+          Numeric.Sparse.mul m x y;
+          check_bitwise (Printf.sprintf "spmv d=%d" d) y_ref y))
+    domain_counts
+
+(* ------------------------------------------------------------------ *)
+(* FFT determinism                                                     *)
+
+let test_transform2_bitwise () =
+  let rng = Numeric.Rng.create 5 in
+  (* 64×64 = 4096 clears the transform2 parallel threshold. *)
+  let n = 64 * 64 in
+  let re0 = Array.init n (fun _ -> Numeric.Rng.uniform rng (-1.) 1.) in
+  let im0 = Array.init n (fun _ -> Numeric.Rng.uniform rng (-1.) 1.) in
+  let run () =
+    let re = Array.copy re0 and im = Array.copy im0 in
+    Numeric.Fft.transform2 ~inverse:false ~rows:64 ~cols:64 re im;
+    Numeric.Fft.transform2 ~inverse:true ~rows:64 ~cols:64 re im;
+    (re, im)
+  in
+  let re_ref, im_ref = with_domains 1 run in
+  List.iter
+    (fun d ->
+      with_domains d (fun () ->
+          let re, im = run () in
+          check_bitwise (Printf.sprintf "fft re d=%d" d) re_ref re;
+          check_bitwise (Printf.sprintf "fft im d=%d" d) im_ref im))
+    domain_counts
+
+(* The pre-cache force-field evaluation: pad, build the offset-indexed
+   kernels, and run two independent real cyclic convolutions.  The
+   production path now shares one forward FFT of the density and caches
+   the kernel spectra; this reference pins that it still computes the
+   exact same floats. *)
+let reference_fft_force_field ~rows ~cols ~hx ~hy density =
+  let prows = Numeric.Fft.next_pow2 (2 * rows) in
+  let pcols = Numeric.Fft.next_pow2 (2 * cols) in
+  let n = prows * pcols in
+  let pd = Array.make n 0. in
+  for r = 0 to rows - 1 do
+    Array.blit density (r * cols) pd (r * pcols) cols
+  done;
+  let kx = Array.make n 0. and ky = Array.make n 0. in
+  let cell_area = hx *. hy in
+  let two_pi = 2. *. Float.pi in
+  for dr = -(rows - 1) to rows - 1 do
+    for dc = -(cols - 1) to cols - 1 do
+      if dr <> 0 || dc <> 0 then begin
+        let dx = float_of_int dc *. hx in
+        let dy = float_of_int dr *. hy in
+        let r2 = (dx *. dx) +. (dy *. dy) in
+        let idx_r = if dr >= 0 then dr else prows + dr in
+        let idx_c = if dc >= 0 then dc else pcols + dc in
+        let i = (idx_r * pcols) + idx_c in
+        kx.(i) <- dx /. r2 *. cell_area /. two_pi;
+        ky.(i) <- dy /. r2 *. cell_area /. two_pi
+      end
+    done
+  done;
+  let conv_x = Numeric.Fft.convolve2 ~rows:prows ~cols:pcols pd kx in
+  let conv_y = Numeric.Fft.convolve2 ~rows:prows ~cols:pcols pd ky in
+  let fx = Array.make (rows * cols) 0. in
+  let fy = Array.make (rows * cols) 0. in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      fx.((r * cols) + c) <- conv_x.((r * pcols) + c);
+      fy.((r * cols) + c) <- conv_y.((r * pcols) + c)
+    done
+  done;
+  (fx, fy)
+
+let test_force_field_bitwise () =
+  let rng = Numeric.Rng.create 11 in
+  List.iter
+    (fun (rows, cols) ->
+      let density =
+        Array.init (rows * cols) (fun _ -> Numeric.Rng.uniform rng (-2.) 2.)
+      in
+      let fx_ref, fy_ref =
+        with_domains 1 (fun () ->
+            reference_fft_force_field ~rows ~cols ~hx:1.5 ~hy:0.75 density)
+      in
+      List.iter
+        (fun d ->
+          with_domains d (fun () ->
+              Numeric.Poisson.clear_kernel_cache ();
+              let cold =
+                Numeric.Poisson.fft_force_field ~rows ~cols ~hx:1.5 ~hy:0.75
+                  density
+              in
+              let warm =
+                Numeric.Poisson.fft_force_field ~rows ~cols ~hx:1.5 ~hy:0.75
+                  density
+              in
+              let tag s =
+                Printf.sprintf "%dx%d d=%d %s" rows cols d s
+              in
+              check_bitwise (tag "cold fx") fx_ref cold.Numeric.Poisson.fx;
+              check_bitwise (tag "cold fy") fy_ref cold.Numeric.Poisson.fy;
+              check_bitwise (tag "warm fx") fx_ref warm.Numeric.Poisson.fx;
+              check_bitwise (tag "warm fy") fy_ref warm.Numeric.Poisson.fy;
+              let hits, misses = Numeric.Poisson.kernel_cache_stats () in
+              Alcotest.(check (pair int int))
+                (tag "cache stats") (1, 1) (hits, misses)))
+        domain_counts)
+    [ (7, 13); (17, 29) ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole-placer determinism                                            *)
+
+let test_placer_trajectory_bitwise () =
+  let prof = Circuitgen.Profiles.find "fract" in
+  let circuit, pads =
+    Circuitgen.Gen.generate (Circuitgen.Profiles.params ~scale:1.0 prof ~seed:21)
+  in
+  let p0 = Circuitgen.Gen.initial_placement circuit pads in
+  let config =
+    { Kraftwerk.Config.standard with Kraftwerk.Config.max_iterations = 15 }
+  in
+  let run domains =
+    let state, reports =
+      Kraftwerk.Placer.run
+        { config with Kraftwerk.Config.domains = Some domains }
+        circuit p0
+    in
+    ( Array.of_list (List.map (fun r -> r.Kraftwerk.Placer.hpwl) reports),
+      state.Kraftwerk.Placer.placement )
+  in
+  Fun.protect
+    ~finally:(fun () -> Numeric.Parallel.set_num_domains 1)
+    (fun () ->
+      let traj1, p1 = run 1 in
+      let traj4, p4 = run 4 in
+      Alcotest.(check bool) "took steps" true (Array.length traj1 > 0);
+      check_bitwise "hpwl trajectory" traj1 traj4;
+      check_bitwise "final x" p1.Netlist.Placement.x p4.Netlist.Placement.x;
+      check_bitwise "final y" p1.Netlist.Placement.y p4.Netlist.Placement.y)
+
+let suite =
+  [
+    Alcotest.test_case "parallel_for covers range" `Quick
+      test_parallel_for_covers_range;
+    Alcotest.test_case "parallel_map2" `Quick test_parallel_map2;
+    Alcotest.test_case "both" `Quick test_both;
+    Alcotest.test_case "both propagates exceptions" `Quick
+      test_both_propagates_exceptions;
+    Alcotest.test_case "set_num_domains validates" `Quick
+      test_set_num_domains_validates;
+    Alcotest.test_case "KRAFTWERK_DOMAINS env" `Quick test_env_variable;
+    Alcotest.test_case "SpMV bitwise across domains" `Quick test_spmv_bitwise;
+    Alcotest.test_case "transform2 bitwise across domains" `Quick
+      test_transform2_bitwise;
+    Alcotest.test_case "force field bitwise vs pre-cache path" `Quick
+      test_force_field_bitwise;
+    Alcotest.test_case "placer trajectory bitwise across domains" `Slow
+      test_placer_trajectory_bitwise;
+  ]
