@@ -20,6 +20,17 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Stamp machine-readable outputs with the git revision so perf
+   trajectories are attributable to a commit. *)
+let git_revision () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
 (* ------------------------------------------------------------------ *)
 (* Shared flow pieces                                                  *)
 
@@ -590,7 +601,9 @@ let multilevel () =
    trajectory.  Written next to wherever the bench runs. *)
 let write_kernels_json path rows =
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"scale\": %g,\n  \"kernels_ns\": {\n"
+  Printf.fprintf oc
+    "{\n  \"git\": %S,\n  \"domains\": %d,\n  \"scale\": %g,\n  \"kernels_ns\": {\n"
+    (git_revision ())
     (Numeric.Parallel.num_domains ())
     !scale;
   let n = List.length rows in
@@ -622,7 +635,7 @@ let write_kernels_json path rows =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let micro () =
+let micro_run () =
   print_endline "";
   print_endline "Micro-benchmarks (bechamel): numerical kernels";
   Printf.printf "domain pool: %d domain(s)\n" (Numeric.Parallel.num_domains ());
@@ -736,7 +749,117 @@ let micro () =
       if Float.is_nan est then Printf.printf "%-34s (no estimate)\n" name
       else Printf.printf "%-34s %14.0f ns/run\n" name est)
     (List.sort compare !rows);
-  write_kernels_json "BENCH_kernels.json" (List.sort compare !rows)
+  write_kernels_json "BENCH_kernels.json" (List.sort compare !rows);
+  let failed =
+    List.filter_map
+      (fun (name, est) -> if Float.is_nan est then Some name else None)
+      !rows
+  in
+  if failed <> [] then begin
+    Printf.eprintf "micro: no estimate for: %s\n" (String.concat ", " failed);
+    exit 1
+  end
+
+(* A kernel that raises (or yields no estimate) must fail the harness
+   visibly — CI treats BENCH_kernels.json as trustworthy only when the
+   run exits 0. *)
+let micro () =
+  try micro_run ()
+  with e ->
+    Printf.eprintf "micro: kernel benchmark failed: %s\n" (Printexc.to_string e);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end placement telemetry → BENCH_place.json                   *)
+
+let place_bench_profiles = [ "fract"; "primary1" ]
+
+let place_bench () =
+  print_endline "";
+  print_endline "Placement telemetry bench: end-to-end iteration timings";
+  let was_enabled = Obs.Registry.enabled () in
+  Obs.Registry.set_enabled true;
+  let entries =
+    List.map
+      (fun name ->
+        let _, circuit, p0 = build_profile name in
+        Printf.eprintf "[place-bench] %s (%d cells)...\n%!" name
+          (Netlist.Circuit.num_cells circuit);
+        Obs.Registry.reset ();
+        Numeric.Poisson.clear_kernel_cache ();
+        let sink, read = Obs.Sink.collecting () in
+        let (_, cpu) =
+          Obs.Sink.with_sink sink (fun () ->
+              time (fun () ->
+                  Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0))
+        in
+        let records, _ = read () in
+        let n = List.length records in
+        let last = match List.rev records with [] -> None | r :: _ -> Some r in
+        let phase_mean phase =
+          let s =
+            List.fold_left
+              (fun acc (r : Obs.Telemetry.iteration) ->
+                match List.assoc_opt phase r.Obs.Telemetry.phases with
+                | Some dt -> Obs.Stat.observe acc dt
+                | None -> acc)
+              Obs.Stat.zero records
+          in
+          Obs.Stat.mean s *. 1e3
+        in
+        let cg_total =
+          List.fold_left
+            (fun acc (r : Obs.Telemetry.iteration) ->
+              acc + r.Obs.Telemetry.cg_iterations_x
+              + r.Obs.Telemetry.cg_iterations_y)
+            0 records
+        in
+        let num v = Obs.Json.Num v in
+        ( name,
+          Obs.Json.Obj
+            [
+              ("iterations", num (float_of_int n));
+              ("wall_s", num cpu);
+              ("mean_iter_ms", num (if n = 0 then 0. else cpu /. float_of_int n *. 1e3));
+              ( "phase_ms",
+                Obs.Json.Obj
+                  (List.map
+                     (fun p -> (p, num (phase_mean p)))
+                     [ "assemble"; "density"; "solve"; "metrics" ]) );
+              ("cg_iterations", num (float_of_int cg_total));
+              ( "final_hpwl",
+                match last with
+                | Some r -> num r.Obs.Telemetry.hpwl
+                | None -> Obs.Json.Null );
+              ( "final_overflow",
+                match last with
+                | Some r -> num r.Obs.Telemetry.overflow
+                | None -> Obs.Json.Null );
+            ] ))
+      place_bench_profiles
+  in
+  Obs.Registry.set_enabled was_enabled;
+  let doc =
+    Obs.Json.Obj
+      [
+        ("git", Obs.Json.Str (git_revision ()));
+        ("domains", Obs.Json.Num (float_of_int (Numeric.Parallel.num_domains ())));
+        ("scale", Obs.Json.Num !scale);
+        ("profiles", Obs.Json.Obj entries);
+      ]
+  in
+  let oc = open_out "BENCH_place.json" in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  List.iter
+    (fun (name, entry) ->
+      match (Obs.Json.member "iterations" entry, Obs.Json.member "mean_iter_ms" entry) with
+      | Some (Obs.Json.Num n), Some (Obs.Json.Num ms) ->
+        Printf.printf "%-11s %4.0f iterations  %8.2f ms/iteration\n" name n ms
+      | _ -> ())
+    entries;
+  print_endline "wrote BENCH_place.json"
 
 (* ------------------------------------------------------------------ *)
 
@@ -744,12 +867,13 @@ let usage () =
   print_endline
     "usage: main.exe [--table 1|2|3|4] [--experiment \
      fast-mode|tradeoff|eco|floorplan|congestion|heat|linearization|final-placer|multilevel] \
-     [--micro] [--scale S] [--seed N]";
+     [--micro] [--place] [--scale S] [--seed N]";
   exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let tables = ref [] and experiments = ref [] and want_micro = ref false in
+  let tables = ref [] and experiments = ref [] in
+  let want_micro = ref false and want_place = ref false in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -766,6 +890,9 @@ let () =
       parse rest
     | "--micro" :: rest ->
       want_micro := true;
+      parse rest
+    | "--place" :: rest ->
+      want_place := true;
       parse rest
     | _ -> usage ()
   in
@@ -794,17 +921,20 @@ let () =
       Printf.eprintf "unknown table: %d\n" other;
       exit 1
   in
-  if !tables = [] && !experiments = [] && not !want_micro then begin
+  if !tables = [] && !experiments = [] && not !want_micro && not !want_place
+  then begin
     (* Default: everything. *)
     Printf.printf "Kraftwerk reproduction — full experiment run (scale %.2f)\n" !scale;
     List.iter run_table [ 1; 2; 3; 4 ];
     List.iter run_experiment
       [ "fast-mode"; "tradeoff"; "eco"; "floorplan"; "congestion"; "heat";
         "linearization"; "final-placer"; "multilevel"; "net-model" ];
+    place_bench ();
     micro ()
   end
   else begin
     List.iter run_table (List.rev !tables);
     List.iter run_experiment (List.rev !experiments);
+    if !want_place then place_bench ();
     if !want_micro then micro ()
   end

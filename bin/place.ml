@@ -37,11 +37,15 @@ let load_or_generate ~circuit_file ~profile ~scale ~seed =
     (c, Circuitgen.Gen.initial_placement c fixed)
   | None, None -> failwith "either --circuit or --profile is required"
 
+(* Returns (hpwl, overlap) so the trace summary can record exactly the
+   printed values. *)
 let report_metrics c placement ~timing =
+  let hpwl = Metrics.Wirelength.hpwl c placement in
+  let overlap = Metrics.Overlap.overlap_ratio c placement in
   Printf.printf "cells        %d\n" (Netlist.Circuit.num_cells c);
   Printf.printf "nets         %d\n" (Netlist.Circuit.num_nets c);
-  Printf.printf "hpwl         %.6g\n" (Metrics.Wirelength.hpwl c placement);
-  Printf.printf "overlap      %.4f\n" (Metrics.Overlap.overlap_ratio c placement);
+  Printf.printf "hpwl         %.6g\n" hpwl;
+  Printf.printf "overlap      %.4f\n" overlap;
   Printf.printf "legal        %b\n" (Legalize.Check.is_legal c placement);
   if timing then begin
     let sta = Timing.Sta.analyse Timing.Params.default c placement in
@@ -49,7 +53,8 @@ let report_metrics c placement ~timing =
     List.iter
       (fun path -> Format.printf "%a" (Timing.Paths.pp_path c) path)
       (Timing.Paths.critical ~k:3 Timing.Params.default c placement)
-  end
+  end;
+  (hpwl, overlap)
 
 let cmd_generate profile scale seed output =
   let prof = Circuitgen.Profiles.find profile in
@@ -62,7 +67,7 @@ let cmd_generate profile scale seed output =
     (Netlist.Circuit.num_cells c) (Netlist.Circuit.num_nets c) output
 
 let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
-    domains =
+    domains trace =
   let c, p0 = load_or_generate ~circuit_file ~profile ~scale ~seed in
   let config =
     match mode with
@@ -76,6 +81,28 @@ let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
   (match domains with
   | Some d -> Numeric.Parallel.set_num_domains d
   | None -> ());
+  (* Telemetry: a JSONL sink receiving one record per placement
+     transformation (any flow built on Kraftwerk.Placer emits them),
+     plus a final summary record written after the printed metrics. *)
+  let trace_state =
+    match trace with
+    | None -> None
+    | Some file ->
+      let oc = open_out file in
+      Obs.Registry.set_enabled true;
+      Obs.Registry.reset ();
+      let base = Obs.Sink.jsonl oc in
+      let iters = ref 0 in
+      Obs.Sink.install
+        {
+          base with
+          Obs.Sink.on_iteration =
+            (fun r ->
+              incr iters;
+              base.Obs.Sink.on_iteration r);
+        };
+      Some (file, oc, iters)
+  in
   let t0 = Unix.gettimeofday () in
   let global =
     match flow with
@@ -123,7 +150,23 @@ let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
   let t1 = Unix.gettimeofday () in
   Printf.printf "flow         %s (%s mode)\n" flow mode;
   Printf.printf "cpu          %.2f s\n" (t1 -. t0);
-  report_metrics c final ~timing;
+  let final_hpwl, final_overlap = report_metrics c final ~timing in
+  (match trace_state with
+  | Some (file, oc, iters) ->
+    Obs.Sink.summary
+      {
+        Obs.Telemetry.iterations = !iters;
+        converged = !iters < config.Kraftwerk.Config.max_iterations;
+        final_hpwl;
+        final_overlap;
+        wall_time = t1 -. t0;
+        counters = Obs.Registry.snapshot ();
+      };
+    Obs.Sink.clear ();
+    close_out oc;
+    Printf.printf "trace        written to %s (%d iteration records)\n" file
+      !iters
+  | None -> ());
   (match output with
   | Some file ->
     Netlist.Io.save_placement file final;
@@ -190,9 +233,17 @@ let run_cmd =
                    sequential reproducibility; default: KRAFTWERK_DOMAINS \
                    or the hardware core count).")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ]
+             ~doc:"Write placement telemetry as JSONL: one record per \
+                   placement transformation (HPWL, density overflow, \
+                   forces, CG and phase timings) plus a final summary \
+                   record.  See HACKING.md, Observability.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Place a circuit and report metrics")
     Term.(const cmd_run $ circuit $ profile_arg $ scale_arg $ seed_arg $ flow
-          $ mode $ timing $ verbose $ output $ svg $ domains)
+          $ mode $ timing $ verbose $ output $ svg $ domains $ trace)
 
 let profiles_cmd =
   Cmd.v (Cmd.info "profiles" ~doc:"List benchmark profiles")

@@ -72,3 +72,17 @@ let occupancy c p ~nx ~ny =
   let bin_area = Geometry.Grid2.dx g *. Geometry.Grid2.dy g in
   Geometry.Grid2.map_inplace (fun _ _ v -> v /. bin_area) g;
   g
+
+let overflow_ratio c p ~nx ~ny =
+  let movable = Netlist.Circuit.movable_area c in
+  if movable <= 0. then 0.
+  else begin
+    let occ = occupancy c p ~nx ~ny in
+    let bin_area = Geometry.Grid2.dx occ *. Geometry.Grid2.dy occ in
+    let over =
+      Array.fold_left
+        (fun acc u -> if u > 1. then acc +. ((u -. 1.) *. bin_area) else acc)
+        0. (Geometry.Grid2.values occ)
+    in
+    over /. movable
+  end

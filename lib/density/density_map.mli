@@ -33,3 +33,12 @@ val build :
     criterion. *)
 val occupancy :
   Netlist.Circuit.t -> Netlist.Placement.t -> nx:int -> ny:int -> Geometry.Grid2.t
+
+(** [overflow_ratio circuit placement ~nx ~ny] is the ePlace-style
+    density-overflow measure: the total bin area demanded beyond 100 %
+    utilisation, normalised by the movable cell area.  It is ~1 for the
+    all-at-centre initial placement, trends to ~0 as the placement
+    spreads, and is the primary per-iteration convergence signal of the
+    telemetry trace.  0 when the circuit has no movable area. *)
+val overflow_ratio :
+  Netlist.Circuit.t -> Netlist.Placement.t -> nx:int -> ny:int -> float

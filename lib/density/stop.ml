@@ -7,4 +7,7 @@ let largest_empty_square_area c p ?nx ?ny () =
 
 let should_stop c p ?(multiplier = 4.) ?nx ?ny () =
   let avg = Netlist.Circuit.average_cell_area c in
-  largest_empty_square_area c p ?nx ?ny () <= multiplier *. avg
+  (* No movable area means nothing can spread: stop immediately rather
+     than compare against a zero threshold forever (empty netlists and
+     all-fixed circuits must terminate). *)
+  avg <= 0. || largest_empty_square_area c p ?nx ?ny () <= multiplier *. avg

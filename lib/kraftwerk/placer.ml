@@ -59,18 +59,55 @@ let edge_scale state =
       ~eps:(Qp.Weights.default_eps state.circuit.Netlist.Circuit.region)
   else Qp.Weights.quadratic
 
+(* Magnitude statistics of the additional-force increment applied this
+   transformation (after the reference-weight scaling). *)
+let force_stats ~ref_weight (forces : Density.Forces.t) n =
+  let max_m = ref 0. and sum_m = ref 0. in
+  for v = 0 to n - 1 do
+    let fx = ref_weight *. forces.Density.Forces.fx.(v) in
+    let fy = ref_weight *. forces.Density.Forces.fy.(v) in
+    let m = sqrt ((fx *. fx) +. (fy *. fy)) in
+    if m > !max_m then max_m := m;
+    sum_m := !sum_m +. m
+  done;
+  (!max_m, if n = 0 then 0. else !sum_m /. float_of_int n)
+
 let transform ?(hooks = no_hooks) state =
   let cfg = state.config in
   let nx, ny = grid_dims state in
+  (* Telemetry is collected only when a sink listens; with no sink the
+     per-iteration cost is this one ref read plus untaken branches. *)
+  let collecting = Obs.Sink.active () in
+  let phases = ref [] in
+  let timed name f =
+    if collecting then begin
+      let t0 = Obs.Clock.now () in
+      let r = f () in
+      let dt = Obs.Clock.elapsed_since t0 in
+      phases := (name, dt) :: !phases;
+      Obs.Registry.observe ("placer/" ^ name) dt;
+      r
+    end
+    else Obs.Timer.time ("placer/" ^ name) f
+  in
+  let cache_hits0, cache_misses0 = Numeric.Poisson.kernel_cache_stats () in
+  let pool_tasks0 =
+    if collecting then (Obs.Registry.get "pool/tasks").Obs.Stat.total else 0.
+  in
+  let prev =
+    if collecting then Some (Netlist.Placement.copy state.placement) else None
+  in
   (match hooks.reweight with Some f -> f state | None -> ());
   (* Assemble first: linearised weights depend on the current placement,
      and the mean edge weight defines the "unit net" the force scaling
      of §4.1 refers to. *)
   let system =
-    Qp.System.build state.circuit ~placement:state.placement
-      ~net_weights:state.net_weights ~edge_scale:(edge_scale state)
-      ~clique_cap:cfg.Config.clique_cap ~anchor_weight:cfg.Config.anchor_weight
-      ~hold:cfg.Config.hold_weight ~model:cfg.Config.net_model ()
+    timed "assemble" (fun () ->
+        Qp.System.build state.circuit ~placement:state.placement
+          ~net_weights:state.net_weights ~edge_scale:(edge_scale state)
+          ~clique_cap:cfg.Config.clique_cap
+          ~anchor_weight:cfg.Config.anchor_weight ~hold:cfg.Config.hold_weight
+          ~model:cfg.Config.net_model ())
   in
   let extra =
     match hooks.extra_density with
@@ -78,9 +115,11 @@ let transform ?(hooks = no_hooks) state =
     | None -> None
   in
   let forces =
-    Density.Forces.at_cells state.circuit state.placement
-      ~var_of_cell:state.var_of_cell ~n_movable:state.n_movable
-      ~k_param:cfg.Config.k_param ~solver:cfg.Config.solver ?extra ~nx ~ny ()
+    timed "density" (fun () ->
+        Density.Forces.at_cells state.circuit state.placement
+          ~var_of_cell:state.var_of_cell ~n_movable:state.n_movable
+          ~k_param:cfg.Config.k_param ~solver:cfg.Config.solver ?extra ~nx ~ny
+          ())
   in
   let ref_weight = Qp.System.mean_edge_weight system in
   let beta = cfg.Config.force_decay in
@@ -91,22 +130,59 @@ let transform ?(hooks = no_hooks) state =
       (beta *. state.ey.(v)) +. (ref_weight *. forces.Density.Forces.fy.(v))
   done;
   let sx, sy =
-    Qp.System.solve system ~placement:state.placement ~ex:state.ex ~ey:state.ey
+    timed "solve" (fun () ->
+        Qp.System.solve system ~placement:state.placement ~ex:state.ex
+          ~ey:state.ey)
   in
   Netlist.Placement.clamp_to_region state.circuit state.placement;
   state.iteration <- state.iteration + 1;
   let report =
-    {
-      step = state.iteration;
-      hpwl = Metrics.Wirelength.hpwl state.circuit state.placement;
-      empty_square_area =
-        Density.Stop.largest_empty_square_area state.circuit state.placement
-          ~nx ~ny ();
-      force_scale = forces.Density.Forces.scale *. ref_weight;
-      cg_iterations =
-        sx.Numeric.Cg.iterations + sy.Numeric.Cg.iterations;
-    }
+    timed "metrics" (fun () ->
+        {
+          step = state.iteration;
+          hpwl = Metrics.Wirelength.hpwl state.circuit state.placement;
+          empty_square_area =
+            Density.Stop.largest_empty_square_area state.circuit
+              state.placement ~nx ~ny ();
+          force_scale = forces.Density.Forces.scale *. ref_weight;
+          cg_iterations = sx.Numeric.Cg.iterations + sy.Numeric.Cg.iterations;
+        })
   in
+  if collecting then begin
+    let cache_hits1, cache_misses1 = Numeric.Poisson.kernel_cache_stats () in
+    let pool_tasks1 = (Obs.Registry.get "pool/tasks").Obs.Stat.total in
+    let max_force, mean_force =
+      force_stats ~ref_weight forces state.n_movable
+    in
+    let displacement =
+      match prev with
+      | Some before -> Netlist.Placement.displacement before state.placement
+      | None -> 0.
+    in
+    Obs.Sink.iteration
+      {
+        Obs.Telemetry.step = state.iteration;
+        hpwl = report.hpwl;
+        quadratic = Metrics.Wirelength.quadratic state.circuit state.placement;
+        overflow =
+          Density.Density_map.overflow_ratio state.circuit state.placement ~nx
+            ~ny;
+        empty_square_area = report.empty_square_area;
+        force_scale = report.force_scale;
+        max_force;
+        mean_force;
+        displacement;
+        cg_iterations_x = sx.Numeric.Cg.iterations;
+        cg_iterations_y = sy.Numeric.Cg.iterations;
+        cg_residual_x = sx.Numeric.Cg.residual;
+        cg_residual_y = sy.Numeric.Cg.residual;
+        kernel_cache_hits = cache_hits1 - cache_hits0;
+        kernel_cache_misses = cache_misses1 - cache_misses0;
+        domains = Numeric.Parallel.num_domains ();
+        pool_tasks = int_of_float (pool_tasks1 -. pool_tasks0);
+        phases = List.rev !phases;
+      }
+  end;
   (match hooks.on_step with Some f -> f report | None -> ());
   report
 

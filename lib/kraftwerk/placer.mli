@@ -48,7 +48,16 @@ val init : Config.t -> Netlist.Circuit.t -> Netlist.Placement.t -> state
 (** [transform ?hooks state] performs one placement transformation
     (§4.1): determine the density forces at the current placement, add
     them to ~e, rebuild the (possibly linearised) system and solve
-    eq. (3) holding ~e constant. *)
+    eq. (3) holding ~e constant.
+
+    When an {!Obs.Sink} is installed, each transformation additionally
+    emits an {!Obs.Telemetry.iteration} record (HPWL, quadratic wire
+    length, density overflow, force magnitudes, displacement, CG and
+    kernel-cache statistics, per-phase wall-clock timings); phase
+    timings also accumulate in the {!Obs.Registry} under
+    ["placer/assemble" | "placer/density" | "placer/solve" |
+    "placer/metrics"].  With no sink installed none of these metrics
+    are computed. *)
 val transform : ?hooks:hooks -> state -> step_report
 
 (** [converged state] applies the §4.2 stopping criterion. *)

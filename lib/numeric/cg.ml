@@ -59,4 +59,9 @@ let solve ?(tol = 1e-8) ?max_iter ?x0 ?inv_diag a b =
       incr iters
     end
   done;
+  if Obs.Registry.enabled () then begin
+    Obs.Registry.observe "cg/iterations" (float_of_int !iters);
+    Obs.Registry.observe "cg/residual" !rnorm;
+    Obs.Registry.incr "cg/solves"
+  end;
   (x, { iterations = !iters; residual = !rnorm; converged = !rnorm <= threshold })

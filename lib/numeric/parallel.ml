@@ -139,6 +139,10 @@ let reset () =
 let run_tasks p fns =
   let n = Array.length fns in
   if n > 0 then begin
+    (* One observation per batch: count = batches, total = tasks.  The
+       telemetry layer reads the total's delta per placer iteration as a
+       pool-utilisation signal. *)
+    Obs.Registry.observe "pool/tasks" (float_of_int n);
     let remaining = Atomic.make n in
     let first_exn = Atomic.make None in
     let wrap f () =

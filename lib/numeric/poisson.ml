@@ -106,10 +106,12 @@ let kernel_spectrum ~rows ~cols ~hx ~hy =
   | Some sp ->
     incr kernel_cache_hits;
     Mutex.unlock kernel_cache_lock;
+    Obs.Registry.incr "poisson/kernel_cache_hits";
     sp
   | None ->
     incr kernel_cache_misses;
     Mutex.unlock kernel_cache_lock;
+    Obs.Registry.incr "poisson/kernel_cache_misses";
     let sp = build_kernel_spectrum ~rows ~cols ~hx ~hy in
     Mutex.lock kernel_cache_lock;
     if Hashtbl.length kernel_cache >= kernel_cache_limit then

@@ -1,0 +1,5 @@
+let now = Unix.gettimeofday
+
+(* Clamp at zero so elapsed times are monotone even if the wall clock
+   steps backwards between the two reads (NTP adjustment). *)
+let elapsed_since t0 = Float.max 0. (now () -. t0)

@@ -1,0 +1,9 @@
+(** Wall-clock reads for the timing layer. *)
+
+(** [now ()] is the current wall-clock time in seconds. *)
+val now : unit -> float
+
+(** [elapsed_since t0] is the non-negative time elapsed since a previous
+    {!now} read — clamped at zero, so elapsed measurements never go
+    backwards even if the system clock does. *)
+val elapsed_since : float -> float

@@ -1,0 +1,27 @@
+(** A minimal JSON representation with a writer and a parser — enough to
+    emit the telemetry trace as JSONL and to read it back in tests and
+    analysis scripts without an external dependency.
+
+    Numbers are stored as floats and written with round-trip precision
+    ([%.17g], or the exact integer form when integral), so
+    [of_string (to_string v)] reproduces [v] bit-for-bit for finite
+    numbers.  NaN and infinities have no JSON encoding and are written
+    as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [member key v] is the field [key] of an [Obj], else [None]. *)
+val member : string -> t -> t option
+
+(** [to_string v] is the compact (single-line) serialisation of [v];
+    JSONL-safe — never contains an unescaped newline. *)
+val to_string : t -> string
+
+(** [of_string s] parses one complete JSON document. *)
+val of_string : string -> (t, string) result

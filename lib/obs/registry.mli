@@ -1,0 +1,34 @@
+(** The process-wide metric registry: named {!Stat.t} cells updated from
+    anywhere (any domain — updates are mutex-protected).
+
+    Names are hierarchical paths with ['/'] separators, e.g.
+    ["placer/solve"] or ["cg/iterations"]; {!rollup} aggregates children
+    into their ancestors.  The registry is {e disabled} by default and
+    every recording call is then a single atomic load — instrumentation
+    left in hot paths costs nothing until a front end (the CLI's
+    [--trace], the bench harness, a test) switches it on. *)
+
+(** [set_enabled b] turns recording on or off (off initially). *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** [observe name v] folds [v] into the cell [name] (no-op when
+    disabled). *)
+val observe : string -> float -> unit
+
+(** [incr ?by name] observes [by] (default 1.0) — counter idiom. *)
+val incr : ?by:float -> string -> unit
+
+(** [get name] reads a cell; {!Stat.zero} when absent. *)
+val get : string -> Stat.t
+
+(** [reset ()] drops every cell (the enabled flag is unchanged). *)
+val reset : unit -> unit
+
+(** [snapshot ()] is every recorded cell, sorted by name. *)
+val snapshot : unit -> (string * Stat.t) list
+
+(** [rollup ()] is {!snapshot} plus one merged entry per ancestor path,
+    e.g. ["placer"] summing ["placer/assemble"], ["placer/solve"], … *)
+val rollup : unit -> (string * Stat.t) list

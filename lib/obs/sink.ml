@@ -1,0 +1,48 @@
+type t = {
+  on_iteration : Telemetry.iteration -> unit;
+  on_summary : Telemetry.summary -> unit;
+}
+
+(* One process-wide sink.  Installation happens on the main domain
+   before a run; the placer only reads, so a plain ref is enough. *)
+let current : t option ref = ref None
+
+let install s = current := Some s
+
+let clear () = current := None
+
+let active () = Option.is_some !current
+
+let iteration r = match !current with Some s -> s.on_iteration r | None -> ()
+
+let summary r = match !current with Some s -> s.on_summary r | None -> ()
+
+let jsonl oc =
+  let emit json =
+    output_string oc (Json.to_string json);
+    output_char oc '\n';
+    flush oc
+  in
+  {
+    on_iteration = (fun r -> emit (Telemetry.iteration_to_json r));
+    on_summary = (fun r -> emit (Telemetry.summary_to_json r));
+  }
+
+let collecting () =
+  let iterations = ref [] in
+  let summaries = ref [] in
+  let sink =
+    {
+      on_iteration = (fun r -> iterations := r :: !iterations);
+      on_summary = (fun r -> summaries := r :: !summaries);
+    }
+  in
+  let read () =
+    (List.rev !iterations, match !summaries with [] -> None | s :: _ -> Some s)
+  in
+  (sink, read)
+
+let with_sink s f =
+  let saved = !current in
+  current := Some s;
+  Fun.protect ~finally:(fun () -> current := saved) f

@@ -1,0 +1,40 @@
+(** Telemetry sinks: where iteration and summary records go.
+
+    Producers (the placer) call {!iteration}/{!summary}, which dispatch
+    to the installed sink or drop the record.  {!active} lets producers
+    skip computing expensive metrics entirely when nobody listens — with
+    no sink installed, instrumentation costs one ref read per
+    iteration. *)
+
+type t = {
+  on_iteration : Telemetry.iteration -> unit;
+  on_summary : Telemetry.summary -> unit;
+}
+
+(** [install s] routes subsequent records to [s] (replacing any previous
+    sink). *)
+val install : t -> unit
+
+(** [clear ()] removes the installed sink. *)
+val clear : unit -> unit
+
+(** [active ()] is true when a sink is installed. *)
+val active : unit -> bool
+
+(** [iteration r] delivers a record to the installed sink, if any. *)
+val iteration : Telemetry.iteration -> unit
+
+val summary : Telemetry.summary -> unit
+
+(** [jsonl oc] is a sink writing one compact JSON document per line to
+    [oc], flushed per record — the [--trace] format. *)
+val jsonl : out_channel -> t
+
+(** [collecting ()] is an in-memory sink plus a function reading back
+    the records collected so far (iterations in emission order, latest
+    summary). *)
+val collecting : unit -> t * (unit -> Telemetry.iteration list * Telemetry.summary option)
+
+(** [with_sink s f] installs [s] for the duration of [f] and restores
+    the previous sink afterwards — the test harness idiom. *)
+val with_sink : t -> (unit -> 'a) -> 'a

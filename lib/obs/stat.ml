@@ -1,0 +1,25 @@
+type t = { count : int; total : float; min : float; max : float }
+
+let zero = { count = 0; total = 0.; min = Float.infinity; max = Float.neg_infinity }
+
+let observe s v =
+  {
+    count = s.count + 1;
+    total = s.total +. v;
+    min = Float.min s.min v;
+    max = Float.max s.max v;
+  }
+
+let of_value v = observe zero v
+
+let merge a b =
+  {
+    count = a.count + b.count;
+    total = a.total +. b.total;
+    min = Float.min a.min b.min;
+    max = Float.max a.max b.max;
+  }
+
+let mean s = if s.count = 0 then 0. else s.total /. float_of_int s.count
+
+let is_zero s = s.count = 0

@@ -1,0 +1,32 @@
+(** A mergeable summary of observed values — the value type behind every
+    counter and timer in the {!Registry}.
+
+    A counter is a [t] whose observations are increments (so [total] is
+    the running count-weighted sum and [count] the number of bumps); a
+    timer is a [t] whose observations are elapsed seconds.  [merge] is
+    associative and commutative with [zero] as identity on the [count],
+    [min] and [max] components exactly, and on [total]/[mean] up to
+    floating-point reassociation — good enough to combine snapshots taken
+    on different domains or in different phases. *)
+
+type t = {
+  count : int;  (** number of observations *)
+  total : float;  (** sum of observed values *)
+  min : float;  (** +∞ when no observation yet *)
+  max : float;  (** −∞ when no observation yet *)
+}
+
+val zero : t
+
+(** [observe s v] folds one more observation into [s]. *)
+val observe : t -> float -> t
+
+(** [of_value v] is [observe zero v]. *)
+val of_value : float -> t
+
+val merge : t -> t -> t
+
+(** [mean s] is [total/count], or 0 for {!zero}. *)
+val mean : t -> float
+
+val is_zero : t -> bool

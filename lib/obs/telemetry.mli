@@ -1,0 +1,63 @@
+(** Placement telemetry records — the schema of the [--trace] JSONL
+    stream: one {!iteration} record per placement transformation plus one
+    final {!summary} record.
+
+    All scalar metrics are plain numbers so the module stays independent
+    of the netlist layer; the placer computes them and fills the record.
+    Fields listed in {!volatile_fields} (timings and
+    execution-environment facts) legitimately differ between runs of the
+    same placement; everything else is deterministic and is compared
+    bitwise by the regression tests. *)
+
+type iteration = {
+  step : int;  (** 1-based transformation index *)
+  hpwl : float;  (** half-perimeter wire length after the solve *)
+  quadratic : float;  (** clique-model quadratic wire length (eq. 1) *)
+  overflow : float;
+      (** density overflow: over-capacity bin area / movable cell area *)
+  empty_square_area : float;  (** §4.2 stopping-criterion measure *)
+  force_scale : float;  (** the K scaling applied this transformation *)
+  max_force : float;  (** max per-cell additional-force increment magnitude *)
+  mean_force : float;  (** mean per-cell increment magnitude *)
+  displacement : float;  (** total cell movement since the last iteration *)
+  cg_iterations_x : int;
+  cg_iterations_y : int;
+  cg_residual_x : float;  (** final CG residual of the x solve *)
+  cg_residual_y : float;
+  kernel_cache_hits : int;  (** Poisson kernel-spectrum cache, this iteration *)
+  kernel_cache_misses : int;
+  domains : int;  (** domain-pool size (volatile) *)
+  pool_tasks : int;  (** pool tasks executed this iteration (volatile) *)
+  phases : (string * float) list;  (** phase → seconds (volatile) *)
+}
+
+type summary = {
+  iterations : int;  (** iteration records emitted before this summary *)
+  converged : bool;  (** stopped by the §4.2 criterion, not the bound *)
+  final_hpwl : float;  (** after legalisation — the printed metric *)
+  final_overlap : float;  (** {!Metrics.Overlap.overlap_ratio} equivalent *)
+  wall_time : float;  (** whole-flow seconds (volatile) *)
+  counters : (string * Stat.t) list;  (** registry snapshot (volatile) *)
+}
+
+(** Version stamped into every record as ["schema"]; bump on any field
+    change. *)
+val schema_version : int
+
+(** Fields excluded from determinism comparisons: timings and
+    pool-configuration facts. *)
+val volatile_fields : string list
+
+(** [strip_volatile json] removes {!volatile_fields} from a record
+    object, leaving the deterministic payload. *)
+val strip_volatile : Json.t -> Json.t
+
+val iteration_to_json : iteration -> Json.t
+
+(** [iteration_of_json v] parses and validates a record — the schema
+    check behind "schema-valid JSONL". *)
+val iteration_of_json : Json.t -> (iteration, string) result
+
+val summary_to_json : summary -> Json.t
+
+val summary_of_json : Json.t -> (summary, string) result

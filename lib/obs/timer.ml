@@ -1,0 +1,12 @@
+let time name f =
+  if not (Registry.enabled ()) then f ()
+  else begin
+    let t0 = Clock.now () in
+    match f () with
+    | r ->
+      Registry.observe name (Clock.elapsed_since t0);
+      r
+    | exception e ->
+      Registry.observe name (Clock.elapsed_since t0);
+      raise e
+  end

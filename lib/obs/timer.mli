@@ -1,0 +1,7 @@
+(** Wall-clock timers on top of the {!Registry}. *)
+
+(** [time name f] runs [f ()] and, when the registry is enabled, records
+    the elapsed wall-clock seconds under [name] — also on exception, so
+    timings of failing phases are not lost.  When the registry is
+    disabled this is exactly [f ()]. *)
+val time : string -> (unit -> 'a) -> 'a

@@ -204,10 +204,17 @@ let solve t ~(placement : Netlist.Placement.t) ~ex ~ey =
      domain-safe. *)
   let inv_dx = Lazy.force t.inv_dx and inv_dy = Lazy.force t.inv_dy in
   let (x, sx), (y, sy) =
-    Numeric.Parallel.both
-      (fun () -> Numeric.Cg.solve ~x0 ~inv_diag:inv_dx t.mx bx)
-      (fun () -> Numeric.Cg.solve ~x0:y0 ~inv_diag:inv_dy t.my by)
+    Obs.Timer.time "qp/solve" (fun () ->
+        Numeric.Parallel.both
+          (fun () -> Numeric.Cg.solve ~x0 ~inv_diag:inv_dx t.mx bx)
+          (fun () -> Numeric.Cg.solve ~x0:y0 ~inv_diag:inv_dy t.my by))
   in
+  if Obs.Registry.enabled () then begin
+    Obs.Registry.observe "qp/cg_iterations"
+      (float_of_int (sx.Numeric.Cg.iterations + sy.Numeric.Cg.iterations));
+    Obs.Registry.observe "qp/cg_residual"
+      (Float.max sx.Numeric.Cg.residual sy.Numeric.Cg.residual)
+  end;
   for v = 0 to t.n_movable - 1 do
     placement.Netlist.Placement.x.(t.cell_of_var.(v)) <- x.(v);
     placement.Netlist.Placement.y.(t.cell_of_var.(v)) <- y.(v)

@@ -31,6 +31,8 @@ let () =
       ("route.grouter", Test_grouter.suite);
       ("floorplan", Test_floorplan.suite);
       ("floorplan.flexible", Test_flexible.suite);
+      ("obs", Test_obs.suite);
+      ("convergence", Test_convergence.suite);
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);
       ("validation", Test_validation.suite);

@@ -1,0 +1,274 @@
+(* Trace-driven convergence regression harness.
+
+   One deterministic circuitgen run (fract, seed 42, scale 1.0, a single
+   domain) is placed with the standard Kraftwerk flow under a telemetry
+   sink, and the recorded trajectory is held to pinned invariants:
+
+   - density overflow trends down past the knee of the schedule,
+   - the final global HPWL and overlap land inside pinned bounds,
+   - the iteration count stays inside a pinned window,
+   - every emitted record is schema-valid JSONL and survives a
+     write/parse round trip.
+
+   The bounds were measured on the reference implementation: overflow
+   0.948 at the first transformation falling to 0.519, final global
+   HPWL 6886.6, 250 transformations (the standard iteration bound; the
+   §4.2 criterion does not fire on this profile).  They are generous
+   enough to survive benign numeric drift but tight enough that a placer
+   whose density-force update is stubbed out — overflow stuck near 0.95,
+   HPWL collapsed towards the unconstrained optimum (~2250) — fails. *)
+
+type run = {
+  circuit : Netlist.Circuit.t;
+  state : Kraftwerk.Placer.state;
+  records : Obs.Telemetry.iteration list;
+  summary : Obs.Telemetry.summary option;
+  jsonl_lines : string list;
+}
+
+let max_iterations = Kraftwerk.Config.standard.Kraftwerk.Config.max_iterations
+
+let the_run : run Lazy.t =
+  lazy
+    (let prof = Circuitgen.Profiles.find "fract" in
+     let circuit, pads =
+       Circuitgen.Gen.generate
+         (Circuitgen.Profiles.params ~scale:1.0 prof ~seed:42)
+     in
+     let p0 = Circuitgen.Gen.initial_placement circuit pads in
+     let config =
+       { Kraftwerk.Config.standard with Kraftwerk.Config.domains = Some 1 }
+     in
+     Numeric.Poisson.clear_kernel_cache ();
+     Obs.Registry.set_enabled true;
+     Obs.Registry.reset ();
+     let file = Filename.temp_file "kraftwerk_conv" ".jsonl" in
+     let oc = open_out file in
+     let js = Obs.Sink.jsonl oc in
+     let coll, read = Obs.Sink.collecting () in
+     (* Tee: the in-memory records drive the trajectory checks, the
+        JSONL file exercises the same path as the CLI's --trace. *)
+     let tee =
+       {
+         Obs.Sink.on_iteration =
+           (fun r ->
+             js.Obs.Sink.on_iteration r;
+             coll.Obs.Sink.on_iteration r);
+         on_summary =
+           (fun s ->
+             js.Obs.Sink.on_summary s;
+             coll.Obs.Sink.on_summary s);
+       }
+     in
+     let state =
+       Obs.Sink.with_sink tee (fun () ->
+           let state, reports = Kraftwerk.Placer.run config circuit p0 in
+           let p = state.Kraftwerk.Placer.placement in
+           Obs.Sink.summary
+             {
+               Obs.Telemetry.iterations = List.length reports;
+               converged =
+                 List.length reports < config.Kraftwerk.Config.max_iterations;
+               final_hpwl = Metrics.Wirelength.hpwl circuit p;
+               final_overlap = Metrics.Overlap.overlap_ratio circuit p;
+               wall_time = 0.;
+               counters = Obs.Registry.snapshot ();
+             };
+           state)
+     in
+     close_out oc;
+     Obs.Registry.set_enabled false;
+     let ic = open_in file in
+     let lines = ref [] in
+     (try
+        while true do
+          lines := input_line ic :: !lines
+        done
+      with End_of_file -> ());
+     close_in ic;
+     Sys.remove file;
+     let records, summary = read () in
+     { circuit; state; records; summary; jsonl_lines = List.rev !lines })
+
+let overflows r = List.map (fun it -> it.Obs.Telemetry.overflow) r.records
+
+let mean = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let last k l = take k (List.rev l) |> List.rev
+
+let test_iteration_window () =
+  let r = Lazy.force the_run in
+  let n = List.length r.records in
+  Alcotest.(check bool)
+    (Printf.sprintf "iteration count %d within [100, %d]" n max_iterations)
+    true
+    (n >= 100 && n <= max_iterations);
+  Alcotest.(check (list int)) "steps are 1..n"
+    (List.init n (fun i -> i + 1))
+    (List.map (fun it -> it.Obs.Telemetry.step) r.records)
+
+let test_overflow_trends_down () =
+  let r = Lazy.force the_run in
+  let ov = overflows r in
+  let early = mean (take 20 ov) and late = mean (last 20 ov) in
+  let final = List.nth ov (List.length ov - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "starts congested (early mean %.3f > 0.7)" early)
+    true (early > 0.7);
+  Alcotest.(check bool)
+    (Printf.sprintf "trends down (late mean %.3f < 0.75 x early %.3f)" late
+       early)
+    true
+    (late < 0.75 *. early);
+  (* Absolute bound: a stubbed density force keeps overflow ~0.95. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "final overflow %.3f below 0.65" final)
+    true (final < 0.65);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "overflow in [0, 2]" true (o >= 0. && o <= 2.))
+    ov
+
+let test_final_metrics_bounds () =
+  let r = Lazy.force the_run in
+  let final = List.nth r.records (List.length r.records - 1) in
+  let hpwl = final.Obs.Telemetry.hpwl in
+  let overlap =
+    Metrics.Overlap.overlap_ratio r.circuit r.state.Kraftwerk.Placer.placement
+  in
+  (* Reference: HPWL 6886.6 and overlap 1.07 on the measured run; with
+     the density force stubbed (k = 0) they are 2415 and 24.6, so both
+     bounds discriminate. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "global hpwl %.1f within [4500, 10000]" hpwl)
+    true
+    (hpwl >= 4500. && hpwl <= 10000.);
+  Alcotest.(check bool)
+    (Printf.sprintf "global overlap %.3f below 2.0" overlap)
+    true (overlap < 2.0);
+  (* The trace must record exactly what a recomputation gives. *)
+  let recomputed =
+    Metrics.Wirelength.hpwl r.circuit r.state.Kraftwerk.Placer.placement
+  in
+  Alcotest.(check bool) "trace hpwl matches recomputation bitwise" true
+    (Int64.bits_of_float hpwl = Int64.bits_of_float recomputed)
+
+let test_placement_settles () =
+  let r = Lazy.force the_run in
+  let disp = List.map (fun it -> it.Obs.Telemetry.displacement) r.records in
+  let early = mean (take 20 disp) and late = mean (last 20 disp) in
+  Alcotest.(check bool)
+    (Printf.sprintf "cells settle (late disp %.2f << early %.2f)" late early)
+    true
+    (early > 0. && late < 0.2 *. early)
+
+let test_solver_telemetry_sane () =
+  let r = Lazy.force the_run in
+  List.iteri
+    (fun i it ->
+      let tag = Printf.sprintf "iteration %d" (i + 1) in
+      Alcotest.(check bool) (tag ^ ": cg did work") true
+        (it.Obs.Telemetry.cg_iterations_x > 0
+        && it.Obs.Telemetry.cg_iterations_y > 0);
+      Alcotest.(check bool) (tag ^ ": finite metrics") true
+        (Float.is_finite it.Obs.Telemetry.hpwl
+        && Float.is_finite it.Obs.Telemetry.quadratic
+        && Float.is_finite it.Obs.Telemetry.max_force
+        (* max >= mean up to one rounding step of the sum/n division:
+           when all magnitudes coincide the mean can land an ulp high. *)
+        && it.Obs.Telemetry.max_force
+           >= it.Obs.Telemetry.mean_force *. (1. -. 1e-12)
+        && it.Obs.Telemetry.mean_force >= 0.))
+    r.records;
+  (* The kernel spectrum is computed once and cached: the first
+     transformation misses, every later one hits (the grid never
+     changes over a run). *)
+  match r.records with
+  | [] -> Alcotest.fail "no records"
+  | first :: rest ->
+    Alcotest.(check bool) "first iteration misses the kernel cache" true
+      (first.Obs.Telemetry.kernel_cache_misses >= 1);
+    List.iter
+      (fun it ->
+        Alcotest.(check int) "warm iterations never miss" 0
+          it.Obs.Telemetry.kernel_cache_misses)
+      rest
+
+let test_records_schema_valid () =
+  let r = Lazy.force the_run in
+  List.iter
+    (fun it ->
+      let j = Obs.Telemetry.iteration_to_json it in
+      (match Obs.Json.member "schema" j with
+      | Some (Obs.Json.Num v) ->
+        Alcotest.(check int) "schema version"
+          Obs.Telemetry.schema_version (int_of_float v)
+      | _ -> Alcotest.fail "record without schema field");
+      let s = Obs.Json.to_string j in
+      match Obs.Json.of_string s with
+      | Error e -> Alcotest.failf "record does not parse: %s" e
+      | Ok v -> (
+        match Obs.Telemetry.iteration_of_json v with
+        | Error e -> Alcotest.failf "record does not validate: %s" e
+        | Ok it' ->
+          if it' <> it then
+            Alcotest.failf "record %d does not round-trip"
+              it.Obs.Telemetry.step))
+    r.records
+
+let test_jsonl_stream_shape () =
+  let r = Lazy.force the_run in
+  let n = List.length r.records in
+  Alcotest.(check int) "one line per record plus summary" (n + 1)
+    (List.length r.jsonl_lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Obs.Json.of_string line with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "unparsable trace line: %s" e)
+      r.jsonl_lines
+  in
+  let tags =
+    List.map
+      (fun v ->
+        match Obs.Json.member "record" v with
+        | Some (Obs.Json.Str s) -> s
+        | _ -> Alcotest.fail "trace line without record tag")
+      parsed
+  in
+  Alcotest.(check (list string)) "iterations then one summary"
+    (List.init (n + 1) (fun i -> if i < n then "iteration" else "summary"))
+    tags;
+  (* The written summary parses back to what the collecting sink saw. *)
+  let summary_json = List.nth parsed n in
+  match (Obs.Telemetry.summary_of_json summary_json, r.summary) with
+  | Ok s, Some expected ->
+    Alcotest.(check int) "summary iteration count" n s.Obs.Telemetry.iterations;
+    Alcotest.(check bool) "summary hpwl matches" true
+      (Int64.bits_of_float s.Obs.Telemetry.final_hpwl
+      = Int64.bits_of_float expected.Obs.Telemetry.final_hpwl);
+    Alcotest.(check bool) "summary converged flag matches" true
+      (s.Obs.Telemetry.converged = expected.Obs.Telemetry.converged)
+  | Error e, _ -> Alcotest.failf "summary does not validate: %s" e
+  | _, None -> Alcotest.fail "collecting sink saw no summary"
+
+let suite =
+  [
+    Alcotest.test_case "iteration count within pinned window" `Slow
+      test_iteration_window;
+    Alcotest.test_case "density overflow trends down" `Slow
+      test_overflow_trends_down;
+    Alcotest.test_case "final hpwl and overlap within pinned bounds" `Slow
+      test_final_metrics_bounds;
+    Alcotest.test_case "placement settles" `Slow test_placement_settles;
+    Alcotest.test_case "solver telemetry sane" `Slow test_solver_telemetry_sane;
+    Alcotest.test_case "every record is schema-valid" `Slow
+      test_records_schema_valid;
+    Alcotest.test_case "jsonl stream shape and summary" `Slow
+      test_jsonl_stream_shape;
+  ]

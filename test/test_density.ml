@@ -169,6 +169,96 @@ let test_empty_square_monotone () =
   Alcotest.(check bool) "spreading shrinks the largest empty square" true
     (spread < clumped)
 
+(* --- stopping criterion: edge cases ---------------------------------- *)
+
+let test_stop_empty_circuit () =
+  let c =
+    Netlist.Circuit.make ~name:"empty" ~cells:[||] ~nets:[||] ~region
+      ~row_height:8.
+  in
+  let p = Netlist.Placement.create c in
+  Alcotest.(check bool) "no cells: stop immediately" true
+    (Density.Stop.should_stop c p ~nx:8 ~ny:8 ());
+  Alcotest.(check (float 0.)) "no movable area: zero overflow" 0.
+    (Density.Density_map.overflow_ratio c p ~nx:8 ~ny:8)
+
+let test_stop_single_cell () =
+  let c = small_circuit ~n:1 () in
+  let p = clumped_placement c in
+  (* One 8x8 cell in a 64x64 region: the empty-square measure is large
+     against the average cell area, so the default criterion keeps
+     going, while a huge multiplier is satisfiable — both calls must
+     terminate and disagree as expected. *)
+  Alcotest.(check bool) "single cell: keep going by default" false
+    (Density.Stop.should_stop c p ~nx:8 ~ny:8 ());
+  Alcotest.(check bool) "single cell: huge multiplier stops" true
+    (Density.Stop.should_stop c p ~multiplier:1e9 ~nx:8 ~ny:8 ())
+
+let test_stop_all_fixed () =
+  let cells =
+    Array.init 4 (fun i ->
+        Netlist.Cell.make ~id:i ~name:(Printf.sprintf "f%d" i) ~width:8.
+          ~height:8. ~fixed:true ())
+  in
+  let c =
+    Netlist.Circuit.make ~name:"fixed" ~cells ~nets:[||] ~region ~row_height:8.
+  in
+  let p = Netlist.Placement.create c in
+  Alcotest.(check bool) "nothing movable: stop immediately" true
+    (Density.Stop.should_stop c p ~nx:8 ~ny:8 ())
+
+let test_stop_already_converged_run () =
+  (* A placement that already satisfies the criterion must stop the
+     placer loop before the first transformation. *)
+  let c = small_circuit () in
+  let p = spread_placement c in
+  let cfg =
+    { Kraftwerk.Config.standard with
+      Kraftwerk.Config.stop_multiplier = 16.;
+      grid = Some (8, 8) }
+  in
+  let _, reports = Kraftwerk.Placer.run cfg c p in
+  Alcotest.(check int) "no transformations" 0 (List.length reports)
+
+let test_stop_oscillating_terminates () =
+  (* An adversarial hook teleports the clump back and forth so the
+     density (and its overflow) oscillates and the criterion never
+     fires; the loop must still terminate at the iteration bound. *)
+  let c = small_circuit () in
+  let p0 = clumped_placement c in
+  let flip = ref false in
+  let hooks =
+    { Kraftwerk.Placer.no_hooks with
+      Kraftwerk.Placer.reweight =
+        Some
+          (fun st ->
+            flip := not !flip;
+            let off = if !flip then 12. else -12. in
+            let p = st.Kraftwerk.Placer.placement in
+            Array.iteri (fun i _ -> p.Netlist.Placement.x.(i) <- 32. +. off)
+              p.Netlist.Placement.x) }
+  in
+  let cfg =
+    { Kraftwerk.Config.standard with Kraftwerk.Config.max_iterations = 12 }
+  in
+  let _, reports = Kraftwerk.Placer.run ~hooks cfg c p0 in
+  let n = List.length reports in
+  Alcotest.(check bool) "terminates within the bound" true (n >= 1 && n <= 12)
+
+(* --- overflow metric -------------------------------------------------- *)
+
+let test_overflow_ratio_extremes () =
+  let c = small_circuit () in
+  (* All eight 8x8 cells stacked on the centre: every unit of movable
+     area beyond one bin's capacity overflows. *)
+  let clumped = Density.Density_map.overflow_ratio c (clumped_placement c) ~nx:8 ~ny:8 in
+  let spread = Density.Density_map.overflow_ratio c (spread_placement c) ~nx:8 ~ny:8 in
+  (* The centred stack spreads over four bins at occupancy 2.0: exactly
+     half the movable area sits above capacity. *)
+  Alcotest.(check (float 1e-9)) "clump overflow" 0.5 clumped;
+  Alcotest.(check (float 1e-9)) "uniform lattice has no overflow" 0. spread;
+  Alcotest.(check bool) "spreading reduces overflow" true (spread < clumped)
+
 let suite =
   [
     Alcotest.test_case "density sums to zero" `Quick test_density_sums_to_zero;
@@ -184,4 +274,13 @@ let suite =
     Alcotest.test_case "stop false when clumped" `Quick test_stop_false_when_clumped;
     Alcotest.test_case "stop true when spread" `Quick test_stop_true_when_spread;
     Alcotest.test_case "empty square monotone" `Quick test_empty_square_monotone;
+    Alcotest.test_case "stop: empty circuit" `Quick test_stop_empty_circuit;
+    Alcotest.test_case "stop: single cell" `Quick test_stop_single_cell;
+    Alcotest.test_case "stop: all cells fixed" `Quick test_stop_all_fixed;
+    Alcotest.test_case "stop: already-converged run takes no steps" `Quick
+      test_stop_already_converged_run;
+    Alcotest.test_case "stop: oscillating density still terminates" `Quick
+      test_stop_oscillating_terminates;
+    Alcotest.test_case "overflow ratio extremes" `Quick
+      test_overflow_ratio_extremes;
   ]

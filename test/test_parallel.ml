@@ -269,6 +269,48 @@ let test_placer_trajectory_bitwise () =
       check_bitwise "final x" p1.Netlist.Placement.x p4.Netlist.Placement.x;
       check_bitwise "final y" p1.Netlist.Placement.y p4.Netlist.Placement.y)
 
+(* The full telemetry trace — not just the HPWL trajectory — must be
+   bitwise identical for any pool size once the volatile fields
+   (timings, pool facts) are stripped: every recorded metric comes out
+   of kernels that are deterministic across domain counts. *)
+let test_telemetry_trace_bitwise () =
+  let prof = Circuitgen.Profiles.find "fract" in
+  let circuit, pads =
+    Circuitgen.Gen.generate (Circuitgen.Profiles.params ~scale:1.0 prof ~seed:21)
+  in
+  let p0 = Circuitgen.Gen.initial_placement circuit pads in
+  let config =
+    { Kraftwerk.Config.standard with Kraftwerk.Config.max_iterations = 10 }
+  in
+  let run domains =
+    (* The kernel-spectrum cache persists across runs in one process;
+       clear it so cache hit/miss records match between runs too. *)
+    Numeric.Poisson.clear_kernel_cache ();
+    let sink, read = Obs.Sink.collecting () in
+    Obs.Sink.with_sink sink (fun () ->
+        ignore
+          (Kraftwerk.Placer.run
+             { config with Kraftwerk.Config.domains = Some domains }
+             circuit p0));
+    let records, _ = read () in
+    List.map
+      (fun r ->
+        Obs.Json.to_string
+          (Obs.Telemetry.strip_volatile (Obs.Telemetry.iteration_to_json r)))
+      records
+  in
+  Fun.protect
+    ~finally:(fun () -> Numeric.Parallel.set_num_domains 1)
+    (fun () ->
+      let reference = run 1 in
+      Alcotest.(check bool) "collected records" true (reference <> []);
+      List.iter
+        (fun d ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "telemetry trace d=%d" d)
+            reference (run d))
+        [ 2; 4 ])
+
 let suite =
   [
     Alcotest.test_case "parallel_for covers range" `Quick
@@ -287,4 +329,6 @@ let suite =
       test_force_field_bitwise;
     Alcotest.test_case "placer trajectory bitwise across domains" `Slow
       test_placer_trajectory_bitwise;
+    Alcotest.test_case "telemetry trace bitwise across domains" `Slow
+      test_telemetry_trace_bitwise;
   ]
