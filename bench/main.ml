@@ -623,6 +623,8 @@ let write_kernels_json path rows =
       ("spmv_pool", ratio "kernels/spmv-seq-primary1" "kernels/spmv-pool-primary1");
       ( "fft_kernel_cache",
         ratio "kernels/poisson-fft-48-cold" "kernels/poisson-fft-48-warm" );
+      ( "qp_refill",
+        ratio "kernels/qp-assemble-primary1" "kernels/qp-refill-primary1" );
     ]
   in
   let ns = List.length speedups in
@@ -695,6 +697,17 @@ let micro_run () =
         (Staged.stage (fun () ->
              Qp.System.build circuit ~placement:placed ~net_weights:weights
                ~edge_scale:Qp.Weights.quadratic ()));
+      Test.make ~name:"qp-refill-primary1"
+        (Staged.stage
+           (let asm = Qp.System.assembly circuit () in
+            (* First rebuild compiles the pattern; the measured steady
+               state is the per-iteration numeric refill. *)
+            ignore
+              (Qp.System.rebuild asm ~placement:placed ~net_weights:weights
+                 ~edge_scale:Qp.Weights.quadratic ());
+            fun () ->
+              Qp.System.rebuild asm ~placement:placed ~net_weights:weights
+                ~edge_scale:Qp.Weights.quadratic ()));
       Test.make ~name:"qp-solve-primary1"
         (Staged.stage (fun () ->
              Qp.System.solve system

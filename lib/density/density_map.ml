@@ -47,8 +47,27 @@ let demand (c : Netlist.Circuit.t) p ~nx ~ny =
       cells;
   g
 
-let build c p ~nx ~ny ?extra () =
+(* Overflow of a raw demand grid (bin areas, before extra / balancing) —
+   the same fold {!overflow_ratio} performs on the occupancy grid, with
+   the per-bin division done inline so no second splat pass is needed. *)
+let overflow_of_demand c g =
+  let movable = Netlist.Circuit.movable_area c in
+  if movable <= 0. then 0.
+  else begin
+    let bin_area = Geometry.Grid2.dx g *. Geometry.Grid2.dy g in
+    let over =
+      Array.fold_left
+        (fun acc v ->
+          let u = v /. bin_area in
+          if u > 1. then acc +. ((u -. 1.) *. bin_area) else acc)
+        0. (Geometry.Grid2.values g)
+    in
+    over /. movable
+  end
+
+let build_with_overflow c p ~nx ~ny ?extra () =
   let g = demand c p ~nx ~ny in
+  let overflow = overflow_of_demand c g in
   (match extra with
   | None -> ()
   | Some e ->
@@ -65,7 +84,9 @@ let build c p ~nx ~ny ?extra () =
   let s = total_demand /. (bin_area *. float_of_int (nx * ny)) in
   (* Convert per-bin area into per-unit-area density and subtract s. *)
   Geometry.Grid2.map_inplace (fun _ _ v -> (v /. bin_area) -. s) g;
-  g
+  (g, overflow)
+
+let build c p ~nx ~ny ?extra () = fst (build_with_overflow c p ~nx ~ny ?extra ())
 
 let occupancy c p ~nx ~ny =
   let g = demand c p ~nx ~ny in

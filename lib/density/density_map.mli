@@ -28,6 +28,21 @@ val build :
   unit ->
   Geometry.Grid2.t
 
+(** [build_with_overflow circuit placement ~nx ~ny ?extra ()] is
+    {!build} returning additionally the {!overflow_ratio} of the same
+    demand splat (computed before [extra] and supply balancing,
+    bitwise-equal to a separate [overflow_ratio] call on the same grid)
+    — the per-iteration convergence signal, for free instead of a
+    second splat pass. *)
+val build_with_overflow :
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  nx:int ->
+  ny:int ->
+  ?extra:Geometry.Grid2.t ->
+  unit ->
+  Geometry.Grid2.t * float
+
 (** [occupancy circuit placement ~nx ~ny] is just the demand term —
     fraction of each bin covered by cells — used by the stopping
     criterion. *)

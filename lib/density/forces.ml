@@ -5,6 +5,7 @@ type t = {
   fy : float array;
   scale : float;
   raw_max : float;
+  overflow : float;
 }
 
 let field_of_grid ?(solver = Fft) grid =
@@ -20,7 +21,7 @@ let field_of_grid ?(solver = Fft) grid =
 
 let at_cells (c : Netlist.Circuit.t) (p : Netlist.Placement.t) ~var_of_cell
     ~n_movable ~k_param ?solver ?extra ~nx ~ny () =
-  let grid = Density_map.build c p ~nx ~ny ?extra () in
+  let grid, overflow = Density_map.build_with_overflow c p ~nx ~ny ?extra () in
   let field = field_of_grid ?solver grid in
   (* Wrap the field components in sampling grids for bilinear reads. *)
   let region = c.Netlist.Circuit.region in
@@ -67,4 +68,4 @@ let at_cells (c : Netlist.Circuit.t) (p : Netlist.Placement.t) ~var_of_cell
     fx.(v) <- -.(scale *. fx.(v));
     fy.(v) <- -.(scale *. fy.(v))
   done;
-  { fx; fy; scale; raw_max }
+  { fx; fy; scale; raw_max; overflow }

@@ -17,6 +17,10 @@ type t = {
   fy : float array;
   scale : float;  (** the proportionality constant k actually applied *)
   raw_max : float;  (** largest unscaled |f| over cells *)
+  overflow : float;
+      (** {!Density_map.overflow_ratio} of the demand splat this field
+          was built from — reused by the placer for the adaptive CG
+          tolerance and telemetry without a second splat *)
 }
 
 (** [at_cells circuit placement ~var_of_cell ~n_movable ~k_param ?solver

@@ -11,6 +11,8 @@ type t = {
   solver : Density.Forces.solver;
   net_model : Qp.System.net_model;
   domains : int option;
+  cg_tol : float;
+  cg_tol_loose : float;
 }
 
 let standard =
@@ -27,6 +29,8 @@ let standard =
     solver = Density.Forces.Fft;
     net_model = Qp.System.Clique;
     domains = None;
+    cg_tol = 1e-8;
+    cg_tol_loose = 1e-5;
   }
 
 let fast = { standard with k_param = 0.2; max_iterations = 80 }

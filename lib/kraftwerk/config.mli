@@ -39,6 +39,17 @@ type t = {
           are bitwise-reproducible at any setting, but [1] also takes
           the historical single-core code paths).  Applied by
           {!Placer.init} via {!Numeric.Parallel.set_num_domains}. *)
+  cg_tol : float;
+      (** tight relative CG tolerance used once the placement has nearly
+          converged (default 1e-8) *)
+  cg_tol_loose : float;
+      (** loose relative CG tolerance while density overflow is still
+          high (default 1e-5).  Each transformation solves to
+          [max cg_tol (min cg_tol_loose (cg_tol_loose · overflow²))] —
+          early transformations are dominated by the still-moving
+          density forces, so solving them to 1e-8 buys nothing; the
+          tolerance tightens quadratically as the overflow falls.
+          Set equal to [cg_tol] to disable the schedule. *)
 }
 
 (** [standard] is the configuration behind the Table-1 "Our Approach"

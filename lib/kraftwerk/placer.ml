@@ -7,6 +7,7 @@ type state = {
   ex : float array;
   ey : float array;
   net_weights : float array;
+  assembly : Qp.System.assembly;
   mutable iteration : int;
 }
 
@@ -45,6 +46,9 @@ let init config circuit placement =
     ex = Array.make n_movable 0.;
     ey = Array.make n_movable 0.;
     net_weights = Array.make (Netlist.Circuit.num_nets circuit) 1.;
+    assembly =
+      Qp.System.assembly circuit ~clique_cap:config.Config.clique_cap
+        ~model:config.Config.net_model ();
     iteration = 0;
   }
 
@@ -101,14 +105,15 @@ let transform ?(hooks = no_hooks) state =
   (* Assemble first: linearised weights depend on the current placement,
      and the mean edge weight defines the "unit net" the force scaling
      of §4.1 refers to. *)
+  let reused0, _ = Qp.System.assembly_stats state.assembly in
   let system =
     timed "assemble" (fun () ->
-        Qp.System.build state.circuit ~placement:state.placement
+        Qp.System.rebuild state.assembly ~placement:state.placement
           ~net_weights:state.net_weights ~edge_scale:(edge_scale state)
-          ~clique_cap:cfg.Config.clique_cap
           ~anchor_weight:cfg.Config.anchor_weight ~hold:cfg.Config.hold_weight
-          ~model:cfg.Config.net_model ())
+          ())
   in
+  let reused1, pattern_rebuilds = Qp.System.assembly_stats state.assembly in
   let extra =
     match hooks.extra_density with
     | Some f -> f state.circuit state.placement ~nx ~ny
@@ -129,9 +134,20 @@ let transform ?(hooks = no_hooks) state =
     state.ey.(v) <-
       (beta *. state.ey.(v)) +. (ref_weight *. forces.Density.Forces.fy.(v))
   done;
+  (* Adaptive CG tolerance: while the density overflow is high the
+     solution target is still moving, so a loose solve is enough; the
+     tolerance tightens quadratically with the overflow down to cg_tol.
+     The overflow signal is the one the density phase already computed
+     from its demand splat. *)
+  let tol =
+    Float.max cfg.Config.cg_tol
+      (Float.min cfg.Config.cg_tol_loose
+         (cfg.Config.cg_tol_loose
+         *. forces.Density.Forces.overflow *. forces.Density.Forces.overflow))
+  in
   let sx, sy =
     timed "solve" (fun () ->
-        Qp.System.solve system ~placement:state.placement ~ex:state.ex
+        Qp.System.solve ~tol system ~placement:state.placement ~ex:state.ex
           ~ey:state.ey)
   in
   Netlist.Placement.clamp_to_region state.circuit state.placement;
@@ -178,6 +194,9 @@ let transform ?(hooks = no_hooks) state =
         cg_residual_y = sy.Numeric.Cg.residual;
         kernel_cache_hits = cache_hits1 - cache_hits0;
         kernel_cache_misses = cache_misses1 - cache_misses0;
+        assembly_reused = reused1 > reused0;
+        pattern_rebuilds;
+        cg_tolerance = tol;
         domains = Numeric.Parallel.num_domains ();
         pool_tasks = int_of_float (pool_tasks1 -. pool_tasks0);
         phases = List.rev !phases;

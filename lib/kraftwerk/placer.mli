@@ -15,6 +15,9 @@ type state = {
   ex : float array;  (** accumulated additional x-forces, by variable *)
   ey : float array;
   net_weights : float array;  (** mutable contents, indexed by net id *)
+  assembly : Qp.System.assembly;
+      (** cached QP assembly (symbolic sparsity pattern, scratch and
+          preconditioner storage) reused by every transformation *)
   mutable iteration : int;
 }
 
@@ -47,8 +50,10 @@ val init : Config.t -> Netlist.Circuit.t -> Netlist.Placement.t -> state
 
 (** [transform ?hooks state] performs one placement transformation
     (§4.1): determine the density forces at the current placement, add
-    them to ~e, rebuild the (possibly linearised) system and solve
-    eq. (3) holding ~e constant.
+    them to ~e, rebuild the (possibly linearised) system through the
+    cached assembly and solve eq. (3) holding ~e constant.  The CG
+    tolerance follows the adaptive schedule of {!Config.t.cg_tol_loose}
+    driven by the density overflow.
 
     When an {!Obs.Sink} is installed, each transformation additionally
     emits an {!Obs.Telemetry.iteration} record (HPWL, quadratic wire

@@ -13,6 +13,20 @@ let inv_diagonal a =
   done;
   d
 
+(* Allocation-free variant for cached-assembly callers: writes into
+   [out] and reports validity instead of raising, so an assembly can be
+   built eagerly and the error surfaced only if someone solves it. *)
+let inv_diagonal_into a out =
+  let n = Sparse.dim a in
+  if Array.length out <> n then
+    invalid_arg "Cg.inv_diagonal_into: length mismatch";
+  Sparse.diagonal_into a out;
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if out.(i) <= 0. then ok := false else out.(i) <- 1. /. out.(i)
+  done;
+  !ok
+
 let solve ?(tol = 1e-8) ?max_iter ?x0 ?inv_diag a b =
   let n = Sparse.dim a in
   assert (Array.length b = n);

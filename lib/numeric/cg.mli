@@ -16,6 +16,14 @@ type stats = {
     non-positive. *)
 val inv_diagonal : Sparse.t -> float array
 
+(** [inv_diagonal_into a out] writes the inverted diagonal into [out]
+    (length [dim a]) and returns whether every diagonal entry was
+    positive.  On [false] the contents of [out] are unusable; callers
+    surface the error at solve time — this lets a cached assembly
+    compute its preconditioner eagerly without turning an unsolved
+    singular system into a build-time failure. *)
+val inv_diagonal_into : Sparse.t -> float array -> bool
+
 (** [solve ?tol ?max_iter ?x0 ?inv_diag a b] solves [a x = b] with Jacobi
     (diagonal) preconditioning and returns the solution with its {!stats}.
 

@@ -43,6 +43,8 @@ let add_sym b i j v =
   add b i j v;
   if i <> j then add b j i v
 
+let clear b = b.len <- 0
+
 let add_diag b i v = add b i i v
 
 let finalize b =
@@ -110,6 +112,177 @@ let finalize b =
     value = Array.sub out_val 0 !w;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Symbolic/numeric split: a [pattern] freezes the CSR structure and the
+   triplet→slot permutation of one builder state so later assemblies
+   with the same (i, j) stream skip the sort-and-dedup entirely and
+   only scatter values ([refill]). *)
+
+type pattern = {
+  pn : int;
+  p_len : int; (* triplet count the pattern was compiled from *)
+  p_bi : int array; (* the (i, j) stream, for match checks *)
+  p_bj : int array;
+  p_row_start : int array; (* merged CSR structure, length pn + 1 *)
+  p_col : int array;
+  (* Triplets grouped by row (segment [tri_start.(i), tri_start.(i+1))),
+     stably sorted by column within each row — the exact accumulation
+     order [finalize] uses, so refill sums are bitwise-identical. *)
+  tri_start : int array;
+  tri_slot : int array; (* row-grouped position -> merged value slot *)
+  tri_of : int array; (* row-grouped position -> original triplet index *)
+  p_values : float array; (* cached numeric storage, rewritten by refill *)
+}
+
+(* Zero a row's slots and re-accumulate its triplets in the frozen
+   order.  Rows touch disjoint slots and disjoint triplet segments, so
+   row-chunking across the pool is race-free and, because each row keeps
+   its sequential accumulation order, bitwise-deterministic for any
+   domain count. *)
+let refill_rows pat bv r0 r1 =
+  for i = r0 to r1 - 1 do
+    for s = pat.p_row_start.(i) to pat.p_row_start.(i + 1) - 1 do
+      pat.p_values.(s) <- 0.
+    done;
+    for p = pat.tri_start.(i) to pat.tri_start.(i + 1) - 1 do
+      let s = pat.tri_slot.(p) in
+      pat.p_values.(s) <- pat.p_values.(s) +. bv.(pat.tri_of.(p))
+    done
+  done
+
+let refill_par_threshold = 512
+
+(* [finalize] drops merged entries that sum to exactly zero; the frozen
+   structure cannot, so on the (rare) cancellation we compact into a
+   fresh CSR to stay bitwise-identical to a from-scratch finalize. *)
+let compact_zeros pat =
+  let n = pat.pn in
+  let keep = ref 0 in
+  Array.iter (fun v -> if v <> 0. then incr keep) pat.p_values;
+  let row_start = Array.make (n + 1) 0 in
+  let col = Array.make !keep 0 in
+  let value = Array.make !keep 0. in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    row_start.(i) <- !w;
+    for s = pat.p_row_start.(i) to pat.p_row_start.(i + 1) - 1 do
+      if pat.p_values.(s) <> 0. then begin
+        col.(!w) <- pat.p_col.(s);
+        value.(!w) <- pat.p_values.(s);
+        incr w
+      end
+    done
+  done;
+  row_start.(n) <- !w;
+  { n; row_start; col; value }
+
+let pattern_matrix pat =
+  {
+    n = pat.pn;
+    row_start = pat.p_row_start;
+    col = pat.p_col;
+    value = pat.p_values;
+  }
+
+let refill pat b =
+  if b.bn <> pat.pn || b.len <> pat.p_len then
+    invalid_arg "Sparse.refill: builder does not match pattern";
+  if pat.pn >= refill_par_threshold && Parallel.num_domains () > 1 then
+    Parallel.parallel_range
+      ~chunk:(max 128 (pat.pn / (4 * Parallel.num_domains ())))
+      ~lo:0 ~hi:pat.pn
+      (fun r0 r1 -> refill_rows pat b.bv r0 r1)
+  else refill_rows pat b.bv 0 pat.pn;
+  if Array.exists (fun v -> v = 0.) pat.p_values then compact_zeros pat
+  else pattern_matrix pat
+
+let pattern_matches pat b =
+  b.bn = pat.pn && b.len = pat.p_len
+  &&
+  let ok = ref true in
+  let k = ref 0 in
+  while !ok && !k < b.len do
+    if b.bi.(!k) <> pat.p_bi.(!k) || b.bj.(!k) <> pat.p_bj.(!k) then ok := false;
+    incr k
+  done;
+  !ok
+
+let compile b =
+  let n = b.bn in
+  let len = b.len in
+  (* Count per row, prefix-sum, then scatter triplet indices by row in
+     triplet order — same first pass as [finalize], structure only. *)
+  let tri_start = Array.make (n + 1) 0 in
+  for k = 0 to len - 1 do
+    tri_start.(b.bi.(k) + 1) <- tri_start.(b.bi.(k) + 1) + 1
+  done;
+  for i = 1 to n do
+    tri_start.(i) <- tri_start.(i) + tri_start.(i - 1)
+  done;
+  let cursor = Array.copy tri_start in
+  let tcol = Array.make len 0 in
+  let tof = Array.make len 0 in
+  for k = 0 to len - 1 do
+    let i = b.bi.(k) in
+    let p = cursor.(i) in
+    tcol.(p) <- b.bj.(k);
+    tof.(p) <- k;
+    cursor.(i) <- p + 1
+  done;
+  (* Stable insertion sort per row by column: equal columns keep triplet
+     order, which fixes the accumulation order refill replays. *)
+  for i = 0 to n - 1 do
+    let lo = tri_start.(i) and hi = tri_start.(i + 1) in
+    for p = lo + 1 to hi - 1 do
+      let c = tcol.(p) and k = tof.(p) in
+      let q = ref p in
+      while !q > lo && tcol.(!q - 1) > c do
+        tcol.(!q) <- tcol.(!q - 1);
+        tof.(!q) <- tof.(!q - 1);
+        decr q
+      done;
+      tcol.(!q) <- c;
+      tof.(!q) <- k
+    done
+  done;
+  (* Merge runs of equal columns into slots. *)
+  let row_start = Array.make (n + 1) 0 in
+  let tri_slot = Array.make len 0 in
+  let col_buf = Array.make len 0 in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    row_start.(i) <- !w;
+    let hi = tri_start.(i + 1) in
+    let p = ref tri_start.(i) in
+    while !p < hi do
+      let c = tcol.(!p) in
+      col_buf.(!w) <- c;
+      while !p < hi && tcol.(!p) = c do
+        tri_slot.(!p) <- !w;
+        incr p
+      done;
+      incr w
+    done
+  done;
+  row_start.(n) <- !w;
+  let pat =
+    {
+      pn = n;
+      p_len = len;
+      p_bi = Array.sub b.bi 0 len;
+      p_bj = Array.sub b.bj 0 len;
+      p_row_start = row_start;
+      p_col = Array.sub col_buf 0 !w;
+      tri_start;
+      tri_slot;
+      tri_of = tof;
+      p_values = Array.make !w 0.;
+    }
+  in
+  (pat, refill pat b)
+
+let pattern_nnz pat = Array.length pat.p_col
+
 let dim m = m.n
 
 let nnz m = Array.length m.col
@@ -142,13 +315,19 @@ let mul m x y =
       (fun r0 r1 -> mul_rows m x y r0 r1)
   else mul_rows m x y 0 m.n
 
-let diagonal m =
-  let d = Array.make m.n 0. in
+let diagonal_into m d =
+  if Array.length d <> m.n then
+    invalid_arg "Sparse.diagonal_into: length mismatch";
   for i = 0 to m.n - 1 do
+    d.(i) <- 0.;
     for p = m.row_start.(i) to m.row_start.(i + 1) - 1 do
       if m.col.(p) = i then d.(i) <- m.value.(p)
     done
-  done;
+  done
+
+let diagonal m =
+  let d = Array.make m.n 0. in
+  diagonal_into m d;
   d
 
 let entry m i j =

@@ -28,9 +28,48 @@ val add_sym : builder -> int -> int -> float -> unit
 (** [add_diag b i v] adds [v] to the diagonal entry (i, i). *)
 val add_diag : builder -> int -> float -> unit
 
+(** [clear b] empties the builder (capacity is kept), ready for the next
+    assembly pass over the same structure. *)
+val clear : builder -> unit
+
 (** [finalize b] sums duplicates, drops explicit zeros and freezes the
     builder into CSR form.  The builder may be reused afterwards. *)
 val finalize : builder -> t
+
+(** Frozen symbolic structure of one builder state: the merged CSR
+    sparsity pattern plus the triplet→slot permutation (in {!finalize}'s
+    exact accumulation order).  The clique-model placement matrix keeps
+    the same pattern across every Kraftwerk transformation — only the
+    values change — so the sort-and-dedup of {!finalize} is paid once
+    and each later iteration runs the O(nnz) {!refill} instead. *)
+type pattern
+
+(** [compile b] performs one finalize-equivalent pass, returning the
+    frozen pattern together with the assembled matrix.  The matrix is
+    bitwise-identical to [finalize b]. *)
+val compile : builder -> pattern * t
+
+(** [refill pat b] scatters the builder's value stream through the
+    cached permutation into the pattern's value storage, row-chunked
+    across the {!Parallel} domain pool with per-row sequential
+    accumulation — bitwise-identical to [finalize b] for any domain
+    count (including the rare exact-zero cancellation, which compacts).
+
+    The returned matrix {e aliases} the pattern's storage: it is
+    invalidated by the next [refill] on the same pattern.  The builder
+    must carry the same (i, j) triplet sequence the pattern was compiled
+    from; only the lengths are checked here — callers verify structure
+    with {!pattern_matches} when it can drift.  Raises
+    [Invalid_argument] on a length/dimension mismatch. *)
+val refill : pattern -> builder -> t
+
+(** [pattern_matches pat b] is true when the builder holds exactly the
+    (i, j) triplet sequence the pattern was compiled from (values are
+    free).  O(len) integer comparisons. *)
+val pattern_matches : pattern -> builder -> bool
+
+(** [pattern_nnz pat] is the merged slot count (explicit zeros kept). *)
+val pattern_nnz : pattern -> int
 
 (** [dim m] is the row (= column) count. *)
 val dim : t -> int
@@ -52,6 +91,10 @@ val mul_seq : t -> float array -> float array -> unit
 (** [diagonal m] is a fresh array of the diagonal entries (zero where the
     diagonal is not stored). *)
 val diagonal : t -> float array
+
+(** [diagonal_into m d] writes the diagonal into [d] (length {!dim}) —
+    the allocation-free {!diagonal} for cached-assembly callers. *)
+val diagonal_into : t -> float array -> unit
 
 (** [entry m i j] is the stored value at (i, j), or [0.] if absent.
     Linear in the number of entries of row [i]; intended for tests. *)

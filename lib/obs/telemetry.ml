@@ -14,6 +14,9 @@ type iteration = {
   cg_residual_y : float;
   kernel_cache_hits : int;
   kernel_cache_misses : int;
+  assembly_reused : bool;
+  pattern_rebuilds : int;
+  cg_tolerance : float;
   domains : int;
   pool_tasks : int;
   phases : (string * float) list;
@@ -28,7 +31,11 @@ type summary = {
   counters : (string * Stat.t) list;
 }
 
-let schema_version = 1
+(* v2 added assembly_reused / pattern_rebuilds / cg_tolerance (cached QP
+   assembly).  v1 records are still parsed: the placer then rebuilt the
+   system from scratch every transformation at the fixed 1e-8 tolerance,
+   which is exactly what the v1 defaults below say. *)
+let schema_version = 2
 
 let volatile_fields = [ "phases"; "domains"; "pool_tasks"; "wall_time"; "counters" ]
 
@@ -64,6 +71,9 @@ let iteration_to_json r =
       ("cg_residual_y", num r.cg_residual_y);
       ("kernel_cache_hits", int_ r.kernel_cache_hits);
       ("kernel_cache_misses", int_ r.kernel_cache_misses);
+      ("assembly_reused", Json.Bool r.assembly_reused);
+      ("pattern_rebuilds", int_ r.pattern_rebuilds);
+      ("cg_tolerance", num r.cg_tolerance);
       ("domains", int_ r.domains);
       ("pool_tasks", int_ r.pool_tasks);
       ("phases", Json.Obj (List.map (fun (k, v) -> (k, num v)) r.phases));
@@ -118,7 +128,7 @@ let iteration_of_json obj =
   if kind <> "iteration" then Error ("not an iteration record: " ^ kind)
   else
     let* schema = field_int obj "schema" in
-    if schema <> schema_version then
+    if schema <> schema_version && schema <> 1 then
       Error (Printf.sprintf "unsupported schema version %d" schema)
     else
       let* step = field_int obj "step" in
@@ -136,6 +146,21 @@ let iteration_of_json obj =
       let* cg_residual_y = field_num obj "cg_residual_y" in
       let* kernel_cache_hits = field_int obj "kernel_cache_hits" in
       let* kernel_cache_misses = field_int obj "kernel_cache_misses" in
+      (* v1-compat: records predate the cached assembly. *)
+      let* assembly_reused =
+        if schema = 1 then Ok false
+        else
+          match Json.member "assembly_reused" obj with
+          | Some (Json.Bool b) -> Ok b
+          | Some _ -> Error "field \"assembly_reused\" is not a bool"
+          | None -> Error "missing field \"assembly_reused\""
+      in
+      let* pattern_rebuilds =
+        if schema = 1 then Ok 0 else field_int obj "pattern_rebuilds"
+      in
+      let* cg_tolerance =
+        if schema = 1 then Ok 1e-8 else field_num obj "cg_tolerance"
+      in
       let* domains = field_int obj "domains" in
       let* pool_tasks = field_int obj "pool_tasks" in
       let* phases =
@@ -169,6 +194,9 @@ let iteration_of_json obj =
           cg_residual_y;
           kernel_cache_hits;
           kernel_cache_misses;
+          assembly_reused;
+          pattern_rebuilds;
+          cg_tolerance;
           domains;
           pool_tasks;
           phases;

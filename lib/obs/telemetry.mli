@@ -26,6 +26,16 @@ type iteration = {
   cg_residual_y : float;
   kernel_cache_hits : int;  (** Poisson kernel-spectrum cache, this iteration *)
   kernel_cache_misses : int;
+  assembly_reused : bool;
+      (** this transformation refilled every cached sparsity pattern
+          instead of recompiling (schema ≥ 2) *)
+  pattern_rebuilds : int;
+      (** cumulative symbolic recompiles of the QP assembly so far,
+          including the initial compile (schema ≥ 2) *)
+  cg_tolerance : float;
+      (** relative CG tolerance the solves used this transformation —
+          the adaptive schedule loosens it while overflow is high
+          (schema ≥ 2) *)
   domains : int;  (** domain-pool size (volatile) *)
   pool_tasks : int;  (** pool tasks executed this iteration (volatile) *)
   phases : (string * float) list;  (** phase → seconds (volatile) *)
@@ -41,7 +51,10 @@ type summary = {
 }
 
 (** Version stamped into every record as ["schema"]; bump on any field
-    change. *)
+    change.  {!iteration_of_json} also accepts v1 records (pre-dating
+    the cached QP assembly), filling the new fields with the values the
+    v1 placer actually had: no reuse, zero rebuild count, fixed 1e-8
+    tolerance. *)
 val schema_version : int
 
 (** Fields excluded from determinism comparisons: timings and

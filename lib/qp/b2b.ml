@@ -4,15 +4,15 @@ type edge = {
   weight : float;
 }
 
-let edges ~coord (net : Netlist.Net.t) =
+let iter_edges ~coord (net : Netlist.Net.t) f =
   let pins = net.Netlist.Net.pins in
   let k = Array.length pins in
   if k = 2 then
     (* Two pins: the general weight 2/((k−1)·span) = 2/span, making the
        objective 2·span like every other degree (the model is uniformly
        twice the half perimeter at the linearisation point). *)
-    [ { pin_a = pins.(0); pin_b = pins.(1);
-        weight = 2. /. Float.max 1e-6 (Float.abs (coord pins.(0) -. coord pins.(1))) } ]
+    f pins.(0) pins.(1)
+      (2. /. Float.max 1e-6 (Float.abs (coord pins.(0) -. coord pins.(1))))
   else begin
     (* Find the boundary pins on this axis. *)
     let min_i = ref 0 and max_i = ref 0 in
@@ -24,27 +24,26 @@ let edges ~coord (net : Netlist.Net.t) =
     let span = coord pins.(!max_i) -. coord pins.(!min_i) in
     if span < 1e-6 then
       (* Degenerate: all pins coincide on this axis — clique fallback. *)
-      Model.edges net
-      |> List.map (fun (e : Model.edge) ->
-             { pin_a = e.Model.pin_a; pin_b = e.Model.pin_b; weight = e.Model.weight })
+      Model.iter_edges net f
     else begin
       let w_of a b =
         2. /. (float_of_int (k - 1) *. Float.max 1e-6 (Float.abs (coord a -. coord b)))
       in
-      let acc = ref [] in
       (* Boundary-to-boundary edge once, plus every interior pin to both
          boundaries. *)
-      acc :=
-        { pin_a = pins.(!min_i); pin_b = pins.(!max_i);
-          weight = w_of pins.(!min_i) pins.(!max_i) }
-        :: !acc;
+      f pins.(!min_i) pins.(!max_i) (w_of pins.(!min_i) pins.(!max_i));
       Array.iteri
         (fun i p ->
           if i <> !min_i && i <> !max_i then begin
-            acc := { pin_a = p; pin_b = pins.(!min_i); weight = w_of p pins.(!min_i) } :: !acc;
-            acc := { pin_a = p; pin_b = pins.(!max_i); weight = w_of p pins.(!max_i) } :: !acc
+            f p pins.(!min_i) (w_of p pins.(!min_i));
+            f p pins.(!max_i) (w_of p pins.(!max_i))
           end)
-        pins;
-      !acc
+        pins
     end
   end
+
+let edges ~coord (net : Netlist.Net.t) =
+  let acc = ref [] in
+  iter_edges ~coord net (fun pin_a pin_b weight ->
+      acc := { pin_a; pin_b; weight } :: !acc);
+  List.rev !acc

@@ -15,8 +15,17 @@ type edge = {
   weight : float;
 }
 
-(** [edges ~coord net] expands one net along the axis whose pin
-    coordinate is given by [coord] (absolute pin position).  Degenerate
-    nets (zero span) fall back to clique weights so connectivity is never
-    lost. *)
+(** [iter_edges ~coord net f] expands one net along the axis whose pin
+    coordinate is given by [coord] (absolute pin position), calling
+    [f pin_a pin_b weight] per edge — the allocation-free emission the
+    hot assembly path uses.  Degenerate nets (zero span) fall back to
+    clique weights so connectivity is never lost. *)
+val iter_edges :
+  coord:(Netlist.Net.pin -> float) ->
+  Netlist.Net.t ->
+  (Netlist.Net.pin -> Netlist.Net.pin -> float -> unit) ->
+  unit
+
+(** [edges ~coord net] is {!iter_edges} materialised as a list, in
+    emission order; intended for tests. *)
 val edges : coord:(Netlist.Net.pin -> float) -> Netlist.Net.t -> edge list

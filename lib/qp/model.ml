@@ -6,26 +6,30 @@ type edge = {
 
 let total_weight k = float_of_int (k - 1) /. 2.
 
-let clique_edges pins =
+let iter_clique pins f =
   let k = Array.length pins in
   let w = 1. /. float_of_int k in
-  let acc = ref [] in
   for i = 0 to k - 1 do
     for j = i + 1 to k - 1 do
-      acc := { pin_a = pins.(i); pin_b = pins.(j); weight = w } :: !acc
+      f pins.(i) pins.(j) w
     done
-  done;
-  !acc
+  done
 
-let sampled_edges rng pins =
+let iter_sampled rng pins f =
   let k = Array.length pins in
   (* Cycle through all pins guarantees connectivity; add k random chords
      for stiffness diversity.  Duplicate chords are harmless (weights
-     sum). *)
+     sum).  The edge weight needs the final count, so buffer the index
+     pairs (at most 2k of them) before emitting. *)
   let order = Array.init k Fun.id in
   Numeric.Rng.shuffle rng order;
-  let edges = ref [] in
-  let add i j = edges := (i, j) :: !edges in
+  let ia = Array.make (2 * k) 0 and ib = Array.make (2 * k) 0 in
+  let m = ref 0 in
+  let add i j =
+    ia.(!m) <- i;
+    ib.(!m) <- j;
+    incr m
+  in
   for i = 0 to k - 1 do
     add order.(i) order.((i + 1) mod k)
   done;
@@ -34,18 +38,25 @@ let sampled_edges rng pins =
     let j = Numeric.Rng.int rng k in
     if i <> j then add i j
   done;
-  let m = List.length !edges in
-  let w = total_weight k /. float_of_int m in
-  List.map (fun (i, j) -> { pin_a = pins.(i); pin_b = pins.(j); weight = w }) !edges
+  let w = total_weight k /. float_of_int !m in
+  for p = 0 to !m - 1 do
+    f pins.(ia.(p)) pins.(ib.(p)) w
+  done
 
-let edges ?(cap = 16) ?rng (net : Netlist.Net.t) =
+let iter_edges ?(cap = 16) ?rng (net : Netlist.Net.t) f =
   let pins = net.Netlist.Net.pins in
-  if Array.length pins <= cap then clique_edges pins
+  if Array.length pins <= cap then iter_clique pins f
   else begin
     let rng =
       match rng with
       | Some r -> r
       | None -> Numeric.Rng.create (net.Netlist.Net.id + 7919)
     in
-    sampled_edges rng pins
+    iter_sampled rng pins f
   end
+
+let edges ?cap ?rng (net : Netlist.Net.t) =
+  let acc = ref [] in
+  iter_edges ?cap ?rng net (fun pin_a pin_b weight ->
+      acc := { pin_a; pin_b; weight } :: !acc);
+  List.rev !acc

@@ -14,10 +14,21 @@ type edge = {
   weight : float;
 }
 
-(** [edges ?cap ?rng net] expands a net.  [cap] (default 16) is the
-    maximum degree fully expanded as a clique; beyond it, the sampled
-    subgraph is used and [rng] (default a fixed seed) drives the chord
-    sampling. *)
+(** [iter_edges ?cap ?rng net f] expands a net, calling [f pin_a pin_b
+    weight] per edge — the allocation-free emission the hot assembly
+    path uses (edge lists were built and immediately consumed there,
+    pure GC churn).  [cap] (default 16) is the maximum degree fully
+    expanded as a clique; beyond it, the sampled subgraph is used and
+    [rng] (default a fixed seed) drives the chord sampling. *)
+val iter_edges :
+  ?cap:int ->
+  ?rng:Numeric.Rng.t ->
+  Netlist.Net.t ->
+  (Netlist.Net.pin -> Netlist.Net.pin -> float -> unit) ->
+  unit
+
+(** [edges ?cap ?rng net] is {!iter_edges} materialised as a list, in
+    emission order; intended for tests and one-off consumers. *)
 val edges : ?cap:int -> ?rng:Numeric.Rng.t -> Netlist.Net.t -> edge list
 
 (** [total_weight k] is the clique total (k−1)/2 that both expansions

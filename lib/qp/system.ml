@@ -8,11 +8,12 @@ type t = {
   dx : float array; (* constant term of the x system *)
   dy : float array;
   mean_edge_weight : float;
-  (* Jacobi preconditioners, computed once per assembly and shared by
-     every solve against this system (hooks re-solve; lazy so building a
-     system that is never solved stays cheap and error-free). *)
-  inv_dx : float array Lazy.t;
-  inv_dy : float array Lazy.t;
+  (* Jacobi preconditioners, owned by the assembly and computed in the
+     numeric phase (plain arrays — Lazy is not domain-safe).  [None]
+     marks a non-positive diagonal; the error surfaces at solve time so
+     building a never-solved singular system stays error-free. *)
+  inv_dx : float array option;
+  inv_dy : float array option;
 }
 
 type net_model = Clique | Bound2bound
@@ -30,116 +31,214 @@ let index_map (c : Netlist.Circuit.t) =
     c.Netlist.Circuit.cells;
   (var_of_cell, !count)
 
-(* Assembly state for one axis. *)
-type axis_builder = {
-  b : Numeric.Sparse.builder;
-  d : float array;
+(* One matrix side of a cached assembly: triplet builder, incident-weight
+   scratch, and the frozen symbolic pattern from the previous pass. *)
+type axis = {
+  ab : Numeric.Sparse.builder;
   incident : float array;
+  mutable pat : Numeric.Sparse.pattern option;
   mutable total_w : float;
   mutable n_edges : int;
 }
 
-let axis_builder n =
+type assembly = {
+  a_circuit : Netlist.Circuit.t;
+  a_model : net_model;
+  a_cap : int;
+  a_var_of_cell : int array;
+  a_cell_of_var : int array;
+  a_n : int;
+  axx : axis; (* the only matrix under Clique — the axes share C *)
+  axy : axis option; (* Some only under Bound2bound *)
+  adx : float array; (* d-vector scratch, aliased by the emitted {!t} *)
+  ady : float array;
+  inv_x : float array; (* preconditioner storage *)
+  inv_y : float array; (* == inv_x under Clique *)
+  mutable reused : int;
+  mutable pattern_rebuilds : int;
+}
+
+let make_axis n =
   {
-    b = Numeric.Sparse.builder n;
-    d = Array.make n 0.;
+    ab = Numeric.Sparse.builder n;
     incident = Array.make n 0.;
+    pat = None;
     total_w = 0.;
     n_edges = 0;
   }
+
+let assembly (c : Netlist.Circuit.t) ?(clique_cap = 16) ?(model = Clique) () =
+  let var_of_cell, n = index_map c in
+  let cell_of_var = Array.make (max 1 n) 0 in
+  Array.iteri (fun id v -> if v >= 0 then cell_of_var.(v) <- id) var_of_cell;
+  let inv_x = Array.make n 0. in
+  {
+    a_circuit = c;
+    a_model = model;
+    a_cap = clique_cap;
+    a_var_of_cell = var_of_cell;
+    a_cell_of_var = cell_of_var;
+    a_n = n;
+    axx = make_axis n;
+    axy = (match model with Clique -> None | Bound2bound -> Some (make_axis n));
+    adx = Array.make n 0.;
+    ady = Array.make n 0.;
+    inv_x;
+    inv_y = (match model with Clique -> inv_x | Bound2bound -> Array.make n 0.);
+    reused = 0;
+    pattern_rebuilds = 0;
+  }
+
+let assembly_stats asm = (asm.reused, asm.pattern_rebuilds)
+
+let reset_axis a n =
+  Numeric.Sparse.clear a.ab;
+  Array.fill a.incident 0 n 0.;
+  a.total_w <- 0.;
+  a.n_edges <- 0
 
 (* One spring term w · (pa_pos − pb_pos)² along one axis, where pos =
    cell coordinate + pin offset (or an absolute position for fixed
    cells).  Contributions follow the half-gradient convention (the common
    factor 2 is dropped throughout). *)
-let add_axis_edge ab ~var_of_cell ~off_a ~off_b ~abs_a ~abs_b ~cell_a ~cell_b w =
+let add_axis_edge a d ~var_of_cell ~off_a ~off_b ~abs_a ~abs_b ~cell_a ~cell_b w =
   if w > 0. && cell_a <> cell_b then begin
-    ab.total_w <- ab.total_w +. w;
-    ab.n_edges <- ab.n_edges + 1;
+    a.total_w <- a.total_w +. w;
+    a.n_edges <- a.n_edges + 1;
     let va = var_of_cell.(cell_a) and vb = var_of_cell.(cell_b) in
     match (va >= 0, vb >= 0) with
     | true, true ->
-      ab.incident.(va) <- ab.incident.(va) +. w;
-      ab.incident.(vb) <- ab.incident.(vb) +. w;
-      Numeric.Sparse.add_diag ab.b va w;
-      Numeric.Sparse.add_diag ab.b vb w;
-      Numeric.Sparse.add_sym ab.b va vb (-.w);
-      ab.d.(va) <- ab.d.(va) +. (w *. (off_a -. off_b));
-      ab.d.(vb) <- ab.d.(vb) +. (w *. (off_b -. off_a))
+      a.incident.(va) <- a.incident.(va) +. w;
+      a.incident.(vb) <- a.incident.(vb) +. w;
+      Numeric.Sparse.add_diag a.ab va w;
+      Numeric.Sparse.add_diag a.ab vb w;
+      Numeric.Sparse.add_sym a.ab va vb (-.w);
+      d.(va) <- d.(va) +. (w *. (off_a -. off_b));
+      d.(vb) <- d.(vb) +. (w *. (off_b -. off_a))
     | true, false ->
-      ab.incident.(va) <- ab.incident.(va) +. w;
-      Numeric.Sparse.add_diag ab.b va w;
-      ab.d.(va) <- ab.d.(va) +. (w *. (off_a -. abs_b))
+      a.incident.(va) <- a.incident.(va) +. w;
+      Numeric.Sparse.add_diag a.ab va w;
+      d.(va) <- d.(va) +. (w *. (off_a -. abs_b))
     | false, true ->
-      ab.incident.(vb) <- ab.incident.(vb) +. w;
-      Numeric.Sparse.add_diag ab.b vb w;
-      ab.d.(vb) <- ab.d.(vb) +. (w *. (off_b -. abs_a))
+      a.incident.(vb) <- a.incident.(vb) +. w;
+      Numeric.Sparse.add_diag a.ab vb w;
+      d.(vb) <- d.(vb) +. (w *. (off_b -. abs_a))
     | false, false -> ()
   end
 
-let build (c : Netlist.Circuit.t) ~(placement : Netlist.Placement.t)
-    ~net_weights ~edge_scale ?(clique_cap = 16) ?(anchor_weight = 1e-6)
-    ?(hold = 0.) ?hold_at ?(model = Clique) () =
+(* Clique weights are axis-independent, so the matrix term is emitted
+   once into the shared builder and only the constant terms split between
+   the x and y systems — this halves the matrix-assembly work. *)
+let add_shared_edge a dx dy ~var_of_cell ~(pa : Netlist.Net.pin)
+    ~(pb : Netlist.Net.pin) ~abs_xa ~abs_xb ~abs_ya ~abs_yb w =
+  if w > 0. && pa.Netlist.Net.cell <> pb.Netlist.Net.cell then begin
+    a.total_w <- a.total_w +. w;
+    a.n_edges <- a.n_edges + 1;
+    let va = var_of_cell.(pa.Netlist.Net.cell)
+    and vb = var_of_cell.(pb.Netlist.Net.cell) in
+    match (va >= 0, vb >= 0) with
+    | true, true ->
+      a.incident.(va) <- a.incident.(va) +. w;
+      a.incident.(vb) <- a.incident.(vb) +. w;
+      Numeric.Sparse.add_diag a.ab va w;
+      Numeric.Sparse.add_diag a.ab vb w;
+      Numeric.Sparse.add_sym a.ab va vb (-.w);
+      dx.(va) <- dx.(va) +. (w *. (pa.Netlist.Net.dx -. pb.Netlist.Net.dx));
+      dx.(vb) <- dx.(vb) +. (w *. (pb.Netlist.Net.dx -. pa.Netlist.Net.dx));
+      dy.(va) <- dy.(va) +. (w *. (pa.Netlist.Net.dy -. pb.Netlist.Net.dy));
+      dy.(vb) <- dy.(vb) +. (w *. (pb.Netlist.Net.dy -. pa.Netlist.Net.dy))
+    | true, false ->
+      a.incident.(va) <- a.incident.(va) +. w;
+      Numeric.Sparse.add_diag a.ab va w;
+      dx.(va) <- dx.(va) +. (w *. (pa.Netlist.Net.dx -. abs_xb));
+      dy.(va) <- dy.(va) +. (w *. (pa.Netlist.Net.dy -. abs_yb))
+    | false, true ->
+      a.incident.(vb) <- a.incident.(vb) +. w;
+      Numeric.Sparse.add_diag a.ab vb w;
+      dx.(vb) <- dx.(vb) +. (w *. (pb.Netlist.Net.dx -. abs_xa));
+      dy.(vb) <- dy.(vb) +. (w *. (pb.Netlist.Net.dy -. abs_ya))
+    | false, false -> ()
+  end
+
+let rebuild (asm : assembly) ~(placement : Netlist.Placement.t) ~net_weights
+    ~edge_scale ?(anchor_weight = 1e-6) ?(hold = 0.) ?hold_at () =
+  let c = asm.a_circuit in
   if Array.length net_weights <> Netlist.Circuit.num_nets c then
-    invalid_arg "System.build: net_weights length mismatch";
-  let var_of_cell, n_movable = index_map c in
-  let cell_of_var = Array.make (max 1 n_movable) 0 in
-  Array.iteri (fun id v -> if v >= 0 then cell_of_var.(v) <- id) var_of_cell;
-  let px = placement.Netlist.Placement.x and py = placement.Netlist.Placement.y in
-  let abx = axis_builder n_movable and aby = axis_builder n_movable in
+    invalid_arg "System.rebuild: net_weights length mismatch";
+  let n = asm.a_n in
+  let var_of_cell = asm.a_var_of_cell in
+  reset_axis asm.axx n;
+  (match asm.axy with Some a -> reset_axis a n | None -> ());
+  Array.fill asm.adx 0 n 0.;
+  Array.fill asm.ady 0 n 0.;
+  let px = placement.Netlist.Placement.x
+  and py = placement.Netlist.Placement.y in
   let pin_x (p : Netlist.Net.pin) = px.(p.Netlist.Net.cell) +. p.Netlist.Net.dx in
   let pin_y (p : Netlist.Net.pin) = py.(p.Netlist.Net.cell) +. p.Netlist.Net.dy in
-  let emit_both net_w (pa : Netlist.Net.pin) (pb : Netlist.Net.pin) w_raw =
-    let dist =
-      sqrt (((pin_x pa -. pin_x pb) ** 2.) +. ((pin_y pa -. pin_y pb) ** 2.))
+  (match asm.a_model with
+  | Clique ->
+    let emit net_w (pa : Netlist.Net.pin) (pb : Netlist.Net.pin) w_raw =
+      let dist =
+        sqrt (((pin_x pa -. pin_x pb) ** 2.) +. ((pin_y pa -. pin_y pb) ** 2.))
+      in
+      let w = w_raw *. net_w *. edge_scale ~dist in
+      add_shared_edge asm.axx asm.adx asm.ady ~var_of_cell ~pa ~pb
+        ~abs_xa:(pin_x pa) ~abs_xb:(pin_x pb) ~abs_ya:(pin_y pa)
+        ~abs_yb:(pin_y pb) w
     in
-    let w = w_raw *. net_w *. edge_scale ~dist in
-    add_axis_edge abx ~var_of_cell ~off_a:pa.Netlist.Net.dx ~off_b:pb.Netlist.Net.dx
-      ~abs_a:(pin_x pa) ~abs_b:(pin_x pb) ~cell_a:pa.Netlist.Net.cell
-      ~cell_b:pb.Netlist.Net.cell w;
-    add_axis_edge aby ~var_of_cell ~off_a:pa.Netlist.Net.dy ~off_b:pb.Netlist.Net.dy
-      ~abs_a:(pin_y pa) ~abs_b:(pin_y pb) ~cell_a:pa.Netlist.Net.cell
-      ~cell_b:pb.Netlist.Net.cell w
-  in
-  let emit_axis ab ~coord ~off ~abs_pos net_w (e : B2b.edge) =
-    ignore coord;
-    let w = e.B2b.weight *. net_w in
-    add_axis_edge ab ~var_of_cell ~off_a:(off e.B2b.pin_a) ~off_b:(off e.B2b.pin_b)
-      ~abs_a:(abs_pos e.B2b.pin_a) ~abs_b:(abs_pos e.B2b.pin_b)
-      ~cell_a:e.B2b.pin_a.Netlist.Net.cell ~cell_b:e.B2b.pin_b.Netlist.Net.cell w
-  in
-  Array.iter
-    (fun (net : Netlist.Net.t) ->
-      let w = net_weights.(net.Netlist.Net.id) in
-      if w > 0. then
-        match model with
-        | Clique ->
-          List.iter
-            (fun (e : Model.edge) -> emit_both w e.Model.pin_a e.Model.pin_b e.Model.weight)
-            (Model.edges ~cap:clique_cap net)
-        | Bound2bound ->
-          List.iter
-            (emit_axis abx ~coord:pin_x ~off:(fun p -> p.Netlist.Net.dx) ~abs_pos:pin_x w)
-            (B2b.edges ~coord:pin_x net);
-          List.iter
-            (emit_axis aby ~coord:pin_y ~off:(fun p -> p.Netlist.Net.dy) ~abs_pos:pin_y w)
-            (B2b.edges ~coord:pin_y net))
-    c.Netlist.Circuit.nets;
+    Array.iter
+      (fun (net : Netlist.Net.t) ->
+        let w = net_weights.(net.Netlist.Net.id) in
+        if w > 0. then Model.iter_edges ~cap:asm.a_cap net (emit w))
+      c.Netlist.Circuit.nets
+  | Bound2bound ->
+    let ay = match asm.axy with Some a -> a | None -> assert false in
+    Array.iter
+      (fun (net : Netlist.Net.t) ->
+        let net_w = net_weights.(net.Netlist.Net.id) in
+        if net_w > 0. then begin
+          B2b.iter_edges ~coord:pin_x net (fun pa pb w ->
+              add_axis_edge asm.axx asm.adx ~var_of_cell
+                ~off_a:pa.Netlist.Net.dx ~off_b:pb.Netlist.Net.dx
+                ~abs_a:(pin_x pa) ~abs_b:(pin_x pb)
+                ~cell_a:pa.Netlist.Net.cell ~cell_b:pb.Netlist.Net.cell
+                (w *. net_w));
+          B2b.iter_edges ~coord:pin_y net (fun pa pb w ->
+              add_axis_edge ay asm.ady ~var_of_cell
+                ~off_a:pa.Netlist.Net.dy ~off_b:pb.Netlist.Net.dy
+                ~abs_a:(pin_y pa) ~abs_b:(pin_y pb)
+                ~cell_a:pa.Netlist.Net.cell ~cell_b:pb.Netlist.Net.cell
+                (w *. net_w))
+        end)
+      c.Netlist.Circuit.nets);
   (* Anchor springs to the region centre, scaled off the mean edge
      weight so the relative strength is size-independent. *)
-  let total_edges = abx.n_edges + aby.n_edges in
   let mean_w =
-    if total_edges = 0 then 1.
-    else (abx.total_w +. aby.total_w) /. float_of_int total_edges
+    match asm.axy with
+    | None ->
+      if asm.axx.n_edges = 0 then 1.
+      else asm.axx.total_w /. float_of_int asm.axx.n_edges
+    | Some ay ->
+      let ne = asm.axx.n_edges + ay.n_edges in
+      if ne = 0 then 1.
+      else (asm.axx.total_w +. ay.total_w) /. float_of_int ne
   in
   let aw = anchor_weight *. mean_w in
   let cx, cy = Geometry.Rect.center c.Netlist.Circuit.region in
-  for v = 0 to n_movable - 1 do
-    Numeric.Sparse.add_diag abx.b v aw;
-    abx.d.(v) <- abx.d.(v) -. (aw *. cx);
-    Numeric.Sparse.add_diag aby.b v aw;
-    aby.d.(v) <- aby.d.(v) -. (aw *. cy)
-  done;
+  (match asm.axy with
+  | None ->
+    for v = 0 to n - 1 do
+      Numeric.Sparse.add_diag asm.axx.ab v aw;
+      asm.adx.(v) <- asm.adx.(v) -. (aw *. cx);
+      asm.ady.(v) <- asm.ady.(v) -. (aw *. cy)
+    done
+  | Some ay ->
+    for v = 0 to n - 1 do
+      Numeric.Sparse.add_diag asm.axx.ab v aw;
+      asm.adx.(v) <- asm.adx.(v) -. (aw *. cx);
+      Numeric.Sparse.add_diag ay.ab v aw;
+      asm.ady.(v) <- asm.ady.(v) -. (aw *. cy)
+    done);
   (* Hold springs: damp the step by pulling each cell toward where it is
      now, in proportion to its own connectivity stiffness. *)
   if hold > 0. then begin
@@ -149,30 +248,81 @@ let build (c : Netlist.Circuit.t) ~(placement : Netlist.Placement.t)
         (hp.Netlist.Placement.x, hp.Netlist.Placement.y)
       | None -> (px, py)
     in
-    for v = 0 to n_movable - 1 do
-      let hwx = hold *. Float.max abx.incident.(v) mean_w in
-      Numeric.Sparse.add_diag abx.b v hwx;
-      abx.d.(v) <- abx.d.(v) -. (hwx *. hx.(cell_of_var.(v)));
-      let hwy = hold *. Float.max aby.incident.(v) mean_w in
-      Numeric.Sparse.add_diag aby.b v hwy;
-      aby.d.(v) <- aby.d.(v) -. (hwy *. hy.(cell_of_var.(v)))
-    done
+    match asm.axy with
+    | None ->
+      for v = 0 to n - 1 do
+        let hw = hold *. Float.max asm.axx.incident.(v) mean_w in
+        Numeric.Sparse.add_diag asm.axx.ab v hw;
+        asm.adx.(v) <- asm.adx.(v) -. (hw *. hx.(asm.a_cell_of_var.(v)));
+        asm.ady.(v) <- asm.ady.(v) -. (hw *. hy.(asm.a_cell_of_var.(v)))
+      done
+    | Some ay ->
+      for v = 0 to n - 1 do
+        let hwx = hold *. Float.max asm.axx.incident.(v) mean_w in
+        Numeric.Sparse.add_diag asm.axx.ab v hwx;
+        asm.adx.(v) <- asm.adx.(v) -. (hwx *. hx.(asm.a_cell_of_var.(v)));
+        let hwy = hold *. Float.max ay.incident.(v) mean_w in
+        Numeric.Sparse.add_diag ay.ab v hwy;
+        asm.ady.(v) <- asm.ady.(v) -. (hwy *. hy.(asm.a_cell_of_var.(v)))
+      done
   end;
-  let mx = Numeric.Sparse.finalize abx.b in
-  let my = Numeric.Sparse.finalize aby.b in
+  (* Numeric freeze: replay values through the cached pattern when the
+     triplet stream is structurally unchanged, otherwise pay one symbolic
+     compile and cache the new pattern.  The clique model never recompiles
+     after the first transformation; B2B does whenever a net's boundary
+     pins change hands. *)
+  let freeze (a : axis) =
+    match a.pat with
+    | Some pat when Numeric.Sparse.pattern_matches pat a.ab ->
+      (true, Numeric.Sparse.refill pat a.ab)
+    | _ ->
+      let pat, m = Numeric.Sparse.compile a.ab in
+      a.pat <- Some pat;
+      (false, m)
+  in
+  let (hit_x, mx), ry =
+    Obs.Timer.time "qp/refill" (fun () ->
+        let rx = freeze asm.axx in
+        let ry = Option.map freeze asm.axy in
+        (rx, ry))
+  in
+  let hit, my =
+    match ry with
+    | None -> (hit_x, mx)
+    | Some (hit_y, my) -> (hit_x && hit_y, my)
+  in
+  if hit then asm.reused <- asm.reused + 1
+  else asm.pattern_rebuilds <- asm.pattern_rebuilds + 1;
+  let inv_dx =
+    if Numeric.Cg.inv_diagonal_into mx asm.inv_x then Some asm.inv_x else None
+  in
+  let inv_dy =
+    match asm.axy with
+    | None -> inv_dx
+    | Some _ ->
+      if Numeric.Cg.inv_diagonal_into my asm.inv_y then Some asm.inv_y
+      else None
+  in
   {
     circuit = c;
     var_of_cell;
-    cell_of_var;
-    n_movable;
+    cell_of_var = asm.a_cell_of_var;
+    n_movable = n;
     mx;
     my;
-    dx = abx.d;
-    dy = aby.d;
+    dx = asm.adx;
+    dy = asm.ady;
     mean_edge_weight = mean_w;
-    inv_dx = lazy (Numeric.Cg.inv_diagonal mx);
-    inv_dy = lazy (Numeric.Cg.inv_diagonal my);
+    inv_dx;
+    inv_dy;
   }
+
+let build (c : Netlist.Circuit.t) ~placement ~net_weights ~edge_scale
+    ?(clique_cap = 16) ?(anchor_weight = 1e-6) ?(hold = 0.) ?hold_at
+    ?(model = Clique) () =
+  let asm = assembly c ~clique_cap ~model () in
+  rebuild asm ~placement ~net_weights ~edge_scale ~anchor_weight ~hold ?hold_at
+    ()
 
 let mean_edge_weight t = t.mean_edge_weight
 
@@ -192,22 +342,27 @@ let gather t (p : Netlist.Placement.t) =
   done;
   (x0, y0)
 
-let solve t ~(placement : Netlist.Placement.t) ~ex ~ey =
+let solve ?tol t ~(placement : Netlist.Placement.t) ~ex ~ey =
   if Array.length ex <> t.n_movable || Array.length ey <> t.n_movable then
     invalid_arg "System.solve: force vector length mismatch";
   let x0, y0 = gather t placement in
   (* C·p + d + e = 0  ⇔  C·p = −(d + e). *)
   let rhs d e = Numeric.Parallel.parallel_map2 (fun dv ev -> -.(dv +. ev)) d e in
   let bx = rhs t.dx ex and by = rhs t.dy ey in
-  (* The axes are independent SPD systems; solve them concurrently.
-     Preconditioners are forced on the caller first — Lazy is not
-     domain-safe. *)
-  let inv_dx = Lazy.force t.inv_dx and inv_dy = Lazy.force t.inv_dy in
+  (* A [None] preconditioner means the assembly saw a non-positive
+     diagonal; re-derive it here so the canonical Cg error surfaces at
+     solve time, exactly as the old lazy computation did. *)
+  let force m = function
+    | Some d -> d
+    | None -> Numeric.Cg.inv_diagonal m
+  in
+  let inv_dx = force t.mx t.inv_dx and inv_dy = force t.my t.inv_dy in
+  (* The axes are independent SPD systems; solve them concurrently. *)
   let (x, sx), (y, sy) =
     Obs.Timer.time "qp/solve" (fun () ->
         Numeric.Parallel.both
-          (fun () -> Numeric.Cg.solve ~x0 ~inv_diag:inv_dx t.mx bx)
-          (fun () -> Numeric.Cg.solve ~x0:y0 ~inv_diag:inv_dy t.my by))
+          (fun () -> Numeric.Cg.solve ?tol ~x0 ~inv_diag:inv_dx t.mx bx)
+          (fun () -> Numeric.Cg.solve ?tol ~x0:y0 ~inv_diag:inv_dy t.my by))
   in
   if Obs.Registry.enabled () then begin
     Obs.Registry.observe "qp/cg_iterations"

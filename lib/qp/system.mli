@@ -24,6 +24,49 @@ type net_model = Clique | Bound2bound
     ([-1] for fixed), with the movable count. *)
 val index_map : Netlist.Circuit.t -> int array * int
 
+(** Reusable assembly state for one circuit: the triplet builders, the
+    frozen symbolic sparsity {!Numeric.Sparse.pattern}, the d-vector
+    scratch and the Jacobi preconditioner storage.  Keyed by circuit,
+    net model and clique cap at creation; every {!rebuild} against it
+    re-emits only the numeric values (the per-iteration work Kraftwerk
+    repeats ~200 times), paying the symbolic sort-and-merge once. *)
+type assembly
+
+(** [assembly circuit ?clique_cap ?model ()] allocates the cached
+    assembly state.  Under [Clique] the axes share one matrix builder
+    (clique weights are axis-independent), halving matrix assembly. *)
+val assembly :
+  Netlist.Circuit.t -> ?clique_cap:int -> ?model:net_model -> unit -> assembly
+
+(** [rebuild asm ~placement ~net_weights ~edge_scale ?anchor_weight
+    ?hold ?hold_at ()] re-assembles the system at the given placement
+    through the cached state — same semantics and bitwise-identical
+    matrices as {!build} with the assembly's model and cap.  When the
+    builder's triplet stream keeps the pattern of the previous pass
+    (always, for the clique model), values are scattered through the
+    cached permutation ({!Numeric.Sparse.refill}); otherwise the pattern
+    is recompiled and the fallback counted (see {!assembly_stats}).
+
+    The returned system {e aliases} the assembly's storage (matrix
+    values, d vectors, preconditioners): it is invalidated by the next
+    [rebuild] on the same assembly. *)
+val rebuild :
+  assembly ->
+  placement:Netlist.Placement.t ->
+  net_weights:float array ->
+  edge_scale:(dist:float -> float) ->
+  ?anchor_weight:float ->
+  ?hold:float ->
+  ?hold_at:Netlist.Placement.t ->
+  unit ->
+  t
+
+(** [assembly_stats asm] is [(reused, pattern_rebuilds)]: how many
+    {!rebuild} passes refilled every cached pattern vs. how many had to
+    recompile at least one (the first pass always counts as a
+    recompile). *)
+val assembly_stats : assembly -> int * int
+
 (** [build circuit ~placement ~net_weights ~edge_scale ?clique_cap
     ?anchor_weight ()] assembles the system at the given placement
     (needed for fixed-pin positions and for [edge_scale]).
@@ -60,12 +103,16 @@ val build :
   unit ->
   t
 
-(** [solve t ~placement ~ex ~ey] solves for the movable-cell coordinates
-    with additional constant forces [ex], [ey] (indexed by {e variable}
-    index, length [num_movable t]) and writes them into [placement]
-    (fixed cells untouched).  Warm-starts from the incoming coordinates.
-    Returns CG statistics for the x and y solves. *)
+(** [solve ?tol t ~placement ~ex ~ey] solves for the movable-cell
+    coordinates with additional constant forces [ex], [ey] (indexed by
+    {e variable} index, length [num_movable t]) and writes them into
+    [placement] (fixed cells untouched).  Warm-starts from the incoming
+    coordinates.  [tol] is the relative CG tolerance (default the
+    {!Numeric.Cg.solve} default, [1e-8]) — the placer loosens it while
+    density overflow is still high and tightens it as the placement
+    converges.  Returns CG statistics for the x and y solves. *)
 val solve :
+  ?tol:float ->
   t ->
   placement:Netlist.Placement.t ->
   ex:float array ->

@@ -198,6 +198,40 @@ let test_solver_telemetry_sane () =
           it.Obs.Telemetry.kernel_cache_misses)
       rest
 
+let test_assembly_caching_telemetry () =
+  let r = Lazy.force the_run in
+  let cfg = Kraftwerk.Config.standard in
+  (match r.records with
+  | [] -> Alcotest.fail "no records"
+  | first :: rest ->
+    (* The clique-model pattern is compiled exactly once; every later
+       transformation must take the refill path. *)
+    Alcotest.(check bool) "first transformation compiles" false
+      first.Obs.Telemetry.assembly_reused;
+    Alcotest.(check int) "one symbolic compile" 1
+      first.Obs.Telemetry.pattern_rebuilds;
+    List.iteri
+      (fun i it ->
+        let tag = Printf.sprintf "iteration %d" (i + 2) in
+        Alcotest.(check bool) (tag ^ ": assembly reused") true
+          it.Obs.Telemetry.assembly_reused;
+        Alcotest.(check int) (tag ^ ": no further compiles") 1
+          it.Obs.Telemetry.pattern_rebuilds)
+      rest);
+  (* The adaptive CG tolerance stays inside the configured band and
+     tightens as the overflow falls. *)
+  List.iter
+    (fun it ->
+      Alcotest.(check bool) "tolerance within configured band" true
+        (it.Obs.Telemetry.cg_tolerance >= cfg.Kraftwerk.Config.cg_tol
+        && it.Obs.Telemetry.cg_tolerance <= cfg.Kraftwerk.Config.cg_tol_loose))
+    r.records;
+  let tols = List.map (fun it -> it.Obs.Telemetry.cg_tolerance) r.records in
+  let early = mean (take 20 tols) and late = mean (last 20 tols) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tolerance tightens (late %.2e < early %.2e)" late early)
+    true (late < early)
+
 let test_records_schema_valid () =
   let r = Lazy.force the_run in
   List.iter
@@ -267,6 +301,8 @@ let suite =
       test_final_metrics_bounds;
     Alcotest.test_case "placement settles" `Slow test_placement_settles;
     Alcotest.test_case "solver telemetry sane" `Slow test_solver_telemetry_sane;
+    Alcotest.test_case "assembly caching telemetry" `Slow
+      test_assembly_caching_telemetry;
     Alcotest.test_case "every record is schema-valid" `Slow
       test_records_schema_valid;
     Alcotest.test_case "jsonl stream shape and summary" `Slow

@@ -254,6 +254,9 @@ let sample_iteration step =
     cg_residual_y = 2e-7;
     kernel_cache_hits = 1;
     kernel_cache_misses = 0;
+    assembly_reused = true;
+    pattern_rebuilds = 1;
+    cg_tolerance = 1e-6;
     domains = 2;
     pool_tasks = 12;
     phases = [ ("assemble", 0.001); ("solve", 0.002) ];
@@ -294,6 +297,9 @@ let prop_iteration_roundtrip =
           cg_residual_y = fs.(9);
           kernel_cache_hits = is.(3);
           kernel_cache_misses = is.(4);
+          assembly_reused = is.(4) mod 2 = 0;
+          pattern_rebuilds = is.(3);
+          cg_tolerance = Float.abs fs.(9);
           domains = 1 + (is.(5) mod 8);
           pool_tasks = is.(5);
           phases = [ ("assemble", Float.abs fs.(10)) ];
@@ -332,6 +338,65 @@ let test_iteration_validation_rejects () =
     (Result.is_error (Obs.Telemetry.iteration_of_json bad_record));
   Alcotest.(check bool) "non-object rejected" true
     (Result.is_error (Obs.Telemetry.iteration_of_json (Obs.Json.Num 1.)))
+
+let v2_only_fields = [ "assembly_reused"; "pattern_rebuilds"; "cg_tolerance" ]
+
+let test_schema_v1_compat () =
+  (* A v1 record (pre-dating the cached assembly) has no v2 fields and
+     must parse with the defaults matching what the v1 placer did. *)
+  let downgrade = function
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if List.mem k v2_only_fields then None
+             else if k = "schema" then Some (k, Obs.Json.Num 1.)
+             else Some (k, v))
+           fields)
+    | _ -> Alcotest.fail "iteration json is not an object"
+  in
+  (match
+     Obs.Telemetry.iteration_of_json
+       (downgrade (Obs.Telemetry.iteration_to_json (sample_iteration 4)))
+   with
+  | Error e -> Alcotest.failf "v1 record rejected: %s" e
+  | Ok it ->
+    Alcotest.(check bool) "v1 default: not reused" false
+      it.Obs.Telemetry.assembly_reused;
+    Alcotest.(check int) "v1 default: no rebuild count" 0
+      it.Obs.Telemetry.pattern_rebuilds;
+    Alcotest.(check bool) "v1 default: fixed 1e-8 tolerance" true
+      (it.Obs.Telemetry.cg_tolerance = 1e-8);
+    Alcotest.(check int) "payload survives" 4 it.Obs.Telemetry.step);
+  (* The same omission under schema 2 is a validation error. *)
+  let strip_field field = function
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj (List.filter (fun (k, _) -> k <> field) fields)
+    | _ -> Alcotest.fail "iteration json is not an object"
+  in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool)
+        (Printf.sprintf "v2 without %s rejected" field)
+        true
+        (Result.is_error
+           (Obs.Telemetry.iteration_of_json
+              (strip_field field
+                 (Obs.Telemetry.iteration_to_json (sample_iteration 4))))))
+    v2_only_fields;
+  (* Unknown future schemas still fail loudly. *)
+  let with_schema v = function
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj
+        (List.map
+           (fun (k, x) -> if k = "schema" then (k, Obs.Json.Num v) else (k, x))
+           fields)
+    | _ -> Alcotest.fail "iteration json is not an object"
+  in
+  Alcotest.(check bool) "schema 3 rejected" true
+    (Result.is_error
+       (Obs.Telemetry.iteration_of_json
+          (with_schema 3. (Obs.Telemetry.iteration_to_json (sample_iteration 1)))))
 
 let test_strip_volatile () =
   let j = Obs.Telemetry.iteration_to_json (sample_iteration 3) in
@@ -419,6 +484,7 @@ let suite =
     Alcotest.test_case "summary round-trip" `Quick test_summary_roundtrip;
     Alcotest.test_case "iteration validation rejects" `Quick
       test_iteration_validation_rejects;
+    Alcotest.test_case "schema v1 compatibility" `Quick test_schema_v1_compat;
     Alcotest.test_case "strip_volatile" `Quick test_strip_volatile;
     Alcotest.test_case "collecting sink" `Quick test_sink_collecting;
     Alcotest.test_case "jsonl sink" `Quick test_sink_jsonl;

@@ -232,6 +232,90 @@ let prop_solution_is_minimum =
       q.Netlist.Placement.y.(0) <- q.Netlist.Placement.y.(0) +. ddy;
       Metrics.Wirelength.quadratic c q >= base -. 1e-9)
 
+(* --- cached assembly: rebuild ≡ from-scratch build -------------------- *)
+
+let bits_equal_arr a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a b
+
+let bits_equal_mat a b =
+  let da = Numeric.Sparse.to_dense a and db = Numeric.Sparse.to_dense b in
+  Array.length da = Array.length db && Array.for_all2 bits_equal_arr da db
+
+let test_rebuild_matches_build () =
+  let prof = Circuitgen.Profiles.find "fract" in
+  let circuit, pads =
+    Circuitgen.Gen.generate (Circuitgen.Profiles.params prof ~seed:5)
+  in
+  let p0 = Circuitgen.Gen.initial_placement circuit pads in
+  let nw = Array.make (Netlist.Circuit.num_nets circuit) 1. in
+  let r = circuit.Netlist.Circuit.region in
+  let random_placement seed =
+    let p = Netlist.Placement.copy p0 in
+    let rng = Numeric.Rng.create seed in
+    Array.iter
+      (fun (cl : Netlist.Cell.t) ->
+        if Netlist.Cell.movable cl then begin
+          p.Netlist.Placement.x.(cl.Netlist.Cell.id) <-
+            Numeric.Rng.uniform rng r.Geometry.Rect.x_lo r.Geometry.Rect.x_hi;
+          p.Netlist.Placement.y.(cl.Netlist.Cell.id) <-
+            Numeric.Rng.uniform rng r.Geometry.Rect.y_lo r.Geometry.Rect.y_hi
+        end)
+      circuit.Netlist.Circuit.cells;
+    p
+  in
+  Fun.protect
+    ~finally:(fun () -> Numeric.Parallel.set_num_domains 1)
+    (fun () ->
+      List.iter
+        (fun domains ->
+          Numeric.Parallel.set_num_domains domains;
+          List.iter
+            (fun (model, mname) ->
+              let asm = Qp.System.assembly circuit ~model () in
+              List.iter
+                (fun seed ->
+                  let name part =
+                    Printf.sprintf "%s/%s d=%d seed=%d" mname part domains seed
+                  in
+                  let p = random_placement seed in
+                  let fresh =
+                    Qp.System.build circuit ~placement:p ~net_weights:nw
+                      ~edge_scale:Qp.Weights.quadratic ~model ()
+                  in
+                  let cached =
+                    Qp.System.rebuild asm ~placement:p ~net_weights:nw
+                      ~edge_scale:Qp.Weights.quadratic ()
+                  in
+                  Alcotest.(check bool) (name "matrix") true
+                    (bits_equal_mat (Qp.System.matrix fresh)
+                       (Qp.System.matrix cached));
+                  let zeros = Array.make (Qp.System.num_movable fresh) 0. in
+                  let pf = Netlist.Placement.copy p
+                  and pc = Netlist.Placement.copy p in
+                  ignore
+                    (Qp.System.solve fresh ~placement:pf ~ex:zeros ~ey:zeros);
+                  ignore
+                    (Qp.System.solve cached ~placement:pc ~ex:zeros ~ey:zeros);
+                  Alcotest.(check bool) (name "solution x") true
+                    (bits_equal_arr pf.Netlist.Placement.x
+                       pc.Netlist.Placement.x);
+                  Alcotest.(check bool) (name "solution y") true
+                    (bits_equal_arr pf.Netlist.Placement.y
+                       pc.Netlist.Placement.y))
+                [ 3; 4; 5 ];
+              let reused, rebuilds = Qp.System.assembly_stats asm in
+              Alcotest.(check int)
+                (mname ^ " rebuild passes accounted") 3 (reused + rebuilds);
+              if model = Qp.System.Clique then
+                (* Clique structure never drifts: only the first pass may
+                   compile, the rest must take the refill path. *)
+                Alcotest.(check int) "clique compiles once" 1 rebuilds)
+            [ (Qp.System.Clique, "clique"); (Qp.System.Bound2bound, "b2b") ])
+        [ 1; 2; 4 ])
+
 let suite =
   [
     Alcotest.test_case "clique edges and weights" `Quick test_clique_edge_count_and_weight;
@@ -249,4 +333,6 @@ let suite =
     Alcotest.test_case "index map" `Quick test_index_map;
     Alcotest.test_case "weights module" `Quick test_weights_module;
     QCheck_alcotest.to_alcotest prop_solution_is_minimum;
+    Alcotest.test_case "rebuild = build, both models, pools 1/2/4" `Quick
+      test_rebuild_matches_build;
   ]

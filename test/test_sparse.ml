@@ -104,6 +104,123 @@ let prop_sym_builder_symmetric =
       List.iter (fun (i, j, v) -> Numeric.Sparse.add_sym b i j v) ts;
       Numeric.Sparse.is_symmetric (Numeric.Sparse.finalize b))
 
+(* --- symbolic pattern + numeric refill ------------------------------- *)
+
+let bits_equal_mat a b =
+  let da = Numeric.Sparse.to_dense a and db = Numeric.Sparse.to_dense b in
+  Array.length da = Array.length db
+  && Array.for_all2
+       (fun ra rb ->
+         Array.for_all2
+           (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+           ra rb)
+       da db
+
+let prop_refill_bitwise =
+  QCheck.Test.make ~count:300
+    ~name:"refill through cached pattern = finalize, bitwise"
+    QCheck.(pair triplets_gen small_nat)
+    (fun (ts, seed) ->
+      QCheck.assume (ts <> []);
+      let b = Numeric.Sparse.builder 8 in
+      List.iter (fun (i, j, v) -> Numeric.Sparse.add b i j v) ts;
+      let pat, m0 = Numeric.Sparse.compile b in
+      let ok0 = bits_equal_mat m0 (Numeric.Sparse.finalize b) in
+      (* Same (i,j) stream, fresh values — including exact zeros, to
+         exercise the cancellation-compaction parity path. *)
+      let rng = Numeric.Rng.create seed in
+      Numeric.Sparse.clear b;
+      List.iter
+        (fun (i, j, _) ->
+          let v =
+            if Numeric.Rng.int rng 4 = 0 then 0.
+            else Numeric.Rng.uniform rng (-5.) 5.
+          in
+          Numeric.Sparse.add b i j v)
+        ts;
+      ok0
+      && Numeric.Sparse.pattern_matches pat b
+      && bits_equal_mat (Numeric.Sparse.refill pat b) (Numeric.Sparse.finalize b))
+
+let test_pattern_mismatch () =
+  let b = Numeric.Sparse.builder 4 in
+  Numeric.Sparse.add b 0 1 1.;
+  Numeric.Sparse.add b 2 3 2.;
+  let pat, _ = Numeric.Sparse.compile b in
+  Alcotest.(check bool) "same stream matches" true
+    (Numeric.Sparse.pattern_matches pat b);
+  Numeric.Sparse.add b 1 1 3.;
+  Alcotest.(check bool) "longer stream rejected" false
+    (Numeric.Sparse.pattern_matches pat b);
+  Numeric.Sparse.clear b;
+  Numeric.Sparse.add b 0 1 1.;
+  Numeric.Sparse.add b 3 2 2.;
+  Alcotest.(check bool) "swapped indices rejected" false
+    (Numeric.Sparse.pattern_matches pat b)
+
+let test_refill_cancellation () =
+  let b = Numeric.Sparse.builder 3 in
+  Numeric.Sparse.add b 0 1 2.;
+  Numeric.Sparse.add b 0 1 3.;
+  Numeric.Sparse.add b 1 2 1.;
+  let pat, m = Numeric.Sparse.compile b in
+  Alcotest.(check int) "initial nnz" 2 (Numeric.Sparse.nnz m);
+  Numeric.Sparse.clear b;
+  Numeric.Sparse.add b 0 1 2.;
+  Numeric.Sparse.add b 0 1 (-2.);
+  Numeric.Sparse.add b 1 2 5.;
+  let m2 = Numeric.Sparse.refill pat b in
+  Alcotest.(check int) "cancelled slot dropped" 1 (Numeric.Sparse.nnz m2);
+  Alcotest.check approx "survivor" 5. (Numeric.Sparse.entry m2 1 2);
+  (* The pattern survives a compaction: a later refill with
+     non-cancelling values restores the full slot set. *)
+  Numeric.Sparse.clear b;
+  Numeric.Sparse.add b 0 1 1.;
+  Numeric.Sparse.add b 0 1 1.;
+  Numeric.Sparse.add b 1 2 4.;
+  let m3 = Numeric.Sparse.refill pat b in
+  Alcotest.(check int) "slots restored" 2 (Numeric.Sparse.nnz m3);
+  Alcotest.check approx "(0,1)" 2. (Numeric.Sparse.entry m3 0 1)
+
+let test_refill_parallel_domains () =
+  (* Large enough to cross the parallel refill threshold; the result
+     must be bitwise-identical to the sequential finalize at any pool
+     size. *)
+  let n = 700 and m = 8000 in
+  let rng = Numeric.Rng.create 11 in
+  let ti = Array.init m (fun _ -> Numeric.Rng.int rng n) in
+  let tj = Array.init m (fun _ -> Numeric.Rng.int rng n) in
+  let b = Numeric.Sparse.builder n in
+  let fill seed =
+    Numeric.Sparse.clear b;
+    let vr = Numeric.Rng.create seed in
+    for k = 0 to m - 1 do
+      Numeric.Sparse.add_sym b ti.(k) tj.(k) (Numeric.Rng.uniform vr (-2.) 2.)
+    done;
+    for i = 0 to n - 1 do
+      Numeric.Sparse.add_diag b i (Numeric.Rng.uniform vr 0.5 4.)
+    done
+  in
+  fill 1;
+  let pat, _ = Numeric.Sparse.compile b in
+  fill 2;
+  let reference = Numeric.Sparse.finalize b in
+  Fun.protect
+    ~finally:(fun () -> Numeric.Parallel.set_num_domains 1)
+    (fun () ->
+      List.iter
+        (fun d ->
+          Numeric.Parallel.set_num_domains d;
+          Alcotest.(check bool)
+            (Printf.sprintf "pattern holds at %d domains" d)
+            true
+            (Numeric.Sparse.pattern_matches pat b);
+          Alcotest.(check bool)
+            (Printf.sprintf "bitwise at %d domains" d)
+            true
+            (bits_equal_mat (Numeric.Sparse.refill pat b) reference))
+        [ 1; 2; 4 ])
+
 let suite =
   [
     Alcotest.test_case "empty" `Quick test_empty;
@@ -117,4 +234,10 @@ let suite =
     Alcotest.test_case "builder growth" `Quick test_builder_reuse_growth;
     QCheck_alcotest.to_alcotest prop_mul_matches_dense;
     QCheck_alcotest.to_alcotest prop_sym_builder_symmetric;
+    Alcotest.test_case "pattern mismatch detection" `Quick test_pattern_mismatch;
+    Alcotest.test_case "refill cancellation parity" `Quick
+      test_refill_cancellation;
+    Alcotest.test_case "refill across domain pools" `Quick
+      test_refill_parallel_domains;
+    QCheck_alcotest.to_alcotest prop_refill_bitwise;
   ]
