@@ -526,8 +526,11 @@ let final_placer () =
       let w_improved = Metrics.Wirelength.hpwl circuit improved in
       ignore (Legalize.Domino.run circuit improved);
       let w_domino = Metrics.Wirelength.hpwl circuit improved in
-      let tetris = (Legalize.Tetris.legalize circuit global ()).Legalize.Tetris.placement in
-      let w_tetris = Metrics.Wirelength.hpwl circuit tetris in
+      let w_tetris =
+        match Legalize.Tetris.legalize circuit global () with
+        | Ok rep -> Metrics.Wirelength.hpwl circuit rep.Legalize.Tetris.placement
+        | Error e -> Format.kasprintf failwith "tetris: %a" Legalize.Tetris.pp_error e
+      in
       Printf.printf "%-11s | %12.4g %12.4g %12.4g %12.4g\n" name w_abacus
         w_improved w_domino w_tetris)
     [ "fract"; "primary1"; "struct" ]
@@ -875,18 +878,85 @@ let place_bench () =
   print_endline "wrote BENCH_place.json"
 
 (* ------------------------------------------------------------------ *)
+(* Job-engine throughput → BENCH_engine.json                           *)
+
+(* Jobs/second of the cooperative scheduler on biomed, at interleaving
+   widths K = 1, 2 and 4.  Each job is a bounded fast-mode run through
+   the full finishing pipeline (Abacus, Improve, Domino).  The work per
+   job is identical at every K — trajectories are interleaving-invariant
+   — so the spread across K measures pure scheduling overhead (turn
+   rotation and domain-pool repartitioning). *)
+let engine_bench () =
+  print_endline "";
+  print_endline "Job-engine bench: scheduler throughput on biomed";
+  let profile = "biomed" and jobs = 6 and max_steps = 8 in
+  let rows =
+    List.map
+      (fun k ->
+        let sched = Engine.Scheduler.create ~concurrency:k () in
+        let ids =
+          List.init jobs (fun i ->
+              Engine.Scheduler.submit sched
+                (Engine.Job.spec
+                   ~source:
+                     (Engine.Source.Profile
+                        { name = profile; scale = !scale; seed = !seed + i })
+                   ~mode:Engine.Job.Fast ~max_steps ()))
+        in
+        let (), wall = time (fun () -> Engine.Scheduler.drain sched) in
+        let completed =
+          List.length
+            (List.filter
+               (fun id -> Engine.Scheduler.status sched id = Some Engine.Job.Done)
+               ids)
+        in
+        if completed <> jobs then begin
+          Printf.eprintf "engine bench: %d/%d jobs completed at K=%d\n"
+            completed jobs k;
+          exit 1
+        end;
+        Printf.printf "  K=%d  %2d jobs  %6.2f s  %6.2f jobs/s\n%!" k jobs wall
+          (float_of_int jobs /. wall);
+        ( string_of_int k,
+          Obs.Json.Obj
+            [
+              ("wall_s", Obs.Json.Num wall);
+              ("jobs_per_s", Obs.Json.Num (float_of_int jobs /. wall));
+            ] ))
+      [ 1; 2; 4 ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("git", Obs.Json.Str (git_revision ()));
+        ("domains", Obs.Json.Num (float_of_int (Numeric.Parallel.num_domains ())));
+        ("scale", Obs.Json.Num !scale);
+        ("profile", Obs.Json.Str profile);
+        ("jobs", Obs.Json.Num (float_of_int jobs));
+        ("max_steps", Obs.Json.Num (float_of_int max_steps));
+        ("concurrency", Obs.Json.Obj rows);
+      ]
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_engine.json"
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe [--table 1|2|3|4] [--experiment \
      fast-mode|tradeoff|eco|floorplan|congestion|heat|linearization|final-placer|multilevel] \
-     [--micro] [--place] [--scale S] [--seed N]";
+     [--micro] [--place] [--engine] [--scale S] [--seed N]";
   exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let tables = ref [] and experiments = ref [] in
   let want_micro = ref false and want_place = ref false in
+  let want_engine = ref false in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -906,6 +976,9 @@ let () =
       parse rest
     | "--place" :: rest ->
       want_place := true;
+      parse rest
+    | "--engine" :: rest ->
+      want_engine := true;
       parse rest
     | _ -> usage ()
   in
@@ -934,7 +1007,9 @@ let () =
       Printf.eprintf "unknown table: %d\n" other;
       exit 1
   in
-  if !tables = [] && !experiments = [] && not !want_micro && not !want_place
+  if
+    !tables = [] && !experiments = [] && not !want_micro && not !want_place
+    && not !want_engine
   then begin
     (* Default: everything. *)
     Printf.printf "Kraftwerk reproduction — full experiment run (scale %.2f)\n" !scale;
@@ -943,11 +1018,13 @@ let () =
       [ "fast-mode"; "tradeoff"; "eco"; "floorplan"; "congestion"; "heat";
         "linearization"; "final-placer"; "multilevel"; "net-model" ];
     place_bench ();
+    engine_bench ();
     micro ()
   end
   else begin
     List.iter run_table (List.rev !tables);
     List.iter run_experiment (List.rev !experiments);
     if !want_place then place_bench ();
+    if !want_engine then engine_bench ();
     if !want_micro then micro ()
   end

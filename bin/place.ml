@@ -1,11 +1,20 @@
 (* Command-line front end: generate benchmark circuits, run any of the
-   placement flows, and report quality metrics.
+   placement flows, report quality metrics, and drive the job engine.
 
    Examples:
      place generate --profile struct --seed 7 -o struct.ckt
      place run --profile biomed --mode standard --timing
      place run --circuit struct.ckt --flow annealer
+     place serve --concurrency 2 < commands.jsonl
+     place batch jobs.jsonl -o results.jsonl
      place profiles *)
+
+type flow =
+  | Flow_kraftwerk
+  | Flow_multilevel
+  | Flow_gordian
+  | Flow_annealer
+  | Flow_floorplan
 
 let log_steps verbose (r : Kraftwerk.Placer.step_report) =
   if verbose then
@@ -69,12 +78,9 @@ let cmd_generate profile scale seed output =
 let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
     domains trace =
   let c, p0 = load_or_generate ~circuit_file ~profile ~scale ~seed in
-  let config =
-    match mode with
-    | "standard" -> Kraftwerk.Config.standard
-    | "fast" -> Kraftwerk.Config.fast
-    | other -> failwith ("unknown mode: " ^ other)
-  in
+  (* [mode] arrives through a Cmdliner enum conv, so a bad flag is a
+     usage error with a clean exit code before this function runs. *)
+  let config = Engine.Job.config_of_mode mode in
   let config = { config with Kraftwerk.Config.domains } in
   (* Non-Kraftwerk flows never reach Placer.init; apply the pool size
      here so their kernels (Gordian's QP solves, density maps) see it. *)
@@ -106,7 +112,7 @@ let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
   let t0 = Unix.gettimeofday () in
   let global =
     match flow with
-    | "kraftwerk" ->
+    | Flow_kraftwerk ->
       if timing then
         (Timing.Driven.optimize config c p0).Timing.Driven.placement
       else begin
@@ -117,7 +123,7 @@ let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
         let state, _ = Kraftwerk.Placer.run ~hooks config c p0 in
         state.Kraftwerk.Placer.placement
       end
-    | "multilevel" ->
+    | Flow_multilevel ->
       (* Fixed positions are whatever the initial placement pins. *)
       let fixed =
         Array.to_list c.Netlist.Circuit.cells
@@ -130,26 +136,39 @@ let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
                else None)
       in
       Kraftwerk.Cluster.place_multilevel config c ~fixed_positions:fixed p0
-    | "gordian" -> fst (Baselines.Gordian.place c p0)
-    | "annealer" ->
+    | Flow_gordian -> fst (Baselines.Gordian.place c p0)
+    | Flow_annealer ->
       if timing then (Baselines.Timing_sa.place c p0).Baselines.Timing_sa.placement
       else fst (Baselines.Annealer.place c p0)
-    | "floorplan" -> (Floorplan.Mixed.place config c p0).Floorplan.Mixed.placement
-    | other -> failwith ("unknown flow: " ^ other)
+    | Flow_floorplan -> (Floorplan.Mixed.place config c p0).Floorplan.Mixed.placement
   in
-  let final =
-    if flow = "floorplan" then global
+  let final, passes =
+    if flow = Flow_floorplan then (global, None)
     else begin
       let rep = Legalize.Abacus.legalize c global () in
       let lp = rep.Legalize.Abacus.placement in
-      ignore (Legalize.Improve.run c lp);
-      ignore (Legalize.Domino.run c lp);
-      lp
+      let improve_moves, improve_delta = Legalize.Improve.run c lp in
+      let domino_moves, domino_delta = Legalize.Domino.run c lp in
+      (lp, Some (improve_moves, improve_delta, domino_moves, domino_delta))
     end
   in
   let t1 = Unix.gettimeofday () in
-  Printf.printf "flow         %s (%s mode)\n" flow mode;
+  let flow_name =
+    match flow with
+    | Flow_kraftwerk -> "kraftwerk"
+    | Flow_multilevel -> "multilevel"
+    | Flow_gordian -> "gordian"
+    | Flow_annealer -> "annealer"
+    | Flow_floorplan -> "floorplan"
+  in
+  Printf.printf "flow         %s (%s mode)\n" flow_name
+    (Engine.Job.mode_to_string mode);
   Printf.printf "cpu          %.2f s\n" (t1 -. t0);
+  (match passes with
+  | Some (im, idelta, dm, ddelta) ->
+    Printf.printf "improve      %d moves, hpwl -%.6g\n" im idelta;
+    Printf.printf "domino       %d moves, hpwl -%.6g\n" dm ddelta
+  | None -> ());
   let final_hpwl, final_overlap = report_metrics c final ~timing in
   (match trace_state with
   | Some (file, oc, iters) ->
@@ -178,6 +197,98 @@ let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
     Printf.printf "svg          written to %s\n" file
   | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Job engine front ends                                               *)
+
+(* [place serve]: the line-oriented JSON protocol on stdin/stdout (see
+   Engine.Protocol).  Scheduler lifecycle events are emitted as JSONL
+   notification lines between responses; --transcript copies the whole
+   conversation to a file. *)
+let cmd_serve concurrency domains transcript =
+  (match domains with
+  | Some d -> Numeric.Parallel.set_num_domains d
+  | None -> ());
+  let transcript_oc = Option.map open_out transcript in
+  let echo line =
+    match transcript_oc with
+    | Some oc ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    | None -> ()
+  in
+  let emit_event e =
+    let line = Obs.Json.to_string (Engine.Protocol.event_to_json e) in
+    print_string line;
+    print_newline ();
+    flush stdout;
+    echo line
+  in
+  let sched = Engine.Scheduler.create ~concurrency ?domains ~on_event:emit_event () in
+  Engine.Protocol.serve ~echo sched stdin stdout;
+  Option.iter close_out transcript_oc
+
+(* [place batch]: submit every job spec of a JSONL file, run them all,
+   and write one result line per job (submission order). *)
+let cmd_batch jobs_file concurrency domains output =
+  (match domains with
+  | Some d -> Numeric.Parallel.set_num_domains d
+  | None -> ());
+  let specs =
+    In_channel.with_open_text jobs_file (fun ic ->
+        let rec read acc lineno =
+          match In_channel.input_line ic with
+          | None -> List.rev acc
+          | Some line when String.trim line = "" -> read acc (lineno + 1)
+          | Some line -> (
+            match Obs.Json.of_string line with
+            | Error msg ->
+              Printf.eprintf "%s:%d: bad JSON: %s\n" jobs_file lineno msg;
+              exit 1
+            | Ok v -> (
+              match Engine.Job.spec_of_json v with
+              | Error msg ->
+                Printf.eprintf "%s:%d: %s\n" jobs_file lineno msg;
+                exit 1
+              | Ok spec -> read (spec :: acc) (lineno + 1)))
+        in
+        read [] 1)
+  in
+  if specs = [] then begin
+    Printf.eprintf "%s: no job specs\n" jobs_file;
+    exit 1
+  end;
+  let sched = Engine.Scheduler.create ~concurrency ?domains () in
+  let ids = List.map (fun spec -> (Engine.Scheduler.submit sched spec, spec)) specs in
+  Engine.Scheduler.drain sched;
+  let oc = match output with Some f -> open_out f | None -> stdout in
+  let failed = ref false in
+  List.iter
+    (fun (id, spec) ->
+      let result =
+        match Engine.Scheduler.result sched id with
+        | Some r ->
+          (match r.Engine.Job.status with
+          | Engine.Job.Failed _ -> failed := true
+          | _ -> ());
+          Engine.Job.result_to_json r
+        | None ->
+          failed := true;
+          Obs.Json.Obj [ ("status", Obs.Json.Str "lost") ]
+      in
+      output_string oc
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("id", Obs.Json.Num (float_of_int id));
+                ("source", Obs.Json.Str (Engine.Source.describe spec.Engine.Job.source));
+                ("result", result);
+              ]));
+      output_char oc '\n')
+    ids;
+  if output <> None then close_out oc;
+  if !failed then exit 1
+
 let cmd_profiles () =
   Printf.printf "%-12s %8s %8s %6s\n" "profile" "cells" "nets" "rows";
   List.iter
@@ -191,6 +302,12 @@ open Cmdliner
 
 let profile_arg =
   Arg.(value & opt (some string) None & info [ "profile" ] ~doc:"Benchmark profile name.")
+
+let mode_arg =
+  Arg.(value
+       & opt (enum [ ("standard", Engine.Job.Standard); ("fast", Engine.Job.Fast) ])
+           Engine.Job.Standard
+       & info [ "mode" ] ~doc:"$(docv) is either standard or fast.")
 
 let scale_arg =
   Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Shrink factor for quick runs (0,1].")
@@ -212,12 +329,23 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "circuit" ] ~doc:"Circuit file (.ckt text format or Bookshelf .aux).")
   in
   let flow =
-    Arg.(value & opt string "kraftwerk"
-         & info [ "flow" ] ~doc:"kraftwerk | multilevel | gordian | annealer | floorplan")
+    (* enum convs: an unknown name is a usage error (exit 124), not a
+       backtrace. *)
+    Arg.(value
+         & opt
+             (enum
+                [
+                  ("kraftwerk", Flow_kraftwerk);
+                  ("multilevel", Flow_multilevel);
+                  ("gordian", Flow_gordian);
+                  ("annealer", Flow_annealer);
+                  ("floorplan", Flow_floorplan);
+                ])
+             Flow_kraftwerk
+         & info [ "flow" ] ~doc:"$(docv) is one of kraftwerk, multilevel, \
+                                 gordian, annealer or floorplan.")
   in
-  let mode =
-    Arg.(value & opt string "standard" & info [ "mode" ] ~doc:"standard | fast")
-  in
+  let mode = mode_arg in
   let timing = Arg.(value & flag & info [ "timing" ] ~doc:"Timing-driven.") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log steps.") in
   let output =
@@ -249,6 +377,50 @@ let profiles_cmd =
   Cmd.v (Cmd.info "profiles" ~doc:"List benchmark profiles")
     Term.(const cmd_profiles $ const ())
 
+let concurrency_arg =
+  Arg.(value & opt int 1
+       & info [ "concurrency" ]
+           ~doc:"Jobs interleaved at once (transformation granularity).")
+
+let engine_domains_arg =
+  Arg.(value & opt (some int) None
+       & info [ "domains" ]
+           ~doc:"Domain-pool lanes split between concurrent jobs \
+                 (default: KRAFTWERK_DOMAINS or the hardware core count).")
+
+let serve_cmd =
+  let transcript =
+    Arg.(value & opt (some string) None
+         & info [ "transcript" ]
+             ~doc:"Copy every protocol request/response/event line to a \
+                   JSONL file.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the placement job engine on a stdin/stdout JSON protocol \
+             (submit, status, cancel, result, step, drain, wait, shutdown \
+             — see HACKING.md, Job engine)")
+    Term.(const cmd_serve $ concurrency_arg $ engine_domains_arg $ transcript)
+
+let batch_cmd =
+  let jobs_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"JOBS.jsonl" ~doc:"One job spec (JSON object) per line.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Write results JSONL here (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run a file of job specs through the engine and report one \
+             result line per job; exits nonzero when any job failed")
+    Term.(const cmd_batch $ jobs_file $ concurrency_arg $ engine_domains_arg
+          $ output)
+
 let () =
   let doc = "force-directed global placement and floorplanning" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "place" ~doc) [ generate_cmd; run_cmd; profiles_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "place" ~doc)
+          [ generate_cmd; run_cmd; serve_cmd; batch_cmd; profiles_cmd ]))

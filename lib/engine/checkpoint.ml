@@ -1,0 +1,219 @@
+type t = {
+  version : int;
+  config_digest : string;
+  circuit_digest : string;
+  iteration : int;
+  x : float array;
+  y : float array;
+  ex : float array;
+  ey : float array;
+  net_weights : float array;
+  criticality : float array option;
+}
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Digests                                                              *)
+
+(* A canonical rendering of every config field that affects the
+   trajectory.  [domains] is deliberately excluded: the kernels are
+   bitwise-deterministic for any pool size, so a checkpoint taken at
+   --domains 4 resumes exactly at --domains 1. *)
+let config_fingerprint (c : Kraftwerk.Config.t) =
+  let solver =
+    match c.Kraftwerk.Config.solver with
+    | Density.Forces.Fft -> "fft"
+    | Density.Forces.Direct -> "direct"
+    | Density.Forces.Sor -> "sor"
+  in
+  let net_model =
+    match c.Kraftwerk.Config.net_model with
+    | Qp.System.Clique -> "clique"
+    | Qp.System.Bound2bound -> "b2b"
+  in
+  let grid =
+    match c.Kraftwerk.Config.grid with
+    | Some (nx, ny) -> Printf.sprintf "%dx%d" nx ny
+    | None -> "auto"
+  in
+  Printf.sprintf
+    "k=%h;max_iter=%d;linearize=%b;cap=%d;anchor=%h;hold=%h;decay=%h;stop=%h;grid=%s;solver=%s;model=%s;tol=%h;tol_loose=%h"
+    c.Kraftwerk.Config.k_param c.Kraftwerk.Config.max_iterations
+    c.Kraftwerk.Config.linearize c.Kraftwerk.Config.clique_cap
+    c.Kraftwerk.Config.anchor_weight c.Kraftwerk.Config.hold_weight
+    c.Kraftwerk.Config.force_decay c.Kraftwerk.Config.stop_multiplier grid
+    solver net_model c.Kraftwerk.Config.cg_tol c.Kraftwerk.Config.cg_tol_loose
+
+let config_digest c = Digest.to_hex (Digest.string (config_fingerprint c))
+
+let circuit_digest (c : Netlist.Circuit.t) =
+  (* Cells and nets are plain records of scalars/arrays; Marshal gives a
+     canonical byte rendering of the whole netlist cheaply. *)
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( c.Netlist.Circuit.name,
+            c.Netlist.Circuit.cells,
+            c.Netlist.Circuit.nets,
+            c.Netlist.Circuit.region,
+            c.Netlist.Circuit.row_height )
+          []))
+
+let of_state ?criticality (s : Kraftwerk.Placer.state) =
+  {
+    version;
+    config_digest = config_digest s.Kraftwerk.Placer.config;
+    circuit_digest = circuit_digest s.Kraftwerk.Placer.circuit;
+    iteration = s.Kraftwerk.Placer.iteration;
+    x = Array.copy s.Kraftwerk.Placer.placement.Netlist.Placement.x;
+    y = Array.copy s.Kraftwerk.Placer.placement.Netlist.Placement.y;
+    ex = Array.copy s.Kraftwerk.Placer.ex;
+    ey = Array.copy s.Kraftwerk.Placer.ey;
+    net_weights = Array.copy s.Kraftwerk.Placer.net_weights;
+    criticality = Option.map Array.copy criticality;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                        *)
+
+open Obs.Json
+
+let farray a = Arr (Array.to_list a |> List.map (fun v -> Num v))
+
+let to_json t =
+  Obj
+    [
+      ("record", Str "checkpoint");
+      ("version", Num (float_of_int t.version));
+      ("config", Str t.config_digest);
+      ("circuit", Str t.circuit_digest);
+      ("iteration", Num (float_of_int t.iteration));
+      ("x", farray t.x);
+      ("y", farray t.y);
+      ("ex", farray t.ex);
+      ("ey", farray t.ey);
+      ("net_weights", farray t.net_weights);
+      ( "criticality",
+        match t.criticality with Some a -> farray a | None -> Null );
+    ]
+
+let ( let* ) = Result.bind
+
+let field v key =
+  match member key v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "checkpoint: missing field %S" key)
+
+let field_str v key =
+  match member key v with
+  | Some (Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "checkpoint: field %S is not a string" key)
+
+let field_int v key =
+  match member key v with
+  | Some (Num n) when Float.is_integer n -> Ok (int_of_float n)
+  | _ -> Error (Printf.sprintf "checkpoint: field %S is not an integer" key)
+
+let field_farray v key =
+  let* f = field v key in
+  match f with
+  | Arr items ->
+    let a = Array.make (List.length items) 0. in
+    let rec fill i = function
+      | [] -> Ok a
+      | Num n :: rest ->
+        a.(i) <- n;
+        fill (i + 1) rest
+      | _ -> Error (Printf.sprintf "checkpoint: field %S holds a non-number" key)
+    in
+    fill 0 items
+  | _ -> Error (Printf.sprintf "checkpoint: field %S is not an array" key)
+
+let of_json v =
+  let* kind = field_str v "record" in
+  if kind <> "checkpoint" then Error ("checkpoint: not a checkpoint: " ^ kind)
+  else
+    let* file_version = field_int v "version" in
+    if file_version <> version then
+      Error (Printf.sprintf "checkpoint: unsupported version %d" file_version)
+    else
+      let* config_digest = field_str v "config" in
+      let* circuit_digest = field_str v "circuit" in
+      let* iteration = field_int v "iteration" in
+      let* x = field_farray v "x" in
+      let* y = field_farray v "y" in
+      let* ex = field_farray v "ex" in
+      let* ey = field_farray v "ey" in
+      let* net_weights = field_farray v "net_weights" in
+      let* criticality =
+        match member "criticality" v with
+        | Some Null | None -> Ok None
+        | Some (Arr _) -> Result.map Option.some (field_farray v "criticality")
+        | Some _ -> Error "checkpoint: field \"criticality\" is not an array"
+      in
+      if Array.length x <> Array.length y then
+        Error "checkpoint: x/y length mismatch"
+      else if Array.length ex <> Array.length ey then
+        Error "checkpoint: ex/ey length mismatch"
+      else
+        Ok
+          {
+            version = file_version;
+            config_digest;
+            circuit_digest;
+            iteration;
+            x;
+            y;
+            ex;
+            ey;
+            net_weights;
+            criticality;
+          }
+
+let save path t =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc (to_string (to_json t));
+     output_char oc '\n';
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error ("checkpoint: " ^ msg)
+  | contents ->
+    let* v =
+      Result.map_error (fun e -> "checkpoint: " ^ e) (of_string contents)
+    in
+    of_json v
+
+let restore t config circuit =
+  if t.config_digest <> config_digest config then
+    Error "checkpoint: config mismatch (different placer configuration)"
+  else if t.circuit_digest <> circuit_digest circuit then
+    Error "checkpoint: circuit mismatch (netlist changed since checkpoint)"
+  else if Array.length t.x <> Netlist.Circuit.num_cells circuit then
+    Error "checkpoint: placement length mismatch"
+  else
+    match
+      Kraftwerk.Placer.restore config circuit
+        ~placement:{ Netlist.Placement.x = t.x; y = t.y }
+        ~ex:t.ex ~ey:t.ey ~net_weights:t.net_weights ~iteration:t.iteration
+    with
+    | state -> Ok state
+    | exception Invalid_argument msg -> Error ("checkpoint: " ^ msg)
+
+let placement t ~num_cells =
+  if Array.length t.x <> num_cells then
+    Error
+      (Printf.sprintf "checkpoint: placement has %d cells, circuit has %d"
+         (Array.length t.x) num_cells)
+  else
+    Ok { Netlist.Placement.x = Array.copy t.x; y = Array.copy t.y }

@@ -1,0 +1,60 @@
+(** Versioned, atomic snapshots of a mid-run {!Kraftwerk.Placer.state}.
+
+    A checkpoint captures exactly the state that makes a placement
+    transformation sequence restartable: the placement, the accumulated
+    additional-force vectors ~e (§2.2 — what holds previous spreading in
+    place), the net weights, the iteration counter, and — for
+    timing-driven runs — the per-net criticalities.  Restoring all of
+    them bitwise makes the resumed trajectory bitwise-identical to the
+    uninterrupted run; digests of the config and circuit guard against
+    resuming under different semantics.
+
+    Files are one JSON document; floats are written with round-trip
+    ([%.17g]) precision so they reload bit-for-bit.  {!save} writes to a
+    temporary file in the target directory and renames it into place, so
+    a crash mid-write never leaves a truncated checkpoint behind. *)
+
+type t = {
+  version : int;
+  config_digest : string;
+  circuit_digest : string;
+  iteration : int;
+  x : float array;  (** placement, indexed by cell id *)
+  y : float array;
+  ex : float array;  (** accumulated forces, indexed by QP variable *)
+  ey : float array;
+  net_weights : float array;
+  criticality : float array option;  (** timing-driven runs only *)
+}
+
+val version : int
+
+(** [config_digest config] is a stable hex digest over every
+    {!Kraftwerk.Config.t} field — two configs with equal digests produce
+    the same trajectory from the same state (the [domains] field is
+    excluded: results are bitwise domain-count-independent). *)
+val config_digest : Kraftwerk.Config.t -> string
+
+val circuit_digest : Netlist.Circuit.t -> string
+
+(** [of_state ?criticality state] snapshots a placer state (copies all
+    arrays). *)
+val of_state : ?criticality:float array -> Kraftwerk.Placer.state -> t
+
+(** [save path t] writes atomically (temp file + rename). *)
+val save : string -> t -> unit
+
+val load : string -> (t, string) result
+
+(** [restore t config circuit] rebuilds the placer state, checking the
+    digests first. *)
+val restore :
+  t ->
+  Kraftwerk.Config.t ->
+  Netlist.Circuit.t ->
+  (Kraftwerk.Placer.state, string) result
+
+(** [placement t ~num_cells] extracts just the placement (the ECO
+    warm-start path — the circuit may differ from the checkpointed one,
+    only the cell count must still match). *)
+val placement : t -> num_cells:int -> (Netlist.Placement.t, string) result

@@ -1,0 +1,109 @@
+(** Serializable placement jobs: what to place, under which budget, and
+    what came of it.
+
+    A {!spec} is the unit of work the {!Scheduler} queues; it carries no
+    live state, so it round-trips through JSON and can be re-submitted
+    verbatim (the resume path of the serve protocol).  A {!result} is
+    the terminal report: quality metrics plus the improvement deltas of
+    the final-placement passes. *)
+
+(** Which placer configuration the job runs under
+    ({!Kraftwerk.Config.standard} / {!Kraftwerk.Config.fast}). *)
+type mode = Standard | Fast
+
+(** Where the placer's state comes from.
+
+    - [Fresh] — the source's initial placement, ~e = 0 (a normal run).
+    - [Resume file] — a {!Checkpoint} of a mid-run state of {e this}
+      job: placement, accumulated forces, net weights and iteration
+      counter restored bitwise, so the trajectory continues exactly
+      where it stopped.
+    - [Warm file] — only the {e placement} of a checkpoint, with fresh
+      forces: the ECO shape (§5), re-placing an edited circuit on top of
+      a converged base placement ({!Kraftwerk.Eco.replace}). *)
+type start = Fresh | Resume of string | Warm of string
+
+type spec = {
+  source : Source.t;
+  mode : mode;
+  timing : bool;  (** timing-driven net reweighting each transformation *)
+  priority : int;  (** higher runs first; FIFO within a priority *)
+  deadline : float option;
+      (** wall-clock budget in seconds from job start; on expiry the job
+          returns its best-so-far placement, greedily legalised, with
+          status [Cancelled] — never an error *)
+  domains : int option;
+      (** domain-pool lanes while this job's transformations run;
+          [None] accepts the scheduler's partition of the pool *)
+  max_steps : int option;
+      (** cap on the {e total} placer iteration counter (so a resumed
+          job counts steps done before its checkpoint); [None] defers
+          to the mode's [max_iterations] *)
+  start : start;
+  checkpoint : string option;  (** checkpoint file to maintain *)
+  checkpoint_every : int;
+      (** transformations between checkpoint writes (when [checkpoint]
+          is set); also written on cancellation *)
+  trace : string option;  (** per-job telemetry JSONL file *)
+}
+
+(** [spec ~source ()] is a standard-mode, area-driven, priority-0 job
+    with no deadline, no checkpointing and no trace. *)
+val spec :
+  source:Source.t ->
+  ?mode:mode ->
+  ?timing:bool ->
+  ?priority:int ->
+  ?deadline:float ->
+  ?domains:int ->
+  ?max_steps:int ->
+  ?start:start ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?trace:string ->
+  unit ->
+  spec
+
+(** Job lifecycle.  [Checkpointed] is a running job with a valid
+    checkpoint on disk (it keeps executing); the terminal states are
+    [Done], [Cancelled] and [Failed]. *)
+type status =
+  | Queued
+  | Running
+  | Checkpointed
+  | Done
+  | Cancelled
+  | Failed of string
+
+(** [terminal status] — no further transitions. *)
+val terminal : status -> bool
+
+val status_to_string : status -> string
+
+type result = {
+  status : status;
+  iterations : int;  (** final placer iteration counter *)
+  converged : bool;  (** stopped by §4.2, not a budget *)
+  hpwl : float;  (** after legalisation *)
+  overlap : float;
+  legal : bool;
+  improve_moves : int;  (** accepted moves of {!Legalize.Improve.run} *)
+  improve_delta : float;  (** its HPWL improvement *)
+  domino_moves : int;  (** cells moved / windows improved by Domino *)
+  domino_delta : float;
+  deadline_expired : bool;
+  wall_s : float;
+  checkpoint_written : string option;
+}
+
+val mode_to_string : mode -> string
+
+val config_of_mode : mode -> Kraftwerk.Config.t
+
+val spec_to_json : spec -> Obs.Json.t
+
+val spec_of_json : Obs.Json.t -> (spec, string) Stdlib.result
+
+val result_to_json : result -> Obs.Json.t
+
+val result_of_json : Obs.Json.t -> (result, string) Stdlib.result

@@ -1,0 +1,173 @@
+type request =
+  | Submit of Job.spec
+  | Status of Scheduler.id
+  | Result of Scheduler.id
+  | Cancel of Scheduler.id
+  | Jobs
+  | Step of int
+  | Drain
+  | Wait of Scheduler.id
+  | Shutdown
+
+open Obs.Json
+
+let int_ v = Num (float_of_int v)
+
+let ( let* ) = Stdlib.Result.bind
+
+let field_id v =
+  match member "id" v with
+  | Some (Num n) when Float.is_integer n && n >= 1. -> Ok (int_of_float n)
+  | Some _ -> Error "protocol: field \"id\" is not a positive integer"
+  | None -> Error "protocol: missing field \"id\""
+
+let request_of_json v =
+  match member "cmd" v with
+  | Some (Str "submit") -> (
+    match member "job" v with
+    | Some job ->
+      let* spec = Job.spec_of_json job in
+      Ok (Submit spec)
+    | None -> Error "protocol: submit needs a \"job\" field")
+  | Some (Str "status") ->
+    let* id = field_id v in
+    Ok (Status id)
+  | Some (Str "result") ->
+    let* id = field_id v in
+    Ok (Result id)
+  | Some (Str "cancel") ->
+    let* id = field_id v in
+    Ok (Cancel id)
+  | Some (Str "jobs") -> Ok Jobs
+  | Some (Str "step") -> (
+    match member "turns" v with
+    | Some (Num n) when Float.is_integer n && n >= 1. ->
+      Ok (Step (int_of_float n))
+    | None -> Ok (Step 1)
+    | Some _ -> Error "protocol: field \"turns\" is not a positive integer")
+  | Some (Str "drain") -> Ok Drain
+  | Some (Str "wait") ->
+    let* id = field_id v in
+    Ok (Wait id)
+  | Some (Str "shutdown") -> Ok Shutdown
+  | Some (Str other) -> Error (Printf.sprintf "protocol: unknown command %S" other)
+  | Some _ -> Error "protocol: field \"cmd\" is not a string"
+  | None -> Error "protocol: missing field \"cmd\""
+
+let event_to_json = function
+  | Scheduler.Submitted id -> Obj [ ("event", Str "submitted"); ("id", int_ id) ]
+  | Scheduler.Started id -> Obj [ ("event", Str "started"); ("id", int_ id) ]
+  | Scheduler.Checkpointed (id, file) ->
+    Obj [ ("event", Str "checkpointed"); ("id", int_ id); ("file", Str file) ]
+  | Scheduler.Finished (id, status) ->
+    Obj
+      [
+        ("event", Str "finished");
+        ("id", int_ id);
+        ("status", Str (Job.status_to_string status));
+      ]
+
+let error msg = Obj [ ("ok", Bool false); ("error", Str msg) ]
+
+let ok fields = Obj (("ok", Bool true) :: fields)
+
+let with_job sched id f =
+  match Scheduler.status sched id with
+  | None -> error (Printf.sprintf "protocol: unknown job id %d" id)
+  | Some status -> f status
+
+let handle sched req =
+  match req with
+  | Submit spec ->
+    let id = Scheduler.submit sched spec in
+    (ok [ ("id", int_ id); ("status", Str "queued") ], false)
+  | Status id ->
+    ( with_job sched id (fun status ->
+          ok [ ("id", int_ id); ("status", Str (Job.status_to_string status)) ]),
+      false )
+  | Result id ->
+    ( with_job sched id (fun status ->
+          if not (Job.terminal status) then
+            error
+              (Printf.sprintf "protocol: job %d is still %s" id
+                 (Job.status_to_string status))
+          else
+            match Scheduler.result sched id with
+            | Some r -> ok [ ("id", int_ id); ("result", Job.result_to_json r) ]
+            | None -> error (Printf.sprintf "protocol: job %d has no result" id)),
+      false )
+  | Cancel id ->
+    ( with_job sched id (fun _ ->
+          let cancelled = Scheduler.cancel sched id in
+          ok [ ("id", int_ id); ("cancelled", Bool cancelled) ]),
+      false )
+  | Jobs ->
+    let rows =
+      List.map
+        (fun (id, status) ->
+          Obj
+            [ ("id", int_ id); ("status", Str (Job.status_to_string status)) ])
+        (Scheduler.jobs sched)
+    in
+    (ok [ ("jobs", Arr rows) ], false)
+  | Step turns ->
+    let stepped = ref 0 in
+    while !stepped < turns && Scheduler.step sched do
+      incr stepped
+    done;
+    (ok [ ("stepped", int_ !stepped) ], false)
+  | Drain ->
+    let stepped = ref 0 in
+    while Scheduler.step sched do
+      incr stepped
+    done;
+    (ok [ ("stepped", int_ !stepped) ], false)
+  | Wait id ->
+    ( with_job sched id (fun _ ->
+          let continue = ref true in
+          while
+            !continue
+            && not
+                 (match Scheduler.status sched id with
+                 | Some s -> Job.terminal s
+                 | None -> true)
+          do
+            continue := Scheduler.step sched
+          done;
+          match Scheduler.status sched id with
+          | Some s ->
+            ok [ ("id", int_ id); ("status", Str (Job.status_to_string s)) ]
+          | None -> error (Printf.sprintf "protocol: unknown job id %d" id)),
+      false )
+  | Shutdown -> (ok [ ("shutdown", Bool true) ], true)
+
+let serve ?(echo = fun _ -> ()) sched ic oc =
+  let emit line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    echo line
+  in
+  let shutdown = ref false in
+  (try
+     while not !shutdown do
+       let line = input_line ic in
+       let line = String.trim line in
+       if line <> "" then begin
+         echo line;
+         let response, stop =
+           match of_string line with
+           | Error msg -> (error ("protocol: bad JSON: " ^ msg), false)
+           | Ok v -> (
+             match request_of_json v with
+             | Error msg -> (error msg, false)
+             | Ok req -> handle sched req)
+         in
+         emit (to_string response);
+         shutdown := stop
+       end
+     done
+   with End_of_file -> ());
+  (* Whatever was submitted still completes: a piped session that ends
+     right after its submits is a valid batch. *)
+  Scheduler.drain sched

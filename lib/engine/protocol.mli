@@ -1,0 +1,64 @@
+(** The line-oriented JSON protocol behind [place serve] and
+    [place batch].
+
+    One request per line on the way in, one response per line on the way
+    out; both are single JSON objects ({!Obs.Json}), so transcripts are
+    plain JSONL.  Scheduler lifecycle transitions are additionally
+    emitted as event notification lines (objects with an ["event"]
+    field) interleaved between responses — a reader distinguishes the
+    two by the presence of ["ok"] (response) vs ["event"].
+
+    Requests carry a ["cmd"] field:
+
+    {v
+    {"cmd":"submit","job":{…Job.spec…}}      → {"ok":true,"id":N}
+    {"cmd":"status","id":N}                  → {"ok":true,"id":N,"status":S}
+    {"cmd":"result","id":N}                  → {"ok":true,"id":N,"result":{…}}
+    {"cmd":"cancel","id":N}                  → {"ok":true,"id":N,"cancelled":B}
+    {"cmd":"jobs"}                           → {"ok":true,"jobs":[{"id":N,"status":S}…]}
+    {"cmd":"step","turns":N}                 → {"ok":true,"stepped":M}
+    {"cmd":"drain"}                          → {"ok":true,"stepped":M}
+    {"cmd":"wait","id":N}                    → {"ok":true,"id":N,"status":S}
+    {"cmd":"shutdown"}                       → {"ok":true,"shutdown":true}
+    v}
+
+    Jobs advance only inside [step]/[drain]/[wait] (the scheduler is
+    cooperative and single-threaded), so a client scripts its batch as
+    submits followed by a drain.  Every failure — unknown command,
+    malformed JSON, bad job spec, unknown id, result of a non-terminal
+    job — is a structured [{"ok":false,"error":…}] response, never a
+    dead connection. *)
+
+type request =
+  | Submit of Job.spec
+  | Status of Scheduler.id
+  | Result of Scheduler.id
+  | Cancel of Scheduler.id
+  | Jobs
+  | Step of int
+  | Drain
+  | Wait of Scheduler.id
+  | Shutdown
+
+val request_of_json : Obs.Json.t -> (request, string) result
+
+(** [event_to_json e] is the notification line for a scheduler event. *)
+val event_to_json : Scheduler.event -> Obs.Json.t
+
+(** [error msg] is the [{"ok":false,"error":msg}] response. *)
+val error : string -> Obs.Json.t
+
+(** [handle sched req] executes one request and returns its response
+    plus [true] when the request was [Shutdown]. *)
+val handle : Scheduler.t -> request -> Obs.Json.t * bool
+
+(** [serve ?echo sched ic oc] is the full loop: read request lines from
+    [ic] until EOF or [shutdown], write responses to [oc] (flushed per
+    line).  [echo] (e.g. a transcript file) receives a copy of every
+    request and response line.  Scheduler events should be wired to
+    [oc]/[echo] by the caller via the scheduler's [on_event] using
+    {!event_to_json}.  Remaining non-terminal jobs are drained before
+    returning, so piped sessions that end after their submits still
+    complete their work. *)
+val serve :
+  ?echo:(string -> unit) -> Scheduler.t -> in_channel -> out_channel -> unit

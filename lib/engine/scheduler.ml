@@ -1,0 +1,447 @@
+type id = int
+
+type event =
+  | Submitted of id
+  | Started of id
+  | Checkpointed of id * string
+  | Finished of id * Job.status
+
+(* Live state of a started job, dropped once the job is terminal. *)
+type running = {
+  circuit : Netlist.Circuit.t;
+  state : Kraftwerk.Placer.state;
+  hooks : Kraftwerk.Placer.hooks;
+  crit : Timing.Criticality.t option;  (* timing-driven jobs *)
+  sink : Obs.Sink.t option;  (* private per-job telemetry sink *)
+  trace_oc : out_channel option;
+  iters_emitted : int ref;
+  started_at : float;
+  max_steps : int;  (* cap on the total placer iteration counter *)
+  mutable since_checkpoint : int;
+  mutable checkpoint_written : string option;
+}
+
+type entry = {
+  id : id;
+  spec : Job.spec;
+  mutable status : Job.status;
+  mutable run : running option;
+  mutable res : Job.result option;
+  mutable final_global : Netlist.Placement.t option;
+  mutable final_legal : Netlist.Placement.t option;
+  mutable cancel_requested : bool;
+}
+
+type t = {
+  concurrency : int;
+  base_domains : int;
+  on_event : event -> unit;
+  mutable next_id : int;
+  entries : (id, entry) Hashtbl.t;
+  mutable order : id list;  (* submission order *)
+  mutable rr : id list;  (* running jobs, round-robin rotation *)
+}
+
+let create ?(concurrency = 1) ?domains ?(on_event = fun _ -> ()) () =
+  if concurrency < 1 then invalid_arg "Scheduler.create: concurrency < 1";
+  let base_domains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Scheduler.create: domains < 1";
+      d
+    | None -> Numeric.Parallel.num_domains ()
+  in
+  {
+    concurrency;
+    base_domains;
+    on_event;
+    next_id = 0;
+    entries = Hashtbl.create 16;
+    order = [];
+    rr = [];
+  }
+
+let submit t spec =
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  Hashtbl.replace t.entries id
+    {
+      id;
+      spec;
+      status = Job.Queued;
+      run = None;
+      res = None;
+      final_global = None;
+      final_legal = None;
+      cancel_requested = false;
+    };
+  t.order <- t.order @ [ id ];
+  t.on_event (Submitted id);
+  id
+
+let status t id =
+  Option.map (fun e -> e.status) (Hashtbl.find_opt t.entries id)
+
+let result t id = Option.bind (Hashtbl.find_opt t.entries id) (fun e -> e.res)
+
+let placement t id =
+  Option.bind (Hashtbl.find_opt t.entries id) (fun e -> e.final_global)
+
+let legalized t id =
+  Option.bind (Hashtbl.find_opt t.entries id) (fun e -> e.final_legal)
+
+let jobs t =
+  List.map (fun id -> (id, (Hashtbl.find t.entries id).status)) t.order
+
+let busy t =
+  List.exists
+    (fun id -> not (Job.terminal (Hashtbl.find t.entries id).status))
+    t.order
+
+(* ------------------------------------------------------------------ *)
+(* Starting jobs                                                        *)
+
+(* Timing-driven jobs adapt net weights before every transformation, as
+   in Timing.Driven.optimize; the criticality state lives in the running
+   record so checkpoints can carry it. *)
+let timing_hooks crit =
+  let params = Timing.Params.default in
+  {
+    Kraftwerk.Placer.no_hooks with
+    Kraftwerk.Placer.reweight =
+      Some
+        (fun (state : Kraftwerk.Placer.state) ->
+          let sta =
+            Timing.Sta.analyse params state.Kraftwerk.Placer.circuit
+              state.Kraftwerk.Placer.placement
+          in
+          Timing.Criticality.update crit params
+            ~net_slack:sta.Timing.Sta.net_slack;
+          Timing.Criticality.apply_weights
+            ~cap:params.Timing.Params.max_net_weight crit
+            state.Kraftwerk.Placer.net_weights);
+  }
+
+let or_fail = function Ok v -> v | Error msg -> failwith msg
+
+(* Materialise a spec into live placer state.  Raises on bad sources or
+   checkpoints; the caller converts exceptions into a [Failed] status. *)
+let start_running (spec : Job.spec) =
+  let circuit, p0 = Source.load spec.Job.source in
+  (* The scheduler owns the pool; the config must not repartition it. *)
+  let config =
+    { (Job.config_of_mode spec.Job.mode) with Kraftwerk.Config.domains = None }
+  in
+  let state, crit =
+    match spec.Job.start with
+    | Job.Fresh ->
+      let crit =
+        if spec.Job.timing then
+          Some (Timing.Criticality.create (Netlist.Circuit.num_nets circuit))
+        else None
+      in
+      (Kraftwerk.Placer.init config circuit p0, crit)
+    | Job.Resume file ->
+      let cp = or_fail (Checkpoint.load file) in
+      let state = or_fail (Checkpoint.restore cp config circuit) in
+      let crit =
+        if spec.Job.timing then
+          Some
+            (match cp.Checkpoint.criticality with
+            | Some a -> Timing.Criticality.of_array a
+            | None ->
+              Timing.Criticality.create (Netlist.Circuit.num_nets circuit))
+        else None
+      in
+      (state, crit)
+    | Job.Warm file ->
+      (* ECO shape: only the checkpointed placement, fresh forces — the
+         circuit may differ from the checkpointed one. *)
+      let cp = or_fail (Checkpoint.load file) in
+      let p =
+        or_fail
+          (Checkpoint.placement cp ~num_cells:(Netlist.Circuit.num_cells circuit))
+      in
+      let crit =
+        if spec.Job.timing then
+          Some (Timing.Criticality.create (Netlist.Circuit.num_nets circuit))
+        else None
+      in
+      (Kraftwerk.Placer.init config circuit p, crit)
+  in
+  let hooks =
+    match crit with
+    | Some c -> timing_hooks c
+    | None -> Kraftwerk.Placer.no_hooks
+  in
+  let iters_emitted = ref 0 in
+  let sink, trace_oc =
+    match spec.Job.trace with
+    | None -> (None, None)
+    | Some file ->
+      let oc = open_out file in
+      let base = Obs.Sink.jsonl oc in
+      ( Some
+          {
+            base with
+            Obs.Sink.on_iteration =
+              (fun r ->
+                incr iters_emitted;
+                base.Obs.Sink.on_iteration r);
+          },
+        Some oc )
+  in
+  {
+    circuit;
+    state;
+    hooks;
+    crit;
+    sink;
+    trace_oc;
+    iters_emitted;
+    started_at = Unix.gettimeofday ();
+    max_steps =
+      Option.value spec.Job.max_steps
+        ~default:config.Kraftwerk.Config.max_iterations;
+    since_checkpoint = 0;
+    checkpoint_written = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Finishing                                                            *)
+
+let write_checkpoint t entry run file =
+  let criticality = Option.map Timing.Criticality.to_array run.crit in
+  Checkpoint.save file (Checkpoint.of_state ?criticality run.state);
+  run.since_checkpoint <- 0;
+  run.checkpoint_written <- Some file;
+  if entry.status = Job.Running then entry.status <- Job.Checkpointed;
+  t.on_event (Checkpointed (entry.id, file))
+
+let close_trace run ~(result : Job.result) =
+  (match (run.sink, run.trace_oc) with
+  | Some sink, _ ->
+    sink.Obs.Sink.on_summary
+      {
+        Obs.Telemetry.iterations = !(run.iters_emitted);
+        converged = result.Job.converged;
+        final_hpwl = result.Job.hpwl;
+        final_overlap = result.Job.overlap;
+        wall_time = result.Job.wall_s;
+        counters = Obs.Registry.snapshot ();
+      }
+  | None, _ -> ());
+  match run.trace_oc with Some oc -> close_out oc | None -> ()
+
+let finish t entry (result : Job.result) =
+  (match entry.run with
+  | Some run -> close_trace run ~result
+  | None -> ());
+  entry.status <- result.Job.status;
+  entry.res <- Some result;
+  entry.run <- None;
+  t.rr <- List.filter (fun id -> id <> entry.id) t.rr;
+  t.on_event (Finished (entry.id, result.Job.status))
+
+let empty_result status =
+  {
+    Job.status;
+    iterations = 0;
+    converged = false;
+    hpwl = 0.;
+    overlap = 0.;
+    legal = false;
+    improve_moves = 0;
+    improve_delta = 0.;
+    domino_moves = 0;
+    domino_delta = 0.;
+    deadline_expired = false;
+    wall_s = 0.;
+    checkpoint_written = None;
+  }
+
+let finish_failed t entry msg =
+  let wall =
+    match entry.run with
+    | Some run -> Unix.gettimeofday () -. run.started_at
+    | None -> 0.
+  in
+  finish t entry { (empty_result (Job.Failed msg)) with Job.wall_s = wall }
+
+(* Completed job: the full final-placement pipeline, with the
+   improvement deltas of each pass surfaced in the result. *)
+let finish_done t entry run ~converged =
+  (match entry.spec.Job.checkpoint with
+  | Some file -> write_checkpoint t entry run file
+  | None -> ());
+  let c = run.circuit in
+  let global = run.state.Kraftwerk.Placer.placement in
+  entry.final_global <- Some (Netlist.Placement.copy global);
+  let rep = Legalize.Abacus.legalize c global () in
+  let lp = rep.Legalize.Abacus.placement in
+  let improve_moves, improve_delta = Legalize.Improve.run c lp in
+  let domino_moves, domino_delta = Legalize.Domino.run c lp in
+  entry.final_legal <- Some lp;
+  finish t entry
+    {
+      Job.status = Job.Done;
+      iterations = run.state.Kraftwerk.Placer.iteration;
+      converged;
+      hpwl = Metrics.Wirelength.hpwl c lp;
+      overlap = Metrics.Overlap.overlap_ratio c lp;
+      legal = Legalize.Check.is_legal c lp;
+      improve_moves;
+      improve_delta;
+      domino_moves;
+      domino_delta;
+      deadline_expired = false;
+      wall_s = Unix.gettimeofday () -. run.started_at;
+      checkpoint_written = run.checkpoint_written;
+    }
+
+(* Cancelled or deadline-expired job: degrade gracefully — write a final
+   checkpoint when configured, then legalise the best-so-far placement.
+   The greedy Tetris pass is tried first (cheapest); mid-run snapshots
+   are clustered enough that its frontier packing can overflow, in which
+   case the Abacus legaliser (which packs rows from their weighted
+   optima) takes over.  Either way this path reports faithfully and
+   never raises. *)
+let finish_degraded t entry run ~deadline_expired =
+  (match entry.spec.Job.checkpoint with
+  | Some file -> write_checkpoint t entry run file
+  | None -> ());
+  let c = run.circuit in
+  let global = run.state.Kraftwerk.Placer.placement in
+  entry.final_global <- Some (Netlist.Placement.copy global);
+  let lp, legal =
+    match Legalize.Tetris.legalize c global () with
+    | Ok rep
+      when rep.Legalize.Tetris.overflowed = 0
+           && Legalize.Check.is_legal c rep.Legalize.Tetris.placement ->
+      (rep.Legalize.Tetris.placement, true)
+    | Ok _ | Error _ ->
+      let rep = Legalize.Abacus.legalize c global () in
+      (rep.Legalize.Abacus.placement,
+       Legalize.Check.is_legal c rep.Legalize.Abacus.placement)
+  in
+  entry.final_legal <- Some lp;
+  finish t entry
+    {
+      Job.status = Job.Cancelled;
+      iterations = run.state.Kraftwerk.Placer.iteration;
+      converged = false;
+      hpwl = Metrics.Wirelength.hpwl c lp;
+      overlap = Metrics.Overlap.overlap_ratio c lp;
+      legal;
+      improve_moves = 0;
+      improve_delta = 0.;
+      domino_moves = 0;
+      domino_delta = 0.;
+      deadline_expired;
+      wall_s = Unix.gettimeofday () -. run.started_at;
+      checkpoint_written = run.checkpoint_written;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Turns                                                                *)
+
+(* Lane budget for the job about to run: an equal split of the base pool
+   between the currently interleaved jobs, unless the spec pins one.
+   Results are bitwise lane-count-independent, so the repartitioning is
+   invisible to trajectories. *)
+let lanes t entry =
+  match entry.spec.Job.domains with
+  | Some d -> d
+  | None -> max 1 (t.base_domains / max 1 (List.length t.rr))
+
+let turn t entry run =
+  let deadline_expired =
+    match entry.spec.Job.deadline with
+    | Some d -> Unix.gettimeofday () -. run.started_at >= d
+    | None -> false
+  in
+  if entry.cancel_requested || deadline_expired then
+    finish_degraded t entry run ~deadline_expired
+  else if run.state.Kraftwerk.Placer.iteration >= run.max_steps then
+    finish_done t entry run ~converged:false
+  else if Kraftwerk.Placer.converged run.state then
+    finish_done t entry run ~converged:true
+  else begin
+    Numeric.Parallel.set_num_domains (lanes t entry);
+    let step () =
+      ignore (Kraftwerk.Placer.transform ~hooks:run.hooks run.state)
+    in
+    (match run.sink with
+    | Some sink -> Obs.Sink.with_sink sink step
+    | None -> step ());
+    run.since_checkpoint <- run.since_checkpoint + 1;
+    match entry.spec.Job.checkpoint with
+    | Some file when run.since_checkpoint >= entry.spec.Job.checkpoint_every ->
+      write_checkpoint t entry run file
+    | _ -> ()
+  end
+
+let start_queued t =
+  let rec next_queued best = function
+    | [] -> best
+    | id :: rest ->
+      let e = Hashtbl.find t.entries id in
+      let best =
+        if e.status = Job.Queued then
+          match best with
+          | Some b when b.spec.Job.priority >= e.spec.Job.priority -> best
+          | _ -> Some e
+        else best
+      in
+      next_queued best rest
+  in
+  (* [order] is submission order, so the first maximum is FIFO within a
+     priority. *)
+  let continue = ref true in
+  while !continue && List.length t.rr < t.concurrency do
+    match next_queued None t.order with
+    | None -> continue := false
+    | Some e -> (
+      e.status <- Job.Running;
+      t.on_event (Started e.id);
+      match start_running e.spec with
+      | run ->
+        e.run <- Some run;
+        t.rr <- t.rr @ [ e.id ]
+      | exception exn -> finish_failed t e (Printexc.to_string exn))
+  done
+
+let step t =
+  start_queued t;
+  match t.rr with
+  | [] -> false
+  | id :: rest ->
+    let e = Hashtbl.find t.entries id in
+    (match e.run with
+    | Some run -> (
+      try turn t e run with exn -> finish_failed t e (Printexc.to_string exn))
+    | None ->
+      (* unreachable: every rr member has live run state *)
+      finish_failed t e "scheduler: running job lost its state");
+    (* Rotate: the job finishing removed itself from rr already. *)
+    if not (Job.terminal e.status) then t.rr <- rest @ [ id ];
+    true
+
+let drain t =
+  while step t do
+    ()
+  done
+
+let cancel t id =
+  match Hashtbl.find_opt t.entries id with
+  | None -> false
+  | Some e ->
+    if Job.terminal e.status then false
+    else begin
+      (match e.status with
+      | Job.Queued ->
+        (* Never started: no placement to report. *)
+        finish t e (empty_result Job.Cancelled)
+      | _ -> e.cancel_requested <- true);
+      true
+    end

@@ -1,0 +1,83 @@
+(** Cooperative placement-job scheduler.
+
+    Jobs are queued by priority (FIFO within a priority) and up to
+    [concurrency] of them are {e interleaved}, round-robin, at the
+    granularity of one placement transformation per turn.  Interleaving
+    rather than domain-level preemption keeps every job's trajectory
+    bitwise-identical to a solo run: the {!Numeric.Parallel} pool is
+    deterministic for any lane count, and the scheduler merely
+    repartitions lanes between turns ([base_domains / running_jobs],
+    minimum 1, unless a job pins its own [domains] budget).
+
+    Cancellation, deadlines and checkpoints all take effect at
+    transformation boundaries.  A cancelled or deadline-expired job
+    degrades gracefully: its best-so-far placement is greedily legalised
+    ({!Legalize.Tetris}) and reported with status [Cancelled] — never an
+    exception.  A completed job gets the full final-placement pipeline
+    ({!Legalize.Abacus}, then {!Legalize.Improve} and {!Legalize.Domino},
+    whose deltas are reported).
+
+    Per-job telemetry goes through a private {!Obs.Sink} installed only
+    for the duration of that job's turns, so concurrent traces never
+    interleave. *)
+
+type t
+
+(** Job handle, unique within a scheduler, assigned at submission
+    (1, 2, …). *)
+type id = int
+
+type event =
+  | Submitted of id
+  | Started of id
+  | Checkpointed of id * string  (** checkpoint file written *)
+  | Finished of id * Job.status  (** terminal status *)
+
+(** [create ()] — [concurrency] is the number of jobs interleaved at
+    once (default 1); [domains] is the lane budget split between them
+    (default: the current {!Numeric.Parallel.num_domains}); [on_event]
+    observes lifecycle transitions. *)
+val create :
+  ?concurrency:int -> ?domains:int -> ?on_event:(event -> unit) -> unit -> t
+
+(** [submit t spec] enqueues a job and returns its id.  The spec is
+    validated lazily: source or checkpoint problems surface as a
+    [Failed] status when the job would start. *)
+val submit : t -> Job.spec -> id
+
+(** [cancel t id] requests cooperative cancellation.  A queued job is
+    finished as [Cancelled] immediately (no placement was produced); a
+    running job finishes at its next turn with its best-so-far
+    placement, writing a final checkpoint first when configured.
+    Returns false when [id] is unknown or already terminal. *)
+val cancel : t -> id -> bool
+
+val status : t -> id -> Job.status option
+
+(** [result t id] — the terminal report, once [terminal (status t id)]. *)
+val result : t -> id -> Job.result option
+
+(** [placement t id] — the final {e global} (pre-legalisation) placement
+    of a terminal job that produced one; for the ECO path and for tests
+    comparing trajectories bitwise. *)
+val placement : t -> id -> Netlist.Placement.t option
+
+(** [legalized t id] — the legalised placement behind a terminal job's
+    reported metrics (the Tetris best-so-far for cancelled jobs, the full
+    pipeline's output for completed ones). *)
+val legalized : t -> id -> Netlist.Placement.t option
+
+(** [jobs t] — every submitted job with its current status, in
+    submission order. *)
+val jobs : t -> (id * Job.status) list
+
+(** [busy t] — some job is still queued or running. *)
+val busy : t -> bool
+
+(** [step t] runs one scheduling turn: start queued jobs while slots are
+    free, then give the next running job one transformation (or its
+    finishing pass).  Returns false when nothing was runnable. *)
+val step : t -> bool
+
+(** [drain t] steps until no job is queued or running. *)
+val drain : t -> unit

@@ -1,0 +1,26 @@
+(** Where a job's circuit comes from.
+
+    A job spec must be serializable, so it names its circuit instead of
+    embedding it: either a generator profile (name, scale, seed — fully
+    deterministic) or a file on disk (the [.ckt] text format with an
+    optional [.pos] sidecar, or a Bookshelf [.aux]). *)
+
+type t =
+  | Profile of { name : string; scale : float; seed : int }
+  | File of string
+
+(** [load t] materialises the circuit and its initial placement.  For
+    [Profile] this is the generator followed by the §4.2 centered
+    initial placement; for [File] the placement comes from the [.pos]
+    sidecar when present (Bookshelf placements come from the [.pl]).
+    Raises on unknown profiles / unreadable files — callers run it
+    inside the job-failure guard. *)
+val load : t -> Netlist.Circuit.t * Netlist.Placement.t
+
+(** [describe t] is a short human-readable label ("biomed@0.25#42",
+    "ibm01.aux"). *)
+val describe : t -> string
+
+val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> (t, string) result

@@ -52,6 +52,34 @@ let init config circuit placement =
     iteration = 0;
   }
 
+let restore config circuit ~placement ~ex ~ey ~net_weights ~iteration =
+  (match config.Config.domains with
+  | Some d -> Numeric.Parallel.set_num_domains d
+  | None -> ());
+  let var_of_cell, n_movable = Qp.System.index_map circuit in
+  if Array.length ex <> n_movable || Array.length ey <> n_movable then
+    invalid_arg "Placer.restore: force-vector length mismatch";
+  if Array.length net_weights <> Netlist.Circuit.num_nets circuit then
+    invalid_arg "Placer.restore: net-weight length mismatch";
+  if
+    Array.length placement.Netlist.Placement.x
+    <> Netlist.Circuit.num_cells circuit
+  then invalid_arg "Placer.restore: placement length mismatch";
+  {
+    circuit;
+    config;
+    var_of_cell;
+    n_movable;
+    placement = Netlist.Placement.copy placement;
+    ex = Array.copy ex;
+    ey = Array.copy ey;
+    net_weights = Array.copy net_weights;
+    assembly =
+      Qp.System.assembly circuit ~clique_cap:config.Config.clique_cap
+        ~model:config.Config.net_model ();
+    iteration;
+  }
+
 let grid_dims state =
   match state.config.Config.grid with
   | Some (nx, ny) -> (nx, ny)

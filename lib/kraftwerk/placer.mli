@@ -48,6 +48,25 @@ val no_hooks : hooks
     of) [placement] with ~e = 0 and unit net weights. *)
 val init : Config.t -> Netlist.Circuit.t -> Netlist.Placement.t -> state
 
+(** [restore config circuit ~placement ~ex ~ey ~net_weights ~iteration]
+    rebuilds a state from externally saved mid-run data (the checkpoint
+    path of the job engine).  The accumulated ~e vectors are what make
+    mid-run state restartable: with [placement], [ex]/[ey],
+    [net_weights] and [iteration] restored bitwise, the subsequent
+    trajectory is bitwise-identical to the uninterrupted run — the QP
+    assembly and kernel caches rebuilt here are value-transparent
+    ({!Qp.System.rebuild} documents refill ≡ finalize).  All inputs are
+    copied.  Raises [Invalid_argument] on length mismatches. *)
+val restore :
+  Config.t ->
+  Netlist.Circuit.t ->
+  placement:Netlist.Placement.t ->
+  ex:float array ->
+  ey:float array ->
+  net_weights:float array ->
+  iteration:int ->
+  state
+
 (** [transform ?hooks state] performs one placement transformation
     (§4.1): determine the density forces at the current placement, add
     them to ~e, rebuild the (possibly linearised) system through the

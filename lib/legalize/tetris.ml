@@ -5,6 +5,16 @@ type report = {
   overflowed : int;
 }
 
+type error = No_row_segments
+
+let pp_error ppf = function
+  | No_row_segments ->
+    Format.fprintf ppf "no free row segment anywhere in the region"
+
+(* Local escape from the per-cell loop; converted to [Error] below so
+   callers see a typed result, never an exception. *)
+exception Escape of error
+
 let legalize (c : Netlist.Circuit.t) (p : Netlist.Placement.t)
     ?(extra_obstacles = []) () =
   let fixed_obstacles =
@@ -28,7 +38,8 @@ let legalize (c : Netlist.Circuit.t) (p : Netlist.Placement.t)
              (p.Netlist.Placement.x.(b.Netlist.Cell.id)))
   in
   let total = ref 0. and maxd = ref 0. and overflowed = ref 0 in
-  List.iter
+  try
+    List.iter
     (fun (cl : Netlist.Cell.t) ->
       let id = cl.Netlist.Cell.id in
       let w = cl.Netlist.Cell.width in
@@ -82,7 +93,7 @@ let legalize (c : Netlist.Circuit.t) (p : Netlist.Placement.t)
             rows;
           (match !best_seg with
           | Some s -> (s, s.Rows.frontier)
-          | None -> failwith "Tetris.legalize: no row segments at all")
+          | None -> raise (Escape No_row_segments))
       in
       seg.Rows.frontier <- x +. w;
       out.Netlist.Placement.x.(id) <- x +. (w /. 2.);
@@ -92,10 +103,12 @@ let legalize (c : Netlist.Circuit.t) (p : Netlist.Placement.t)
       let d = sqrt ((dx *. dx) +. (dy *. dy)) in
       total := !total +. d;
       if d > !maxd then maxd := d)
-    targets;
-  {
-    placement = out;
-    total_displacement = !total;
-    max_displacement = !maxd;
-    overflowed = !overflowed;
-  }
+      targets;
+    Ok
+      {
+        placement = out;
+        total_displacement = !total;
+        max_displacement = !maxd;
+        overflowed = !overflowed;
+      }
+  with Escape e -> Error e

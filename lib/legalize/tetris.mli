@@ -20,6 +20,17 @@ type report = {
           fullest segment's frontier (0 for sane utilisations) *)
 }
 
+(** Why a legalisation could not produce a placement.  Typed rather than
+    an exception so a degraded caller (the job engine legalising a
+    best-so-far placement at deadline expiry) can report failure instead
+    of dying. *)
+type error =
+  | No_row_segments
+      (** the obstacle set left no free segment in any row, so there is
+          nowhere to put a cell that fits no segment *)
+
+val pp_error : Format.formatter -> error -> unit
+
 (** [legalize circuit placement ?extra_obstacles ()] legalises every
     movable standard cell; other cells keep their coordinates. *)
 val legalize :
@@ -27,4 +38,4 @@ val legalize :
   Netlist.Placement.t ->
   ?extra_obstacles:Geometry.Rect.t list ->
   unit ->
-  report
+  (report, error) result

@@ -44,6 +44,14 @@ let strip_volatile = function
     Json.Obj (List.filter (fun (k, _) -> not (List.mem k volatile_fields)) fields)
   | other -> other
 
+let provenance_fields = [ "assembly_reused"; "pattern_rebuilds" ]
+
+let strip_provenance = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.filter (fun (k, _) -> not (List.mem k provenance_fields)) fields)
+  | other -> other
+
 (* ------------------------------------------------------------------ *)
 (* To JSON                                                             *)
 

@@ -65,6 +65,18 @@ val volatile_fields : string list
     object, leaving the deterministic payload. *)
 val strip_volatile : Json.t -> Json.t
 
+(** Fields recording process-local cache provenance rather than the
+    mathematical trajectory: a resumed run recompiles its QP assembly on
+    the first transformation where the uninterrupted run refilled a
+    cached pattern, so these (and only these) legitimately differ across
+    a checkpoint/resume boundary.  The recorded {e values} — matrices,
+    placements, forces — are bitwise-identical either way. *)
+val provenance_fields : string list
+
+(** [strip_provenance json] removes {!provenance_fields} — applied on
+    top of {!strip_volatile} by checkpoint/resume comparisons. *)
+val strip_provenance : Json.t -> Json.t
+
 val iteration_to_json : iteration -> Json.t
 
 (** [iteration_of_json v] parses and validates a record — the schema

@@ -27,6 +27,10 @@ let update t (p : Params.t) ~net_slack =
 
 let criticality t net_id = t.crit.(net_id)
 
+let to_array t = Array.copy t.crit
+
+let of_array a = { crit = Array.copy a }
+
 let apply_weights ?(cap = Float.infinity) t weights =
   if Array.length weights <> Array.length t.crit then
     invalid_arg "Criticality.apply_weights: length mismatch";

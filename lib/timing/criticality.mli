@@ -25,3 +25,10 @@ val criticality : t -> int -> float
 (** [apply_weights ?cap t weights] multiplies [weights.(i)] by
     (1 + criticality i) in place, saturating at [cap] (default none). *)
 val apply_weights : ?cap:float -> t -> float array -> unit
+
+(** [to_array t] / [of_array a] expose the per-net criticalities so a
+    timing-driven run can be checkpointed and resumed with its
+    exponential-decay state intact (both copy). *)
+val to_array : t -> float array
+
+val of_array : float array -> t

@@ -32,6 +32,7 @@ let () =
       ("floorplan", Test_floorplan.suite);
       ("floorplan.flexible", Test_flexible.suite);
       ("obs", Test_obs.suite);
+      ("engine", Test_engine.suite);
       ("convergence", Test_convergence.suite);
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);

@@ -1,0 +1,521 @@
+(* Job-engine tests: checkpoint fidelity, scheduler semantics, protocol.
+
+   The load-bearing property is bitwise restartability: a job resumed
+   from a checkpoint must follow exactly the trajectory the
+   uninterrupted run follows — same placement bits, same telemetry
+   tail — for both net models and any domain-pool size.  The scheduler
+   tests additionally pin the cooperative semantics: interleaving
+   preserves solo trajectories, deadlines and cancellation degrade to a
+   legal placement instead of raising, and the ECO warm-start path is
+   the same computation as calling Kraftwerk.Eco.replace directly. *)
+
+let bits = Int64.bits_of_float
+
+let same_float_array tag a b =
+  Alcotest.(check int) (tag ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if bits x <> bits b.(i) then
+        Alcotest.failf "%s: element %d differs: %h vs %h" tag i x b.(i))
+    a
+
+let same_placement tag (a : Netlist.Placement.t) (b : Netlist.Placement.t) =
+  same_float_array (tag ^ ".x") a.Netlist.Placement.x b.Netlist.Placement.x;
+  same_float_array (tag ^ ".y") a.Netlist.Placement.y b.Netlist.Placement.y
+
+let ok_or_fail = function Ok v -> v | Error msg -> Alcotest.fail msg
+
+let source ?(seed = 7) () =
+  Engine.Source.Profile { name = "fract"; scale = 0.5; seed }
+
+let temp suffix = Filename.temp_file "engine_test" suffix
+
+let read_lines file =
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+(* Deterministic payload of a trace's iteration records: volatile fields
+   (timings, pool facts) and cache-provenance fields (a resumed run
+   recompiles where the uninterrupted run refilled) stripped. *)
+let iteration_payloads file =
+  read_lines file
+  |> List.filter_map (fun line ->
+         match Obs.Json.of_string line with
+         | Error e -> Alcotest.failf "unparsable trace line: %s" e
+         | Ok v -> (
+           match Obs.Json.member "record" v with
+           | Some (Obs.Json.Str "iteration") ->
+             Some
+               (Obs.Json.to_string
+                  (Obs.Telemetry.strip_provenance
+                     (Obs.Telemetry.strip_volatile v)))
+           | _ -> None))
+
+let last k l = List.filteri (fun i _ -> i >= List.length l - k) l
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                          *)
+
+let test_checkpoint_round_trip () =
+  let circuit, p0 = Engine.Source.load (source ()) in
+  let config = Kraftwerk.Config.fast in
+  let state = Kraftwerk.Placer.init config circuit p0 in
+  ignore (Kraftwerk.Placer.continue_run state ~max_steps:4);
+  let cp = Engine.Checkpoint.of_state state in
+  let file = temp ".json" in
+  Engine.Checkpoint.save file cp;
+  let cp' = ok_or_fail (Engine.Checkpoint.load file) in
+  Sys.remove file;
+  Alcotest.(check int) "version" Engine.Checkpoint.version
+    cp'.Engine.Checkpoint.version;
+  Alcotest.(check int) "iteration" state.Kraftwerk.Placer.iteration
+    cp'.Engine.Checkpoint.iteration;
+  same_float_array "x" cp.Engine.Checkpoint.x cp'.Engine.Checkpoint.x;
+  same_float_array "y" cp.Engine.Checkpoint.y cp'.Engine.Checkpoint.y;
+  same_float_array "ex" cp.Engine.Checkpoint.ex cp'.Engine.Checkpoint.ex;
+  same_float_array "ey" cp.Engine.Checkpoint.ey cp'.Engine.Checkpoint.ey;
+  same_float_array "net_weights" cp.Engine.Checkpoint.net_weights
+    cp'.Engine.Checkpoint.net_weights;
+  let restored = ok_or_fail (Engine.Checkpoint.restore cp' config circuit) in
+  same_placement "restored placement" state.Kraftwerk.Placer.placement
+    restored.Kraftwerk.Placer.placement;
+  same_float_array "restored ex" state.Kraftwerk.Placer.ex
+    restored.Kraftwerk.Placer.ex;
+  same_float_array "restored ey" state.Kraftwerk.Placer.ey
+    restored.Kraftwerk.Placer.ey
+
+let test_checkpoint_digest_guards () =
+  let circuit, p0 = Engine.Source.load (source ()) in
+  let config = Kraftwerk.Config.fast in
+  let state = Kraftwerk.Placer.init config circuit p0 in
+  ignore (Kraftwerk.Placer.continue_run state ~max_steps:2);
+  let cp = Engine.Checkpoint.of_state state in
+  (* A different trajectory-relevant config field must be rejected... *)
+  let bad = { config with Kraftwerk.Config.k_param = 0.123 } in
+  (match Engine.Checkpoint.restore cp bad circuit with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "restore accepted a different config");
+  (* ...a different circuit must be rejected... *)
+  let rng = Numeric.Rng.create 5 in
+  let rewired = Kraftwerk.Eco.rewire circuit rng ~fraction:0.5 in
+  (match Engine.Checkpoint.restore cp config rewired with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "restore accepted a different circuit");
+  (* ...but the pool size is not part of the semantics (results are
+     bitwise domain-count-independent). *)
+  let pool = { config with Kraftwerk.Config.domains = Some 2 } in
+  ignore (ok_or_fail (Engine.Checkpoint.restore cp pool circuit))
+
+(* The core property (§2.2: the accumulated ~e vectors make mid-run
+   state restartable), for both net models and pools {1, 2, 4}: cutting
+   a run at a checkpoint and restoring yields bitwise the placement and
+   forces of the uninterrupted run. *)
+let test_resume_bitwise_models_pools () =
+  let circuit, p0 = Engine.Source.load (source ()) in
+  let total = 10 and cut = 4 in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun pool ->
+          let tag =
+            Printf.sprintf "%s/pool%d"
+              (match model with
+              | Qp.System.Clique -> "clique"
+              | Qp.System.Bound2bound -> "b2b")
+              pool
+          in
+          let config =
+            {
+              Kraftwerk.Config.fast with
+              Kraftwerk.Config.net_model = model;
+              domains = Some pool;
+            }
+          in
+          let reference = Kraftwerk.Placer.init config circuit p0 in
+          ignore (Kraftwerk.Placer.continue_run reference ~max_steps:total);
+          let first = Kraftwerk.Placer.init config circuit p0 in
+          ignore (Kraftwerk.Placer.continue_run first ~max_steps:cut);
+          let file = temp ".json" in
+          Engine.Checkpoint.save file (Engine.Checkpoint.of_state first);
+          let cp = ok_or_fail (Engine.Checkpoint.load file) in
+          Sys.remove file;
+          let resumed = ok_or_fail (Engine.Checkpoint.restore cp config circuit) in
+          ignore
+            (Kraftwerk.Placer.continue_run resumed ~max_steps:(total - cut));
+          Alcotest.(check int)
+            (tag ^ ": iteration")
+            reference.Kraftwerk.Placer.iteration
+            resumed.Kraftwerk.Placer.iteration;
+          same_placement
+            (tag ^ ": placement")
+            reference.Kraftwerk.Placer.placement
+            resumed.Kraftwerk.Placer.placement;
+          same_float_array (tag ^ ": ex") reference.Kraftwerk.Placer.ex
+            resumed.Kraftwerk.Placer.ex;
+          same_float_array (tag ^ ": ey") reference.Kraftwerk.Placer.ey
+            resumed.Kraftwerk.Placer.ey)
+        [ 1; 2; 4 ])
+    [ Qp.System.Clique; Qp.System.Bound2bound ]
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+
+let submit_and_drain sched spec =
+  let id = Engine.Scheduler.submit sched spec in
+  Engine.Scheduler.drain sched;
+  id
+
+let job_result sched id =
+  match Engine.Scheduler.result sched id with
+  | Some r -> r
+  | None -> Alcotest.failf "job %d has no result" id
+
+let job_placement sched id =
+  match Engine.Scheduler.placement sched id with
+  | Some p -> p
+  | None -> Alcotest.failf "job %d has no placement" id
+
+(* Same property through the engine: a job finished at its checkpoint,
+   resumed, must report bitwise what the uninterrupted job reports —
+   including the telemetry tail of the trace. *)
+let test_engine_resume_matches_uninterrupted () =
+  let ck = temp ".json" and tb = temp ".jsonl" and tc = temp ".jsonl" in
+  let src = source () in
+  let sched = Engine.Scheduler.create () in
+  let a =
+    submit_and_drain sched
+      (Engine.Job.spec ~source:src ~mode:Engine.Job.Fast ~max_steps:5
+         ~checkpoint:ck ())
+  in
+  Alcotest.(check string) "prefix job done" "done"
+    (Engine.Job.status_to_string (job_result sched a).Engine.Job.status);
+  let b =
+    submit_and_drain sched
+      (Engine.Job.spec ~source:src ~mode:Engine.Job.Fast ~max_steps:10
+         ~start:(Engine.Job.Resume ck) ~trace:tb ())
+  in
+  let c =
+    submit_and_drain sched
+      (Engine.Job.spec ~source:src ~mode:Engine.Job.Fast ~max_steps:10
+         ~trace:tc ())
+  in
+  let rb = job_result sched b and rc = job_result sched c in
+  Alcotest.(check int) "same total iterations" rc.Engine.Job.iterations
+    rb.Engine.Job.iterations;
+  same_placement "global placement" (job_placement sched c)
+    (job_placement sched b);
+  Alcotest.(check bool) "legalised hpwl bitwise equal" true
+    (bits rb.Engine.Job.hpwl = bits rc.Engine.Job.hpwl);
+  Alcotest.(check bool) "improvement deltas bitwise equal" true
+    (bits rb.Engine.Job.improve_delta = bits rc.Engine.Job.improve_delta
+    && bits rb.Engine.Job.domino_delta = bits rc.Engine.Job.domino_delta
+    && rb.Engine.Job.improve_moves = rc.Engine.Job.improve_moves
+    && rb.Engine.Job.domino_moves = rc.Engine.Job.domino_moves);
+  (* The resumed trace is exactly the tail of the uninterrupted one. *)
+  let ib = iteration_payloads tb and ic = iteration_payloads tc in
+  Alcotest.(check bool) "resumed trace is shorter" true
+    (List.length ib < List.length ic);
+  Alcotest.(check (list string)) "telemetry tail matches"
+    (last (List.length ib) ic)
+    ib;
+  List.iter Sys.remove [ ck; tb; tc ]
+
+(* Timing-driven jobs checkpoint their per-net criticalities too. *)
+let test_engine_resume_timing_driven () =
+  let ck = temp ".json" in
+  let src = source ~seed:11 () in
+  let sched = Engine.Scheduler.create () in
+  let _ =
+    submit_and_drain sched
+      (Engine.Job.spec ~source:src ~mode:Engine.Job.Fast ~timing:true
+         ~max_steps:4 ~checkpoint:ck ())
+  in
+  let b =
+    submit_and_drain sched
+      (Engine.Job.spec ~source:src ~mode:Engine.Job.Fast ~timing:true
+         ~max_steps:8 ~start:(Engine.Job.Resume ck) ())
+  in
+  let c =
+    submit_and_drain sched
+      (Engine.Job.spec ~source:src ~mode:Engine.Job.Fast ~timing:true
+         ~max_steps:8 ())
+  in
+  same_placement "timing-driven placement" (job_placement sched c)
+    (job_placement sched b);
+  Sys.remove ck
+
+let test_deadline_degrades_to_legal () =
+  let circuit, _ = Engine.Source.load (source ()) in
+  let sched = Engine.Scheduler.create () in
+  let id =
+    submit_and_drain sched
+      (Engine.Job.spec ~source:(source ()) ~mode:Engine.Job.Fast ~deadline:0.0
+         ())
+  in
+  let r = job_result sched id in
+  Alcotest.(check string) "status cancelled" "cancelled"
+    (Engine.Job.status_to_string r.Engine.Job.status);
+  Alcotest.(check bool) "deadline expired" true r.Engine.Job.deadline_expired;
+  Alcotest.(check bool) "reported legal" true r.Engine.Job.legal;
+  match Engine.Scheduler.legalized sched id with
+  | None -> Alcotest.fail "no legalised placement"
+  | Some lp ->
+    Alcotest.(check bool) "passes Legalize.Check" true
+      (Legalize.Check.is_legal circuit lp)
+
+(* Mid-run cancellation: best-so-far legal placement, a final checkpoint
+   when configured, and the checkpoint resumes to the uninterrupted
+   result. *)
+let test_cancel_checkpoint_resume () =
+  let ck = temp ".json" in
+  let circuit, _ = Engine.Source.load (source ()) in
+  let sched = Engine.Scheduler.create () in
+  let a =
+    Engine.Scheduler.submit sched
+      (Engine.Job.spec ~source:(source ()) ~mode:Engine.Job.Fast ~max_steps:10
+         ~checkpoint:ck ~checkpoint_every:100 ())
+  in
+  for _ = 1 to 6 do
+    ignore (Engine.Scheduler.step sched)
+  done;
+  Alcotest.(check bool) "cancel accepted" true (Engine.Scheduler.cancel sched a);
+  Engine.Scheduler.drain sched;
+  let ra = job_result sched a in
+  Alcotest.(check string) "status cancelled" "cancelled"
+    (Engine.Job.status_to_string ra.Engine.Job.status);
+  Alcotest.(check bool) "not via deadline" false ra.Engine.Job.deadline_expired;
+  Alcotest.(check bool) "best-so-far is legal" true ra.Engine.Job.legal;
+  (match Engine.Scheduler.legalized sched a with
+  | Some lp ->
+    Alcotest.(check bool) "passes Legalize.Check" true
+      (Legalize.Check.is_legal circuit lp)
+  | None -> Alcotest.fail "no legalised placement");
+  Alcotest.(check (option string)) "final checkpoint written" (Some ck)
+    ra.Engine.Job.checkpoint_written;
+  let b =
+    submit_and_drain sched
+      (Engine.Job.spec ~source:(source ()) ~mode:Engine.Job.Fast ~max_steps:10
+         ~start:(Engine.Job.Resume ck) ())
+  in
+  let c =
+    submit_and_drain sched
+      (Engine.Job.spec ~source:(source ()) ~mode:Engine.Job.Fast ~max_steps:10
+         ())
+  in
+  same_placement "resumed-after-cancel placement" (job_placement sched c)
+    (job_placement sched b);
+  Sys.remove ck
+
+(* ECO through the engine: a Warm start on an edited circuit is the same
+   computation as Kraftwerk.Eco.replace on the base placement. *)
+let test_eco_job_matches_direct_replace () =
+  let src = source ~seed:3 () in
+  let circuit, p0 = Engine.Source.load src in
+  let config = Engine.Job.config_of_mode Engine.Job.Fast in
+  let base, _ = Kraftwerk.Placer.run config circuit p0 in
+  let ck = temp ".json" in
+  Engine.Checkpoint.save ck (Engine.Checkpoint.of_state base);
+  let rng = Numeric.Rng.create 99 in
+  let rewired = Kraftwerk.Eco.rewire circuit rng ~fraction:0.2 in
+  let ckt = temp ".ckt" in
+  Netlist.Io.save_circuit ckt rewired;
+  (* Both sides use the circuit as reloaded from disk, like a serve
+     client would submit it. *)
+  let c2, _ = Engine.Source.load (Engine.Source.File ckt) in
+  let direct, _ =
+    Kraftwerk.Eco.replace config c2 base.Kraftwerk.Placer.placement
+      ~max_steps:6
+  in
+  let sched = Engine.Scheduler.create () in
+  let id =
+    submit_and_drain sched
+      (Engine.Job.spec ~source:(Engine.Source.File ckt) ~mode:Engine.Job.Fast
+         ~start:(Engine.Job.Warm ck) ~max_steps:6 ())
+  in
+  let r = job_result sched id in
+  Alcotest.(check string) "eco job done" "done"
+    (Engine.Job.status_to_string r.Engine.Job.status);
+  same_placement "eco placement" direct (job_placement sched id);
+  List.iter Sys.remove [ ck; ckt ]
+
+(* Interleaving K jobs must not perturb any of their trajectories. *)
+let test_concurrent_interleaving_preserves_trajectories () =
+  let spec seed =
+    Engine.Job.spec ~source:(source ~seed ()) ~mode:Engine.Job.Fast
+      ~max_steps:8 ()
+  in
+  let seeds = [ 1; 2; 3 ] in
+  let solo =
+    List.map
+      (fun seed ->
+        let sched = Engine.Scheduler.create () in
+        let id = submit_and_drain sched (spec seed) in
+        job_placement sched id)
+      seeds
+  in
+  let events = ref [] in
+  let sched =
+    Engine.Scheduler.create ~concurrency:3 ~domains:4
+      ~on_event:(fun e -> events := e :: !events)
+      ()
+  in
+  let ids = List.map (fun seed -> Engine.Scheduler.submit sched (spec seed)) seeds in
+  Engine.Scheduler.drain sched;
+  (* All three genuinely ran interleaved: every start precedes the first
+     finish. *)
+  let started_before_finish =
+    let rec count acc = function
+      | Engine.Scheduler.Finished _ :: _ -> acc
+      | Engine.Scheduler.Started _ :: rest -> count (acc + 1) rest
+      | _ :: rest -> count acc rest
+      | [] -> acc
+    in
+    count 0 (List.rev !events)
+  in
+  Alcotest.(check int) "all jobs started before any finished" 3
+    started_before_finish;
+  List.iteri
+    (fun i (seed, id) ->
+      ignore i;
+      same_placement
+        (Printf.sprintf "seed %d" seed)
+        (List.nth solo (i + 0))
+        (job_placement sched id))
+    (List.combine seeds ids)
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation and protocol                                          *)
+
+let test_spec_json_round_trip () =
+  let full =
+    Engine.Job.spec ~source:(source ()) ~mode:Engine.Job.Fast ~timing:true
+      ~priority:3 ~deadline:1.5 ~domains:2 ~max_steps:9
+      ~start:(Engine.Job.Resume "ck.json") ~checkpoint:"out.json"
+      ~checkpoint_every:7 ~trace:"t.jsonl" ()
+  in
+  let minimal = Engine.Job.spec ~source:(Engine.Source.File "a.ckt") () in
+  List.iter
+    (fun s ->
+      match Engine.Job.spec_of_json (Engine.Job.spec_to_json s) with
+      | Error e -> Alcotest.failf "spec does not round-trip: %s" e
+      | Ok s' ->
+        Alcotest.(check bool) "spec round-trips structurally" true (s = s'))
+    [ full; minimal ]
+
+let parse_request line =
+  match Obs.Json.of_string line with
+  | Error e -> Alcotest.failf "bad request JSON: %s" e
+  | Ok v -> Engine.Protocol.request_of_json v
+
+let test_protocol_request_parsing () =
+  (match
+     parse_request
+       {|{"cmd":"submit","job":{"profile":"fract","scale":0.5,"seed":7,"mode":"fast"}}|}
+   with
+  | Ok (Engine.Protocol.Submit _) -> ()
+  | Ok _ -> Alcotest.fail "submit parsed to another request"
+  | Error e -> Alcotest.failf "submit rejected: %s" e);
+  (match parse_request {|{"cmd":"step"}|} with
+  | Ok (Engine.Protocol.Step 1) -> ()
+  | _ -> Alcotest.fail "bare step must default to one turn");
+  (match parse_request {|{"cmd":"step","turns":5}|} with
+  | Ok (Engine.Protocol.Step 5) -> ()
+  | _ -> Alcotest.fail "step with turns");
+  (match parse_request {|{"cmd":"wait","id":2}|} with
+  | Ok (Engine.Protocol.Wait 2) -> ()
+  | _ -> Alcotest.fail "wait with id");
+  (* Malformed requests come back as errors, never exceptions. *)
+  List.iter
+    (fun line ->
+      match parse_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed request %s" line)
+    [
+      {|{"cmd":"submit"}|};
+      {|{"cmd":"result"}|};
+      {|{"cmd":"cancel","id":"one"}|};
+      {|{"cmd":"frobnicate"}|};
+      {|{"turns":5}|};
+    ]
+
+let member_exn name v =
+  match Obs.Json.member name v with
+  | Some x -> x
+  | None -> Alcotest.failf "response without %S field" name
+
+let test_protocol_session () =
+  let sched = Engine.Scheduler.create () in
+  let handle line =
+    match parse_request line with
+    | Error e -> Alcotest.failf "request rejected: %s" e
+    | Ok req -> Engine.Protocol.handle sched req
+  in
+  let resp, stop =
+    handle
+      {|{"cmd":"submit","job":{"profile":"fract","scale":0.5,"seed":7,"mode":"fast","max_steps":3}}|}
+  in
+  Alcotest.(check bool) "submit not a shutdown" false stop;
+  Alcotest.(check bool) "submit ok" true
+    (member_exn "ok" resp = Obs.Json.Bool true);
+  Alcotest.(check bool) "submit id 1" true
+    (member_exn "id" resp = Obs.Json.Num 1.);
+  let resp, _ = handle {|{"cmd":"status","id":1}|} in
+  Alcotest.(check bool) "queued before any step" true
+    (member_exn "status" resp = Obs.Json.Str "queued");
+  let resp, _ = handle {|{"cmd":"result","id":1}|} in
+  Alcotest.(check bool) "result refused while non-terminal" true
+    (member_exn "ok" resp = Obs.Json.Bool false);
+  let resp, _ = handle {|{"cmd":"drain"}|} in
+  Alcotest.(check bool) "drain ok" true
+    (member_exn "ok" resp = Obs.Json.Bool true);
+  let resp, _ = handle {|{"cmd":"result","id":1}|} in
+  Alcotest.(check bool) "result ok once terminal" true
+    (member_exn "ok" resp = Obs.Json.Bool true);
+  (match member_exn "result" resp with
+  | Obs.Json.Obj _ as r ->
+    Alcotest.(check bool) "terminal status done" true
+      (member_exn "status" r = Obs.Json.Str "done");
+    (* The result must itself parse as a Job.result. *)
+    (match Engine.Job.result_of_json r with
+    | Ok jr -> Alcotest.(check int) "iterations" 3 jr.Engine.Job.iterations
+    | Error e -> Alcotest.failf "result does not validate: %s" e)
+  | _ -> Alcotest.fail "result is not an object");
+  let resp, _ = handle {|{"cmd":"result","id":99}|} in
+  Alcotest.(check bool) "unknown id is an error" true
+    (member_exn "ok" resp = Obs.Json.Bool false);
+  let _, stop = handle {|{"cmd":"shutdown"}|} in
+  Alcotest.(check bool) "shutdown stops the loop" true stop
+
+let suite =
+  [
+    Alcotest.test_case "checkpoint save/load round-trip" `Quick
+      test_checkpoint_round_trip;
+    Alcotest.test_case "checkpoint digest guards" `Quick
+      test_checkpoint_digest_guards;
+    Alcotest.test_case "resume is bitwise for both net models, pools 1/2/4"
+      `Slow test_resume_bitwise_models_pools;
+    Alcotest.test_case "engine resume matches uninterrupted run" `Slow
+      test_engine_resume_matches_uninterrupted;
+    Alcotest.test_case "timing-driven resume carries criticalities" `Slow
+      test_engine_resume_timing_driven;
+    Alcotest.test_case "impossible deadline degrades to legal placement" `Quick
+      test_deadline_degrades_to_legal;
+    Alcotest.test_case "cancel writes a resumable checkpoint" `Slow
+      test_cancel_checkpoint_resume;
+    Alcotest.test_case "eco warm-start job matches direct Eco.replace" `Slow
+      test_eco_job_matches_direct_replace;
+    Alcotest.test_case "interleaving preserves solo trajectories" `Slow
+      test_concurrent_interleaving_preserves_trajectories;
+    Alcotest.test_case "spec json round-trip" `Quick test_spec_json_round_trip;
+    Alcotest.test_case "protocol request parsing" `Quick
+      test_protocol_request_parsing;
+    Alcotest.test_case "protocol submit/drain/result session" `Quick
+      test_protocol_session;
+  ]

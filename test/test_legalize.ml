@@ -86,9 +86,23 @@ let test_abacus_produces_legal () =
 let test_tetris_produces_legal () =
   let cells = Array.init 10 (fun i -> std_cell i 8.) in
   let c, p = overlapping_placement cells in
-  let rep = Legalize.Tetris.legalize c p () in
-  Alcotest.(check int) "no overflow" 0 rep.Legalize.Tetris.overflowed;
-  Alcotest.(check bool) "legal" true (Legalize.Check.is_legal c rep.Legalize.Tetris.placement)
+  match Legalize.Tetris.legalize c p () with
+  | Error e -> Alcotest.failf "tetris failed: %a" Legalize.Tetris.pp_error e
+  | Ok rep ->
+    Alcotest.(check int) "no overflow" 0 rep.Legalize.Tetris.overflowed;
+    Alcotest.(check bool) "legal" true
+      (Legalize.Check.is_legal c rep.Legalize.Tetris.placement)
+
+(* Blanketing the whole region with an obstacle leaves no row segment
+   anywhere: the typed error the job engine's degraded path relies on
+   (a failed legalisation must not raise). *)
+let test_tetris_no_segments_is_error () =
+  let cells = Array.init 4 (fun i -> std_cell i 8.) in
+  let c, p = overlapping_placement cells in
+  let everything = c.Netlist.Circuit.region in
+  match Legalize.Tetris.legalize c p ~extra_obstacles:[ everything ] () with
+  | Ok _ -> Alcotest.fail "expected Error No_row_segments"
+  | Error Legalize.Tetris.No_row_segments -> ()
 
 let test_abacus_no_move_when_already_legal () =
   let cells = [| std_cell 0 8.; std_cell 1 8. |] in
@@ -252,6 +266,8 @@ let suite =
     Alcotest.test_case "narrow gap dropped" `Quick test_rows_narrow_gap_dropped;
     Alcotest.test_case "abacus legal" `Quick test_abacus_produces_legal;
     Alcotest.test_case "tetris legal" `Quick test_tetris_produces_legal;
+    Alcotest.test_case "tetris no segments is typed error" `Quick
+      test_tetris_no_segments_is_error;
     Alcotest.test_case "abacus zero move when legal" `Quick test_abacus_no_move_when_already_legal;
     Alcotest.test_case "abacus obstacles" `Quick test_abacus_respects_obstacles;
     Alcotest.test_case "abacus fixed block" `Quick test_abacus_fixed_block_auto_obstacle;
