@@ -944,19 +944,157 @@ let engine_bench () =
   print_endline "wrote BENCH_engine.json"
 
 (* ------------------------------------------------------------------ *)
+(* Network serving throughput → BENCH_serve.json                       *)
+
+(* Forks a socket server and drives it the way the CI smoke test does:
+   four clients pipelining submit/wait rounds (throughput), then a
+   rapid-fire burst against a tiny admission bound (shed behaviour),
+   then shutdown mid-load — the child must still exit 0 with every
+   accepted job terminal. *)
+let serve_bench () =
+  print_endline "";
+  print_endline "Serving bench: socket round-trip throughput over the job engine";
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "place-bench-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists sock then Sys.remove sock;
+  let address = Server.Address.Unix_path sock in
+  let clients = 4 and rounds = 3 and max_steps = 8 and max_pending = 4 in
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    let cfg =
+      {
+        (Server.Net.config address) with
+        Server.Net.concurrency = 2;
+        max_pending;
+        drain_grace_s = 2.;
+      }
+    in
+    match Server.Net.run cfg with
+    | Ok () -> Unix._exit 0
+    | Error msg ->
+      prerr_endline msg;
+      Unix._exit 1
+  end;
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let connect () =
+    match Server.Client.connect ~retries:40 address with
+    | Ok c -> c
+    | Error msg -> fail "serve bench: %s" msg
+  in
+  let spec ~profile ~mode ?max_steps i =
+    Engine.Job.spec
+      ~source:
+        (Engine.Source.Profile { name = profile; scale = !scale; seed = !seed + i })
+      ~mode ?max_steps ()
+  in
+  let conns = List.init clients (fun _ -> connect ()) in
+  (* Throughput: each client pipelines submit → wait, so outstanding
+     work stays under the admission bound. *)
+  let total = clients * rounds in
+  let done_jobs = ref 0 in
+  let (), wall =
+    time (fun () ->
+        List.iteri
+          (fun ci c ->
+            for r = 0 to rounds - 1 do
+              let i = (ci * rounds) + r in
+              match
+                Server.Client.submit c
+                  (spec ~profile:"fract" ~mode:Engine.Job.Fast ~max_steps i)
+              with
+              | Error f -> fail "submit: %s" (Server.Client.failure_message f)
+              | Ok id -> (
+                match Server.Client.wait c id with
+                | Ok ("done", _) -> incr done_jobs
+                | Ok (s, _) -> fail "job %d finished %s" id s
+                | Error f -> fail "wait: %s" (Server.Client.failure_message f))
+            done)
+          conns);
+  in
+  Printf.printf "  %d clients  %d jobs  %6.2f s  %6.2f jobs/s\n%!" clients total
+    wall
+    (float_of_int total /. wall);
+  (* Shed probe: slow standard-mode jobs fill the bound; the burst must
+     meet typed overloaded refusals, never a dropped connection. *)
+  let probe = List.hd conns in
+  let accepted = ref 0 and shed = ref 0 and retry_hint = ref 0 in
+  for i = 0 to (2 * max_pending) + 2 do
+    match
+      Server.Client.submit probe (spec ~profile:"struct" ~mode:Engine.Job.Standard (100 + i))
+    with
+    | Ok _ -> incr accepted
+    | Error (Server.Client.Refused e) when e.Engine.Protocol.code = Engine.Protocol.Overloaded ->
+      incr shed;
+      (match e.Engine.Protocol.retry_after_ms with
+      | Some ms -> retry_hint := ms
+      | None -> ())
+    | Error f -> fail "probe: %s" (Server.Client.failure_message f)
+  done;
+  Printf.printf "  shed probe: %d accepted, %d overloaded (retry hint %d ms)\n%!"
+    !accepted !shed !retry_hint;
+  (* Shutdown mid-load: the short drain grace cancels the probe jobs
+     down to legal best-so-far placements; the child must exit 0. *)
+  (match Server.Client.shutdown probe with
+  | Ok () -> ()
+  | Error f -> fail "shutdown: %s" (Server.Client.failure_message f));
+  List.iter Server.Client.close conns;
+  let clean_shutdown =
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> true
+    | _ -> false
+  in
+  Printf.printf "  graceful shutdown under load: %b\n%!" clean_shutdown;
+  let num v = Obs.Json.Num v in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("git", Obs.Json.Str (git_revision ()));
+        ("domains", num (float_of_int (Numeric.Parallel.num_domains ())));
+        ("scale", num !scale);
+        ("clients", num (float_of_int clients));
+        ("jobs", num (float_of_int total));
+        ("wall_s", num wall);
+        ("jobs_per_s", num (float_of_int total /. wall));
+        ( "shed_probe",
+          Obs.Json.Obj
+            [
+              ("max_pending", num (float_of_int max_pending));
+              ("accepted", num (float_of_int !accepted));
+              ("overloaded", num (float_of_int !shed));
+              ("retry_after_ms", num (float_of_int !retry_hint));
+            ] );
+        ("clean_shutdown", Obs.Json.Bool clean_shutdown);
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_serve.json";
+  if !done_jobs <> total || !shed = 0 || not clean_shutdown then begin
+    Printf.eprintf
+      "serve bench: %d/%d done, %d shed, clean shutdown %b — not healthy\n"
+      !done_jobs total !shed clean_shutdown;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe [--table 1|2|3|4] [--experiment \
      fast-mode|tradeoff|eco|floorplan|congestion|heat|linearization|final-placer|multilevel] \
-     [--micro] [--place] [--engine] [--scale S] [--seed N]";
+     [--micro] [--place] [--engine] [--serve] [--scale S] [--seed N]";
   exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let tables = ref [] and experiments = ref [] in
   let want_micro = ref false and want_place = ref false in
-  let want_engine = ref false in
+  let want_engine = ref false and want_serve = ref false in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -979,6 +1117,9 @@ let () =
       parse rest
     | "--engine" :: rest ->
       want_engine := true;
+      parse rest
+    | "--serve" :: rest ->
+      want_serve := true;
       parse rest
     | _ -> usage ()
   in
@@ -1009,7 +1150,7 @@ let () =
   in
   if
     !tables = [] && !experiments = [] && not !want_micro && not !want_place
-    && not !want_engine
+    && not !want_engine && not !want_serve
   then begin
     (* Default: everything. *)
     Printf.printf "Kraftwerk reproduction — full experiment run (scale %.2f)\n" !scale;
@@ -1019,6 +1160,7 @@ let () =
         "linearization"; "final-placer"; "multilevel"; "net-model" ];
     place_bench ();
     engine_bench ();
+    serve_bench ();
     micro ()
   end
   else begin
@@ -1026,5 +1168,6 @@ let () =
     List.iter run_experiment (List.rev !experiments);
     if !want_place then place_bench ();
     if !want_engine then engine_bench ();
+    if !want_serve then serve_bench ();
     if !want_micro then micro ()
   end

@@ -22,29 +22,52 @@ let log_steps verbose (r : Kraftwerk.Placer.step_report) =
       r.Kraftwerk.Placer.step r.Kraftwerk.Placer.hpwl
       r.Kraftwerk.Placer.empty_square_area r.Kraftwerk.Placer.cg_iterations
 
+(* Operational errors — unreadable files, malformed inputs, unknown
+   profiles, unreachable servers — exit 2 with one stderr line; no
+   backtraces.  (Cmdliner usage errors keep their own exit code.) *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "place: %s\n" msg;
+      exit 2)
+    fmt
+
+let io_ok = function
+  | Ok v -> v
+  | Error e -> die "%s" (Netlist.Io.error_message e)
+
+let find_profile name =
+  match Circuitgen.Profiles.find name with
+  | prof -> prof
+  | exception Not_found -> die "unknown profile %S (try: place profiles)" name
+
 let load_or_generate ~circuit_file ~profile ~scale ~seed =
   match (circuit_file, profile) with
-  | Some file, _ when Filename.check_suffix file ".aux" ->
+  | Some file, _ when Filename.check_suffix file ".aux" -> (
     (* Bookshelf benchmark. *)
-    Netlist.Bookshelf.load_aux file
+    match Netlist.Bookshelf.load_aux file with
+    | Ok cp -> cp
+    | Error e -> die "%s" (Netlist.Bookshelf.error_message e))
   | Some file, _ ->
-    let c = Netlist.Io.load_circuit file in
+    let c = io_ok (Netlist.Io.load_circuit file) in
     (* Fixed cells keep the coordinates stored next to the circuit file
        if present, else the pad ring must be re-derived; the generated
        format keeps pads at their ring positions via a sidecar file. *)
     let side = file ^ ".pos" in
     let p =
       if Sys.file_exists side then
-        Netlist.Io.load_placement side ~num_cells:(Netlist.Circuit.num_cells c)
+        io_ok
+          (Netlist.Io.load_placement side
+             ~num_cells:(Netlist.Circuit.num_cells c))
       else Netlist.Placement.create c
     in
     (c, p)
   | None, Some name ->
-    let prof = Circuitgen.Profiles.find name in
+    let prof = find_profile name in
     let params = Circuitgen.Profiles.params ~scale prof ~seed in
     let c, fixed = Circuitgen.Gen.generate params in
     (c, Circuitgen.Gen.initial_placement c fixed)
-  | None, None -> failwith "either --circuit or --profile is required"
+  | None, None -> die "either --circuit or --profile is required"
 
 (* Returns (hpwl, overlap) so the trace summary can record exactly the
    printed values. *)
@@ -66,7 +89,7 @@ let report_metrics c placement ~timing =
   (hpwl, overlap)
 
 let cmd_generate profile scale seed output =
-  let prof = Circuitgen.Profiles.find profile in
+  let prof = find_profile profile in
   let params = Circuitgen.Profiles.params ~scale prof ~seed in
   let c, fixed = Circuitgen.Gen.generate params in
   Netlist.Io.save_circuit output c;
@@ -200,33 +223,144 @@ let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
 (* ------------------------------------------------------------------ *)
 (* Job engine front ends                                               *)
 
-(* [place serve]: the line-oriented JSON protocol on stdin/stdout (see
-   Engine.Protocol).  Scheduler lifecycle events are emitted as JSONL
-   notification lines between responses; --transcript copies the whole
-   conversation to a file. *)
-let cmd_serve concurrency domains transcript =
+let parse_address s =
+  match Server.Address.of_string s with
+  | Ok addr -> addr
+  | Error msg -> die "%s" msg
+
+(* [place serve]: the line-oriented JSON protocol (see Engine.Protocol).
+   Without --listen it runs synchronously on stdin/stdout; with --listen
+   it becomes the concurrent socket server (Server.Net), multiplexing
+   many clients onto one scheduler with admission control and graceful
+   drain.  --transcript copies the whole conversation to a file. *)
+let cmd_serve concurrency domains transcript listen proto max_pending
+    max_conns request_timeout idle_timeout drain_grace =
   (match domains with
   | Some d -> Numeric.Parallel.set_num_domains d
   | None -> ());
-  let transcript_oc = Option.map open_out transcript in
-  let echo line =
-    match transcript_oc with
-    | Some oc ->
-      output_string oc line;
-      output_char oc '\n';
-      flush oc
-    | None -> ()
+  match listen with
+  | Some addr_str -> (
+    let address = parse_address addr_str in
+    let cfg =
+      {
+        (Server.Net.config address) with
+        Server.Net.concurrency;
+        domains;
+        max_pending;
+        max_conns;
+        request_timeout_s = request_timeout;
+        idle_timeout_s = idle_timeout;
+        drain_grace_s = drain_grace;
+        proto;
+        transcript;
+      }
+    in
+    match Server.Net.run cfg with Ok () -> () | Error msg -> die "%s" msg)
+  | None ->
+    let transcript_oc = Option.map open_out transcript in
+    let echo line =
+      match transcript_oc with
+      | Some oc ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc
+      | None -> ()
+    in
+    let ev = ref 0 in
+    let emit_event e =
+      let ev =
+        match proto with
+        | Engine.Protocol.V2 ->
+          incr ev;
+          Some !ev
+        | Engine.Protocol.V1 -> None
+      in
+      let line = Obs.Json.to_string (Engine.Protocol.event_to_json ?ev e) in
+      print_string line;
+      print_newline ();
+      flush stdout;
+      echo line
+    in
+    let sched =
+      Engine.Scheduler.create ~concurrency ?domains ~on_event:emit_event ()
+    in
+    Engine.Protocol.serve ~proto ~echo sched stdin stdout;
+    Option.iter close_out transcript_oc
+
+(* ------------------------------------------------------------------ *)
+(* Network client commands                                              *)
+
+let client_connect to_addr =
+  match Server.Client.connect ~retries:8 (parse_address to_addr) with
+  | Ok cl -> cl
+  | Error msg -> die "%s" msg
+
+let client_ok = function
+  | Ok v -> v
+  | Error f -> die "%s" (Server.Client.failure_message f)
+
+(* [place submit]: ship one job to a running server; with --wait, park
+   until it is terminal and print its result line.  Exit 1 when the
+   awaited job failed, 2 on operational errors. *)
+let cmd_submit to_addr circuit_file profile scale seed mode timing priority
+    deadline max_steps wait =
+  let source =
+    match (circuit_file, profile) with
+    | Some file, _ -> Engine.Source.File file
+    | None, Some name -> Engine.Source.Profile { name; scale; seed }
+    | None, None -> die "either --circuit or --profile is required"
   in
-  let emit_event e =
-    let line = Obs.Json.to_string (Engine.Protocol.event_to_json e) in
-    print_string line;
-    print_newline ();
-    flush stdout;
-    echo line
+  let spec =
+    Engine.Job.spec ~source ~mode ~timing ~priority ?deadline ?max_steps ()
   in
-  let sched = Engine.Scheduler.create ~concurrency ?domains ~on_event:emit_event () in
-  Engine.Protocol.serve ~echo sched stdin stdout;
-  Option.iter close_out transcript_oc
+  let cl = client_connect to_addr in
+  let id = client_ok (Server.Client.submit cl spec) in
+  if not wait then begin
+    Printf.printf "{\"id\":%d,\"status\":\"queued\"}\n%!" id;
+    Server.Client.close cl
+  end
+  else begin
+    let status, result = client_ok (Server.Client.wait cl id) in
+    let fields =
+      [
+        ("id", Obs.Json.Num (float_of_int id));
+        ("status", Obs.Json.Str status);
+      ]
+      @ match result with Some r -> [ ("result", r) ] | None -> []
+    in
+    print_endline (Obs.Json.to_string (Obs.Json.Obj fields));
+    Server.Client.close cl;
+    if status = "failed" then exit 1
+  end
+
+(* [place watch]: stream a server's numbered event lines to stdout,
+   reconnecting and resuming from the last seen event on transport
+   failure.  Ends cleanly when the server goes away for good. *)
+let cmd_watch to_addr from_ev =
+  let cl = client_connect to_addr in
+  client_ok (Server.Client.subscribe ?from_ev cl);
+  let rec loop () =
+    match Server.Client.next_event ~timeout_s:1.0 cl with
+    | Ok None -> loop ()
+    | Ok (Some ev) ->
+      print_endline (Obs.Json.to_string ev);
+      flush stdout;
+      loop ()
+    | Error (Server.Client.Transport _) ->
+      (* The server drained and exited; a watcher ending with it is the
+         normal end of the stream, not an error. *)
+      Printf.eprintf "place: server closed the event stream\n"
+    | Error f -> die "%s" (Server.Client.failure_message f)
+  in
+  loop ();
+  Server.Client.close cl
+
+(* [place metrics]: one-shot dump of a running server's Obs.Registry. *)
+let cmd_metrics to_addr =
+  let cl = client_connect to_addr in
+  let fields = client_ok (Server.Client.metrics cl) in
+  print_endline (Obs.Json.to_string (Obs.Json.Obj fields));
+  Server.Client.close cl
 
 (* [place batch]: submit every job spec of a JSONL file, run them all,
    and write one result line per job (submission order). *)
@@ -388,6 +522,17 @@ let engine_domains_arg =
            ~doc:"Domain-pool lanes split between concurrent jobs \
                  (default: KRAFTWERK_DOMAINS or the hardware core count).")
 
+let proto_arg =
+  Arg.(value
+       & opt
+           (enum [ ("v1", Engine.Protocol.V1); ("v2", Engine.Protocol.V2) ])
+           Engine.Protocol.V2
+       & info [ "proto" ]
+           ~doc:"Protocol version rendered in responses and events: v2 \
+                 (seq echo, structured error codes, numbered events) or \
+                 v1 (the legacy shapes).  V1 requests are accepted either \
+                 way.")
+
 let serve_cmd =
   let transcript =
     Arg.(value & opt (some string) None
@@ -395,12 +540,121 @@ let serve_cmd =
              ~doc:"Copy every protocol request/response/event line to a \
                    JSONL file.")
   in
+  let listen =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Serve concurrent clients on a socket instead of \
+                   stdin/stdout: unix:/path (or any path with a '/'), \
+                   tcp:host:port, host:port, or a bare port on \
+                   127.0.0.1.")
+  in
+  let max_pending =
+    Arg.(value & opt int 64
+         & info [ "max-pending" ]
+             ~doc:"Admission bound: submits beyond this many queued jobs \
+                   receive a typed overloaded error with a retry hint \
+                   (socket mode).")
+  in
+  let max_conns =
+    Arg.(value & opt int 128
+         & info [ "max-conns" ]
+             ~doc:"Connection bound; excess connections are refused with \
+                   an error line, never dropped silently (socket mode).")
+  in
+  let request_timeout =
+    Arg.(value & opt float 300.
+         & info [ "request-timeout" ]
+             ~doc:"Seconds a wait/drain request may stay parked before it \
+                   is answered with a not_terminal error (socket mode).")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 0.
+         & info [ "idle-timeout" ]
+             ~doc:"Close connections idle this many seconds with nothing \
+                   outstanding; 0 disables (socket mode).")
+  in
+  let drain_grace =
+    Arg.(value & opt float 30.
+         & info [ "drain-grace" ]
+             ~doc:"On SIGTERM/SIGINT/shutdown, seconds to let in-flight \
+                   jobs finish before they are cancelled down to legal \
+                   best-so-far placements (socket mode).")
+  in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the placement job engine on a stdin/stdout JSON protocol \
-             (submit, status, cancel, result, step, drain, wait, shutdown \
-             — see HACKING.md, Job engine)")
-    Term.(const cmd_serve $ concurrency_arg $ engine_domains_arg $ transcript)
+       ~doc:"Run the placement job engine on a JSON protocol: \
+             stdin/stdout by default, a concurrent Unix-domain or TCP \
+             socket server with --listen (submit, status, cancel, \
+             result, wait, metrics, subscribe, shutdown — see \
+             HACKING.md, Network serving)")
+    Term.(const cmd_serve $ concurrency_arg $ engine_domains_arg $ transcript
+          $ listen $ proto_arg $ max_pending $ max_conns $ request_timeout
+          $ idle_timeout $ drain_grace)
+
+let to_arg =
+  Arg.(required & opt (some string) None
+       & info [ "to" ] ~docv:"ADDR"
+           ~doc:"Server address: unix:/path, tcp:host:port, host:port or \
+                 a bare port on 127.0.0.1.")
+
+let submit_cmd =
+  let circuit =
+    Arg.(value & opt (some string) None
+         & info [ "circuit" ]
+             ~doc:"Circuit file (.ckt or Bookshelf .aux) the server can \
+                   read.")
+  in
+  let priority =
+    Arg.(value & opt int 0
+         & info [ "priority" ] ~doc:"Higher runs first; FIFO within one.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ]
+             ~doc:"Wall-clock budget in seconds; on expiry the job \
+                   returns its best-so-far placement, legalised.")
+  in
+  let max_steps =
+    Arg.(value & opt (some int) None
+         & info [ "max-steps" ] ~doc:"Cap on placer iterations.")
+  in
+  let timing =
+    Arg.(value & flag & info [ "timing" ] ~doc:"Timing-driven placement.")
+  in
+  let wait =
+    Arg.(value & flag
+         & info [ "wait" ]
+             ~doc:"Park until the job is terminal and print its result \
+                   line; exit 1 if it failed.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit one placement job to a running place serve --listen \
+             server; prints a JSON line with the job id (and, with \
+             --wait, the result)")
+    Term.(const cmd_submit $ to_arg $ circuit $ profile_arg $ scale_arg
+          $ seed_arg $ mode_arg $ timing $ priority $ deadline $ max_steps
+          $ wait)
+
+let watch_cmd =
+  let from_ev =
+    Arg.(value & opt (some int) None
+         & info [ "from-ev" ]
+             ~doc:"Replay buffered events after this number before \
+                   streaming live ones.")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Stream a server's job lifecycle events as JSONL, \
+             reconnecting and resuming from the last seen event number \
+             on transport failure")
+    Term.(const cmd_watch $ to_arg $ from_ev)
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Dump a running server's metric registry as one JSON object")
+    Term.(const cmd_metrics $ to_arg)
 
 let batch_cmd =
   let jobs_file =
@@ -423,4 +677,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "place" ~doc)
-          [ generate_cmd; run_cmd; serve_cmd; batch_cmd; profiles_cmd ]))
+          [
+            generate_cmd;
+            run_cmd;
+            serve_cmd;
+            submit_cmd;
+            watch_cmd;
+            metrics_cmd;
+            batch_cmd;
+            profiles_cmd;
+          ]))

@@ -21,7 +21,11 @@ let () =
   Printf.printf "exported %s.{aux,nodes,nets,pl,scl}\n" base;
 
   (* Reload and verify. *)
-  let circuit', p0 = Netlist.Bookshelf.load_aux (base ^ ".aux") in
+  let circuit', p0 =
+    match Netlist.Bookshelf.load_aux (base ^ ".aux") with
+    | Ok cp -> cp
+    | Error e -> failwith (Netlist.Bookshelf.error_message e)
+  in
   Printf.printf "reloaded: %d cells, %d nets, %d rows (hpwl preserved: %b)\n"
     (Netlist.Circuit.num_cells circuit')
     (Netlist.Circuit.num_nets circuit')

@@ -1,3 +1,39 @@
+type version = V1 | V2
+
+type code =
+  | Parse
+  | Unknown_cmd
+  | Bad_spec
+  | Unknown_id
+  | Not_terminal
+  | Overloaded
+  | Shutting_down
+
+let code_to_string = function
+  | Parse -> "parse"
+  | Unknown_cmd -> "unknown_cmd"
+  | Bad_spec -> "bad_spec"
+  | Unknown_id -> "unknown_id"
+  | Not_terminal -> "not_terminal"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting_down"
+
+let code_of_string = function
+  | "parse" -> Some Parse
+  | "unknown_cmd" -> Some Unknown_cmd
+  | "bad_spec" -> Some Bad_spec
+  | "unknown_id" -> Some Unknown_id
+  | "not_terminal" -> Some Not_terminal
+  | "overloaded" -> Some Overloaded
+  | "shutting_down" -> Some Shutting_down
+  | _ -> None
+
+type error = { code : code; message : string; retry_after_ms : int option }
+
+let err ?retry_after_ms code message = { code; message; retry_after_ms }
+
+let error_message e = Printf.sprintf "%s: %s" (code_to_string e.code) e.message
+
 type request =
   | Submit of Job.spec
   | Status of Scheduler.id
@@ -7,6 +43,8 @@ type request =
   | Step of int
   | Drain
   | Wait of Scheduler.id
+  | Metrics
+  | Subscribe of { from_ev : int option }
   | Shutdown
 
 open Obs.Json
@@ -15,20 +53,24 @@ let int_ v = Num (float_of_int v)
 
 let ( let* ) = Stdlib.Result.bind
 
+let seq_of_json v = member "seq" v
+
 let field_id v =
   match member "id" v with
   | Some (Num n) when Float.is_integer n && n >= 1. -> Ok (int_of_float n)
-  | Some _ -> Error "protocol: field \"id\" is not a positive integer"
-  | None -> Error "protocol: missing field \"id\""
+  | Some _ -> Error (err Bad_spec "field \"id\" is not a positive integer")
+  | None -> Error (err Bad_spec "missing field \"id\"")
 
 let request_of_json v =
   match member "cmd" v with
   | Some (Str "submit") -> (
     match member "job" v with
     | Some job ->
-      let* spec = Job.spec_of_json job in
+      let* spec =
+        Result.map_error (fun m -> err Bad_spec m) (Job.spec_of_json job)
+      in
       Ok (Submit spec)
-    | None -> Error "protocol: submit needs a \"job\" field")
+    | None -> Error (err Bad_spec "submit needs a \"job\" field"))
   | Some (Str "status") ->
     let* id = field_id v in
     Ok (Status id)
@@ -44,62 +86,117 @@ let request_of_json v =
     | Some (Num n) when Float.is_integer n && n >= 1. ->
       Ok (Step (int_of_float n))
     | None -> Ok (Step 1)
-    | Some _ -> Error "protocol: field \"turns\" is not a positive integer")
+    | Some _ ->
+      Error (err Bad_spec "field \"turns\" is not a positive integer"))
   | Some (Str "drain") -> Ok Drain
   | Some (Str "wait") ->
     let* id = field_id v in
     Ok (Wait id)
+  | Some (Str "metrics") -> Ok Metrics
+  | Some (Str "subscribe") -> (
+    match member "from_ev" v with
+    | Some (Num n) when Float.is_integer n && n >= 0. ->
+      Ok (Subscribe { from_ev = Some (int_of_float n) })
+    | None -> Ok (Subscribe { from_ev = None })
+    | Some _ ->
+      Error (err Bad_spec "field \"from_ev\" is not a non-negative integer"))
   | Some (Str "shutdown") -> Ok Shutdown
-  | Some (Str other) -> Error (Printf.sprintf "protocol: unknown command %S" other)
-  | Some _ -> Error "protocol: field \"cmd\" is not a string"
-  | None -> Error "protocol: missing field \"cmd\""
+  | Some (Str other) ->
+    Error (err Unknown_cmd (Printf.sprintf "unknown command %S" other))
+  | Some _ -> Error (err Parse "field \"cmd\" is not a string")
+  | None -> Error (err Parse "missing field \"cmd\"")
 
-let event_to_json = function
-  | Scheduler.Submitted id -> Obj [ ("event", Str "submitted"); ("id", int_ id) ]
-  | Scheduler.Started id -> Obj [ ("event", Str "started"); ("id", int_ id) ]
-  | Scheduler.Checkpointed (id, file) ->
-    Obj [ ("event", Str "checkpointed"); ("id", int_ id); ("file", Str file) ]
-  | Scheduler.Finished (id, status) ->
-    Obj
+type reply = Reply of (string * Obs.Json.t) list | Refuse of error
+
+let render proto ~seq reply =
+  let seq_field =
+    match (proto, seq) with
+    | V2, Some s -> [ ("seq", s) ]
+    | V1, _ | _, None -> []
+  in
+  match reply with
+  | Reply fields -> Obj ((("ok", Bool true) :: seq_field) @ fields)
+  | Refuse e -> (
+    match proto with
+    | V1 -> Obj [ ("ok", Bool false); ("error", Str e.message) ]
+    | V2 ->
+      let retry =
+        match e.retry_after_ms with
+        | Some ms -> [ ("retry_after_ms", int_ ms) ]
+        | None -> []
+      in
+      Obj
+        (("ok", Bool false) :: seq_field
+        @ [
+            ( "error",
+              Obj
+                (("code", Str (code_to_string e.code))
+                 :: ("message", Str e.message)
+                 :: retry) );
+          ]))
+
+let event_to_json ?ev e =
+  let ev_field = match ev with Some n -> [ ("ev", int_ n) ] | None -> [] in
+  let fields =
+    match e with
+    | Scheduler.Submitted id -> [ ("event", Str "submitted"); ("id", int_ id) ]
+    | Scheduler.Started id -> [ ("event", Str "started"); ("id", int_ id) ]
+    | Scheduler.Checkpointed (id, file) ->
+      [ ("event", Str "checkpointed"); ("id", int_ id); ("file", Str file) ]
+    | Scheduler.Finished (id, status) ->
       [
         ("event", Str "finished");
         ("id", int_ id);
         ("status", Str (Job.status_to_string status));
       ]
+  in
+  Obj (fields @ ev_field)
 
-let error msg = Obj [ ("ok", Bool false); ("error", Str msg) ]
-
-let ok fields = Obj (("ok", Bool true) :: fields)
+let metrics_fields () =
+  [
+    ("enabled", Bool (Obs.Registry.enabled ()));
+    ( "metrics",
+      Obj
+        (List.map
+           (fun (name, stat) -> (name, Obs.Telemetry.stat_to_json stat))
+           (Obs.Registry.snapshot ())) );
+  ]
 
 let with_job sched id f =
   match Scheduler.status sched id with
-  | None -> error (Printf.sprintf "protocol: unknown job id %d" id)
+  | None -> Refuse (err Unknown_id (Printf.sprintf "unknown job id %d" id))
   | Some status -> f status
 
 let handle sched req =
   match req with
-  | Submit spec ->
-    let id = Scheduler.submit sched spec in
-    (ok [ ("id", int_ id); ("status", Str "queued") ], false)
+  | Submit spec -> (
+    match Scheduler.validate_spec spec with
+    | Error msg -> (Refuse (err Bad_spec msg), false)
+    | Ok () ->
+      let id = Scheduler.submit sched spec in
+      (Reply [ ("id", int_ id); ("status", Str "queued") ], false))
   | Status id ->
     ( with_job sched id (fun status ->
-          ok [ ("id", int_ id); ("status", Str (Job.status_to_string status)) ]),
+          Reply [ ("id", int_ id); ("status", Str (Job.status_to_string status)) ]),
       false )
   | Result id ->
     ( with_job sched id (fun status ->
           if not (Job.terminal status) then
-            error
-              (Printf.sprintf "protocol: job %d is still %s" id
-                 (Job.status_to_string status))
+            Refuse
+              (err Not_terminal
+                 (Printf.sprintf "job %d is still %s" id
+                    (Job.status_to_string status)))
           else
             match Scheduler.result sched id with
-            | Some r -> ok [ ("id", int_ id); ("result", Job.result_to_json r) ]
-            | None -> error (Printf.sprintf "protocol: job %d has no result" id)),
+            | Some r -> Reply [ ("id", int_ id); ("result", Job.result_to_json r) ]
+            | None ->
+              Refuse
+                (err Not_terminal (Printf.sprintf "job %d has no result" id))),
       false )
   | Cancel id ->
     ( with_job sched id (fun _ ->
           let cancelled = Scheduler.cancel sched id in
-          ok [ ("id", int_ id); ("cancelled", Bool cancelled) ]),
+          Reply [ ("id", int_ id); ("cancelled", Bool cancelled) ]),
       false )
   | Jobs ->
     let rows =
@@ -109,19 +206,19 @@ let handle sched req =
             [ ("id", int_ id); ("status", Str (Job.status_to_string status)) ])
         (Scheduler.jobs sched)
     in
-    (ok [ ("jobs", Arr rows) ], false)
+    (Reply [ ("jobs", Arr rows) ], false)
   | Step turns ->
     let stepped = ref 0 in
     while !stepped < turns && Scheduler.step sched do
       incr stepped
     done;
-    (ok [ ("stepped", int_ !stepped) ], false)
+    (Reply [ ("stepped", int_ !stepped) ], false)
   | Drain ->
     let stepped = ref 0 in
     while Scheduler.step sched do
       incr stepped
     done;
-    (ok [ ("stepped", int_ !stepped) ], false)
+    (Reply [ ("stepped", int_ !stepped) ], false)
   | Wait id ->
     ( with_job sched id (fun _ ->
           let continue = ref true in
@@ -136,12 +233,18 @@ let handle sched req =
           done;
           match Scheduler.status sched id with
           | Some s ->
-            ok [ ("id", int_ id); ("status", Str (Job.status_to_string s)) ]
-          | None -> error (Printf.sprintf "protocol: unknown job id %d" id)),
+            Reply [ ("id", int_ id); ("status", Str (Job.status_to_string s)) ]
+          | None ->
+            Refuse (err Unknown_id (Printf.sprintf "unknown job id %d" id))),
       false )
-  | Shutdown -> (ok [ ("shutdown", Bool true) ], true)
+  | Metrics -> (Reply (metrics_fields ()), false)
+  | Subscribe _ ->
+    (* The stdio loop broadcasts every event line already; acknowledging
+       keeps one client code path for both transports. *)
+    (Reply [ ("subscribed", Bool true) ], false)
+  | Shutdown -> (Reply [ ("shutdown", Bool true) ], true)
 
-let serve ?(echo = fun _ -> ()) sched ic oc =
+let serve ?(proto = V2) ?(echo = fun _ -> ()) sched ic oc =
   let emit line =
     output_string oc line;
     output_char oc '\n';
@@ -155,15 +258,17 @@ let serve ?(echo = fun _ -> ()) sched ic oc =
        let line = String.trim line in
        if line <> "" then begin
          echo line;
-         let response, stop =
+         let seq, (reply, stop) =
            match of_string line with
-           | Error msg -> (error ("protocol: bad JSON: " ^ msg), false)
+           | Error msg ->
+             (None, (Refuse (err Parse ("bad JSON: " ^ msg)), false))
            | Ok v -> (
-             match request_of_json v with
-             | Error msg -> (error msg, false)
-             | Ok req -> handle sched req)
+             ( seq_of_json v,
+               match request_of_json v with
+               | Error e -> (Refuse e, false)
+               | Ok req -> handle sched req ))
          in
-         emit (to_string response);
+         emit (to_string (render proto ~seq reply));
          shutdown := stop
        end
      done

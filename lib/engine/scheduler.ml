@@ -98,6 +98,16 @@ let busy t =
     (fun id -> not (Job.terminal (Hashtbl.find t.entries id).status))
     t.order
 
+let count_status t p =
+  List.fold_left
+    (fun acc id -> if p (Hashtbl.find t.entries id).status then acc + 1 else acc)
+    0 t.order
+
+let queued t = count_status t (fun s -> s = Job.Queued)
+
+let running t =
+  count_status t (fun s -> s = Job.Running || s = Job.Checkpointed)
+
 (* ------------------------------------------------------------------ *)
 (* Starting jobs                                                        *)
 
@@ -122,17 +132,34 @@ let timing_hooks crit =
             state.Kraftwerk.Placer.net_weights);
   }
 
-let or_fail = function Ok v -> v | Error msg -> failwith msg
+let ( let* ) = Stdlib.Result.bind
 
-(* Materialise a spec into live placer state.  Raises on bad sources or
-   checkpoints; the caller converts exceptions into a [Failed] status. *)
+(* What can be rejected before a job is accepted into the queue: the
+   submit-time admission check behind the protocol's [bad_spec]
+   responses.  Deliberately cheap — existence, not full parses. *)
+let validate_spec (spec : Job.spec) =
+  let* () = Source.validate spec.Job.source in
+  let* () =
+    match spec.Job.start with
+    | Job.Fresh -> Ok ()
+    | Job.Resume file | Job.Warm file ->
+      if Sys.file_exists file then Ok ()
+      else Error (Printf.sprintf "spec: no such checkpoint %s" file)
+  in
+  match spec.Job.max_steps with
+  | Some n when n < 0 -> Error "spec: max_steps must be non-negative"
+  | _ -> Ok ()
+
+(* Materialise a spec into live placer state.  Bad sources and
+   checkpoints are typed [Error]s; the caller turns them into a [Failed]
+   status (or, via [validate_spec], refuses them at submit time). *)
 let start_running (spec : Job.spec) =
-  let circuit, p0 = Source.load spec.Job.source in
+  let* circuit, p0 = Source.load spec.Job.source in
   (* The scheduler owns the pool; the config must not repartition it. *)
   let config =
     { (Job.config_of_mode spec.Job.mode) with Kraftwerk.Config.domains = None }
   in
-  let state, crit =
+  let* state, crit =
     match spec.Job.start with
     | Job.Fresh ->
       let crit =
@@ -140,10 +167,10 @@ let start_running (spec : Job.spec) =
           Some (Timing.Criticality.create (Netlist.Circuit.num_nets circuit))
         else None
       in
-      (Kraftwerk.Placer.init config circuit p0, crit)
+      Ok (Kraftwerk.Placer.init config circuit p0, crit)
     | Job.Resume file ->
-      let cp = or_fail (Checkpoint.load file) in
-      let state = or_fail (Checkpoint.restore cp config circuit) in
+      let* cp = Checkpoint.load file in
+      let* state = Checkpoint.restore cp config circuit in
       let crit =
         if spec.Job.timing then
           Some
@@ -153,21 +180,20 @@ let start_running (spec : Job.spec) =
               Timing.Criticality.create (Netlist.Circuit.num_nets circuit))
         else None
       in
-      (state, crit)
+      Ok (state, crit)
     | Job.Warm file ->
       (* ECO shape: only the checkpointed placement, fresh forces — the
          circuit may differ from the checkpointed one. *)
-      let cp = or_fail (Checkpoint.load file) in
-      let p =
-        or_fail
-          (Checkpoint.placement cp ~num_cells:(Netlist.Circuit.num_cells circuit))
+      let* cp = Checkpoint.load file in
+      let* p =
+        Checkpoint.placement cp ~num_cells:(Netlist.Circuit.num_cells circuit)
       in
       let crit =
         if spec.Job.timing then
           Some (Timing.Criticality.create (Netlist.Circuit.num_nets circuit))
         else None
       in
-      (Kraftwerk.Placer.init config circuit p, crit)
+      Ok (Kraftwerk.Placer.init config circuit p, crit)
   in
   let hooks =
     match crit with
@@ -191,21 +217,22 @@ let start_running (spec : Job.spec) =
           },
         Some oc )
   in
-  {
-    circuit;
-    state;
-    hooks;
-    crit;
-    sink;
-    trace_oc;
-    iters_emitted;
-    started_at = Unix.gettimeofday ();
-    max_steps =
-      Option.value spec.Job.max_steps
-        ~default:config.Kraftwerk.Config.max_iterations;
-    since_checkpoint = 0;
-    checkpoint_written = None;
-  }
+  Ok
+    {
+      circuit;
+      state;
+      hooks;
+      crit;
+      sink;
+      trace_oc;
+      iters_emitted;
+      started_at = Unix.gettimeofday ();
+      max_steps =
+        Option.value spec.Job.max_steps
+          ~default:config.Kraftwerk.Config.max_iterations;
+      since_checkpoint = 0;
+      checkpoint_written = None;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Finishing                                                            *)
@@ -405,9 +432,10 @@ let start_queued t =
       e.status <- Job.Running;
       t.on_event (Started e.id);
       match start_running e.spec with
-      | run ->
+      | Ok run ->
         e.run <- Some run;
         t.rr <- t.rr @ [ e.id ]
+      | Error msg -> finish_failed t e msg
       | exception exn -> finish_failed t e (Printexc.to_string exn))
   done
 
@@ -445,3 +473,8 @@ let cancel t id =
       | _ -> e.cancel_requested <- true);
       true
     end
+
+let cancel_all t =
+  List.fold_left
+    (fun acc id -> if cancel t id then acc + 1 else acc)
+    0 t.order

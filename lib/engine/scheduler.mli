@@ -40,9 +40,19 @@ type event =
 val create :
   ?concurrency:int -> ?domains:int -> ?on_event:(event -> unit) -> unit -> t
 
+(** [validate_spec spec] is the submit-time admission check: the source
+    names a known profile or an existing file, resume/warm checkpoints
+    exist, budgets are sane.  Deliberately cheap (existence, not full
+    parses) so a front end can refuse a bad spec before queuing it — the
+    protocol's [bad_spec] response.  Problems that only show up when the
+    job materialises (a file that parses wrong, a checkpoint digest
+    mismatch) still surface as a [Failed] status at start. *)
+val validate_spec : Job.spec -> (unit, string) result
+
 (** [submit t spec] enqueues a job and returns its id.  The spec is
     validated lazily: source or checkpoint problems surface as a
-    [Failed] status when the job would start. *)
+    [Failed] status when the job would start.  Call {!validate_spec}
+    first to reject obviously bad specs synchronously. *)
 val submit : t -> Job.spec -> id
 
 (** [cancel t id] requests cooperative cancellation.  A queued job is
@@ -51,6 +61,12 @@ val submit : t -> Job.spec -> id
     placement, writing a final checkpoint first when configured.
     Returns false when [id] is unknown or already terminal. *)
 val cancel : t -> id -> bool
+
+(** [cancel_all t] requests cancellation of every non-terminal job and
+    returns how many were cancelled — the graceful-drain path of the
+    network server, degrading in-flight work to legal best-so-far
+    placements. *)
+val cancel_all : t -> int
 
 val status : t -> id -> Job.status option
 
@@ -73,6 +89,14 @@ val jobs : t -> (id * Job.status) list
 
 (** [busy t] — some job is still queued or running. *)
 val busy : t -> bool
+
+(** [queued t] — jobs accepted but not yet started; the quantity the
+    network server's admission bound is measured against. *)
+val queued : t -> int
+
+(** [running t] — jobs currently interleaving (including checkpointed
+    ones, which keep executing). *)
+val running : t -> int
 
 (** [step t] runs one scheduling turn: start queued jobs while slots are
     free, then give the next running job one transformation (or its

@@ -2,26 +2,47 @@ type t =
   | Profile of { name : string; scale : float; seed : int }
   | File of string
 
+let ( let* ) = Stdlib.Result.bind
+
+let validate = function
+  | Profile { name; scale; _ } ->
+    if scale <= 0. || scale > 1. then
+      Error (Printf.sprintf "source: scale %g out of (0, 1]" scale)
+    else (
+      match Circuitgen.Profiles.find name with
+      | _ -> Ok ()
+      | exception Not_found ->
+        Error (Printf.sprintf "source: unknown profile %S" name))
+  | File file ->
+    if Sys.file_exists file then Ok ()
+    else Error (Printf.sprintf "source: no such file %s" file)
+
 let load = function
-  | Profile { name; scale; seed } ->
+  | Profile { name; scale; seed } as src ->
+    let* () = validate src in
     let prof = Circuitgen.Profiles.find name in
     let params = Circuitgen.Profiles.params ~scale prof ~seed in
     let c, fixed = Circuitgen.Gen.generate params in
-    (c, Circuitgen.Gen.initial_placement c fixed)
+    Ok (c, Circuitgen.Gen.initial_placement c fixed)
   | File file when Filename.check_suffix file ".aux" ->
-    Netlist.Bookshelf.load_aux file
+    Result.map_error Netlist.Bookshelf.error_message
+      (Netlist.Bookshelf.load_aux file)
   | File file ->
-    let c = Netlist.Io.load_circuit file in
+    let* c =
+      Result.map_error Netlist.Io.error_message (Netlist.Io.load_circuit file)
+    in
     (* The generated format keeps pad-ring coordinates in a sidecar
        file; without one the centered initial placement re-derives
        nothing, so fixed cells sit at (0,0) — same as the CLI. *)
     let side = file ^ ".pos" in
-    let p =
+    let* p =
       if Sys.file_exists side then
-        Netlist.Io.load_placement side ~num_cells:(Netlist.Circuit.num_cells c)
-      else Netlist.Placement.create c
+        Result.map_error Netlist.Io.error_message
+          (Netlist.Io.load_placement side
+             ~num_cells:(Netlist.Circuit.num_cells c))
+      else Ok (Netlist.Placement.create c)
     in
-    (c, p)
+    Ok (c, p)
 
 let describe = function
   | Profile { name; scale; seed } -> Printf.sprintf "%s@%g#%d" name scale seed

@@ -9,13 +9,19 @@ type t =
   | Profile of { name : string; scale : float; seed : int }
   | File of string
 
+(** [validate t] checks what can be checked without materialising the
+    circuit: the profile name exists and its scale is in (0, 1], or the
+    named file exists.  This is the submit-time admission check behind
+    the protocol's [bad_spec] responses. *)
+val validate : t -> (unit, string) result
+
 (** [load t] materialises the circuit and its initial placement.  For
     [Profile] this is the generator followed by the §4.2 centered
     initial placement; for [File] the placement comes from the [.pos]
     sidecar when present (Bookshelf placements come from the [.pl]).
-    Raises on unknown profiles / unreadable files — callers run it
-    inside the job-failure guard. *)
-val load : t -> Netlist.Circuit.t * Netlist.Placement.t
+    Unknown profiles and unreadable or malformed files are typed
+    [Error]s, never exceptions. *)
+val load : t -> (Netlist.Circuit.t * Netlist.Placement.t, string) result
 
 (** [describe t] is a short human-readable label ("biomed@0.25#42",
     "ibm01.aux"). *)

@@ -1,4 +1,18 @@
+type error = { file : string; reason : string }
+
+let error_message e = Printf.sprintf "%s: %s" e.file e.reason
+
+(* Internal control flow; converted to [Error] in [load_aux].  Parse
+   helpers raise bare [Failure]s (including the numeric conversions') and
+   [guard] attributes them to the benchmark file being read. *)
+exception Bs of error
+
 let fail fmt = Printf.ksprintf failwith fmt
+
+let guard file f =
+  try f () with
+  | Failure reason -> raise (Bs { file; reason })
+  | Sys_error reason -> raise (Bs { file; reason })
 
 let tokens line =
   String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
@@ -42,7 +56,7 @@ let parse_nodes file =
               terminal = true }
             :: !nodes
         | [] -> ()
-        | tok :: _ -> fail "Bookshelf %s: bad .nodes line near %S" file tok)
+        | tok :: _ -> fail "bad .nodes line near %S" tok)
     (read_lines file);
   List.rev !nodes
 
@@ -130,11 +144,11 @@ let parse_nets file =
             match rest with
             | [ ":"; dx; dy ] -> (float_of_string dx, float_of_string dy)
             | [] -> (0., 0.)
-            | _ -> fail "Bookshelf %s: bad pin line for net %s" file !cur_name
+            | _ -> fail "bad pin line for net %s" !cur_name
           in
           cur_pins := (name, dir = "O", dx, dy) :: !cur_pins
         | [] -> ()
-        | tok :: _ -> fail "Bookshelf %s: unexpected token %S" file tok)
+        | tok :: _ -> fail "unexpected token %S" tok)
     (read_lines file);
   flush ();
   List.rev !nets
@@ -145,22 +159,24 @@ let parse_aux file =
   let dir = Filename.dirname file in
   let line =
     match List.filter (fun l -> String.trim l <> "") (read_lines file) with
-    | [] -> fail "Bookshelf %s: empty aux" file
+    | [] -> fail "empty aux"
     | l :: _ -> l
   in
   let files = tokens line |> List.filter (fun t -> String.contains t '.') in
   let find ext =
     match List.find_opt (fun f -> Filename.check_suffix f ext) files with
     | Some f -> Filename.concat dir f
-    | None -> fail "Bookshelf %s: no %s file listed" file ext
+    | None -> fail "no %s file listed" ext
   in
   (find ".nodes", find ".nets", find ".pl", find ".scl")
 
-let load_aux aux_file =
-  let nodes_f, nets_f, pl_f, scl_f = parse_aux aux_file in
-  let nodes = parse_nodes nodes_f in
-  let rows = parse_scl scl_f in
-  if rows = [] then fail "Bookshelf %s: no core rows" scl_f;
+let load_aux_exn aux_file =
+  let nodes_f, nets_f, pl_f, scl_f =
+    guard aux_file (fun () -> parse_aux aux_file)
+  in
+  let nodes = guard nodes_f (fun () -> parse_nodes nodes_f) in
+  let rows = guard scl_f (fun () -> parse_scl scl_f) in
+  if rows = [] then raise (Bs { file = scl_f; reason = "no core rows" });
   let row_height =
     match rows with r :: _ -> r.height | [] -> assert false
   in
@@ -171,7 +187,7 @@ let load_aux aux_file =
     List.fold_left (fun a r -> Float.max a (r.y +. r.height)) Float.neg_infinity rows
   in
   let region = Geometry.Rect.make ~x_lo ~y_lo ~x_hi ~y_hi in
-  let places = parse_pl pl_f in
+  let places = guard pl_f (fun () -> parse_pl pl_f) in
   let id_of = Hashtbl.create (List.length nodes) in
   let core_row_area = row_height *. row_height in
   let cells =
@@ -190,39 +206,41 @@ let load_aux aux_file =
     |> Array.of_list
   in
   let nets =
-    let out = ref [] and count = ref 0 in
-    List.iter
-      (fun rn ->
-        (* Driver first; dedupe exactly repeated pins. *)
-        let resolve (name, drv, dx, dy) =
-          match Hashtbl.find_opt id_of name with
-          | Some id -> (id, drv, dx, dy)
-          | None -> fail "Bookshelf: net %s references unknown node %s" rn.net_name name
-        in
-        let pins = List.map resolve rn.raw_pins in
-        let drivers, sinks = List.partition (fun (_, d, _, _) -> d) pins in
-        let ordered = drivers @ sinks in
-        let seen = Hashtbl.create 8 in
-        let uniq =
-          List.filter
-            (fun (id, _, dx, dy) ->
-              if Hashtbl.mem seen (id, dx, dy) then false
-              else begin
-                Hashtbl.add seen (id, dx, dy) ();
-                true
-              end)
-            ordered
-        in
-        if List.length uniq >= 2 then begin
-          let pins =
-            List.map (fun (id, _, dx, dy) -> { Net.cell = id; dx; dy }) uniq
-            |> Array.of_list
-          in
-          out := Net.make ~id:!count ~name:rn.net_name pins :: !out;
-          incr count
-        end)
-      (parse_nets nets_f);
-    Array.of_list (List.rev !out)
+    guard nets_f (fun () ->
+        let out = ref [] and count = ref 0 in
+        List.iter
+          (fun rn ->
+            (* Driver first; dedupe exactly repeated pins. *)
+            let resolve (name, drv, dx, dy) =
+              match Hashtbl.find_opt id_of name with
+              | Some id -> (id, drv, dx, dy)
+              | None ->
+                fail "net %s references unknown node %s" rn.net_name name
+            in
+            let pins = List.map resolve rn.raw_pins in
+            let drivers, sinks = List.partition (fun (_, d, _, _) -> d) pins in
+            let ordered = drivers @ sinks in
+            let seen = Hashtbl.create 8 in
+            let uniq =
+              List.filter
+                (fun (id, _, dx, dy) ->
+                  if Hashtbl.mem seen (id, dx, dy) then false
+                  else begin
+                    Hashtbl.add seen (id, dx, dy) ();
+                    true
+                  end)
+                ordered
+            in
+            if List.length uniq >= 2 then begin
+              let pins =
+                List.map (fun (id, _, dx, dy) -> { Net.cell = id; dx; dy }) uniq
+                |> Array.of_list
+              in
+              out := Net.make ~id:!count ~name:rn.net_name pins :: !out;
+              incr count
+            end)
+          (parse_nets nets_f);
+        Array.of_list (List.rev !out))
   in
   let circuit =
     Circuit.make
@@ -245,6 +263,13 @@ let load_aux aux_file =
       | None -> ())
     cells;
   (circuit, placement)
+
+let load_aux aux_file =
+  match load_aux_exn aux_file with
+  | v -> Ok v
+  | exception Bs e -> Error e
+  | exception Failure reason -> Error { file = aux_file; reason }
+  | exception Sys_error reason -> Error { file = aux_file; reason }
 
 let save basename (c : Circuit.t) (p : Placement.t) =
   let write file f =

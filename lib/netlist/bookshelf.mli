@@ -14,11 +14,19 @@
     unrotated); weights files are not read.  Writing emits the same
     subset, so circuits round-trip. *)
 
+type error = {
+  file : string;  (** the benchmark file the problem was found in *)
+  reason : string;
+}
+
+(** [error_message e] — ["file: reason"]. *)
+val error_message : error -> string
+
 (** [load_aux file] reads a benchmark through its [.aux] index and
     returns the circuit plus the placement from the [.pl] file (cells
-    without coordinates sit at the region centre).  Raises [Failure]
-    with a descriptive message on malformed input. *)
-val load_aux : string -> Circuit.t * Placement.t
+    without coordinates sit at the region centre).  Malformed or
+    unreadable input is a typed [Error], never an exception. *)
+val load_aux : string -> (Circuit.t * Placement.t, error) result
 
 (** [save basename circuit placement] writes [basename.aux],
     [basename.nodes], [basename.nets], [basename.pl] and

@@ -1,3 +1,18 @@
+type error = { file : string option; line : int option; reason : string }
+
+let error_message e =
+  match (e.file, e.line) with
+  | Some f, Some l -> Printf.sprintf "%s:%d: %s" f l e.reason
+  | Some f, None -> Printf.sprintf "%s: %s" f e.reason
+  | None, Some l -> Printf.sprintf "line %d: %s" l e.reason
+  | None, None -> e.reason
+
+(* Internal control flow of the readers; converted to [Error] at the API
+   boundary, never escapes this module. *)
+exception Malformed of error
+
+let malformed ?line reason = raise (Malformed { file = None; line; reason })
+
 let kind_to_string = function
   | Cell.Standard -> "standard"
   | Cell.Block -> "block"
@@ -33,107 +48,134 @@ let write_circuit oc (c : Circuit.t) =
       output_char oc '\n')
     c.Circuit.nets
 
-let read_circuit ic =
+(* Wraps the result-returning readers: [Malformed] and the [Failure]s of
+   the numeric conversions both become typed errors. *)
+let reading f =
+  match f () with
+  | v -> Ok v
+  | exception Malformed e -> Error e
+  | exception Failure reason -> Error { file = None; line = None; reason }
+
+let read_circuit_exn ic =
   let name = ref "" in
   let region = ref None in
   let row_height = ref None in
   let cells = ref [] and num_cells = ref 0 in
   let nets = ref [] and num_nets = ref 0 in
   let lineno = ref 0 in
-  let fail msg = failwith (Printf.sprintf "Io.read_circuit: line %d: %s" !lineno msg) in
+  let fail msg = malformed ~line:!lineno msg in
   (try
      while true do
        let line = input_line ic in
        incr lineno;
-       match String.split_on_char ' ' (String.trim line) with
-       | [ "" ] -> ()
-       | "circuit" :: rest -> name := String.concat " " rest
-       | [ "region"; a; b; c; d ] ->
-         region :=
-           Some
-             (Geometry.Rect.make ~x_lo:(float_of_string a)
-                ~y_lo:(float_of_string b) ~x_hi:(float_of_string c)
-                ~y_hi:(float_of_string d))
-       | [ "rowheight"; h ] -> row_height := Some (float_of_string h)
-       | [ "cell"; nm; w; h; kind; fixed; seq; delay; power ] ->
-         let cell =
-           Cell.make ~id:!num_cells ~name:nm ~width:(float_of_string w)
-             ~height:(float_of_string h) ~kind:(kind_of_string kind)
-             ~fixed:(int_of_string fixed = 1)
-             ~sequential:(int_of_string seq = 1)
-             ~delay:(float_of_string delay) ~power:(float_of_string power) ()
-         in
-         cells := cell :: !cells;
-         incr num_cells
-       | "net" :: nm :: pins ->
-         if pins = [] then fail "net with no pins";
-         let parse_pin s =
-           match String.split_on_char ':' s with
-           | [ c; dx; dy ] ->
-             { Net.cell = int_of_string c; dx = float_of_string dx;
-               dy = float_of_string dy }
-           | _ -> fail ("bad pin: " ^ s)
-         in
-         let net =
-           Net.make ~id:!num_nets ~name:nm
-             (Array.of_list (List.map parse_pin pins))
-         in
-         nets := net :: !nets;
-         incr num_nets
-       | tok :: _ -> fail ("unknown directive: " ^ tok)
-       | [] -> ()
+       (* Any [Failure] of a conversion below carries this line. *)
+       try
+         match String.split_on_char ' ' (String.trim line) with
+         | [ "" ] -> ()
+         | "circuit" :: rest -> name := String.concat " " rest
+         | [ "region"; a; b; c; d ] ->
+           region :=
+             Some
+               (Geometry.Rect.make ~x_lo:(float_of_string a)
+                  ~y_lo:(float_of_string b) ~x_hi:(float_of_string c)
+                  ~y_hi:(float_of_string d))
+         | [ "rowheight"; h ] -> row_height := Some (float_of_string h)
+         | [ "cell"; nm; w; h; kind; fixed; seq; delay; power ] ->
+           let cell =
+             Cell.make ~id:!num_cells ~name:nm ~width:(float_of_string w)
+               ~height:(float_of_string h) ~kind:(kind_of_string kind)
+               ~fixed:(int_of_string fixed = 1)
+               ~sequential:(int_of_string seq = 1)
+               ~delay:(float_of_string delay) ~power:(float_of_string power) ()
+           in
+           cells := cell :: !cells;
+           incr num_cells
+         | "net" :: nm :: pins ->
+           if pins = [] then fail "net with no pins";
+           let parse_pin s =
+             match String.split_on_char ':' s with
+             | [ c; dx; dy ] ->
+               { Net.cell = int_of_string c; dx = float_of_string dx;
+                 dy = float_of_string dy }
+             | _ -> fail ("bad pin: " ^ s)
+           in
+           let net =
+             Net.make ~id:!num_nets ~name:nm
+               (Array.of_list (List.map parse_pin pins))
+           in
+           nets := net :: !nets;
+           incr num_nets
+         | tok :: _ -> fail ("unknown directive: " ^ tok)
+         | [] -> ()
+       with Failure reason -> fail reason
      done
    with End_of_file -> ());
-  let region = match !region with Some r -> r | None -> failwith "Io.read_circuit: missing region" in
+  let region =
+    match !region with Some r -> r | None -> malformed "missing region"
+  in
   let row_height =
-    match !row_height with Some h -> h | None -> failwith "Io.read_circuit: missing rowheight"
+    match !row_height with Some h -> h | None -> malformed "missing rowheight"
   in
   Circuit.make ~name:!name
     ~cells:(Array.of_list (List.rev !cells))
     ~nets:(Array.of_list (List.rev !nets))
     ~region ~row_height
 
+let read_circuit ic = reading (fun () -> read_circuit_exn ic)
+
 let write_placement oc (p : Placement.t) =
   Array.iteri
     (fun i x -> Printf.fprintf oc "pos %d %.17g %.17g\n" i x p.Placement.y.(i))
     p.Placement.x
 
-let read_placement ic ~num_cells =
+let read_placement_exn ic ~num_cells =
   let x = Array.make num_cells 0. and y = Array.make num_cells 0. in
   let seen = Array.make num_cells false in
+  let lineno = ref 0 in
+  let fail msg = malformed ~line:!lineno msg in
   (try
      while true do
        let line = input_line ic in
-       match String.split_on_char ' ' (String.trim line) with
-       | [ "" ] -> ()
-       | [ "pos"; i; px; py ] ->
-         let i = int_of_string i in
-         if i < 0 || i >= num_cells then
-           failwith "Io.read_placement: cell index out of range";
-         x.(i) <- float_of_string px;
-         y.(i) <- float_of_string py;
-         seen.(i) <- true
-       | _ -> failwith "Io.read_placement: malformed line"
+       incr lineno;
+       try
+         match String.split_on_char ' ' (String.trim line) with
+         | [ "" ] -> ()
+         | [ "pos"; i; px; py ] ->
+           let i = int_of_string i in
+           if i < 0 || i >= num_cells then fail "cell index out of range";
+           x.(i) <- float_of_string px;
+           y.(i) <- float_of_string py;
+           seen.(i) <- true
+         | _ -> fail "malformed line"
+       with Failure reason -> fail reason
      done
    with End_of_file -> ());
   Array.iteri
-    (fun i s -> if not s then failwith (Printf.sprintf "Io.read_placement: missing cell %d" i))
+    (fun i s ->
+      if not s then malformed (Printf.sprintf "missing cell %d" i))
     seen;
   { Placement.x; y }
+
+let read_placement ic ~num_cells =
+  reading (fun () -> read_placement_exn ic ~num_cells)
 
 let with_out file f =
   let oc = open_out file in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
 let with_in file f =
-  let ic = open_in file in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+  match open_in file with
+  | ic -> Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+  | exception Sys_error reason ->
+    Error { file = Some file; line = None; reason }
+
+let in_file file = Result.map_error (fun e -> { e with file = Some file })
 
 let save_circuit file c = with_out file (fun oc -> write_circuit oc c)
 
-let load_circuit file = with_in file read_circuit
+let load_circuit file = with_in file (fun ic -> in_file file (read_circuit ic))
 
 let save_placement file p = with_out file (fun oc -> write_placement oc p)
 
 let load_placement file ~num_cells =
-  with_in file (fun ic -> read_placement ic ~num_cells)
+  with_in file (fun ic -> in_file file (read_placement ic ~num_cells))

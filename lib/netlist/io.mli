@@ -12,14 +12,27 @@
     v}
 
     Cells are implicitly numbered in order of appearance; net pins refer to
-    those numbers, first pin is the driver. *)
+    those numbers, first pin is the driver.
+
+    Readers return a typed {!error} instead of raising, so front ends
+    (the CLI, the serve protocol's [bad_spec] responses) can report a
+    malformed file without catching exceptions. *)
+
+type error = {
+  file : string option;  (** source file, when reading from one *)
+  line : int option;  (** 1-based line of the offending input *)
+  reason : string;
+}
+
+(** [error_message e] — ["file:line: reason"] with the parts present. *)
+val error_message : error -> string
 
 (** [write_circuit oc circuit] prints the circuit. *)
 val write_circuit : out_channel -> Circuit.t -> unit
 
-(** [read_circuit ic] parses a circuit.  Raises [Failure] with a line
-    number on malformed input. *)
-val read_circuit : in_channel -> Circuit.t
+(** [read_circuit ic] parses a circuit.  Malformed input is an [Error]
+    carrying the line number. *)
+val read_circuit : in_channel -> (Circuit.t, error) result
 
 (** [write_placement oc placement] prints one [pos <id> <x> <y>] line per
     cell. *)
@@ -27,13 +40,14 @@ val write_placement : out_channel -> Placement.t -> unit
 
 (** [read_placement ic ~num_cells] parses a placement with exactly
     [num_cells] entries. *)
-val read_placement : in_channel -> num_cells:int -> Placement.t
+val read_placement : in_channel -> num_cells:int -> (Placement.t, error) result
 
-(** File-based conveniences. *)
+(** File-based conveniences.  The loaders also turn an unreadable file
+    ([Sys_error]) into an [Error]. *)
 val save_circuit : string -> Circuit.t -> unit
 
-val load_circuit : string -> Circuit.t
+val load_circuit : string -> (Circuit.t, error) result
 
 val save_placement : string -> Placement.t -> unit
 
-val load_placement : string -> num_cells:int -> Placement.t
+val load_placement : string -> num_cells:int -> (Placement.t, error) result

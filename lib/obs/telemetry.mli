@@ -77,6 +77,11 @@ val provenance_fields : string list
     top of {!strip_volatile} by checkpoint/resume comparisons. *)
 val strip_provenance : Json.t -> Json.t
 
+(** [stat_to_json s] — the {e count/total/min/max} object used for
+    registry counters in summaries and in the serve protocol's
+    [metrics] responses. *)
+val stat_to_json : Stat.t -> Json.t
+
 val iteration_to_json : iteration -> Json.t
 
 (** [iteration_of_json v] parses and validates a record — the schema

@@ -1,0 +1,51 @@
+type t = Unix_path of string | Tcp of string * int
+
+let drop_prefix ~prefix s =
+  let pn = String.length prefix in
+  if String.length s >= pn && String.sub s 0 pn = prefix then
+    Some (String.sub s pn (String.length s - pn))
+  else None
+
+let parse_port s =
+  match int_of_string_opt s with
+  | Some p when p >= 0 && p <= 65535 -> Ok p
+  | _ -> Error (Printf.sprintf "address: bad port %S" s)
+
+let parse_tcp s =
+  match String.rindex_opt s ':' with
+  | Some i ->
+    let host = String.sub s 0 i in
+    let host = if host = "" then "127.0.0.1" else host in
+    let ( let* ) = Result.bind in
+    let* port = parse_port (String.sub s (i + 1) (String.length s - i - 1)) in
+    Ok (Tcp (host, port))
+  | None ->
+    (* A bare port number. *)
+    Result.map (fun p -> Tcp ("127.0.0.1", p)) (parse_port s)
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" then Error "address: empty"
+  else
+    match drop_prefix ~prefix:"unix:" s with
+    | Some path ->
+      if path = "" then Error "address: empty unix path" else Ok (Unix_path path)
+    | None -> (
+      match drop_prefix ~prefix:"tcp:" s with
+      | Some rest -> parse_tcp rest
+      | None -> if String.contains s '/' then Ok (Unix_path s) else parse_tcp s)
+
+let to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let sockaddr = function
+  | Unix_path p -> Ok (Unix.ADDR_UNIX p)
+  | Tcp (host, port) -> (
+    match Unix.inet_addr_of_string host with
+    | addr -> Ok (Unix.ADDR_INET (addr, port))
+    | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        Error (Printf.sprintf "address: cannot resolve host %S" host)
+      | { Unix.h_addr_list; _ } -> Ok (Unix.ADDR_INET (h_addr_list.(0), port))))

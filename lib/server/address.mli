@@ -1,0 +1,23 @@
+(** Listen/connect addresses for the placement server.
+
+    Two transports: Unix-domain sockets (the default for local use —
+    filesystem permissions are the access control) and TCP.  The textual
+    forms accepted by [--listen] / [--to]:
+
+    {v
+    unix:/run/place.sock     Unix-domain socket at that path
+    /run/place.sock          ditto (anything with a '/')
+    tcp:host:port            TCP
+    host:port                ditto
+    :port  |  port           TCP on 127.0.0.1
+    v} *)
+
+type t = Unix_path of string | Tcp of string * int
+
+val of_string : string -> (t, string) result
+
+val to_string : t -> string
+
+(** [sockaddr t] resolves to a [Unix.sockaddr] (numeric or named TCP
+    hosts; [Error] when resolution fails). *)
+val sockaddr : t -> (Unix.sockaddr, string) result

@@ -1,0 +1,57 @@
+type frame = [ `Line of string | `Overflow ]
+
+type t = {
+  partial : Buffer.t;  (* the line being accumulated *)
+  out : frame Queue.t;
+  max_line : int;
+  mutable dropping : bool;  (* overflowed: discard until the next LF *)
+}
+
+let create ?(max_line = 1 lsl 20) () =
+  if max_line < 1 then invalid_arg "Frame.create: max_line < 1";
+  { partial = Buffer.create 256; out = Queue.create (); max_line; dropping = false }
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let feed t s =
+  let n = String.length s in
+  let start = ref 0 in
+  while !start < n do
+    match String.index_from_opt s !start '\n' with
+    | None ->
+      if not t.dropping then begin
+        Buffer.add_substring t.partial s !start (n - !start);
+        if Buffer.length t.partial > t.max_line then begin
+          Buffer.clear t.partial;
+          t.dropping <- true;
+          Queue.push `Overflow t.out
+        end
+      end;
+      start := n
+    | Some i ->
+      if t.dropping then t.dropping <- false
+      else begin
+        Buffer.add_substring t.partial s !start (i - !start);
+        if Buffer.length t.partial > t.max_line then begin
+          Buffer.clear t.partial;
+          Queue.push `Overflow t.out
+        end
+        else begin
+          let line = strip_cr (Buffer.contents t.partial) in
+          Buffer.clear t.partial;
+          Queue.push (`Line line) t.out
+        end
+      end;
+      start := i + 1
+  done
+
+let next t = Queue.take_opt t.out
+
+let pending t = Buffer.length t.partial
+
+let reset t =
+  Buffer.clear t.partial;
+  Queue.clear t.out;
+  t.dropping <- false

@@ -1,0 +1,27 @@
+(** Incremental line framing over a byte stream.
+
+    Sockets deliver arbitrary chunks; the protocol is line-oriented.  A
+    framer accumulates whatever [read] produced and yields complete
+    lines (LF-terminated; a trailing CR is stripped so CRLF peers work).
+    A line longer than [max_line] is reported once as [`Overflow] and
+    discarded up to its terminating newline — the transport answers with
+    a [parse] error instead of buffering without bound. *)
+
+type t
+
+(** [create ()] — [max_line] bounds the bytes buffered for a single
+    line (default 1 MiB). *)
+val create : ?max_line:int -> unit -> t
+
+(** [feed t s] appends freshly read bytes. *)
+val feed : t -> string -> unit
+
+(** [next t] pops the next complete frame, oldest first. *)
+val next : t -> [ `Line of string | `Overflow ] option
+
+(** [pending t] — bytes of the current {e partial} line (diagnostics). *)
+val pending : t -> int
+
+(** [reset t] discards all buffered input, complete and partial — for a
+    client reconnecting with stale half-read data. *)
+val reset : t -> unit

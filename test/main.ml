@@ -33,6 +33,7 @@ let () =
       ("floorplan.flexible", Test_flexible.suite);
       ("obs", Test_obs.suite);
       ("engine", Test_engine.suite);
+      ("server", Test_server.suite);
       ("convergence", Test_convergence.suite);
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);

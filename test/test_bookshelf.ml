@@ -10,6 +10,10 @@ let with_tempdir f =
       Unix.rmdir dir)
     (fun () -> f dir)
 
+let bs_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Netlist.Bookshelf.error_message e)
+
 let sample () =
   let prof = Circuitgen.Profiles.find "fract" in
   let circuit, pads =
@@ -23,7 +27,7 @@ let test_roundtrip_counts_and_hpwl () =
   with_tempdir (fun dir ->
       let base = Filename.concat dir "ckt" in
       Netlist.Bookshelf.save base circuit p;
-      let circuit', p' = Netlist.Bookshelf.load_aux (base ^ ".aux") in
+      let circuit', p' = bs_exn (Netlist.Bookshelf.load_aux (base ^ ".aux")) in
       Alcotest.(check int) "cells" (Netlist.Circuit.num_cells circuit)
         (Netlist.Circuit.num_cells circuit');
       Alcotest.(check int) "nets" (Netlist.Circuit.num_nets circuit)
@@ -40,7 +44,7 @@ let test_roundtrip_positions () =
   with_tempdir (fun dir ->
       let base = Filename.concat dir "ckt" in
       Netlist.Bookshelf.save base circuit p;
-      let _, p' = Netlist.Bookshelf.load_aux (base ^ ".aux") in
+      let _, p' = bs_exn (Netlist.Bookshelf.load_aux (base ^ ".aux")) in
       Alcotest.(check bool) "x preserved" true
         (Numeric.Vec.max_abs_diff p.Netlist.Placement.x p'.Netlist.Placement.x < 1e-3);
       Alcotest.(check bool) "y preserved" true
@@ -51,7 +55,7 @@ let test_terminals_roundtrip_fixed () =
   with_tempdir (fun dir ->
       let base = Filename.concat dir "ckt" in
       Netlist.Bookshelf.save base circuit p;
-      let circuit', _ = Netlist.Bookshelf.load_aux (base ^ ".aux") in
+      let circuit', _ = bs_exn (Netlist.Bookshelf.load_aux (base ^ ".aux")) in
       Array.iteri
         (fun i (cl : Netlist.Cell.t) ->
           Alcotest.(check bool)
@@ -65,7 +69,7 @@ let test_driver_preserved () =
   with_tempdir (fun dir ->
       let base = Filename.concat dir "ckt" in
       Netlist.Bookshelf.save base circuit p;
-      let circuit', _ = Netlist.Bookshelf.load_aux (base ^ ".aux") in
+      let circuit', _ = bs_exn (Netlist.Bookshelf.load_aux (base ^ ".aux")) in
       Array.iteri
         (fun i (net : Netlist.Net.t) ->
           Alcotest.(check int)
@@ -98,7 +102,7 @@ let test_hand_written_benchmark () =
          CoreRow Horizontal\n  Coordinate : 16\n  Height : 16\n  Sitewidth : 1\n  \
          Sitespacing : 1\n  Siteorient : 1\n  Sitesymmetry : 1\n  \
          SubrowOrigin : 0  NumSites : 100\nEnd\n";
-      let c, p = Netlist.Bookshelf.load_aux (Filename.concat dir "t.aux") in
+      let c, p = bs_exn (Netlist.Bookshelf.load_aux (Filename.concat dir "t.aux")) in
       Alcotest.(check int) "cells" 3 (Netlist.Circuit.num_cells c);
       Alcotest.(check int) "nets" 2 (Netlist.Circuit.num_nets c);
       Alcotest.(check int) "rows" 2 (Netlist.Circuit.num_rows c);
@@ -122,11 +126,11 @@ let test_missing_file_rejected () =
       let oc = open_out file in
       output_string oc "RowBasedPlacement : bad.nodes bad.pl bad.scl\n";
       close_out oc;
-      Alcotest.(check bool) "raises" true
-        (try
-           ignore (Netlist.Bookshelf.load_aux file);
-           false
-         with Failure _ -> true))
+      match Netlist.Bookshelf.load_aux file with
+      | Ok _ -> Alcotest.fail "expected a typed error"
+      | Error e ->
+        Alcotest.(check bool) "error names a file" true
+          (e.Netlist.Bookshelf.file <> ""))
 
 let test_placeable_after_load () =
   (* End-to-end: save → load → place the loaded circuit. *)
@@ -134,7 +138,7 @@ let test_placeable_after_load () =
   with_tempdir (fun dir ->
       let base = Filename.concat dir "ckt" in
       Netlist.Bookshelf.save base circuit p;
-      let circuit', p0 = Netlist.Bookshelf.load_aux (base ^ ".aux") in
+      let circuit', p0 = bs_exn (Netlist.Bookshelf.load_aux (base ^ ".aux")) in
       let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit' p0 in
       let rep = Legalize.Abacus.legalize circuit' state.Kraftwerk.Placer.placement () in
       Alcotest.(check bool) "legal" true

@@ -64,7 +64,7 @@ let last k l = List.filteri (fun i _ -> i >= List.length l - k) l
 (* Checkpoint                                                          *)
 
 let test_checkpoint_round_trip () =
-  let circuit, p0 = Engine.Source.load (source ()) in
+  let circuit, p0 = ok_or_fail (Engine.Source.load (source ())) in
   let config = Kraftwerk.Config.fast in
   let state = Kraftwerk.Placer.init config circuit p0 in
   ignore (Kraftwerk.Placer.continue_run state ~max_steps:4);
@@ -92,7 +92,7 @@ let test_checkpoint_round_trip () =
     restored.Kraftwerk.Placer.ey
 
 let test_checkpoint_digest_guards () =
-  let circuit, p0 = Engine.Source.load (source ()) in
+  let circuit, p0 = ok_or_fail (Engine.Source.load (source ())) in
   let config = Kraftwerk.Config.fast in
   let state = Kraftwerk.Placer.init config circuit p0 in
   ignore (Kraftwerk.Placer.continue_run state ~max_steps:2);
@@ -118,7 +118,7 @@ let test_checkpoint_digest_guards () =
    a run at a checkpoint and restoring yields bitwise the placement and
    forces of the uninterrupted run. *)
 let test_resume_bitwise_models_pools () =
-  let circuit, p0 = Engine.Source.load (source ()) in
+  let circuit, p0 = ok_or_fail (Engine.Source.load (source ())) in
   let total = 10 and cut = 4 in
   List.iter
     (fun model ->
@@ -252,7 +252,7 @@ let test_engine_resume_timing_driven () =
   Sys.remove ck
 
 let test_deadline_degrades_to_legal () =
-  let circuit, _ = Engine.Source.load (source ()) in
+  let circuit, _ = ok_or_fail (Engine.Source.load (source ())) in
   let sched = Engine.Scheduler.create () in
   let id =
     submit_and_drain sched
@@ -275,7 +275,7 @@ let test_deadline_degrades_to_legal () =
    result. *)
 let test_cancel_checkpoint_resume () =
   let ck = temp ".json" in
-  let circuit, _ = Engine.Source.load (source ()) in
+  let circuit, _ = ok_or_fail (Engine.Source.load (source ())) in
   let sched = Engine.Scheduler.create () in
   let a =
     Engine.Scheduler.submit sched
@@ -317,7 +317,7 @@ let test_cancel_checkpoint_resume () =
    computation as Kraftwerk.Eco.replace on the base placement. *)
 let test_eco_job_matches_direct_replace () =
   let src = source ~seed:3 () in
-  let circuit, p0 = Engine.Source.load src in
+  let circuit, p0 = ok_or_fail (Engine.Source.load src) in
   let config = Engine.Job.config_of_mode Engine.Job.Fast in
   let base, _ = Kraftwerk.Placer.run config circuit p0 in
   let ck = temp ".json" in
@@ -328,7 +328,7 @@ let test_eco_job_matches_direct_replace () =
   Netlist.Io.save_circuit ckt rewired;
   (* Both sides use the circuit as reloaded from disk, like a serve
      client would submit it. *)
-  let c2, _ = Engine.Source.load (Engine.Source.File ckt) in
+  let c2, _ = ok_or_fail (Engine.Source.load (Engine.Source.File ckt)) in
   let direct, _ =
     Kraftwerk.Eco.replace config c2 base.Kraftwerk.Placer.placement
       ~max_steps:6
@@ -421,7 +421,7 @@ let test_protocol_request_parsing () =
    with
   | Ok (Engine.Protocol.Submit _) -> ()
   | Ok _ -> Alcotest.fail "submit parsed to another request"
-  | Error e -> Alcotest.failf "submit rejected: %s" e);
+  | Error e -> Alcotest.failf "submit rejected: %s" (Engine.Protocol.error_message e));
   (match parse_request {|{"cmd":"step"}|} with
   | Ok (Engine.Protocol.Step 1) -> ()
   | _ -> Alcotest.fail "bare step must default to one turn");
@@ -454,8 +454,11 @@ let test_protocol_session () =
   let sched = Engine.Scheduler.create () in
   let handle line =
     match parse_request line with
-    | Error e -> Alcotest.failf "request rejected: %s" e
-    | Ok req -> Engine.Protocol.handle sched req
+    | Error e ->
+      Alcotest.failf "request rejected: %s" (Engine.Protocol.error_message e)
+    | Ok req ->
+      let reply, stop = Engine.Protocol.handle sched req in
+      (Engine.Protocol.render Engine.Protocol.V2 ~seq:None reply, stop)
   in
   let resp, stop =
     handle

@@ -63,7 +63,11 @@ let test_save_place_load_place_roundtrip () =
     ~finally:(fun () -> Sys.remove file)
     (fun () ->
       Netlist.Io.save_circuit file circuit;
-      let circuit' = Netlist.Io.load_circuit file in
+      let circuit' =
+        match Netlist.Io.load_circuit file with
+        | Ok c -> c
+        | Error e -> Alcotest.fail (Netlist.Io.error_message e)
+      in
       (* Placing the reloaded circuit from the same initial placement
          gives the identical result (full determinism through IO). *)
       let s1, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in

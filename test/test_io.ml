@@ -9,11 +9,15 @@ let sample_circuit () =
   let params = Circuitgen.Profiles.params ~scale:0.5 prof ~seed:9 in
   fst (Circuitgen.Gen.generate params)
 
+let io_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Netlist.Io.error_message e)
+
 let test_circuit_roundtrip () =
   let c = sample_circuit () in
   with_temp (fun file ->
       Netlist.Io.save_circuit file c;
-      let c' = Netlist.Io.load_circuit file in
+      let c' = io_exn (Netlist.Io.load_circuit file) in
       Alcotest.(check string) "name" c.Netlist.Circuit.name c'.Netlist.Circuit.name;
       Alcotest.(check int) "cells" (Netlist.Circuit.num_cells c)
         (Netlist.Circuit.num_cells c');
@@ -57,7 +61,7 @@ let test_placement_roundtrip () =
   in
   with_temp (fun file ->
       Netlist.Io.save_placement file p;
-      let p' = Netlist.Io.load_placement file ~num_cells:n in
+      let p' = io_exn (Netlist.Io.load_placement file ~num_cells:n) in
       Alcotest.(check bool) "x restored" true
         (Numeric.Vec.max_abs_diff p.Netlist.Placement.x p'.Netlist.Placement.x = 0.);
       Alcotest.(check bool) "y restored" true
@@ -68,40 +72,38 @@ let test_placement_missing_cell_rejected () =
       let oc = open_out file in
       output_string oc "pos 0 1.0 2.0\n";
       close_out oc;
-      Alcotest.(check bool) "raises" true
-        (try
-           ignore (Netlist.Io.load_placement file ~num_cells:2);
-           false
-         with Failure _ -> true))
+      match Netlist.Io.load_placement file ~num_cells:2 with
+      | Ok _ -> Alcotest.fail "expected a typed error"
+      | Error e ->
+        Alcotest.(check bool) "error names the file" true
+          (e.Netlist.Io.file = Some file))
 
 let test_malformed_circuit_rejected () =
   with_temp (fun file ->
       let oc = open_out file in
       output_string oc "circuit x\nbogus line here\n";
       close_out oc;
-      Alcotest.(check bool) "raises" true
-        (try
-           ignore (Netlist.Io.load_circuit file);
-           false
-         with Failure _ -> true))
+      match Netlist.Io.load_circuit file with
+      | Ok _ -> Alcotest.fail "expected a typed error"
+      | Error e ->
+        Alcotest.(check (option int)) "error carries the line" (Some 2)
+          e.Netlist.Io.line)
 
 let test_missing_region_rejected () =
   with_temp (fun file ->
       let oc = open_out file in
       output_string oc "circuit x\nrowheight 16\n";
       close_out oc;
-      Alcotest.(check bool) "raises" true
-        (try
-           ignore (Netlist.Io.load_circuit file);
-           false
-         with Failure _ -> true))
+      match Netlist.Io.load_circuit file with
+      | Ok _ -> Alcotest.fail "expected a typed error"
+      | Error _ -> ())
 
 let test_hpwl_preserved_by_roundtrip () =
   let c = sample_circuit () in
   let p = Netlist.Placement.centered c ~fixed_positions:[] in
   with_temp (fun file ->
       Netlist.Io.save_circuit file c;
-      let c' = Netlist.Io.load_circuit file in
+      let c' = io_exn (Netlist.Io.load_circuit file) in
       Alcotest.(check (float 1e-6)) "same hpwl"
         (Metrics.Wirelength.hpwl c p)
         (Metrics.Wirelength.hpwl c' p))

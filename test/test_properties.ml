@@ -115,13 +115,15 @@ let prop_io_roundtrip_any_seed =
         ~finally:(fun () -> Sys.remove file)
         (fun () ->
           Netlist.Io.save_circuit file c;
-          let c' = Netlist.Io.load_circuit file in
-          Netlist.Circuit.num_cells c = Netlist.Circuit.num_cells c'
-          && Netlist.Circuit.num_nets c = Netlist.Circuit.num_nets c'
-          && Array.for_all2
-               (fun (a : Netlist.Net.t) (b : Netlist.Net.t) ->
-                 Netlist.Net.cells a = Netlist.Net.cells b)
-               c.Netlist.Circuit.nets c'.Netlist.Circuit.nets))
+          match Netlist.Io.load_circuit file with
+          | Error _ -> false
+          | Ok c' ->
+            Netlist.Circuit.num_cells c = Netlist.Circuit.num_cells c'
+            && Netlist.Circuit.num_nets c = Netlist.Circuit.num_nets c'
+            && Array.for_all2
+                 (fun (a : Netlist.Net.t) (b : Netlist.Net.t) ->
+                   Netlist.Net.cells a = Netlist.Net.cells b)
+                 c.Netlist.Circuit.nets c'.Netlist.Circuit.nets))
 
 let prop_annealer_accounting =
   QCheck.Test.make ~count:5 ~name:"annealer final_hpwl matches recomputed HPWL"

@@ -1,0 +1,474 @@
+(* Network serving tests: line framing, addresses, protocol v1/v2 golden
+   transcripts, a fuzzed stdio loop, and forked socket servers driven by
+   the client library — concurrency equivalence, admission control and
+   graceful SIGTERM drain.
+
+   The forked servers exercise exactly the path `place serve --listen`
+   runs; children leave via Unix._exit so the test harness's own at_exit
+   machinery never runs twice. *)
+
+module P = Engine.Protocol
+module J = Obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Frame                                                               *)
+
+let drain_frames f =
+  let rec go acc =
+    match Server.Frame.next f with
+    | None -> List.rev acc
+    | Some x -> go (x :: acc)
+  in
+  go []
+
+let test_frame_chunks () =
+  let f = Server.Frame.create () in
+  Server.Frame.feed f "hel";
+  Alcotest.(check int) "no line yet" 0 (List.length (drain_frames f));
+  Server.Frame.feed f "lo\nwor";
+  Alcotest.(check bool) "first line" true
+    (drain_frames f = [ `Line "hello" ]);
+  Server.Frame.feed f "ld\r\ntail";
+  Alcotest.(check bool) "crlf stripped" true
+    (drain_frames f = [ `Line "world" ]);
+  Alcotest.(check int) "partial bytes buffered" 4 (Server.Frame.pending f);
+  Server.Frame.feed f "\n\n";
+  Alcotest.(check bool) "tail and empty line" true
+    (drain_frames f = [ `Line "tail"; `Line "" ])
+
+let test_frame_many_lines_one_feed () =
+  let f = Server.Frame.create () in
+  Server.Frame.feed f "a\nb\nc\n";
+  Alcotest.(check bool) "three lines" true
+    (drain_frames f = [ `Line "a"; `Line "b"; `Line "c" ])
+
+let test_frame_overflow () =
+  let f = Server.Frame.create ~max_line:8 () in
+  Server.Frame.feed f (String.make 20 'x');
+  Alcotest.(check bool) "overflow reported once" true
+    (drain_frames f = [ `Overflow ]);
+  Server.Frame.feed f (String.make 20 'y');
+  Alcotest.(check int) "still dropping" 0 (List.length (drain_frames f));
+  Server.Frame.feed f "\nok\n";
+  Alcotest.(check bool) "resyncs at newline" true
+    (drain_frames f = [ `Line "ok" ])
+
+let test_frame_reset () =
+  let f = Server.Frame.create () in
+  Server.Frame.feed f "stale\nhalf";
+  Server.Frame.reset f;
+  Alcotest.(check int) "no frames after reset" 0
+    (List.length (drain_frames f));
+  Alcotest.(check int) "no partial after reset" 0 (Server.Frame.pending f);
+  Server.Frame.feed f "fresh\n";
+  Alcotest.(check bool) "frames again" true (drain_frames f = [ `Line "fresh" ])
+
+(* ------------------------------------------------------------------ *)
+(* Address                                                             *)
+
+let test_address_parse () =
+  let ok s expect =
+    match Server.Address.of_string s with
+    | Ok t -> Alcotest.(check bool) ("parse " ^ s) true (t = expect)
+    | Error msg -> Alcotest.failf "parse %s: %s" s msg
+  in
+  ok "unix:/run/place.sock" (Server.Address.Unix_path "/run/place.sock");
+  ok "/run/place.sock" (Server.Address.Unix_path "/run/place.sock");
+  ok "tcp:example.org:9000" (Server.Address.Tcp ("example.org", 9000));
+  ok "example.org:9000" (Server.Address.Tcp ("example.org", 9000));
+  ok ":9000" (Server.Address.Tcp ("127.0.0.1", 9000));
+  ok "9000" (Server.Address.Tcp ("127.0.0.1", 9000));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("reject " ^ s) true
+        (Result.is_error (Server.Address.of_string s)))
+    [ ""; "unix:"; "tcp:host:notaport"; "host:70000" ]
+
+let test_address_roundtrip () =
+  List.iter
+    (fun s ->
+      match Server.Address.of_string s with
+      | Error msg -> Alcotest.failf "parse %s: %s" s msg
+      | Ok t ->
+        Alcotest.(check bool) ("roundtrip " ^ s) true
+          (Server.Address.of_string (Server.Address.to_string t) = Ok t))
+    [ "unix:/x/y.sock"; "tcp:127.0.0.1:8080"; ":1234" ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol golden transcripts (stdio loop)                            *)
+
+let run_stdio_session ~proto lines =
+  let infile = Filename.temp_file "server_test" ".in" in
+  let outfile = Filename.temp_file "server_test" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove infile;
+      Sys.remove outfile)
+    (fun () ->
+      Out_channel.with_open_text infile (fun oc ->
+          List.iter (fun l -> output_string oc (l ^ "\n")) lines);
+      let sched = Engine.Scheduler.create () in
+      In_channel.with_open_text infile (fun ic ->
+          Out_channel.with_open_text outfile (fun oc ->
+              P.serve ~proto sched ic oc));
+      In_channel.with_open_text outfile In_channel.input_lines)
+
+let golden_requests =
+  [
+    {|{"cmd":"jobs","seq":7}|};
+    {|{"cmd":"step"}|};
+    {|{"cmd":5,"seq":1}|};
+    {|{"cmd":"frobnicate","seq":2}|};
+    {|{"cmd":"result","id":3,"seq":3}|};
+    {|{"cmd":"submit","seq":4,"job":{"profile":"nope","scale":0.5,"seed":1}}|};
+    {|{"cmd":"shutdown","seq":5}|};
+  ]
+
+let test_golden_v2 () =
+  let expected =
+    [
+      {|{"ok":true,"seq":7,"jobs":[]}|};
+      {|{"ok":true,"stepped":0}|};
+      {|{"ok":false,"seq":1,"error":{"code":"parse","message":"field \"cmd\" is not a string"}}|};
+      {|{"ok":false,"seq":2,"error":{"code":"unknown_cmd","message":"unknown command \"frobnicate\""}}|};
+      {|{"ok":false,"seq":3,"error":{"code":"unknown_id","message":"unknown job id 3"}}|};
+      {|{"ok":false,"seq":4,"error":{"code":"bad_spec","message":"source: unknown profile \"nope\""}}|};
+      {|{"ok":true,"seq":5,"shutdown":true}|};
+    ]
+  in
+  Alcotest.(check (list string))
+    "v2 transcript" expected
+    (run_stdio_session ~proto:P.V2 golden_requests)
+
+let test_golden_v1 () =
+  let expected =
+    [
+      {|{"ok":true,"jobs":[]}|};
+      {|{"ok":true,"stepped":0}|};
+      {|{"ok":false,"error":"field \"cmd\" is not a string"}|};
+      {|{"ok":false,"error":"unknown command \"frobnicate\""}|};
+      {|{"ok":false,"error":"unknown job id 3"}|};
+      {|{"ok":false,"error":"source: unknown profile \"nope\""}|};
+      {|{"ok":true,"shutdown":true}|};
+    ]
+  in
+  Alcotest.(check (list string))
+    "v1 transcript" expected
+    (run_stdio_session ~proto:P.V1 golden_requests)
+
+(* Every failure code render must round-trip through code_of_string. *)
+let test_codes_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        ("code " ^ P.code_to_string c)
+        true
+        (P.code_of_string (P.code_to_string c) = Some c))
+    [
+      P.Parse;
+      P.Unknown_cmd;
+      P.Bad_spec;
+      P.Unknown_id;
+      P.Not_terminal;
+      P.Overloaded;
+      P.Shutting_down;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: arbitrary bytes never kill the loop or go unanswered          *)
+
+let fuzz_serve_responds =
+  QCheck.Test.make ~count:200
+    ~name:"serve answers every line of arbitrary bytes"
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun raw ->
+      (* One request line: strip the line separators fuzzing would turn
+         into accidental extra requests. *)
+      let line =
+        String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) raw
+      in
+      let responses = run_stdio_session ~proto:P.V2 [ line ] in
+      if String.trim line = "" then responses = []
+      else
+        match responses with
+        | [ resp ] -> (
+          match J.of_string resp with
+          | Ok v -> (
+            (* Always a JSON object with an "ok" bool — and unless the
+               fuzzer stumbled on a valid command, a typed error. *)
+            match J.member "ok" v with
+            | Some (J.Bool _) -> true
+            | _ -> false)
+          | Error _ -> false)
+        | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Spawned socket servers                                              *)
+
+let temp_sock () =
+  let f = Filename.temp_file "server_test" ".sock" in
+  Sys.remove f;
+  f
+
+(* The server children are real [place serve --listen] processes:
+   [Unix.fork] is off-limits once any suite has spun up worker domains
+   (the runtime's restriction is sticky), and exec'ing the binary tests
+   exactly what production runs.  [create_process] uses posix_spawn, so
+   live domains are fine. *)
+let place_exe () =
+  let candidates =
+    [ "../bin/place.exe"; "_build/default/bin/place.exe"; "bin/place.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail "place.exe not built"
+
+let spawn_server args =
+  let exe = place_exe () in
+  let argv = Array.of_list (exe :: "serve" :: args)
+  and null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close null)
+    (fun () -> Unix.create_process exe argv null null null)
+
+let connect_exn addr =
+  match Server.Client.connect ~retries:40 addr with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "connect: %s" msg
+
+let client_exn what = function
+  | Ok v -> v
+  | Error f -> Alcotest.failf "%s: %s" what (Server.Client.failure_message f)
+
+let reap pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> code
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> -1
+
+let fast_spec i =
+  Engine.Job.spec
+    ~source:(Engine.Source.Profile { name = "fract"; scale = 0.5; seed = 100 + i })
+    ~mode:Engine.Job.Fast ~max_steps:6 ()
+
+let solo_result spec =
+  let sched = Engine.Scheduler.create () in
+  let id = Engine.Scheduler.submit sched spec in
+  Engine.Scheduler.drain sched;
+  match Engine.Scheduler.result sched id with
+  | Some r -> r
+  | None -> Alcotest.fail "solo run lost its result"
+
+(* Eight clients multiplexed onto one scheduler: every job's result must
+   be bitwise what a solo run of the same spec produces — the
+   scheduler's interleaving invariance carried through the socket. *)
+let test_eight_clients_bitwise_equal () =
+  let sock = temp_sock () in
+  let address = Server.Address.Unix_path sock in
+  let pid =
+    spawn_server [ "--listen"; "unix:" ^ sock; "--concurrency"; "3" ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let n = 8 in
+      let clients = List.init n (fun _ -> connect_exn address) in
+      (* All submits first, then all waits: the jobs genuinely overlap. *)
+      let ids =
+        List.mapi
+          (fun i c -> (i, c, client_exn "submit" (Server.Client.submit c (fast_spec i))))
+          clients
+      in
+      List.iter
+        (fun (i, c, id) ->
+          let status, result = client_exn "wait" (Server.Client.wait c id) in
+          Alcotest.(check string) (Printf.sprintf "job %d done" id) "done" status;
+          let served =
+            match result with
+            | Some r -> (
+              match Engine.Job.result_of_json r with
+              | Ok jr -> jr
+              | Error e -> Alcotest.failf "result does not validate: %s" e)
+            | None -> Alcotest.failf "wait response for %d lacks a result" id
+          in
+          let solo = solo_result (fast_spec i) in
+          Alcotest.(check bool)
+            (Printf.sprintf "job %d hpwl bitwise" id)
+            true
+            (Int64.bits_of_float served.Engine.Job.hpwl
+            = Int64.bits_of_float solo.Engine.Job.hpwl);
+          Alcotest.(check bool)
+            (Printf.sprintf "job %d overlap bitwise" id)
+            true
+            (Int64.bits_of_float served.Engine.Job.overlap
+            = Int64.bits_of_float solo.Engine.Job.overlap);
+          Alcotest.(check int)
+            (Printf.sprintf "job %d iterations" id)
+            solo.Engine.Job.iterations served.Engine.Job.iterations;
+          Alcotest.(check bool) (Printf.sprintf "job %d legal" id) true
+            served.Engine.Job.legal)
+        ids;
+      (* The registry is live over the wire. *)
+      let m = client_exn "metrics" (Server.Client.metrics (List.hd clients)) in
+      (match List.assoc_opt "metrics" m with
+      | Some (J.Obj cells) ->
+        Alcotest.(check bool) "server counters recorded" true
+          (List.mem_assoc "server/requests" cells)
+      | _ -> Alcotest.fail "metrics response lacks cells");
+      (* Polite shutdown; the child must exit 0. *)
+      client_exn "shutdown" (Server.Client.shutdown (List.hd clients));
+      List.iter Server.Client.close clients;
+      Alcotest.(check int) "server exit code" 0 (reap pid))
+
+let slow_spec i =
+  Engine.Job.spec
+    ~source:(Engine.Source.Profile { name = "struct"; scale = 0.75; seed = 7 + i })
+    ()
+
+(* Admission control and graceful drain on one server: fill the bound,
+   meet a typed overloaded refusal (never a dropped connection), then
+   SIGTERM mid-load — the parked wait must still be answered, with the
+   job degraded to a legal best-so-far placement, and the server must
+   exit 0 with every accepted job terminal. *)
+let test_admission_and_sigterm_drain () =
+  let sock = temp_sock () in
+  let address = Server.Address.Unix_path sock in
+  let pid =
+    spawn_server
+      [
+        "--listen"; "unix:" ^ sock;
+        "--concurrency"; "1";
+        "--max-pending"; "1";
+        "--drain-grace"; "1";
+      ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let c = connect_exn address in
+      client_exn "subscribe" (Server.Client.subscribe c);
+      let id1 = client_exn "submit A" (Server.Client.submit c (slow_spec 0)) in
+      (* Wait until A occupies the run slot, so the queue count below is
+         deterministic. *)
+      let rec await_running tries =
+        if tries = 0 then Alcotest.fail "job 1 never started";
+        match client_exn "status" (Server.Client.status c id1) with
+        | "queued" ->
+          Unix.sleepf 0.02;
+          await_running (tries - 1)
+        | _ -> ()
+      in
+      await_running 500;
+      let id2 = client_exn "submit B" (Server.Client.submit c (slow_spec 1)) in
+      (* Bound hit: the refusal is typed and carries a retry hint. *)
+      (match Server.Client.submit c (slow_spec 2) with
+      | Ok id -> Alcotest.failf "submit beyond the bound accepted as %d" id
+      | Error (Server.Client.Refused e) ->
+        Alcotest.(check bool) "overloaded code" true (e.P.code = P.Overloaded);
+        (match e.P.retry_after_ms with
+        | Some ms -> Alcotest.(check bool) "retry hint sane" true (ms >= 250)
+        | None -> Alcotest.fail "overloaded without retry_after_ms")
+      | Error (Server.Client.Transport msg) ->
+        Alcotest.failf "overload dropped the connection: %s" msg);
+      (* SIGTERM mid-load: drain begins; new submissions are refused as
+         shutting_down. *)
+      Unix.kill pid Sys.sigterm;
+      Unix.sleepf 0.1;
+      (match Server.Client.submit c (slow_spec 3) with
+      | Ok id -> Alcotest.failf "draining server accepted job %d" id
+      | Error (Server.Client.Refused e) ->
+        Alcotest.(check bool) "shutting_down code" true
+          (e.P.code = P.Shutting_down)
+      | Error (Server.Client.Transport msg) ->
+        Alcotest.failf "drain dropped the connection: %s" msg);
+      (* The parked wait is answered once the grace expires and the job
+         is cooperatively cancelled — with its legalised best-so-far
+         placement embedded. *)
+      let status, result = client_exn "wait A" (Server.Client.wait c id1) in
+      Alcotest.(check bool) "job 1 terminal" true
+        (status = "cancelled" || status = "done");
+      (match result with
+      | Some r -> (
+        match Engine.Job.result_of_json r with
+        | Ok jr ->
+          Alcotest.(check bool) "best-so-far is legal" true jr.Engine.Job.legal
+        | Error e -> Alcotest.failf "result does not validate: %s" e)
+      | None -> Alcotest.fail "wait response lacks the result");
+      (* Both accepted jobs reached a terminal state before exit: the
+         subscribed connection saw their finished events. *)
+      let finished = Hashtbl.create 4 in
+      let rec collect tries =
+        if Hashtbl.length finished < 2 && tries > 0 then (
+          match Server.Client.next_event ~timeout_s:0.5 c with
+          | Ok (Some ev) ->
+            (match (J.member "event" ev, J.member "id" ev) with
+            | Some (J.Str "finished"), Some (J.Num id) ->
+              Hashtbl.replace finished (int_of_float id) ()
+            | _ -> ());
+            collect (tries - 1)
+          | Ok None -> collect (tries - 1)
+          | Error _ -> ())
+      in
+      collect 40;
+      Alcotest.(check bool) "finished event for job 1" true
+        (Hashtbl.mem finished id1);
+      Alcotest.(check bool) "finished event for job 2" true
+        (Hashtbl.mem finished id2);
+      Server.Client.close c;
+      Alcotest.(check int) "SIGTERM drain exits 0" 0 (reap pid))
+
+(* An oversized request line is answered with a parse error, and the
+   connection keeps working. *)
+let test_oversized_line_survives () =
+  let sock = temp_sock () in
+  let address = Server.Address.Unix_path sock in
+  let pid = spawn_server [ "--listen"; "unix:" ^ sock ] in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let c = connect_exn address in
+      (* Past the server's 1 MiB line bound. *)
+      (match
+         Server.Client.request c
+           [ ("cmd", J.Str (String.make (2 * 1024 * 1024) 'x')) ]
+       with
+      | Ok _ -> Alcotest.fail "oversized line accepted"
+      | Error (Server.Client.Refused e) ->
+        Alcotest.(check bool) "parse code" true (e.P.code = P.Parse)
+      | Error (Server.Client.Transport msg) ->
+        Alcotest.failf "oversized line killed the connection: %s" msg);
+      (* Still serviceable afterwards. *)
+      let jobs = client_exn "jobs" (Server.Client.jobs c) in
+      Alcotest.(check int) "no jobs" 0 (List.length jobs);
+      client_exn "shutdown" (Server.Client.shutdown c);
+      Server.Client.close c;
+      Alcotest.(check int) "clean exit" 0 (reap pid))
+
+let suite =
+  [
+    Alcotest.test_case "frame: chunked feeds" `Quick test_frame_chunks;
+    Alcotest.test_case "frame: many lines one feed" `Quick
+      test_frame_many_lines_one_feed;
+    Alcotest.test_case "frame: overflow resync" `Quick test_frame_overflow;
+    Alcotest.test_case "frame: reset" `Quick test_frame_reset;
+    Alcotest.test_case "address: parse" `Quick test_address_parse;
+    Alcotest.test_case "address: roundtrip" `Quick test_address_roundtrip;
+    Alcotest.test_case "protocol: v2 golden transcript" `Quick test_golden_v2;
+    Alcotest.test_case "protocol: v1 golden transcript" `Quick test_golden_v1;
+    Alcotest.test_case "protocol: codes round-trip" `Quick test_codes_roundtrip;
+    QCheck_alcotest.to_alcotest fuzz_serve_responds;
+    Alcotest.test_case "socket: 8 clients bitwise-equal to solo" `Quick
+      test_eight_clients_bitwise_equal;
+    Alcotest.test_case "socket: admission + SIGTERM drain" `Quick
+      test_admission_and_sigterm_drain;
+    Alcotest.test_case "socket: oversized line survives" `Quick
+      test_oversized_line_survives;
+  ]
