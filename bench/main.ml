@@ -880,106 +880,173 @@ let place_bench () =
 (* ------------------------------------------------------------------ *)
 (* Job-engine throughput → BENCH_engine.json                           *)
 
-(* Jobs/second of the cooperative scheduler on biomed, at interleaving
-   widths K = 1, 2 and 4.  Each job is a bounded fast-mode run through
-   the full finishing pipeline (Abacus, Improve, Domino).  The work per
-   job is identical at every K — trajectories are interleaving-invariant
-   — so the spread across K measures pure scheduling overhead (turn
-   rotation and domain-pool repartitioning). *)
+(* Jobs/second of the scheduler on biomed across a domains × concurrency
+   grid.  Each job is a bounded fast-mode run through the full finishing
+   pipeline (Abacus, Improve, Domino).  domains = 1 runs the inline
+   cooperative scheduler; domains > 1 runs the sharded scheduler with
+   min(domains, K) worker domains.  The work per job is identical at
+   every grid point — trajectories are interleaving- and
+   sharding-invariant — which the harness enforces bitwise on every
+   job's final HPWL before writing the file.  Wall-clock scaling across
+   the domains axis additionally needs that many hardware cores; the
+   "cores" field records what this host actually had. *)
 let engine_bench () =
   print_endline "";
-  print_endline "Job-engine bench: scheduler throughput on biomed";
+  print_endline
+    "Job-engine bench: scheduler throughput on biomed (domains x K grid)";
   let profile = "biomed" and jobs = 6 and max_steps = 8 in
-  let rows =
-    List.map
-      (fun k ->
-        let sched = Engine.Scheduler.create ~concurrency:k () in
-        let ids =
-          List.init jobs (fun i ->
-              Engine.Scheduler.submit sched
-                (Engine.Job.spec
-                   ~source:
-                     (Engine.Source.Profile
-                        { name = profile; scale = !scale; seed = !seed + i })
-                   ~mode:Engine.Job.Fast ~max_steps ()))
-        in
-        let (), wall = time (fun () -> Engine.Scheduler.drain sched) in
-        let completed =
-          List.length
-            (List.filter
-               (fun id -> Engine.Scheduler.status sched id = Some Engine.Job.Done)
-               ids)
-        in
-        if completed <> jobs then begin
-          Printf.eprintf "engine bench: %d/%d jobs completed at K=%d\n"
-            completed jobs k;
-          exit 1
-        end;
-        Printf.printf "  K=%d  %2d jobs  %6.2f s  %6.2f jobs/s\n%!" k jobs wall
-          (float_of_int jobs /. wall);
-        ( string_of_int k,
-          Obs.Json.Obj
-            [
-              ("wall_s", Obs.Json.Num wall);
-              ("jobs_per_s", Obs.Json.Num (float_of_int jobs /. wall));
-            ] ))
+  let configured = Numeric.Parallel.num_domains () in
+  (* seed -> (hpwl bits, iterations) from the first grid point. *)
+  let reference = Hashtbl.create 16 in
+  let bitwise = ref true in
+  let d1_k4 = ref nan and d4_k4 = ref nan in
+  let cells =
+    List.concat_map
+      (fun d ->
+        List.map
+          (fun k ->
+            let shards = if d = 1 then 0 else min d k in
+            Numeric.Parallel.set_num_domains d;
+            let sched =
+              Engine.Scheduler.create ~concurrency:k ~domains:d ~shards ()
+            in
+            let ids =
+              List.init jobs (fun i ->
+                  ( !seed + i,
+                    Engine.Scheduler.submit sched
+                      (Engine.Job.spec
+                         ~source:
+                           (Engine.Source.Profile
+                              { name = profile; scale = !scale; seed = !seed + i })
+                         ~mode:Engine.Job.Fast ~max_steps ()) ))
+            in
+            let (), wall = time (fun () -> Engine.Scheduler.drain sched) in
+            let steals =
+              List.fold_left
+                (fun acc m -> acc + m.Engine.Scheduler.m_steals)
+                0
+                (Engine.Scheduler.shard_metrics sched)
+            in
+            Engine.Scheduler.stop sched;
+            List.iter
+              (fun (job_seed, id) ->
+                match
+                  (Engine.Scheduler.status sched id,
+                   Engine.Scheduler.result sched id)
+                with
+                | Some Engine.Job.Done, Some r ->
+                  let bits = Int64.bits_of_float r.Engine.Job.hpwl in
+                  let iters = r.Engine.Job.iterations in
+                  (match Hashtbl.find_opt reference job_seed with
+                  | None -> Hashtbl.replace reference job_seed (bits, iters)
+                  | Some (b0, i0) ->
+                    if b0 <> bits || i0 <> iters then begin
+                      Printf.eprintf
+                        "engine bench: seed %d diverges at domains=%d K=%d\n"
+                        job_seed d k;
+                      bitwise := false
+                    end)
+                | status, _ ->
+                  Printf.eprintf
+                    "engine bench: job %d not done at domains=%d K=%d (%s)\n" id
+                    d k
+                    (match status with
+                    | Some s -> Engine.Job.status_to_string s
+                    | None -> "lost");
+                  bitwise := false)
+              ids;
+            let jps = float_of_int jobs /. wall in
+            if k = 4 && d = 1 then d1_k4 := jps;
+            if k = 4 && d = 4 then d4_k4 := jps;
+            Printf.printf
+              "  domains=%d K=%d  %2d jobs  %6.2f s  %6.2f jobs/s  %d steals\n%!"
+              d k jobs wall jps steals;
+            Obs.Json.Obj
+              [
+                ("domains", Obs.Json.Num (float_of_int d));
+                ("shards", Obs.Json.Num (float_of_int shards));
+                ("concurrency", Obs.Json.Num (float_of_int k));
+                ("wall_s", Obs.Json.Num wall);
+                ("jobs_per_s", Obs.Json.Num jps);
+                ("steals", Obs.Json.Num (float_of_int steals));
+              ])
+          [ 1; 2; 4 ])
       [ 1; 2; 4 ]
   in
+  Numeric.Parallel.set_num_domains configured;
   let doc =
     Obs.Json.Obj
       [
         ("git", Obs.Json.Str (git_revision ()));
-        ("domains", Obs.Json.Num (float_of_int (Numeric.Parallel.num_domains ())));
+        ("domains", Obs.Json.Num (float_of_int configured));
+        ("cores", Obs.Json.Num (float_of_int (Domain.recommended_domain_count ())));
         ("scale", Obs.Json.Num !scale);
         ("profile", Obs.Json.Str profile);
         ("jobs", Obs.Json.Num (float_of_int jobs));
         ("max_steps", Obs.Json.Num (float_of_int max_steps));
-        ("concurrency", Obs.Json.Obj rows);
+        ("grid", Obs.Json.Arr cells);
+        ("bitwise_identical", Obs.Json.Bool !bitwise);
+        ("speedup_d4_vs_d1_at_k4", Obs.Json.Num (!d4_k4 /. !d1_k4));
       ]
   in
   let oc = open_out "BENCH_engine.json" in
   output_string oc (Obs.Json.to_string doc);
   output_char oc '\n';
   close_out oc;
-  print_endline "wrote BENCH_engine.json"
+  print_endline "wrote BENCH_engine.json";
+  if not !bitwise then begin
+    Printf.eprintf "engine bench: grid results are not bitwise-identical\n";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Network serving throughput → BENCH_serve.json                       *)
 
-(* Forks a socket server and drives it the way the CI smoke test does:
-   four clients pipelining submit/wait rounds (throughput), then a
-   rapid-fire burst against a tiny admission bound (shed behaviour),
-   then shutdown mid-load — the child must still exit 0 with every
+(* Spawns real [place serve --listen] servers (create_process, not fork
+   — fork is unavailable once any worker domain has run) and drives them
+   the way the CI smoke test does, across a domains × clients grid:
+   clients pipelining submit/wait rounds (throughput), with every job's
+   HPWL checked bitwise against the other grid points.  A final server
+   gets a rapid-fire burst against a tiny admission bound (shed
+   behaviour), then shutdown mid-load — it must still exit 0 with every
    accepted job terminal. *)
+let place_exe () =
+  let candidates =
+    [
+      "_build/default/bin/place.exe";
+      "bin/place.exe";
+      "../bin/place.exe";
+      "../_build/default/bin/place.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> failwith "serve bench: place.exe not built"
+
+let spawn_server args =
+  let exe = place_exe () in
+  let argv = Array.of_list (exe :: "serve" :: args) in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close null)
+    (fun () -> Unix.create_process exe argv null null null)
+
 let serve_bench () =
   print_endline "";
-  print_endline "Serving bench: socket round-trip throughput over the job engine";
-  let sock =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "place-bench-%d.sock" (Unix.getpid ()))
-  in
-  if Sys.file_exists sock then Sys.remove sock;
-  let address = Server.Address.Unix_path sock in
-  let clients = 4 and rounds = 3 and max_steps = 8 and max_pending = 4 in
-  let pid = Unix.fork () in
-  if pid = 0 then begin
-    let cfg =
-      {
-        (Server.Net.config address) with
-        Server.Net.concurrency = 2;
-        max_pending;
-        drain_grace_s = 2.;
-      }
-    in
-    match Server.Net.run cfg with
-    | Ok () -> Unix._exit 0
-    | Error msg ->
-      prerr_endline msg;
-      Unix._exit 1
-  end;
+  print_endline
+    "Serving bench: socket round-trip throughput over the job engine \
+     (domains x clients grid)";
   let fail fmt = Printf.ksprintf failwith fmt in
-  let connect () =
+  let rounds = 3 and max_steps = 8 and max_pending = 4 in
+  let fresh_sock =
+    let counter = ref 0 in
+    fun () ->
+      incr counter;
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "place-bench-%d-%d.sock" (Unix.getpid ()) !counter)
+  in
+  let connect address =
     match Server.Client.connect ~retries:40 address with
     | Ok c -> c
     | Error msg -> fail "serve bench: %s" msg
@@ -990,43 +1057,122 @@ let serve_bench () =
         (Engine.Source.Profile { name = profile; scale = !scale; seed = !seed + i })
       ~mode ?max_steps ()
   in
-  let conns = List.init clients (fun _ -> connect ()) in
-  (* Throughput: each client pipelines submit → wait, so outstanding
-     work stays under the admission bound. *)
-  let total = clients * rounds in
-  let done_jobs = ref 0 in
-  let (), wall =
-    time (fun () ->
-        List.iteri
-          (fun ci c ->
-            for r = 0 to rounds - 1 do
-              let i = (ci * rounds) + r in
-              match
-                Server.Client.submit c
-                  (spec ~profile:"fract" ~mode:Engine.Job.Fast ~max_steps i)
-              with
-              | Error f -> fail "submit: %s" (Server.Client.failure_message f)
-              | Ok id -> (
-                match Server.Client.wait c id with
-                | Ok ("done", _) -> incr done_jobs
-                | Ok (s, _) -> fail "job %d finished %s" id s
-                | Error f -> fail "wait: %s" (Server.Client.failure_message f))
-            done)
-          conns);
+  let reap pid =
+    match Unix.waitpid [] pid with _, Unix.WEXITED 0 -> true | _ -> false
   in
-  Printf.printf "  %d clients  %d jobs  %6.2f s  %6.2f jobs/s\n%!" clients total
-    wall
-    (float_of_int total /. wall);
-  (* Shed probe: slow standard-mode jobs fill the bound; the burst must
-     meet typed overloaded refusals, never a dropped connection. *)
-  let probe = List.hd conns in
+  (* seed index -> hpwl bits, across every grid point. *)
+  let reference = Hashtbl.create 16 in
+  let bitwise = ref true in
+  (* Throughput cell: [clients] connections pipelining submit → wait
+     against a server running [domains] lanes (sharded when > 1). *)
+  let run_cell ~domains ~clients =
+    let sock = fresh_sock () in
+    if Sys.file_exists sock then Sys.remove sock;
+    let address = Server.Address.Unix_path sock in
+    let pid =
+      spawn_server
+        [
+          "--listen"; "unix:" ^ sock;
+          "--concurrency"; "2";
+          "--domains"; string_of_int domains;
+        ]
+    in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists sock then Sys.remove sock)
+      (fun () ->
+        let conns = List.init clients (fun _ -> connect address) in
+        let total = clients * rounds in
+        let done_jobs = ref 0 in
+        let (), wall =
+          time (fun () ->
+              List.iteri
+                (fun ci c ->
+                  for r = 0 to rounds - 1 do
+                    let i = (ci * rounds) + r in
+                    match
+                      Server.Client.submit c
+                        (spec ~profile:"fract" ~mode:Engine.Job.Fast ~max_steps
+                           i)
+                    with
+                    | Error f ->
+                      fail "submit: %s" (Server.Client.failure_message f)
+                    | Ok id -> (
+                      match Server.Client.wait c id with
+                      | Ok ("done", Some r) ->
+                        incr done_jobs;
+                        (match Engine.Job.result_of_json r with
+                        | Ok jr ->
+                          let bits = Int64.bits_of_float jr.Engine.Job.hpwl in
+                          (match Hashtbl.find_opt reference i with
+                          | None -> Hashtbl.replace reference i bits
+                          | Some b0 ->
+                            if b0 <> bits then begin
+                              Printf.eprintf
+                                "serve bench: seed %d diverges at domains=%d \
+                                 clients=%d\n"
+                                i domains clients;
+                              bitwise := false
+                            end)
+                        | Error e -> fail "result does not validate: %s" e)
+                      | Ok (s, _) -> fail "job %d finished %s" id s
+                      | Error f ->
+                        fail "wait: %s" (Server.Client.failure_message f))
+                  done)
+                conns)
+        in
+        (match Server.Client.shutdown (List.hd conns) with
+        | Ok () -> ()
+        | Error f -> fail "shutdown: %s" (Server.Client.failure_message f));
+        List.iter Server.Client.close conns;
+        if not (reap pid) then fail "server exited dirty (domains=%d)" domains;
+        if !done_jobs <> total then
+          fail "cell domains=%d clients=%d: %d/%d done" domains clients
+            !done_jobs total;
+        let jps = float_of_int total /. wall in
+        Printf.printf
+          "  domains=%d  %d clients  %2d jobs  %6.2f s  %6.2f jobs/s\n%!"
+          domains clients total wall jps;
+        Obs.Json.Obj
+          [
+            ("domains", Obs.Json.Num (float_of_int domains));
+            ("clients", Obs.Json.Num (float_of_int clients));
+            ("jobs", Obs.Json.Num (float_of_int total));
+            ("wall_s", Obs.Json.Num wall);
+            ("jobs_per_s", Obs.Json.Num jps);
+          ])
+  in
+  let domain_axis = [ 1; 2; 4 ] and client_axis = [ 2; 4 ] in
+  let cells =
+    List.concat_map
+      (fun domains ->
+        List.map (fun clients -> run_cell ~domains ~clients) client_axis)
+      domain_axis
+  in
+  (* Shed probe and mid-load shutdown, on a sharded server with a tiny
+     admission bound. *)
+  let sock = fresh_sock () in
+  if Sys.file_exists sock then Sys.remove sock;
+  let address = Server.Address.Unix_path sock in
+  let pid =
+    spawn_server
+      [
+        "--listen"; "unix:" ^ sock;
+        "--concurrency"; "2";
+        "--domains"; "2";
+        "--max-pending"; string_of_int max_pending;
+        "--drain-grace"; "2";
+      ]
+  in
+  let probe = connect address in
   let accepted = ref 0 and shed = ref 0 and retry_hint = ref 0 in
   for i = 0 to (2 * max_pending) + 2 do
     match
-      Server.Client.submit probe (spec ~profile:"struct" ~mode:Engine.Job.Standard (100 + i))
+      Server.Client.submit probe
+        (spec ~profile:"struct" ~mode:Engine.Job.Standard (100 + i))
     with
     | Ok _ -> incr accepted
-    | Error (Server.Client.Refused e) when e.Engine.Protocol.code = Engine.Protocol.Overloaded ->
+    | Error (Server.Client.Refused e)
+      when e.Engine.Protocol.code = Engine.Protocol.Overloaded ->
       incr shed;
       (match e.Engine.Protocol.retry_after_ms with
       | Some ms -> retry_hint := ms
@@ -1035,29 +1181,24 @@ let serve_bench () =
   done;
   Printf.printf "  shed probe: %d accepted, %d overloaded (retry hint %d ms)\n%!"
     !accepted !shed !retry_hint;
-  (* Shutdown mid-load: the short drain grace cancels the probe jobs
-     down to legal best-so-far placements; the child must exit 0. *)
   (match Server.Client.shutdown probe with
   | Ok () -> ()
   | Error f -> fail "shutdown: %s" (Server.Client.failure_message f));
-  List.iter Server.Client.close conns;
-  let clean_shutdown =
-    match Unix.waitpid [] pid with
-    | _, Unix.WEXITED 0 -> true
-    | _ -> false
-  in
+  Server.Client.close probe;
+  let clean_shutdown = reap pid in
+  if Sys.file_exists sock then Sys.remove sock;
   Printf.printf "  graceful shutdown under load: %b\n%!" clean_shutdown;
   let num v = Obs.Json.Num v in
   let doc =
     Obs.Json.Obj
       [
         ("git", Obs.Json.Str (git_revision ()));
-        ("domains", num (float_of_int (Numeric.Parallel.num_domains ())));
+        ( "domains",
+          num (float_of_int (List.fold_left max 1 domain_axis)) );
+        ("cores", num (float_of_int (Domain.recommended_domain_count ())));
         ("scale", num !scale);
-        ("clients", num (float_of_int clients));
-        ("jobs", num (float_of_int total));
-        ("wall_s", num wall);
-        ("jobs_per_s", num (float_of_int total /. wall));
+        ("grid", Obs.Json.Arr cells);
+        ("bitwise_identical", Obs.Json.Bool !bitwise);
         ( "shed_probe",
           Obs.Json.Obj
             [
@@ -1074,10 +1215,10 @@ let serve_bench () =
   output_char oc '\n';
   close_out oc;
   print_endline "wrote BENCH_serve.json";
-  if !done_jobs <> total || !shed = 0 || not clean_shutdown then begin
+  if !shed = 0 || not clean_shutdown || not !bitwise then begin
     Printf.eprintf
-      "serve bench: %d/%d done, %d shed, clean shutdown %b — not healthy\n"
-      !done_jobs total !shed clean_shutdown;
+      "serve bench: %d shed, clean shutdown %b, bitwise %b — not healthy\n"
+      !shed clean_shutdown !bitwise;
     exit 1
   end
 
@@ -1087,7 +1228,8 @@ let usage () =
   print_endline
     "usage: main.exe [--table 1|2|3|4] [--experiment \
      fast-mode|tradeoff|eco|floorplan|congestion|heat|linearization|final-placer|multilevel] \
-     [--micro] [--place] [--engine] [--serve] [--scale S] [--seed N]";
+     [--micro] [--place] [--engine] [--serve] [--scale S] [--seed N] \
+     [--domains D]";
   exit 1
 
 let () =
@@ -1102,6 +1244,11 @@ let () =
       parse rest
     | "--seed" :: v :: rest ->
       seed := int_of_string v;
+      parse rest
+    | "--domains" :: v :: rest ->
+      (* Applies to every suite: the pool is process-global and each
+         emitted JSON records the resulting num_domains. *)
+      Numeric.Parallel.set_num_domains (int_of_string v);
       parse rest
     | "--table" :: v :: rest ->
       tables := int_of_string v :: !tables;

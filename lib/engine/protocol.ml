@@ -152,9 +152,37 @@ let event_to_json ?ev e =
   in
   Obj (fields @ ev_field)
 
-let metrics_fields () =
+(* Scheduler shape and per-shard counters: with worker domains these are
+   the queue-depth / steal / busy-fraction numbers that tell an operator
+   whether the shards are actually load-balancing. *)
+let scheduler_json sched =
+  let shard_rows =
+    List.map
+      (fun (m : Scheduler.shard_metric) ->
+        Obj
+          [
+            ("shard", int_ m.Scheduler.shard);
+            ("queue_depth", int_ m.Scheduler.queue_depth);
+            ("steals", int_ m.Scheduler.m_steals);
+            ("slices", int_ m.Scheduler.m_slices);
+            ("busy_s", Num m.Scheduler.m_busy_s);
+            ("busy_frac", Num m.Scheduler.m_busy_frac);
+            ("max_slice_s", Num m.Scheduler.m_max_slice_s);
+          ])
+      (Scheduler.shard_metrics sched)
+  in
+  Obj
+    [
+      ("shards", int_ (Scheduler.shards sched));
+      ("queued", int_ (Scheduler.queued sched));
+      ("running", int_ (Scheduler.running sched));
+      ("per_shard", Arr shard_rows);
+    ]
+
+let metrics_fields sched =
   [
     ("enabled", Bool (Obs.Registry.enabled ()));
+    ("scheduler", scheduler_json sched);
     ( "metrics",
       Obj
         (List.map
@@ -237,7 +265,7 @@ let handle sched req =
           | None ->
             Refuse (err Unknown_id (Printf.sprintf "unknown job id %d" id))),
       false )
-  | Metrics -> (Reply (metrics_fields ()), false)
+  | Metrics -> (Reply (metrics_fields sched), false)
   | Subscribe _ ->
     (* The stdio loop broadcasts every event line already; acknowledging
        keeps one client code path for both transports. *)
@@ -275,4 +303,5 @@ let serve ?(proto = V2) ?(echo = fun _ -> ()) sched ic oc =
    with End_of_file -> ());
   (* Whatever was submitted still completes: a piped session that ends
      right after its submits is a valid batch. *)
-  Scheduler.drain sched
+  Scheduler.drain sched;
+  Scheduler.stop sched

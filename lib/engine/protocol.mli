@@ -131,10 +131,12 @@ val render : version -> seq:Obs.Json.t option -> reply -> Obs.Json.t
     event, numbered with [ev] under v2. *)
 val event_to_json : ?ev:int -> Scheduler.event -> Obs.Json.t
 
-(** [metrics_fields ()] — the [metrics] response payload: whether the
-    {!Obs.Registry} is recording plus a name → stat object dump of its
-    snapshot. *)
-val metrics_fields : unit -> (string * Obs.Json.t) list
+(** [metrics_fields sched] — the [metrics] response payload: whether
+    the {!Obs.Registry} is recording, the scheduler shape (shard count,
+    queued/running jobs, per-shard queue depth / steal / slice / busy
+    counters — [per_shard] is empty for an inline scheduler), plus a
+    name → stat object dump of the registry snapshot. *)
+val metrics_fields : Scheduler.t -> (string * Obs.Json.t) list
 
 (** [handle sched req] executes one request synchronously and returns
     its reply plus [true] when the request was [Shutdown].  [Submit]

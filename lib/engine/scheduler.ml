@@ -6,7 +6,8 @@ type event =
   | Checkpointed of id * string
   | Finished of id * Job.status
 
-(* Live state of a started job, dropped once the job is terminal. *)
+(* Live state of a started job, dropped once the job is terminal.  Only
+   the domain currently executing the job's slice touches it. *)
 type running = {
   circuit : Netlist.Circuit.t;
   state : Kraftwerk.Placer.state;
@@ -32,81 +33,175 @@ type entry = {
   mutable cancel_requested : bool;
 }
 
+type shard_stats = {
+  mutable steals : int;
+  mutable slices : int;
+  mutable busy_s : float;
+  mutable max_slice_s : float;
+}
+
+type shard_metric = {
+  shard : int;
+  queue_depth : int;
+  m_steals : int;
+  m_slices : int;
+  m_busy_s : float;
+  m_busy_frac : float;
+  m_max_slice_s : float;
+}
+
 type t = {
   concurrency : int;
   base_domains : int;
-  on_event : event -> unit;
+  shards : int;  (* worker domains; 0 = inline cooperative mode *)
+  on_event : event -> unit;  (* invoked only on the coordinator domain *)
   mutable next_id : int;
   entries : (id, entry) Hashtbl.t;
   mutable order : id list;  (* submission order *)
-  mutable rr : id list;  (* running jobs, round-robin rotation *)
+  mutable rr : id list;  (* inline mode: running jobs, round-robin *)
+  (* Sharded mode.  [lock] guards every mutable field above plus the
+     queues, pending events and stats; slices and finishing passes run
+     outside it.  [cond] is broadcast whenever work or an event becomes
+     available (and on stop). *)
+  lock : Mutex.t;
+  cond : Condition.t;
+  queues : id Queue.t array;  (* per-shard run queues *)
+  pending : event Queue.t;  (* events awaiting delivery by [pump] *)
+  stats : shard_stats array;
+  created_at : float;
+  mutable live : bool;
+  mutable workers : unit Domain.t array;
+  mutable notify : (Unix.file_descr * Unix.file_descr) option;
 }
 
-let create ?(concurrency = 1) ?domains ?(on_event = fun _ -> ()) () =
-  if concurrency < 1 then invalid_arg "Scheduler.create: concurrency < 1";
-  let base_domains =
-    match domains with
-    | Some d ->
-      if d < 1 then invalid_arg "Scheduler.create: domains < 1";
-      d
-    | None -> Numeric.Parallel.num_domains ()
-  in
-  {
-    concurrency;
-    base_domains;
-    on_event;
-    next_id = 0;
-    entries = Hashtbl.create 16;
-    order = [];
-    rr = [];
-  }
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Deliver an event.  Inline mode dispatches synchronously (the caller
+   is the coordinator).  Sharded mode queues it for [pump] and pokes the
+   self-pipe so a select-based coordinator wakes up.  Never called with
+   [t.lock] held: handlers re-enter the scheduler's getters. *)
+let emit t ev =
+  if t.shards = 0 then t.on_event ev
+  else begin
+    with_lock t (fun () ->
+        Queue.add ev t.pending;
+        Condition.broadcast t.cond);
+    match t.notify with
+    | None -> ()
+    | Some (_, w) -> (
+      try ignore (Unix.write w (Bytes.make 1 '!') 0 1)
+      with Unix.Unix_error _ -> ())
+  end
+
+(* Drain the self-pipe and dispatch queued events on the calling
+   (coordinator) domain.  No-op in inline mode. *)
+let pump t =
+  if t.shards > 0 then begin
+    (match t.notify with
+    | None -> ()
+    | Some (r, _) -> (
+      let buf = Bytes.create 256 in
+      try
+        while Unix.read r buf 0 256 > 0 do
+          ()
+        done
+      with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()));
+    let evs =
+      with_lock t (fun () ->
+          let evs = List.of_seq (Queue.to_seq t.pending) in
+          Queue.clear t.pending;
+          evs)
+    in
+    List.iter t.on_event evs
+  end
+
+let notify_fd t = Option.map fst t.notify
+
+let shards t = t.shards
 
 let submit t spec =
-  t.next_id <- t.next_id + 1;
-  let id = t.next_id in
-  Hashtbl.replace t.entries id
-    {
-      id;
-      spec;
-      status = Job.Queued;
-      run = None;
-      res = None;
-      final_global = None;
-      final_legal = None;
-      cancel_requested = false;
-    };
-  t.order <- t.order @ [ id ];
+  let id =
+    with_lock t (fun () ->
+        t.next_id <- t.next_id + 1;
+        let id = t.next_id in
+        Hashtbl.replace t.entries id
+          {
+            id;
+            spec;
+            status = Job.Queued;
+            run = None;
+            res = None;
+            final_global = None;
+            final_legal = None;
+            cancel_requested = false;
+          };
+        t.order <- t.order @ [ id ];
+        Condition.broadcast t.cond;
+        id)
+  in
+  (* Submission happens on the coordinator in both modes, so the event
+     can be dispatched synchronously — subscribers see [Submitted]
+     before [submit] returns, as the inline scheduler always did. *)
   t.on_event (Submitted id);
   id
 
 let status t id =
-  Option.map (fun e -> e.status) (Hashtbl.find_opt t.entries id)
+  with_lock t (fun () ->
+      Option.map (fun e -> e.status) (Hashtbl.find_opt t.entries id))
 
-let result t id = Option.bind (Hashtbl.find_opt t.entries id) (fun e -> e.res)
+let result t id =
+  with_lock t (fun () ->
+      Option.bind (Hashtbl.find_opt t.entries id) (fun e -> e.res))
 
 let placement t id =
-  Option.bind (Hashtbl.find_opt t.entries id) (fun e -> e.final_global)
+  with_lock t (fun () ->
+      Option.bind (Hashtbl.find_opt t.entries id) (fun e -> e.final_global))
 
 let legalized t id =
-  Option.bind (Hashtbl.find_opt t.entries id) (fun e -> e.final_legal)
+  with_lock t (fun () ->
+      Option.bind (Hashtbl.find_opt t.entries id) (fun e -> e.final_legal))
 
 let jobs t =
-  List.map (fun id -> (id, (Hashtbl.find t.entries id).status)) t.order
+  with_lock t (fun () ->
+      List.map (fun id -> (id, (Hashtbl.find t.entries id).status)) t.order)
 
-let busy t =
+let busy_locked t =
   List.exists
     (fun id -> not (Job.terminal (Hashtbl.find t.entries id).status))
     t.order
 
-let count_status t p =
+let busy t = with_lock t (fun () -> busy_locked t)
+
+let count_status_locked t p =
   List.fold_left
     (fun acc id -> if p (Hashtbl.find t.entries id).status then acc + 1 else acc)
     0 t.order
 
-let queued t = count_status t (fun s -> s = Job.Queued)
+let queued t = with_lock t (fun () -> count_status_locked t (( = ) Job.Queued))
 
-let running t =
-  count_status t (fun s -> s = Job.Running || s = Job.Checkpointed)
+let running_locked t =
+  count_status_locked t (fun s -> s = Job.Running || s = Job.Checkpointed)
+
+let running t = with_lock t (fun () -> running_locked t)
+
+let shard_metrics t =
+  if t.shards = 0 then []
+  else
+    with_lock t (fun () ->
+        let uptime = max 1e-9 (Unix.gettimeofday () -. t.created_at) in
+        List.init t.shards (fun i ->
+            let s = t.stats.(i) in
+            {
+              shard = i;
+              queue_depth = Queue.length t.queues.(i);
+              m_steals = s.steals;
+              m_slices = s.slices;
+              m_busy_s = s.busy_s;
+              m_busy_frac = s.busy_s /. uptime;
+              m_max_slice_s = s.max_slice_s;
+            }))
 
 (* ------------------------------------------------------------------ *)
 (* Starting jobs                                                        *)
@@ -242,8 +337,9 @@ let write_checkpoint t entry run file =
   Checkpoint.save file (Checkpoint.of_state ?criticality run.state);
   run.since_checkpoint <- 0;
   run.checkpoint_written <- Some file;
-  if entry.status = Job.Running then entry.status <- Job.Checkpointed;
-  t.on_event (Checkpointed (entry.id, file))
+  with_lock t (fun () ->
+      if entry.status = Job.Running then entry.status <- Job.Checkpointed);
+  emit t (Checkpointed (entry.id, file))
 
 let close_trace run ~(result : Job.result) =
   (match (run.sink, run.trace_oc) with
@@ -264,11 +360,13 @@ let finish t entry (result : Job.result) =
   (match entry.run with
   | Some run -> close_trace run ~result
   | None -> ());
-  entry.status <- result.Job.status;
-  entry.res <- Some result;
-  entry.run <- None;
-  t.rr <- List.filter (fun id -> id <> entry.id) t.rr;
-  t.on_event (Finished (entry.id, result.Job.status))
+  with_lock t (fun () ->
+      entry.status <- result.Job.status;
+      entry.res <- Some result;
+      entry.run <- None;
+      t.rr <- List.filter (fun id -> id <> entry.id) t.rr;
+      Condition.broadcast t.cond);
+  emit t (Finished (entry.id, result.Job.status))
 
 let empty_result status =
   {
@@ -303,12 +401,13 @@ let finish_done t entry run ~converged =
   | None -> ());
   let c = run.circuit in
   let global = run.state.Kraftwerk.Placer.placement in
-  entry.final_global <- Some (Netlist.Placement.copy global);
+  with_lock t (fun () ->
+      entry.final_global <- Some (Netlist.Placement.copy global));
   let rep = Legalize.Abacus.legalize c global () in
   let lp = rep.Legalize.Abacus.placement in
   let improve_moves, improve_delta = Legalize.Improve.run c lp in
   let domino_moves, domino_delta = Legalize.Domino.run c lp in
-  entry.final_legal <- Some lp;
+  with_lock t (fun () -> entry.final_legal <- Some lp);
   finish t entry
     {
       Job.status = Job.Done;
@@ -339,7 +438,8 @@ let finish_degraded t entry run ~deadline_expired =
   | None -> ());
   let c = run.circuit in
   let global = run.state.Kraftwerk.Placer.placement in
-  entry.final_global <- Some (Netlist.Placement.copy global);
+  with_lock t (fun () ->
+      entry.final_global <- Some (Netlist.Placement.copy global));
   let lp, legal =
     match Legalize.Tetris.legalize c global () with
     | Ok rep
@@ -351,7 +451,7 @@ let finish_degraded t entry run ~deadline_expired =
       (rep.Legalize.Abacus.placement,
        Legalize.Check.is_legal c rep.Legalize.Abacus.placement)
   in
-  entry.final_legal <- Some lp;
+  with_lock t (fun () -> entry.final_legal <- Some lp);
   finish t entry
     {
       Job.status = Job.Cancelled;
@@ -372,29 +472,26 @@ let finish_degraded t entry run ~deadline_expired =
 (* ------------------------------------------------------------------ *)
 (* Turns                                                                *)
 
-(* Lane budget for the job about to run: an equal split of the base pool
-   between the currently interleaved jobs, unless the spec pins one.
-   Results are bitwise lane-count-independent, so the repartitioning is
-   invisible to trajectories. *)
-let lanes t entry =
-  match entry.spec.Job.domains with
-  | Some d -> d
-  | None -> max 1 (t.base_domains / max 1 (List.length t.rr))
-
-let turn t entry run =
+(* One scheduling quantum for a running job: cancellation, deadline and
+   budget checks, then a single placement transformation (or the
+   finishing pass).  [set_lanes] runs just before the transformation —
+   the inline scheduler repartitions the global pool there, a sharded
+   worker has already pinned its lanes and passes a no-op. *)
+let turn_body t entry run ~set_lanes =
   let deadline_expired =
     match entry.spec.Job.deadline with
     | Some d -> Unix.gettimeofday () -. run.started_at >= d
     | None -> false
   in
-  if entry.cancel_requested || deadline_expired then
+  let cancelled = with_lock t (fun () -> entry.cancel_requested) in
+  if cancelled || deadline_expired then
     finish_degraded t entry run ~deadline_expired
   else if run.state.Kraftwerk.Placer.iteration >= run.max_steps then
     finish_done t entry run ~converged:false
   else if Kraftwerk.Placer.converged run.state then
     finish_done t entry run ~converged:true
   else begin
-    Numeric.Parallel.set_num_domains (lanes t entry);
+    set_lanes ();
     let step () =
       ignore (Kraftwerk.Placer.transform ~hooks:run.hooks run.state)
     in
@@ -407,6 +504,22 @@ let turn t entry run =
       write_checkpoint t entry run file
     | _ -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Inline (single-domain, cooperative) mode                             *)
+
+(* Lane budget for the job about to run: an equal split of the base pool
+   between the currently interleaved jobs, unless the spec pins one.
+   Results are bitwise lane-count-independent, so the repartitioning is
+   invisible to trajectories. *)
+let lanes_inline t entry =
+  match entry.spec.Job.domains with
+  | Some d -> d
+  | None -> max 1 (t.base_domains / max 1 (List.length t.rr))
+
+let turn t entry run =
+  turn_body t entry run ~set_lanes:(fun () ->
+      Numeric.Parallel.set_num_domains (lanes_inline t entry))
 
 let start_queued t =
   let rec next_queued best = function
@@ -439,7 +552,7 @@ let start_queued t =
       | exception exn -> finish_failed t e (Printexc.to_string exn))
   done
 
-let step t =
+let step_inline t =
   start_queued t;
   match t.rr with
   | [] -> false
@@ -455,26 +568,247 @@ let step t =
     if not (Job.terminal e.status) then t.rr <- rest @ [ id ];
     true
 
+(* ------------------------------------------------------------------ *)
+(* Sharded mode: one worker domain per shard                            *)
+
+(* Home shard: fixed by job id alone, so where a job's slices queue is a
+   pure function of submission order, independent of timing.  Stealing
+   borrows one slice at a time; the job re-queues at home afterwards. *)
+let home t id = (id - 1) mod t.shards
+
+(* Per-slice lane budget.  Fixed for the scheduler's lifetime — an equal
+   split of the base pool across shards (spec pin wins) — and applied
+   with a domain-local override so concurrent workers never resize the
+   process-wide pool under each other. *)
+let lanes_sharded t entry =
+  match entry.spec.Job.domains with
+  | Some d -> d
+  | None -> max 1 (t.base_domains / t.shards)
+
+type work = Slice of entry | Claim of entry | Nothing
+
+(* Pick work for a shard, [t.lock] held: own queue first, then steal
+   scanning the other shards in a fixed order, then claim a queued job
+   if a concurrency slot is free.  Terminal ids found in a queue (a job
+   cancelled while queued never gets there, but be defensive) are
+   dropped. *)
+let take_work t shard =
+  let rec pop q =
+    match Queue.take_opt q with
+    | None -> None
+    | Some id ->
+      let e = Hashtbl.find t.entries id in
+      if Job.terminal e.status || e.run = None then pop q else Some e
+  in
+  match pop t.queues.(shard) with
+  | Some e -> Slice e
+  | None -> (
+    let rec scan k =
+      if k >= t.shards then None
+      else
+        match pop t.queues.((shard + k) mod t.shards) with
+        | Some e -> Some e
+        | None -> scan (k + 1)
+    in
+    match scan 1 with
+    | Some e ->
+      let s = t.stats.(shard) in
+      s.steals <- s.steals + 1;
+      Slice e
+    | None ->
+      if running_locked t >= t.concurrency then Nothing
+      else
+        let best =
+          List.fold_left
+            (fun best id ->
+              let e = Hashtbl.find t.entries id in
+              if e.status <> Job.Queued then best
+              else
+                match best with
+                | Some b when b.spec.Job.priority >= e.spec.Job.priority ->
+                  best
+                | _ -> Some e)
+            None t.order
+        in
+        (match best with
+        | Some e ->
+          e.status <- Job.Running;
+          Claim e
+        | None -> Nothing))
+
+(* Run one slice outside the lock, then account for it and re-queue the
+   job at its home shard if it is still live. *)
+let exec_slice t shard entry =
+  let t0 = Unix.gettimeofday () in
+  (match entry.run with
+  | None -> finish_failed t entry "scheduler: running job lost its state"
+  | Some run -> (
+    try
+      Numeric.Parallel.with_lanes (lanes_sharded t entry) (fun () ->
+          turn_body t entry run ~set_lanes:(fun () -> ()))
+    with exn -> finish_failed t entry (Printexc.to_string exn)));
+  let dt = Unix.gettimeofday () -. t0 in
+  Obs.Registry.observe "sched/slice_s" dt;
+  with_lock t (fun () ->
+      let s = t.stats.(shard) in
+      s.slices <- s.slices + 1;
+      s.busy_s <- s.busy_s +. dt;
+      if dt > s.max_slice_s then s.max_slice_s <- dt;
+      if not (Job.terminal entry.status) then begin
+        Queue.add entry.id t.queues.(home t entry.id);
+        Condition.broadcast t.cond
+      end;
+      (* Wake the coordinator's [step] even when the job finished: the
+         finish already queued its event and broadcast. *)
+      Condition.broadcast t.cond)
+
+let worker t shard () =
+  Mutex.lock t.lock;
+  let rec loop () =
+    if t.live then begin
+      match take_work t shard with
+      | Nothing ->
+        Condition.wait t.cond t.lock;
+        loop ()
+      | Claim entry ->
+        Mutex.unlock t.lock;
+        emit t (Started entry.id);
+        (match start_running entry.spec with
+        | Ok run ->
+          with_lock t (fun () ->
+              entry.run <- Some run;
+              Queue.add entry.id t.queues.(home t entry.id);
+              Condition.broadcast t.cond)
+        | Error msg -> finish_failed t entry msg
+        | exception exn -> finish_failed t entry (Printexc.to_string exn));
+        Mutex.lock t.lock;
+        loop ()
+      | Slice entry ->
+        Mutex.unlock t.lock;
+        exec_slice t shard entry;
+        Mutex.lock t.lock;
+        loop ()
+    end
+  in
+  loop ();
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Construction, stepping, cancellation                                 *)
+
+let create ?(concurrency = 1) ?domains ?(shards = 0) ?(on_event = fun _ -> ())
+    () =
+  if concurrency < 1 then invalid_arg "Scheduler.create: concurrency < 1";
+  if shards < 0 then invalid_arg "Scheduler.create: shards < 0";
+  let shards = min shards 64 in
+  let base_domains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Scheduler.create: domains < 1";
+      d
+    | None -> Numeric.Parallel.num_domains ()
+  in
+  let notify =
+    if shards = 0 then None
+    else begin
+      let r, w = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock r;
+      Unix.set_nonblock w;
+      Some (r, w)
+    end
+  in
+  let t =
+    {
+      concurrency;
+      base_domains;
+      shards;
+      on_event;
+      next_id = 0;
+      entries = Hashtbl.create 16;
+      order = [];
+      rr = [];
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      queues = Array.init (max 1 shards) (fun _ -> Queue.create ());
+      pending = Queue.create ();
+      stats =
+        Array.init (max 1 shards) (fun _ ->
+            { steals = 0; slices = 0; busy_s = 0.; max_slice_s = 0. });
+      created_at = Unix.gettimeofday ();
+      live = true;
+      workers = [||];
+      notify;
+    }
+  in
+  if shards > 0 then
+    t.workers <- Array.init shards (fun i -> Domain.spawn (worker t i));
+  t
+
+let stop t =
+  if t.shards > 0 then begin
+    with_lock t (fun () ->
+        t.live <- false;
+        Condition.broadcast t.cond);
+    Array.iter Domain.join t.workers;
+    t.workers <- [||];
+    pump t;
+    match t.notify with
+    | None -> ()
+    | Some (r, w) ->
+      t.notify <- None;
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      (try Unix.close w with Unix.Unix_error _ -> ())
+  end
+
+let step t =
+  if t.shards = 0 then step_inline t
+  else begin
+    pump t;
+    let busy_now =
+      with_lock t (fun () ->
+          if not t.live then false
+          else begin
+            let b = busy_locked t in
+            if b && Queue.is_empty t.pending then Condition.wait t.cond t.lock;
+            b
+          end)
+    in
+    pump t;
+    busy_now
+  end
+
 let drain t =
   while step t do
     ()
   done
 
 let cancel t id =
-  match Hashtbl.find_opt t.entries id with
+  match with_lock t (fun () -> Hashtbl.find_opt t.entries id) with
   | None -> false
   | Some e ->
-    if Job.terminal e.status then false
-    else begin
-      (match e.status with
-      | Job.Queued ->
-        (* Never started: no placement to report. *)
-        finish t e (empty_result Job.Cancelled)
-      | _ -> e.cancel_requested <- true);
-      true
-    end
+    let action =
+      with_lock t (fun () ->
+          if Job.terminal e.status then `Already
+          else if e.status = Job.Queued then begin
+            (* Never started: no placement to report.  Settle the whole
+               terminal state atomically so a concurrent worker can
+               neither claim it nor observe a half-finished entry. *)
+            let r = empty_result Job.Cancelled in
+            e.status <- Job.Cancelled;
+            e.res <- Some r;
+            Condition.broadcast t.cond;
+            `Finished
+          end
+          else begin
+            e.cancel_requested <- true;
+            `Flagged
+          end)
+    in
+    (match action with
+    | `Finished -> emit t (Finished (id, Job.Cancelled))
+    | `Already | `Flagged -> ());
+    action <> `Already
 
 let cancel_all t =
-  List.fold_left
-    (fun acc id -> if cancel t id then acc + 1 else acc)
-    0 t.order
+  let ids = with_lock t (fun () -> t.order) in
+  List.fold_left (fun acc id -> if cancel t id then acc + 1 else acc) 0 ids

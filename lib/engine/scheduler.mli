@@ -1,13 +1,32 @@
-(** Cooperative placement-job scheduler.
+(** Placement-job scheduler: cooperative single-domain interleaving, or
+    sharded across worker domains.
 
     Jobs are queued by priority (FIFO within a priority) and up to
-    [concurrency] of them are {e interleaved}, round-robin, at the
-    granularity of one placement transformation per turn.  Interleaving
-    rather than domain-level preemption keeps every job's trajectory
-    bitwise-identical to a solo run: the {!Numeric.Parallel} pool is
-    deterministic for any lane count, and the scheduler merely
-    repartitions lanes between turns ([base_domains / running_jobs],
-    minimum 1, unless a job pins its own [domains] budget).
+    [concurrency] of them run at once.  With [shards = 0] (the default)
+    they are {e interleaved}, round-robin, on the calling domain at the
+    granularity of one placement transformation per turn.  With
+    [shards = n > 0] the scheduler spawns [n] worker domains, each
+    owning a run queue; a job's home queue is fixed by its id
+    ([(id - 1) mod shards]), an idle worker steals a slice from another
+    shard's queue, and the job re-queues at home afterwards.  Either
+    way a job is owned by exactly one domain at a time, so its slices
+    execute in sequence and stealing changes only {e when} a slice
+    runs, never what it computes.
+
+    Every job's trajectory is bitwise-identical to a solo run in both
+    modes: the {!Numeric.Parallel} combinators are deterministic for
+    any lane count, and the scheduler only repartitions lanes — between
+    turns in inline mode ([base_domains / running_jobs]), or as a fixed
+    per-worker {!Numeric.Parallel.with_lanes} pin
+    ([base_domains / shards]) in sharded mode (a job's own [domains]
+    budget wins in both).
+
+    In sharded mode, lifecycle events are {e queued} and delivered on
+    the coordinator by {!pump} (or {!step}/{!drain}, which pump) — never
+    from a worker domain — so an [on_event] handler needs no locking of
+    its own.  {!notify_fd} wakes a select-based embedder when events are
+    pending.  {!submit} and {!cancel} must be called from the
+    coordinator domain; status getters are safe from anywhere.
 
     Cancellation, deadlines and checkpoints all take effect at
     transformation boundaries.  A cancelled or deadline-expired job
@@ -33,12 +52,53 @@ type event =
   | Checkpointed of id * string  (** checkpoint file written *)
   | Finished of id * Job.status  (** terminal status *)
 
-(** [create ()] — [concurrency] is the number of jobs interleaved at
-    once (default 1); [domains] is the lane budget split between them
-    (default: the current {!Numeric.Parallel.num_domains}); [on_event]
-    observes lifecycle transitions. *)
+(** [create ()] — [concurrency] is the number of jobs running at once
+    (default 1); [domains] is the lane budget split between them
+    (default: the current {!Numeric.Parallel.num_domains}); [shards] is
+    the number of worker domains (default 0: inline cooperative mode;
+    clamped to at most 64); [on_event] observes lifecycle transitions.
+    Sharded schedulers hold worker domains until {!stop}. *)
 val create :
-  ?concurrency:int -> ?domains:int -> ?on_event:(event -> unit) -> unit -> t
+  ?concurrency:int ->
+  ?domains:int ->
+  ?shards:int ->
+  ?on_event:(event -> unit) ->
+  unit ->
+  t
+
+(** Number of worker domains (0 in inline mode). *)
+val shards : t -> int
+
+(** [pump t] drains the self-pipe and dispatches queued lifecycle
+    events on the calling (coordinator) domain.  No-op in inline mode.
+    Embedders that do not call {!step}/{!drain} (e.g. a select loop)
+    must pump to see worker-produced events. *)
+val pump : t -> unit
+
+(** In sharded mode, a file descriptor that becomes readable when
+    lifecycle events await {!pump} — for select-based embedders.  [None]
+    in inline mode or after {!stop}. *)
+val notify_fd : t -> Unix.file_descr option
+
+(** [stop t] halts and joins the worker domains (each finishes its
+    current slice first), delivers any trailing events, and closes the
+    notify pipe.  Non-terminal jobs keep their state but make no further
+    progress.  Idempotent; no-op in inline mode. *)
+val stop : t -> unit
+
+(** Per-shard scheduler counters, for the [metrics] surfaces. *)
+type shard_metric = {
+  shard : int;
+  queue_depth : int;  (** jobs queued on this shard right now *)
+  m_steals : int;  (** slices this worker stole from other shards *)
+  m_slices : int;  (** slices this worker executed *)
+  m_busy_s : float;  (** wall time spent executing slices *)
+  m_busy_frac : float;  (** busy_s over scheduler uptime *)
+  m_max_slice_s : float;  (** slowest single slice *)
+}
+
+(** [shard_metrics t] — one entry per shard; [[]] in inline mode. *)
+val shard_metrics : t -> shard_metric list
 
 (** [validate_spec spec] is the submit-time admission check: the source
     names a known profile or an existing file, resume/warm checkpoints
@@ -98,10 +158,14 @@ val queued : t -> int
     ones, which keep executing). *)
 val running : t -> int
 
-(** [step t] runs one scheduling turn: start queued jobs while slots are
-    free, then give the next running job one transformation (or its
-    finishing pass).  Returns false when nothing was runnable. *)
+(** [step t] — inline mode: run one scheduling turn (start queued jobs
+    while slots are free, then give the next running job one
+    transformation or its finishing pass); returns false when nothing
+    was runnable.  Sharded mode: pump events and, if jobs are still in
+    flight, block until a worker makes progress; returns false once no
+    job is queued or running (or after {!stop}). *)
 val step : t -> bool
 
-(** [drain t] steps until no job is queued or running. *)
+(** [drain t] steps until no job is queued or running.  Does not stop
+    worker domains — call {!stop} when done with a sharded scheduler. *)
 val drain : t -> unit

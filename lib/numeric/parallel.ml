@@ -35,6 +35,15 @@ let pool : pool option Atomic.t = Atomic.make None
 
 let pool_guard = Mutex.create ()
 
+(* Per-domain lane budget.  A sharded scheduler worker pins its lanes
+   here instead of resizing the process-wide pool (which would tear it
+   down under other domains' feet); combinators on that domain then
+   chunk — and gate sequential fallback — against the pinned value.
+   Other domains, including pool workers running nested tasks, are
+   unaffected. *)
+let lane_override : int option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
 (* The OCaml runtime supports at most ~128 domains; clamp rather than
    crash on absurd KRAFTWERK_DOMAINS values. *)
 let clamp_domains n = if n < 1 then 1 else if n > 128 then 128 else n
@@ -57,7 +66,17 @@ let target_size () =
       | None -> Domain.recommended_domain_count ()))
 
 let num_domains () =
-  match Atomic.get pool with Some p -> p.size | None -> target_size ()
+  match Domain.DLS.get lane_override with
+  | Some n -> n
+  | None -> (
+    match Atomic.get pool with Some p -> p.size | None -> target_size ())
+
+let with_lanes n f =
+  if n < 1 then invalid_arg "Parallel.with_lanes: need at least one lane";
+  let n = clamp_domains n in
+  let saved = Domain.DLS.get lane_override in
+  Domain.DLS.set lane_override (Some n);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set lane_override saved) f
 
 let worker p () =
   Mutex.lock p.lock;
@@ -178,10 +197,17 @@ let run_tasks p fns =
     match Atomic.get first_exn with Some e -> raise e | None -> ()
   end
 
+(* Below this many scalar operations a batch's fixed cost (queue mutex,
+   condvar wakeups) outweighs any split: callers that can estimate their
+   work pass [?work] and small calls stay on the calling domain.  The
+   sequential fallback runs the very same body over the whole range, so
+   results are bitwise-identical either way. *)
+let seq_work_cutoff = 32_768
+
 (* Apply [body a b] over disjoint sub-ranges covering [lo, hi).  The
    chunk grid depends only on the range and chunk size, never on which
    domain runs what. *)
-let parallel_range ?chunk ~lo ~hi body =
+let parallel_range ?chunk ?work ~lo ~hi body =
   let n = hi - lo in
   if n > 0 then begin
     let d = num_domains () in
@@ -191,7 +217,10 @@ let parallel_range ?chunk ~lo ~hi body =
       | Some _ | None -> max 1 ((n + (4 * d) - 1) / (4 * d))
     in
     let n_chunks = (n + chunk - 1) / chunk in
-    if d <= 1 || n_chunks <= 1 then body lo hi
+    let small =
+      match work with Some w -> w < seq_work_cutoff | None -> false
+    in
+    if d <= 1 || n_chunks <= 1 || small then body lo hi
     else
       run_tasks (get_pool ())
         (Array.init n_chunks (fun k ->
@@ -200,8 +229,8 @@ let parallel_range ?chunk ~lo ~hi body =
              fun () -> body a b))
   end
 
-let parallel_for ?chunk ~lo ~hi f =
-  parallel_range ?chunk ~lo ~hi (fun a b ->
+let parallel_for ?chunk ?work ~lo ~hi f =
+  parallel_range ?chunk ?work ~lo ~hi (fun a b ->
       for i = a to b - 1 do
         f i
       done)

@@ -17,10 +17,23 @@
     caller waiting for its batch helps drain the shared task queue, so
     nested batches cannot deadlock. *)
 
-(** Current pool size (total lanes, including the calling domain).  Does
+(** Current lane budget for the {e calling domain}: the {!with_lanes}
+    pin when one is active, otherwise the process-wide pool size.  Does
     not spawn domains: before first use this reports the size the pool
     {e would} have. *)
 val num_domains : unit -> int
+
+(** [with_lanes n f] runs [f ()] with this domain's lane budget pinned
+    to [n] (clamped to [1..128]), without touching the process-wide pool
+    or other domains.  With [n = 1] every combinator called inside [f]
+    runs sequentially on the caller — this is how a sharded scheduler
+    worker executes one job per domain while other workers do the same
+    concurrently.  With [n > 1] combinators chunk for [n] lanes and
+    submit to the shared pool (nested use from a worker domain is safe:
+    submitters help drain the queue).  Results are bitwise-identical for
+    any [n].  Restores the previous budget on exit, even on exceptions.
+    Raises [Invalid_argument] when [n < 1]. *)
+val with_lanes : int -> (unit -> 'a) -> 'a
 
 (** [set_num_domains n] fixes the pool size to [n] (clamped to
     [1..128]), overriding [KRAFTWERK_DOMAINS].  Tears down a live pool
@@ -37,18 +50,22 @@ val reset : unit -> unit
     pool exists.  Subsequent parallel calls respawn lazily. *)
 val shutdown : unit -> unit
 
-(** [parallel_range ?chunk ~lo ~hi body] covers [\[lo, hi)] with
+(** [parallel_range ?chunk ?work ~lo ~hi body] covers [\[lo, hi)] with
     disjoint sub-ranges of at most [chunk] indices (default: range split
     four ways per domain) and calls [body a b] for each sub-range
     [\[a, b)], in parallel across the pool.  Falls back to a single
-    sequential [body lo hi] when the pool has one domain or only one
-    chunk results. *)
+    sequential [body lo hi] when the pool has one domain, only one chunk
+    results, or the estimated [work] (caller-supplied scalar-operation
+    count, e.g. the nnz of a SpMV) is below the internal cutoff where
+    batch overhead would dominate.  The fallback runs the same body over
+    the whole range, so results are bitwise-identical. *)
 val parallel_range :
-  ?chunk:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+  ?chunk:int -> ?work:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
 
-(** [parallel_for ?chunk ~lo ~hi f] calls [f i] for every
+(** [parallel_for ?chunk ?work ~lo ~hi f] calls [f i] for every
     [lo <= i < hi], chunked as {!parallel_range}. *)
-val parallel_for : ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+val parallel_for :
+  ?chunk:int -> ?work:int -> lo:int -> hi:int -> (int -> unit) -> unit
 
 (** [parallel_map2 ?chunk f a b] is [Array.map2 f a b] for float arrays,
     chunked across the pool.  The default chunk (≥ 1024) keeps small

@@ -190,6 +190,7 @@ let refill pat b =
   if pat.pn >= refill_par_threshold && Parallel.num_domains () > 1 then
     Parallel.parallel_range
       ~chunk:(max 128 (pat.pn / (4 * Parallel.num_domains ())))
+      ~work:(pat.p_len + pat.p_row_start.(pat.pn))
       ~lo:0 ~hi:pat.pn
       (fun r0 r1 -> refill_rows pat b.bv r0 r1)
   else refill_rows pat b.bv 0 pat.pn;
@@ -311,7 +312,7 @@ let mul m x y =
   if m.n >= mul_par_threshold && Parallel.num_domains () > 1 then
     Parallel.parallel_range
       ~chunk:(max 128 (m.n / (4 * Parallel.num_domains ())))
-      ~lo:0 ~hi:m.n
+      ~work:m.row_start.(m.n) ~lo:0 ~hi:m.n
       (fun r0 r1 -> mul_rows m x y r0 r1)
   else mul_rows m x y 0 m.n
 

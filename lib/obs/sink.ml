@@ -3,19 +3,24 @@ type t = {
   on_summary : Telemetry.summary -> unit;
 }
 
-(* One process-wide sink.  Installation happens on the main domain
-   before a run; the placer only reads, so a plain ref is enough. *)
-let current : t option ref = ref None
+(* One sink per domain.  The placer emits from the domain that runs the
+   transformation, so a sink installed around a job's slice on a sharded
+   scheduler worker is visible exactly to that job's emissions and never
+   to a job running concurrently on another domain.  Single-domain
+   embedders see the old process-wide behaviour unchanged. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let install s = current := Some s
+let install s = Domain.DLS.set current (Some s)
 
-let clear () = current := None
+let clear () = Domain.DLS.set current None
 
-let active () = Option.is_some !current
+let active () = Option.is_some (Domain.DLS.get current)
 
-let iteration r = match !current with Some s -> s.on_iteration r | None -> ()
+let iteration r =
+  match Domain.DLS.get current with Some s -> s.on_iteration r | None -> ()
 
-let summary r = match !current with Some s -> s.on_summary r | None -> ()
+let summary r =
+  match Domain.DLS.get current with Some s -> s.on_summary r | None -> ()
 
 let jsonl oc =
   let emit json =
@@ -43,6 +48,6 @@ let collecting () =
   (sink, read)
 
 let with_sink s f =
-  let saved = !current in
-  current := Some s;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some s);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f

@@ -3,8 +3,14 @@
     Producers (the placer) call {!iteration}/{!summary}, which dispatch
     to the installed sink or drop the record.  {!active} lets producers
     skip computing expensive metrics entirely when nobody listens — with
-    no sink installed, instrumentation costs one ref read per
-    iteration. *)
+    no sink installed, instrumentation costs one domain-local read per
+    iteration.
+
+    Installation is {e per domain}: the placer emits from the domain
+    running the transformation, so a sink installed around one job's
+    slice on a sharded scheduler worker never sees a concurrent job's
+    records from another domain.  Single-domain programs observe the
+    historical process-wide behaviour. *)
 
 type t = {
   on_iteration : Telemetry.iteration -> unit;

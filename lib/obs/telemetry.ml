@@ -44,7 +44,13 @@ let strip_volatile = function
     Json.Obj (List.filter (fun (k, _) -> not (List.mem k volatile_fields)) fields)
   | other -> other
 
-let provenance_fields = [ "assembly_reused"; "pattern_rebuilds" ]
+let provenance_fields =
+  [
+    "assembly_reused";
+    "pattern_rebuilds";
+    "kernel_cache_hits";
+    "kernel_cache_misses";
+  ]
 
 let strip_provenance = function
   | Json.Obj fields ->

@@ -68,9 +68,11 @@ val strip_volatile : Json.t -> Json.t
 (** Fields recording process-local cache provenance rather than the
     mathematical trajectory: a resumed run recompiles its QP assembly on
     the first transformation where the uninterrupted run refilled a
-    cached pattern, so these (and only these) legitimately differ across
-    a checkpoint/resume boundary.  The recorded {e values} — matrices,
-    placements, forces — are bitwise-identical either way. *)
+    cached pattern, and the FFT kernel-spectrum cache hits or misses
+    depending on which runs shared the process before, so these (and
+    only these) legitimately differ across a checkpoint/resume boundary
+    or between solo and co-scheduled runs.  The recorded {e values} —
+    matrices, placements, forces — are bitwise-identical either way. *)
 val provenance_fields : string list
 
 (** [strip_provenance json] removes {!provenance_fields} — applied on

@@ -5,6 +5,7 @@ type config = {
   address : Address.t;
   concurrency : int;
   domains : int option;
+  shards : int;
   max_pending : int;
   max_conns : int;
   request_timeout_s : float;
@@ -20,6 +21,7 @@ let config address =
     address;
     concurrency = 2;
     domains = None;
+    shards = 0;
     max_pending = 64;
     max_conns = 128;
     request_timeout_s = 300.;
@@ -431,17 +433,24 @@ let close_idle_conns st now =
 
 (* One bounded slice of placement work between polls: at most [budget]
    seconds, at transformation granularity, so service latency stays
-   bounded by one transformation. *)
+   bounded by one transformation.  With a sharded scheduler the worker
+   domains execute slices on their own; the coordinator only pumps
+   queued lifecycle events (the notify pipe in the poll set wakes us
+   the moment one arrives). *)
 let step_slice st ~budget =
-  let t0 = Unix.gettimeofday () in
-  let continue = ref true in
-  while !continue && Unix.gettimeofday () -. t0 < budget do
-    if Engine.Scheduler.step st.sched then begin
-      st.turns <- st.turns + 1;
-      Obs.Registry.incr "server/turns"
-    end
-    else continue := false
-  done
+  if Engine.Scheduler.shards st.sched > 0 then
+    Engine.Scheduler.pump st.sched
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let continue = ref true in
+    while !continue && Unix.gettimeofday () -. t0 < budget do
+      if Engine.Scheduler.step st.sched then begin
+        st.turns <- st.turns + 1;
+        Obs.Registry.incr "server/turns"
+      end
+      else continue := false
+    done
+  end
 
 let drain_tick st now =
   if st.draining then begin
@@ -463,6 +472,8 @@ let drain_tick st now =
   end
 
 let cleanup st =
+  (* Join worker domains first so no event fires mid-teardown. *)
+  Engine.Scheduler.stop st.sched;
   Hashtbl.iter (fun _ conn -> ignore (flush_out st conn)) st.conns;
   Hashtbl.iter
     (fun _ conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ())
@@ -506,6 +517,7 @@ let run cfg =
     let handler = ref (fun (_ : Engine.Scheduler.event) -> ()) in
     let sched =
       Engine.Scheduler.create ~concurrency:cfg.concurrency ?domains:cfg.domains
+        ~shards:cfg.shards
         ~on_event:(fun e -> !handler e)
         ()
     in
@@ -550,6 +562,9 @@ let run cfg =
           if not st.stop then begin
             let rfds =
               (if st.draining then [] else [ st.listen_fd ])
+              @ (match Engine.Scheduler.notify_fd st.sched with
+                | Some fd -> [ fd ]
+                | None -> [])
               @ Hashtbl.fold
                   (fun _ c acc -> if c.closing then acc else c.fd :: acc)
                   st.conns []
@@ -559,8 +574,16 @@ let run cfg =
                 (fun _ c acc -> if has_output c then c.fd :: acc else acc)
                 st.conns []
             in
+            (* Inline mode polls eagerly while jobs are runnable (the
+               loop itself is the engine); sharded mode sleeps — worker
+               domains make the progress and the notify pipe interrupts
+               the select when an event needs pumping. *)
             let timeout =
-              if Engine.Scheduler.busy st.sched then 0. else 0.05
+              if
+                Engine.Scheduler.shards st.sched = 0
+                && Engine.Scheduler.busy st.sched
+              then 0.
+              else 0.05
             in
             let readable, writable =
               match Unix.select rfds wfds [] timeout with

@@ -37,6 +37,12 @@ type config = {
   address : Address.t;
   concurrency : int;  (** jobs interleaved by the scheduler *)
   domains : int option;  (** lane budget, as in {!Engine.Scheduler.create} *)
+  shards : int;
+      (** worker domains executing job slices ({!Engine.Scheduler.create}'s
+          [shards]); 0 (the default) steps jobs inline between polls.
+          With shards the poll loop only services connections and pumps
+          lifecycle events — the scheduler's notify pipe joins the poll
+          set so events wake the loop immediately. *)
   max_pending : int;  (** admission bound on queued jobs *)
   max_conns : int;  (** beyond this, connections are refused politely *)
   request_timeout_s : float;  (** bound on [wait]/[drain] parking *)
@@ -49,9 +55,9 @@ type config = {
   transcript : string option;  (** copy every protocol line to this file *)
 }
 
-(** [config address] — the defaults: concurrency 2, admission bound 64
-    pending jobs, 128 connections, 300 s request timeout, idle timeout
-    off, 30 s drain grace, v2 protocol. *)
+(** [config address] — the defaults: concurrency 2, no shards (inline
+    stepping), admission bound 64 pending jobs, 128 connections, 300 s
+    request timeout, idle timeout off, 30 s drain grace, v2 protocol. *)
 val config : Address.t -> config
 
 (** [run cfg] binds, serves and blocks until a graceful shutdown

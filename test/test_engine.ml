@@ -391,6 +391,186 @@ let test_concurrent_interleaving_preserves_trajectories () =
     (List.combine seeds ids)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded scheduler                                                    *)
+
+(* The sharding contract: for any shard count, with stealing actually
+   exercised, every job's result is bitwise the solo run's — placement,
+   legalised metrics and telemetry trace alike.  Load is deliberately
+   imbalanced (the two shards holding only short jobs go idle early and
+   must steal the long jobs queued on shards 0/1), so at shards ≥ 2 the
+   steal counters are checked to be live, not just tolerated. *)
+let test_sharded_matches_solo () =
+  let steps = [| 12; 12; 2; 2; 12; 12 |] in
+  let spec ?trace seed =
+    Engine.Job.spec
+      ~source:(source ~seed ())
+      ~mode:Engine.Job.Fast
+      ~max_steps:steps.(seed - 1)
+      ?trace ()
+  in
+  let seeds = [ 1; 2; 3; 4; 5; 6 ] in
+  let solo_traces = List.map (fun _ -> temp ".jsonl") seeds in
+  let solo =
+    List.map2
+      (fun seed trace ->
+        let sched = Engine.Scheduler.create () in
+        let id = submit_and_drain sched (spec ~trace seed) in
+        (job_placement sched id, job_result sched id))
+      seeds solo_traces
+  in
+  List.iter
+    (fun shards ->
+      let tag fmt = Printf.ksprintf (fun s -> s) fmt in
+      let traces = List.map (fun _ -> temp ".jsonl") seeds in
+      let events = ref [] in
+      let sched =
+        Engine.Scheduler.create ~concurrency:6 ~domains:shards ~shards
+          ~on_event:(fun e -> events := e :: !events)
+          ()
+      in
+      let ids =
+        List.map2
+          (fun seed trace -> Engine.Scheduler.submit sched (spec ~trace seed))
+          seeds traces
+      in
+      Engine.Scheduler.drain sched;
+      let metrics = Engine.Scheduler.shard_metrics sched in
+      Engine.Scheduler.stop sched;
+      Alcotest.(check int)
+        (tag "shards=%d: metric per shard" shards)
+        shards (List.length metrics);
+      (* Lifecycle events arrive on the coordinator, in per-job order. *)
+      let evs = List.rev !events in
+      List.iter
+        (fun id ->
+          let pos p =
+            let rec find i = function
+              | [] -> Alcotest.failf "shards=%d: job %d lost an event" shards id
+              | e :: rest -> if p e then i else find (i + 1) rest
+            in
+            find 0 evs
+          in
+          let sub = pos (fun e -> e = Engine.Scheduler.Submitted id) in
+          let st = pos (fun e -> e = Engine.Scheduler.Started id) in
+          let fin =
+            pos (function
+              | Engine.Scheduler.Finished (i, _) -> i = id
+              | _ -> false)
+          in
+          Alcotest.(check bool)
+            (tag "shards=%d: job %d event order" shards id)
+            true
+            (sub < st && st < fin))
+        ids;
+      List.iteri
+        (fun i (seed, id) ->
+          let solo_p, solo_r = List.nth solo i in
+          let r = job_result sched id in
+          same_placement
+            (tag "shards=%d seed=%d: placement" shards seed)
+            solo_p (job_placement sched id);
+          Alcotest.(check bool)
+            (tag "shards=%d seed=%d: legalised metrics bitwise" shards seed)
+            true
+            (bits r.Engine.Job.hpwl = bits solo_r.Engine.Job.hpwl
+            && bits r.Engine.Job.overlap = bits solo_r.Engine.Job.overlap
+            && r.Engine.Job.iterations = solo_r.Engine.Job.iterations);
+          Alcotest.(check (list string))
+            (tag "shards=%d seed=%d: telemetry trace" shards seed)
+            (iteration_payloads (List.nth solo_traces i))
+            (iteration_payloads (List.nth traces i)))
+        (List.combine seeds ids);
+      List.iter Sys.remove traces)
+    [ 1; 2; 4 ];
+  List.iter Sys.remove solo_traces
+
+(* Stealing, forced structurally: jobs 1 and 3 are long and both home on
+   shard 0 ((id-1) mod 2), job 2 is a one-step throwaway freeing shard
+   1's worker almost immediately.  From then on shard 0's queue holds a
+   runnable job at essentially all times (two live jobs, one executor),
+   so the idle worker's first wake-up scan steals a slice.  The stolen
+   slices must not perturb either trajectory. *)
+let test_forced_stealing_bitwise () =
+  let long seed =
+    Engine.Job.spec ~source:(source ~seed ()) ~mode:Engine.Job.Fast
+      ~max_steps:12 ()
+  in
+  let solo =
+    List.map
+      (fun seed ->
+        let sched = Engine.Scheduler.create () in
+        let id = submit_and_drain sched (long seed) in
+        job_placement sched id)
+      [ 21; 22 ]
+  in
+  let sched = Engine.Scheduler.create ~concurrency:3 ~domains:2 ~shards:2 () in
+  let a = Engine.Scheduler.submit sched (long 21) in
+  let _ =
+    Engine.Scheduler.submit sched
+      (Engine.Job.spec ~source:(source ~seed:23 ()) ~mode:Engine.Job.Fast
+         ~max_steps:1 ())
+  in
+  let b = Engine.Scheduler.submit sched (long 22) in
+  Engine.Scheduler.drain sched;
+  let metrics = Engine.Scheduler.shard_metrics sched in
+  Engine.Scheduler.stop sched;
+  let total_steals =
+    List.fold_left (fun acc m -> acc + m.Engine.Scheduler.m_steals) 0 metrics
+  in
+  Alcotest.(check bool) "stealing actually happened" true (total_steals > 0);
+  same_placement "stolen job a" (List.nth solo 0) (job_placement sched a);
+  same_placement "stolen job b" (List.nth solo 1) (job_placement sched b)
+
+(* Cancellation and deadlines keep their degraded-but-legal semantics
+   when slices run on worker domains. *)
+let test_sharded_cancel_deadline_legal () =
+  let circuit, _ = ok_or_fail (Engine.Source.load (source ())) in
+  let circuit5, _ = ok_or_fail (Engine.Source.load (source ~seed:5 ())) in
+  let sched = Engine.Scheduler.create ~concurrency:2 ~domains:2 ~shards:2 () in
+  let a =
+    Engine.Scheduler.submit sched
+      (Engine.Job.spec ~source:(source ()) ~mode:Engine.Job.Fast ~max_steps:500
+         ())
+  in
+  let d =
+    Engine.Scheduler.submit sched
+      (Engine.Job.spec ~source:(source ~seed:5 ()) ~mode:Engine.Job.Fast
+         ~deadline:0.0 ())
+  in
+  (* Let the long job make real progress before cancelling it. *)
+  let slices () =
+    List.fold_left
+      (fun acc m -> acc + m.Engine.Scheduler.m_slices)
+      0
+      (Engine.Scheduler.shard_metrics sched)
+  in
+  while slices () < 4 && Engine.Scheduler.busy sched do
+    ignore (Engine.Scheduler.step sched)
+  done;
+  Alcotest.(check bool) "cancel accepted" true (Engine.Scheduler.cancel sched a);
+  Engine.Scheduler.drain sched;
+  Engine.Scheduler.stop sched;
+  let ra = job_result sched a and rd = job_result sched d in
+  Alcotest.(check string) "cancelled status" "cancelled"
+    (Engine.Job.status_to_string ra.Engine.Job.status);
+  Alcotest.(check bool) "cancel not via deadline" false
+    ra.Engine.Job.deadline_expired;
+  Alcotest.(check string) "deadline status" "cancelled"
+    (Engine.Job.status_to_string rd.Engine.Job.status);
+  Alcotest.(check bool) "deadline expired" true rd.Engine.Job.deadline_expired;
+  List.iter
+    (fun (tag, c, id, r) ->
+      Alcotest.(check bool) (tag ^ " reported legal") true r.Engine.Job.legal;
+      match Engine.Scheduler.legalized sched id with
+      | Some lp ->
+        Alcotest.(check bool)
+          (tag ^ " passes Legalize.Check")
+          true
+          (Legalize.Check.is_legal c lp)
+      | None -> Alcotest.failf "%s: no legalised placement" tag)
+    [ ("cancelled", circuit, a, ra); ("deadline", circuit5, d, rd) ]
+
+(* ------------------------------------------------------------------ *)
 (* Serialisation and protocol                                          *)
 
 let test_spec_json_round_trip () =
@@ -516,6 +696,12 @@ let suite =
       test_eco_job_matches_direct_replace;
     Alcotest.test_case "interleaving preserves solo trajectories" `Slow
       test_concurrent_interleaving_preserves_trajectories;
+    Alcotest.test_case "sharded execution is bitwise solo for shards 1/2/4"
+      `Slow test_sharded_matches_solo;
+    Alcotest.test_case "forced stealing leaves trajectories bitwise" `Slow
+      test_forced_stealing_bitwise;
+    Alcotest.test_case "sharded cancel and deadline degrade to legal" `Slow
+      test_sharded_cancel_deadline_legal;
     Alcotest.test_case "spec json round-trip" `Quick test_spec_json_round_trip;
     Alcotest.test_case "protocol request parsing" `Quick
       test_protocol_request_parsing;

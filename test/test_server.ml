@@ -452,6 +452,78 @@ let test_oversized_line_survives () =
       Server.Client.close c;
       Alcotest.(check int) "clean exit" 0 (reap pid))
 
+(* The sharded server path: --domains 2 auto-selects worker domains, so
+   job slices execute off the poll loop while connections stay serviced.
+   Results must still be bitwise what solo runs produce, and the metrics
+   response must expose the per-shard scheduler counters. *)
+let test_sharded_server_bitwise_and_metrics () =
+  let sock = temp_sock () in
+  let address = Server.Address.Unix_path sock in
+  let pid =
+    spawn_server
+      [ "--listen"; "unix:" ^ sock; "--concurrency"; "3"; "--domains"; "2" ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let n = 4 in
+      let clients = List.init n (fun _ -> connect_exn address) in
+      let ids =
+        List.mapi
+          (fun i c ->
+            (i, c, client_exn "submit" (Server.Client.submit c (fast_spec i))))
+          clients
+      in
+      List.iter
+        (fun (i, c, id) ->
+          let status, result = client_exn "wait" (Server.Client.wait c id) in
+          Alcotest.(check string) (Printf.sprintf "job %d done" id) "done"
+            status;
+          let served =
+            match result with
+            | Some r -> (
+              match Engine.Job.result_of_json r with
+              | Ok jr -> jr
+              | Error e -> Alcotest.failf "result does not validate: %s" e)
+            | None -> Alcotest.failf "wait response for %d lacks a result" id
+          in
+          let solo = solo_result (fast_spec i) in
+          Alcotest.(check bool)
+            (Printf.sprintf "job %d hpwl bitwise" id)
+            true
+            (Int64.bits_of_float served.Engine.Job.hpwl
+            = Int64.bits_of_float solo.Engine.Job.hpwl);
+          Alcotest.(check int)
+            (Printf.sprintf "job %d iterations" id)
+            solo.Engine.Job.iterations served.Engine.Job.iterations)
+        ids;
+      let m = client_exn "metrics" (Server.Client.metrics (List.hd clients)) in
+      (match List.assoc_opt "scheduler" m with
+      | Some (J.Obj sched_fields) ->
+        (match List.assoc_opt "shards" sched_fields with
+        | Some (J.Num s) -> Alcotest.(check int) "shards" 2 (int_of_float s)
+        | _ -> Alcotest.fail "scheduler field lacks shards");
+        (match List.assoc_opt "per_shard" sched_fields with
+        | Some (J.Arr rows) ->
+          Alcotest.(check int) "per-shard rows" 2 (List.length rows);
+          let slices =
+            List.fold_left
+              (fun acc row ->
+                match J.member "slices" row with
+                | Some (J.Num v) -> acc + int_of_float v
+                | _ -> Alcotest.fail "per-shard row lacks slices")
+              0 rows
+          in
+          Alcotest.(check bool) "workers executed the slices" true (slices > 0)
+        | _ -> Alcotest.fail "scheduler field lacks per_shard")
+      | _ -> Alcotest.fail "metrics response lacks scheduler");
+      client_exn "shutdown" (Server.Client.shutdown (List.hd clients));
+      List.iter Server.Client.close clients;
+      Alcotest.(check int) "sharded server exit code" 0 (reap pid))
+
 let suite =
   [
     Alcotest.test_case "frame: chunked feeds" `Quick test_frame_chunks;
@@ -471,4 +543,6 @@ let suite =
       test_admission_and_sigterm_drain;
     Alcotest.test_case "socket: oversized line survives" `Quick
       test_oversized_line_survives;
+    Alcotest.test_case "socket: sharded server bitwise + shard metrics" `Quick
+      test_sharded_server_bitwise_and_metrics;
   ]
