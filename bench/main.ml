@@ -790,26 +790,63 @@ let micro () =
 
 let place_bench_profiles = [ "fract"; "primary1" ]
 
+(* One instrumented placement run: collected telemetry records, the
+   final placer state and the wall time. *)
+let instrumented_run config circuit p0 =
+  Obs.Registry.reset ();
+  Numeric.Poisson.clear_kernel_cache ();
+  let sink, read = Obs.Sink.collecting () in
+  let ((state, _), cpu) =
+    Obs.Sink.with_sink sink (fun () ->
+        time (fun () -> Kraftwerk.Placer.run config circuit p0))
+  in
+  let records, _ = read () in
+  (state, records, cpu)
+
+(* Per-effort convergence rows: iterations-to-converge, the stop
+   criterion that fired and the finalized (Abacus+Improve+Domino) HPWL
+   the CI smoke matrix gates regressions against. *)
+let effort_entries circuit p0 =
+  List.map
+    (fun e ->
+      let config = Kraftwerk.Config.effort e in
+      let state, records, cpu = instrumented_run config circuit p0 in
+      let global = state.Kraftwerk.Placer.placement in
+      let legalized =
+        Metrics.Wirelength.hpwl circuit (finalize circuit global)
+      in
+      let num v = Obs.Json.Num v in
+      ( string_of_int e,
+        Obs.Json.Obj
+          [
+            ("iterations", num (float_of_int (List.length records)));
+            ( "max_iterations",
+              num (float_of_int config.Kraftwerk.Config.max_iterations) );
+            ("wall_s", num cpu);
+            ( "stop_reason",
+              match Kraftwerk.Placer.stop_reason state with
+              | Some r ->
+                Obs.Json.Str (Kraftwerk.Controller.reason_to_string r)
+              | None -> Obs.Json.Null );
+            ("final_hpwl_global", num (Metrics.Wirelength.hpwl circuit global));
+            ("final_hpwl_legalized", num legalized);
+          ] ))
+    [ 1; 5; 9 ]
+
 let place_bench () =
   print_endline "";
   print_endline "Placement telemetry bench: end-to-end iteration timings";
   let was_enabled = Obs.Registry.enabled () in
   Obs.Registry.set_enabled true;
+  let built = List.map (fun name -> (name, build_profile name)) place_bench_profiles in
   let entries =
     List.map
-      (fun name ->
-        let _, circuit, p0 = build_profile name in
+      (fun (name, (_, circuit, p0)) ->
         Printf.eprintf "[place-bench] %s (%d cells)...\n%!" name
           (Netlist.Circuit.num_cells circuit);
-        Obs.Registry.reset ();
-        Numeric.Poisson.clear_kernel_cache ();
-        let sink, read = Obs.Sink.collecting () in
-        let (_, cpu) =
-          Obs.Sink.with_sink sink (fun () ->
-              time (fun () ->
-                  Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0))
+        let _, records, cpu =
+          instrumented_run Kraftwerk.Config.standard circuit p0
         in
-        let records, _ = read () in
         let n = List.length records in
         let last = match List.rev records with [] -> None | r :: _ -> Some r in
         let phase_mean phase =
@@ -852,7 +889,14 @@ let place_bench () =
                 | Some r -> num r.Obs.Telemetry.overflow
                 | None -> Obs.Json.Null );
             ] ))
-      place_bench_profiles
+      built
+  in
+  let efforts =
+    List.map
+      (fun (name, (_, circuit, p0)) ->
+        Printf.eprintf "[place-bench] %s effort matrix...\n%!" name;
+        (name, Obs.Json.Obj (effort_entries circuit p0)))
+      built
   in
   Obs.Registry.set_enabled was_enabled;
   let doc =
@@ -862,6 +906,7 @@ let place_bench () =
         ("domains", Obs.Json.Num (float_of_int (Numeric.Parallel.num_domains ())));
         ("scale", Obs.Json.Num !scale);
         ("profiles", Obs.Json.Obj entries);
+        ("efforts", Obs.Json.Obj efforts);
       ]
   in
   let oc = open_out "BENCH_place.json" in
@@ -875,6 +920,28 @@ let place_bench () =
         Printf.printf "%-11s %4.0f iterations  %8.2f ms/iteration\n" name n ms
       | _ -> ())
     entries;
+  List.iter
+    (fun (name, rows) ->
+      match rows with
+      | Obs.Json.Obj rows ->
+        List.iter
+          (fun (e, row) ->
+            match
+              ( Obs.Json.member "iterations" row,
+                Obs.Json.member "final_hpwl_legalized" row,
+                Obs.Json.member "stop_reason" row )
+            with
+            | Some (Obs.Json.Num n), Some (Obs.Json.Num wl), reason ->
+              Printf.printf
+                "%-11s effort %s  %4.0f iterations  final %12.4g  (%s)\n" name
+                e n wl
+                (match reason with
+                | Some (Obs.Json.Str r) -> r
+                | _ -> "budget")
+            | _ -> ())
+          rows
+      | _ -> ())
+    efforts;
   print_endline "wrote BENCH_place.json"
 
 (* ------------------------------------------------------------------ *)

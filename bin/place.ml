@@ -98,12 +98,18 @@ let cmd_generate profile scale seed output =
   Printf.printf "wrote %s (%d cells, %d nets) and %s.pos\n" output
     (Netlist.Circuit.num_cells c) (Netlist.Circuit.num_nets c) output
 
-let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
-    domains trace =
+let cmd_run circuit_file profile scale seed flow mode effort timing verbose
+    output svg domains trace =
   let c, p0 = load_or_generate ~circuit_file ~profile ~scale ~seed in
-  (* [mode] arrives through a Cmdliner enum conv, so a bad flag is a
-     usage error with a clean exit code before this function runs. *)
-  let config = Engine.Job.config_of_mode mode in
+  (* [mode] and [effort] arrive through Cmdliner enum convs, so a bad
+     flag is a usage error with a clean exit code before this function
+     runs.  An explicit effort preset selects the whole configuration;
+     the mode is the fallback. *)
+  let config =
+    match effort with
+    | Some e -> Kraftwerk.Config.effort e
+    | None -> Engine.Job.config_of_mode mode
+  in
   let config = { config with Kraftwerk.Config.domains } in
   (* Non-Kraftwerk flows never reach Placer.init; apply the pool size
      here so their kernels (Gordian's QP solves, density maps) see it. *)
@@ -133,6 +139,7 @@ let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
       Some (file, oc, iters)
   in
   let t0 = Unix.gettimeofday () in
+  let stop_reason = ref None in
   let global =
     match flow with
     | Flow_kraftwerk ->
@@ -144,6 +151,9 @@ let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
             Kraftwerk.Placer.on_step = Some (log_steps verbose) }
         in
         let state, _ = Kraftwerk.Placer.run ~hooks config c p0 in
+        stop_reason :=
+          Option.map Kraftwerk.Controller.reason_to_string
+            (Kraftwerk.Placer.stop_reason state);
         state.Kraftwerk.Placer.placement
       end
     | Flow_multilevel ->
@@ -202,6 +212,7 @@ let cmd_run circuit_file profile scale seed flow mode timing verbose output svg
         final_hpwl;
         final_overlap;
         wall_time = t1 -. t0;
+        stop_reason = !stop_reason;
         counters = Obs.Registry.snapshot ();
       };
     Obs.Sink.clear ();
@@ -315,8 +326,8 @@ let client_ok = function
 (* [place submit]: ship one job to a running server; with --wait, park
    until it is terminal and print its result line.  Exit 1 when the
    awaited job failed, 2 on operational errors. *)
-let cmd_submit to_addr circuit_file profile scale seed mode timing priority
-    deadline max_steps wait =
+let cmd_submit to_addr circuit_file profile scale seed mode effort timing
+    priority deadline max_steps wait =
   let source =
     match (circuit_file, profile) with
     | Some file, _ -> Engine.Source.File file
@@ -324,7 +335,8 @@ let cmd_submit to_addr circuit_file profile scale seed mode timing priority
     | None, None -> die "either --circuit or --profile is required"
   in
   let spec =
-    Engine.Job.spec ~source ~mode ~timing ~priority ?deadline ?max_steps ()
+    Engine.Job.spec ~source ~mode ?effort ~timing ~priority ?deadline
+      ?max_steps ()
   in
   let cl = client_connect to_addr in
   let id = client_ok (Server.Client.submit cl spec) in
@@ -458,6 +470,17 @@ let mode_arg =
            Engine.Job.Standard
        & info [ "mode" ] ~doc:"$(docv) is either standard or fast.")
 
+let effort_arg =
+  (* An enum rather than a bare int: a bad value is a usage error listing
+     the valid presets, and the doc string enumerates them. *)
+  let presets = List.init 9 (fun i -> (string_of_int (i + 1), i + 1)) in
+  Arg.(value
+       & opt (some (enum presets)) None
+       & info [ "effort" ]
+           ~doc:"Quality-vs-latency preset, $(docv) in 1..9: bundles CG \
+                 tolerance, density-grid size, legalization cadence and \
+                 the LB/UB stop gap (5 = standard).  Overrides --mode.")
+
 let scale_arg =
   Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Shrink factor for quick runs (0,1].")
 
@@ -520,7 +543,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Place a circuit and report metrics")
     Term.(const cmd_run $ circuit $ profile_arg $ scale_arg $ seed_arg $ flow
-          $ mode $ timing $ verbose $ output $ svg $ domains $ trace)
+          $ mode $ effort_arg $ timing $ verbose $ output $ svg $ domains
+          $ trace)
 
 let profiles_cmd =
   Cmd.v (Cmd.info "profiles" ~doc:"List benchmark profiles")
@@ -657,8 +681,8 @@ let submit_cmd =
              server; prints a JSON line with the job id (and, with \
              --wait, the result)")
     Term.(const cmd_submit $ to_arg $ circuit $ profile_arg $ scale_arg
-          $ seed_arg $ mode_arg $ timing $ priority $ deadline $ max_steps
-          $ wait)
+          $ seed_arg $ mode_arg $ effort_arg $ timing $ priority $ deadline
+          $ max_steps $ wait)
 
 let watch_cmd =
   let from_ev =

@@ -9,5 +9,10 @@ let should_stop c p ?(multiplier = 4.) ?nx ?ny () =
   let avg = Netlist.Circuit.average_cell_area c in
   (* No movable area means nothing can spread: stop immediately rather
      than compare against a zero threshold forever (empty netlists and
-     all-fixed circuits must terminate). *)
-  avg <= 0. || largest_empty_square_area c p ?nx ?ny () <= multiplier *. avg
+     all-fixed circuits must terminate).  A single movable cell is just
+     as degenerate — there is no overlap to resolve, and the empty-square
+     measure stays huge forever — so the criterion is satisfied as soon
+     as the cell sits at its quadratic optimum. *)
+  avg <= 0.
+  || Netlist.Circuit.num_movable c < 2
+  || largest_empty_square_area c p ?nx ?ny () <= multiplier *. avg

@@ -16,8 +16,9 @@ val largest_empty_square_area :
 
 (** [should_stop circuit placement ?multiplier ()] is true when the
     largest empty square is at most [multiplier] (default 4.0, the
-    paper's value) times the average movable-cell area.  Circuits with
-    no movable cells stop immediately (there is nothing to spread). *)
+    paper's value) times the average movable-cell area.  Degenerate
+    circuits — no movable cells, or a single movable cell — stop
+    immediately (there is nothing to spread). *)
 val should_stop :
   Netlist.Circuit.t ->
   Netlist.Placement.t ->

@@ -9,9 +9,10 @@ type t = {
   ey : float array;
   net_weights : float array;
   criticality : float array option;
+  controller : Kraftwerk.Controller.t;
 }
 
-let version = 1
+let version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Digests                                                              *)
@@ -38,12 +39,16 @@ let config_fingerprint (c : Kraftwerk.Config.t) =
     | None -> "auto"
   in
   Printf.sprintf
-    "k=%h;max_iter=%d;linearize=%b;cap=%d;anchor=%h;hold=%h;decay=%h;stop=%h;grid=%s;solver=%s;model=%s;tol=%h;tol_loose=%h"
+    "k=%h;max_iter=%d;linearize=%b;cap=%d;anchor=%h;hold=%h;decay=%h;stop=%h;grid=%s;solver=%s;model=%s;tol=%h;tol_loose=%h;gscale=%h;gap=%h;stall=%d;leg=%d;pen0=%h;penu=%h;penmax=%h"
     c.Kraftwerk.Config.k_param c.Kraftwerk.Config.max_iterations
     c.Kraftwerk.Config.linearize c.Kraftwerk.Config.clique_cap
     c.Kraftwerk.Config.anchor_weight c.Kraftwerk.Config.hold_weight
     c.Kraftwerk.Config.force_decay c.Kraftwerk.Config.stop_multiplier grid
     solver net_model c.Kraftwerk.Config.cg_tol c.Kraftwerk.Config.cg_tol_loose
+    c.Kraftwerk.Config.grid_scale c.Kraftwerk.Config.stop_gap
+    c.Kraftwerk.Config.stop_stall c.Kraftwerk.Config.legalize_every
+    c.Kraftwerk.Config.penalty_initial c.Kraftwerk.Config.penalty_update
+    c.Kraftwerk.Config.penalty_max
 
 let config_digest c = Digest.to_hex (Digest.string (config_fingerprint c))
 
@@ -72,6 +77,7 @@ let of_state ?criticality (s : Kraftwerk.Placer.state) =
     ey = Array.copy s.Kraftwerk.Placer.ey;
     net_weights = Array.copy s.Kraftwerk.Placer.net_weights;
     criticality = Option.map Array.copy criticality;
+    controller = Kraftwerk.Controller.copy s.Kraftwerk.Placer.controller;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -80,6 +86,30 @@ let of_state ?criticality (s : Kraftwerk.Placer.state) =
 open Obs.Json
 
 let farray a = Arr (Array.to_list a |> List.map (fun v -> Num v))
+
+(* Non-finite envelope fields (nan before the first UB probe, infinite
+   gap_min) have no JSON literal; Null encodes them and the parser maps
+   Null back to the matching sentinel. *)
+let fin v = if Float.is_finite v then Num v else Null
+
+let controller_to_json (c : Kraftwerk.Controller.t) =
+  Obj
+    [
+      ("penalty", Num c.Kraftwerk.Controller.penalty);
+      ( "since_legalize",
+        Num (float_of_int c.Kraftwerk.Controller.since_legalize) );
+      ("lb", Num c.Kraftwerk.Controller.lb);
+      ("ub", fin c.Kraftwerk.Controller.ub);
+      ("ub_min", fin c.Kraftwerk.Controller.ub_min);
+      ("gap", fin c.Kraftwerk.Controller.gap);
+      ("gap_min", fin c.Kraftwerk.Controller.gap_min);
+      ("ub_evals", Num (float_of_int c.Kraftwerk.Controller.ub_evals));
+      ("stall", Num (float_of_int c.Kraftwerk.Controller.stall));
+      ( "stop_reason",
+        match c.Kraftwerk.Controller.stop_reason with
+        | Some r -> Str (Kraftwerk.Controller.reason_to_string r)
+        | None -> Null );
+    ]
 
 let to_json t =
   Obj
@@ -96,6 +126,7 @@ let to_json t =
       ("net_weights", farray t.net_weights);
       ( "criticality",
         match t.criticality with Some a -> farray a | None -> Null );
+      ("controller", controller_to_json t.controller);
     ]
 
 let ( let* ) = Result.bind
@@ -114,6 +145,44 @@ let field_int v key =
   match member key v with
   | Some (Num n) when Float.is_integer n -> Ok (int_of_float n)
   | _ -> Error (Printf.sprintf "checkpoint: field %S is not an integer" key)
+
+let field_float v key =
+  match member key v with
+  | Some (Num n) -> Ok n
+  | _ -> Error (Printf.sprintf "checkpoint: field %S is not a number" key)
+
+(* Inverse of [fin]: Null restores the field's non-finite sentinel. *)
+let field_fin v key ~default =
+  match member key v with
+  | Some (Num n) -> Ok n
+  | Some Null -> Ok default
+  | _ -> Error (Printf.sprintf "checkpoint: field %S is not a number" key)
+
+let controller_of_json v =
+  match member "controller" v with
+  | Some c ->
+    let* penalty = field_float c "penalty" in
+    let* since_legalize = field_int c "since_legalize" in
+    let* lb = field_float c "lb" in
+    let* ub = field_fin c "ub" ~default:Float.nan in
+    let* ub_min = field_fin c "ub_min" ~default:Float.infinity in
+    let* gap = field_fin c "gap" ~default:Float.nan in
+    let* gap_min = field_fin c "gap_min" ~default:Float.infinity in
+    let* ub_evals = field_int c "ub_evals" in
+    let* stall = field_int c "stall" in
+    let* stop_reason =
+      match member "stop_reason" c with
+      | Some Null | None -> Ok None
+      | Some (Str s) -> (
+        match Kraftwerk.Controller.reason_of_string s with
+        | Some r -> Ok (Some r)
+        | None -> Error (Printf.sprintf "checkpoint: unknown stop reason %S" s))
+      | Some _ -> Error "checkpoint: field \"stop_reason\" is not a string"
+    in
+    Ok
+      (Kraftwerk.Controller.restore ~penalty ~since_legalize ~lb ~ub ~ub_min
+         ~gap ~gap_min ~ub_evals ~stall ~stop_reason)
+  | None -> Error "checkpoint: missing field \"controller\""
 
 let field_farray v key =
   let* f = field v key in
@@ -152,6 +221,7 @@ let of_json v =
         | Some (Arr _) -> Result.map Option.some (field_farray v "criticality")
         | Some _ -> Error "checkpoint: field \"criticality\" is not an array"
       in
+      let* controller = controller_of_json v in
       if Array.length x <> Array.length y then
         Error "checkpoint: x/y length mismatch"
       else if Array.length ex <> Array.length ey then
@@ -169,6 +239,7 @@ let of_json v =
             ey;
             net_weights;
             criticality;
+            controller;
           }
 
 let save path t =
@@ -205,7 +276,8 @@ let restore t config circuit =
     match
       Kraftwerk.Placer.restore config circuit
         ~placement:{ Netlist.Placement.x = t.x; y = t.y }
-        ~ex:t.ex ~ey:t.ey ~net_weights:t.net_weights ~iteration:t.iteration
+        ~ex:t.ex ~ey:t.ey ~net_weights:t.net_weights ~controller:t.controller
+        ~iteration:t.iteration ()
     with
     | state -> Ok state
     | exception Invalid_argument msg -> Error ("checkpoint: " ^ msg)

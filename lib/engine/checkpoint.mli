@@ -25,6 +25,11 @@ type t = {
   ey : float array;
   net_weights : float array;
   criticality : float array option;  (** timing-driven runs only *)
+  controller : Kraftwerk.Controller.t;
+      (** convergence-controller state (penalty, LB/UB envelope).  The
+          penalty is saved verbatim — recomputing it from the iteration
+          count would differ in the last ulp and break bitwise resume
+          (version ≥ 2). *)
 }
 
 val version : int

@@ -5,6 +5,7 @@ type start = Fresh | Resume of string | Warm of string
 type spec = {
   source : Source.t;
   mode : mode;
+  effort : int option;
   timing : bool;
   priority : int;
   deadline : float option;
@@ -16,12 +17,13 @@ type spec = {
   trace : string option;
 }
 
-let spec ~source ?(mode = Standard) ?(timing = false) ?(priority = 0) ?deadline
-    ?domains ?max_steps ?(start = Fresh) ?checkpoint ?(checkpoint_every = 25)
-    ?trace () =
+let spec ~source ?(mode = Standard) ?effort ?(timing = false) ?(priority = 0)
+    ?deadline ?domains ?max_steps ?(start = Fresh) ?checkpoint
+    ?(checkpoint_every = 25) ?trace () =
   {
     source;
     mode;
+    effort;
     timing;
     priority;
     deadline;
@@ -80,6 +82,13 @@ let config_of_mode = function
   | Standard -> Kraftwerk.Config.standard
   | Fast -> Kraftwerk.Config.fast
 
+(* An explicit effort preset wins over the mode; the mode stays the
+   fallback so pre-effort clients keep their exact semantics. *)
+let config_of_spec s =
+  match s.effort with
+  | Some e -> Kraftwerk.Config.effort e
+  | None -> config_of_mode s.mode
+
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                 *)
 
@@ -97,6 +106,7 @@ let spec_to_json s =
     (source_fields
     @ [
         ("mode", Str (mode_to_string s.mode));
+        ("effort", opt int_ s.effort);
         ("timing", Bool s.timing);
         ("priority", int_ s.priority);
         ("deadline_s", opt num s.deadline);
@@ -145,6 +155,12 @@ let spec_of_json v =
     | Some Null | None -> Ok false
     | Some _ -> Error "job: field \"timing\" is not a bool"
   in
+  let* effort = field_opt_int v "effort" in
+  let* () =
+    match effort with
+    | Some e when e < 1 || e > 9 -> Error "job: effort must be in 1..9"
+    | _ -> Ok ()
+  in
   let* priority = field_opt_int v "priority" in
   let* deadline = field_opt_num v "deadline_s" in
   let* domains = field_opt_int v "domains" in
@@ -180,6 +196,7 @@ let spec_of_json v =
     {
       source;
       mode;
+      effort;
       timing;
       priority = Option.value priority ~default:0;
       deadline;

@@ -26,6 +26,10 @@ type start = Fresh | Resume of string | Warm of string
 type spec = {
   source : Source.t;
   mode : mode;
+  effort : int option;
+      (** quality-vs-latency preset 1..9 ({!Kraftwerk.Config.effort});
+          when set it selects the full placer configuration and the
+          [mode] is ignored *)
   timing : bool;  (** timing-driven net reweighting each transformation *)
   priority : int;  (** higher runs first; FIFO within a priority *)
   deadline : float option;
@@ -52,6 +56,7 @@ type spec = {
 val spec :
   source:Source.t ->
   ?mode:mode ->
+  ?effort:int ->
   ?timing:bool ->
   ?priority:int ->
   ?deadline:float ->
@@ -99,6 +104,11 @@ type result = {
 val mode_to_string : mode -> string
 
 val config_of_mode : mode -> Kraftwerk.Config.t
+
+(** [config_of_spec spec] is the placer configuration the spec selects:
+    {!Kraftwerk.Config.effort} when [effort] is set, otherwise
+    {!config_of_mode}. *)
+val config_of_spec : spec -> Kraftwerk.Config.t
 
 val spec_to_json : spec -> Obs.Json.t
 

@@ -241,8 +241,13 @@ let validate_spec (spec : Job.spec) =
       if Sys.file_exists file then Ok ()
       else Error (Printf.sprintf "spec: no such checkpoint %s" file)
   in
-  match spec.Job.max_steps with
-  | Some n when n < 0 -> Error "spec: max_steps must be non-negative"
+  let* () =
+    match spec.Job.max_steps with
+    | Some n when n < 0 -> Error "spec: max_steps must be non-negative"
+    | _ -> Ok ()
+  in
+  match spec.Job.effort with
+  | Some e when e < 1 || e > 9 -> Error "spec: effort must be in 1..9"
   | _ -> Ok ()
 
 (* Materialise a spec into live placer state.  Bad sources and
@@ -252,7 +257,7 @@ let start_running (spec : Job.spec) =
   let* circuit, p0 = Source.load spec.Job.source in
   (* The scheduler owns the pool; the config must not repartition it. *)
   let config =
-    { (Job.config_of_mode spec.Job.mode) with Kraftwerk.Config.domains = None }
+    { (Job.config_of_spec spec) with Kraftwerk.Config.domains = None }
   in
   let* state, crit =
     match spec.Job.start with
@@ -351,6 +356,9 @@ let close_trace run ~(result : Job.result) =
         final_hpwl = result.Job.hpwl;
         final_overlap = result.Job.overlap;
         wall_time = result.Job.wall_s;
+        stop_reason =
+          Option.map Kraftwerk.Controller.reason_to_string
+            (Kraftwerk.Placer.stop_reason run.state);
         counters = Obs.Registry.snapshot ();
       }
   | None, _ -> ());
@@ -486,8 +494,11 @@ let turn_body t entry run ~set_lanes =
   let cancelled = with_lock t (fun () -> entry.cancel_requested) in
   if cancelled || deadline_expired then
     finish_degraded t entry run ~deadline_expired
-  else if run.state.Kraftwerk.Placer.iteration >= run.max_steps then
+  else if run.state.Kraftwerk.Placer.iteration >= run.max_steps then begin
+    Kraftwerk.Controller.record_stop
+      run.state.Kraftwerk.Placer.controller Kraftwerk.Controller.Max_steps;
     finish_done t entry run ~converged:false
+  end
   else if Kraftwerk.Placer.converged run.state then
     finish_done t entry run ~converged:true
   else begin

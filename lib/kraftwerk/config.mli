@@ -50,6 +50,29 @@ type t = {
           density forces, so solving them to 1e-8 buys nothing; the
           tolerance tightens quadratically as the overflow falls.
           Set equal to [cg_tol] to disable the schedule. *)
+  grid_scale : float;
+      (** multiplier on the automatic density-grid bin counts (ignored
+          when [grid] pins them explicitly).  Coarser grids (< 1) smooth
+          the density field and speed up low-effort runs; finer grids
+          (> 1) sharpen it for high-effort runs. *)
+  stop_gap : float;
+      (** relative LB/UB gap [(ub - lb) / ub] at which the convergence
+          controller stops the loop (requires at least two legalized
+          snapshots).  Non-positive disables the gap-target criterion. *)
+  stop_stall : int;
+      (** stop once this many consecutive UB probes fail to improve the
+          best legalized snapshot by more than
+          {!Controller.stall_tolerance} — the envelope has stalled and
+          further iterations no longer buy legalized quality.
+          Non-positive disables the stall criterion. *)
+  legalize_every : int;
+      (** iterations between legalized upper-bound snapshots; 0 disables
+          the UB probe (and with it the gap criterion). *)
+  penalty_initial : float;
+      (** starting multiplier of the density force *)
+  penalty_update : float;
+      (** multiplicative growth of the penalty each transformation *)
+  penalty_max : float;  (** saturation value of the penalty schedule *)
 }
 
 (** [standard] is the configuration behind the Table-1 "Our Approach"
@@ -62,5 +85,15 @@ val standard : t
     transformations, reproducing the paper's §6.1 fast mode
     (its K = 1.0). *)
 val fast : t
+
+(** [effort e] with [e] in 1..9 bundles CG tolerances, density-grid
+    resolution, legalization cadence, stop gap/stall patience and penalty
+    ramp into a single quality-vs-latency knob.  [effort 5 = standard];
+    effort 1 ramps the density penalty for fast spreading and stops on a
+    20 % envelope gap (or the first stalled probe) after at most 100
+    transformations, effort 9 keeps the calibrated weight and demands a
+    3 % gap or five stalled probes on a finer grid.
+    @raise Invalid_argument outside 1..9. *)
+val effort : int -> t
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+type reason = Gap | Density | Max_steps
+
+let reason_to_string = function
+  | Gap -> "gap"
+  | Density -> "density"
+  | Max_steps -> "max_steps"
+
+let reason_of_string = function
+  | "gap" -> Some Gap
+  | "density" -> Some Density
+  | "max_steps" -> Some Max_steps
+  | _ -> None
+
+(* A UB probe only counts as envelope progress when it beats the best
+   legalized snapshot so far by at least this relative margin; anything
+   smaller is oscillation noise and feeds the stall counter instead. *)
+let stall_tolerance = 1e-3
+
+type t = {
+  mutable penalty : float;
+  mutable since_legalize : int;
+  mutable lb : float;
+  mutable ub : float;
+  mutable ub_min : float;
+  mutable gap : float;
+  mutable gap_min : float;
+  mutable ub_evals : int;
+  mutable stall : int;
+  mutable stop_reason : reason option;
+}
+
+let create (config : Config.t) =
+  {
+    penalty = config.Config.penalty_initial;
+    since_legalize = 0;
+    lb = 0.;
+    ub = Float.nan;
+    ub_min = Float.infinity;
+    gap = Float.nan;
+    gap_min = Float.infinity;
+    ub_evals = 0;
+    stall = 0;
+    stop_reason = None;
+  }
+
+let copy t = { t with penalty = t.penalty }
+
+(* Resuming a checkpoint must reproduce the exact multiplier the
+   uninterrupted run would carry: the penalty is restored verbatim, never
+   recomputed as [initial *. update ** iterations] (pow and the iterative
+   product differ in the last ulp). *)
+let restore ~penalty ~since_legalize ~lb ~ub ~ub_min ~gap ~gap_min ~ub_evals
+    ~stall ~stop_reason =
+  {
+    penalty;
+    since_legalize;
+    lb;
+    ub;
+    ub_min;
+    gap;
+    gap_min;
+    ub_evals;
+    stall;
+    stop_reason;
+  }
+
+let observe_lb t hpwl = t.lb <- hpwl
+
+let advance_penalty t (config : Config.t) =
+  t.penalty <-
+    Float.min config.Config.penalty_max
+      (t.penalty *. config.Config.penalty_update)
+
+let legalization_due t (config : Config.t) =
+  config.Config.legalize_every > 0
+  && t.since_legalize + 1 >= config.Config.legalize_every
+
+let observe_ub t ~lb ~ub =
+  t.ub <- ub;
+  t.since_legalize <- 0;
+  t.ub_evals <- t.ub_evals + 1;
+  let gap = if ub > 0. then (ub -. lb) /. ub else 0. in
+  t.gap <- gap;
+  if gap < t.gap_min then t.gap_min <- gap;
+  if ub < t.ub_min *. (1. -. stall_tolerance) then begin
+    t.ub_min <- ub;
+    t.stall <- 0
+  end
+  else t.stall <- t.stall + 1
+
+let tick_legalize t = t.since_legalize <- t.since_legalize + 1
+
+(* The envelope criterion mirrors Density.Stop on degenerate circuits: a
+   single movable cell reaches its quadratic optimum in one
+   transformation, so the gap is declared closed at iteration 1 instead
+   of grinding through the full schedule.
+
+   Otherwise two tests close the envelope, either sufficing:
+   - target met: the best relative LB/UB gap dipped under [stop_gap];
+   - stalled: [stop_stall] consecutive probes failed to tighten the best
+     legalized snapshot by more than [stall_tolerance], i.e. further
+     iterations are no longer buying legalized quality. *)
+let gap_converged t (config : Config.t) ~n_movable ~iteration =
+  if n_movable < 2 then iteration >= 1
+  else
+    t.ub_evals >= 2
+    && ((config.Config.stop_gap > 0. && t.gap_min <= config.Config.stop_gap)
+       || (config.Config.stop_stall > 0 && t.stall >= config.Config.stop_stall)
+       )
+
+let record_stop t reason =
+  match t.stop_reason with
+  | Some _ -> ()
+  | None -> t.stop_reason <- Some reason

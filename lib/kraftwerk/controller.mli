@@ -1,0 +1,94 @@
+(** Convergence controller for the placement loop.
+
+    Tracks the LB/UB HPWL envelope — the lower bound is the wirelength of
+    the overlapping quadratic solution, the upper bound the wirelength of
+    a cheap legalized snapshot taken every {!Config.legalize_every}
+    iterations — and drives the multiplicative penalty schedule that
+    scales the density force.  The loop stops once the relative gap
+    [(ub - lb) / ub] falls to {!Config.stop_gap} or the envelope stalls
+    for {!Config.stop_stall} consecutive probes, or when the paper's
+    empty-square criterion ({!Density.Stop}) fires, whichever comes
+    first. *)
+
+type reason = Gap | Density | Max_steps
+
+val reason_to_string : reason -> string
+val reason_of_string : string -> reason option
+
+(** Minimum relative improvement of the best legalized snapshot for a UB
+    probe to reset the stall counter. *)
+val stall_tolerance : float
+
+type t = {
+  mutable penalty : float;  (** current density-force multiplier *)
+  mutable since_legalize : int;
+      (** iterations since the last UB snapshot *)
+  mutable lb : float;  (** latest quadratic-solution HPWL *)
+  mutable ub : float;  (** latest legalized HPWL; nan before the first *)
+  mutable ub_min : float;
+      (** best legalized HPWL that beat the previous best by at least
+          {!stall_tolerance}; infinity before the first *)
+  mutable gap : float;  (** latest relative gap; nan before the first *)
+  mutable gap_min : float;  (** running minimum of [gap] *)
+  mutable ub_evals : int;  (** number of UB snapshots taken *)
+  mutable stall : int;
+      (** consecutive probes without envelope progress *)
+  mutable stop_reason : reason option;
+      (** first stop criterion that fired, if any *)
+}
+
+(** [create config] is a fresh controller with the penalty at
+    {!Config.penalty_initial} and no envelope history. *)
+val create : Config.t -> t
+
+(** [copy t] is an independent mutable copy. *)
+val copy : t -> t
+
+(** [restore ...] rebuilds a controller verbatim from checkpointed
+    fields.  The penalty must round-trip bitwise — it is never recomputed
+    from the iteration count. *)
+val restore :
+  penalty:float ->
+  since_legalize:int ->
+  lb:float ->
+  ub:float ->
+  ub_min:float ->
+  gap:float ->
+  gap_min:float ->
+  ub_evals:int ->
+  stall:int ->
+  stop_reason:reason option ->
+  t
+
+(** [observe_lb t hpwl] records the quadratic-solution HPWL of the
+    current iteration. *)
+val observe_lb : t -> float -> unit
+
+(** [advance_penalty t config] applies one multiplicative step of the
+    penalty schedule, saturating at {!Config.penalty_max}. *)
+val advance_penalty : t -> Config.t -> unit
+
+(** [legalization_due t config] is true when the iteration now being
+    finished should take a UB snapshot. *)
+val legalization_due : t -> Config.t -> bool
+
+(** [observe_ub t ~lb ~ub] records a legalized snapshot: updates the
+    envelope, resets the cadence counter, folds the relative gap into the
+    running minimum and advances (or resets) the stall counter. *)
+val observe_ub : t -> lb:float -> ub:float -> unit
+
+(** [tick_legalize t] advances the cadence counter for an iteration that
+    took no UB snapshot. *)
+val tick_legalize : t -> unit
+
+(** [gap_converged t config ~n_movable ~iteration] is true when the
+    envelope criterion is satisfied — at least two UB snapshots taken
+    and either the running-minimum gap is at most {!Config.stop_gap}, or
+    {!Config.stop_stall} consecutive probes stalled — or, for degenerate
+    circuits with fewer than two movable cells, as soon as one
+    transformation has run (agreeing with {!Density.Stop.should_stop}). *)
+val gap_converged : t -> Config.t -> n_movable:int -> iteration:int -> bool
+
+(** [record_stop t reason] records the first stop criterion that fired;
+    later calls are ignored. *)
+val record_stop : t -> reason -> unit

@@ -8,6 +8,7 @@ type state = {
   ey : float array;
   net_weights : float array;
   assembly : Qp.System.assembly;
+  controller : Controller.t;
   mutable iteration : int;
 }
 
@@ -17,6 +18,9 @@ type step_report = {
   empty_square_area : float;
   force_scale : float;
   cg_iterations : int;
+  penalty : float;
+  ub_hpwl : float option;
+  gap : float option;
 }
 
 type hooks = {
@@ -49,10 +53,12 @@ let init config circuit placement =
     assembly =
       Qp.System.assembly circuit ~clique_cap:config.Config.clique_cap
         ~model:config.Config.net_model ();
+    controller = Controller.create config;
     iteration = 0;
   }
 
-let restore config circuit ~placement ~ex ~ey ~net_weights ~iteration =
+let restore config circuit ~placement ~ex ~ey ~net_weights ?controller
+    ~iteration () =
   (match config.Config.domains with
   | Some d -> Numeric.Parallel.set_num_domains d
   | None -> ());
@@ -77,19 +83,41 @@ let restore config circuit ~placement ~ex ~ey ~net_weights ~iteration =
     assembly =
       Qp.System.assembly circuit ~clique_cap:config.Config.clique_cap
         ~model:config.Config.net_model ();
+    controller =
+      (match controller with
+      | Some c -> Controller.copy c
+      | None -> Controller.create config);
     iteration;
   }
 
 let grid_dims state =
   match state.config.Config.grid with
   | Some (nx, ny) -> (nx, ny)
-  | None -> Density.Density_map.auto_bins state.circuit
+  | None ->
+    let nx, ny = Density.Density_map.auto_bins state.circuit in
+    let s = state.config.Config.grid_scale in
+    if s = 1.0 then (nx, ny)
+    else
+      let scaled n =
+        Stdlib.max 4 (int_of_float (Float.round (s *. float_of_int n)))
+      in
+      (scaled nx, scaled ny)
 
 let edge_scale state =
   if state.config.Config.linearize then
     Qp.Weights.linearize
       ~eps:(Qp.Weights.default_eps state.circuit.Netlist.Circuit.region)
   else Qp.Weights.quadratic
+
+(* Upper bound of the LB/UB envelope: wire length of a cheap legalized
+   snapshot.  Tetris copies the placement internally, so probing never
+   perturbs the trajectory. *)
+let ub_snapshot state =
+  match Legalize.Tetris.legalize state.circuit state.placement () with
+  | Ok r ->
+    Some
+      (Metrics.Wirelength.hpwl state.circuit r.Legalize.Tetris.placement)
+  | Error _ -> None
 
 (* Magnitude statistics of the additional-force increment applied this
    transformation (after the reference-weight scaling). *)
@@ -155,12 +183,17 @@ let transform ?(hooks = no_hooks) state =
           ())
   in
   let ref_weight = Qp.System.mean_edge_weight system in
+  (* The density force is scaled by the controller's penalty, the
+     multiplicative schedule replacing a static weight: spreading
+     pressure ramps up as the run progresses. *)
+  let penalty = state.controller.Controller.penalty in
+  let drive = penalty *. ref_weight in
   let beta = cfg.Config.force_decay in
   for v = 0 to state.n_movable - 1 do
     state.ex.(v) <-
-      (beta *. state.ex.(v)) +. (ref_weight *. forces.Density.Forces.fx.(v));
+      (beta *. state.ex.(v)) +. (drive *. forces.Density.Forces.fx.(v));
     state.ey.(v) <-
-      (beta *. state.ey.(v)) +. (ref_weight *. forces.Density.Forces.fy.(v))
+      (beta *. state.ey.(v)) +. (drive *. forces.Density.Forces.fy.(v))
   done;
   (* Adaptive CG tolerance: while the density overflow is high the
      solution target is still moving, so a loose solve is enough; the
@@ -180,23 +213,48 @@ let transform ?(hooks = no_hooks) state =
   in
   Netlist.Placement.clamp_to_region state.circuit state.placement;
   state.iteration <- state.iteration + 1;
-  let report =
+  let hpwl, empty_square_area =
     timed "metrics" (fun () ->
-        {
-          step = state.iteration;
-          hpwl = Metrics.Wirelength.hpwl state.circuit state.placement;
-          empty_square_area =
-            Density.Stop.largest_empty_square_area state.circuit
-              state.placement ~nx ~ny ();
-          force_scale = forces.Density.Forces.scale *. ref_weight;
-          cg_iterations = sx.Numeric.Cg.iterations + sy.Numeric.Cg.iterations;
-        })
+        ( Metrics.Wirelength.hpwl state.circuit state.placement,
+          Density.Stop.largest_empty_square_area state.circuit state.placement
+            ~nx ~ny () ))
+  in
+  let ctrl = state.controller in
+  Controller.observe_lb ctrl hpwl;
+  let ub, gap =
+    if Controller.legalization_due ctrl cfg then
+      match timed "legalize" (fun () -> ub_snapshot state) with
+      | Some ub ->
+        Controller.observe_ub ctrl ~lb:hpwl ~ub;
+        (Some ub, Some ctrl.Controller.gap)
+      | None ->
+        (* An unlegalizable snapshot carries no envelope information;
+           reset the cadence rather than re-probing every iteration. *)
+        ctrl.Controller.since_legalize <- 0;
+        (None, None)
+    else begin
+      Controller.tick_legalize ctrl;
+      (None, None)
+    end
+  in
+  Controller.advance_penalty ctrl cfg;
+  let report =
+    {
+      step = state.iteration;
+      hpwl;
+      empty_square_area;
+      force_scale = forces.Density.Forces.scale *. drive;
+      cg_iterations = sx.Numeric.Cg.iterations + sy.Numeric.Cg.iterations;
+      penalty;
+      ub_hpwl = ub;
+      gap;
+    }
   in
   if collecting then begin
     let cache_hits1, cache_misses1 = Numeric.Poisson.kernel_cache_stats () in
     let pool_tasks1 = (Obs.Registry.get "pool/tasks").Obs.Stat.total in
     let max_force, mean_force =
-      force_stats ~ref_weight forces state.n_movable
+      force_stats ~ref_weight:drive forces state.n_movable
     in
     let displacement =
       match prev with
@@ -227,6 +285,10 @@ let transform ?(hooks = no_hooks) state =
         cg_tolerance = tol;
         domains = Numeric.Parallel.num_domains ();
         pool_tasks = int_of_float (pool_tasks1 -. pool_tasks0);
+        penalty;
+        lb_hpwl = report.hpwl;
+        ub_hpwl = report.ub_hpwl;
+        gap = report.gap;
         phases = List.rev !phases;
       }
   end;
@@ -234,17 +296,57 @@ let transform ?(hooks = no_hooks) state =
   report
 
 let converged state =
-  let nx, ny = grid_dims state in
-  Density.Stop.should_stop state.circuit state.placement
-    ~multiplier:state.config.Config.stop_multiplier ~nx ~ny ()
+  let ctrl = state.controller in
+  if state.n_movable = 0 then begin
+    Controller.record_stop ctrl Controller.Density;
+    true
+  end
+  else if state.n_movable < 2 then
+    (* Degenerate circuit: one transformation puts the lone cell at its
+       quadratic optimum; stop at iteration 1, in agreement with both
+       criteria, instead of running the full schedule. *)
+    state.iteration >= 1
+    && begin
+         Controller.record_stop ctrl Controller.Density;
+         true
+       end
+  else begin
+    let nx, ny = grid_dims state in
+    if
+      Density.Stop.should_stop state.circuit state.placement
+        ~multiplier:state.config.Config.stop_multiplier ~nx ~ny ()
+    then begin
+      Controller.record_stop ctrl Controller.Density;
+      true
+    end
+    else if
+      Controller.gap_converged ctrl state.config ~n_movable:state.n_movable
+        ~iteration:state.iteration
+    then begin
+      Controller.record_stop ctrl Controller.Gap;
+      true
+    end
+    else false
+  end
+
+let stop_reason state = state.controller.Controller.stop_reason
 
 let continue_run ?(hooks = no_hooks) state ~max_steps =
   let reports = ref [] in
   let steps = ref 0 in
-  while !steps < max_steps && not (converged state) do
-    reports := transform ~hooks state :: !reports;
-    incr steps
+  let stopped = ref false in
+  while (not !stopped) && !steps < max_steps do
+    if converged state then stopped := true
+    else begin
+      reports := transform ~hooks state :: !reports;
+      incr steps
+    end
   done;
+  (* Only the global iteration bound counts as a max-steps stop; the
+     small incremental budgets of ECO / timing-driven passes are not a
+     verdict on convergence. *)
+  if (not !stopped) && state.iteration >= state.config.Config.max_iterations
+  then Controller.record_stop state.controller Controller.Max_steps;
   List.rev !reports
 
 let run ?(hooks = no_hooks) config circuit placement =

@@ -18,6 +18,8 @@ type state = {
   assembly : Qp.System.assembly;
       (** cached QP assembly (symbolic sparsity pattern, scratch and
           preconditioner storage) reused by every transformation *)
+  controller : Controller.t;
+      (** convergence controller: LB/UB envelope and penalty schedule *)
   mutable iteration : int;
 }
 
@@ -28,6 +30,12 @@ type step_report = {
   empty_square_area : float;  (** stopping-criterion measure *)
   force_scale : float;  (** the k applied this transformation *)
   cg_iterations : int;  (** x- and y-solve iterations combined *)
+  penalty : float;  (** density-force multiplier used this transformation *)
+  ub_hpwl : float option;
+      (** legalized-snapshot HPWL when this iteration probed the upper
+          bound (every {!Config.t.legalize_every} iterations) *)
+  gap : float option;
+      (** relative LB/UB gap at this iteration's probe, if taken *)
 }
 
 (** Optional per-transformation hooks. *)
@@ -55,8 +63,11 @@ val init : Config.t -> Netlist.Circuit.t -> Netlist.Placement.t -> state
     [net_weights] and [iteration] restored bitwise, the subsequent
     trajectory is bitwise-identical to the uninterrupted run — the QP
     assembly and kernel caches rebuilt here are value-transparent
-    ({!Qp.System.rebuild} documents refill ≡ finalize).  All inputs are
-    copied.  Raises [Invalid_argument] on length mismatches. *)
+    ({!Qp.System.rebuild} documents refill ≡ finalize).  The optional
+    [controller] restores the convergence controller (penalty, envelope
+    history) verbatim; omitting it starts a fresh schedule, which is only
+    bitwise-faithful for iteration 0.  All inputs are copied.  Raises
+    [Invalid_argument] on length mismatches. *)
 val restore :
   Config.t ->
   Netlist.Circuit.t ->
@@ -64,7 +75,9 @@ val restore :
   ex:float array ->
   ey:float array ->
   net_weights:float array ->
+  ?controller:Controller.t ->
   iteration:int ->
+  unit ->
   state
 
 (** [transform ?hooks state] performs one placement transformation
@@ -84,8 +97,18 @@ val restore :
     are computed. *)
 val transform : ?hooks:hooks -> state -> step_report
 
-(** [converged state] applies the §4.2 stopping criterion. *)
+(** [converged state] is true when any stop criterion is satisfied: the
+    §4.2 empty-square criterion ({!Density.Stop}), the controller's
+    relative LB/UB gap falling to {!Config.t.stop_gap}, or — for
+    degenerate circuits with fewer than two movable cells — one
+    transformation having run.  The first criterion to fire is recorded
+    in the controller as the {!stop_reason}. *)
 val converged : state -> bool
+
+(** [stop_reason state] is the first stop criterion that fired, if the
+    run has stopped early (or exhausted {!Config.t.max_iterations} under
+    {!continue_run}). *)
+val stop_reason : state -> Controller.reason option
 
 (** [run ?hooks config circuit placement] is the complete algorithm:
     initialise, transform until {!converged} or the iteration bound, and

@@ -19,6 +19,10 @@ type iteration = {
   cg_tolerance : float;
   domains : int;
   pool_tasks : int;
+  penalty : float;
+  lb_hpwl : float;
+  ub_hpwl : float option;
+  gap : float option;
   phases : (string * float) list;
 }
 
@@ -28,14 +32,18 @@ type summary = {
   final_hpwl : float;
   final_overlap : float;
   wall_time : float;
+  stop_reason : string option;
   counters : (string * Stat.t) list;
 }
 
 (* v2 added assembly_reused / pattern_rebuilds / cg_tolerance (cached QP
-   assembly).  v1 records are still parsed: the placer then rebuilt the
-   system from scratch every transformation at the fixed 1e-8 tolerance,
-   which is exactly what the v1 defaults below say. *)
-let schema_version = 2
+   assembly).  v3 added the convergence controller: penalty and the
+   LB/UB envelope per iteration, stop_reason in the summary.  Older
+   records are still parsed with the values the older placers actually
+   had: v2 ran a static unit density weight and never probed an upper
+   bound, v1 additionally rebuilt the system each transformation at the
+   fixed 1e-8 tolerance. *)
+let schema_version = 3
 
 let volatile_fields = [ "phases"; "domains"; "pool_tasks"; "wall_time"; "counters" ]
 
@@ -90,6 +98,11 @@ let iteration_to_json r =
       ("cg_tolerance", num r.cg_tolerance);
       ("domains", int_ r.domains);
       ("pool_tasks", int_ r.pool_tasks);
+      ("penalty", num r.penalty);
+      ("lb_hpwl", num r.lb_hpwl);
+      ( "ub_hpwl",
+        match r.ub_hpwl with Some v -> num v | None -> Json.Null );
+      ("gap", match r.gap with Some v -> num v | None -> Json.Null);
       ("phases", Json.Obj (List.map (fun (k, v) -> (k, num v)) r.phases));
     ]
 
@@ -112,6 +125,8 @@ let summary_to_json r =
       ("final_hpwl", num r.final_hpwl);
       ("final_overlap", num r.final_overlap);
       ("wall_time", num r.wall_time);
+      ( "stop_reason",
+        match r.stop_reason with Some s -> Json.Str s | None -> Json.Null );
       ("counters", Json.Obj (List.map (fun (k, s) -> (k, stat_to_json s)) r.counters));
     ]
 
@@ -142,7 +157,7 @@ let iteration_of_json obj =
   if kind <> "iteration" then Error ("not an iteration record: " ^ kind)
   else
     let* schema = field_int obj "schema" in
-    if schema <> schema_version && schema <> 1 then
+    if schema < 1 || schema > schema_version then
       Error (Printf.sprintf "unsupported schema version %d" schema)
     else
       let* step = field_int obj "step" in
@@ -177,6 +192,29 @@ let iteration_of_json obj =
       in
       let* domains = field_int obj "domains" in
       let* pool_tasks = field_int obj "pool_tasks" in
+      (* v1/v2-compat: records predate the convergence controller — the
+         density weight was the static unit multiplier, the quadratic
+         HPWL is its own lower bound and no upper bound was probed. *)
+      let* penalty = if schema < 3 then Ok 1.0 else field_num obj "penalty" in
+      let* lb_hpwl =
+        if schema < 3 then Ok hpwl else field_num obj "lb_hpwl"
+      in
+      let* ub_hpwl =
+        if schema < 3 then Ok None
+        else
+          match Json.member "ub_hpwl" obj with
+          | Some (Json.Num v) -> Ok (Some v)
+          | Some Json.Null | None -> Ok None
+          | Some _ -> Error "field \"ub_hpwl\" is not a number or null"
+      in
+      let* gap =
+        if schema < 3 then Ok None
+        else
+          match Json.member "gap" obj with
+          | Some (Json.Num v) -> Ok (Some v)
+          | Some Json.Null | None -> Ok None
+          | Some _ -> Error "field \"gap\" is not a number or null"
+      in
       let* phases =
         match Json.member "phases" obj with
         | Some (Json.Obj fields) ->
@@ -213,6 +251,10 @@ let iteration_of_json obj =
           cg_tolerance;
           domains;
           pool_tasks;
+          penalty;
+          lb_hpwl;
+          ub_hpwl;
+          gap;
           phases;
         }
 
@@ -230,6 +272,12 @@ let summary_of_json obj =
     let* final_hpwl = field_num obj "final_hpwl" in
     let* final_overlap = field_num obj "final_overlap" in
     let* wall_time = field_num obj "wall_time" in
+    let* stop_reason =
+      match Json.member "stop_reason" obj with
+      | Some (Json.Str s) -> Ok (Some s)
+      | Some Json.Null | None -> Ok None
+      | Some _ -> Error "field \"stop_reason\" is not a string or null"
+    in
     let* counters =
       match Json.member "counters" obj with
       | Some (Json.Obj fields) ->
@@ -254,4 +302,13 @@ let summary_of_json obj =
       | Some _ -> Error "field \"counters\" is not an object"
       | None -> Ok []
     in
-    Ok { iterations; converged; final_hpwl; final_overlap; wall_time; counters }
+    Ok
+      {
+        iterations;
+        converged;
+        final_hpwl;
+        final_overlap;
+        wall_time;
+        stop_reason;
+        counters;
+      }

@@ -38,23 +38,40 @@ type iteration = {
           (schema ≥ 2) *)
   domains : int;  (** domain-pool size (volatile) *)
   pool_tasks : int;  (** pool tasks executed this iteration (volatile) *)
+  penalty : float;
+      (** density-force multiplier the convergence controller applied
+          this transformation (schema ≥ 3) *)
+  lb_hpwl : float;
+      (** lower bound of the convergence envelope: HPWL of the
+          overlapping quadratic solution (schema ≥ 3) *)
+  ub_hpwl : float option;
+      (** upper bound: HPWL of the legalized snapshot, present only on
+          iterations that probed one (schema ≥ 3) *)
+  gap : float option;
+      (** relative envelope gap [(ub - lb) / ub] at this iteration's
+          probe (schema ≥ 3) *)
   phases : (string * float) list;  (** phase → seconds (volatile) *)
 }
 
 type summary = {
   iterations : int;  (** iteration records emitted before this summary *)
-  converged : bool;  (** stopped by the §4.2 criterion, not the bound *)
+  converged : bool;  (** stopped by a criterion, not the iteration bound *)
   final_hpwl : float;  (** after legalisation — the printed metric *)
   final_overlap : float;  (** {!Metrics.Overlap.overlap_ratio} equivalent *)
   wall_time : float;  (** whole-flow seconds (volatile) *)
+  stop_reason : string option;
+      (** first stop criterion that fired: "gap" | "density" |
+          "max_steps" (schema ≥ 3) *)
   counters : (string * Stat.t) list;  (** registry snapshot (volatile) *)
 }
 
 (** Version stamped into every record as ["schema"]; bump on any field
-    change.  {!iteration_of_json} also accepts v1 records (pre-dating
-    the cached QP assembly), filling the new fields with the values the
-    v1 placer actually had: no reuse, zero rebuild count, fixed 1e-8
-    tolerance. *)
+    change.  {!iteration_of_json} also accepts v1 and v2 records,
+    filling the new fields with the values the older placers actually
+    had: v2 (pre-dating the convergence controller) gets a unit penalty,
+    [lb_hpwl = hpwl] and no upper bound; v1 (pre-dating the cached QP
+    assembly) additionally gets no reuse, zero rebuild count and the
+    fixed 1e-8 tolerance. *)
 val schema_version : int
 
 (** Fields excluded from determinism comparisons: timings and

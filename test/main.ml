@@ -35,6 +35,7 @@ let () =
       ("engine", Test_engine.suite);
       ("server", Test_server.suite);
       ("convergence", Test_convergence.suite);
+      ("effort", Test_effort.suite);
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);
       ("validation", Test_validation.suite);

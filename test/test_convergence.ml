@@ -11,12 +11,13 @@
      write/parse round trip.
 
    The bounds were measured on the reference implementation: overflow
-   0.948 at the first transformation falling to 0.519, final global
-   HPWL 6886.6, 250 transformations (the standard iteration bound; the
-   §4.2 criterion does not fire on this profile).  They are generous
-   enough to survive benign numeric drift but tight enough that a placer
-   whose density-force update is stubbed out — overflow stuck near 0.95,
-   HPWL collapsed towards the unconstrained optimum (~2250) — fails. *)
+   0.948 at the first transformation falling to ~0.55, final global
+   HPWL ~7000, 150 transformations (the convergence controller's
+   envelope criterion fires at the 15th UB probe; the §4.2 empty-square
+   criterion does not fire on this profile).  They are generous enough
+   to survive benign numeric drift but tight enough that a placer whose
+   density-force update is stubbed out — overflow stuck near 0.95, HPWL
+   collapsed towards the unconstrained optimum (~2250) — fails. *)
 
 type run = {
   circuit : Netlist.Circuit.t;
@@ -72,6 +73,9 @@ let the_run : run Lazy.t =
                final_hpwl = Metrics.Wirelength.hpwl circuit p;
                final_overlap = Metrics.Overlap.overlap_ratio circuit p;
                wall_time = 0.;
+               stop_reason =
+                 Option.map Kraftwerk.Controller.reason_to_string
+                   (Kraftwerk.Placer.stop_reason state);
                counters = Obs.Registry.snapshot ();
              };
            state)
@@ -232,6 +236,70 @@ let test_assembly_caching_telemetry () =
     (Printf.sprintf "tolerance tightens (late %.2e < early %.2e)" late early)
     true (late < early)
 
+(* The controller invariant: a run never exceeds its budget, and when it
+   stops early the summary says why. *)
+let test_early_stop_reason_recorded () =
+  let r = Lazy.force the_run in
+  let n = List.length r.records in
+  Alcotest.(check bool)
+    (Printf.sprintf "iterations_run %d <= max_steps %d" n max_iterations)
+    true (n <= max_iterations);
+  match r.summary with
+  | None -> Alcotest.fail "collecting sink saw no summary"
+  | Some s ->
+    Alcotest.(check int) "summary agrees on the count" n
+      s.Obs.Telemetry.iterations;
+    if n < max_iterations then begin
+      Alcotest.(check bool) "early stop marked converged" true
+        s.Obs.Telemetry.converged;
+      match s.Obs.Telemetry.stop_reason with
+      | None -> Alcotest.fail "early stop without a recorded reason"
+      | Some reason ->
+        Alcotest.(check bool)
+          (Printf.sprintf "reason %S is a known criterion" reason)
+          true
+          (Kraftwerk.Controller.reason_of_string reason <> None)
+    end
+    else
+      (* At the budget the reason, if any, must be max_steps. *)
+      match s.Obs.Telemetry.stop_reason with
+      | Some reason -> Alcotest.(check string) "budget reason" "max_steps" reason
+      | None -> ()
+
+(* Envelope telemetry: the standard config probes a legalized UB every
+   legalize_every iterations; those records must carry a coherent
+   (lb, ub, gap) triple and the neutral default schedule keeps the
+   penalty at exactly 1. *)
+let test_envelope_telemetry () =
+  let r = Lazy.force the_run in
+  let cfg = Kraftwerk.Config.standard in
+  let probes =
+    List.filter (fun it -> it.Obs.Telemetry.ub_hpwl <> None) r.records
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least two UB probes (%d)" (List.length probes))
+    true
+    (List.length probes >= 2);
+  List.iter
+    (fun it ->
+      Alcotest.(check bool) "penalty is the calibrated static weight" true
+        (it.Obs.Telemetry.penalty = 1.0);
+      Alcotest.(check bool) "lb is the recorded quadratic hpwl" true
+        (Int64.bits_of_float it.Obs.Telemetry.lb_hpwl
+        = Int64.bits_of_float it.Obs.Telemetry.hpwl);
+      match (it.Obs.Telemetry.ub_hpwl, it.Obs.Telemetry.gap) with
+      | None, None -> ()
+      | Some ub, Some gap ->
+        Alcotest.(check bool) "lb <= ub at every probe" true
+          (it.Obs.Telemetry.lb_hpwl <= ub);
+        Alcotest.(check bool) "gap consistent with the pair" true
+          (Float.abs (gap -. ((ub -. it.Obs.Telemetry.lb_hpwl) /. ub))
+          < 1e-12);
+        Alcotest.(check bool) "probe lands on the cadence" true
+          (it.Obs.Telemetry.step mod cfg.Kraftwerk.Config.legalize_every = 0)
+      | _ -> Alcotest.fail "ub and gap must be present together")
+    r.records
+
 let test_records_schema_valid () =
   let r = Lazy.force the_run in
   List.iter
@@ -303,6 +371,10 @@ let suite =
     Alcotest.test_case "solver telemetry sane" `Slow test_solver_telemetry_sane;
     Alcotest.test_case "assembly caching telemetry" `Slow
       test_assembly_caching_telemetry;
+    Alcotest.test_case "early stop bounded and reason recorded" `Slow
+      test_early_stop_reason_recorded;
+    Alcotest.test_case "envelope telemetry coherent" `Slow
+      test_envelope_telemetry;
     Alcotest.test_case "every record is schema-valid" `Slow
       test_records_schema_valid;
     Alcotest.test_case "jsonl stream shape and summary" `Slow

@@ -185,14 +185,70 @@ let test_stop_empty_circuit () =
 let test_stop_single_cell () =
   let c = small_circuit ~n:1 () in
   let p = clumped_placement c in
-  (* One 8x8 cell in a 64x64 region: the empty-square measure is large
-     against the average cell area, so the default criterion keeps
-     going, while a huge multiplier is satisfiable — both calls must
-     terminate and disagree as expected. *)
-  Alcotest.(check bool) "single cell: keep going by default" false
+  (* One 8x8 cell in a 64x64 region: there is nothing to spread, so the
+     criterion declares convergence immediately regardless of the
+     multiplier — the degenerate rule, agreeing with the controller's
+     envelope criterion. *)
+  Alcotest.(check bool) "single cell: stop immediately" true
     (Density.Stop.should_stop c p ~nx:8 ~ny:8 ());
-  Alcotest.(check bool) "single cell: huge multiplier stops" true
-    (Density.Stop.should_stop c p ~multiplier:1e9 ~nx:8 ~ny:8 ())
+  Alcotest.(check bool) "single cell: any multiplier stops" true
+    (Density.Stop.should_stop c p ~multiplier:1e-9 ~nx:8 ~ny:8 ())
+
+(* The placer must agree with the stop criterion on degenerate circuits:
+   a single movable cell is placed at its quadratic optimum in exactly
+   one transformation, then both Density.Stop and the envelope criterion
+   report convergence. *)
+let test_placer_single_movable_one_iteration () =
+  let cells =
+    [|
+      Netlist.Cell.make ~id:0 ~name:"m" ~width:8. ~height:8. ();
+      Netlist.Cell.make ~id:1 ~name:"p0" ~width:8. ~height:8. ~fixed:true ();
+      Netlist.Cell.make ~id:2 ~name:"p1" ~width:8. ~height:8. ~fixed:true ();
+    |]
+  in
+  let pin c = { Netlist.Net.cell = c; dx = 0.; dy = 0. } in
+  let nets =
+    [|
+      Netlist.Net.make ~id:0 ~name:"n0" [| pin 0; pin 1 |];
+      Netlist.Net.make ~id:1 ~name:"n1" [| pin 0; pin 2 |];
+    |]
+  in
+  let c =
+    Netlist.Circuit.make ~name:"degenerate" ~cells ~nets ~region ~row_height:8.
+  in
+  let p = Netlist.Placement.create c in
+  p.Netlist.Placement.x.(1) <- 8.;
+  p.Netlist.Placement.y.(1) <- 8.;
+  p.Netlist.Placement.x.(2) <- 56.;
+  p.Netlist.Placement.y.(2) <- 56.;
+  p.Netlist.Placement.x.(0) <- 2.;
+  p.Netlist.Placement.y.(0) <- 2.;
+  let state, reports = Kraftwerk.Placer.run Kraftwerk.Config.standard c p in
+  Alcotest.(check int) "exactly one transformation" 1 (List.length reports);
+  Alcotest.(check bool) "criterion agrees post-hoc" true
+    (Density.Stop.should_stop c state.Kraftwerk.Placer.placement ());
+  (* The lone movable cell moves toward the quadratic optimum between
+     its two anchors (the hold spring damps the first step, so it need
+     not arrive — only leave its corner and stay within the span). *)
+  let x = state.Kraftwerk.Placer.placement.Netlist.Placement.x.(0) in
+  Alcotest.(check bool) "cell moved toward the optimum" true
+    (x > 2. && x >= 8. -. 1e-6 && x <= 56. +. 1e-6)
+
+let test_placer_all_fixed_zero_iterations () =
+  let cells =
+    Array.init 3 (fun i ->
+        Netlist.Cell.make ~id:i ~name:(Printf.sprintf "f%d" i) ~width:8.
+          ~height:8. ~fixed:true ())
+  in
+  let c =
+    Netlist.Circuit.make ~name:"allfixed" ~cells ~nets:[||] ~region
+      ~row_height:8.
+  in
+  let p = Netlist.Placement.create c in
+  let state, reports = Kraftwerk.Placer.run Kraftwerk.Config.standard c p in
+  Alcotest.(check int) "no transformations" 0 (List.length reports);
+  Alcotest.(check bool) "criterion agrees" true
+    (Density.Stop.should_stop c state.Kraftwerk.Placer.placement ())
 
 let test_stop_all_fixed () =
   let cells =
@@ -276,6 +332,10 @@ let suite =
     Alcotest.test_case "empty square monotone" `Quick test_empty_square_monotone;
     Alcotest.test_case "stop: empty circuit" `Quick test_stop_empty_circuit;
     Alcotest.test_case "stop: single cell" `Quick test_stop_single_cell;
+    Alcotest.test_case "stop: placer runs single movable exactly once" `Quick
+      test_placer_single_movable_one_iteration;
+    Alcotest.test_case "stop: placer skips all-fixed circuit" `Quick
+      test_placer_all_fixed_zero_iterations;
     Alcotest.test_case "stop: all cells fixed" `Quick test_stop_all_fixed;
     Alcotest.test_case "stop: already-converged run takes no steps" `Quick
       test_stop_already_converged_run;

@@ -164,6 +164,101 @@ let test_resume_bitwise_models_pools () =
         [ 1; 2; 4 ])
     [ Qp.System.Clique; Qp.System.Bound2bound ]
 
+let same_controller tag (a : Kraftwerk.Controller.t)
+    (b : Kraftwerk.Controller.t) =
+  let fbit name x y =
+    if bits x <> bits y then
+      Alcotest.failf "%s: controller %s differs: %h vs %h" tag name x y
+  in
+  fbit "penalty" a.Kraftwerk.Controller.penalty b.Kraftwerk.Controller.penalty;
+  fbit "lb" a.Kraftwerk.Controller.lb b.Kraftwerk.Controller.lb;
+  fbit "ub" a.Kraftwerk.Controller.ub b.Kraftwerk.Controller.ub;
+  fbit "ub_min" a.Kraftwerk.Controller.ub_min b.Kraftwerk.Controller.ub_min;
+  fbit "gap" a.Kraftwerk.Controller.gap b.Kraftwerk.Controller.gap;
+  fbit "gap_min" a.Kraftwerk.Controller.gap_min b.Kraftwerk.Controller.gap_min;
+  Alcotest.(check int)
+    (tag ^ ": since_legalize")
+    a.Kraftwerk.Controller.since_legalize
+    b.Kraftwerk.Controller.since_legalize;
+  Alcotest.(check int)
+    (tag ^ ": ub_evals")
+    a.Kraftwerk.Controller.ub_evals b.Kraftwerk.Controller.ub_evals;
+  Alcotest.(check int)
+    (tag ^ ": stall")
+    a.Kraftwerk.Controller.stall b.Kraftwerk.Controller.stall;
+  Alcotest.(check bool) (tag ^ ": stop_reason") true
+    (a.Kraftwerk.Controller.stop_reason = b.Kraftwerk.Controller.stop_reason)
+
+(* Same cut-and-restore property with the controller actively steering:
+   probes every 3 iterations put LB/UB history on both sides of the cut,
+   and the penalty ramp is caught mid-flight (past its initial value,
+   below its cap) so a restore that recomputed the schedule instead of
+   restoring it verbatim would diverge.  The stop criteria are disabled
+   so the schedule itself is what's under test. *)
+let test_resume_bitwise_controller_active () =
+  let circuit, p0 = ok_or_fail (Engine.Source.load (source ())) in
+  let total = 12 and cut = 5 in
+  List.iter
+    (fun pool ->
+      let tag = Printf.sprintf "controller/pool%d" pool in
+      let config =
+        {
+          Kraftwerk.Config.fast with
+          Kraftwerk.Config.domains = Some pool;
+          legalize_every = 3;
+          penalty_initial = 0.9;
+          penalty_update = 1.05;
+          penalty_max = 1.2;
+          stop_gap = 0.;
+          stop_stall = 0;
+        }
+      in
+      let reference = Kraftwerk.Placer.init config circuit p0 in
+      ignore (Kraftwerk.Placer.continue_run reference ~max_steps:total);
+      let first = Kraftwerk.Placer.init config circuit p0 in
+      ignore (Kraftwerk.Placer.continue_run first ~max_steps:cut);
+      (* The cut must land mid-schedule: envelope history already
+         recorded, penalty strictly between its initial value and cap. *)
+      let fc = first.Kraftwerk.Placer.controller in
+      Alcotest.(check bool)
+        (tag ^ ": probe taken before the cut")
+        true
+        (fc.Kraftwerk.Controller.ub_evals >= 1);
+      Alcotest.(check bool)
+        (tag ^ ": penalty mid-ramp at the cut")
+        true
+        (fc.Kraftwerk.Controller.penalty > 0.9
+        && fc.Kraftwerk.Controller.penalty < 1.2);
+      let file = temp ".json" in
+      Engine.Checkpoint.save file (Engine.Checkpoint.of_state first);
+      let cp = ok_or_fail (Engine.Checkpoint.load file) in
+      Sys.remove file;
+      let resumed = ok_or_fail (Engine.Checkpoint.restore cp config circuit) in
+      same_controller (tag ^ ": at the cut") fc
+        resumed.Kraftwerk.Placer.controller;
+      ignore (Kraftwerk.Placer.continue_run resumed ~max_steps:(total - cut));
+      Alcotest.(check int)
+        (tag ^ ": iteration")
+        reference.Kraftwerk.Placer.iteration
+        resumed.Kraftwerk.Placer.iteration;
+      same_placement
+        (tag ^ ": placement")
+        reference.Kraftwerk.Placer.placement
+        resumed.Kraftwerk.Placer.placement;
+      same_float_array (tag ^ ": ex") reference.Kraftwerk.Placer.ex
+        resumed.Kraftwerk.Placer.ex;
+      same_float_array (tag ^ ": ey") reference.Kraftwerk.Placer.ey
+        resumed.Kraftwerk.Placer.ey;
+      Alcotest.(check bool)
+        (tag ^ ": envelope probed after the cut")
+        true
+        (reference.Kraftwerk.Placer.controller.Kraftwerk.Controller.ub_evals
+        >= 2);
+      same_controller (tag ^ ": at the end")
+        reference.Kraftwerk.Placer.controller
+        resumed.Kraftwerk.Placer.controller)
+    [ 1; 2; 4 ]
+
 (* ------------------------------------------------------------------ *)
 (* Scheduler                                                           *)
 
@@ -521,6 +616,80 @@ let test_forced_stealing_bitwise () =
   same_placement "stolen job a" (List.nth solo 0) (job_placement sched a);
   same_placement "stolen job b" (List.nth solo 1) (job_placement sched b)
 
+(* True when some iteration record in [file] carries a UB probe. *)
+let trace_has_probe file =
+  List.exists
+    (fun line ->
+      match Obs.Json.of_string line with
+      | Error _ -> false
+      | Ok v -> (
+        match (Obs.Json.member "record" v, Obs.Json.member "ub_hpwl" v) with
+        | Some (Obs.Json.Str "iteration"), Some (Obs.Json.Num _) -> true
+        | _ -> false))
+    (read_lines file)
+
+(* Kill-and-resume with an effort preset steering the run, through the
+   sharded scheduler: an effort-1 job cut at its checkpoint and resumed
+   must replay bitwise on 1, 2 and 4 shards — placement, legalised
+   metrics and the LB/UB telemetry tail alike.  The cut at 7 straddles
+   the effort-1 probe cadence (every 5 iterations), so the resumed
+   trace must carry live envelope probes of its own. *)
+let test_sharded_resume_with_effort () =
+  let src = source () in
+  let spec ?start ?checkpoint ?trace ~max_steps () =
+    Engine.Job.spec ~source:src ~mode:Engine.Job.Fast ~effort:1 ~max_steps
+      ?start ?checkpoint ?trace ()
+  in
+  let t0 = temp ".jsonl" in
+  let solo_sched = Engine.Scheduler.create () in
+  let s = submit_and_drain solo_sched (spec ~max_steps:14 ~trace:t0 ()) in
+  let solo_p = job_placement solo_sched s
+  and solo_r = job_result solo_sched s in
+  let solo_payloads = iteration_payloads t0 in
+  List.iter
+    (fun shards ->
+      let tag fmt = Printf.ksprintf (fun s -> s) fmt in
+      let ck = temp ".json" and tr = temp ".jsonl" in
+      let sched =
+        Engine.Scheduler.create ~concurrency:4 ~domains:shards ~shards ()
+      in
+      let a = submit_and_drain sched (spec ~max_steps:7 ~checkpoint:ck ()) in
+      Alcotest.(check string)
+        (tag "shards=%d: prefix job done" shards)
+        "done"
+        (Engine.Job.status_to_string (job_result sched a).Engine.Job.status);
+      let b =
+        submit_and_drain sched
+          (spec ~max_steps:14 ~start:(Engine.Job.Resume ck) ~trace:tr ())
+      in
+      let rb = job_result sched b in
+      Engine.Scheduler.stop sched;
+      Alcotest.(check int)
+        (tag "shards=%d: same total iterations" shards)
+        solo_r.Engine.Job.iterations rb.Engine.Job.iterations;
+      same_placement
+        (tag "shards=%d: global placement" shards)
+        solo_p (job_placement sched b);
+      Alcotest.(check bool)
+        (tag "shards=%d: legalised hpwl bitwise" shards)
+        true
+        (bits rb.Engine.Job.hpwl = bits solo_r.Engine.Job.hpwl);
+      let ib = iteration_payloads tr in
+      Alcotest.(check bool)
+        (tag "shards=%d: resumed trace is shorter" shards)
+        true
+        (List.length ib < List.length solo_payloads);
+      Alcotest.(check (list string))
+        (tag "shards=%d: LB/UB telemetry tail matches" shards)
+        (last (List.length ib) solo_payloads)
+        ib;
+      Alcotest.(check bool)
+        (tag "shards=%d: resumed tail carries a UB probe" shards)
+        true (trace_has_probe tr);
+      List.iter Sys.remove [ ck; tr ])
+    [ 1; 2; 4 ];
+  Sys.remove t0
+
 (* Cancellation and deadlines keep their degraded-but-legal semantics
    when slices run on worker domains. *)
 let test_sharded_cancel_deadline_legal () =
@@ -575,8 +744,8 @@ let test_sharded_cancel_deadline_legal () =
 
 let test_spec_json_round_trip () =
   let full =
-    Engine.Job.spec ~source:(source ()) ~mode:Engine.Job.Fast ~timing:true
-      ~priority:3 ~deadline:1.5 ~domains:2 ~max_steps:9
+    Engine.Job.spec ~source:(source ()) ~mode:Engine.Job.Fast ~effort:4
+      ~timing:true ~priority:3 ~deadline:1.5 ~domains:2 ~max_steps:9
       ~start:(Engine.Job.Resume "ck.json") ~checkpoint:"out.json"
       ~checkpoint_every:7 ~trace:"t.jsonl" ()
   in
@@ -684,6 +853,8 @@ let suite =
       test_checkpoint_digest_guards;
     Alcotest.test_case "resume is bitwise for both net models, pools 1/2/4"
       `Slow test_resume_bitwise_models_pools;
+    Alcotest.test_case "resume is bitwise with the controller active" `Slow
+      test_resume_bitwise_controller_active;
     Alcotest.test_case "engine resume matches uninterrupted run" `Slow
       test_engine_resume_matches_uninterrupted;
     Alcotest.test_case "timing-driven resume carries criticalities" `Slow
@@ -700,6 +871,8 @@ let suite =
       `Slow test_sharded_matches_solo;
     Alcotest.test_case "forced stealing leaves trajectories bitwise" `Slow
       test_forced_stealing_bitwise;
+    Alcotest.test_case "sharded resume with an effort preset is bitwise" `Slow
+      test_sharded_resume_with_effort;
     Alcotest.test_case "sharded cancel and deadline degrade to legal" `Slow
       test_sharded_cancel_deadline_legal;
     Alcotest.test_case "spec json round-trip" `Quick test_spec_json_round_trip;

@@ -259,6 +259,10 @@ let sample_iteration step =
     cg_tolerance = 1e-6;
     domains = 2;
     pool_tasks = 12;
+    penalty = 1.1;
+    lb_hpwl = 123.5 +. float_of_int step;
+    ub_hpwl = (if step mod 2 = 0 then Some (140. +. float_of_int step) else None);
+    gap = (if step mod 2 = 0 then Some 0.07 else None);
     phases = [ ("assemble", 0.001); ("solve", 0.002) ];
   }
 
@@ -269,6 +273,7 @@ let sample_summary =
     final_hpwl = 6886.5;
     final_overlap = 0.001;
     wall_time = 1.5;
+    stop_reason = Some "gap";
     counters = [ ("cg/iterations", Obs.Stat.of_value 16.) ];
   }
 
@@ -278,8 +283,9 @@ let prop_iteration_roundtrip =
     QCheck.(
       pair
         (array_of_size (Gen.return 6) small_nat)
-        (array_of_size (Gen.return 11) finite_float))
+        (array_of_size (Gen.return 13) finite_float))
     (fun (is, fs) ->
+      let probed = is.(0) mod 2 = 0 in
       let r =
         {
           Obs.Telemetry.step = 1 + is.(0);
@@ -302,6 +308,10 @@ let prop_iteration_roundtrip =
           cg_tolerance = Float.abs fs.(9);
           domains = 1 + (is.(5) mod 8);
           pool_tasks = is.(5);
+          penalty = Float.abs fs.(11);
+          lb_hpwl = fs.(0);
+          ub_hpwl = (if probed then Some fs.(12) else None);
+          gap = (if probed then Some fs.(10) else None);
           phases = [ ("assemble", Float.abs fs.(10)) ];
         }
       in
@@ -341,23 +351,28 @@ let test_iteration_validation_rejects () =
 
 let v2_only_fields = [ "assembly_reused"; "pattern_rebuilds"; "cg_tolerance" ]
 
+let v3_only_fields = [ "penalty"; "lb_hpwl"; "ub_hpwl"; "gap" ]
+
+let downgrade_to schema drop = function
+  | Obs.Json.Obj fields ->
+    Obs.Json.Obj
+      (List.filter_map
+         (fun (k, v) ->
+           if List.mem k drop then None
+           else if k = "schema" then Some (k, Obs.Json.Num schema)
+           else Some (k, v))
+         fields)
+  | _ -> Alcotest.fail "iteration json is not an object"
+
 let test_schema_v1_compat () =
-  (* A v1 record (pre-dating the cached assembly) has no v2 fields and
-     must parse with the defaults matching what the v1 placer did. *)
-  let downgrade = function
-    | Obs.Json.Obj fields ->
-      Obs.Json.Obj
-        (List.filter_map
-           (fun (k, v) ->
-             if List.mem k v2_only_fields then None
-             else if k = "schema" then Some (k, Obs.Json.Num 1.)
-             else Some (k, v))
-           fields)
-    | _ -> Alcotest.fail "iteration json is not an object"
-  in
+  (* A v1 record (pre-dating the cached assembly and the convergence
+     controller) has neither the v2 nor the v3 fields and must parse
+     with the defaults matching what the v1 placer did. *)
   (match
      Obs.Telemetry.iteration_of_json
-       (downgrade (Obs.Telemetry.iteration_to_json (sample_iteration 4)))
+       (downgrade_to 1.
+          (v2_only_fields @ v3_only_fields)
+          (Obs.Telemetry.iteration_to_json (sample_iteration 4)))
    with
   | Error e -> Alcotest.failf "v1 record rejected: %s" e
   | Ok it ->
@@ -367,8 +382,11 @@ let test_schema_v1_compat () =
       it.Obs.Telemetry.pattern_rebuilds;
     Alcotest.(check bool) "v1 default: fixed 1e-8 tolerance" true
       (it.Obs.Telemetry.cg_tolerance = 1e-8);
+    Alcotest.(check bool) "v1 default: unit penalty" true
+      (it.Obs.Telemetry.penalty = 1.0);
     Alcotest.(check int) "payload survives" 4 it.Obs.Telemetry.step);
-  (* The same omission under schema 2 is a validation error. *)
+  (* The same omission under the current schema is a validation error
+     (ub_hpwl/gap excepted: absence legitimately means "not probed"). *)
   let strip_field field = function
     | Obs.Json.Obj fields ->
       Obs.Json.Obj (List.filter (fun (k, _) -> k <> field) fields)
@@ -377,13 +395,13 @@ let test_schema_v1_compat () =
   List.iter
     (fun field ->
       Alcotest.(check bool)
-        (Printf.sprintf "v2 without %s rejected" field)
+        (Printf.sprintf "v3 without %s rejected" field)
         true
         (Result.is_error
            (Obs.Telemetry.iteration_of_json
               (strip_field field
                  (Obs.Telemetry.iteration_to_json (sample_iteration 4))))))
-    v2_only_fields;
+    (v2_only_fields @ [ "penalty"; "lb_hpwl" ]);
   (* Unknown future schemas still fail loudly. *)
   let with_schema v = function
     | Obs.Json.Obj fields ->
@@ -393,10 +411,49 @@ let test_schema_v1_compat () =
            fields)
     | _ -> Alcotest.fail "iteration json is not an object"
   in
-  Alcotest.(check bool) "schema 3 rejected" true
+  Alcotest.(check bool) "schema 4 rejected" true
     (Result.is_error
        (Obs.Telemetry.iteration_of_json
-          (with_schema 3. (Obs.Telemetry.iteration_to_json (sample_iteration 1)))))
+          (with_schema 4. (Obs.Telemetry.iteration_to_json (sample_iteration 1)))))
+
+let test_schema_v2_compat () =
+  (* A v2 trace (pre-dating the convergence controller) parses with the
+     defaulted controller fields: static unit penalty, the quadratic
+     HPWL as its own lower bound, and no upper-bound probes. *)
+  match
+    Obs.Telemetry.iteration_of_json
+      (downgrade_to 2. v3_only_fields
+         (Obs.Telemetry.iteration_to_json (sample_iteration 6)))
+  with
+  | Error e -> Alcotest.failf "v2 record rejected: %s" e
+  | Ok it ->
+    Alcotest.(check bool) "v2 default: unit penalty" true
+      (it.Obs.Telemetry.penalty = 1.0);
+    Alcotest.(check bool) "v2 default: lb = hpwl" true
+      (it.Obs.Telemetry.lb_hpwl = it.Obs.Telemetry.hpwl);
+    Alcotest.(check bool) "v2 default: no ub" true
+      (it.Obs.Telemetry.ub_hpwl = None);
+    Alcotest.(check bool) "v2 default: no gap" true
+      (it.Obs.Telemetry.gap = None);
+    (* v2 fields survive the v2 parse untouched. *)
+    Alcotest.(check bool) "v2 payload: reused" true
+      it.Obs.Telemetry.assembly_reused;
+    Alcotest.(check int) "payload survives" 6 it.Obs.Telemetry.step
+
+let test_summary_v2_compat () =
+  (* v2 summaries have no stop_reason; parse defaults it to None. *)
+  let without_reason =
+    match Obs.Telemetry.summary_to_json sample_summary with
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj (List.filter (fun (k, _) -> k <> "stop_reason") fields)
+    | _ -> Alcotest.fail "summary json is not an object"
+  in
+  match Obs.Telemetry.summary_of_json without_reason with
+  | Error e -> Alcotest.failf "v2 summary rejected: %s" e
+  | Ok s ->
+    Alcotest.(check bool) "v2 default: no stop reason" true
+      (s.Obs.Telemetry.stop_reason = None);
+    Alcotest.(check int) "payload survives" 42 s.Obs.Telemetry.iterations
 
 let test_strip_volatile () =
   let j = Obs.Telemetry.iteration_to_json (sample_iteration 3) in
@@ -485,6 +542,9 @@ let suite =
     Alcotest.test_case "iteration validation rejects" `Quick
       test_iteration_validation_rejects;
     Alcotest.test_case "schema v1 compatibility" `Quick test_schema_v1_compat;
+    Alcotest.test_case "schema v2 compatibility" `Quick test_schema_v2_compat;
+    Alcotest.test_case "summary v2 compatibility" `Quick
+      test_summary_v2_compat;
     Alcotest.test_case "strip_volatile" `Quick test_strip_volatile;
     Alcotest.test_case "collecting sink" `Quick test_sink_collecting;
     Alcotest.test_case "jsonl sink" `Quick test_sink_jsonl;
