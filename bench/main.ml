@@ -114,7 +114,7 @@ let compute_table1 () =
             gordian = run_gordian circuit p0;
             ours = run_kraftwerk circuit p0;
           })
-        Circuitgen.Profiles.all;
+        Circuitgen.Profiles.mcnc;
   !table1_rows
 
 let table1 () =
@@ -628,6 +628,14 @@ let write_kernels_json path rows =
         ratio "kernels/poisson-fft-48-cold" "kernels/poisson-fft-48-warm" );
       ( "qp_refill",
         ratio "kernels/qp-assemble-primary1" "kernels/qp-refill-primary1" );
+      ( "real_vs_complex_96",
+        ratio "kernels/poisson-complex-96" "kernels/poisson-real-96" );
+      ( "real_vs_complex_128",
+        ratio "kernels/poisson-complex-128" "kernels/poisson-real-128" );
+      ( "real_vs_complex_256",
+        ratio "kernels/poisson-complex-256" "kernels/poisson-real-256" );
+      ( "real_vs_complex_512",
+        ratio "kernels/poisson-complex-512" "kernels/poisson-real-512" );
     ]
   in
   let ns = List.length speedups in
@@ -760,6 +768,37 @@ let micro_run () =
       | Some [ est ] -> rows := (name, est) :: !rows
       | Some _ | None -> rows := (name, Float.nan) :: !rows)
     results;
+  (* Real-vs-complex Poisson comparison grids.  A single 512² complex
+     call costs hundreds of milliseconds — past bechamel's quota — so
+     these rows come from a plain monotonic loop instead; the first call
+     of each path warms the kernel spectra and workspaces and is
+     excluded from the measurement. *)
+  List.iter
+    (fun n ->
+      let g = density_grid n in
+      let time_ns f =
+        ignore (f ());
+        let reps = if n >= 256 then 3 else 6 in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          ignore (f ())
+        done;
+        (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps
+      in
+      let real =
+        time_ns (fun () ->
+            Numeric.Poisson.fft_force_field ~rows:n ~cols:n ~hx:1. ~hy:1. g)
+      in
+      let cplx =
+        time_ns (fun () ->
+            Numeric.Poisson.fft_force_field_complex ~rows:n ~cols:n ~hx:1.
+              ~hy:1. g)
+      in
+      rows :=
+        (Printf.sprintf "kernels/poisson-real-%d" n, real)
+        :: (Printf.sprintf "kernels/poisson-complex-%d" n, cplx)
+        :: !rows)
+    [ 96; 128; 256; 512 ];
   List.iter
     (fun (name, est) ->
       if Float.is_nan est then Printf.printf "%-34s (no estimate)\n" name
@@ -1290,13 +1329,213 @@ let serve_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Mega scaling suite (production-scale circuits) → BENCH_mega.json    *)
+
+(* Peak resident set (VmHWM) in MB.  The high-water mark is process
+   global and monotone, so the suite runs circuits smallest-first and
+   each row's snapshot bounds everything up to and including it. *)
+let peak_rss_mb () =
+  try
+    let ic = open_in "/proc/self/status" in
+    let rec scan () =
+      match input_line ic with
+      | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
+        close_in ic;
+        Scanf.sscanf
+          (String.sub line 6 (String.length line - 6))
+          " %d kB"
+          (fun kb -> float_of_int kb /. 1024.)
+      | _ -> scan ()
+      | exception End_of_file ->
+        close_in ic;
+        Float.nan
+    in
+    scan ()
+  with _ -> Float.nan
+
+(* Explicit density grids per profile: [Density_map.auto_bins] clamps at
+   128 bins per axis, which is too coarse past a few hundred thousand
+   cells, so the scaling suite pins the grid and records it per row. *)
+let mega_grid cells =
+  if cells >= 750_000 then (384, 384)
+  else if cells >= 400_000 then (256, 256)
+  else if cells >= 200_000 then (192, 192)
+  else (128, 128)
+
+type mega_row = {
+  mg_profile : string;
+  mg_cells : int;
+  mg_nets : int;
+  mg_flow : string;  (* "flat" | "multilevel" *)
+  mg_grid : int * int;
+  mg_levels : int;  (* coarsening levels; 0 for the flat flow *)
+  mg_iterations : int;
+  mg_ms_per_iter : float;
+  mg_total_ms : float;
+  mg_hpwl : float;  (* nan for flat probes (not run to convergence) *)
+  mg_peak_rss_mb : float;
+}
+
+let write_mega_json path rows =
+  let num v =
+    if Float.is_nan v then Obs.Json.Null else Obs.Json.Num v
+  in
+  let row r =
+    let nx, ny = r.mg_grid in
+    Obs.Json.Obj
+      [
+        ("profile", Obs.Json.Str r.mg_profile);
+        ("cells", Obs.Json.Num (float_of_int r.mg_cells));
+        ("nets", Obs.Json.Num (float_of_int r.mg_nets));
+        ("flow", Obs.Json.Str r.mg_flow);
+        ( "grid",
+          Obs.Json.Arr
+            [ Obs.Json.Num (float_of_int nx); Obs.Json.Num (float_of_int ny) ]
+        );
+        ("levels", Obs.Json.Num (float_of_int r.mg_levels));
+        ("iterations", Obs.Json.Num (float_of_int r.mg_iterations));
+        ("ms_per_iter", num r.mg_ms_per_iter);
+        ("total_ms", num r.mg_total_ms);
+        ("hpwl", num r.mg_hpwl);
+        ("peak_rss_mb", num r.mg_peak_rss_mb);
+      ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("git", Obs.Json.Str (git_revision ()));
+        ("domains", Obs.Json.Num (float_of_int (Numeric.Parallel.num_domains ())));
+        ("scale", Obs.Json.Num !scale);
+        ("seed", Obs.Json.Num (float_of_int !seed));
+        ( "note",
+          Obs.Json.Str
+            "flat rows time a fixed number of transformations from the \
+             initial state (per-iteration cost probe); multilevel rows run \
+             the V-cycle to completion" );
+        ("rows", Obs.Json.Arr (List.map row rows));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* The scaling suite behind the multilevel V-cycle: for each mega
+   profile, probe the flat flow's per-iteration cost (a handful of
+   transformations — full flat convergence at 10⁶ cells is the problem
+   the V-cycle exists to avoid) and run the multilevel flow end to end,
+   recording ms/iteration, final wire length and peak RSS.
+
+   Not part of the default everything-run: generating and placing the
+   million-cell circuit takes minutes, so CI and humans opt in with
+   [--mega] (optionally with [--scale] to shrink for smoke tests). *)
+let mega_bench () =
+  print_endline "";
+  Printf.printf "Mega scaling suite (scale %g, %d domain(s))\n" !scale
+    (Numeric.Parallel.num_domains ());
+  Printf.printf "%-9s | %9s | %-10s | %7s | %6s | %10s | %9s | %8s\n"
+    "profile" "cells" "flow" "grid" "iters" "ms/iter" "hpwl" "rss MB";
+  let rows = ref [] in
+  let emit r =
+    let nx, _ = r.mg_grid in
+    Printf.printf "%-9s | %9d | %-10s | %4dx%-3d | %6d | %10.1f | %9.3g | %8.0f\n%!"
+      r.mg_profile r.mg_cells r.mg_flow nx nx r.mg_iterations r.mg_ms_per_iter
+      r.mg_hpwl r.mg_peak_rss_mb;
+    rows := r :: !rows
+  in
+  List.iter
+    (fun (prof : Circuitgen.Profiles.t) ->
+      let name = prof.Circuitgen.Profiles.profile_name in
+      let params = Circuitgen.Profiles.params ~scale:!scale prof ~seed:!seed in
+      let circuit, pads = Circuitgen.Gen.generate params in
+      let p0 = Circuitgen.Gen.initial_placement circuit pads in
+      let cells = Netlist.Circuit.num_cells circuit in
+      let nets = Netlist.Circuit.num_nets circuit in
+      let grid = mega_grid cells in
+      let config =
+        { Kraftwerk.Config.standard with Kraftwerk.Config.grid = Some grid }
+      in
+      Printf.eprintf "[mega] %s: %d cells, %d nets\n%!" name cells nets;
+      (* Flat flow: per-iteration cost over a few transformations. *)
+      let flat_iters = if cells > 300_000 then 2 else 3 in
+      let state = Kraftwerk.Placer.init config circuit (Netlist.Placement.copy p0) in
+      let (), flat_ms =
+        time (fun () ->
+            for _ = 1 to flat_iters do
+              ignore (Kraftwerk.Placer.transform state)
+            done)
+      in
+      let flat_ms = flat_ms *. 1000. in
+      emit
+        {
+          mg_profile = name;
+          mg_cells = cells;
+          mg_nets = nets;
+          mg_flow = "flat";
+          mg_grid = grid;
+          mg_levels = 0;
+          mg_iterations = flat_iters;
+          mg_ms_per_iter = flat_ms /. float_of_int flat_iters;
+          mg_total_ms = flat_ms;
+          mg_hpwl = Float.nan;
+          mg_peak_rss_mb = peak_rss_mb ();
+        };
+      (* Multilevel flow: the full V-cycle, counting steps across all
+         levels (per-level placer counters reset at each descent). *)
+      let run =
+        Kraftwerk.Cluster.start config circuit ~fixed_positions:pads
+          (Netlist.Placement.copy p0)
+      in
+      let steps = ref 0 in
+      let (), ml_ms =
+        time (fun () ->
+            let continue = ref (not (Kraftwerk.Cluster.finished run)) in
+            while !continue do
+              continue := Kraftwerk.Cluster.step run;
+              incr steps
+            done)
+      in
+      let ml_ms = ml_ms *. 1000. in
+      let placement = Kraftwerk.Cluster.finish run in
+      Netlist.Placement.clamp_to_region circuit placement;
+      emit
+        {
+          mg_profile = name;
+          mg_cells = cells;
+          mg_nets = nets;
+          mg_flow = "multilevel";
+          mg_grid = grid;
+          mg_levels = Kraftwerk.Cluster.total_levels run;
+          mg_iterations = !steps;
+          mg_ms_per_iter =
+            (if !steps > 0 then ml_ms /. float_of_int !steps else Float.nan);
+          mg_total_ms = ml_ms;
+          mg_hpwl = Metrics.Wirelength.hpwl circuit placement;
+          mg_peak_rss_mb = peak_rss_mb ();
+        })
+    Circuitgen.Profiles.mega;
+  write_mega_json "BENCH_mega.json" (List.rev !rows);
+  (* The suite is only healthy when every profile completed its V-cycle. *)
+  let ml_rows =
+    List.filter (fun r -> r.mg_flow = "multilevel") !rows
+  in
+  if
+    List.length ml_rows <> List.length Circuitgen.Profiles.mega
+    || List.exists (fun r -> r.mg_iterations = 0 || Float.is_nan r.mg_hpwl) ml_rows
+  then begin
+    Printf.eprintf "mega bench: missing or empty multilevel rows\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe [--table 1|2|3|4] [--experiment \
      fast-mode|tradeoff|eco|floorplan|congestion|heat|linearization|final-placer|multilevel] \
-     [--micro] [--place] [--engine] [--serve] [--scale S] [--seed N] \
-     [--domains D]";
+     [--micro] [--place] [--engine] [--serve] [--mega] [--scale S] \
+     [--seed N] [--domains D]";
   exit 1
 
 let () =
@@ -1304,6 +1543,7 @@ let () =
   let tables = ref [] and experiments = ref [] in
   let want_micro = ref false and want_place = ref false in
   let want_engine = ref false and want_serve = ref false in
+  let want_mega = ref false in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -1335,6 +1575,9 @@ let () =
     | "--serve" :: rest ->
       want_serve := true;
       parse rest
+    | "--mega" :: rest ->
+      want_mega := true;
+      parse rest
     | _ -> usage ()
   in
   parse args;
@@ -1364,7 +1607,7 @@ let () =
   in
   if
     !tables = [] && !experiments = [] && not !want_micro && not !want_place
-    && not !want_engine && not !want_serve
+    && not !want_engine && not !want_serve && not !want_mega
   then begin
     (* Default: everything. *)
     Printf.printf "Kraftwerk reproduction — full experiment run (scale %.2f)\n" !scale;
@@ -1383,5 +1626,6 @@ let () =
     if !want_place then place_bench ();
     if !want_engine then engine_bench ();
     if !want_serve then serve_bench ();
+    if !want_mega then mega_bench ();
     if !want_micro then micro ()
   end

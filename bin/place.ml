@@ -326,7 +326,7 @@ let client_ok = function
 (* [place submit]: ship one job to a running server; with --wait, park
    until it is terminal and print its result line.  Exit 1 when the
    awaited job failed, 2 on operational errors. *)
-let cmd_submit to_addr circuit_file profile scale seed mode effort timing
+let cmd_submit to_addr circuit_file profile scale seed mode flow effort timing
     priority deadline max_steps wait =
   let source =
     match (circuit_file, profile) with
@@ -335,7 +335,7 @@ let cmd_submit to_addr circuit_file profile scale seed mode effort timing
     | None, None -> die "either --circuit or --profile is required"
   in
   let spec =
-    Engine.Job.spec ~source ~mode ?effort ~timing ~priority ?deadline
+    Engine.Job.spec ~source ~mode ~flow ?effort ~timing ~priority ?deadline
       ?max_steps ()
   in
   let cl = client_connect to_addr in
@@ -675,14 +675,29 @@ let submit_cmd =
              ~doc:"Park until the job is terminal and print its result \
                    line; exit 1 if it failed.")
   in
+  let job_flow =
+    Arg.(value
+         & opt
+             (enum
+                [
+                  ("flat", Engine.Job.Flat);
+                  ("multilevel", Engine.Job.Multilevel);
+                ])
+             Engine.Job.Flat
+         & info [ "flow" ]
+             ~doc:"$(docv) is flat (one controller-driven loop) or \
+                   multilevel (recursive cluster → place coarse → \
+                   uncluster + refine V-cycle; the scale-up path for \
+                   mega profiles).")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:"Submit one placement job to a running place serve --listen \
              server; prints a JSON line with the job id (and, with \
              --wait, the result)")
     Term.(const cmd_submit $ to_arg $ circuit $ profile_arg $ scale_arg
-          $ seed_arg $ mode_arg $ effort_arg $ timing $ priority $ deadline
-          $ max_steps $ wait)
+          $ seed_arg $ mode_arg $ job_flow $ effort_arg $ timing $ priority
+          $ deadline $ max_steps $ wait)
 
 let watch_cmd =
   let from_ev =

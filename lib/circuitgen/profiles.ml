@@ -13,11 +13,14 @@ type t = {
   paper : paper_numbers;
 }
 
+let no_paper =
+  { wl_timberwolf = None; wl_gordian = None; wl_ours = None; cpu_ours = None }
+
 (* Wire lengths (metres) from the published MCNC comparisons summarised in
    [2] (Sun & Sechen) which the paper's Table 1 reproduces.  Where the
    scanned table is illegible the entry is None and EXPERIMENTS.md reports
    shape-level comparisons only. *)
-let all =
+let mcnc =
   [
     { profile_name = "fract"; cells = 125; nets = 147; rows = 6;
       paper = { wl_timberwolf = Some 0.041; wl_gordian = Some 0.044;
@@ -47,6 +50,26 @@ let all =
       paper = { wl_timberwolf = Some 6.59; wl_gordian = Some 6.93;
                 wl_ours = Some 6.11; cpu_ours = Some 5415. } };
   ]
+
+(* Mega profiles: production-scale synthetic circuits far past the
+   paper's Table 1.  Net counts track cell counts (Rent's rule with the
+   generator's index-local net windows supplying the locality) and rows
+   grow with sqrt(cells) so the aspect ratio stays chip-like.  No paper
+   numbers exist at this scale, and Table-1 consumers iterate [mcnc],
+   never these. *)
+let mega =
+  [
+    { profile_name = "mega100k"; cells = 100_000; nets = 110_000; rows = 170;
+      paper = no_paper };
+    { profile_name = "mega250k"; cells = 250_000; nets = 275_000; rows = 270;
+      paper = no_paper };
+    { profile_name = "mega500k"; cells = 500_000; nets = 550_000; rows = 380;
+      paper = no_paper };
+    { profile_name = "mega1m"; cells = 1_000_000; nets = 1_100_000; rows = 540;
+      paper = no_paper };
+  ]
+
+let all = mcnc @ mega
 
 let find name =
   match List.find_opt (fun p -> p.profile_name = name) all with

@@ -1,8 +1,13 @@
-(** The nine benchmark profiles of the paper's Table 1.
+(** The nine benchmark profiles of the paper's Table 1, plus the
+    production-scale mega profiles.
 
     Cell, net and row counts follow the published MCNC benchmark
     statistics the paper placed (fract … avq.large); the netlists
-    themselves are synthetic (see {!Gen}). *)
+    themselves are synthetic (see {!Gen}).  The [mega100k] … [mega1m]
+    profiles extrapolate past the paper: nets scale with cells (Rent's
+    rule; {!Gen}'s index-local net windows supply the locality) and rows
+    with sqrt(cells), so million-cell runs keep a chip-like aspect
+    ratio. *)
 
 (** One Table-1 row. *)
 type t = {
@@ -23,7 +28,15 @@ and paper_numbers = {
   cpu_ours : float option;
 }
 
-(** All nine profiles in Table-1 order. *)
+(** The nine Table-1 profiles, in the paper's order. *)
+val mcnc : t list
+
+(** The mega profiles by size ([mega100k] … [mega1m]).  Too large for
+    the Table-1 baselines (annealing, Gordian) — the multilevel flow and
+    [bench --mega] are their consumers. *)
+val mega : t list
+
+(** All profiles: Table-1 order, then the mega profiles by size. *)
 val all : t list
 
 (** [find name] looks a profile up by name.  Raises [Not_found]. *)

@@ -19,6 +19,16 @@ let field_of_grid ?(solver = Fft) grid =
     let phi = Numeric.Poisson.sor_potential ~rows ~cols ~hx ~hy density in
     Numeric.Poisson.gradient_force ~rows ~cols ~hx ~hy phi
 
+let prewarm ?(solver = Fft) ~region ~nx ~ny () =
+  match solver with
+  | Fft ->
+    (* Mirror Grid2.create's pitch computation exactly so the cache key
+       matches the grids [at_cells] builds every iteration. *)
+    let hx = Geometry.Rect.width region /. float_of_int nx in
+    let hy = Geometry.Rect.height region /. float_of_int ny in
+    Numeric.Poisson.prewarm ~rows:ny ~cols:nx ~hx ~hy
+  | Direct | Sor -> ()
+
 let at_cells (c : Netlist.Circuit.t) (p : Netlist.Placement.t) ~var_of_cell
     ~n_movable ~k_param ?solver ?extra ~nx ~ny () =
   let grid, overflow = Density_map.build_with_overflow c p ~nx ~ny ?extra () in

@@ -43,3 +43,11 @@ val at_cells :
 (** [field_of_grid ?solver grid] exposes the raw (unscaled) field for a
     prepared density grid — used by tests and the route/heat demos. *)
 val field_of_grid : ?solver:solver -> Geometry.Grid2.t -> Numeric.Poisson.field
+
+(** [prewarm ?solver ~region ~nx ~ny ()] eagerly builds the cached
+    Poisson kernel spectra for the density grid an [nx]×[ny] run over
+    [region] will use, so a job's first transformation doesn't pay
+    kernel construction (the historical cold-call spike).  No-op for the
+    [Direct]/[Sor] solvers. *)
+val prewarm :
+  ?solver:solver -> region:Geometry.Rect.t -> nx:int -> ny:int -> unit -> unit

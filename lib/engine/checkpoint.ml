@@ -10,9 +10,11 @@ type t = {
   net_weights : float array;
   criticality : float array option;
   controller : Kraftwerk.Controller.t;
+  ml_level : int;
+  ml_levels : int;
 }
 
-let version = 2
+let version = 3
 
 (* ------------------------------------------------------------------ *)
 (* Digests                                                              *)
@@ -38,17 +40,35 @@ let config_fingerprint (c : Kraftwerk.Config.t) =
     | Some (nx, ny) -> Printf.sprintf "%dx%d" nx ny
     | None -> "auto"
   in
-  Printf.sprintf
-    "k=%h;max_iter=%d;linearize=%b;cap=%d;anchor=%h;hold=%h;decay=%h;stop=%h;grid=%s;solver=%s;model=%s;tol=%h;tol_loose=%h;gscale=%h;gap=%h;stall=%d;leg=%d;pen0=%h;penu=%h;penmax=%h"
-    c.Kraftwerk.Config.k_param c.Kraftwerk.Config.max_iterations
-    c.Kraftwerk.Config.linearize c.Kraftwerk.Config.clique_cap
-    c.Kraftwerk.Config.anchor_weight c.Kraftwerk.Config.hold_weight
-    c.Kraftwerk.Config.force_decay c.Kraftwerk.Config.stop_multiplier grid
-    solver net_model c.Kraftwerk.Config.cg_tol c.Kraftwerk.Config.cg_tol_loose
-    c.Kraftwerk.Config.grid_scale c.Kraftwerk.Config.stop_gap
-    c.Kraftwerk.Config.stop_stall c.Kraftwerk.Config.legalize_every
-    c.Kraftwerk.Config.penalty_initial c.Kraftwerk.Config.penalty_update
-    c.Kraftwerk.Config.penalty_max
+  let base =
+    Printf.sprintf
+      "k=%h;max_iter=%d;linearize=%b;cap=%d;anchor=%h;hold=%h;decay=%h;stop=%h;grid=%s;solver=%s;model=%s;tol=%h;tol_loose=%h;gscale=%h;gap=%h;stall=%d;leg=%d;pen0=%h;penu=%h;penmax=%h"
+      c.Kraftwerk.Config.k_param c.Kraftwerk.Config.max_iterations
+      c.Kraftwerk.Config.linearize c.Kraftwerk.Config.clique_cap
+      c.Kraftwerk.Config.anchor_weight c.Kraftwerk.Config.hold_weight
+      c.Kraftwerk.Config.force_decay c.Kraftwerk.Config.stop_multiplier grid
+      solver net_model c.Kraftwerk.Config.cg_tol c.Kraftwerk.Config.cg_tol_loose
+      c.Kraftwerk.Config.grid_scale c.Kraftwerk.Config.stop_gap
+      c.Kraftwerk.Config.stop_stall c.Kraftwerk.Config.legalize_every
+      c.Kraftwerk.Config.penalty_initial c.Kraftwerk.Config.penalty_update
+      c.Kraftwerk.Config.penalty_max
+  in
+  (* The multilevel knobs are appended only when they leave the standard
+     values, so every pre-multilevel checkpoint's digest stays valid. *)
+  let std = Kraftwerk.Config.standard in
+  if
+    c.Kraftwerk.Config.ml_threshold = std.Kraftwerk.Config.ml_threshold
+    && c.Kraftwerk.Config.ml_max_levels = std.Kraftwerk.Config.ml_max_levels
+    && c.Kraftwerk.Config.ml_refine_iters = std.Kraftwerk.Config.ml_refine_iters
+    && c.Kraftwerk.Config.ml_grid_scale = std.Kraftwerk.Config.ml_grid_scale
+    && c.Kraftwerk.Config.ml_seed = std.Kraftwerk.Config.ml_seed
+  then base
+  else
+    base
+    ^ Printf.sprintf ";mlt=%d;mll=%d;mlr=%d;mlg=%h;mls=%d"
+        c.Kraftwerk.Config.ml_threshold c.Kraftwerk.Config.ml_max_levels
+        c.Kraftwerk.Config.ml_refine_iters c.Kraftwerk.Config.ml_grid_scale
+        c.Kraftwerk.Config.ml_seed
 
 let config_digest c = Digest.to_hex (Digest.string (config_fingerprint c))
 
@@ -65,9 +85,12 @@ let circuit_digest (c : Netlist.Circuit.t) =
             c.Netlist.Circuit.row_height )
           []))
 
-let of_state ?criticality (s : Kraftwerk.Placer.state) =
+let of_state ?criticality ?(ml_level = 0) ?(ml_levels = 1)
+    (s : Kraftwerk.Placer.state) =
   {
     version;
+    ml_level;
+    ml_levels;
     config_digest = config_digest s.Kraftwerk.Placer.config;
     circuit_digest = circuit_digest s.Kraftwerk.Placer.circuit;
     iteration = s.Kraftwerk.Placer.iteration;
@@ -126,6 +149,8 @@ let to_json t =
       ("net_weights", farray t.net_weights);
       ( "criticality",
         match t.criticality with Some a -> farray a | None -> Null );
+      ("ml_level", Num (float_of_int t.ml_level));
+      ("ml_levels", Num (float_of_int t.ml_levels));
       ("controller", controller_to_json t.controller);
     ]
 
@@ -204,7 +229,9 @@ let of_json v =
   if kind <> "checkpoint" then Error ("checkpoint: not a checkpoint: " ^ kind)
   else
     let* file_version = field_int v "version" in
-    if file_version <> version then
+    (* Version 2 is version 3 without the level stack: parse it with
+       flat defaults. *)
+    if file_version <> version && file_version <> 2 then
       Error (Printf.sprintf "checkpoint: unsupported version %d" file_version)
     else
       let* config_digest = field_str v "config" in
@@ -220,6 +247,25 @@ let of_json v =
         | Some Null | None -> Ok None
         | Some (Arr _) -> Result.map Option.some (field_farray v "criticality")
         | Some _ -> Error "checkpoint: field \"criticality\" is not an array"
+      in
+      let* ml_level =
+        match member "ml_level" v with
+        | Some (Num n) when Float.is_integer n -> Ok (int_of_float n)
+        | Some Null | None -> Ok 0
+        | Some _ -> Error "checkpoint: field \"ml_level\" is not an integer"
+      in
+      let* ml_levels =
+        match member "ml_levels" v with
+        | Some (Num n) when Float.is_integer n -> Ok (int_of_float n)
+        | Some Null | None -> Ok 1
+        | Some _ -> Error "checkpoint: field \"ml_levels\" is not an integer"
+      in
+      let* () =
+        if ml_levels < 1 || ml_level < 0 || ml_level >= ml_levels then
+          Error
+            (Printf.sprintf "checkpoint: level %d outside stack of %d" ml_level
+               ml_levels)
+        else Ok ()
       in
       let* controller = controller_of_json v in
       if Array.length x <> Array.length y then
@@ -240,6 +286,8 @@ let of_json v =
             net_weights;
             criticality;
             controller;
+            ml_level;
+            ml_levels;
           }
 
 let save path t =
@@ -266,7 +314,10 @@ let load path =
     of_json v
 
 let restore t config circuit =
-  if t.config_digest <> config_digest config then
+  if t.ml_level <> 0 || t.ml_levels <> 1 then
+    Error
+      "checkpoint: multilevel checkpoint (resume it with the multilevel flow)"
+  else if t.config_digest <> config_digest config then
     Error "checkpoint: config mismatch (different placer configuration)"
   else if t.circuit_digest <> circuit_digest circuit then
     Error "checkpoint: circuit mismatch (netlist changed since checkpoint)"
@@ -289,3 +340,56 @@ let placement t ~num_cells =
          (Array.length t.x) num_cells)
   else
     Ok { Netlist.Placement.x = Array.copy t.x; y = Array.copy t.y }
+
+(* Multilevel resume: the hierarchy is a pure function of (circuit,
+   config), so it is rebuilt here and only the current level's placer
+   state comes from the file.  The x/ex arrays are sized for the
+   checkpointed level's coarse circuit, not the flat one. *)
+let restore_multilevel t config circuit ~fixed_positions =
+  if t.config_digest <> config_digest config then
+    Error "checkpoint: config mismatch (different placer configuration)"
+  else if t.circuit_digest <> circuit_digest circuit then
+    Error "checkpoint: circuit mismatch (netlist changed since checkpoint)"
+  else
+    match
+      Kraftwerk.Cluster.resume config circuit ~fixed_positions
+        ~level:t.ml_level ~level_steps:t.iteration
+        ~restore_state:(fun level_circuit level_config ->
+          if Array.length t.x <> Netlist.Circuit.num_cells level_circuit then
+            invalid_arg
+              (Printf.sprintf
+                 "level %d placement has %d cells, hierarchy level has %d"
+                 t.ml_level (Array.length t.x)
+                 (Netlist.Circuit.num_cells level_circuit));
+          Kraftwerk.Placer.restore ~telemetry_level:t.ml_level level_config
+            level_circuit
+            ~placement:{ Netlist.Placement.x = t.x; y = t.y }
+            ~ex:t.ex ~ey:t.ey ~net_weights:t.net_weights
+            ~controller:t.controller ~iteration:t.iteration ())
+    with
+    | run ->
+      if Kraftwerk.Cluster.total_levels run <> t.ml_levels then
+        Error
+          (Printf.sprintf
+             "checkpoint: hierarchy depth changed (checkpoint has %d levels, \
+              rebuild has %d)"
+             t.ml_levels
+             (Kraftwerk.Cluster.total_levels run))
+      else Ok run
+    | exception Invalid_argument msg -> Error ("checkpoint: " ^ msg)
+
+let of_run ?criticality run =
+  (* The digests cover the base config and the flat circuit — the
+     level's derived config and coarse circuit are both rebuilt from
+     them on resume. *)
+  let t =
+    of_state ?criticality
+      ~ml_level:(Kraftwerk.Cluster.current_level run)
+      ~ml_levels:(Kraftwerk.Cluster.total_levels run)
+      (Kraftwerk.Cluster.current_state run)
+  in
+  {
+    t with
+    config_digest = config_digest (Kraftwerk.Cluster.base_config run);
+    circuit_digest = circuit_digest (Kraftwerk.Cluster.flat_circuit run);
+  }

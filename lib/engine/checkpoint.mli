@@ -30,6 +30,12 @@ type t = {
           penalty is saved verbatim — recomputing it from the iteration
           count would differ in the last ulp and break bitwise resume
           (version ≥ 2). *)
+  ml_level : int;
+      (** multilevel V-cycle stage this state belongs to; 0 = flat
+          (version ≥ 3; version-2 files parse as level 0) *)
+  ml_levels : int;
+      (** total stages of the V-cycle the state was taken from; 1 for
+          flat runs *)
 }
 
 val version : int
@@ -43,8 +49,20 @@ val config_digest : Kraftwerk.Config.t -> string
 val circuit_digest : Netlist.Circuit.t -> string
 
 (** [of_state ?criticality state] snapshots a placer state (copies all
-    arrays). *)
-val of_state : ?criticality:float array -> Kraftwerk.Placer.state -> t
+    arrays).  [ml_level]/[ml_levels] (default 0/1) tag the V-cycle stage
+    the state belongs to. *)
+val of_state :
+  ?criticality:float array ->
+  ?ml_level:int ->
+  ?ml_levels:int ->
+  Kraftwerk.Placer.state ->
+  t
+
+(** [of_run ?criticality run] snapshots the current stage of a
+    multilevel V-cycle.  The digests cover the {e base} config and the
+    {e flat} circuit — the coarse circuit and per-level config are
+    rebuilt deterministically on resume. *)
+val of_run : ?criticality:float array -> Kraftwerk.Cluster.run -> t
 
 (** [save path t] writes atomically (temp file + rename). *)
 val save : string -> t -> unit
@@ -52,12 +70,28 @@ val save : string -> t -> unit
 val load : string -> (t, string) result
 
 (** [restore t config circuit] rebuilds the placer state, checking the
-    digests first. *)
+    digests first.  Rejects multilevel checkpoints ([ml_level > 0] or
+    [ml_levels > 1]) — those carry a coarse-circuit state and must go
+    through {!restore_multilevel}. *)
 val restore :
   t ->
   Kraftwerk.Config.t ->
   Netlist.Circuit.t ->
   (Kraftwerk.Placer.state, string) result
+
+(** [restore_multilevel t config circuit ~fixed_positions] rebuilds an
+    in-flight V-cycle: the hierarchy is reconstructed from (circuit,
+    config) — it is deterministic — and the checkpointed arrays restore
+    the current level's placer state, making the resumed trajectory
+    bitwise-identical to the uninterrupted one.  Also accepts flat
+    (level-0-of-1) checkpoints taken by a multilevel run whose
+    coarsening made no progress. *)
+val restore_multilevel :
+  t ->
+  Kraftwerk.Config.t ->
+  Netlist.Circuit.t ->
+  fixed_positions:(int * (float * float)) list ->
+  (Kraftwerk.Cluster.run, string) result
 
 (** [placement t ~num_cells] extracts just the placement (the ECO
     warm-start path — the circuit may differ from the checkpointed one,

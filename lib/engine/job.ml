@@ -1,10 +1,13 @@
 type mode = Standard | Fast
 
+type flow = Flat | Multilevel
+
 type start = Fresh | Resume of string | Warm of string
 
 type spec = {
   source : Source.t;
   mode : mode;
+  flow : flow;
   effort : int option;
   timing : bool;
   priority : int;
@@ -17,12 +20,13 @@ type spec = {
   trace : string option;
 }
 
-let spec ~source ?(mode = Standard) ?effort ?(timing = false) ?(priority = 0)
-    ?deadline ?domains ?max_steps ?(start = Fresh) ?checkpoint
+let spec ~source ?(mode = Standard) ?(flow = Flat) ?effort ?(timing = false)
+    ?(priority = 0) ?deadline ?domains ?max_steps ?(start = Fresh) ?checkpoint
     ?(checkpoint_every = 25) ?trace () =
   {
     source;
     mode;
+    flow;
     effort;
     timing;
     priority;
@@ -73,6 +77,13 @@ type result = {
 
 let mode_to_string = function Standard -> "standard" | Fast -> "fast"
 
+let flow_to_string = function Flat -> "flat" | Multilevel -> "multilevel"
+
+let flow_of_string = function
+  | "flat" -> Ok Flat
+  | "multilevel" -> Ok Multilevel
+  | other -> Error (Printf.sprintf "job: unknown flow %S" other)
+
 let mode_of_string = function
   | "standard" -> Ok Standard
   | "fast" -> Ok Fast
@@ -106,6 +117,7 @@ let spec_to_json s =
     (source_fields
     @ [
         ("mode", Str (mode_to_string s.mode));
+        ("flow", Str (flow_to_string s.flow));
         ("effort", opt int_ s.effort);
         ("timing", Bool s.timing);
         ("priority", int_ s.priority);
@@ -148,6 +160,12 @@ let spec_of_json v =
     | Some (Str m) -> mode_of_string m
     | Some Null | None -> Ok Standard
     | Some _ -> Error "job: field \"mode\" is not a string"
+  in
+  let* flow =
+    match member "flow" v with
+    | Some (Str f) -> flow_of_string f
+    | Some Null | None -> Ok Flat
+    | Some _ -> Error "job: field \"flow\" is not a string"
   in
   let* timing =
     match member "timing" v with
@@ -196,6 +214,7 @@ let spec_of_json v =
     {
       source;
       mode;
+      flow;
       effort;
       timing;
       priority = Option.value priority ~default:0;

@@ -11,6 +11,13 @@
     ({!Kraftwerk.Config.standard} / {!Kraftwerk.Config.fast}). *)
 type mode = Standard | Fast
 
+(** Which placement flow drives the job: [Flat] is the classic
+    single-level controller loop; [Multilevel] runs the recursive
+    {!Kraftwerk.Cluster} V-cycle (cluster to a coarse netlist, place it,
+    then uncluster and refine level by level).  Both are deterministic
+    and checkpoint/resume-safe. *)
+type flow = Flat | Multilevel
+
 (** Where the placer's state comes from.
 
     - [Fresh] — the source's initial placement, ~e = 0 (a normal run).
@@ -26,6 +33,7 @@ type start = Fresh | Resume of string | Warm of string
 type spec = {
   source : Source.t;
   mode : mode;
+  flow : flow;  (** flat or multilevel V-cycle execution *)
   effort : int option;
       (** quality-vs-latency preset 1..9 ({!Kraftwerk.Config.effort});
           when set it selects the full placer configuration and the
@@ -56,6 +64,7 @@ type spec = {
 val spec :
   source:Source.t ->
   ?mode:mode ->
+  ?flow:flow ->
   ?effort:int ->
   ?timing:bool ->
   ?priority:int ->

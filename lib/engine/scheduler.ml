@@ -6,11 +6,18 @@ type event =
   | Checkpointed of id * string
   | Finished of id * Job.status
 
+(* What a job executes: the flat flow is a bare placer state, the
+   multilevel flow a whole V-cycle (which owns a per-level placer state
+   internally). *)
+type exec =
+  | Flat of Kraftwerk.Placer.state
+  | Multi of Kraftwerk.Cluster.run
+
 (* Live state of a started job, dropped once the job is terminal.  Only
    the domain currently executing the job's slice touches it. *)
 type running = {
   circuit : Netlist.Circuit.t;
-  state : Kraftwerk.Placer.state;
+  exec : exec;
   hooks : Kraftwerk.Placer.hooks;
   crit : Timing.Criticality.t option;  (* timing-driven jobs *)
   sink : Obs.Sink.t option;  (* private per-job telemetry sink *)
@@ -18,9 +25,35 @@ type running = {
   iters_emitted : int ref;
   started_at : float;
   max_steps : int;  (* cap on the total placer iteration counter *)
+  mutable steps_taken : int;
+      (* transformations executed by this engine run; the iteration
+         count of multilevel jobs, whose per-level states reset *)
   mutable since_checkpoint : int;
   mutable checkpoint_written : string option;
 }
+
+(* The placer state currently being transformed (the current stage's
+   for a V-cycle). *)
+let exec_state = function
+  | Flat s -> s
+  | Multi r -> Kraftwerk.Cluster.current_state r
+
+(* Iterations to report: the flat flow's placer counter survives
+   checkpoint/resume by itself; a V-cycle's per-level counters reset at
+   every descent, so the engine's own step count is the honest total. *)
+let exec_iterations run =
+  match run.exec with
+  | Flat s -> s.Kraftwerk.Placer.iteration
+  | Multi _ -> run.steps_taken
+
+(* Final flat placement of a (possibly mid-flight) exec: a V-cycle
+   still sitting on a coarse level expands straight down first. *)
+let exec_final_placement circuit = function
+  | Flat s -> s.Kraftwerk.Placer.placement
+  | Multi r ->
+    let p = Kraftwerk.Cluster.finish r in
+    Netlist.Placement.clamp_to_region circuit p;
+    p
 
 type entry = {
   id : id;
@@ -250,6 +283,19 @@ let validate_spec (spec : Job.spec) =
   | Some e when e < 1 || e > 9 -> Error "spec: effort must be in 1..9"
   | _ -> Ok ()
 
+(* Fixed positions as the multilevel flow wants them: whatever the
+   initial placement pins (exactly what [place run --flow multilevel]
+   passes, so engine and CLI trajectories agree). *)
+let fixed_positions_of circuit (p : Netlist.Placement.t) =
+  Array.to_list circuit.Netlist.Circuit.cells
+  |> List.filter_map (fun (cl : Netlist.Cell.t) ->
+         if cl.Netlist.Cell.fixed then
+           Some
+             ( cl.Netlist.Cell.id,
+               ( p.Netlist.Placement.x.(cl.Netlist.Cell.id),
+                 p.Netlist.Placement.y.(cl.Netlist.Cell.id) ) )
+         else None)
+
 (* Materialise a spec into live placer state.  Bad sources and
    checkpoints are typed [Error]s; the caller turns them into a [Failed]
    status (or, via [validate_spec], refuses them at submit time). *)
@@ -259,16 +305,16 @@ let start_running (spec : Job.spec) =
   let config =
     { (Job.config_of_spec spec) with Kraftwerk.Config.domains = None }
   in
-  let* state, crit =
-    match spec.Job.start with
-    | Job.Fresh ->
-      let crit =
-        if spec.Job.timing then
-          Some (Timing.Criticality.create (Netlist.Circuit.num_nets circuit))
-        else None
-      in
-      Ok (Kraftwerk.Placer.init config circuit p0, crit)
-    | Job.Resume file ->
+  let crit_fresh () =
+    if spec.Job.timing then
+      Some (Timing.Criticality.create (Netlist.Circuit.num_nets circuit))
+    else None
+  in
+  let* exec, crit, steps0 =
+    match (spec.Job.flow, spec.Job.start) with
+    | Job.Flat, Job.Fresh ->
+      Ok (Flat (Kraftwerk.Placer.init config circuit p0), crit_fresh (), 0)
+    | Job.Flat, Job.Resume file ->
       let* cp = Checkpoint.load file in
       let* state = Checkpoint.restore cp config circuit in
       let crit =
@@ -280,20 +326,47 @@ let start_running (spec : Job.spec) =
               Timing.Criticality.create (Netlist.Circuit.num_nets circuit))
         else None
       in
-      Ok (state, crit)
-    | Job.Warm file ->
+      Ok (Flat state, crit, 0)
+    | Job.Flat, Job.Warm file ->
       (* ECO shape: only the checkpointed placement, fresh forces — the
          circuit may differ from the checkpointed one. *)
       let* cp = Checkpoint.load file in
       let* p =
         Checkpoint.placement cp ~num_cells:(Netlist.Circuit.num_cells circuit)
       in
+      Ok (Flat (Kraftwerk.Placer.init config circuit p), crit_fresh (), 0)
+    | Job.Multilevel, Job.Fresh ->
+      let fixed = fixed_positions_of circuit p0 in
+      Ok
+        ( Multi (Kraftwerk.Cluster.start config circuit ~fixed_positions:fixed p0),
+          crit_fresh (),
+          0 )
+    | Job.Multilevel, Job.Resume file ->
+      let* cp = Checkpoint.load file in
+      let fixed = fixed_positions_of circuit p0 in
+      let* run =
+        Checkpoint.restore_multilevel cp config circuit ~fixed_positions:fixed
+      in
       let crit =
         if spec.Job.timing then
-          Some (Timing.Criticality.create (Netlist.Circuit.num_nets circuit))
+          Some
+            (match cp.Checkpoint.criticality with
+            | Some a -> Timing.Criticality.of_array a
+            | None ->
+              Timing.Criticality.create (Netlist.Circuit.num_nets circuit))
         else None
       in
-      Ok (Kraftwerk.Placer.init config circuit p, crit)
+      Ok (Multi run, crit, cp.Checkpoint.iteration)
+    | Job.Multilevel, Job.Warm file ->
+      let* cp = Checkpoint.load file in
+      let* p =
+        Checkpoint.placement cp ~num_cells:(Netlist.Circuit.num_cells circuit)
+      in
+      let fixed = fixed_positions_of circuit p in
+      Ok
+        ( Multi (Kraftwerk.Cluster.start config circuit ~fixed_positions:fixed p),
+          crit_fresh (),
+          0 )
   in
   let hooks =
     match crit with
@@ -320,7 +393,7 @@ let start_running (spec : Job.spec) =
   Ok
     {
       circuit;
-      state;
+      exec;
       hooks;
       crit;
       sink;
@@ -328,8 +401,16 @@ let start_running (spec : Job.spec) =
       iters_emitted;
       started_at = Unix.gettimeofday ();
       max_steps =
-        Option.value spec.Job.max_steps
-          ~default:config.Kraftwerk.Config.max_iterations;
+        (match spec.Job.max_steps with
+        | Some n -> n
+        | None -> (
+          (* A V-cycle budgets per level ([max_iterations] at the
+             coarsest stage, [ml_refine_iters] below); an engine-wide
+             cap only applies when the spec asks for one. *)
+          match exec with
+          | Flat _ -> config.Kraftwerk.Config.max_iterations
+          | Multi _ -> max_int));
+      steps_taken = steps0;
       since_checkpoint = 0;
       checkpoint_written = None;
     }
@@ -339,7 +420,12 @@ let start_running (spec : Job.spec) =
 
 let write_checkpoint t entry run file =
   let criticality = Option.map Timing.Criticality.to_array run.crit in
-  Checkpoint.save file (Checkpoint.of_state ?criticality run.state);
+  let cp =
+    match run.exec with
+    | Flat s -> Checkpoint.of_state ?criticality s
+    | Multi r -> Checkpoint.of_run ?criticality r
+  in
+  Checkpoint.save file cp;
   run.since_checkpoint <- 0;
   run.checkpoint_written <- Some file;
   with_lock t (fun () ->
@@ -358,7 +444,7 @@ let close_trace run ~(result : Job.result) =
         wall_time = result.Job.wall_s;
         stop_reason =
           Option.map Kraftwerk.Controller.reason_to_string
-            (Kraftwerk.Placer.stop_reason run.state);
+            (Kraftwerk.Placer.stop_reason (exec_state run.exec));
         counters = Obs.Registry.snapshot ();
       }
   | None, _ -> ());
@@ -408,7 +494,7 @@ let finish_done t entry run ~converged =
   | Some file -> write_checkpoint t entry run file
   | None -> ());
   let c = run.circuit in
-  let global = run.state.Kraftwerk.Placer.placement in
+  let global = exec_final_placement c run.exec in
   with_lock t (fun () ->
       entry.final_global <- Some (Netlist.Placement.copy global));
   let rep = Legalize.Abacus.legalize c global () in
@@ -419,7 +505,7 @@ let finish_done t entry run ~converged =
   finish t entry
     {
       Job.status = Job.Done;
-      iterations = run.state.Kraftwerk.Placer.iteration;
+      iterations = exec_iterations run;
       converged;
       hpwl = Metrics.Wirelength.hpwl c lp;
       overlap = Metrics.Overlap.overlap_ratio c lp;
@@ -445,7 +531,7 @@ let finish_degraded t entry run ~deadline_expired =
   | Some file -> write_checkpoint t entry run file
   | None -> ());
   let c = run.circuit in
-  let global = run.state.Kraftwerk.Placer.placement in
+  let global = exec_final_placement c run.exec in
   with_lock t (fun () ->
       entry.final_global <- Some (Netlist.Placement.copy global));
   let lp, legal =
@@ -463,7 +549,7 @@ let finish_degraded t entry run ~deadline_expired =
   finish t entry
     {
       Job.status = Job.Cancelled;
-      iterations = run.state.Kraftwerk.Placer.iteration;
+      iterations = exec_iterations run;
       converged = false;
       hpwl = Metrics.Wirelength.hpwl c lp;
       overlap = Metrics.Overlap.overlap_ratio c lp;
@@ -492,23 +578,36 @@ let turn_body t entry run ~set_lanes =
     | None -> false
   in
   let cancelled = with_lock t (fun () -> entry.cancel_requested) in
+  let over_budget =
+    match run.exec with
+    | Flat s -> s.Kraftwerk.Placer.iteration >= run.max_steps
+    | Multi _ -> run.steps_taken >= run.max_steps
+  in
+  let done_now =
+    match run.exec with
+    | Flat s -> Kraftwerk.Placer.converged s
+    | Multi r -> Kraftwerk.Cluster.finished r
+  in
   if cancelled || deadline_expired then
     finish_degraded t entry run ~deadline_expired
-  else if run.state.Kraftwerk.Placer.iteration >= run.max_steps then begin
+  else if over_budget then begin
     Kraftwerk.Controller.record_stop
-      run.state.Kraftwerk.Placer.controller Kraftwerk.Controller.Max_steps;
+      (exec_state run.exec).Kraftwerk.Placer.controller
+      Kraftwerk.Controller.Max_steps;
     finish_done t entry run ~converged:false
   end
-  else if Kraftwerk.Placer.converged run.state then
-    finish_done t entry run ~converged:true
+  else if done_now then finish_done t entry run ~converged:true
   else begin
     set_lanes ();
     let step () =
-      ignore (Kraftwerk.Placer.transform ~hooks:run.hooks run.state)
+      match run.exec with
+      | Flat s -> ignore (Kraftwerk.Placer.transform ~hooks:run.hooks s)
+      | Multi r -> ignore (Kraftwerk.Cluster.step ~hooks:run.hooks r)
     in
     (match run.sink with
     | Some sink -> Obs.Sink.with_sink sink step
     | None -> step ());
+    run.steps_taken <- run.steps_taken + 1;
     run.since_checkpoint <- run.since_checkpoint + 1;
     match entry.spec.Job.checkpoint with
     | Some file when run.since_checkpoint >= entry.spec.Job.checkpoint_every ->

@@ -184,17 +184,218 @@ let expand t ~coarse_placement ~flat_placement =
         group_members)
     t.members
 
+(* ------------------------------------------------------------------ *)
+(* Recursive multilevel V-cycle                                         *)
+(*                                                                      *)
+(* The one-level flow above generalises: cluster repeatedly until the   *)
+(* coarse netlist drops under [Config.ml_threshold] (or coarsening      *)
+(* stops making progress), place the coarsest circuit with the normal   *)
+(* controller-driven loop, then uncluster and refine level by level.    *)
+(* Everything is a pure function of (circuit, config): clustering at    *)
+(* level l seeds its RNG with ml_seed + l, the placer kernels are       *)
+(* bitwise-deterministic for any domain count, and expansion is         *)
+(* closed-form — so the hierarchy can be rebuilt identically on resume  *)
+(* and a checkpoint only needs (level, done-steps, level placer state). *)
+
+type hierarchy = {
+  circuits : Netlist.Circuit.t array;
+      (* .(0) = flat … .(depth) = coarsest *)
+  clusterings : clustering array;
+      (* .(l) clusters circuits.(l) into circuits.(l+1); length = depth *)
+  level_fixed : (int * (float * float)) list array;
+      (* fixed positions per level; length = depth + 1 *)
+}
+
+let depth h = Array.length h.clusterings
+
+let build_hierarchy (config : Config.t) (c : Netlist.Circuit.t)
+    ~fixed_positions =
+  let threshold = Stdlib.max 1 config.Config.ml_threshold in
+  let max_levels = Stdlib.max 1 config.Config.ml_max_levels in
+  let circuits = ref [ c ] in
+  let clusterings = ref [] in
+  let fixed = ref [ fixed_positions ] in
+  let current = ref c in
+  let cur_fixed = ref fixed_positions in
+  let level = ref 0 in
+  let progress = ref true in
+  (* Always coarsen at least once (the historical two-level flow); keep
+     going while the level is still above the threshold and clustering
+     still shrinks the netlist by a meaningful margin. *)
+  while
+    !progress && !level < max_levels
+    && (!level = 0 || Netlist.Circuit.num_cells !current > threshold)
+  do
+    let t =
+      cluster ~seed:(config.Config.ml_seed + !level) !current
+        ~fixed_positions:!cur_fixed
+    in
+    let fine_n = Netlist.Circuit.num_cells !current in
+    let coarse_n = Netlist.Circuit.num_cells t.coarse in
+    if coarse_n * 20 >= fine_n * 19 then progress := false
+    else begin
+      circuits := t.coarse :: !circuits;
+      clusterings := t :: !clusterings;
+      fixed := t.coarse_fixed :: !fixed;
+      current := t.coarse;
+      cur_fixed := t.coarse_fixed;
+      incr level
+    end
+  done;
+  {
+    circuits = Array.of_list (List.rev !circuits);
+    clusterings = Array.of_list (List.rev !clusterings);
+    level_fixed = Array.of_list (List.rev !fixed);
+  }
+
+(* Per-level placer configuration.  Coarse levels drop an explicit grid
+   pin (the automatic bins adapt to the coarse cell sizes) and compound
+   [ml_grid_scale] once per level. *)
+let level_config (config : Config.t) ~level =
+  if level = 0 then config
+  else
+    {
+      config with
+      Config.grid = None;
+      grid_scale =
+        config.Config.grid_scale
+        *. (config.Config.ml_grid_scale ** float_of_int level);
+    }
+
+type run = {
+  run_config : Config.t;
+  hierarchy : hierarchy;
+  mutable level : int;  (* current stage, depth … 0 *)
+  mutable state : Placer.state;
+  mutable level_steps : int;  (* transformations taken in this stage *)
+}
+
+let total_levels r = depth r.hierarchy + 1
+
+let base_config r = r.run_config
+
+let flat_circuit r = r.hierarchy.circuits.(0)
+
+let current_level r = r.level
+
+let current_level_steps r = r.level_steps
+
+let current_state r = r.state
+
+(* The coarsest stage runs the full controller loop; every refinement
+   stage below it gets the (much smaller) per-level budget. *)
+let level_budget r =
+  let d = depth r.hierarchy in
+  if r.level = d then r.run_config.Config.max_iterations
+  else r.run_config.Config.ml_refine_iters
+
+let init_level config h ~level =
+  let circuit = h.circuits.(level) in
+  let p0 =
+    Netlist.Placement.centered circuit ~fixed_positions:h.level_fixed.(level)
+  in
+  Placer.init ~telemetry_level:level (level_config config ~level) circuit p0
+
+let start (config : Config.t) (c : Netlist.Circuit.t) ~fixed_positions
+    placement =
+  let h = build_hierarchy config c ~fixed_positions in
+  let d = depth h in
+  if d = 0 then
+    (* Clustering made no progress: degenerate to the flat flow from the
+       caller's placement. *)
+    {
+      run_config = config;
+      hierarchy = h;
+      level = 0;
+      state = Placer.init config c placement;
+      level_steps = 0;
+    }
+  else
+    {
+      run_config = config;
+      hierarchy = h;
+      level = d;
+      state = init_level config h ~level:d;
+      level_steps = 0;
+    }
+
+(* Expand the current level's placement one level down and switch the
+   run to the finer circuit. *)
+let descend r =
+  let l = r.level in
+  if l = 0 then invalid_arg "Cluster.descend: already at the flat level";
+  let t = r.hierarchy.clusterings.(l - 1) in
+  let fine = r.hierarchy.circuits.(l - 1) in
+  let fine_p =
+    Netlist.Placement.centered fine
+      ~fixed_positions:r.hierarchy.level_fixed.(l - 1)
+  in
+  expand t ~coarse_placement:r.state.Placer.placement ~flat_placement:fine_p;
+  (* The sunflower spread can step over the region edge for clusters
+     seated against it. *)
+  Netlist.Placement.clamp_to_region fine fine_p;
+  r.level <- l - 1;
+  r.state <-
+    Placer.init ~telemetry_level:(l - 1)
+      (level_config r.run_config ~level:(l - 1))
+      fine fine_p;
+  r.level_steps <- 0
+
+let level_done r = r.level_steps >= level_budget r || Placer.converged r.state
+
+(* One V-cycle step: a single placement transformation, descending
+   first when the current stage is finished.  Hooks reference flat-level
+   cell/net indices, so they engage only at level 0.  Returns [false]
+   when the flat level has converged (or exhausted its budget). *)
+let rec step ?hooks r =
+  if level_done r then
+    if r.level = 0 then false
+    else begin
+      descend r;
+      step ?hooks r
+    end
+  else begin
+    let hooks = if r.level = 0 then hooks else None in
+    ignore (Placer.transform ?hooks r.state);
+    r.level_steps <- r.level_steps + 1;
+    true
+  end
+
+let finished r = r.level = 0 && level_done r
+
+(* Deterministic fast finish for cancelled/degraded runs: expand the
+   remaining levels straight down without further optimisation. *)
+let finish r =
+  while r.level > 0 do
+    descend r
+  done;
+  r.state.Placer.placement
+
+(* Rebuild a run at a checkpointed position: the hierarchy is a pure
+   function of (circuit, config), so only the level index, its completed
+   step count and the level placer state need restoring.  [restore_state]
+   receives the level's circuit and per-level config and returns the
+   placer state (built from checkpointed arrays). *)
+let resume (config : Config.t) (c : Netlist.Circuit.t) ~fixed_positions ~level
+    ~level_steps ~restore_state =
+  let h = build_hierarchy config c ~fixed_positions in
+  let d = depth h in
+  if level < 0 || level > d then
+    invalid_arg
+      (Printf.sprintf "Cluster.resume: level %d outside 0..%d" level d);
+  let state = restore_state h.circuits.(level) (level_config config ~level) in
+  { run_config = config; hierarchy = h; level; state; level_steps }
+
 let place_multilevel ?seed config (c : Netlist.Circuit.t) ~fixed_positions
     placement =
-  let t = cluster ?seed c ~fixed_positions in
-  let coarse_p0 =
-    Netlist.Placement.centered t.coarse ~fixed_positions:t.coarse_fixed
+  let config =
+    match seed with
+    | Some s -> { config with Config.ml_seed = s }
+    | None -> config
   in
-  let coarse_state, _ = Placer.run config t.coarse coarse_p0 in
-  let flat = Netlist.Placement.copy placement in
-  expand t ~coarse_placement:coarse_state.Placer.placement ~flat_placement:flat;
-  (* Flat refinement from the expanded placement. *)
-  let state = Placer.init config c flat in
-  ignore (Placer.continue_run state ~max_steps:config.Config.max_iterations);
-  Netlist.Placement.clamp_to_region c state.Placer.placement;
-  state.Placer.placement
+  let r = start config c ~fixed_positions placement in
+  while step r do
+    ()
+  done;
+  Netlist.Placement.clamp_to_region c r.state.Placer.placement;
+  r.state.Placer.placement

@@ -43,11 +43,114 @@ val expand :
   flat_placement:Netlist.Placement.t ->
   unit
 
+(** {1 Recursive multilevel V-cycle}
+
+    The one-level flow generalised: cluster repeatedly until the coarse
+    netlist has at most {!Config.t.ml_threshold} cells (at least one
+    level, at most [ml_max_levels], stopping early when clustering no
+    longer shrinks the netlist), place the coarsest circuit with the
+    normal controller-driven loop, then uncluster and refine level by
+    level under the [ml_refine_iters] budget.
+
+    Trajectories are a pure function of (circuit, config): clustering at
+    level [l] seeds its RNG with [ml_seed + l] and every kernel is
+    bitwise-deterministic for any domain/shard count, so the hierarchy
+    rebuilds identically on resume and a checkpoint only needs the level
+    index, its completed step count and the level placer state. *)
+
+(** The full coarsening stack: [circuits.(0)] is the flat circuit,
+    [circuits.(depth)] the coarsest. *)
+type hierarchy = {
+  circuits : Netlist.Circuit.t array;
+  clusterings : clustering array;
+      (** [clusterings.(l)] maps [circuits.(l)] to [circuits.(l+1)] *)
+  level_fixed : (int * (float * float)) list array;
+      (** fixed positions per level *)
+}
+
+(** Number of coarsening levels (0 when clustering made no progress). *)
+val depth : hierarchy -> int
+
+(** [build_hierarchy config circuit ~fixed_positions] runs the recursive
+    coarsening pass alone — deterministic for a given (circuit, config). *)
+val build_hierarchy :
+  Config.t ->
+  Netlist.Circuit.t ->
+  fixed_positions:(int * (float * float)) list ->
+  hierarchy
+
+(** The placer configuration used at [level]: level 0 is [config]
+    itself; coarse levels drop an explicit grid pin and compound
+    [ml_grid_scale] once per level. *)
+val level_config : Config.t -> level:int -> Config.t
+
+(** An in-flight V-cycle: the hierarchy plus the current stage's placer
+    state.  Stages count {e down} from [depth hierarchy] (coarsest) to 0
+    (flat). *)
+type run
+
+val total_levels : run -> int
+
+(** The configuration the run was started with (level 0's config). *)
+val base_config : run -> Config.t
+
+(** The flat (level-0) circuit of the hierarchy. *)
+val flat_circuit : run -> Netlist.Circuit.t
+
+(** Current stage index ([0] = flat). *)
+val current_level : run -> int
+
+(** Transformations taken in the current stage. *)
+val current_level_steps : run -> int
+
+(** The current stage's placer state (against
+    [hierarchy.circuits.(current_level)]). *)
+val current_state : run -> Placer.state
+
+(** [start config circuit ~fixed_positions placement] builds the
+    hierarchy and the coarsest stage's placer.  [placement] is only used
+    when clustering makes no progress and the run degenerates to the
+    flat flow. *)
+val start :
+  Config.t ->
+  Netlist.Circuit.t ->
+  fixed_positions:(int * (float * float)) list ->
+  Netlist.Placement.t ->
+  run
+
+(** [step ?hooks run] advances the V-cycle by one placement
+    transformation, first expanding down a level whenever the current
+    stage has converged or exhausted its budget.  [hooks] reference
+    flat-level indices and engage only at level 0.  Returns [false] once
+    the flat level is done. *)
+val step : ?hooks:Placer.hooks -> run -> bool
+
+(** True once the flat level has converged or exhausted its budget. *)
+val finished : run -> bool
+
+(** [finish run] deterministically expands any remaining levels straight
+    down — no further optimisation — and returns the flat placement
+    (used by cancelled/degraded engine finishes). *)
+val finish : run -> Netlist.Placement.t
+
+(** [resume config circuit ~fixed_positions ~level ~level_steps
+    ~restore_state] rebuilds a run mid-flight: the hierarchy is
+    reconstructed (deterministically), and [restore_state] is called
+    with the level's circuit and per-level config to rebuild the placer
+    state from checkpointed arrays.
+    @raise Invalid_argument when [level] exceeds the rebuilt depth. *)
+val resume :
+  Config.t ->
+  Netlist.Circuit.t ->
+  fixed_positions:(int * (float * float)) list ->
+  level:int ->
+  level_steps:int ->
+  restore_state:(Netlist.Circuit.t -> Config.t -> Placer.state) ->
+  run
+
 (** [place_multilevel ?seed config circuit ~fixed_positions placement]
-    is the two-level flow: cluster, place the coarse circuit with
-    [config], expand, then refine the flat placement with up to
-    [config.max_iterations] further transformations (they stop at the
-    usual criterion).  Returns the flat placement. *)
+    drives a whole V-cycle to completion and returns the flat placement
+    (clamped to the region).  [?seed] overrides [config.ml_seed]. *)
 val place_multilevel :
   ?seed:int ->
   Config.t ->

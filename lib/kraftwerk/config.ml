@@ -20,6 +20,11 @@ type t = {
   penalty_initial : float;
   penalty_update : float;
   penalty_max : float;
+  ml_threshold : int;
+  ml_max_levels : int;
+  ml_refine_iters : int;
+  ml_grid_scale : float;
+  ml_seed : int;
 }
 
 let standard =
@@ -45,6 +50,11 @@ let standard =
     penalty_initial = 1.0;
     penalty_update = 1.0;
     penalty_max = 1.0;
+    ml_threshold = 3000;
+    ml_max_levels = 8;
+    ml_refine_iters = 60;
+    ml_grid_scale = 1.0;
+    ml_seed = 1;
   }
 
 let fast = { standard with k_param = 0.2; max_iterations = 80 }

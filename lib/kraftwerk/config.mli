@@ -73,6 +73,26 @@ type t = {
   penalty_update : float;
       (** multiplicative growth of the penalty each transformation *)
   penalty_max : float;  (** saturation value of the penalty schedule *)
+  ml_threshold : int;
+      (** multilevel V-cycle ({!Cluster.start}): keep coarsening while
+          the current level has more cells than this.  The flat circuit
+          is always coarsened at least once (the historical two-level
+          flow); a run only degenerates to flat when clustering makes no
+          progress. *)
+  ml_max_levels : int;
+      (** hard cap on the number of coarsening levels of the V-cycle *)
+  ml_refine_iters : int;
+      (** per-level budget of refinement transformations after
+          unclustering (the coarsest level runs the full
+          controller-driven loop under [max_iterations]) *)
+  ml_grid_scale : float;
+      (** extra multiplier on [grid_scale] applied once per coarsening
+          level, so coarse levels can run on coarser density grids
+          (1.0 leaves every level at the automatic resolution) *)
+  ml_seed : int;
+      (** RNG seed of the FirstChoice clustering pass; level [l]
+          clusters with [ml_seed + l], so trajectories are a pure
+          function of (circuit, config) *)
 }
 
 (** [standard] is the configuration behind the Table-1 "Our Approach"

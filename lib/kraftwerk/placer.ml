@@ -9,6 +9,7 @@ type state = {
   net_weights : float array;
   assembly : Qp.System.assembly;
   controller : Controller.t;
+  telemetry_level : int;
   mutable iteration : int;
 }
 
@@ -34,31 +35,58 @@ type hooks = {
 
 let no_hooks = { reweight = None; extra_density = None; on_step = None }
 
-let init config circuit placement =
+let grid_dims state =
+  match state.config.Config.grid with
+  | Some (nx, ny) -> (nx, ny)
+  | None ->
+    let nx, ny = Density.Density_map.auto_bins state.circuit in
+    let s = state.config.Config.grid_scale in
+    if s = 1.0 then (nx, ny)
+    else
+      let scaled n =
+        Stdlib.max 4 (int_of_float (Float.round (s *. float_of_int n)))
+      in
+      (scaled nx, scaled ny)
+
+(* The first transformation of a job would otherwise pay Poisson kernel
+   construction inside the hot loop (the cold-call spike in
+   BENCH_kernels.json); build the spectra for the run's fixed grid now,
+   while the caller is still in setup. *)
+let prewarm_density state =
+  let nx, ny = grid_dims state in
+  Density.Forces.prewarm ~solver:state.config.Config.solver
+    ~region:state.circuit.Netlist.Circuit.region ~nx ~ny ()
+
+let init ?(telemetry_level = 0) config circuit placement =
   (* Pin the pool size before any kernel runs so the whole run uses one
      setting; None leaves the KRAFTWERK_DOMAINS / hardware default. *)
   (match config.Config.domains with
   | Some d -> Numeric.Parallel.set_num_domains d
   | None -> ());
   let var_of_cell, n_movable = Qp.System.index_map circuit in
-  {
-    circuit;
-    config;
-    var_of_cell;
-    n_movable;
-    placement = Netlist.Placement.copy placement;
-    ex = Array.make n_movable 0.;
-    ey = Array.make n_movable 0.;
-    net_weights = Array.make (Netlist.Circuit.num_nets circuit) 1.;
-    assembly =
-      Qp.System.assembly circuit ~clique_cap:config.Config.clique_cap
-        ~model:config.Config.net_model ();
-    controller = Controller.create config;
-    iteration = 0;
-  }
+  let state =
+    {
+      circuit;
+      config;
+      var_of_cell;
+      n_movable;
+      placement = Netlist.Placement.copy placement;
+      ex = Array.make n_movable 0.;
+      ey = Array.make n_movable 0.;
+      net_weights = Array.make (Netlist.Circuit.num_nets circuit) 1.;
+      assembly =
+        Qp.System.assembly circuit ~clique_cap:config.Config.clique_cap
+          ~model:config.Config.net_model ();
+      controller = Controller.create config;
+      telemetry_level;
+      iteration = 0;
+    }
+  in
+  prewarm_density state;
+  state
 
-let restore config circuit ~placement ~ex ~ey ~net_weights ?controller
-    ~iteration () =
+let restore ?(telemetry_level = 0) config circuit ~placement ~ex ~ey
+    ~net_weights ?controller ~iteration () =
   (match config.Config.domains with
   | Some d -> Numeric.Parallel.set_num_domains d
   | None -> ());
@@ -87,21 +115,18 @@ let restore config circuit ~placement ~ex ~ey ~net_weights ?controller
       (match controller with
       | Some c -> Controller.copy c
       | None -> Controller.create config);
+    telemetry_level;
     iteration;
   }
 
-let grid_dims state =
-  match state.config.Config.grid with
-  | Some (nx, ny) -> (nx, ny)
-  | None ->
-    let nx, ny = Density.Density_map.auto_bins state.circuit in
-    let s = state.config.Config.grid_scale in
-    if s = 1.0 then (nx, ny)
-    else
-      let scaled n =
-        Stdlib.max 4 (int_of_float (Float.round (s *. float_of_int n)))
-      in
-      (scaled nx, scaled ny)
+let restore ?telemetry_level config circuit ~placement ~ex ~ey ~net_weights
+    ?controller ~iteration () =
+  let state =
+    restore ?telemetry_level config circuit ~placement ~ex ~ey ~net_weights
+      ?controller ~iteration ()
+  in
+  prewarm_density state;
+  state
 
 let edge_scale state =
   if state.config.Config.linearize then
@@ -289,6 +314,7 @@ let transform ?(hooks = no_hooks) state =
         lb_hpwl = report.hpwl;
         ub_hpwl = report.ub_hpwl;
         gap = report.gap;
+        level = state.telemetry_level;
         phases = List.rev !phases;
       }
   end;

@@ -20,6 +20,9 @@ type state = {
           preconditioner storage) reused by every transformation *)
   controller : Controller.t;
       (** convergence controller: LB/UB envelope and penalty schedule *)
+  telemetry_level : int;
+      (** V-cycle stage stamped into emitted telemetry records (0 for
+          flat runs; {!Cluster} passes the stage index) *)
   mutable iteration : int;
 }
 
@@ -53,8 +56,16 @@ type hooks = {
 val no_hooks : hooks
 
 (** [init config circuit placement] builds a fresh state around (a copy
-    of) [placement] with ~e = 0 and unit net weights. *)
-val init : Config.t -> Netlist.Circuit.t -> Netlist.Placement.t -> state
+    of) [placement] with ~e = 0 and unit net weights.
+    [?telemetry_level] (default 0) is the V-cycle stage stamped into
+    telemetry records — purely observational, it never affects the
+    trajectory. *)
+val init :
+  ?telemetry_level:int ->
+  Config.t ->
+  Netlist.Circuit.t ->
+  Netlist.Placement.t ->
+  state
 
 (** [restore config circuit ~placement ~ex ~ey ~net_weights ~iteration]
     rebuilds a state from externally saved mid-run data (the checkpoint
@@ -69,6 +80,7 @@ val init : Config.t -> Netlist.Circuit.t -> Netlist.Placement.t -> state
     bitwise-faithful for iteration 0.  All inputs are copied.  Raises
     [Invalid_argument] on length mismatches. *)
 val restore :
+  ?telemetry_level:int ->
   Config.t ->
   Netlist.Circuit.t ->
   placement:Netlist.Placement.t ->

@@ -105,12 +105,44 @@ let transform2 ~inverse ~rows ~cols re im =
     cols_pass 0 cols
   end
 
-let convolve2 ~rows ~cols a b =
+type conv_scratch = {
+  cs_n : int;
+  ar : float array;
+  ai : float array;
+  br : float array;
+  bi : float array;
+}
+
+let conv_scratch ~rows ~cols =
+  let n = rows * cols in
+  {
+    cs_n = n;
+    ar = Array.make n 0.;
+    ai = Array.make n 0.;
+    br = Array.make n 0.;
+    bi = Array.make n 0.;
+  }
+
+let convolve2 ?scratch ~rows ~cols a b =
   let n = rows * cols in
   if Array.length a <> n || Array.length b <> n then
     invalid_arg "Fft.convolve2: size mismatch";
-  let ar = Array.copy a and ai = Array.make n 0. in
-  let br = Array.copy b and bi = Array.make n 0. in
+  (* The scratch carries the four complex planes of the transform, so a
+     fixed-grid convolution loop allocates nothing after the first call.
+     Results are bitwise-identical with and without it: the same
+     operations run in the same order, only the buffers' lifetime
+     changes. *)
+  let ar, ai, br, bi =
+    match scratch with
+    | Some s ->
+      if s.cs_n <> n then invalid_arg "Fft.convolve2: scratch size mismatch";
+      Array.blit a 0 s.ar 0 n;
+      Array.fill s.ai 0 n 0.;
+      Array.blit b 0 s.br 0 n;
+      Array.fill s.bi 0 n 0.;
+      (s.ar, s.ai, s.br, s.bi)
+    | None -> (Array.copy a, Array.make n 0., Array.copy b, Array.make n 0.)
+  in
   transform2 ~inverse:false ~rows ~cols ar ai;
   transform2 ~inverse:false ~rows ~cols br bi;
   for i = 0 to n - 1 do
@@ -121,3 +153,270 @@ let convolve2 ~rows ~cols a b =
   done;
   transform2 ~inverse:true ~rows ~cols ar ai;
   ar
+
+(* ------------------------------------------------------------------ *)
+(* Planned transforms: precomputed bit-reversal and twiddle tables.     *)
+(*                                                                      *)
+(* The legacy [transform] above regenerates twiddles with a multiplica- *)
+(* tive recurrence on every call; the planned core below looks them up  *)
+(* in tables built once per length (computed with cos/sin directly, so  *)
+(* it is also slightly *more* accurate).  Plans are immutable and       *)
+(* cached process-wide; concurrent domains share them freely.           *)
+(* ------------------------------------------------------------------ *)
+
+type plan = {
+  pn : int;
+  bitrev : int array;
+  (* Stage-major twiddles for the forward direction: the stage with
+     half-length h (h = 1, 2, 4, …, n/2) owns entries
+     [h-1 .. 2h-2]; entry h-1+k holds e^{-iπk/h}. *)
+  twr : float array;
+  twi : float array;
+}
+
+let make_plan n =
+  if not (is_pow2 n) then invalid_arg "Fft.plan: length not a power of two";
+  let bitrev = Array.make n 0 in
+  for i = 1 to n - 1 do
+    bitrev.(i) <- (bitrev.(i lsr 1) lsr 1) lor (if i land 1 = 1 then n lsr 1 else 0)
+  done;
+  let twr = Array.make (max 1 (n - 1)) 1. in
+  let twi = Array.make (max 1 (n - 1)) 0. in
+  let h = ref 1 in
+  while !h < n do
+    let base = !h - 1 in
+    for k = 0 to !h - 1 do
+      let theta = -.Float.pi *. float_of_int k /. float_of_int !h in
+      twr.(base + k) <- cos theta;
+      twi.(base + k) <- sin theta
+    done;
+    h := !h * 2
+  done;
+  { pn = n; bitrev; twr; twi }
+
+let plan_cache : (int, plan) Hashtbl.t = Hashtbl.create 8
+
+let plan_lock = Mutex.create ()
+
+let plan n =
+  Mutex.lock plan_lock;
+  let p =
+    match Hashtbl.find_opt plan_cache n with
+    | Some p ->
+      Mutex.unlock plan_lock;
+      p
+    | None ->
+      Mutex.unlock plan_lock;
+      let p = make_plan n in
+      Mutex.lock plan_lock;
+      (match Hashtbl.find_opt plan_cache n with
+      | Some p' ->
+        Mutex.unlock plan_lock;
+        p'
+      | None ->
+        Hashtbl.replace plan_cache n p;
+        Mutex.unlock plan_lock;
+        p)
+  in
+  p
+
+(* In-place complex FFT of [re.(off..off+n-1)], [im.(off..off+n-1)]. *)
+let cfft p ~inverse re im off =
+  let n = p.pn in
+  for i = 0 to n - 1 do
+    let j = p.bitrev.(i) in
+    if i < j then begin
+      let tr = re.(off + i) and ti = im.(off + i) in
+      re.(off + i) <- re.(off + j);
+      im.(off + i) <- im.(off + j);
+      re.(off + j) <- tr;
+      im.(off + j) <- ti
+    end
+  done;
+  let h = ref 1 in
+  while !h < n do
+    let base = !h - 1 in
+    let k = ref 0 in
+    while !k < n do
+      for o = 0 to !h - 1 do
+        let wr = p.twr.(base + o) in
+        let wi = if inverse then -.p.twi.(base + o) else p.twi.(base + o) in
+        let i0 = off + !k + o in
+        let i1 = i0 + !h in
+        let tr = (re.(i1) *. wr) -. (im.(i1) *. wi) in
+        let ti = (re.(i1) *. wi) +. (im.(i1) *. wr) in
+        re.(i1) <- re.(i0) -. tr;
+        im.(i1) <- im.(i0) -. ti;
+        re.(i0) <- re.(i0) +. tr;
+        im.(i0) <- im.(i0) +. ti
+      done;
+      k := !k + (2 * !h)
+    done;
+    h := !h * 2
+  done;
+  if inverse then begin
+    let inv_n = 1. /. float_of_int n in
+    for i = off to off + n - 1 do
+      re.(i) <- re.(i) *. inv_n;
+      im.(i) <- im.(i) *. inv_n
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Real-input forward transform (half spectrum)                         *)
+
+type rplan = {
+  rn : int;  (* real length, power of two ≥ 2 *)
+  half : plan;  (* complex plan of length rn/2 *)
+  ur : float array;  (* e^{-iπk/(rn/2)} for k = 0 .. rn/2 *)
+  ui : float array;
+}
+
+let make_rplan n =
+  if not (is_pow2 n) || n < 2 then
+    invalid_arg "Fft.rplan: length not a power of two >= 2";
+  let m = n / 2 in
+  let ur = Array.make (m + 1) 1. and ui = Array.make (m + 1) 0. in
+  for k = 0 to m do
+    let theta = -.Float.pi *. float_of_int k /. float_of_int m in
+    ur.(k) <- cos theta;
+    ui.(k) <- sin theta
+  done;
+  { rn = n; half = plan m; ur; ui }
+
+let rplan_cache : (int, rplan) Hashtbl.t = Hashtbl.create 8
+
+let rplan n =
+  Mutex.lock plan_lock;
+  match Hashtbl.find_opt rplan_cache n with
+  | Some p ->
+    Mutex.unlock plan_lock;
+    p
+  | None ->
+    Mutex.unlock plan_lock;
+    let p = make_rplan n in
+    Mutex.lock plan_lock;
+    let p =
+      match Hashtbl.find_opt rplan_cache n with
+      | Some p' -> p'
+      | None ->
+        Hashtbl.replace rplan_cache n p;
+        p
+    in
+    Mutex.unlock plan_lock;
+    p
+
+(* Forward DFT of the real sequence [src.(soff) .. src.(soff+count-1)],
+   implicitly zero-extended to length [rp.rn].  The Hermitian half
+   spectrum X(0 .. n/2) lands in [outr]/[outi] at [ooff]; [zre]/[zim]
+   are caller scratch of length n/2.  Cost: one complex FFT of length
+   n/2 plus O(n) untwiddling — half the work of a padded complex
+   transform, with no imaginary input plane at all. *)
+let rfft_into rp ~src ~soff ~count ~outr ~outi ~ooff ~zre ~zim =
+  let m = rp.half.pn in
+  for j = 0 to m - 1 do
+    let i0 = 2 * j and i1 = (2 * j) + 1 in
+    zre.(j) <- (if i0 < count then src.(soff + i0) else 0.);
+    zim.(j) <- (if i1 < count then src.(soff + i1) else 0.)
+  done;
+  cfft rp.half ~inverse:false zre zim 0;
+  for k = 0 to m do
+    let a = zre.(if k = m then 0 else k) and b = zim.(if k = m then 0 else k) in
+    let c = zre.((m - k) mod m) and d = zim.((m - k) mod m) in
+    let er = 0.5 *. (a +. c) and ei = 0.5 *. (b -. d) in
+    let odr = 0.5 *. (b +. d) and odi = -0.5 *. (a -. c) in
+    let wr = rp.ur.(k) and wi = rp.ui.(k) in
+    outr.(ooff + k) <- er +. ((wr *. odr) -. (wi *. odi));
+    outi.(ooff + k) <- ei +. ((wr *. odi) +. (wi *. odr))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Real-to-real transforms: DCT-II / DST-II and their inverses          *)
+
+(* Unnormalised conventions, chosen so the naive definitions below are
+   the specification (property tests pin them):
+     dct2  y.(k) = Σ_j x.(j) cos(πk(2j+1)/(2N))
+     dst2  y.(k) = Σ_j x.(j) sin(π(k+1)(2j+1)/(2N))
+   [idct2]/[idst2] are exact inverses: idct2 (dct2 x) = x.
+
+   dct2 uses Makhoul's length-N real FFT factorisation: even-index
+   samples ascend in the first half, odd-index samples descend in the
+   second, then one real FFT and a twiddle; dst2 reduces to dct2 by
+   sign-flipping odd samples and reversing the output order. *)
+
+let dct2 x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else if n = 1 then [| x.(0) |]
+  else begin
+    if not (is_pow2 n) then invalid_arg "Fft.dct2: length not a power of two";
+    let v = Array.make n 0. in
+    for j = 0 to (n / 2) - 1 do
+      v.(j) <- x.(2 * j);
+      v.(n - 1 - j) <- x.((2 * j) + 1)
+    done;
+    let rp = rplan n in
+    let m = n / 2 in
+    let outr = Array.make (m + 1) 0. and outi = Array.make (m + 1) 0. in
+    let zre = Array.make m 0. and zim = Array.make m 0. in
+    rfft_into rp ~src:v ~soff:0 ~count:n ~outr ~outi ~ooff:0 ~zre ~zim;
+    let y = Array.make n 0. in
+    for k = 0 to n - 1 do
+      (* V(k) for k > n/2 from Hermitian symmetry. *)
+      let vr, vi =
+        if k <= m then (outr.(k), outi.(k))
+        else (outr.(n - k), -.outi.(n - k))
+      in
+      let theta = -.Float.pi *. float_of_int k /. (2. *. float_of_int n) in
+      let wr = cos theta and wi = sin theta in
+      y.(k) <- (wr *. vr) -. (wi *. vi)
+    done;
+    y
+  end
+
+let dst2 x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else begin
+    let x' = Array.mapi (fun j v -> if j land 1 = 0 then v else -.v) x in
+    let c = dct2 x' in
+    Array.init n (fun k -> c.(n - 1 - k))
+  end
+
+let idct2 y =
+  let n = Array.length y in
+  if n = 0 then [||]
+  else if n = 1 then [| y.(0) |]
+  else begin
+    if not (is_pow2 n) then invalid_arg "Fft.idct2: length not a power of two";
+    (* Invert the Makhoul factorisation: rebuild the length-n complex
+       spectrum of the reordered sequence V(k) = e^{iπk/(2n)}·(y(k) -
+       i·y(n-k)) (with y(n) ≡ 0), inverse transform, undo the reorder. *)
+    let m = n / 2 in
+    let vr = Array.make n 0. and vi = Array.make n 0. in
+    for k = 0 to n - 1 do
+      let a = y.(k) in
+      let b = if k = 0 then 0. else y.(n - k) in
+      let theta = Float.pi *. float_of_int k /. (2. *. float_of_int n) in
+      let wr = cos theta and wi = sin theta in
+      vr.(k) <- (a *. wr) +. (b *. wi);
+      vi.(k) <- (a *. wi) -. (b *. wr)
+    done;
+    let p = plan n in
+    cfft p ~inverse:true vr vi 0;
+    let x = Array.make n 0. in
+    for j = 0 to m - 1 do
+      x.(2 * j) <- vr.(j);
+      x.((2 * j) + 1) <- vr.(n - 1 - j)
+    done;
+    x
+  end
+
+let idst2 y =
+  let n = Array.length y in
+  if n = 0 then [||]
+  else begin
+    let c = Array.init n (fun k -> y.(n - 1 - k)) in
+    let x' = idct2 c in
+    Array.mapi (fun j v -> if j land 1 = 0 then v else -.v) x'
+  end

@@ -22,8 +22,93 @@ val transform : inverse:bool -> float array -> float array -> unit
 val transform2 :
   inverse:bool -> rows:int -> cols:int -> float array -> float array -> unit
 
-(** [convolve2 ~rows ~cols a b] is the 2-D {e cyclic} convolution of two
-    real [rows]×[cols] grids.  Callers wanting linear (open-boundary)
-    convolution must zero-pad to at least twice the support first. *)
+(** Reusable buffers for {!convolve2}: four [rows·cols] planes.  One
+    scratch serves any number of same-size convolutions; reusing it makes
+    a fixed-grid convolution loop allocation-free after the first call. *)
+type conv_scratch
+
+(** [conv_scratch ~rows ~cols] allocates scratch for [rows]×[cols]
+    convolutions. *)
+val conv_scratch : rows:int -> cols:int -> conv_scratch
+
+(** [convolve2 ?scratch ~rows ~cols a b] is the 2-D {e cyclic} convolution
+    of two real [rows]×[cols] grids.  Callers wanting linear
+    (open-boundary) convolution must zero-pad to at least twice the
+    support first.  With [scratch] the result aliases a scratch plane —
+    valid until the next call with the same scratch — and the call
+    allocates nothing; results are bitwise-identical either way. *)
 val convolve2 :
-  rows:int -> cols:int -> float array -> float array -> float array
+  ?scratch:conv_scratch ->
+  rows:int ->
+  cols:int ->
+  float array ->
+  float array ->
+  float array
+
+(** {1 Planned transforms}
+
+    A {!plan} precomputes the bit-reversal permutation and per-stage
+    twiddle tables for one power-of-two length.  Plans are immutable,
+    cached process-wide and safely shared across domains; the planned
+    transforms below are the building blocks of the real-to-real Poisson
+    path in {!Poisson}. *)
+
+type plan
+
+(** [plan n] returns the (cached) plan for complex transforms of length
+    [n].  Raises [Invalid_argument] unless [n] is a power of two. *)
+val plan : int -> plan
+
+(** [cfft p ~inverse re im off] performs the in-place complex FFT of
+    [re.(off..off+n-1)], [im.(off..off+n-1)] where [n] is the plan's
+    length.  The inverse includes the 1/n normalisation.  Identical
+    butterfly ordering to {!transform}, but twiddles come from the plan's
+    tables (computed with direct cos/sin rather than the legacy
+    recurrence, so results may differ from {!transform} in the last
+    ulps). *)
+val cfft : plan -> inverse:bool -> float array -> float array -> int -> unit
+
+(** Plan for real-input transforms of one power-of-two length [n ≥ 2]:
+    a half-length complex plan plus the untwiddle table. *)
+type rplan
+
+(** [rplan n] returns the (cached) real-transform plan for length [n]. *)
+val rplan : int -> rplan
+
+(** [rfft_into rp ~src ~soff ~count ~outr ~outi ~ooff ~zre ~zim] writes
+    the Hermitian half spectrum X(0..n/2) of the real sequence
+    [src.(soff..soff+count-1)] — implicitly zero-extended to the plan
+    length [n] — into [outr]/[outi] at [ooff].  [zre]/[zim] are caller
+    scratch of length [n/2].  Costs one complex FFT of length [n/2] plus
+    O(n) untwiddling. *)
+val rfft_into :
+  rplan ->
+  src:float array ->
+  soff:int ->
+  count:int ->
+  outr:float array ->
+  outi:float array ->
+  ooff:int ->
+  zre:float array ->
+  zim:float array ->
+  unit
+
+(** {1 Real-to-real transforms}
+
+    Unnormalised type-II discrete cosine/sine transforms and their exact
+    inverses, for power-of-two lengths (lengths 0 and 1 are identities):
+
+    - [dct2 x] has [y.(k) = Σ_j x.(j)·cos(πk(2j+1)/(2N))]
+    - [dst2 x] has [y.(k) = Σ_j x.(j)·sin(π(k+1)(2j+1)/(2N))]
+
+    Both run in O(N log N) via one real FFT of length N (Makhoul's
+    factorisation).  [idct2 (dct2 x) = x] and [idst2 (dst2 x) = x] to
+    machine precision. *)
+
+val dct2 : float array -> float array
+
+val dst2 : float array -> float array
+
+val idct2 : float array -> float array
+
+val idst2 : float array -> float array

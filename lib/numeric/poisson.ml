@@ -51,6 +51,22 @@ type kernel_spectrum = {
 let kernel_cache : (int * int * float * float, kernel_spectrum) Hashtbl.t =
   Hashtbl.create 4
 
+(* Half-plane Hermitian kernel spectra of the real-transform path (the
+   placer's hot path); built and cached like [kernel_spectrum], stored
+   as prows × (pcols/2 + 1) planes. *)
+type real_kernel = {
+  rk_prows : int;
+  rk_pcols : int;
+  rk_hw : int;  (* pcols/2 + 1: stored half-plane width *)
+  rk_kxr : float array;  (* prows × hw *)
+  rk_kxi : float array;
+  rk_kyr : float array;
+  rk_kyi : float array;
+}
+
+let real_cache : (int * int * float * float, real_kernel) Hashtbl.t =
+  Hashtbl.create 4
+
 let kernel_cache_lock = Mutex.create ()
 
 let kernel_cache_limit = 8
@@ -62,6 +78,7 @@ let kernel_cache_misses = ref 0
 let clear_kernel_cache () =
   Mutex.lock kernel_cache_lock;
   Hashtbl.reset kernel_cache;
+  Hashtbl.reset real_cache;
   kernel_cache_hits := 0;
   kernel_cache_misses := 0;
   Mutex.unlock kernel_cache_lock
@@ -120,8 +137,8 @@ let kernel_spectrum ~rows ~cols ~hx ~hy =
     Mutex.unlock kernel_cache_lock;
     sp
 
-let fft_force_field ~rows ~cols ~hx ~hy density =
-  check_size ~rows ~cols density "Poisson.fft_force_field";
+let fft_force_field_complex ~rows ~cols ~hx ~hy density =
+  check_size ~rows ~cols density "Poisson.fft_force_field_complex";
   let sp = kernel_spectrum ~rows ~cols ~hx ~hy in
   let prows = sp.prows and pcols = sp.pcols in
   let n = prows * pcols in
@@ -155,6 +172,275 @@ let fft_force_field ~rows ~cols ~hx ~hy density =
     done
   done;
   { rows; cols; fx; fy }
+
+(* ------------------------------------------------------------------ *)
+(* Real-transform path                                                  *)
+(*                                                                      *)
+(* The complex path above zero-pads the density to a full P×Q complex   *)
+(* grid (imaginary plane everywhere zero), forward transforms it, runs  *)
+(* two full complex convolutions and throws three quarters of every     *)
+(* inverse transform away.  The path below exploits the two structural  *)
+(* redundancies:                                                        *)
+(*                                                                      *)
+(*   1. the density and both kernels are real, so their spectra are     *)
+(*      Hermitian — only the half plane v ≤ Q/2 is stored, computed     *)
+(*      with real-input FFTs of half the butterfly count, and the row   *)
+(*      passes run only over the R occupied rows of the padded grid;    *)
+(*   2. the two inverse transforms pack into one: with                  *)
+(*      Z = F̂x + i·F̂y, a single complex inverse yields fx as the real   *)
+(*      part and fy as the imaginary part.                              *)
+(*                                                                      *)
+(* The operator is still the exact padded linear convolution — same     *)
+(* kernels, same boundary behaviour — so it agrees with                 *)
+(* [direct_force_field] to machine precision, like the complex path.    *)
+(* A DCT-based Neumann spectral solve (ePlace-style) would be faster    *)
+(* still but changes the boundary conditions; the real-to-real DCT/DST  *)
+(* transforms live in {!Fft} for spectral experiments and tests.        *)
+(*                                                                      *)
+(* Half-plane kernel spectra are cached per (rows, cols, hx, hy) next   *)
+(* to the complex cache; mutable scratch lives in domain-local storage  *)
+(* keyed by padded geometry, so concurrent jobs on different domains    *)
+(* never share buffers and a fixed-grid loop stops allocating after     *)
+(* its first call. *)
+
+(* Per-domain reusable planes for one padded geometry. *)
+type workspace = {
+  w_dr : float array;  (* prows × hw: density half spectrum *)
+  w_di : float array;
+  w_zr : float array;  (* prows × pcols: packed dual inverse plane *)
+  w_zi : float array;
+}
+
+let workspace_key : (int * int, workspace) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let workspace ~prows ~pcols =
+  let tbl = Domain.DLS.get workspace_key in
+  match Hashtbl.find_opt tbl (prows, pcols) with
+  | Some w -> w
+  | None ->
+    if Hashtbl.length tbl >= 4 then Hashtbl.reset tbl;
+    let hw = (pcols / 2) + 1 in
+    let w =
+      {
+        w_dr = Array.make (prows * hw) 0.;
+        w_di = Array.make (prows * hw) 0.;
+        w_zr = Array.make (prows * pcols) 0.;
+        w_zi = Array.make (prows * pcols) 0.;
+      }
+    in
+    Hashtbl.replace tbl (prows, pcols) w;
+    w
+
+(* Small per-domain scratch pairs (rfft packing, column gathers), keyed
+   by length.  Looked up inside parallel chunk bodies, so each executing
+   domain transparently gets its own. *)
+let pair_key : (int, float array * float array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let scratch_pair len =
+  let tbl = Domain.DLS.get pair_key in
+  match Hashtbl.find_opt tbl len with
+  | Some p -> p
+  | None ->
+    if Hashtbl.length tbl >= 8 then Hashtbl.reset tbl;
+    let p = (Array.make len 0., Array.make len 0.) in
+    Hashtbl.replace tbl len p;
+    p
+
+(* Column FFTs are the cache-hostile passes: one column of a row-major
+   plane touches one float per row-sized stride, so a column-at-a-time
+   gather wastes 7/8 of every cache line.  [col_batch] columns are
+   gathered, transformed and scattered together instead — each plane
+   cache line is used fully — and since every column's transform is the
+   same independent operation, results are bitwise those of the
+   column-at-a-time loop for any batch width. *)
+let col_batch = 8
+
+let batched_col_fft cp ~inverse ~prows ~width ~re ~im a b =
+  let colr, coli = scratch_pair (col_batch * prows) in
+  let v = ref a in
+  while !v < b do
+    let w = Stdlib.min col_batch (b - !v) in
+    for u = 0 to prows - 1 do
+      let base = (u * width) + !v in
+      for k = 0 to w - 1 do
+        colr.((k * prows) + u) <- re.(base + k);
+        coli.((k * prows) + u) <- im.(base + k)
+      done
+    done;
+    for k = 0 to w - 1 do
+      Fft.cfft cp ~inverse colr coli (k * prows)
+    done;
+    for u = 0 to prows - 1 do
+      let base = (u * width) + !v in
+      for k = 0 to w - 1 do
+        re.(base + k) <- colr.((k * prows) + u);
+        im.(base + k) <- coli.((k * prows) + u)
+      done
+    done;
+    v := !v + w
+  done
+
+(* Forward half-spectrum transform of a real [src_rows × src_cols] grid
+   zero-extended to [prows × pcols]: real-input FFTs over the occupied
+   rows only, then one complex FFT down each of the hw stored columns. *)
+let forward_real ~prows ~pcols ~hw ~src ~src_rows ~src_cols ~dr ~di =
+  let rp = Fft.rplan pcols in
+  let cp = Fft.plan prows in
+  let m = pcols / 2 in
+  Parallel.parallel_range ~lo:0 ~hi:src_rows
+    ~work:(src_rows * pcols * 12)
+    (fun a b ->
+      let zre, zim = scratch_pair m in
+      for r = a to b - 1 do
+        Fft.rfft_into rp ~src ~soff:(r * src_cols) ~count:src_cols ~outr:dr
+          ~outi:di ~ooff:(r * hw) ~zre ~zim
+      done);
+  if src_rows < prows then begin
+    Array.fill dr (src_rows * hw) ((prows - src_rows) * hw) 0.;
+    Array.fill di (src_rows * hw) ((prows - src_rows) * hw) 0.
+  end;
+  Parallel.parallel_range ~lo:0 ~hi:hw
+    ~work:(hw * prows * 12)
+    (batched_col_fft cp ~inverse:false ~prows ~width:hw ~re:dr ~im:di)
+
+let build_real_kernel ~rows ~cols ~hx ~hy =
+  let prows = Fft.next_pow2 (2 * rows) in
+  let pcols = Fft.next_pow2 (2 * cols) in
+  let hw = (pcols / 2) + 1 in
+  let n = prows * pcols in
+  let cell_area = hx *. hy in
+  (* Same wrapped offset kernels as the complex path. *)
+  let k = Array.make n 0. in
+  let fill component =
+    Array.fill k 0 n 0.;
+    for dr = -(rows - 1) to rows - 1 do
+      for dc = -(cols - 1) to cols - 1 do
+        if dr <> 0 || dc <> 0 then begin
+          let dx = float_of_int dc *. hx in
+          let dy = float_of_int dr *. hy in
+          let r2 = (dx *. dx) +. (dy *. dy) in
+          let idx_r = if dr >= 0 then dr else prows + dr in
+          let idx_c = if dc >= 0 then dc else pcols + dc in
+          let v = (if component = `X then dx else dy) /. r2 *. cell_area /. two_pi in
+          k.((idx_r * pcols) + idx_c) <- v
+        end
+      done
+    done
+  in
+  let spectrum () =
+    let sr = Array.make (prows * hw) 0. and si = Array.make (prows * hw) 0. in
+    forward_real ~prows ~pcols ~hw ~src:k ~src_rows:prows ~src_cols:pcols
+      ~dr:sr ~di:si;
+    (sr, si)
+  in
+  fill `X;
+  let kxr, kxi = spectrum () in
+  fill `Y;
+  let kyr, kyi = spectrum () in
+  { rk_prows = prows; rk_pcols = pcols; rk_hw = hw; rk_kxr = kxr;
+    rk_kxi = kxi; rk_kyr = kyr; rk_kyi = kyi }
+
+let real_kernel ~rows ~cols ~hx ~hy =
+  let key = (rows, cols, hx, hy) in
+  Mutex.lock kernel_cache_lock;
+  match Hashtbl.find_opt real_cache key with
+  | Some rk ->
+    incr kernel_cache_hits;
+    Mutex.unlock kernel_cache_lock;
+    Obs.Registry.incr "poisson/kernel_cache_hits";
+    rk
+  | None ->
+    incr kernel_cache_misses;
+    Mutex.unlock kernel_cache_lock;
+    Obs.Registry.incr "poisson/kernel_cache_misses";
+    let rk = build_real_kernel ~rows ~cols ~hx ~hy in
+    Mutex.lock kernel_cache_lock;
+    if Hashtbl.length real_cache >= kernel_cache_limit then
+      Hashtbl.reset real_cache;
+    Hashtbl.replace real_cache key rk;
+    Mutex.unlock kernel_cache_lock;
+    rk
+
+let prewarm ~rows ~cols ~hx ~hy = ignore (real_kernel ~rows ~cols ~hx ~hy)
+
+let fft_force_field ?out ~rows ~cols ~hx ~hy density =
+  check_size ~rows ~cols density "Poisson.fft_force_field";
+  let rk = real_kernel ~rows ~cols ~hx ~hy in
+  let prows = rk.rk_prows and pcols = rk.rk_pcols and hw = rk.rk_hw in
+  let w = workspace ~prows ~pcols in
+  let dr = w.w_dr and di = w.w_di and zr = w.w_zr and zi = w.w_zi in
+  forward_real ~prows ~pcols ~hw ~src:density ~src_rows:rows ~src_cols:cols
+    ~dr ~di;
+  let kxr = rk.rk_kxr and kxi = rk.rk_kxi in
+  let kyr = rk.rk_kyr and kyi = rk.rk_kyi in
+  let half = pcols / 2 in
+  (* Pack Z = F̂x + i·F̂y.  Stored half plane, then the mirrored half
+     re-derived from the Hermitian symmetry of D̂·K̂ — recomputing eight
+     multiplies beats streaming four extra planes.  Both halves only
+     read dr/di and write disjoint slots of the row, so one pass fills
+     a whole Z row while it is hot in cache. *)
+  Parallel.parallel_range ~lo:0 ~hi:prows
+    ~work:(prows * pcols * 12)
+    (fun a b ->
+      for u = a to b - 1 do
+        let ko = u * hw and zo = u * pcols in
+        for v = 0 to half do
+          let drv = dr.(ko + v) and div = di.(ko + v) in
+          let xr = kxr.(ko + v) and xi = kxi.(ko + v) in
+          let yr = kyr.(ko + v) and yi = kyi.(ko + v) in
+          let pxr = (drv *. xr) -. (div *. xi) in
+          let pxi = (drv *. xi) +. (div *. xr) in
+          let pyr = (drv *. yr) -. (div *. yi) in
+          let pyi = (drv *. yi) +. (div *. yr) in
+          zr.(zo + v) <- pxr -. pyi;
+          zi.(zo + v) <- pxi +. pyr
+        done;
+        let u' = if u = 0 then 0 else prows - u in
+        let ko = u' * hw in
+        for v = half + 1 to pcols - 1 do
+          let v' = pcols - v in
+          let drv = dr.(ko + v') and div = di.(ko + v') in
+          let xr = kxr.(ko + v') and xi = kxi.(ko + v') in
+          let yr = kyr.(ko + v') and yi = kyi.(ko + v') in
+          let pxr = (drv *. xr) -. (div *. xi) in
+          let pxi = (drv *. xi) +. (div *. xr) in
+          let pyr = (drv *. yr) -. (div *. yi) in
+          let pyi = (drv *. yi) +. (div *. yr) in
+          (* Z(u,v) = conj(F̂x(u',v')) + i·conj(F̂y(u',v')) *)
+          zr.(zo + v) <- pxr +. pyi;
+          zi.(zo + v) <- -.pxi +. pyr
+        done
+      done);
+  let cp = Fft.plan prows in
+  let cpc = Fft.plan pcols in
+  Parallel.parallel_range ~lo:0 ~hi:pcols
+    ~work:(pcols * prows * 12)
+    (batched_col_fft cp ~inverse:true ~prows ~width:pcols ~re:zr ~im:zi);
+  let f =
+    match out with
+    | Some f ->
+      if f.rows <> rows || f.cols <> cols
+         || Array.length f.fx <> rows * cols
+         || Array.length f.fy <> rows * cols
+      then invalid_arg "Poisson.fft_force_field: out size mismatch";
+      f
+    | None ->
+      { rows; cols; fx = Array.make (rows * cols) 0.;
+        fy = Array.make (rows * cols) 0. }
+  in
+  (* Inverse row pass over the needed rows only, in place, then unpack:
+     fx is the real part of Z, fy the imaginary part. *)
+  Parallel.parallel_range ~lo:0 ~hi:rows
+    ~work:(rows * pcols * 12)
+    (fun a b ->
+      for r = a to b - 1 do
+        Fft.cfft cpc ~inverse:true zr zi (r * pcols);
+        Array.blit zr (r * pcols) f.fx (r * cols) cols;
+        Array.blit zi (r * pcols) f.fy (r * cols) cols
+      done);
+  f
 
 let sor_potential ~rows ~cols ~hx ~hy ?(omega = 1.8) ?(tol = 1e-7) ?(max_iter = 10_000)
     density =

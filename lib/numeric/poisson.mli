@@ -28,19 +28,45 @@ type field = { rows : int; cols : int; fx : float array; fy : float array }
 val direct_force_field :
   rows:int -> cols:int -> hx:float -> hy:float -> float array -> field
 
-(** [fft_force_field ~rows ~cols ~hx ~hy density] evaluates the same
+(** [fft_force_field ?out ~rows ~cols ~hx ~hy density] evaluates the same
     convolution with zero padding to the next power of two ≥ 2·G, so the
     result is the open-boundary (linear, non-cyclic) convolution.  Agrees
     with {!direct_force_field} to machine precision.
 
-    The frequency-domain transforms of the two force kernels depend only
-    on [(rows, cols, hx, hy)] and are memoised across calls, so loops
-    that re-evaluate the field on a fixed grid (every Kraftwerk
-    transformation) skip kernel construction and both forward kernel
-    FFTs after the first call.  Cached and uncached calls return
-    bitwise-identical fields. *)
+    This is the real-transform fast path: the density and both kernels
+    are real, so only Hermitian half spectra are computed (real-input
+    FFTs over the occupied rows of the padded grid), and the two inverse
+    transforms pack into one complex inverse with fx in the real plane
+    and fy in the imaginary one — no 2G×2G complex grids anywhere.
+
+    Half-plane kernel spectra depend only on [(rows, cols, hx, hy)] and
+    are memoised across calls ({!prewarm} builds them eagerly); mutable
+    scratch is domain-local and keyed by padded geometry, so a loop
+    re-evaluating a fixed grid allocates nothing after its first call
+    when [out] is supplied.  [out] must match [rows]/[cols] and is
+    returned filled.  Results are bitwise-identical for any domain-pool
+    size and with or without [out]. *)
 val fft_force_field :
+  ?out:field ->
+  rows:int ->
+  cols:int ->
+  hx:float ->
+  hy:float ->
+  float array ->
+  field
+
+(** The historical complex-FFT evaluation of the same operator: pad to a
+    full complex grid, two complex convolutions against the cached
+    kernel spectra.  Kept as the bitwise reference for the pre-existing
+    trajectory pins and as the benchmark baseline for the real path. *)
+val fft_force_field_complex :
   rows:int -> cols:int -> hx:float -> hy:float -> float array -> field
+
+(** [prewarm ~rows ~cols ~hx ~hy] builds (or touches) the cached kernel
+    spectra of {!fft_force_field} for one grid geometry, so the first
+    placement transformation of a job does not pay kernel construction.
+    Counts as one cache miss when cold, one hit when already present. *)
+val prewarm : rows:int -> cols:int -> hx:float -> hy:float -> unit
 
 (** Empty the kernel-spectrum cache and reset its hit/miss counters
     (benchmarks measure the cold path this way). *)

@@ -23,6 +23,7 @@ type iteration = {
   lb_hpwl : float;
   ub_hpwl : float option;
   gap : float option;
+  level : int;
   phases : (string * float) list;
 }
 
@@ -38,12 +39,14 @@ type summary = {
 
 (* v2 added assembly_reused / pattern_rebuilds / cg_tolerance (cached QP
    assembly).  v3 added the convergence controller: penalty and the
-   LB/UB envelope per iteration, stop_reason in the summary.  Older
+   LB/UB envelope per iteration, stop_reason in the summary.  v4 added
+   the V-cycle stage index [level] (multilevel placement).  Older
    records are still parsed with the values the older placers actually
-   had: v2 ran a static unit density weight and never probed an upper
-   bound, v1 additionally rebuilt the system each transformation at the
-   fixed 1e-8 tolerance. *)
-let schema_version = 3
+   had: v3 and earlier only ran the flat flow (level 0), v2 ran a
+   static unit density weight and never probed an upper bound, v1
+   additionally rebuilt the system each transformation at the fixed
+   1e-8 tolerance. *)
+let schema_version = 4
 
 let volatile_fields = [ "phases"; "domains"; "pool_tasks"; "wall_time"; "counters" ]
 
@@ -103,6 +106,7 @@ let iteration_to_json r =
       ( "ub_hpwl",
         match r.ub_hpwl with Some v -> num v | None -> Json.Null );
       ("gap", match r.gap with Some v -> num v | None -> Json.Null);
+      ("level", int_ r.level);
       ("phases", Json.Obj (List.map (fun (k, v) -> (k, num v)) r.phases));
     ]
 
@@ -215,6 +219,9 @@ let iteration_of_json obj =
           | Some Json.Null | None -> Ok None
           | Some _ -> Error "field \"gap\" is not a number or null"
       in
+      (* v3-compat: records predate the multilevel V-cycle — every
+         older run was the flat flow, i.e. the finest level. *)
+      let* level = if schema < 4 then Ok 0 else field_int obj "level" in
       let* phases =
         match Json.member "phases" obj with
         | Some (Json.Obj fields) ->
@@ -255,6 +262,7 @@ let iteration_of_json obj =
           lb_hpwl;
           ub_hpwl;
           gap;
+          level;
           phases;
         }
 

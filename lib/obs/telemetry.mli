@@ -50,6 +50,10 @@ type iteration = {
   gap : float option;
       (** relative envelope gap [(ub - lb) / ub] at this iteration's
           probe (schema ≥ 3) *)
+  level : int;
+      (** V-cycle stage the transformation ran at: 0 is the flat
+          (finest) netlist, [depth] the coarsest.  Flat runs always
+          emit 0 (schema ≥ 4) *)
   phases : (string * float) list;  (** phase → seconds (volatile) *)
 }
 
@@ -66,12 +70,13 @@ type summary = {
 }
 
 (** Version stamped into every record as ["schema"]; bump on any field
-    change.  {!iteration_of_json} also accepts v1 and v2 records,
-    filling the new fields with the values the older placers actually
-    had: v2 (pre-dating the convergence controller) gets a unit penalty,
-    [lb_hpwl = hpwl] and no upper bound; v1 (pre-dating the cached QP
-    assembly) additionally gets no reuse, zero rebuild count and the
-    fixed 1e-8 tolerance. *)
+    change.  {!iteration_of_json} also accepts v1–v3 records, filling
+    the new fields with the values the older placers actually had: v3
+    (pre-dating the multilevel V-cycle) gets [level = 0]; v2
+    (pre-dating the convergence controller) additionally gets a unit
+    penalty, [lb_hpwl = hpwl] and no upper bound; v1 (pre-dating the
+    cached QP assembly) additionally gets no reuse, zero rebuild count
+    and the fixed 1e-8 tolerance. *)
 val schema_version : int
 
 (** Fields excluded from determinism comparisons: timings and

@@ -188,19 +188,17 @@ let test_solver_telemetry_sane () =
            >= it.Obs.Telemetry.mean_force *. (1. -. 1e-12)
         && it.Obs.Telemetry.mean_force >= 0.))
     r.records;
-  (* The kernel spectrum is computed once and cached: the first
-     transformation misses, every later one hits (the grid never
-     changes over a run). *)
-  match r.records with
+  (* The kernel spectrum is built eagerly by [Placer.init] (the prewarm
+     that kills the historical first-iteration cold spike) and cached:
+     no transformation ever misses, every one hits. *)
+  (match r.records with
   | [] -> Alcotest.fail "no records"
-  | first :: rest ->
-    Alcotest.(check bool) "first iteration misses the kernel cache" true
-      (first.Obs.Telemetry.kernel_cache_misses >= 1);
+  | records ->
     List.iter
       (fun it ->
-        Alcotest.(check int) "warm iterations never miss" 0
+        Alcotest.(check int) "iterations never miss the prewarmed cache" 0
           it.Obs.Telemetry.kernel_cache_misses)
-      rest
+      records)
 
 let test_assembly_caching_telemetry () =
   let r = Lazy.force the_run in

@@ -740,14 +740,158 @@ let test_sharded_cancel_deadline_legal () =
     [ ("cancelled", circuit, a, ra); ("deadline", circuit5, d, rd) ]
 
 (* ------------------------------------------------------------------ *)
+(* Multilevel flow through the engine                                  *)
+
+(* fract's coarse circuit is so small the §4.2 density criterion is
+   already satisfied at init, which would make the coarse stage a no-op;
+   primary1 at this scale gives every stage real work (the coarse stage
+   runs ~20 transformations before descending). *)
+let ml_source () = Engine.Source.Profile { name = "primary1"; scale = 0.4; seed = 7 }
+
+let fixed_positions_of (circuit : Netlist.Circuit.t) (p : Netlist.Placement.t) =
+  Array.to_list circuit.Netlist.Circuit.cells
+  |> List.filter_map (fun (cl : Netlist.Cell.t) ->
+         if cl.Netlist.Cell.fixed then
+           let id = cl.Netlist.Cell.id in
+           Some (id, (p.Netlist.Placement.x.(id), p.Netlist.Placement.y.(id)))
+         else None)
+
+(* A multilevel job through the scheduler is the same computation as
+   driving the V-cycle directly. *)
+let test_multilevel_job_matches_direct () =
+  let src = ml_source () in
+  let circuit, p0 = ok_or_fail (Engine.Source.load src) in
+  let config = Engine.Job.config_of_mode Engine.Job.Fast in
+  let direct =
+    Kraftwerk.Cluster.place_multilevel config circuit
+      ~fixed_positions:(fixed_positions_of circuit p0)
+      (Netlist.Placement.copy p0)
+  in
+  let sched = Engine.Scheduler.create () in
+  let id =
+    submit_and_drain sched
+      (Engine.Job.spec ~source:src ~mode:Engine.Job.Fast
+         ~flow:Engine.Job.Multilevel ())
+  in
+  let r = job_result sched id in
+  Alcotest.(check string) "multilevel job done" "done"
+    (Engine.Job.status_to_string r.Engine.Job.status);
+  Alcotest.(check bool) "took iterations" true (r.Engine.Job.iterations > 0);
+  same_placement "multilevel global placement" direct (job_placement sched id)
+
+(* Multilevel checkpoints carry the stage coordinates and only restore
+   through the multilevel path. *)
+let test_multilevel_checkpoint_guards () =
+  let src = ml_source () in
+  let circuit, p0 = ok_or_fail (Engine.Source.load src) in
+  let config = Engine.Job.config_of_mode Engine.Job.Fast in
+  let fixed = fixed_positions_of circuit p0 in
+  let run =
+    Kraftwerk.Cluster.start config circuit ~fixed_positions:fixed
+      (Netlist.Placement.copy p0)
+  in
+  for _ = 1 to 5 do
+    ignore (Kraftwerk.Cluster.step run)
+  done;
+  let cp = Engine.Checkpoint.of_run run in
+  Alcotest.(check bool) "mid-level cut" true
+    (cp.Engine.Checkpoint.ml_level > 0 && cp.Engine.Checkpoint.ml_levels > 1);
+  (* The flat restore path must refuse a coarse-stage checkpoint... *)
+  (match Engine.Checkpoint.restore cp config circuit with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "flat restore accepted a multilevel checkpoint");
+  (* ...while the multilevel path rebuilds the very same stage. *)
+  let file = temp ".json" in
+  Engine.Checkpoint.save file cp;
+  let cp' = ok_or_fail (Engine.Checkpoint.load file) in
+  Sys.remove file;
+  let resumed =
+    ok_or_fail
+      (Engine.Checkpoint.restore_multilevel cp' config circuit
+         ~fixed_positions:fixed)
+  in
+  Alcotest.(check int) "same level"
+    (Kraftwerk.Cluster.current_level run)
+    (Kraftwerk.Cluster.current_level resumed);
+  same_placement "same stage placement"
+    (Kraftwerk.Cluster.current_state run).Kraftwerk.Placer.placement
+    (Kraftwerk.Cluster.current_state resumed).Kraftwerk.Placer.placement;
+  (* Continuing both to completion stays bitwise-identical. *)
+  while Kraftwerk.Cluster.step run do
+    ()
+  done;
+  while Kraftwerk.Cluster.step resumed do
+    ()
+  done;
+  same_placement "continued to completion"
+    (Kraftwerk.Cluster.finish run)
+    (Kraftwerk.Cluster.finish resumed)
+
+(* The headline restartability property, multilevel edition: a V-cycle
+   job cut at a checkpoint — first mid-coarsest-stage, then mid-refine —
+   and resumed must land bitwise on the uninterrupted job's placement,
+   on 1, 2 and 4 shards. *)
+let test_multilevel_resume_bitwise_shards () =
+  let src = ml_source () in
+  let mspec ?start ?checkpoint ?max_steps () =
+    Engine.Job.spec ~source:src ~mode:Engine.Job.Fast
+      ~flow:Engine.Job.Multilevel ?start ?checkpoint ?max_steps ()
+  in
+  let solo_sched = Engine.Scheduler.create () in
+  let s = submit_and_drain solo_sched (mspec ()) in
+  let solo_p = job_placement solo_sched s in
+  let solo_r = job_result solo_sched s in
+  Alcotest.(check bool) "solo ran long enough to cut twice" true
+    (solo_r.Engine.Job.iterations > 10);
+  List.iter
+    (fun shards ->
+      let tag fmt = Printf.ksprintf (fun s -> s) fmt in
+      List.iter
+        (fun (cut_name, cut) ->
+          let ck = temp ".json" in
+          let sched =
+            Engine.Scheduler.create ~concurrency:4 ~domains:shards ~shards ()
+          in
+          let a = submit_and_drain sched (mspec ~checkpoint:ck ~max_steps:cut ()) in
+          Alcotest.(check string)
+            (tag "shards=%d %s: prefix done" shards cut_name)
+            "done"
+            (Engine.Job.status_to_string (job_result sched a).Engine.Job.status);
+          let cp = ok_or_fail (Engine.Checkpoint.load ck) in
+          Alcotest.(check bool)
+            (tag "shards=%d %s: checkpoint is multilevel" shards cut_name)
+            true
+            (cp.Engine.Checkpoint.ml_levels > 1);
+          let b = submit_and_drain sched (mspec ~start:(Engine.Job.Resume ck) ()) in
+          let rb = job_result sched b in
+          Engine.Scheduler.stop sched;
+          Alcotest.(check string)
+            (tag "shards=%d %s: resumed done" shards cut_name)
+            "done"
+            (Engine.Job.status_to_string rb.Engine.Job.status);
+          same_placement
+            (tag "shards=%d %s: placement" shards cut_name)
+            solo_p (job_placement sched b);
+          Alcotest.(check bool)
+            (tag "shards=%d %s: legalised hpwl bitwise" shards cut_name)
+            true
+            (bits rb.Engine.Job.hpwl = bits solo_r.Engine.Job.hpwl);
+          Sys.remove ck)
+        [
+          ("coarse cut", 5);
+          ("refine cut", solo_r.Engine.Job.iterations - 3);
+        ])
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Serialisation and protocol                                          *)
 
 let test_spec_json_round_trip () =
   let full =
     Engine.Job.spec ~source:(source ()) ~mode:Engine.Job.Fast ~effort:4
       ~timing:true ~priority:3 ~deadline:1.5 ~domains:2 ~max_steps:9
-      ~start:(Engine.Job.Resume "ck.json") ~checkpoint:"out.json"
-      ~checkpoint_every:7 ~trace:"t.jsonl" ()
+      ~flow:Engine.Job.Multilevel ~start:(Engine.Job.Resume "ck.json")
+      ~checkpoint:"out.json" ~checkpoint_every:7 ~trace:"t.jsonl" ()
   in
   let minimal = Engine.Job.spec ~source:(Engine.Source.File "a.ckt") () in
   List.iter
@@ -875,6 +1019,12 @@ let suite =
       test_sharded_resume_with_effort;
     Alcotest.test_case "sharded cancel and deadline degrade to legal" `Slow
       test_sharded_cancel_deadline_legal;
+    Alcotest.test_case "multilevel job matches direct V-cycle" `Slow
+      test_multilevel_job_matches_direct;
+    Alcotest.test_case "multilevel checkpoint guards and round-trip" `Slow
+      test_multilevel_checkpoint_guards;
+    Alcotest.test_case "multilevel resume is bitwise for shards 1/2/4" `Slow
+      test_multilevel_resume_bitwise_shards;
     Alcotest.test_case "spec json round-trip" `Quick test_spec_json_round_trip;
     Alcotest.test_case "protocol request parsing" `Quick
       test_protocol_request_parsing;

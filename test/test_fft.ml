@@ -98,6 +98,92 @@ let test_convolve_matches_naive () =
   let slow = naive_cyclic_convolve ~rows ~cols a b in
   Alcotest.(check bool) "convolution" true (Numeric.Vec.max_abs_diff slow fast < 1e-8)
 
+(* ------------------------------------------------------------------ *)
+(* Real-to-real transforms (the Poisson fast path's building blocks)   *)
+
+let naive_dct2 x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        acc :=
+          !acc
+          +. x.(j)
+             *. cos (Float.pi *. float_of_int (k * ((2 * j) + 1))
+                     /. (2. *. float_of_int n))
+      done;
+      !acc)
+
+let naive_dst2 x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        acc :=
+          !acc
+          +. x.(j)
+             *. sin (Float.pi *. float_of_int ((k + 1) * ((2 * j) + 1))
+                     /. (2. *. float_of_int n))
+      done;
+      !acc)
+
+let test_dct2_matches_naive () =
+  List.iter
+    (fun n ->
+      let rng = Numeric.Rng.create (100 + n) in
+      let x = Array.init n (fun _ -> Numeric.Rng.uniform rng (-5.) 5.) in
+      let fast = Numeric.Fft.dct2 x in
+      let slow = naive_dct2 x in
+      Alcotest.(check bool)
+        (Printf.sprintf "dct2 n=%d" n)
+        true
+        (Numeric.Vec.max_abs_diff slow fast < 1e-8))
+    [ 1; 2; 4; 8; 16; 32 ]
+
+let test_dst2_matches_naive () =
+  List.iter
+    (fun n ->
+      let rng = Numeric.Rng.create (200 + n) in
+      let x = Array.init n (fun _ -> Numeric.Rng.uniform rng (-5.) 5.) in
+      let fast = Numeric.Fft.dst2 x in
+      let slow = naive_dst2 x in
+      Alcotest.(check bool)
+        (Printf.sprintf "dst2 n=%d" n)
+        true
+        (Numeric.Vec.max_abs_diff slow fast < 1e-8))
+    [ 2; 4; 8; 16; 32 ]
+
+let test_convolve_scratch_bitwise () =
+  let rows = 8 and cols = 16 in
+  let rng = Numeric.Rng.create 31 in
+  let a = Array.init (rows * cols) (fun _ -> Numeric.Rng.uniform rng (-1.) 1.) in
+  let b = Array.init (rows * cols) (fun _ -> Numeric.Rng.uniform rng (-1.) 1.) in
+  let plain = Numeric.Fft.convolve2 ~rows ~cols a b in
+  let scratch = Numeric.Fft.conv_scratch ~rows ~cols in
+  (* Two rounds through the same scratch: results must be bitwise the
+     allocating call's, and the second round must not be polluted by the
+     first. *)
+  for _ = 1 to 2 do
+    let reused = Numeric.Fft.convolve2 ~scratch ~rows ~cols a b in
+    Array.iteri
+      (fun i v ->
+        if Int64.bits_of_float v <> Int64.bits_of_float plain.(i) then
+          Alcotest.failf "scratch convolution differs at %d: %h vs %h" i
+            reused.(i) plain.(i))
+      reused
+  done
+
+let dct_roundtrip_gen =
+  QCheck.(array_of_size (QCheck.Gen.return 32) (float_range (-10.) 10.))
+
+let prop_dct2_roundtrip =
+  QCheck.Test.make ~name:"idct2 inverts dct2" dct_roundtrip_gen (fun x ->
+      Numeric.Vec.max_abs_diff x (Numeric.Fft.idct2 (Numeric.Fft.dct2 x)) < 1e-9)
+
+let prop_dst2_roundtrip =
+  QCheck.Test.make ~name:"idst2 inverts dst2" dct_roundtrip_gen (fun x ->
+      Numeric.Vec.max_abs_diff x (Numeric.Fft.idst2 (Numeric.Fft.dst2 x)) < 1e-9)
+
 let signal_gen =
   QCheck.(array_of_size (QCheck.Gen.return 16) (float_range (-10.) 10.))
 
@@ -140,6 +226,12 @@ let suite =
     Alcotest.test_case "bad length" `Quick test_bad_length_rejected;
     Alcotest.test_case "2d roundtrip" `Quick test_2d_roundtrip;
     Alcotest.test_case "convolution vs naive" `Quick test_convolve_matches_naive;
+    Alcotest.test_case "dct2 vs naive" `Quick test_dct2_matches_naive;
+    Alcotest.test_case "dst2 vs naive" `Quick test_dst2_matches_naive;
+    Alcotest.test_case "scratch convolution bitwise" `Quick
+      test_convolve_scratch_bitwise;
+    QCheck_alcotest.to_alcotest prop_dct2_roundtrip;
+    QCheck_alcotest.to_alcotest prop_dst2_roundtrip;
     QCheck_alcotest.to_alcotest prop_parseval;
     QCheck_alcotest.to_alcotest prop_linearity;
   ]

@@ -116,7 +116,14 @@ let test_blocks_generated () =
     blocks
 
 let test_profiles_complete () =
-  Alcotest.(check int) "nine profiles" 9 (List.length Circuitgen.Profiles.all);
+  Alcotest.(check int) "nine MCNC profiles" 9
+    (List.length Circuitgen.Profiles.mcnc);
+  Alcotest.(check bool) "mega profiles present" true
+    (List.length Circuitgen.Profiles.mega >= 2);
+  Alcotest.(check int) "all = mcnc + mega"
+    (List.length Circuitgen.Profiles.mcnc
+    + List.length Circuitgen.Profiles.mega)
+    (List.length Circuitgen.Profiles.all);
   List.iter
     (fun name -> ignore (Circuitgen.Profiles.find name))
     Circuitgen.Profiles.names
@@ -157,7 +164,7 @@ let prop_any_profile_seed_generates =
   QCheck.Test.make ~name:"generator succeeds for any profile and seed"
     QCheck.(pair (int_bound 8) small_int)
     (fun (pidx, seed) ->
-      let prof = List.nth Circuitgen.Profiles.all pidx in
+      let prof = List.nth Circuitgen.Profiles.mcnc pidx in
       let params = Circuitgen.Profiles.params ~scale:0.05 prof ~seed in
       let c, _ = Circuitgen.Gen.generate params in
       Netlist.Circuit.num_cells c > 0 && Netlist.Circuit.num_nets c > 0)

@@ -263,6 +263,7 @@ let sample_iteration step =
     lb_hpwl = 123.5 +. float_of_int step;
     ub_hpwl = (if step mod 2 = 0 then Some (140. +. float_of_int step) else None);
     gap = (if step mod 2 = 0 then Some 0.07 else None);
+    level = step mod 3;
     phases = [ ("assemble", 0.001); ("solve", 0.002) ];
   }
 
@@ -312,6 +313,7 @@ let prop_iteration_roundtrip =
           lb_hpwl = fs.(0);
           ub_hpwl = (if probed then Some fs.(12) else None);
           gap = (if probed then Some fs.(10) else None);
+          level = is.(1) mod 4;
           phases = [ ("assemble", Float.abs fs.(10)) ];
         }
       in
@@ -353,6 +355,8 @@ let v2_only_fields = [ "assembly_reused"; "pattern_rebuilds"; "cg_tolerance" ]
 
 let v3_only_fields = [ "penalty"; "lb_hpwl"; "ub_hpwl"; "gap" ]
 
+let v4_only_fields = [ "level" ]
+
 let downgrade_to schema drop = function
   | Obs.Json.Obj fields ->
     Obs.Json.Obj
@@ -371,7 +375,7 @@ let test_schema_v1_compat () =
   (match
      Obs.Telemetry.iteration_of_json
        (downgrade_to 1.
-          (v2_only_fields @ v3_only_fields)
+          (v2_only_fields @ v3_only_fields @ v4_only_fields)
           (Obs.Telemetry.iteration_to_json (sample_iteration 4)))
    with
   | Error e -> Alcotest.failf "v1 record rejected: %s" e
@@ -384,6 +388,7 @@ let test_schema_v1_compat () =
       (it.Obs.Telemetry.cg_tolerance = 1e-8);
     Alcotest.(check bool) "v1 default: unit penalty" true
       (it.Obs.Telemetry.penalty = 1.0);
+    Alcotest.(check int) "v1 default: flat level" 0 it.Obs.Telemetry.level;
     Alcotest.(check int) "payload survives" 4 it.Obs.Telemetry.step);
   (* The same omission under the current schema is a validation error
      (ub_hpwl/gap excepted: absence legitimately means "not probed"). *)
@@ -395,13 +400,13 @@ let test_schema_v1_compat () =
   List.iter
     (fun field ->
       Alcotest.(check bool)
-        (Printf.sprintf "v3 without %s rejected" field)
+        (Printf.sprintf "current schema without %s rejected" field)
         true
         (Result.is_error
            (Obs.Telemetry.iteration_of_json
               (strip_field field
                  (Obs.Telemetry.iteration_to_json (sample_iteration 4))))))
-    (v2_only_fields @ [ "penalty"; "lb_hpwl" ]);
+    (v2_only_fields @ [ "penalty"; "lb_hpwl"; "level" ]);
   (* Unknown future schemas still fail loudly. *)
   let with_schema v = function
     | Obs.Json.Obj fields ->
@@ -411,10 +416,10 @@ let test_schema_v1_compat () =
            fields)
     | _ -> Alcotest.fail "iteration json is not an object"
   in
-  Alcotest.(check bool) "schema 4 rejected" true
+  Alcotest.(check bool) "schema 5 rejected" true
     (Result.is_error
        (Obs.Telemetry.iteration_of_json
-          (with_schema 4. (Obs.Telemetry.iteration_to_json (sample_iteration 1)))))
+          (with_schema 5. (Obs.Telemetry.iteration_to_json (sample_iteration 1)))))
 
 let test_schema_v2_compat () =
   (* A v2 trace (pre-dating the convergence controller) parses with the
@@ -422,7 +427,8 @@ let test_schema_v2_compat () =
      HPWL as its own lower bound, and no upper-bound probes. *)
   match
     Obs.Telemetry.iteration_of_json
-      (downgrade_to 2. v3_only_fields
+      (downgrade_to 2.
+         (v3_only_fields @ v4_only_fields)
          (Obs.Telemetry.iteration_to_json (sample_iteration 6)))
   with
   | Error e -> Alcotest.failf "v2 record rejected: %s" e

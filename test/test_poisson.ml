@@ -126,6 +126,159 @@ let test_size_mismatch () =
     (Invalid_argument "Poisson.fft_force_field: size mismatch") (fun () ->
       ignore (Numeric.Poisson.fft_force_field ~rows:4 ~cols:4 ~hx:1. ~hy:1. (Array.make 3 0.)))
 
+(* ------------------------------------------------------------------ *)
+(* Real-transform path: parity with the complex path, ?out, pools      *)
+
+let random_density rng rows cols =
+  Array.init (rows * cols) (fun _ -> Numeric.Rng.uniform rng (-2.) 2.)
+
+let fields_close tag a b =
+  Alcotest.(check bool) (tag ^ " fx") true
+    (Numeric.Vec.max_abs_diff a.Numeric.Poisson.fx b.Numeric.Poisson.fx < 1e-9);
+  Alcotest.(check bool) (tag ^ " fy") true
+    (Numeric.Vec.max_abs_diff a.Numeric.Poisson.fy b.Numeric.Poisson.fy < 1e-9)
+
+let fields_bitwise tag a b =
+  let check plane pa pb =
+    Array.iteri
+      (fun i v ->
+        if Int64.bits_of_float v <> Int64.bits_of_float pb.(i) then
+          Alcotest.failf "%s: %s[%d] differs: %h vs %h" tag plane i v pb.(i))
+      pa
+  in
+  check "fx" a.Numeric.Poisson.fx b.Numeric.Poisson.fx;
+  check "fy" a.Numeric.Poisson.fy b.Numeric.Poisson.fy
+
+(* The real-transform evaluation and the historical complex-FFT one are
+   the same operator computed two ways: they must agree to machine
+   precision across grid shapes (non-square, non-power-of-two) and
+   anisotropic pitches. *)
+let test_real_matches_complex_shapes () =
+  let rng = Numeric.Rng.create 42 in
+  List.iter
+    (fun (rows, cols, hx, hy) ->
+      let density = random_density rng rows cols in
+      let real = Numeric.Poisson.fft_force_field ~rows ~cols ~hx ~hy density in
+      let cplx =
+        Numeric.Poisson.fft_force_field_complex ~rows ~cols ~hx ~hy density
+      in
+      fields_close (Printf.sprintf "%dx%d (%g,%g)" rows cols hx hy) real cplx)
+    [
+      (5, 5, 1., 1.);
+      (6, 10, 2., 3.);
+      (17, 3, 0.25, 4.);
+      (12, 12, 1.5, 0.75);
+      (24, 24, 0.5, 0.5);
+      (1, 9, 1., 2.);
+    ]
+
+(* [?out] is a pure scratch optimisation: supplying it must not change a
+   single bit of the result. *)
+let test_out_bitwise_equivalent () =
+  let rows = 11 and cols = 7 in
+  let rng = Numeric.Rng.create 8 in
+  let density = random_density rng rows cols in
+  let fresh = Numeric.Poisson.fft_force_field ~rows ~cols ~hx:1.25 ~hy:2. density in
+  let out =
+    {
+      Numeric.Poisson.rows;
+      cols;
+      fx = Array.make (rows * cols) Float.nan;
+      fy = Array.make (rows * cols) Float.nan;
+    }
+  in
+  let reused =
+    Numeric.Poisson.fft_force_field ~out ~rows ~cols ~hx:1.25 ~hy:2. density
+  in
+  fields_bitwise "?out" fresh reused;
+  (* And the returned field really is the caller's buffer. *)
+  Alcotest.(check bool) "aliases out" true
+    (reused.Numeric.Poisson.fx == out.Numeric.Poisson.fx)
+
+(* Results are bitwise-identical for any domain-pool size. *)
+let test_real_bitwise_across_pools () =
+  let rows = 48 and cols = 48 in
+  let rng = Numeric.Rng.create 13 in
+  let density = random_density rng rows cols in
+  Fun.protect
+    ~finally:(fun () -> Numeric.Parallel.set_num_domains 1)
+    (fun () ->
+      Numeric.Parallel.set_num_domains 1;
+      let reference =
+        Numeric.Poisson.fft_force_field ~rows ~cols ~hx:1. ~hy:1. density
+      in
+      List.iter
+        (fun pool ->
+          Numeric.Parallel.set_num_domains pool;
+          let f =
+            Numeric.Poisson.fft_force_field ~rows ~cols ~hx:1. ~hy:1. density
+          in
+          fields_bitwise (Printf.sprintf "pool %d" pool) reference f)
+        [ 2; 4 ])
+
+(* The satellite fix under test: a fixed-grid loop hitting the warm
+   kernel cache with a caller-supplied [out] must not allocate per call.
+   The bound is loose (a few words of boxing are tolerated) but far
+   below what any padded-plane allocation would cost (a 48² grid pads to
+   96×128 ≥ 10⁴ words per plane). *)
+let test_warm_loop_allocation_free () =
+  let rows = 48 and cols = 48 in
+  let rng = Numeric.Rng.create 21 in
+  let density = random_density rng rows cols in
+  let out =
+    {
+      Numeric.Poisson.rows;
+      cols;
+      fx = Array.make (rows * cols) 0.;
+      fy = Array.make (rows * cols) 0.;
+    }
+  in
+  (* Warm the kernel cache and the domain-local workspaces. *)
+  ignore (Numeric.Poisson.fft_force_field ~out ~rows ~cols ~hx:1. ~hy:1. density);
+  ignore (Numeric.Poisson.fft_force_field ~out ~rows ~cols ~hx:1. ~hy:1. density);
+  let calls = 10 in
+  let before = Gc.minor_words () in
+  for _ = 1 to calls do
+    ignore
+      (Numeric.Poisson.fft_force_field ~out ~rows ~cols ~hx:1. ~hy:1. density)
+  done;
+  let per_call = (Gc.minor_words () -. before) /. float_of_int calls in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady state allocates ~nothing (%.0f words/call)" per_call)
+    true (per_call < 2048.)
+
+let prop_real_complex_agree =
+  QCheck.Test.make ~name:"real path equals complex path on random grids"
+    QCheck.(
+      triple (int_range 2 14) (int_range 2 14)
+        (pair (float_range 0.3 3.) (float_range 0.3 3.)))
+    (fun (rows, cols, (hx, hy)) ->
+      let rng = Numeric.Rng.create ((rows * 31) + cols) in
+      let density = random_density rng rows cols in
+      let real = Numeric.Poisson.fft_force_field ~rows ~cols ~hx ~hy density in
+      let cplx =
+        Numeric.Poisson.fft_force_field_complex ~rows ~cols ~hx ~hy density
+      in
+      Numeric.Vec.max_abs_diff real.Numeric.Poisson.fx cplx.Numeric.Poisson.fx
+      < 1e-9
+      && Numeric.Vec.max_abs_diff real.Numeric.Poisson.fy
+           cplx.Numeric.Poisson.fy
+         < 1e-9)
+
+let prop_real_direct_agree_pitches =
+  QCheck.Test.make ~name:"real path equals direct summation, random pitches"
+    QCheck.(
+      triple (int_range 2 7) (int_range 2 7)
+        (pair (float_range 0.3 3.) (float_range 0.3 3.)))
+    (fun (rows, cols, (hx, hy)) ->
+      let rng = Numeric.Rng.create ((rows * 17) + cols) in
+      let density = random_density rng rows cols in
+      let d = Numeric.Poisson.direct_force_field ~rows ~cols ~hx ~hy density in
+      let f = Numeric.Poisson.fft_force_field ~rows ~cols ~hx ~hy density in
+      Numeric.Vec.max_abs_diff d.Numeric.Poisson.fx f.Numeric.Poisson.fx < 1e-9
+      && Numeric.Vec.max_abs_diff d.Numeric.Poisson.fy f.Numeric.Poisson.fy
+         < 1e-9)
+
 let prop_fft_direct_agree =
   QCheck.Test.make ~name:"FFT field equals direct summation"
     QCheck.(array_of_size (QCheck.Gen.return 25) (float_range (-2.) 2.))
@@ -147,5 +300,15 @@ let suite =
     Alcotest.test_case "sor gradient symmetry" `Quick test_sor_gradient_force_outward;
     Alcotest.test_case "scale field" `Quick test_scale_field;
     Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
+    Alcotest.test_case "real matches complex across shapes" `Quick
+      test_real_matches_complex_shapes;
+    Alcotest.test_case "?out is bitwise equivalent" `Quick
+      test_out_bitwise_equivalent;
+    Alcotest.test_case "real path bitwise across pools" `Quick
+      test_real_bitwise_across_pools;
+    Alcotest.test_case "warm fixed-grid loop is allocation-free" `Quick
+      test_warm_loop_allocation_free;
+    QCheck_alcotest.to_alcotest prop_real_complex_agree;
+    QCheck_alcotest.to_alcotest prop_real_direct_agree_pitches;
     QCheck_alcotest.to_alcotest prop_fft_direct_agree;
   ]
