@@ -428,25 +428,28 @@ let congestion () =
   print_endline "";
   print_endline "E9: congestion-driven placement (§5)";
   let _, circuit, p0 = build_profile "industry2" in
-  let nx, ny = Density.Density_map.auto_bins circuit in
-  let run hooks =
-    let state, _ = Kraftwerk.Placer.run ?hooks Kraftwerk.Config.standard circuit p0 in
+  let run config =
+    let state, _ = Kraftwerk.Placer.run config circuit p0 in
     let p = state.Kraftwerk.Placer.placement in
     (* The estimator drives the loop; the actual coarse global router
-       validates the result. *)
-    let routed = Route.Grouter.route circuit p ~nx ~ny in
-    (Metrics.Wirelength.hpwl circuit p,
-     (Route.Congest.estimate circuit p ~nx ~ny).Route.Congest.total_overflow,
-     routed.Route.Grouter.total_overflow,
-     routed.Route.Grouter.total_wirelength)
+       validates the result — both on the same grid spec. *)
+    let spec = Kraftwerk.Placer.route_spec config circuit in
+    let est =
+      match Route.Congest.estimate circuit p spec with
+      | Ok e -> e.Route.Congest.total_overflow
+      | Error _ -> Float.nan
+    in
+    let rt, rwl =
+      match Route.Grouter.route circuit p spec with
+      | Ok r -> (r.Route.Grouter.total_overflow, r.Route.Grouter.total_wirelength)
+      | Error _ -> (Float.nan, Float.nan)
+    in
+    (Metrics.Wirelength.hpwl circuit p, est, rt, rwl)
   in
-  let wl0, est0, rt0, rwl0 = run None in
-  let hooks =
-    { Kraftwerk.Placer.no_hooks with
-      Kraftwerk.Placer.extra_density =
-        Some (fun c p ~nx ~ny -> Route.Congest.extra_density ~strength:1.0 c p ~nx ~ny) }
+  let wl0, est0, rt0, rwl0 = run Kraftwerk.Config.standard in
+  let wl1, est1, rt1, rwl1 =
+    run (Kraftwerk.Config.routability Kraftwerk.Config.standard)
   in
-  let wl1, est1, rt1, rwl1 = run (Some hooks) in
   Printf.printf
     "plain:             hpwl %.4g  est overflow %.4g  routed overflow %.4g  routed wl %.4g\n"
     wl0 est0 rt0 rwl0;
@@ -744,11 +747,11 @@ let micro_run () =
       Test.make ~name:"grouter-primary1"
         (Staged.stage (fun () ->
              let nx, ny = Density.Density_map.auto_bins circuit in
-             Route.Grouter.route circuit placed ~nx ~ny));
+             Route.Grouter.route circuit placed (Route.Grid_spec.make ~nx ~ny ())));
       Test.make ~name:"congest-estimate-primary1"
         (Staged.stage (fun () ->
              let nx, ny = Density.Density_map.auto_bins circuit in
-             Route.Congest.estimate circuit placed ~nx ~ny));
+             Route.Congest.estimate circuit placed (Route.Grid_spec.make ~nx ~ny ())));
     ]
   in
   let test = Test.make_grouped ~name:"kernels" tests in
@@ -872,6 +875,40 @@ let effort_entries circuit p0 =
           ] ))
     [ 1; 5; 9 ]
 
+(* Routability closed-loop rows: wirelength vs routability objective at
+   equal effort, both legalized and validated with the actual global
+   router on the same grid spec.  CI gates the routed overflow of these
+   rows like it gates HPWL. *)
+let routability_entries circuit p0 =
+  let run config =
+    let state, _ = Kraftwerk.Placer.run config circuit p0 in
+    let lp = finalize circuit state.Kraftwerk.Placer.placement in
+    let hpwl = Metrics.Wirelength.hpwl circuit lp in
+    match
+      Route.Grouter.route circuit lp (Kraftwerk.Placer.route_spec config circuit)
+    with
+    | Ok r ->
+      (hpwl, r.Route.Grouter.total_overflow, r.Route.Grouter.max_overflow)
+    | Error _ -> (hpwl, Float.nan, Float.nan)
+  in
+  let wl_hpwl, wl_ovfl, wl_max = run Kraftwerk.Config.standard in
+  let rt_hpwl, rt_ovfl, rt_max =
+    run (Kraftwerk.Config.routability Kraftwerk.Config.standard)
+  in
+  let num v = Obs.Json.Num v in
+  Obs.Json.Obj
+    [
+      ("hpwl_wirelength", num wl_hpwl);
+      ("hpwl_routability", num rt_hpwl);
+      ("routed_overflow_wirelength", num wl_ovfl);
+      ("routed_overflow_routability", num rt_ovfl);
+      ("routed_max_overflow_wirelength", num wl_max);
+      ("routed_max_overflow_routability", num rt_max);
+      ( "overflow_reduction_pct",
+        num (100. *. (wl_ovfl -. rt_ovfl) /. Float.max wl_ovfl 1e-9) );
+      ("hpwl_delta_pct", num (100. *. (rt_hpwl -. wl_hpwl) /. wl_hpwl));
+    ]
+
 let place_bench () =
   print_endline "";
   print_endline "Placement telemetry bench: end-to-end iteration timings";
@@ -937,6 +974,13 @@ let place_bench () =
         (name, Obs.Json.Obj (effort_entries circuit p0)))
       built
   in
+  let routability =
+    List.map
+      (fun (name, (_, circuit, p0)) ->
+        Printf.eprintf "[place-bench] %s routability...\n%!" name;
+        (name, routability_entries circuit p0))
+      built
+  in
   Obs.Registry.set_enabled was_enabled;
   let doc =
     Obs.Json.Obj
@@ -946,6 +990,7 @@ let place_bench () =
         ("scale", Obs.Json.Num !scale);
         ("profiles", Obs.Json.Obj entries);
         ("efforts", Obs.Json.Obj efforts);
+        ("routability", Obs.Json.Obj routability);
       ]
   in
   let oc = open_out "BENCH_place.json" in
@@ -981,6 +1026,23 @@ let place_bench () =
           rows
       | _ -> ())
     efforts;
+  List.iter
+    (fun (name, row) ->
+      match
+        ( Obs.Json.member "routed_overflow_wirelength" row,
+          Obs.Json.member "routed_overflow_routability" row,
+          Obs.Json.member "overflow_reduction_pct" row,
+          Obs.Json.member "hpwl_delta_pct" row )
+      with
+      | ( Some (Obs.Json.Num wo),
+          Some (Obs.Json.Num ro),
+          Some (Obs.Json.Num red),
+          Some (Obs.Json.Num dh) ) ->
+        Printf.printf
+          "%-11s routed overflow %8.4g -> %8.4g (-%.1f%%)  hpwl %+.2f%%\n"
+          name wo ro red dh
+      | _ -> ())
+    routability;
   print_endline "wrote BENCH_place.json"
 
 (* ------------------------------------------------------------------ *)

@@ -98,18 +98,22 @@ let cmd_generate profile scale seed output =
   Printf.printf "wrote %s (%d cells, %d nets) and %s.pos\n" output
     (Netlist.Circuit.num_cells c) (Netlist.Circuit.num_nets c) output
 
-let cmd_run circuit_file profile scale seed flow mode effort timing verbose
-    output svg domains trace =
+let cmd_run circuit_file profile scale seed flow mode effort timing objective
+    verbose output svg domains trace =
   let c, p0 = load_or_generate ~circuit_file ~profile ~scale ~seed in
-  (* [mode] and [effort] arrive through Cmdliner enum convs, so a bad
-     flag is a usage error with a clean exit code before this function
-     runs.  An explicit effort preset selects the whole configuration;
-     the mode is the fallback. *)
-  let config =
-    match effort with
-    | Some e -> Kraftwerk.Config.effort e
-    | None -> Engine.Job.config_of_mode mode
+  (* [mode], [effort] and [objective] arrive through Cmdliner enum convs,
+     so a bad flag is a usage error with a clean exit code before this
+     function runs.  The objective bundles the whole request; --timing
+     stays a deprecated alias for --objective timing. *)
+  let goal =
+    match objective with
+    | Some g -> g
+    | None ->
+      if timing then Engine.Objective.Timing else Engine.Objective.Wirelength
   in
+  let timing = goal = Engine.Objective.Timing in
+  let obj = Engine.Objective.make ~goal ~mode ?effort () in
+  let config = Engine.Objective.config obj in
   let config = { config with Kraftwerk.Config.domains } in
   (* Non-Kraftwerk flows never reach Placer.init; apply the pool size
      here so their kernels (Gordian's QP solves, density maps) see it. *)
@@ -194,8 +198,9 @@ let cmd_run circuit_file profile scale seed flow mode effort timing verbose
     | Flow_annealer -> "annealer"
     | Flow_floorplan -> "floorplan"
   in
-  Printf.printf "flow         %s (%s mode)\n" flow_name
-    (Engine.Job.mode_to_string mode);
+  Printf.printf "flow         %s (%s mode, %s objective)\n" flow_name
+    (Engine.Job.mode_to_string mode)
+    (Engine.Objective.goal_to_string goal);
   Printf.printf "cpu          %.2f s\n" (t1 -. t0);
   (match passes with
   | Some (im, idelta, dm, ddelta) ->
@@ -203,6 +208,18 @@ let cmd_run circuit_file profile scale seed flow mode effort timing verbose
     Printf.printf "domino       %d moves, hpwl -%.6g\n" dm ddelta
   | None -> ());
   let final_hpwl, final_overlap = report_metrics c final ~timing in
+  (* Routability runs are validated with the actual global router, on
+     the same grid spec the in-loop estimator used. *)
+  (if Engine.Objective.routed_validation obj && flow <> Flow_floorplan then
+     let gspec = Kraftwerk.Placer.route_spec config c in
+     match Route.Grouter.route c final gspec with
+     | Ok r ->
+       Printf.printf "routed ovfl  %.6g (max %.6g)\n"
+         r.Route.Grouter.total_overflow r.Route.Grouter.max_overflow;
+       Printf.printf "routed wl    %.6g\n" r.Route.Grouter.total_wirelength
+     | Error e ->
+       Printf.printf "routed ovfl  unavailable (%s)\n"
+         (Route.Grid_spec.error_message e));
   (match trace_state with
   | Some (file, oc, iters) ->
     Obs.Sink.summary
@@ -293,7 +310,7 @@ let cmd_serve concurrency domains shards transcript listen proto max_pending
     let emit_event e =
       let ev =
         match proto with
-        | Engine.Protocol.V2 ->
+        | Engine.Protocol.V2 | Engine.Protocol.V3 ->
           incr ev;
           Some !ev
         | Engine.Protocol.V1 -> None
@@ -327,16 +344,23 @@ let client_ok = function
    until it is terminal and print its result line.  Exit 1 when the
    awaited job failed, 2 on operational errors. *)
 let cmd_submit to_addr circuit_file profile scale seed mode flow effort timing
-    priority deadline max_steps wait =
+    objective priority deadline max_steps wait =
   let source =
     match (circuit_file, profile) with
     | Some file, _ -> Engine.Source.File file
     | None, Some name -> Engine.Source.Profile { name; scale; seed }
     | None, None -> die "either --circuit or --profile is required"
   in
+  let goal =
+    match objective with
+    | Some g -> g
+    | None ->
+      if timing then Engine.Objective.Timing else Engine.Objective.Wirelength
+  in
   let spec =
-    Engine.Job.spec ~source ~mode ~flow ?effort ~timing ~priority ?deadline
-      ?max_steps ()
+    Engine.Job.spec ~source
+      ~objective:(Engine.Objective.make ~goal ~mode ?effort ~flow ())
+      ~priority ?deadline ?max_steps ()
   in
   let cl = client_connect to_addr in
   let id = client_ok (Server.Client.submit cl spec) in
@@ -470,6 +494,24 @@ let mode_arg =
            Engine.Job.Standard
        & info [ "mode" ] ~doc:"$(docv) is either standard or fast.")
 
+let objective_arg =
+  Arg.(value
+       & opt
+           (some
+              (enum
+                 [
+                   ("wirelength", Engine.Objective.Wirelength);
+                   ("routability", Engine.Objective.Routability);
+                   ("timing", Engine.Objective.Timing);
+                 ]))
+           None
+       & info [ "objective" ]
+           ~doc:"What the run optimises for: wirelength (the default \
+                 area-driven placement), routability (the closed \
+                 congestion loop plus routed-overflow validation with \
+                 the global router), or timing (slack-driven net \
+                 reweighting).  Supersedes the deprecated --timing flag.")
+
 let effort_arg =
   (* An enum rather than a bare int: a bad value is a usage error listing
      the valid presets, and the doc string enumerates them. *)
@@ -518,7 +560,11 @@ let run_cmd =
                                  gordian, annealer or floorplan.")
   in
   let mode = mode_arg in
-  let timing = Arg.(value & flag & info [ "timing" ] ~doc:"Timing-driven.") in
+  let timing =
+    Arg.(value & flag
+         & info [ "timing" ]
+             ~doc:"Timing-driven (deprecated alias for --objective timing).")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log steps.") in
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Save placement.")
@@ -543,8 +589,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Place a circuit and report metrics")
     Term.(const cmd_run $ circuit $ profile_arg $ scale_arg $ seed_arg $ flow
-          $ mode $ effort_arg $ timing $ verbose $ output $ svg $ domains
-          $ trace)
+          $ mode $ effort_arg $ timing $ objective_arg $ verbose $ output
+          $ svg $ domains $ trace)
 
 let profiles_cmd =
   Cmd.v (Cmd.info "profiles" ~doc:"List benchmark profiles")
@@ -573,13 +619,19 @@ let shards_arg =
 let proto_arg =
   Arg.(value
        & opt
-           (enum [ ("v1", Engine.Protocol.V1); ("v2", Engine.Protocol.V2) ])
+           (enum
+              [
+                ("v1", Engine.Protocol.V1);
+                ("v2", Engine.Protocol.V2);
+                ("v3", Engine.Protocol.V3);
+              ])
            Engine.Protocol.V2
        & info [ "proto" ]
-           ~doc:"Protocol version rendered in responses and events: v2 \
-                 (seq echo, structured error codes, numbered events) or \
-                 v1 (the legacy shapes).  V1 requests are accepted either \
-                 way.")
+           ~doc:"Protocol version rendered in responses and events: v3 \
+                 (v2 plus the resolved job objective echoed on submit), \
+                 v2 (seq echo, structured error codes, numbered events) \
+                 or v1 (the legacy shapes).  Older requests are accepted \
+                 under any version.")
 
 let serve_cmd =
   let transcript =
@@ -667,7 +719,10 @@ let submit_cmd =
          & info [ "max-steps" ] ~doc:"Cap on placer iterations.")
   in
   let timing =
-    Arg.(value & flag & info [ "timing" ] ~doc:"Timing-driven placement.")
+    Arg.(value & flag
+         & info [ "timing" ]
+             ~doc:"Timing-driven placement (deprecated alias for \
+                   --objective timing).")
   in
   let wait =
     Arg.(value & flag
@@ -696,8 +751,8 @@ let submit_cmd =
              server; prints a JSON line with the job id (and, with \
              --wait, the result)")
     Term.(const cmd_submit $ to_arg $ circuit $ profile_arg $ scale_arg
-          $ seed_arg $ mode_arg $ job_flow $ effort_arg $ timing $ priority
-          $ deadline $ max_steps $ wait)
+          $ seed_arg $ mode_arg $ job_flow $ effort_arg $ timing
+          $ objective_arg $ priority $ deadline $ max_steps $ wait)
 
 let watch_cmd =
   let from_ev =

@@ -10,11 +10,16 @@ let () =
   let circuit, pads = Circuitgen.Gen.generate params in
   let initial = Circuitgen.Gen.initial_placement circuit pads in
   let nx, ny = Density.Density_map.auto_bins circuit in
+  let spec = Route.Grid_spec.make ~nx ~ny () in
+  let est_ok = function
+    | Ok e -> e
+    | Error e -> failwith (Route.Grid_spec.error_message e)
+  in
 
   (* Reference: plain area-driven placement. *)
   let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit initial in
   let plain = state.Kraftwerk.Placer.placement in
-  let plain_cong = Route.Congest.estimate circuit plain ~nx ~ny in
+  let plain_cong = est_ok (Route.Congest.estimate circuit plain spec) in
   let plain_heat = Route.Heat.analyse circuit plain ~nx ~ny in
   Printf.printf "plain:      hpwl %.4g  overflow %.4g  peak heat %.3g\n"
     (Metrics.Wirelength.hpwl circuit plain)
@@ -25,13 +30,19 @@ let () =
     { Kraftwerk.Placer.no_hooks with
       Kraftwerk.Placer.extra_density =
         Some
-          (fun c p ~nx ~ny -> Route.Congest.extra_density ~strength:1.0 c p ~nx ~ny) }
+          (fun c p ~nx ~ny ->
+            match
+              Route.Congest.extra_density ~strength:1.0 c p
+                (Route.Grid_spec.make ~nx ~ny ())
+            with
+            | Ok g -> g
+            | Error _ -> None) }
   in
   let state, _ =
     Kraftwerk.Placer.run ~hooks:cong_hooks Kraftwerk.Config.standard circuit initial
   in
   let cong_placed = state.Kraftwerk.Placer.placement in
-  let cong = Route.Congest.estimate circuit cong_placed ~nx ~ny in
+  let cong = est_ok (Route.Congest.estimate circuit cong_placed spec) in
   Printf.printf "congestion: hpwl %.4g  overflow %.4g (%+.0f%%)\n"
     (Metrics.Wirelength.hpwl circuit cong_placed)
     cong.Route.Congest.total_overflow

@@ -19,7 +19,13 @@ let () =
 
   (* Route on a coarse grid and report. *)
   let nx, ny = Density.Density_map.auto_bins circuit in
-  let routed = Route.Grouter.route circuit placement ~nx ~ny in
+  let routed =
+    match
+      Route.Grouter.route circuit placement (Route.Grid_spec.make ~nx ~ny ())
+    with
+    | Ok r -> r
+    | Error e -> failwith (Route.Grid_spec.error_message e)
+  in
   Printf.printf "placed hpwl      %.4g\n" (Metrics.Wirelength.hpwl circuit placement);
   Printf.printf "routed wirelength %.4g (%.2fx hpwl)\n"
     routed.Route.Grouter.total_wirelength

@@ -12,9 +12,10 @@ type t = {
   controller : Kraftwerk.Controller.t;
   ml_level : int;
   ml_levels : int;
+  route_target : float array option;
 }
 
-let version = 3
+let version = 4
 
 (* ------------------------------------------------------------------ *)
 (* Digests                                                              *)
@@ -56,19 +57,39 @@ let config_fingerprint (c : Kraftwerk.Config.t) =
   (* The multilevel knobs are appended only when they leave the standard
      values, so every pre-multilevel checkpoint's digest stays valid. *)
   let std = Kraftwerk.Config.standard in
+  let base =
+    if
+      c.Kraftwerk.Config.ml_threshold = std.Kraftwerk.Config.ml_threshold
+      && c.Kraftwerk.Config.ml_max_levels = std.Kraftwerk.Config.ml_max_levels
+      && c.Kraftwerk.Config.ml_refine_iters
+         = std.Kraftwerk.Config.ml_refine_iters
+      && c.Kraftwerk.Config.ml_grid_scale = std.Kraftwerk.Config.ml_grid_scale
+      && c.Kraftwerk.Config.ml_seed = std.Kraftwerk.Config.ml_seed
+    then base
+    else
+      base
+      ^ Printf.sprintf ";mlt=%d;mll=%d;mlr=%d;mlg=%h;mls=%d"
+          c.Kraftwerk.Config.ml_threshold c.Kraftwerk.Config.ml_max_levels
+          c.Kraftwerk.Config.ml_refine_iters c.Kraftwerk.Config.ml_grid_scale
+          c.Kraftwerk.Config.ml_seed
+  in
+  (* Same pattern for the routability-loop knobs: pre-congestion digests
+     stay valid, and any knob change invalidates resume. *)
   if
-    c.Kraftwerk.Config.ml_threshold = std.Kraftwerk.Config.ml_threshold
-    && c.Kraftwerk.Config.ml_max_levels = std.Kraftwerk.Config.ml_max_levels
-    && c.Kraftwerk.Config.ml_refine_iters = std.Kraftwerk.Config.ml_refine_iters
-    && c.Kraftwerk.Config.ml_grid_scale = std.Kraftwerk.Config.ml_grid_scale
-    && c.Kraftwerk.Config.ml_seed = std.Kraftwerk.Config.ml_seed
+    c.Kraftwerk.Config.congest_every = std.Kraftwerk.Config.congest_every
+    && c.Kraftwerk.Config.congest_strength
+       = std.Kraftwerk.Config.congest_strength
+    && c.Kraftwerk.Config.congest_update = std.Kraftwerk.Config.congest_update
+    && c.Kraftwerk.Config.congest_max = std.Kraftwerk.Config.congest_max
+    && c.Kraftwerk.Config.congest_decay = std.Kraftwerk.Config.congest_decay
+    && c.Kraftwerk.Config.congest_pitch = std.Kraftwerk.Config.congest_pitch
   then base
   else
     base
-    ^ Printf.sprintf ";mlt=%d;mll=%d;mlr=%d;mlg=%h;mls=%d"
-        c.Kraftwerk.Config.ml_threshold c.Kraftwerk.Config.ml_max_levels
-        c.Kraftwerk.Config.ml_refine_iters c.Kraftwerk.Config.ml_grid_scale
-        c.Kraftwerk.Config.ml_seed
+    ^ Printf.sprintf ";ce=%d;cs=%h;cu=%h;cm=%h;cd=%h;cp=%h"
+        c.Kraftwerk.Config.congest_every c.Kraftwerk.Config.congest_strength
+        c.Kraftwerk.Config.congest_update c.Kraftwerk.Config.congest_max
+        c.Kraftwerk.Config.congest_decay c.Kraftwerk.Config.congest_pitch
 
 let config_digest c = Digest.to_hex (Digest.string (config_fingerprint c))
 
@@ -101,6 +122,8 @@ let of_state ?criticality ?(ml_level = 0) ?(ml_levels = 1)
     net_weights = Array.copy s.Kraftwerk.Placer.net_weights;
     criticality = Option.map Array.copy criticality;
     controller = Kraftwerk.Controller.copy s.Kraftwerk.Placer.controller;
+    route_target =
+      Option.map Route.Target.values s.Kraftwerk.Placer.route_target;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -114,6 +137,19 @@ let farray a = Arr (Array.to_list a |> List.map (fun v -> Num v))
    gap_min) have no JSON literal; Null encodes them and the parser maps
    Null back to the matching sentinel. *)
 let fin v = if Float.is_finite v then Num v else Null
+
+let congest_to_json (g : Kraftwerk.Controller.congest) =
+  Obj
+    [
+      ("strength", Num g.Kraftwerk.Controller.strength);
+      ( "since_refresh",
+        Num (float_of_int g.Kraftwerk.Controller.since_refresh) );
+      ("refreshes", Num (float_of_int g.Kraftwerk.Controller.refreshes));
+      ("est_overflow", fin g.Kraftwerk.Controller.est_overflow);
+      ("est_max_overflow", fin g.Kraftwerk.Controller.est_max_overflow);
+      ("target_area", Num g.Kraftwerk.Controller.target_area);
+      ("clamped_bins", Num (float_of_int g.Kraftwerk.Controller.clamped_bins));
+    ]
 
 let controller_to_json (c : Kraftwerk.Controller.t) =
   Obj
@@ -132,6 +168,7 @@ let controller_to_json (c : Kraftwerk.Controller.t) =
         match c.Kraftwerk.Controller.stop_reason with
         | Some r -> Str (Kraftwerk.Controller.reason_to_string r)
         | None -> Null );
+      ("congest", congest_to_json c.Kraftwerk.Controller.congest);
     ]
 
 let to_json t =
@@ -152,6 +189,8 @@ let to_json t =
       ("ml_level", Num (float_of_int t.ml_level));
       ("ml_levels", Num (float_of_int t.ml_levels));
       ("controller", controller_to_json t.controller);
+      ( "route_target",
+        match t.route_target with Some a -> farray a | None -> Null );
     ]
 
 let ( let* ) = Result.bind
@@ -183,6 +222,24 @@ let field_fin v key ~default =
   | Some Null -> Ok default
   | _ -> Error (Printf.sprintf "checkpoint: field %S is not a number" key)
 
+(* Pre-v4 checkpoints predate the routability loop: their configs must
+   carry the standard (off) congestion knobs to digest-match, so the
+   pre-first-refresh state is the one the uninterrupted run had. *)
+let congest_of_json c =
+  match member "congest" c with
+  | Some g ->
+    let* strength = field_float g "strength" in
+    let* since_refresh = field_int g "since_refresh" in
+    let* refreshes = field_int g "refreshes" in
+    let* est_overflow = field_fin g "est_overflow" ~default:Float.nan in
+    let* est_max_overflow = field_fin g "est_max_overflow" ~default:Float.nan in
+    let* target_area = field_float g "target_area" in
+    let* clamped_bins = field_int g "clamped_bins" in
+    Ok
+      (Kraftwerk.Controller.restore_congest ~strength ~since_refresh ~refreshes
+         ~est_overflow ~est_max_overflow ~target_area ~clamped_bins)
+  | None -> Ok (Kraftwerk.Controller.fresh_congest Kraftwerk.Config.standard)
+
 let controller_of_json v =
   match member "controller" v with
   | Some c ->
@@ -204,9 +261,10 @@ let controller_of_json v =
         | None -> Error (Printf.sprintf "checkpoint: unknown stop reason %S" s))
       | Some _ -> Error "checkpoint: field \"stop_reason\" is not a string"
     in
+    let* congest = congest_of_json c in
     Ok
       (Kraftwerk.Controller.restore ~penalty ~since_legalize ~lb ~ub ~ub_min
-         ~gap ~gap_min ~ub_evals ~stall ~stop_reason)
+         ~gap ~gap_min ~ub_evals ~stall ~stop_reason ~congest)
   | None -> Error "checkpoint: missing field \"controller\""
 
 let field_farray v key =
@@ -229,9 +287,10 @@ let of_json v =
   if kind <> "checkpoint" then Error ("checkpoint: not a checkpoint: " ^ kind)
   else
     let* file_version = field_int v "version" in
-    (* Version 2 is version 3 without the level stack: parse it with
-       flat defaults. *)
-    if file_version <> version && file_version <> 2 then
+    (* Version 2 is version 3 without the level stack; version 3 is
+       version 4 without the routability loop.  Both parse with the
+       defaults the older engines actually had. *)
+    if file_version <> version && file_version <> 2 && file_version <> 3 then
       Error (Printf.sprintf "checkpoint: unsupported version %d" file_version)
     else
       let* config_digest = field_str v "config" in
@@ -268,6 +327,12 @@ let of_json v =
         else Ok ()
       in
       let* controller = controller_of_json v in
+      let* route_target =
+        match member "route_target" v with
+        | Some Null | None -> Ok None
+        | Some (Arr _) -> Result.map Option.some (field_farray v "route_target")
+        | Some _ -> Error "checkpoint: field \"route_target\" is not an array"
+      in
       if Array.length x <> Array.length y then
         Error "checkpoint: x/y length mismatch"
       else if Array.length ex <> Array.length ey then
@@ -288,6 +353,7 @@ let of_json v =
             controller;
             ml_level;
             ml_levels;
+            route_target;
           }
 
 let save path t =
@@ -313,6 +379,19 @@ let load path =
     in
     of_json v
 
+(* The target-map grid is a pure function of (config, circuit), so only
+   the values are stored; rebuilding validates the length. *)
+let route_target_of t config circuit =
+  match t.route_target with
+  | None -> Ok None
+  | Some vs -> (
+    let spec = Kraftwerk.Placer.route_spec config circuit in
+    match
+      Route.Target.restore circuit.Netlist.Circuit.region spec ~values:vs
+    with
+    | Ok tgt -> Ok (Some tgt)
+    | Error msg -> Error ("checkpoint: " ^ msg))
+
 let restore t config circuit =
   if t.ml_level <> 0 || t.ml_levels <> 1 then
     Error
@@ -324,11 +403,12 @@ let restore t config circuit =
   else if Array.length t.x <> Netlist.Circuit.num_cells circuit then
     Error "checkpoint: placement length mismatch"
   else
+    let* route_target = route_target_of t config circuit in
     match
       Kraftwerk.Placer.restore config circuit
         ~placement:{ Netlist.Placement.x = t.x; y = t.y }
         ~ex:t.ex ~ey:t.ey ~net_weights:t.net_weights ~controller:t.controller
-        ~iteration:t.iteration ()
+        ?route_target ~iteration:t.iteration ()
     with
     | state -> Ok state
     | exception Invalid_argument msg -> Error ("checkpoint: " ^ msg)
@@ -361,11 +441,16 @@ let restore_multilevel t config circuit ~fixed_positions =
                  "level %d placement has %d cells, hierarchy level has %d"
                  t.ml_level (Array.length t.x)
                  (Netlist.Circuit.num_cells level_circuit));
+          let route_target =
+            match route_target_of t level_config level_circuit with
+            | Ok tgt -> tgt
+            | Error msg -> invalid_arg msg
+          in
           Kraftwerk.Placer.restore ~telemetry_level:t.ml_level level_config
             level_circuit
             ~placement:{ Netlist.Placement.x = t.x; y = t.y }
             ~ex:t.ex ~ey:t.ey ~net_weights:t.net_weights
-            ~controller:t.controller ~iteration:t.iteration ())
+            ~controller:t.controller ?route_target ~iteration:t.iteration ())
     with
     | run ->
       if Kraftwerk.Cluster.total_levels run <> t.ml_levels then

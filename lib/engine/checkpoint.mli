@@ -36,6 +36,12 @@ type t = {
   ml_levels : int;
       (** total stages of the V-cycle the state was taken from; 1 for
           flat runs *)
+  route_target : float array option;
+      (** row-major values of the routability loop's congestion-target
+          map ({!Route.Target}); [None] when the loop is off.  The grid
+          itself is a pure function of (config, circuit) and is rebuilt
+          on resume (version ≥ 4; older files parse as [None] — their
+          digest-matched configs ran no loop). *)
 }
 
 val version : int

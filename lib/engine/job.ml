@@ -1,15 +1,12 @@
-type mode = Standard | Fast
+type mode = Objective.mode = Standard | Fast
 
-type flow = Flat | Multilevel
+type flow = Objective.flow = Flat | Multilevel
 
 type start = Fresh | Resume of string | Warm of string
 
 type spec = {
   source : Source.t;
-  mode : mode;
-  flow : flow;
-  effort : int option;
-  timing : bool;
+  objective : Objective.t;
   priority : int;
   deadline : float option;
   domains : int option;
@@ -20,15 +17,22 @@ type spec = {
   trace : string option;
 }
 
-let spec ~source ?(mode = Standard) ?(flow = Flat) ?effort ?(timing = false)
-    ?(priority = 0) ?deadline ?domains ?max_steps ?(start = Fresh) ?checkpoint
+let spec ~source ?mode ?flow ?effort ?timing ?objective ?(priority = 0)
+    ?deadline ?domains ?max_steps ?(start = Fresh) ?checkpoint
     ?(checkpoint_every = 25) ?trace () =
+  let objective =
+    match objective with
+    | Some o -> o
+    | None ->
+      Objective.of_legacy
+        ~mode:(Option.value mode ~default:Objective.Standard)
+        ~flow:(Option.value flow ~default:Objective.Flat)
+        ~effort
+        ~timing:(Option.value timing ~default:false)
+  in
   {
     source;
-    mode;
-    flow;
-    effort;
-    timing;
+    objective;
     priority;
     deadline;
     domains;
@@ -38,6 +42,14 @@ let spec ~source ?(mode = Standard) ?(flow = Flat) ?effort ?(timing = false)
     checkpoint_every;
     trace;
   }
+
+let mode s = s.objective.Objective.mode
+
+let flow s = s.objective.Objective.flow
+
+let effort s = s.objective.Objective.effort
+
+let timing s = Objective.timing_driven s.objective
 
 type status =
   | Queued
@@ -70,35 +82,27 @@ type result = {
   improve_delta : float;
   domino_moves : int;
   domino_delta : float;
+  routed_overflow : float option;
+  routed_max_overflow : float option;
+  routed_wirelength : float option;
   deadline_expired : bool;
   wall_s : float;
   checkpoint_written : string option;
 }
 
-let mode_to_string = function Standard -> "standard" | Fast -> "fast"
+let mode_to_string = Objective.mode_to_string
 
-let flow_to_string = function Flat -> "flat" | Multilevel -> "multilevel"
+let flow_to_string = Objective.flow_to_string
 
-let flow_of_string = function
-  | "flat" -> Ok Flat
-  | "multilevel" -> Ok Multilevel
-  | other -> Error (Printf.sprintf "job: unknown flow %S" other)
+let flow_of_string = Objective.flow_of_string
 
-let mode_of_string = function
-  | "standard" -> Ok Standard
-  | "fast" -> Ok Fast
-  | other -> Error (Printf.sprintf "job: unknown mode %S" other)
+let mode_of_string = Objective.mode_of_string
 
 let config_of_mode = function
   | Standard -> Kraftwerk.Config.standard
   | Fast -> Kraftwerk.Config.fast
 
-(* An explicit effort preset wins over the mode; the mode stays the
-   fallback so pre-effort clients keep their exact semantics. *)
-let config_of_spec s =
-  match s.effort with
-  | Some e -> Kraftwerk.Config.effort e
-  | None -> config_of_mode s.mode
+let config_of_spec s = Objective.config s.objective
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                 *)
@@ -111,15 +115,19 @@ let int_ v = Num (float_of_int v)
 
 let opt f = function Some v -> f v | None -> Null
 
+(* The legacy mode/flow/effort/timing fields are still emitted (derived
+   from the objective) so v2 readers keep working; the objective object
+   is authoritative on parse. *)
 let spec_to_json s =
   let source_fields = match Source.to_json s.source with Obj f -> f | _ -> [] in
   Obj
     (source_fields
     @ [
-        ("mode", Str (mode_to_string s.mode));
-        ("flow", Str (flow_to_string s.flow));
-        ("effort", opt int_ s.effort);
-        ("timing", Bool s.timing);
+        ("objective", Objective.to_json s.objective);
+        ("mode", Str (mode_to_string (mode s)));
+        ("flow", Str (flow_to_string (flow s)));
+        ("effort", opt int_ (effort s));
+        ("timing", Bool (timing s));
         ("priority", int_ s.priority);
         ("deadline_s", opt num s.deadline);
         ("domains", opt int_ s.domains);
@@ -153,8 +161,8 @@ let field_opt_int v key =
   | Some n when Float.is_integer n -> Ok (Some (int_of_float n))
   | Some _ -> Error (Printf.sprintf "job: field %S is not an integer" key)
 
-let spec_of_json v =
-  let* source = Source.of_json v in
+(* The v2 job shape: loose mode/flow/effort/timing fields. *)
+let legacy_objective_of_json v =
   let* mode =
     match member "mode" v with
     | Some (Str m) -> mode_of_string m
@@ -178,6 +186,16 @@ let spec_of_json v =
     match effort with
     | Some e when e < 1 || e > 9 -> Error "job: effort must be in 1..9"
     | _ -> Ok ()
+  in
+  Ok (Objective.of_legacy ~mode ~flow ~effort ~timing)
+
+let spec_of_json v =
+  let* source = Source.of_json v in
+  let* objective =
+    match member "objective" v with
+    | Some (Obj _ as o) -> Objective.of_json o
+    | Some Null | None -> legacy_objective_of_json v
+    | Some _ -> Error "job: field \"objective\" is not an object"
   in
   let* priority = field_opt_int v "priority" in
   let* deadline = field_opt_num v "deadline_s" in
@@ -213,10 +231,7 @@ let spec_of_json v =
   Ok
     {
       source;
-      mode;
-      flow;
-      effort;
-      timing;
+      objective;
       priority = Option.value priority ~default:0;
       deadline;
       domains;
@@ -242,6 +257,9 @@ let result_to_json r =
       ("improve_delta_hpwl", num r.improve_delta);
       ("domino_moves", int_ r.domino_moves);
       ("domino_delta_hpwl", num r.domino_delta);
+      ("routed_overflow", opt num r.routed_overflow);
+      ("routed_max_overflow", opt num r.routed_max_overflow);
+      ("routed_wirelength", opt num r.routed_wirelength);
       ("deadline_expired", Bool r.deadline_expired);
       ("wall_s", num r.wall_s);
       ("checkpoint", opt (fun f -> Str f) r.checkpoint_written);
@@ -282,6 +300,11 @@ let result_of_json v =
   let* improve_delta = field_num v "improve_delta_hpwl" in
   let* domino_moves = field_int v "domino_moves" in
   let* domino_delta = field_num v "domino_delta_hpwl" in
+  (* Results written before the routability objective carry no routed
+     metrics. *)
+  let* routed_overflow = field_opt_num v "routed_overflow" in
+  let* routed_max_overflow = field_opt_num v "routed_max_overflow" in
+  let* routed_wirelength = field_opt_num v "routed_wirelength" in
   let* deadline_expired = field_bool v "deadline_expired" in
   let* wall_s = field_num v "wall_s" in
   let* checkpoint_written = field_opt_str v "checkpoint" in
@@ -297,6 +320,9 @@ let result_of_json v =
       improve_delta;
       domino_moves;
       domino_delta;
+      routed_overflow;
+      routed_max_overflow;
+      routed_wirelength;
       deadline_expired;
       wall_s;
       checkpoint_written;

@@ -5,18 +5,24 @@
     live state, so it round-trips through JSON and can be re-submitted
     verbatim (the resume path of the serve protocol).  A {!result} is
     the terminal report: quality metrics plus the improvement deltas of
-    the final-placement passes. *)
+    the final-placement passes.
 
-(** Which placer configuration the job runs under
+    What to optimise for lives in the job's {!Objective.t} — the typed
+    replacement for the old loose [mode]/[flow]/[effort]/[timing]
+    quadruple.  The legacy fields still parse ({!spec_of_json}) and the
+    {!spec} constructor still accepts them, mapping onto an objective
+    via {!Objective.of_legacy}. *)
+
+(** Re-export of {!Objective.mode} — base placer configuration family
     ({!Kraftwerk.Config.standard} / {!Kraftwerk.Config.fast}). *)
-type mode = Standard | Fast
+type mode = Objective.mode = Standard | Fast
 
-(** Which placement flow drives the job: [Flat] is the classic
-    single-level controller loop; [Multilevel] runs the recursive
-    {!Kraftwerk.Cluster} V-cycle (cluster to a coarse netlist, place it,
-    then uncluster and refine level by level).  Both are deterministic
-    and checkpoint/resume-safe. *)
-type flow = Flat | Multilevel
+(** Re-export of {!Objective.flow}: [Flat] is the classic single-level
+    controller loop; [Multilevel] runs the recursive {!Kraftwerk.Cluster}
+    V-cycle (cluster to a coarse netlist, place it, then uncluster and
+    refine level by level).  Both are deterministic and
+    checkpoint/resume-safe. *)
+type flow = Objective.flow = Flat | Multilevel
 
 (** Where the placer's state comes from.
 
@@ -32,13 +38,9 @@ type start = Fresh | Resume of string | Warm of string
 
 type spec = {
   source : Source.t;
-  mode : mode;
-  flow : flow;  (** flat or multilevel V-cycle execution *)
-  effort : int option;
-      (** quality-vs-latency preset 1..9 ({!Kraftwerk.Config.effort});
-          when set it selects the full placer configuration and the
-          [mode] is ignored *)
-  timing : bool;  (** timing-driven net reweighting each transformation *)
+  objective : Objective.t;
+      (** what the job optimises for: goal (wirelength / routability /
+          timing), mode-or-effort preset, flow, per-objective knobs *)
   priority : int;  (** higher runs first; FIFO within a priority *)
   deadline : float option;
       (** wall-clock budget in seconds from job start; on expiry the job
@@ -60,13 +62,16 @@ type spec = {
 }
 
 (** [spec ~source ()] is a standard-mode, area-driven, priority-0 job
-    with no deadline, no checkpointing and no trace. *)
+    with no deadline, no checkpointing and no trace.  [?objective] wins
+    when given; otherwise the legacy [?mode]/[?flow]/[?effort]/[?timing]
+    arguments build one via {!Objective.of_legacy}. *)
 val spec :
   source:Source.t ->
   ?mode:mode ->
   ?flow:flow ->
   ?effort:int ->
   ?timing:bool ->
+  ?objective:Objective.t ->
   ?priority:int ->
   ?deadline:float ->
   ?domains:int ->
@@ -77,6 +82,16 @@ val spec :
   ?trace:string ->
   unit ->
   spec
+
+(** Accessors over the spec's objective (the old record fields). *)
+
+val mode : spec -> mode
+val flow : spec -> flow
+val effort : spec -> int option
+
+(** [timing spec] — the job adapts net weights to slack each
+    transformation ([spec.objective.goal = Timing]). *)
+val timing : spec -> bool
 
 (** Job lifecycle.  [Checkpointed] is a running job with a valid
     checkpoint on disk (it keeps executing); the terminal states are
@@ -105,22 +120,36 @@ type result = {
   improve_delta : float;  (** its HPWL improvement *)
   domino_moves : int;  (** cells moved / windows improved by Domino *)
   domino_delta : float;
+  routed_overflow : float option;
+      (** {!Route.Grouter} total overflow of the final placement;
+          populated for routability-goal jobs, [None] otherwise *)
+  routed_max_overflow : float option;
+  routed_wirelength : float option;
   deadline_expired : bool;
   wall_s : float;
   checkpoint_written : string option;
 }
 
 val mode_to_string : mode -> string
+val mode_of_string : string -> (mode, string) Stdlib.result
+val flow_to_string : flow -> string
+val flow_of_string : string -> (flow, string) Stdlib.result
 
 val config_of_mode : mode -> Kraftwerk.Config.t
 
-(** [config_of_spec spec] is the placer configuration the spec selects:
-    {!Kraftwerk.Config.effort} when [effort] is set, otherwise
-    {!config_of_mode}. *)
+(** [config_of_spec spec] is the placer configuration the spec's
+    objective selects ({!Objective.config}). *)
 val config_of_spec : spec -> Kraftwerk.Config.t
 
+(** [spec_to_json spec] emits both the ["objective"] object and the
+    derived legacy ["mode"]/["flow"]/["effort"]/["timing"] fields, so
+    protocol-v2 readers keep working. *)
 val spec_to_json : spec -> Obs.Json.t
 
+(** [spec_of_json v] prefers an ["objective"] object when present;
+    otherwise the legacy fields are mapped through
+    {!Objective.of_legacy} — old submits parse to the same spec,
+    bitwise. *)
 val spec_of_json : Obs.Json.t -> (spec, string) Stdlib.result
 
 val result_to_json : result -> Obs.Json.t

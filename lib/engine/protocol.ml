@@ -1,4 +1,4 @@
-type version = V1 | V2
+type version = V1 | V2 | V3
 
 type code =
   | Parse
@@ -111,7 +111,7 @@ type reply = Reply of (string * Obs.Json.t) list | Refuse of error
 let render proto ~seq reply =
   let seq_field =
     match (proto, seq) with
-    | V2, Some s -> [ ("seq", s) ]
+    | (V2 | V3), Some s -> [ ("seq", s) ]
     | V1, _ | _, None -> []
   in
   match reply with
@@ -119,7 +119,7 @@ let render proto ~seq reply =
   | Refuse e -> (
     match proto with
     | V1 -> Obj [ ("ok", Bool false); ("error", Str e.message) ]
-    | V2 ->
+    | V2 | V3 ->
       let retry =
         match e.retry_after_ms with
         | Some ms -> [ ("retry_after_ms", int_ ms) ]
@@ -195,14 +195,21 @@ let with_job sched id f =
   | None -> Refuse (err Unknown_id (Printf.sprintf "unknown job id %d" id))
   | Some status -> f status
 
-let handle sched req =
+let handle ?(proto = V2) sched req =
   match req with
   | Submit spec -> (
     match Scheduler.validate_spec spec with
     | Error msg -> (Refuse (err Bad_spec msg), false)
     | Ok () ->
       let id = Scheduler.submit sched spec in
-      (Reply [ ("id", int_ id); ("status", Str "queued") ], false))
+      (* v3 echoes the resolved objective, so clients submitting legacy
+         mode/effort fields can see what they mapped onto. *)
+      let objective =
+        match proto with
+        | V3 -> [ ("objective", Objective.to_json spec.Job.objective) ]
+        | V1 | V2 -> []
+      in
+      (Reply ([ ("id", int_ id); ("status", Str "queued") ] @ objective), false))
   | Status id ->
     ( with_job sched id (fun status ->
           Reply [ ("id", int_ id); ("status", Str (Job.status_to_string status)) ]),
@@ -294,7 +301,7 @@ let serve ?(proto = V2) ?(echo = fun _ -> ()) sched ic oc =
              ( seq_of_json v,
                match request_of_json v with
                | Error e -> (Refuse e, false)
-               | Ok req -> handle sched req ))
+               | Ok req -> handle ~proto sched req ))
          in
          emit (to_string (render proto ~seq reply));
          shutdown := stop

@@ -25,6 +25,22 @@
       (1, 2, …) so a reconnecting client can resume its event stream
       from the last number it saw ([subscribe]'s ["from_ev"]).
 
+    {2 Protocol v3}
+
+    Version 3 is v2 plus the typed job objective:
+
+    - {b Objective submits.}  A submit's ["job"] may carry an
+      ["objective"] object ({!Objective.of_json}) instead of the loose
+      ["mode"]/["flow"]/["effort"]/["timing"] fields.  (Parsing is
+      actually version-independent — v2 responders accept the object
+      too — but v3 is the dialect that documents it.)
+    - {b Objective echo.}  A successful submit response carries the
+      {e resolved} ["objective"] object, so clients submitting legacy
+      fields can see what they mapped onto.
+
+    Legacy v2 submits parse to the identical spec via
+    {!Objective.of_legacy} — golden v2 transcripts stay bitwise.
+
     Version 1 requests are a syntactic subset of v2 requests, so v1
     clients keep working against a v2 responder; [place serve --proto
     v1] renders legacy responses for bit-compatible transcripts.  The
@@ -67,7 +83,7 @@
     refusal — is a structured error response, never a dead
     connection. *)
 
-type version = V1 | V2
+type version = V1 | V2 | V3
 
 (** The closed set of failure codes.  [Overloaded] and [Shutting_down]
     originate in the network server's admission control and drain; the
@@ -138,12 +154,14 @@ val event_to_json : ?ev:int -> Scheduler.event -> Obs.Json.t
     name → stat object dump of the registry snapshot. *)
 val metrics_fields : Scheduler.t -> (string * Obs.Json.t) list
 
-(** [handle sched req] executes one request synchronously and returns
-    its reply plus [true] when the request was [Shutdown].  [Submit]
-    refuses invalid specs ({!Scheduler.validate_spec}) with [Bad_spec];
-    [Wait]/[Drain] step the scheduler until done (the stdio semantics —
-    the network server substitutes its own asynchronous handling). *)
-val handle : Scheduler.t -> request -> reply * bool
+(** [handle ?proto sched req] executes one request synchronously and
+    returns its reply plus [true] when the request was [Shutdown].
+    [Submit] refuses invalid specs ({!Scheduler.validate_spec}) with
+    [Bad_spec]; [Wait]/[Drain] step the scheduler until done (the stdio
+    semantics — the network server substitutes its own asynchronous
+    handling).  Under [V3] (default [V2]) a successful submit reply
+    additionally echoes the resolved ["objective"]. *)
+val handle : ?proto:version -> Scheduler.t -> request -> reply * bool
 
 (** [serve ?proto ?echo sched ic oc] is the full synchronous loop: read
     request lines from [ic] until EOF or [shutdown], write responses to

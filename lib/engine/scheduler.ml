@@ -279,9 +279,7 @@ let validate_spec (spec : Job.spec) =
     | Some n when n < 0 -> Error "spec: max_steps must be non-negative"
     | _ -> Ok ()
   in
-  match spec.Job.effort with
-  | Some e when e < 1 || e > 9 -> Error "spec: effort must be in 1..9"
-  | _ -> Ok ()
+  Objective.validate spec.Job.objective
 
 (* Fixed positions as the multilevel flow wants them: whatever the
    initial placement pins (exactly what [place run --flow multilevel]
@@ -306,19 +304,19 @@ let start_running (spec : Job.spec) =
     { (Job.config_of_spec spec) with Kraftwerk.Config.domains = None }
   in
   let crit_fresh () =
-    if spec.Job.timing then
+    if Job.timing spec then
       Some (Timing.Criticality.create (Netlist.Circuit.num_nets circuit))
     else None
   in
   let* exec, crit, steps0 =
-    match (spec.Job.flow, spec.Job.start) with
+    match (Job.flow spec, spec.Job.start) with
     | Job.Flat, Job.Fresh ->
       Ok (Flat (Kraftwerk.Placer.init config circuit p0), crit_fresh (), 0)
     | Job.Flat, Job.Resume file ->
       let* cp = Checkpoint.load file in
       let* state = Checkpoint.restore cp config circuit in
       let crit =
-        if spec.Job.timing then
+        if Job.timing spec then
           Some
             (match cp.Checkpoint.criticality with
             | Some a -> Timing.Criticality.of_array a
@@ -348,7 +346,7 @@ let start_running (spec : Job.spec) =
         Checkpoint.restore_multilevel cp config circuit ~fixed_positions:fixed
       in
       let crit =
-        if spec.Job.timing then
+        if Job.timing spec then
           Some
             (match cp.Checkpoint.criticality with
             | Some a -> Timing.Criticality.of_array a
@@ -474,6 +472,9 @@ let empty_result status =
     improve_delta = 0.;
     domino_moves = 0;
     domino_delta = 0.;
+    routed_overflow = None;
+    routed_max_overflow = None;
+    routed_wirelength = None;
     deadline_expired = false;
     wall_s = 0.;
     checkpoint_written = None;
@@ -502,6 +503,21 @@ let finish_done t entry run ~converged =
   let improve_moves, improve_delta = Legalize.Improve.run c lp in
   let domino_moves, domino_delta = Legalize.Domino.run c lp in
   with_lock t (fun () -> entry.final_legal <- Some lp);
+  (* Routability-goal jobs validate the final legal placement with the
+     actual global router, on the same grid spec the in-loop estimator
+     used, and surface the routed overflow in the result. *)
+  let routed_overflow, routed_max_overflow, routed_wirelength =
+    if Objective.routed_validation entry.spec.Job.objective then
+      let config = Job.config_of_spec entry.spec in
+      let gspec = Kraftwerk.Placer.route_spec config c in
+      match Route.Grouter.route c lp gspec with
+      | Ok r ->
+        ( Some r.Route.Grouter.total_overflow,
+          Some r.Route.Grouter.max_overflow,
+          Some r.Route.Grouter.total_wirelength )
+      | Error _ -> (None, None, None)
+    else (None, None, None)
+  in
   finish t entry
     {
       Job.status = Job.Done;
@@ -514,6 +530,9 @@ let finish_done t entry run ~converged =
       improve_delta;
       domino_moves;
       domino_delta;
+      routed_overflow;
+      routed_max_overflow;
+      routed_wirelength;
       deadline_expired = false;
       wall_s = Unix.gettimeofday () -. run.started_at;
       checkpoint_written = run.checkpoint_written;
@@ -558,6 +577,9 @@ let finish_degraded t entry run ~deadline_expired =
       improve_delta = 0.;
       domino_moves = 0;
       domino_delta = 0.;
+      routed_overflow = None;
+      routed_max_overflow = None;
+      routed_wirelength = None;
       deadline_expired;
       wall_s = Unix.gettimeofday () -. run.started_at;
       checkpoint_written = run.checkpoint_written;

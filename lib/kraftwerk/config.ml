@@ -25,6 +25,12 @@ type t = {
   ml_refine_iters : int;
   ml_grid_scale : float;
   ml_seed : int;
+  congest_every : int;
+  congest_strength : float;
+  congest_update : float;
+  congest_max : float;
+  congest_decay : float;
+  congest_pitch : float;
 }
 
 let standard =
@@ -55,9 +61,23 @@ let standard =
     ml_refine_iters = 60;
     ml_grid_scale = 1.0;
     ml_seed = 1;
+    congest_every = 0;
+    congest_strength = 0.5;
+    congest_update = 1.1;
+    congest_max = 2.0;
+    congest_decay = 0.5;
+    congest_pitch = 1.5;
   }
 
 let fast = { standard with k_param = 0.2; max_iterations = 80 }
+
+(* The routability overlay: switch the congestion loop on without
+   touching anything the base preset tuned.  Every [congest_every]
+   iterations the placer re-estimates routing overflow and folds it into
+   a persistent per-bin target map (Route.Target); the feedback gain
+   anneals multiplicatively from [congest_strength] toward [congest_max],
+   the same shape as the density-penalty schedule. *)
+let routability base = { base with congest_every = 5 }
 
 (* Effort presets, Coloquinte-style: one integer trades quality for
    latency by bundling the CG tolerances, density-grid resolution,

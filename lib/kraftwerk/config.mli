@@ -93,6 +93,29 @@ type t = {
       (** RNG seed of the FirstChoice clustering pass; level [l]
           clusters with [ml_seed + l], so trajectories are a pure
           function of (circuit, config) *)
+  congest_every : int;
+      (** iterations between congestion-target refreshes of the closed
+          routability loop: every cadence tick the placer estimates
+          routing overflow on a cheap legalized snapshot and folds it
+          into a persistent per-bin density-target map that the density
+          machinery reads as extra demand.  0 (the default) disables the
+          loop entirely — trajectories are bitwise those of the
+          wirelength objective. *)
+  congest_strength : float;
+      (** initial feedback gain of the congestion loop: each refresh
+          adds [strength × overflow × pitch] area demand per bin *)
+  congest_update : float;
+      (** multiplicative anneal of the gain per refresh (≥ 1), the
+          congestion analogue of [penalty_update] *)
+  congest_max : float;  (** saturation value of the gain schedule *)
+  congest_decay : float;
+      (** retention of the previous target map per refresh in [0, 1);
+          targets decay geometrically once a hotspot dissolves *)
+  congest_pitch : float;
+      (** wire pitch of the loop's routing grid ({!Route.Grid_spec}).
+          Deliberately coarser than {!Route.Grid_spec.default_wire_pitch}:
+          the loop wants a capacity model tight enough that hotspots show
+          up while the placement still has freedom to dissolve them *)
 }
 
 (** [standard] is the configuration behind the Table-1 "Our Approach"
@@ -115,5 +138,11 @@ val fast : t
     3 % gap or five stalled probes on a finer grid.
     @raise Invalid_argument outside 1..9. *)
 val effort : int -> t
+
+(** [routability base] overlays the congestion closed loop on any base
+    preset: [congest_every] switches from 0 to 5 while everything the
+    base tuned stays put.  Used by the engine's [routability]
+    objective. *)
+val routability : t -> t
 
 val pp : Format.formatter -> t -> unit

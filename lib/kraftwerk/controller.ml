@@ -16,6 +16,21 @@ let reason_of_string = function
    smaller is oscillation noise and feeds the stall counter instead. *)
 let stall_tolerance = 1e-3
 
+(* State of the closed routability loop, annealed and checkpointed next
+   to the penalty: [strength] is the feedback gain the next refresh will
+   apply, [since_refresh] the cadence counter, and the remaining fields
+   report what the last refresh observed (telemetry; restored verbatim so
+   a resumed trace continues bitwise). *)
+type congest = {
+  mutable strength : float;
+  mutable since_refresh : int;
+  mutable refreshes : int;
+  mutable est_overflow : float;  (** nan before the first refresh *)
+  mutable est_max_overflow : float;
+  mutable target_area : float;
+  mutable clamped_bins : int;
+}
+
 type t = {
   mutable penalty : float;
   mutable since_legalize : int;
@@ -27,7 +42,19 @@ type t = {
   mutable ub_evals : int;
   mutable stall : int;
   mutable stop_reason : reason option;
+  congest : congest;
 }
+
+let fresh_congest (config : Config.t) =
+  {
+    strength = config.Config.congest_strength;
+    since_refresh = 0;
+    refreshes = 0;
+    est_overflow = Float.nan;
+    est_max_overflow = Float.nan;
+    target_area = 0.;
+    clamped_bins = 0;
+  }
 
 let create (config : Config.t) =
   {
@@ -41,16 +68,18 @@ let create (config : Config.t) =
     ub_evals = 0;
     stall = 0;
     stop_reason = None;
+    congest = fresh_congest config;
   }
 
-let copy t = { t with penalty = t.penalty }
+let copy t = { t with congest = { t.congest with strength = t.congest.strength } }
 
 (* Resuming a checkpoint must reproduce the exact multiplier the
    uninterrupted run would carry: the penalty is restored verbatim, never
    recomputed as [initial *. update ** iterations] (pow and the iterative
-   product differ in the last ulp). *)
+   product differ in the last ulp).  The congestion gain obeys the same
+   rule. *)
 let restore ~penalty ~since_legalize ~lb ~ub ~ub_min ~gap ~gap_min ~ub_evals
-    ~stall ~stop_reason =
+    ~stall ~stop_reason ~congest =
   {
     penalty;
     since_legalize;
@@ -62,6 +91,19 @@ let restore ~penalty ~since_legalize ~lb ~ub ~ub_min ~gap ~gap_min ~ub_evals
     ub_evals;
     stall;
     stop_reason;
+    congest;
+  }
+
+let restore_congest ~strength ~since_refresh ~refreshes ~est_overflow
+    ~est_max_overflow ~target_area ~clamped_bins =
+  {
+    strength;
+    since_refresh;
+    refreshes;
+    est_overflow;
+    est_max_overflow;
+    target_area;
+    clamped_bins;
   }
 
 let observe_lb t hpwl = t.lb <- hpwl
@@ -89,6 +131,29 @@ let observe_ub t ~lb ~ub =
   else t.stall <- t.stall + 1
 
 let tick_legalize t = t.since_legalize <- t.since_legalize + 1
+
+(* Congestion-loop cadence, mirroring the UB-probe machinery above. *)
+
+let congest_due t (config : Config.t) =
+  config.Config.congest_every > 0
+  && t.congest.since_refresh + 1 >= config.Config.congest_every
+
+let observe_congest t ~est_overflow ~est_max_overflow ~target_area
+    ~clamped_bins =
+  let c = t.congest in
+  c.since_refresh <- 0;
+  c.refreshes <- c.refreshes + 1;
+  c.est_overflow <- est_overflow;
+  c.est_max_overflow <- est_max_overflow;
+  c.target_area <- target_area;
+  c.clamped_bins <- clamped_bins
+
+let tick_congest t = t.congest.since_refresh <- t.congest.since_refresh + 1
+
+let advance_congest t (config : Config.t) =
+  t.congest.strength <-
+    Float.min config.Config.congest_max
+      (t.congest.strength *. config.Config.congest_update)
 
 (* The envelope criterion mirrors Density.Stop on degenerate circuits: a
    single movable cell reaches its quadratic optimum in one

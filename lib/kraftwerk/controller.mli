@@ -19,6 +19,24 @@ val reason_of_string : string -> reason option
     probe to reset the stall counter. *)
 val stall_tolerance : float
 
+(** State of the closed routability loop ({!Config.congest_every}),
+    annealed and checkpointed next to the penalty. *)
+type congest = {
+  mutable strength : float;
+      (** feedback gain the next refresh will apply; anneals from
+          {!Config.congest_strength} toward {!Config.congest_max} *)
+  mutable since_refresh : int;  (** iterations since the last refresh *)
+  mutable refreshes : int;  (** total refreshes so far *)
+  mutable est_overflow : float;
+      (** estimated total overflow at the last refresh; nan before the
+          first *)
+  mutable est_max_overflow : float;
+  mutable target_area : float;
+      (** Σ of the target map after the last refresh *)
+  mutable clamped_bins : int;
+      (** bins saturated at one bin area by the last refresh *)
+}
+
 type t = {
   mutable penalty : float;  (** current density-force multiplier *)
   mutable since_legalize : int;
@@ -35,6 +53,7 @@ type t = {
       (** consecutive probes without envelope progress *)
   mutable stop_reason : reason option;
       (** first stop criterion that fired, if any *)
+  congest : congest;  (** routability-loop state *)
 }
 
 (** [create config] is a fresh controller with the penalty at
@@ -45,8 +64,8 @@ val create : Config.t -> t
 val copy : t -> t
 
 (** [restore ...] rebuilds a controller verbatim from checkpointed
-    fields.  The penalty must round-trip bitwise — it is never recomputed
-    from the iteration count. *)
+    fields.  The penalty and the congestion gain must round-trip bitwise
+    — they are never recomputed from the iteration count. *)
 val restore :
   penalty:float ->
   since_legalize:int ->
@@ -58,7 +77,23 @@ val restore :
   ub_evals:int ->
   stall:int ->
   stop_reason:reason option ->
+  congest:congest ->
   t
+
+(** [fresh_congest config] is the pre-first-refresh loop state. *)
+val fresh_congest : Config.t -> congest
+
+(** [restore_congest ...] rebuilds checkpointed routability-loop state
+    verbatim. *)
+val restore_congest :
+  strength:float ->
+  since_refresh:int ->
+  refreshes:int ->
+  est_overflow:float ->
+  est_max_overflow:float ->
+  target_area:float ->
+  clamped_bins:int ->
+  congest
 
 (** [observe_lb t hpwl] records the quadratic-solution HPWL of the
     current iteration. *)
@@ -80,6 +115,28 @@ val observe_ub : t -> lb:float -> ub:float -> unit
 (** [tick_legalize t] advances the cadence counter for an iteration that
     took no UB snapshot. *)
 val tick_legalize : t -> unit
+
+(** [congest_due t config] is true when the iteration now being run
+    should refresh the congestion-target map. *)
+val congest_due : t -> Config.t -> bool
+
+(** [observe_congest t ...] records a target-map refresh: resets the
+    cadence counter and stores what the refresh observed. *)
+val observe_congest :
+  t ->
+  est_overflow:float ->
+  est_max_overflow:float ->
+  target_area:float ->
+  clamped_bins:int ->
+  unit
+
+(** [tick_congest t] advances the cadence counter for an iteration that
+    refreshed no targets. *)
+val tick_congest : t -> unit
+
+(** [advance_congest t config] applies one multiplicative step of the
+    gain schedule, saturating at {!Config.congest_max}. *)
+val advance_congest : t -> Config.t -> unit
 
 (** [gap_converged t config ~n_movable ~iteration] is true when the
     envelope criterion is satisfied — at least two UB snapshots taken

@@ -11,6 +11,10 @@ type state = {
   controller : Controller.t;
   telemetry_level : int;
   mutable iteration : int;
+  route_target : Route.Target.t option;
+      (** persistent congestion-target map of the closed routability
+          loop; [Some] iff [config.congest_every > 0] on a non-degenerate
+          grid *)
 }
 
 type step_report = {
@@ -35,18 +39,38 @@ type hooks = {
 
 let no_hooks = { reweight = None; extra_density = None; on_step = None }
 
-let grid_dims state =
-  match state.config.Config.grid with
+let grid_dims_for (config : Config.t) circuit =
+  match config.Config.grid with
   | Some (nx, ny) -> (nx, ny)
   | None ->
-    let nx, ny = Density.Density_map.auto_bins state.circuit in
-    let s = state.config.Config.grid_scale in
+    let nx, ny = Density.Density_map.auto_bins circuit in
+    let s = config.Config.grid_scale in
     if s = 1.0 then (nx, ny)
     else
       let scaled n =
         Stdlib.max 4 (int_of_float (Float.round (s *. float_of_int n)))
       in
       (scaled nx, scaled ny)
+
+let grid_dims state = grid_dims_for state.config state.circuit
+
+(* The routing grid of the closed loop shares the density grid's bin
+   counts so the target map can feed straight into the demand splat. *)
+let route_spec_for (config : Config.t) circuit =
+  let nx, ny = grid_dims_for config circuit in
+  Route.Grid_spec.make ~wire_pitch:config.Config.congest_pitch ~nx ~ny ()
+
+let route_spec = route_spec_for
+
+let fresh_route_target (config : Config.t) circuit =
+  if config.Config.congest_every <= 0 then None
+  else
+    match
+      Route.Target.create circuit.Netlist.Circuit.region
+        (route_spec_for config circuit)
+    with
+    | Ok t -> Some t
+    | Error _ -> None
 
 (* The first transformation of a job would otherwise pay Poisson kernel
    construction inside the hot loop (the cold-call spike in
@@ -80,13 +104,14 @@ let init ?(telemetry_level = 0) config circuit placement =
       controller = Controller.create config;
       telemetry_level;
       iteration = 0;
+      route_target = fresh_route_target config circuit;
     }
   in
   prewarm_density state;
   state
 
 let restore ?(telemetry_level = 0) config circuit ~placement ~ex ~ey
-    ~net_weights ?controller ~iteration () =
+    ~net_weights ?controller ?route_target ~iteration () =
   (match config.Config.domains with
   | Some d -> Numeric.Parallel.set_num_domains d
   | None -> ());
@@ -117,13 +142,17 @@ let restore ?(telemetry_level = 0) config circuit ~placement ~ex ~ey
       | None -> Controller.create config);
     telemetry_level;
     iteration;
+    route_target =
+      (match route_target with
+      | Some t -> Some t
+      | None -> fresh_route_target config circuit);
   }
 
 let restore ?telemetry_level config circuit ~placement ~ex ~ey ~net_weights
-    ?controller ~iteration () =
+    ?controller ?route_target ~iteration () =
   let state =
     restore ?telemetry_level config circuit ~placement ~ex ~ey ~net_weights
-      ?controller ~iteration ()
+      ?controller ?route_target ~iteration ()
   in
   prewarm_density state;
   state
@@ -195,10 +224,63 @@ let transform ?(hooks = no_hooks) state =
           ())
   in
   let reused1, pattern_rebuilds = Qp.System.assembly_stats state.assembly in
+  let ctrl = state.controller in
+  (* Closed routability loop (§5 / GOALPlace): on the cadence tick,
+     estimate routing overflow on a cheap legalized snapshot of the
+     current placement — "begin with the end in mind" — and fold it into
+     the persistent target map with the annealed gain.  Off the tick the
+     map just keeps contributing, so spreading anticipates congestion
+     instead of reacting to the latest estimate only. *)
+  (match state.route_target with
+  | Some target when cfg.Config.congest_every > 0 ->
+    if Controller.congest_due ctrl cfg then begin
+      let probe =
+        match
+          timed "congest_legalize" (fun () ->
+              Legalize.Tetris.legalize state.circuit state.placement ())
+        with
+        | Ok r -> r.Legalize.Tetris.placement
+        | Error _ -> state.placement
+      in
+      let stats =
+        timed "congest" (fun () ->
+            Route.Target.refresh
+              ~strength:ctrl.Controller.congest.Controller.strength
+              ~decay:cfg.Config.congest_decay target state.circuit probe)
+      in
+      Controller.observe_congest ctrl
+        ~est_overflow:stats.Route.Target.est_total_overflow
+        ~est_max_overflow:stats.Route.Target.est_max_overflow
+        ~target_area:stats.Route.Target.target_area
+        ~clamped_bins:stats.Route.Target.clamped_bins;
+      Controller.advance_congest ctrl cfg
+    end
+    else Controller.tick_congest ctrl
+  | _ -> ());
   let extra =
-    match hooks.extra_density with
-    | Some f -> f state.circuit state.placement ~nx ~ny
-    | None -> None
+    let hook_extra =
+      match hooks.extra_density with
+      | Some f -> f state.circuit state.placement ~nx ~ny
+      | None -> None
+    in
+    let target_extra =
+      match state.route_target with
+      | Some t when Route.Target.area t > 0. -> Some (Route.Target.grid t)
+      | _ -> None
+    in
+    match (hook_extra, target_extra) with
+    | None, e | e, None -> e
+    | Some h, Some t ->
+      (* Both sources active: sum into a fresh grid; neither input is
+         mutated (the target map must persist untouched). *)
+      let g =
+        Geometry.Grid2.create state.circuit.Netlist.Circuit.region ~nx ~ny
+      in
+      Geometry.Grid2.map_inplace
+        (fun ix iy _ ->
+          Geometry.Grid2.get h ix iy +. Geometry.Grid2.get t ix iy)
+        g;
+      Some g
   in
   let forces =
     timed "density" (fun () ->
@@ -244,7 +326,6 @@ let transform ?(hooks = no_hooks) state =
           Density.Stop.largest_empty_square_area state.circuit state.placement
             ~nx ~ny () ))
   in
-  let ctrl = state.controller in
   Controller.observe_lb ctrl hpwl;
   let ub, gap =
     if Controller.legalization_due ctrl cfg then
@@ -315,6 +396,19 @@ let transform ?(hooks = no_hooks) state =
         ub_hpwl = report.ub_hpwl;
         gap = report.gap;
         level = state.telemetry_level;
+        congest_strength =
+          (if cfg.Config.congest_every > 0 then
+             ctrl.Controller.congest.Controller.strength
+           else 0.);
+        est_overflow =
+          (let c = ctrl.Controller.congest in
+           if
+             cfg.Config.congest_every > 0
+             && not (Float.is_nan c.Controller.est_overflow)
+           then Some c.Controller.est_overflow
+           else None);
+        target_area = ctrl.Controller.congest.Controller.target_area;
+        target_clamped = ctrl.Controller.congest.Controller.clamped_bins;
         phases = List.rev !phases;
       }
   end;

@@ -24,6 +24,12 @@ type state = {
       (** V-cycle stage stamped into emitted telemetry records (0 for
           flat runs; {!Cluster} passes the stage index) *)
   mutable iteration : int;
+  route_target : Route.Target.t option;
+      (** persistent congestion-target map of the closed routability
+          loop ({!Config.t.congest_every}); [None] when the loop is
+          off.  Refreshed in place every cadence tick, read as extra
+          density demand every transformation, checkpointed next to the
+          controller. *)
 }
 
 (** Per-transformation report. *)
@@ -55,6 +61,12 @@ type hooks = {
 
 val no_hooks : hooks
 
+(** [route_spec config circuit] is the routing-grid spec the closed
+    routability loop bins the region with: the density grid's bin counts
+    at {!Config.t.congest_pitch}.  A pure function of (config, circuit),
+    so checkpoints need only store the target map's values. *)
+val route_spec : Config.t -> Netlist.Circuit.t -> Route.Grid_spec.t
+
 (** [init config circuit placement] builds a fresh state around (a copy
     of) [placement] with ~e = 0 and unit net weights.
     [?telemetry_level] (default 0) is the V-cycle stage stamped into
@@ -77,7 +89,10 @@ val init :
     ({!Qp.System.rebuild} documents refill ≡ finalize).  The optional
     [controller] restores the convergence controller (penalty, envelope
     history) verbatim; omitting it starts a fresh schedule, which is only
-    bitwise-faithful for iteration 0.  All inputs are copied.  Raises
+    bitwise-faithful for iteration 0.  The optional [route_target]
+    restores the congestion-target map of the routability loop the same
+    way; omitting it starts from an all-zero map (fresh-run semantics).
+    All inputs are copied (the target map is adopted as-is).  Raises
     [Invalid_argument] on length mismatches. *)
 val restore :
   ?telemetry_level:int ->
@@ -88,6 +103,7 @@ val restore :
   ey:float array ->
   net_weights:float array ->
   ?controller:Controller.t ->
+  ?route_target:Route.Target.t ->
   iteration:int ->
   unit ->
   state

@@ -24,6 +24,10 @@ type iteration = {
   ub_hpwl : float option;
   gap : float option;
   level : int;
+  congest_strength : float;
+  est_overflow : float option;
+  target_area : float;
+  target_clamped : int;
   phases : (string * float) list;
 }
 
@@ -40,13 +44,16 @@ type summary = {
 (* v2 added assembly_reused / pattern_rebuilds / cg_tolerance (cached QP
    assembly).  v3 added the convergence controller: penalty and the
    LB/UB envelope per iteration, stop_reason in the summary.  v4 added
-   the V-cycle stage index [level] (multilevel placement).  Older
-   records are still parsed with the values the older placers actually
-   had: v3 and earlier only ran the flat flow (level 0), v2 ran a
-   static unit density weight and never probed an upper bound, v1
-   additionally rebuilt the system each transformation at the fixed
-   1e-8 tolerance. *)
-let schema_version = 4
+   the V-cycle stage index [level] (multilevel placement).  v5 added the
+   closed routability loop: the annealed congestion gain, the estimated
+   routed overflow of the last target refresh, and the target-map area /
+   per-bin clamp count.  Older records are still parsed with the values
+   the older placers actually had: v4 and earlier ran no congestion loop
+   (gain 0, no estimate, empty target map), v3 and earlier only ran the
+   flat flow (level 0), v2 ran a static unit density weight and never
+   probed an upper bound, v1 additionally rebuilt the system each
+   transformation at the fixed 1e-8 tolerance. *)
+let schema_version = 5
 
 let volatile_fields = [ "phases"; "domains"; "pool_tasks"; "wall_time"; "counters" ]
 
@@ -107,6 +114,11 @@ let iteration_to_json r =
         match r.ub_hpwl with Some v -> num v | None -> Json.Null );
       ("gap", match r.gap with Some v -> num v | None -> Json.Null);
       ("level", int_ r.level);
+      ("congest_strength", num r.congest_strength);
+      ( "est_overflow",
+        match r.est_overflow with Some v -> num v | None -> Json.Null );
+      ("target_area", num r.target_area);
+      ("target_clamped", int_ r.target_clamped);
       ("phases", Json.Obj (List.map (fun (k, v) -> (k, num v)) r.phases));
     ]
 
@@ -222,6 +234,25 @@ let iteration_of_json obj =
       (* v3-compat: records predate the multilevel V-cycle — every
          older run was the flat flow, i.e. the finest level. *)
       let* level = if schema < 4 then Ok 0 else field_int obj "level" in
+      (* v4-compat: records predate the closed routability loop — no
+         congestion gain, no overflow estimate, an empty target map. *)
+      let* congest_strength =
+        if schema < 5 then Ok 0. else field_num obj "congest_strength"
+      in
+      let* est_overflow =
+        if schema < 5 then Ok None
+        else
+          match Json.member "est_overflow" obj with
+          | Some (Json.Num v) -> Ok (Some v)
+          | Some Json.Null | None -> Ok None
+          | Some _ -> Error "field \"est_overflow\" is not a number or null"
+      in
+      let* target_area =
+        if schema < 5 then Ok 0. else field_num obj "target_area"
+      in
+      let* target_clamped =
+        if schema < 5 then Ok 0 else field_int obj "target_clamped"
+      in
       let* phases =
         match Json.member "phases" obj with
         | Some (Json.Obj fields) ->
@@ -263,6 +294,10 @@ let iteration_of_json obj =
           ub_hpwl;
           gap;
           level;
+          congest_strength;
+          est_overflow;
+          target_area;
+          target_clamped;
           phases;
         }
 

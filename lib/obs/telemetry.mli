@@ -54,6 +54,19 @@ type iteration = {
       (** V-cycle stage the transformation ran at: 0 is the flat
           (finest) netlist, [depth] the coarsest.  Flat runs always
           emit 0 (schema ≥ 4) *)
+  congest_strength : float;
+      (** annealed feedback gain of the closed routability loop as of
+          this transformation; 0 when the loop is off (schema ≥ 5) *)
+  est_overflow : float option;
+      (** estimated total routing overflow at the last target refresh;
+          [None] before the first refresh or with the loop off
+          (schema ≥ 5) *)
+  target_area : float;
+      (** Σ of the congestion-target map read as extra demand this
+          transformation, in area units (schema ≥ 5) *)
+  target_clamped : int;
+      (** bins saturated at one full bin area by the last refresh — how
+          often the per-bin feedback clamp fired (schema ≥ 5) *)
   phases : (string * float) list;  (** phase → seconds (volatile) *)
 }
 
@@ -70,9 +83,11 @@ type summary = {
 }
 
 (** Version stamped into every record as ["schema"]; bump on any field
-    change.  {!iteration_of_json} also accepts v1–v3 records, filling
-    the new fields with the values the older placers actually had: v3
-    (pre-dating the multilevel V-cycle) gets [level = 0]; v2
+    change.  {!iteration_of_json} also accepts v1–v4 records, filling
+    the new fields with the values the older placers actually had: v4
+    (pre-dating the closed routability loop) gets a zero congestion
+    gain, no overflow estimate and an empty target map; v3 (pre-dating
+    the multilevel V-cycle) additionally gets [level = 0]; v2
     (pre-dating the convergence controller) additionally gets a unit
     penalty, [lb_hpwl = hpwl] and no upper bound; v1 (pre-dating the
     cached QP assembly) additionally gets no reuse, zero rebuild count

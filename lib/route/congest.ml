@@ -1,6 +1,4 @@
-type params = { wire_pitch : float; via_factor : float }
-
-let default_params = { wire_pitch = 0.7; via_factor = 1.2 }
+let default_via_factor = 1.2
 
 type t = {
   demand_h : Geometry.Grid2.t;
@@ -10,9 +8,10 @@ type t = {
   max_overflow : float;
 }
 
-let estimate ?(params = default_params) (c : Netlist.Circuit.t)
-    (p : Netlist.Placement.t) ~nx ~ny =
+let estimate_unchecked ~via_factor (c : Netlist.Circuit.t)
+    (p : Netlist.Placement.t) (spec : Grid_spec.t) =
   let region = c.Netlist.Circuit.region in
+  let nx = spec.Grid_spec.nx and ny = spec.Grid_spec.ny in
   let demand_h = Geometry.Grid2.create region ~nx ~ny in
   let demand_v = Geometry.Grid2.create region ~nx ~ny in
   Array.iter
@@ -24,16 +23,16 @@ let estimate ?(params = default_params) (c : Netlist.Circuit.t)
       (* Expected wiring ≈ half-perimeter split into its h/v components,
          spread uniformly over the box (degenerate boxes splat into the
          bin row/column they occupy via the rect clip). *)
-      let wl_h = Geometry.Rect.width bbox *. params.via_factor in
-      let wl_v = Geometry.Rect.height bbox *. params.via_factor in
+      let wl_h = Geometry.Rect.width bbox *. via_factor in
+      let wl_v = Geometry.Rect.height bbox *. via_factor in
       if wl_h > 0. then Geometry.Grid2.splat_rect demand_h bbox wl_h;
       if wl_v > 0. then Geometry.Grid2.splat_rect demand_v bbox wl_v)
     c.Netlist.Circuit.nets;
   (* Capacity: tracks per bin times bin extent. *)
   let overflow = Geometry.Grid2.create region ~nx ~ny in
   let dx = Geometry.Grid2.dx overflow and dy = Geometry.Grid2.dy overflow in
-  let cap_h = dy /. params.wire_pitch *. dx in
-  let cap_v = dx /. params.wire_pitch *. dy in
+  let cap_h = dy /. spec.Grid_spec.wire_pitch *. dx in
+  let cap_v = dx /. spec.Grid_spec.wire_pitch *. dy in
   let total = ref 0. and maxo = ref 0. in
   Geometry.Grid2.map_inplace
     (fun ix iy _ ->
@@ -46,22 +45,31 @@ let estimate ?(params = default_params) (c : Netlist.Circuit.t)
     overflow;
   { demand_h; demand_v; overflow; total_overflow = !total; max_overflow = !maxo }
 
-let extra_density ?params ~strength c p ~nx ~ny =
-  let est = estimate ?params c p ~nx ~ny in
-  if est.total_overflow <= 0. then None
-  else begin
-    let g = Geometry.Grid2.create c.Netlist.Circuit.region ~nx ~ny in
-    let dx = Geometry.Grid2.dx g and dy = Geometry.Grid2.dy g in
-    (* Convert overflow (wire length) into an equivalent blocked area so
-       it adds to the cell-area demand: overflow × pitch ≈ area the
-       missing tracks would occupy. *)
-    let pitch =
-      (match params with Some p -> p.wire_pitch | None -> default_params.wire_pitch)
-    in
-    Geometry.Grid2.map_inplace
-      (fun ix iy _ ->
-        let o = Geometry.Grid2.get est.overflow ix iy in
-        Float.min (strength *. o *. pitch) (dx *. dy))
-      g;
-    Some g
-  end
+let estimate ?(via_factor = default_via_factor) c p spec =
+  match Grid_spec.validate spec c.Netlist.Circuit.region with
+  | Error _ as e -> e
+  | Ok () -> Ok (estimate_unchecked ~via_factor c p spec)
+
+let extra_density ?(via_factor = default_via_factor) ~strength c p spec =
+  match Grid_spec.validate spec c.Netlist.Circuit.region with
+  | Error _ as e -> e
+  | Ok () ->
+    let est = estimate_unchecked ~via_factor c p spec in
+    if est.total_overflow <= 0. then Ok None
+    else begin
+      let nx = spec.Grid_spec.nx and ny = spec.Grid_spec.ny in
+      let g = Geometry.Grid2.create c.Netlist.Circuit.region ~nx ~ny in
+      let dx = Geometry.Grid2.dx g and dy = Geometry.Grid2.dy g in
+      (* Convert overflow (wire length) into an equivalent blocked area so
+         it adds to the cell-area demand: overflow × pitch ≈ area the
+         missing tracks would occupy.  The extra demand is clamped at one
+         full bin area — a bin can at most be declared completely blocked
+         — so the effective strength saturates once
+         strength × overflow × pitch reaches dx·dy. *)
+      Geometry.Grid2.map_inplace
+        (fun ix iy _ ->
+          let o = Geometry.Grid2.get est.overflow ix iy in
+          Float.min (strength *. o *. spec.Grid_spec.wire_pitch) (dx *. dy))
+        g;
+      Ok (Some g)
+    end

@@ -4,18 +4,16 @@
     Each net's expected horizontal and vertical wiring is spread uniformly
     over its bounding box; comparing demand against per-bin track capacity
     yields an overflow map.  Fed back through the placer's extra-density
-    hook, over-congested bins read as extra demand, so the same
-    supply/demand machinery that spreads cells also spreads wiring. *)
+    hook — or, closed-loop, through {!Target} — over-congested bins read
+    as extra demand, so the same supply/demand machinery that spreads
+    cells also spreads wiring.
 
-type params = {
-  wire_pitch : float;
-      (** routing pitch in length units per track; the 0.7 default models
-          the paper's late-90s half-micron metal stack (1 unit = 1 µm) *)
-  via_factor : float;
-      (** multiplier on demand accounting for bends/vias (≥ 1) *)
-}
+    The grid geometry and wire pitch come from a shared {!Grid_spec};
+    degenerate specs are rejected up front instead of silently producing
+    NaN overflow. *)
 
-val default_params : params
+(** Multiplier on demand accounting for bends/vias (≥ 1). *)
+val default_via_factor : float
 
 (** Result of an estimation. *)
 type t = {
@@ -26,23 +24,27 @@ type t = {
   max_overflow : float;
 }
 
-(** [estimate ?params circuit placement ~nx ~ny] runs the estimator. *)
+(** [estimate ?via_factor circuit placement spec] runs the estimator, or
+    reports why [spec] is unusable on the circuit's region. *)
 val estimate :
-  ?params:params ->
+  ?via_factor:float ->
   Netlist.Circuit.t ->
   Netlist.Placement.t ->
-  nx:int ->
-  ny:int ->
-  t
+  Grid_spec.t ->
+  (t, Grid_spec.error) result
 
-(** [extra_density ?params ~strength] is a placer hook: over-congested
-    bins contribute [strength × overflow_area_equivalent] extra demand.
-    [strength] around 0.5–2 works well. *)
+(** [extra_density ?via_factor ~strength] is a placer hook: over-congested
+    bins contribute [strength × overflow × wire_pitch] extra area demand,
+    clamped per bin at one full bin area (a bin can at most read as
+    completely blocked).  [strength] in (0, 1] scales linearly; larger
+    values saturate against the clamp on heavily overflowing bins.
+    [Ok None] when nothing overflows.  The closed congestion loop
+    ({!Target}) reports how often the clamp fires through the placer's
+    telemetry. *)
 val extra_density :
-  ?params:params ->
+  ?via_factor:float ->
   strength:float ->
   Netlist.Circuit.t ->
   Netlist.Placement.t ->
-  nx:int ->
-  ny:int ->
-  Geometry.Grid2.t option
+  Grid_spec.t ->
+  (Geometry.Grid2.t option, Grid_spec.error) result

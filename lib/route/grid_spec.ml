@@ -1,0 +1,32 @@
+type t = { nx : int; ny : int; wire_pitch : float }
+
+type error = Zero_bins | Zero_capacity
+
+let default_wire_pitch = 0.7
+
+let make ?(wire_pitch = default_wire_pitch) ~nx ~ny () = { nx; ny; wire_pitch }
+
+let error_message = function
+  | Zero_bins -> "grid spec: bin counts must be at least 1"
+  | Zero_capacity ->
+    "grid spec: wire pitch and region extents must give a positive, finite \
+     per-bin track capacity"
+
+let validate t (region : Geometry.Rect.t) =
+  if t.nx < 1 || t.ny < 1 then Error Zero_bins
+  else if (not (Float.is_finite t.wire_pitch)) || t.wire_pitch <= 0. then
+    Error Zero_capacity
+  else begin
+    (* The capacities both estimator and router derive from the spec:
+       tracks per bin in each direction.  A degenerate region (zero
+       width/height) or an absurd pitch collapses them to zero or a
+       non-finite value, which used to surface as NaN overflow. *)
+    let dx = Geometry.Rect.width region /. float_of_int t.nx in
+    let dy = Geometry.Rect.height region /. float_of_int t.ny in
+    let cap_h = dy /. t.wire_pitch in
+    let cap_v = dx /. t.wire_pitch in
+    if
+      Float.is_finite cap_h && Float.is_finite cap_v && cap_h > 0. && cap_v > 0.
+    then Ok ()
+    else Error Zero_capacity
+  end

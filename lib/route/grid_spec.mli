@@ -1,0 +1,33 @@
+(** The routing-grid description shared by {!Congest} and {!Grouter}.
+
+    Both the probabilistic estimator and the validating router bin the
+    region into [nx × ny] tiles and convert tile extent into track
+    capacity through the wire pitch.  Historically each took loose
+    [~nx ~ny] plus its own pitch parameter and silently produced NaN
+    overflow on degenerate inputs; the spec centralises the parameters
+    and makes validation explicit. *)
+
+type t = {
+  nx : int;  (** bins across the region width *)
+  ny : int;
+  wire_pitch : float;
+      (** routing pitch in length units per track; the 0.7 default models
+          the paper's late-90s half-micron metal stack (1 unit = 1 µm) *)
+}
+
+(** Why a spec cannot be used on a given region. *)
+type error =
+  | Zero_bins  (** [nx] or [ny] below 1 *)
+  | Zero_capacity
+      (** the pitch or the region extents give a zero or non-finite
+          per-bin track capacity *)
+
+val default_wire_pitch : float
+
+val make : ?wire_pitch:float -> nx:int -> ny:int -> unit -> t
+
+val error_message : error -> string
+
+(** [validate t region] checks that binning [region] by [t] yields a
+    positive, finite track capacity in both directions. *)
+val validate : t -> Geometry.Rect.t -> (unit, error) result

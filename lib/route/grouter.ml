@@ -1,11 +1,6 @@
-type config = {
-  wire_pitch : float;
-  overflow_penalty : float;
-  rip_up_passes : int;
-}
+type config = { overflow_penalty : float; rip_up_passes : int }
 
-let default_config =
-  { wire_pitch = 0.7; overflow_penalty = 8.; rip_up_passes = 2 }
+let default_config = { overflow_penalty = 8.; rip_up_passes = 2 }
 
 type result = {
   usage_h : Geometry.Grid2.t;
@@ -141,17 +136,18 @@ let connect st a b =
     | [] -> maze st a b
   end
 
-let route ?(config = default_config) (c : Netlist.Circuit.t)
-    (p : Netlist.Placement.t) ~nx ~ny =
+let route_unchecked ~config (c : Netlist.Circuit.t) (p : Netlist.Placement.t)
+    (spec : Grid_spec.t) =
   let region = c.Netlist.Circuit.region in
+  let nx = spec.Grid_spec.nx and ny = spec.Grid_spec.ny in
   let ref_grid = Geometry.Grid2.create region ~nx ~ny in
   let dx = Geometry.Grid2.dx ref_grid and dy = Geometry.Grid2.dy ref_grid in
   let st =
     {
       nx;
       ny;
-      cap_h = dy /. config.wire_pitch;
-      cap_v = dx /. config.wire_pitch;
+      cap_h = dy /. spec.Grid_spec.wire_pitch;
+      cap_v = dx /. spec.Grid_spec.wire_pitch;
       use_h = Array.make (max 1 ((nx - 1) * ny)) 0.;
       use_v = Array.make (max 1 (nx * (ny - 1))) 0.;
       cfg = config;
@@ -246,3 +242,8 @@ let route ?(config = default_config) (c : Netlist.Circuit.t)
     max_overflow = !max_ov;
     failed_nets = !failed;
   }
+
+let route ?(config = default_config) c p spec =
+  match Grid_spec.validate spec c.Netlist.Circuit.region with
+  | Error _ as e -> e
+  | Ok () -> Ok (route_unchecked ~config c p spec)

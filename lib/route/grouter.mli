@@ -9,10 +9,11 @@
     costs), followed by rip-up-and-reroute passes on overflowing nets.
 
     Multi-pin nets are decomposed into a star of two-pin connections from
-    the driver. *)
+    the driver.  The grid geometry and wire pitch come from the same
+    {!Grid_spec} the estimator uses, so estimate and validation always
+    agree on capacity. *)
 
 type config = {
-  wire_pitch : float;  (** tracks per length unit, as in {!Congest} *)
   overflow_penalty : float;
       (** cost multiplier for entering a bin already at capacity *)
   rip_up_passes : int;
@@ -29,12 +30,12 @@ type result = {
   failed_nets : int;  (** nets the maze could not connect (0 expected) *)
 }
 
-(** [route ?config circuit placement ~nx ~ny] routes every net and
-    returns the usage and overflow summary. *)
+(** [route ?config circuit placement spec] routes every net and returns
+    the usage and overflow summary, or reports why [spec] is unusable on
+    the circuit's region. *)
 val route :
   ?config:config ->
   Netlist.Circuit.t ->
   Netlist.Placement.t ->
-  nx:int ->
-  ny:int ->
-  result
+  Grid_spec.t ->
+  (result, Grid_spec.error) Stdlib.result

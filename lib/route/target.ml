@@ -1,0 +1,79 @@
+type stats = {
+  est_total_overflow : float;
+  est_max_overflow : float;
+  target_area : float;
+  clamped_bins : int;
+}
+
+type t = {
+  grid : Geometry.Grid2.t;
+  spec : Grid_spec.t;
+  mutable total_area : float;
+}
+
+let create region spec =
+  match Grid_spec.validate spec region with
+  | Error _ as e -> e
+  | Ok () ->
+    Ok
+      {
+        grid =
+          Geometry.Grid2.create region ~nx:spec.Grid_spec.nx
+            ~ny:spec.Grid_spec.ny;
+        spec;
+        total_area = 0.;
+      }
+
+let grid t = t.grid
+
+let spec t = t.spec
+
+let area t = t.total_area
+
+let refresh ?via_factor ~strength ~decay t (c : Netlist.Circuit.t)
+    (p : Netlist.Placement.t) =
+  let est =
+    match Congest.estimate ?via_factor c p t.spec with
+    | Ok est -> est
+    | Error _ ->
+      (* The spec was validated against this region at [create]. *)
+      assert false
+  in
+  let dx = Geometry.Grid2.dx t.grid and dy = Geometry.Grid2.dy t.grid in
+  let bin_area = dx *. dy in
+  let pitch = t.spec.Grid_spec.wire_pitch in
+  let total = ref 0. and clamped = ref 0 in
+  Geometry.Grid2.map_inplace
+    (fun ix iy v ->
+      let o = Geometry.Grid2.get est.Congest.overflow ix iy in
+      let raw = (decay *. v) +. (strength *. o *. pitch) in
+      let v' = if raw > bin_area then (incr clamped; bin_area) else raw in
+      total := !total +. v';
+      v')
+    t.grid;
+  t.total_area <- !total;
+  {
+    est_total_overflow = est.Congest.total_overflow;
+    est_max_overflow = est.Congest.max_overflow;
+    target_area = !total;
+    clamped_bins = !clamped;
+  }
+
+let values t = Array.copy (Geometry.Grid2.values t.grid)
+
+let restore region spec ~values:vs =
+  match create region spec with
+  | Error e -> Error (Grid_spec.error_message e)
+  | Ok t ->
+    let dst = Geometry.Grid2.values t.grid in
+    if Array.length vs <> Array.length dst then
+      Error
+        (Printf.sprintf "route target: %d values for a %dx%d grid"
+           (Array.length vs) spec.Grid_spec.nx spec.Grid_spec.ny)
+    else begin
+      Array.blit vs 0 dst 0 (Array.length vs);
+      let total = ref 0. in
+      Array.iter (fun v -> total := !total +. v) dst;
+      t.total_area <- !total;
+      Ok t
+    end

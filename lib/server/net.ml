@@ -139,7 +139,9 @@ let has_output conn = Buffer.length conn.out - conn.out_off > 0
 
 let broadcast_event st e =
   st.ev <- st.ev + 1;
-  let ev = match st.cfg.proto with P.V2 -> Some st.ev | P.V1 -> None in
+  let ev =
+    match st.cfg.proto with P.V2 | P.V3 -> Some st.ev | P.V1 -> None
+  in
   let line = J.to_string (P.event_to_json ?ev e) in
   Queue.push (st.ev, line) st.ring;
   while Queue.length st.ring > ring_cap do
@@ -237,10 +239,10 @@ let exec st conn seq req =
     end
     else begin
       Obs.Registry.incr "server/submits";
-      respond st conn ~seq (fst (P.handle st.sched req))
+      respond st conn ~seq (fst (P.handle ~proto:st.cfg.proto st.sched req))
     end
   | P.Status _ | P.Result _ | P.Cancel _ | P.Jobs | P.Metrics ->
-    respond st conn ~seq (fst (P.handle st.sched req))
+    respond st conn ~seq (fst (P.handle ~proto:st.cfg.proto st.sched req))
   | P.Step _ ->
     (* Scheduling is autonomous here; the request is acknowledged but
        lends the client no turns. *)

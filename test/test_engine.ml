@@ -884,6 +884,124 @@ let test_multilevel_resume_bitwise_shards () =
     [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Routability loop through the engine                                 *)
+
+(* The routability loop's persistent congestion-target map is job state:
+   a routability job cut mid-loop and resumed must land bitwise on the
+   uninterrupted trajectory — placement, legalised HPWL and routed
+   overflow — on 1, 2 and 4 shards. *)
+let test_congestion_resume_bitwise_shards () =
+  let src = source ~seed:3 () in
+  let obj =
+    Engine.Objective.make ~goal:Engine.Objective.Routability
+      ~mode:Engine.Objective.Fast ~congest_every:2 ()
+  in
+  let cspec ?start ?checkpoint ?max_steps () =
+    Engine.Job.spec ~source:src ~objective:obj ?start ?checkpoint ?max_steps ()
+  in
+  let solo = Engine.Scheduler.create () in
+  let s = submit_and_drain solo (cspec ~max_steps:12 ()) in
+  let solo_p = job_placement solo s in
+  let solo_r = job_result solo s in
+  Alcotest.(check string) "solo done" "done"
+    (Engine.Job.status_to_string solo_r.Engine.Job.status);
+  Alcotest.(check bool) "solo routed overflow measured" true
+    (solo_r.Engine.Job.routed_overflow <> None);
+  List.iter
+    (fun shards ->
+      let tag fmt = Printf.ksprintf (fun s -> s) fmt in
+      let ck = temp ".json" in
+      let sched =
+        Engine.Scheduler.create ~concurrency:4 ~domains:shards ~shards ()
+      in
+      let a = submit_and_drain sched (cspec ~checkpoint:ck ~max_steps:5 ()) in
+      Alcotest.(check string)
+        (tag "shards=%d: prefix done" shards)
+        "done"
+        (Engine.Job.status_to_string (job_result sched a).Engine.Job.status);
+      (* The cut falls after a congestion refresh: the checkpoint must
+         carry the accumulated target map verbatim. *)
+      let cp = ok_or_fail (Engine.Checkpoint.load ck) in
+      (match cp.Engine.Checkpoint.route_target with
+      | Some t ->
+        Alcotest.(check bool)
+          (tag "shards=%d: target map saved" shards)
+          true
+          (Array.length t > 0)
+      | None ->
+        Alcotest.failf "shards=%d: checkpoint without congestion state" shards);
+      let b =
+        submit_and_drain sched
+          (cspec ~start:(Engine.Job.Resume ck) ~max_steps:12 ())
+      in
+      let rb = job_result sched b in
+      Engine.Scheduler.stop sched;
+      same_placement (tag "shards=%d: placement" shards) solo_p
+        (job_placement sched b);
+      Alcotest.(check bool)
+        (tag "shards=%d: legalised hpwl bitwise" shards)
+        true
+        (bits rb.Engine.Job.hpwl = bits solo_r.Engine.Job.hpwl);
+      (Alcotest.(check bool) (tag "shards=%d: routed overflow bitwise" shards))
+        true
+        (match (rb.Engine.Job.routed_overflow, solo_r.Engine.Job.routed_overflow) with
+        | Some x, Some y -> bits x = bits y
+        | None, None -> true
+        | _ -> false);
+      Sys.remove ck)
+    [ 1; 2; 4 ]
+
+let ok_or_fail_route = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Route.Grid_spec.error_message e)
+
+(* At equal effort, asking for routability must actually buy routability:
+   on primary1 the routed overflow of the routability objective stays
+   strictly below the wirelength objective's. *)
+let test_routability_reduces_routed_overflow () =
+  let src = Engine.Source.Profile { name = "primary1"; scale = 1.0; seed = 7 } in
+  let run goal =
+    let sched = Engine.Scheduler.create () in
+    let id =
+      submit_and_drain sched
+        (Engine.Job.spec ~source:src ~objective:(Engine.Objective.make ~goal ())
+           ())
+    in
+    let r = job_result sched id in
+    Alcotest.(check string)
+      (Engine.Objective.goal_to_string goal ^ " done")
+      "done"
+      (Engine.Job.status_to_string r.Engine.Job.status);
+    let circuit, p0 = ok_or_fail (Engine.Source.load src) in
+    ignore p0;
+    let lp =
+      match Engine.Scheduler.legalized sched id with
+      | Some lp -> lp
+      | None -> Alcotest.fail "no legalised placement"
+    in
+    let spec =
+      Kraftwerk.Placer.route_spec
+        (Engine.Objective.config (Engine.Objective.make ~goal ()))
+        circuit
+    in
+    let routed = ok_or_fail_route (Route.Grouter.route circuit lp spec) in
+    (r, routed.Route.Grouter.total_overflow)
+  in
+  let rw, wl_ovfl = run Engine.Objective.Wirelength in
+  let rr, rt_ovfl = run Engine.Objective.Routability in
+  Alcotest.(check bool) "wirelength objective skips routing" true
+    (rw.Engine.Job.routed_overflow = None);
+  (match rr.Engine.Job.routed_overflow with
+  | None -> Alcotest.fail "routability result without routed overflow"
+  | Some o ->
+    Alcotest.(check bool) "result overflow consistent" true (Float.is_finite o));
+  Alcotest.(check bool)
+    (Printf.sprintf "routed overflow reduced >= 15%% (%.4g -> %.4g)" wl_ovfl
+       rt_ovfl)
+    true
+    (rt_ovfl <= 0.85 *. wl_ovfl)
+
+(* ------------------------------------------------------------------ *)
 (* Serialisation and protocol                                          *)
 
 let test_spec_json_round_trip () =
@@ -1025,6 +1143,10 @@ let suite =
       test_multilevel_checkpoint_guards;
     Alcotest.test_case "multilevel resume is bitwise for shards 1/2/4" `Slow
       test_multilevel_resume_bitwise_shards;
+    Alcotest.test_case "congestion resume is bitwise for shards 1/2/4" `Slow
+      test_congestion_resume_bitwise_shards;
+    Alcotest.test_case "routability objective reduces routed overflow" `Slow
+      test_routability_reduces_routed_overflow;
     Alcotest.test_case "spec json round-trip" `Quick test_spec_json_round_trip;
     Alcotest.test_case "protocol request parsing" `Quick
       test_protocol_request_parsing;

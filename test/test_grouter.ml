@@ -1,5 +1,11 @@
 (* Tests for the coarse global router. *)
 
+let spec8 = Route.Grid_spec.make ~nx:8 ~ny:8 ()
+
+let route_ok = function
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Route.Grid_spec.error_message e)
+
 let pin c = { Netlist.Net.cell = c; dx = 0.; dy = 0. }
 
 let region = Geometry.Rect.make ~x_lo:0. ~y_lo:0. ~x_hi:64. ~y_hi:64.
@@ -24,7 +30,7 @@ let test_straight_route_length () =
   let c = circuit_of [| (4., 4.); (4., 4.) |] [| [| 0; 1 |] |] in
   (* Pins 4 bins apart horizontally on an 8×8 grid of 8-unit bins. *)
   let p = { Netlist.Placement.x = [| 4.; 36. |]; y = [| 4.; 4. |] } in
-  let r = Route.Grouter.route c p ~nx:8 ~ny:8 in
+  let r = route_ok (Route.Grouter.route c p spec8) in
   Alcotest.(check (float 1e-9)) "4 h-edges × 8 units" 32. r.Route.Grouter.total_wirelength;
   Alcotest.(check int) "no failures" 0 r.Route.Grouter.failed_nets;
   Alcotest.(check (float 0.)) "no overflow" 0. r.Route.Grouter.total_overflow
@@ -32,14 +38,14 @@ let test_straight_route_length () =
 let test_l_route_length () =
   let c = circuit_of [| (4., 4.); (4., 4.) |] [| [| 0; 1 |] |] in
   let p = { Netlist.Placement.x = [| 4.; 36. |]; y = [| 4.; 36. |] } in
-  let r = Route.Grouter.route c p ~nx:8 ~ny:8 in
+  let r = route_ok (Route.Grouter.route c p spec8) in
   (* Manhattan distance: 4 h-edges + 4 v-edges. *)
   Alcotest.(check (float 1e-9)) "L route" 64. r.Route.Grouter.total_wirelength
 
 let test_same_bin_nothing_routed () =
   let c = circuit_of [| (4., 4.); (4., 4.) |] [| [| 0; 1 |] |] in
   let p = { Netlist.Placement.x = [| 4.; 6. |]; y = [| 4.; 6. |] } in
-  let r = Route.Grouter.route c p ~nx:8 ~ny:8 in
+  let r = route_ok (Route.Grouter.route c p spec8) in
   Alcotest.(check (float 0.)) "zero wirelength" 0. r.Route.Grouter.total_wirelength
 
 let test_star_decomposition () =
@@ -47,7 +53,7 @@ let test_star_decomposition () =
   let c = circuit_of [| (4., 4.); (4., 4.); (4., 4.) |] [| [| 1; 0; 2 |] |] in
   let p = { Netlist.Placement.x = [| 4.; 28.; 52. |]; y = [| 4.; 4.; 4. |] } in
   (* Driver is cell 1 at x=28: 3 edges each way = 6 × 8. *)
-  let r = Route.Grouter.route c p ~nx:8 ~ny:8 in
+  let r = route_ok (Route.Grouter.route c p spec8) in
   Alcotest.(check (float 1e-9)) "two branches" 48. r.Route.Grouter.total_wirelength
 
 let test_maze_detours_around_congestion () =
@@ -65,10 +71,8 @@ let test_maze_detours_around_congestion () =
       y = Array.init (2 * n) (fun _ -> 4.);
     }
   in
-  let config =
-    { Route.Grouter.default_config with Route.Grouter.wire_pitch = 2.0 }
-  in
-  let r = Route.Grouter.route ~config c p ~nx:8 ~ny:8 in
+  let tight = Route.Grid_spec.make ~wire_pitch:2.0 ~nx:8 ~ny:8 () in
+  let r = route_ok (Route.Grouter.route c p tight) in
   Alcotest.(check int) "all routed" 0 r.Route.Grouter.failed_nets;
   (* Straight-line total would be 8 nets × 7 edges × 8 units = 448; the
      detours make it longer. *)
@@ -85,13 +89,14 @@ let test_rip_up_reduces_overflow () =
       y = Array.init (2 * n) (fun _ -> 30.);
     }
   in
+  let tight_spec = Route.Grid_spec.make ~wire_pitch:2.0 ~nx:8 ~ny:8 () in
   let tight rip =
-    { Route.Grouter.default_config with
-      Route.Grouter.rip_up_passes = rip;
-      Route.Grouter.wire_pitch = 2.0 }
+    { Route.Grouter.default_config with Route.Grouter.rip_up_passes = rip }
   in
-  let no_rip = Route.Grouter.route ~config:(tight 0) c p ~nx:8 ~ny:8 in
-  let with_rip = Route.Grouter.route ~config:(tight 2) c p ~nx:8 ~ny:8 in
+  let no_rip = route_ok (Route.Grouter.route ~config:(tight 0) c p tight_spec) in
+  let with_rip =
+    route_ok (Route.Grouter.route ~config:(tight 2) c p tight_spec)
+  in
   Alcotest.(check bool) "rip-up not worse" true
     (with_rip.Route.Grouter.total_overflow <= no_rip.Route.Grouter.total_overflow)
 
@@ -103,7 +108,9 @@ let test_usage_accounting_consistent () =
   let p0 = Circuitgen.Gen.initial_placement circuit pads in
   let state, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in
   let p = state.Kraftwerk.Placer.placement in
-  let r = Route.Grouter.route circuit p ~nx:12 ~ny:8 in
+  let r =
+    route_ok (Route.Grouter.route circuit p (Route.Grid_spec.make ~nx:12 ~ny:8 ()))
+  in
   Alcotest.(check int) "no failures" 0 r.Route.Grouter.failed_nets;
   (* Routed length is at least the HPWL of the bin-to-bin connections —
      loosely: ≥ half of placed HPWL minus in-bin slack; just check it is

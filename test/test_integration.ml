@@ -124,7 +124,12 @@ let test_congestion_hook_changes_placement () =
       Kraftwerk.Placer.extra_density =
         Some
           (fun c p ~nx ~ny ->
-            Route.Congest.extra_density ~strength:2. c p ~nx ~ny) }
+            match
+              Route.Congest.extra_density ~strength:2. c p
+                (Route.Grid_spec.make ~nx ~ny ())
+            with
+            | Ok g -> g
+            | Error _ -> None) }
   in
   let plain, _ = Kraftwerk.Placer.run Kraftwerk.Config.standard circuit p0 in
   let driven, _ = Kraftwerk.Placer.run ~hooks Kraftwerk.Config.standard circuit p0 in

@@ -264,6 +264,10 @@ let sample_iteration step =
     ub_hpwl = (if step mod 2 = 0 then Some (140. +. float_of_int step) else None);
     gap = (if step mod 2 = 0 then Some 0.07 else None);
     level = step mod 3;
+    congest_strength = (if step mod 2 = 0 then 0.5 else 0.);
+    est_overflow = (if step mod 2 = 0 then Some 12.5 else None);
+    target_area = float_of_int step *. 2.;
+    target_clamped = step mod 4;
     phases = [ ("assemble", 0.001); ("solve", 0.002) ];
   }
 
@@ -314,6 +318,10 @@ let prop_iteration_roundtrip =
           ub_hpwl = (if probed then Some fs.(12) else None);
           gap = (if probed then Some fs.(10) else None);
           level = is.(1) mod 4;
+          congest_strength = Float.abs fs.(11);
+          est_overflow = (if probed then Some (Float.abs fs.(12)) else None);
+          target_area = Float.abs fs.(10);
+          target_clamped = is.(2) mod 5;
           phases = [ ("assemble", Float.abs fs.(10)) ];
         }
       in
@@ -357,6 +365,9 @@ let v3_only_fields = [ "penalty"; "lb_hpwl"; "ub_hpwl"; "gap" ]
 
 let v4_only_fields = [ "level" ]
 
+let v5_only_fields =
+  [ "congest_strength"; "est_overflow"; "target_area"; "target_clamped" ]
+
 let downgrade_to schema drop = function
   | Obs.Json.Obj fields ->
     Obs.Json.Obj
@@ -375,7 +386,7 @@ let test_schema_v1_compat () =
   (match
      Obs.Telemetry.iteration_of_json
        (downgrade_to 1.
-          (v2_only_fields @ v3_only_fields @ v4_only_fields)
+          (v2_only_fields @ v3_only_fields @ v4_only_fields @ v5_only_fields)
           (Obs.Telemetry.iteration_to_json (sample_iteration 4)))
    with
   | Error e -> Alcotest.failf "v1 record rejected: %s" e
@@ -389,6 +400,14 @@ let test_schema_v1_compat () =
     Alcotest.(check bool) "v1 default: unit penalty" true
       (it.Obs.Telemetry.penalty = 1.0);
     Alcotest.(check int) "v1 default: flat level" 0 it.Obs.Telemetry.level;
+    Alcotest.(check bool) "v1 default: no congest push" true
+      (it.Obs.Telemetry.congest_strength = 0.);
+    Alcotest.(check bool) "v1 default: no overflow estimate" true
+      (it.Obs.Telemetry.est_overflow = None);
+    Alcotest.(check bool) "v1 default: empty target map" true
+      (it.Obs.Telemetry.target_area = 0.);
+    Alcotest.(check int) "v1 default: no clamped bins" 0
+      it.Obs.Telemetry.target_clamped;
     Alcotest.(check int) "payload survives" 4 it.Obs.Telemetry.step);
   (* The same omission under the current schema is a validation error
      (ub_hpwl/gap excepted: absence legitimately means "not probed"). *)
@@ -406,7 +425,9 @@ let test_schema_v1_compat () =
            (Obs.Telemetry.iteration_of_json
               (strip_field field
                  (Obs.Telemetry.iteration_to_json (sample_iteration 4))))))
-    (v2_only_fields @ [ "penalty"; "lb_hpwl"; "level" ]);
+    (v2_only_fields
+    @ [ "penalty"; "lb_hpwl"; "level" ]
+    @ [ "congest_strength"; "target_area"; "target_clamped" ]);
   (* Unknown future schemas still fail loudly. *)
   let with_schema v = function
     | Obs.Json.Obj fields ->
@@ -416,10 +437,10 @@ let test_schema_v1_compat () =
            fields)
     | _ -> Alcotest.fail "iteration json is not an object"
   in
-  Alcotest.(check bool) "schema 5 rejected" true
+  Alcotest.(check bool) "schema 6 rejected" true
     (Result.is_error
        (Obs.Telemetry.iteration_of_json
-          (with_schema 5. (Obs.Telemetry.iteration_to_json (sample_iteration 1)))))
+          (with_schema 6. (Obs.Telemetry.iteration_to_json (sample_iteration 1)))))
 
 let test_schema_v2_compat () =
   (* A v2 trace (pre-dating the convergence controller) parses with the
@@ -428,7 +449,7 @@ let test_schema_v2_compat () =
   match
     Obs.Telemetry.iteration_of_json
       (downgrade_to 2.
-         (v3_only_fields @ v4_only_fields)
+         (v3_only_fields @ v4_only_fields @ v5_only_fields)
          (Obs.Telemetry.iteration_to_json (sample_iteration 6)))
   with
   | Error e -> Alcotest.failf "v2 record rejected: %s" e
@@ -445,6 +466,29 @@ let test_schema_v2_compat () =
     Alcotest.(check bool) "v2 payload: reused" true
       it.Obs.Telemetry.assembly_reused;
     Alcotest.(check int) "payload survives" 6 it.Obs.Telemetry.step
+
+let test_schema_v4_compat () =
+  (* A v4 trace (pre-dating the routability loop) parses with the
+     congestion fields defaulted to "loop disabled". *)
+  match
+    Obs.Telemetry.iteration_of_json
+      (downgrade_to 4. v5_only_fields
+         (Obs.Telemetry.iteration_to_json (sample_iteration 9)))
+  with
+  | Error e -> Alcotest.failf "v4 record rejected: %s" e
+  | Ok it ->
+    Alcotest.(check bool) "v4 default: no congest push" true
+      (it.Obs.Telemetry.congest_strength = 0.);
+    Alcotest.(check bool) "v4 default: no overflow estimate" true
+      (it.Obs.Telemetry.est_overflow = None);
+    Alcotest.(check bool) "v4 default: empty target map" true
+      (it.Obs.Telemetry.target_area = 0.);
+    Alcotest.(check int) "v4 default: no clamped bins" 0
+      it.Obs.Telemetry.target_clamped;
+    (* v4 fields survive the v4 parse untouched. *)
+    Alcotest.(check int) "v4 payload: level" (sample_iteration 9).Obs.Telemetry.level
+      it.Obs.Telemetry.level;
+    Alcotest.(check int) "payload survives" 9 it.Obs.Telemetry.step
 
 let test_summary_v2_compat () =
   (* v2 summaries have no stop_reason; parse defaults it to None. *)
@@ -549,6 +593,7 @@ let suite =
       test_iteration_validation_rejects;
     Alcotest.test_case "schema v1 compatibility" `Quick test_schema_v1_compat;
     Alcotest.test_case "schema v2 compatibility" `Quick test_schema_v2_compat;
+    Alcotest.test_case "schema v4 compatibility" `Quick test_schema_v4_compat;
     Alcotest.test_case "summary v2 compatibility" `Quick
       test_summary_v2_compat;
     Alcotest.test_case "strip_volatile" `Quick test_strip_volatile;

@@ -143,7 +143,11 @@ let prop_grouter_wirelength_lower_bound =
       let rng = Numeric.Rng.create seed in
       let p = random_placement rng c pads in
       let nx = 10 and ny = 10 in
-      let r = Route.Grouter.route c p ~nx ~ny in
+      let r =
+        match Route.Grouter.route c p (Route.Grid_spec.make ~nx ~ny ()) with
+        | Ok r -> r
+        | Error e -> QCheck.Test.fail_report (Route.Grid_spec.error_message e)
+      in
       (* Lower bound: star Manhattan distance over bins for every net. *)
       let grid = Geometry.Grid2.create c.Netlist.Circuit.region ~nx ~ny in
       let dx = Geometry.Grid2.dx grid and dy = Geometry.Grid2.dy grid in

@@ -1,4 +1,11 @@
-(* Tests for congestion estimation and the heat model. *)
+(* Tests for congestion estimation, grid specs, congestion-target maps
+   and the heat model. *)
+
+let spec8 = Route.Grid_spec.make ~nx:8 ~ny:8 ()
+
+let est_ok = function
+  | Ok e -> e
+  | Error e -> Alcotest.fail (Route.Grid_spec.error_message e)
 
 let pin c = { Netlist.Net.cell = c; dx = 0.; dy = 0. }
 
@@ -25,7 +32,7 @@ let circuit_of ?(powers = [||]) cells_spec nets_spec =
 let test_demand_proportional_to_bbox () =
   let c = circuit_of [| (4., 4.); (4., 4.) |] [| [| 0; 1 |] |] in
   let p = { Netlist.Placement.x = [| 8.; 56. |]; y = [| 32.; 32. |] } in
-  let est = Route.Congest.estimate c p ~nx:8 ~ny:8 in
+  let est = est_ok (Route.Congest.estimate c p spec8) in
   (* Horizontal demand totals bbox width × via factor (spread over bins). *)
   let total_h = Geometry.Grid2.total est.Route.Congest.demand_h in
   Alcotest.(check (float 1e-6)) "h demand" (48. *. 1.2) total_h;
@@ -36,7 +43,7 @@ let test_demand_proportional_to_bbox () =
 let test_no_overflow_for_sparse_design () =
   let c = circuit_of [| (4., 4.); (4., 4.) |] [| [| 0; 1 |] |] in
   let p = { Netlist.Placement.x = [| 8.; 56. |]; y = [| 30.; 34. |] } in
-  let est = Route.Congest.estimate c p ~nx:8 ~ny:8 in
+  let est = est_ok (Route.Congest.estimate c p spec8) in
   Alcotest.(check (float 0.)) "no overflow" 0. est.Route.Congest.total_overflow
 
 let test_overflow_when_many_nets_cross_one_bin () =
@@ -52,7 +59,7 @@ let test_overflow_when_many_nets_cross_one_bin () =
       y = Array.init (2 * n) (fun _ -> 32.);
     }
   in
-  let est = Route.Congest.estimate c p ~nx:8 ~ny:8 in
+  let est = est_ok (Route.Congest.estimate c p spec8) in
   Alcotest.(check bool) "overflows" true (est.Route.Congest.total_overflow > 0.);
   Alcotest.(check bool) "max ≤ total" true
     (est.Route.Congest.max_overflow <= est.Route.Congest.total_overflow +. 1e-9)
@@ -61,7 +68,7 @@ let test_extra_density_none_when_clean () =
   let c = circuit_of [| (4., 4.); (4., 4.) |] [| [| 0; 1 |] |] in
   let p = { Netlist.Placement.x = [| 8.; 56. |]; y = [| 30.; 34. |] } in
   Alcotest.(check bool) "no hook output" true
-    (Route.Congest.extra_density ~strength:1. c p ~nx:8 ~ny:8 = None)
+    (Route.Congest.extra_density ~strength:1. c p spec8 = Ok None)
 
 let test_extra_density_bounded_by_bin_area () =
   let n = 40 in
@@ -74,14 +81,110 @@ let test_extra_density_bounded_by_bin_area () =
       y = Array.init (2 * n) (fun _ -> 32.);
     }
   in
-  match Route.Congest.extra_density ~strength:10. c p ~nx:8 ~ny:8 with
-  | None -> Alcotest.fail "expected congestion"
-  | Some g ->
+  match Route.Congest.extra_density ~strength:10. c p spec8 with
+  | Error e -> Alcotest.fail (Route.Grid_spec.error_message e)
+  | Ok None -> Alcotest.fail "expected congestion"
+  | Ok (Some g) ->
     let bin_area = Geometry.Grid2.dx g *. Geometry.Grid2.dy g in
     Geometry.Grid2.fold
       (fun () _ _ v ->
         Alcotest.(check bool) "≤ bin area" true (v <= bin_area +. 1e-9))
       () g
+
+(* --- grid specs: degenerate grids are typed errors, not NaN --- *)
+
+let test_grid_spec_zero_bins () =
+  let c = circuit_of [| (4., 4.); (4., 4.) |] [| [| 0; 1 |] |] in
+  let p = { Netlist.Placement.x = [| 8.; 56. |]; y = [| 32.; 32. |] } in
+  (match Route.Congest.estimate c p (Route.Grid_spec.make ~nx:0 ~ny:8 ()) with
+  | Error Route.Grid_spec.Zero_bins -> ()
+  | Error _ -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "expected Zero_bins");
+  match Route.Grouter.route c p (Route.Grid_spec.make ~nx:8 ~ny:0 ()) with
+  | Error Route.Grid_spec.Zero_bins -> ()
+  | Error _ -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "expected Zero_bins"
+
+let test_grid_spec_zero_capacity () =
+  let c = circuit_of [| (4., 4.); (4., 4.) |] [| [| 0; 1 |] |] in
+  let p = { Netlist.Placement.x = [| 8.; 56. |]; y = [| 32.; 32. |] } in
+  (* A non-positive wire pitch can produce no finite track capacity. *)
+  let bad = Route.Grid_spec.make ~wire_pitch:0. ~nx:8 ~ny:8 () in
+  (match Route.Congest.estimate c p bad with
+  | Error Route.Grid_spec.Zero_capacity -> ()
+  | Error _ -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "expected Zero_capacity");
+  match Route.Grouter.route c p bad with
+  | Error Route.Grid_spec.Zero_capacity -> ()
+  | Error _ -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "expected Zero_capacity"
+
+(* --- congestion-target maps --- *)
+
+let crowded_circuit () =
+  let n = 40 in
+  let cells = Array.init (2 * n) (fun _ -> (2., 2.)) in
+  let nets = Array.init n (fun i -> [| i; n + i |]) in
+  let c = circuit_of cells nets in
+  let p =
+    {
+      Netlist.Placement.x =
+        Array.init (2 * n) (fun i -> if i < n then 4. else 60.);
+      y = Array.init (2 * n) (fun _ -> 32.);
+    }
+  in
+  (c, p)
+
+let test_target_accumulates_and_decays () =
+  let c, p = crowded_circuit () in
+  let t =
+    match Route.Target.create region spec8 with
+    | Ok t -> t
+    | Error e -> Alcotest.fail (Route.Grid_spec.error_message e)
+  in
+  Alcotest.(check (float 0.)) "starts empty" 0. (Route.Target.area t);
+  let s1 = Route.Target.refresh ~strength:0.5 ~decay:0.5 t c p in
+  Alcotest.(check bool) "observes overflow" true
+    (s1.Route.Target.est_total_overflow > 0.);
+  let a1 = Route.Target.area t in
+  Alcotest.(check bool) "claims area" true (a1 > 0.);
+  (* Same placement again: decayed old target + fresh overflow ≥ first. *)
+  let s2 = Route.Target.refresh ~strength:0.5 ~decay:0.5 t c p in
+  Alcotest.(check bool) "persists" true
+    (Route.Target.area t >= a1 -. 1e-9 && s2.Route.Target.target_area > 0.)
+
+let test_target_clamped_at_bin_area () =
+  let c, p = crowded_circuit () in
+  let t =
+    match Route.Target.create region spec8 with
+    | Ok t -> t
+    | Error e -> Alcotest.fail (Route.Grid_spec.error_message e)
+  in
+  let s = Route.Target.refresh ~strength:1e6 ~decay:0.5 t c p in
+  Alcotest.(check bool) "clamp fires" true (s.Route.Target.clamped_bins > 0);
+  let g = Route.Target.grid t in
+  let bin_area = Geometry.Grid2.dx g *. Geometry.Grid2.dy g in
+  Geometry.Grid2.fold
+    (fun () _ _ v ->
+      Alcotest.(check bool) "≤ bin area" true (v <= bin_area +. 1e-9))
+    () g
+
+let test_target_restore_bitwise () =
+  let c, p = crowded_circuit () in
+  let t =
+    match Route.Target.create region spec8 with
+    | Ok t -> t
+    | Error e -> Alcotest.fail (Route.Grid_spec.error_message e)
+  in
+  ignore (Route.Target.refresh ~strength:0.7 ~decay:0.5 t c p);
+  let values = Route.Target.values t in
+  match Route.Target.restore region spec8 ~values with
+  | Error msg -> Alcotest.fail msg
+  | Ok t' ->
+    Alcotest.(check bool) "values bitwise" true
+      (Route.Target.values t' = values);
+    Alcotest.(check bool) "area recomputed" true
+      (Route.Target.area t' = Route.Target.area t)
 
 (* --- heat --- *)
 
@@ -142,6 +245,15 @@ let suite =
     Alcotest.test_case "overflow when crowded" `Quick test_overflow_when_many_nets_cross_one_bin;
     Alcotest.test_case "hook none when clean" `Quick test_extra_density_none_when_clean;
     Alcotest.test_case "hook bounded" `Quick test_extra_density_bounded_by_bin_area;
+    Alcotest.test_case "grid spec: zero bins" `Quick test_grid_spec_zero_bins;
+    Alcotest.test_case "grid spec: zero capacity" `Quick
+      test_grid_spec_zero_capacity;
+    Alcotest.test_case "target: accumulates and decays" `Quick
+      test_target_accumulates_and_decays;
+    Alcotest.test_case "target: clamped at bin area" `Quick
+      test_target_clamped_at_bin_area;
+    Alcotest.test_case "target: restore bitwise" `Quick
+      test_target_restore_bitwise;
     Alcotest.test_case "heat peak at source" `Quick test_heat_peak_at_power_source;
     Alcotest.test_case "heat spreading cools" `Quick test_heat_spreading_reduces_peak;
     Alcotest.test_case "heat power conserved" `Quick test_heat_power_conserved;

@@ -156,6 +156,47 @@ let test_golden_v1 () =
     "v1 transcript" expected
     (run_stdio_session ~proto:P.V1 golden_requests)
 
+(* v3 golden transcript: successful submits echo the resolved objective.
+   The first submit uses the legacy v2 field shape (mode/effort/timing in
+   the job body) and must map losslessly onto the typed record; the second
+   submits a structured "objective" directly. *)
+let v3_submit_requests =
+  [
+    {|{"cmd":"submit","seq":1,"job":{"profile":"fract","scale":0.3,"seed":7,"mode":"fast","max_steps":2}}|};
+    {|{"cmd":"submit","seq":2,"job":{"profile":"fract","scale":0.3,"seed":7,"max_steps":2,"objective":{"goal":"routability","congest_every":3}}}|};
+    {|{"cmd":"submit","seq":3,"job":{"profile":"fract","scale":0.3,"seed":7,"objective":{"goal":"banana"}}}|};
+    {|{"cmd":"shutdown","seq":4}|};
+  ]
+
+let test_golden_v3 () =
+  let expected =
+    [
+      {|{"ok":true,"seq":1,"id":1,"status":"queued","objective":{"goal":"wirelength","mode":"fast","effort":null,"flow":"flat","congest_every":null,"congest_strength":null}}|};
+      {|{"ok":true,"seq":2,"id":2,"status":"queued","objective":{"goal":"routability","mode":"standard","effort":null,"flow":"flat","congest_every":3,"congest_strength":null}}|};
+      {|{"ok":false,"seq":3,"error":{"code":"bad_spec","message":"objective: unknown goal \"banana\""}}|};
+      {|{"ok":true,"seq":4,"shutdown":true}|};
+    ]
+  in
+  Alcotest.(check (list string))
+    "v3 transcript" expected
+    (run_stdio_session ~proto:P.V3 v3_submit_requests)
+
+(* The same submits over v2 render bitwise as before this release: no
+   "objective" key leaks into v2 replies, even though the structured
+   "objective" job field is accepted on the way in. *)
+let test_golden_v2_submit_unchanged () =
+  let expected =
+    [
+      {|{"ok":true,"seq":1,"id":1,"status":"queued"}|};
+      {|{"ok":true,"seq":2,"id":2,"status":"queued"}|};
+      {|{"ok":false,"seq":3,"error":{"code":"bad_spec","message":"objective: unknown goal \"banana\""}}|};
+      {|{"ok":true,"seq":4,"shutdown":true}|};
+    ]
+  in
+  Alcotest.(check (list string))
+    "v2 submit transcript" expected
+    (run_stdio_session ~proto:P.V2 v3_submit_requests)
+
 (* Every failure code render must round-trip through code_of_string. *)
 let test_codes_roundtrip () =
   List.iter
@@ -535,6 +576,9 @@ let suite =
     Alcotest.test_case "address: roundtrip" `Quick test_address_roundtrip;
     Alcotest.test_case "protocol: v2 golden transcript" `Quick test_golden_v2;
     Alcotest.test_case "protocol: v1 golden transcript" `Quick test_golden_v1;
+    Alcotest.test_case "protocol: v3 golden transcript" `Quick test_golden_v3;
+    Alcotest.test_case "protocol: v2 submit unchanged" `Quick
+      test_golden_v2_submit_unchanged;
     Alcotest.test_case "protocol: codes round-trip" `Quick test_codes_roundtrip;
     QCheck_alcotest.to_alcotest fuzz_serve_responds;
     Alcotest.test_case "socket: 8 clients bitwise-equal to solo" `Quick
